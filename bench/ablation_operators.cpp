@@ -1,0 +1,81 @@
+// Ablation: leave-one-operator-out.  §II.B selects five operators with
+// equal probability; this bench measures what each contributes by running
+// the sequential TSMO with one operator disabled at a time.
+
+#include <iostream>
+
+#include "core/sequential_tsmo.hpp"
+#include "moo/metrics.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+
+int main() {
+  using namespace tsmo;
+  const Instance inst = generate_named("R1_2_1");
+  const std::int64_t evals = env_int("TSMO_EVALS", 20000);
+  const int runs = static_cast<int>(env_int("TSMO_RUNS", 3));
+  // Reference for 3-D hypervolume: generous nadir for this instance family
+  // (feasible fronts have tardiness 0, so the third extent is 1).
+  const Objectives ref{20000.0, 100, 1.0};
+
+  std::cout << "Ablation: leave-one-operator-out on " << inst.name()
+            << ", " << evals << " evaluations, " << runs << " runs\n\n";
+
+  TextTable table({"configuration", "best dist", "best veh",
+                   "hypervolume"});
+  for (int drop = -1; drop < kNumMoveTypes; ++drop) {
+    RunningStats dist, veh, hv;
+    for (int r = 0; r < runs; ++r) {
+      TsmoParams p;
+      p.max_evaluations = evals;
+      p.restart_after = std::max<int>(
+          5, static_cast<int>(evals / p.neighborhood_size / 5));
+      p.seed = 300 + static_cast<std::uint64_t>(r);
+      if (drop >= 0) {
+        p.operator_weights[static_cast<std::size_t>(drop)] = 0.0;
+      }
+      const RunResult result = SequentialTsmo(inst, p).run();
+      dist.add(result.best_feasible_distance());
+      veh.add(result.best_feasible_vehicles());
+      hv.add(hypervolume(result.feasible_front(), ref));
+    }
+    const std::string label =
+        drop < 0 ? "all five (paper)"
+                 : std::string("without ") +
+                       to_string(static_cast<MoveType>(drop));
+    table.add_row({label, format_mean_sd(dist.mean(), dist.stddev()),
+                   fmt_double(veh.mean(), 1),
+                   fmt_double(hv.mean() / 1e6, 3) + "e6"});
+  }
+  {
+    // Extension: ALNS-style online reweighting of the five operators.
+    RunningStats dist, veh, hv;
+    for (int r = 0; r < runs; ++r) {
+      TsmoParams p;
+      p.max_evaluations = evals;
+      p.restart_after = std::max<int>(
+          5, static_cast<int>(evals / p.neighborhood_size / 5));
+      p.adaptive_operators = true;
+      p.adapt_interval = std::max(
+          5, static_cast<int>(evals / p.neighborhood_size / 8));
+      p.seed = 300 + static_cast<std::uint64_t>(r);
+      const RunResult result = SequentialTsmo(inst, p).run();
+      dist.add(result.best_feasible_distance());
+      veh.add(result.best_feasible_vehicles());
+      hv.add(hypervolume(result.feasible_front(), ref));
+    }
+    table.add_row({"adaptive weights (ours)",
+                   format_mean_sd(dist.mean(), dist.stddev()),
+                   fmt_double(veh.mean(), 1),
+                   fmt_double(hv.mean() / 1e6, 3) + "e6"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: Relocate is the only operator that can empty a "
+               "route, so dropping it hurts. Dropping 2-opt tends to HELP "
+               "on tight-window instances — reversing a segment rarely "
+               "respects time windows, so its samples are mostly wasted "
+               "budget; the paper's equal-probability mix is not tuned.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// §II.C of the paper argues for the multiobjective formulation over
+// "solving the problem a number of times with modified weights and a
+// single criteria approach".  This bench quantifies that argument: TSMO
+// vs. a weighted-sum tabu search restarted with random weights, at equal
+// total evaluation budgets.
+
+#include <iostream>
+
+#include "core/sequential_tsmo.hpp"
+#include "core/weighted_ts.hpp"
+#include "moo/metrics.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+
+int main() {
+  using namespace tsmo;
+  const Instance inst = generate_named("R1_2_1");
+  const std::int64_t evals = env_int("TSMO_EVALS", 24000);
+  const int runs = static_cast<int>(env_int("TSMO_RUNS", 3));
+  // Reference for 3-D hypervolume: generous nadir for this instance family
+  // (feasible fronts have tardiness 0, so the third extent is 1).
+  const Objectives ref{20000.0, 100, 1.0};
+
+  std::cout << "TSMO vs weighted-sum baseline on " << inst.name() << ", "
+            << evals << " total evaluations each, " << runs << " runs\n\n";
+
+  TextTable table({"approach", "front", "best dist", "hypervolume",
+                   "C(vs tsmo)", "C(tsmo vs)"});
+  RunningStats t_front, t_dist, t_hv;
+  std::vector<std::vector<Objectives>> tsmo_fronts, ws_fronts[3];
+  const int draw_counts[] = {2, 5, 10};
+
+  for (int r = 0; r < runs; ++r) {
+    TsmoParams p;
+    p.max_evaluations = evals;
+    p.restart_after =
+        std::max<int>(5, static_cast<int>(evals / p.neighborhood_size / 5));
+    p.seed = 600 + static_cast<std::uint64_t>(r);
+    const RunResult tsmo_run = SequentialTsmo(inst, p).run();
+    tsmo_fronts.push_back(tsmo_run.feasible_front());
+    t_front.add(static_cast<double>(tsmo_fronts.back().size()));
+    t_dist.add(tsmo_run.best_feasible_distance());
+    t_hv.add(hypervolume(tsmo_fronts.back(), ref));
+
+    for (int k = 0; k < 3; ++k) {
+      Rng rng(700 + static_cast<std::uint64_t>(r) * 31 +
+              static_cast<std::uint64_t>(k));
+      const RunResult ws =
+          weighted_sum_front(inst, p, draw_counts[k], rng);
+      ws_fronts[k].push_back(ws.feasible_front());
+    }
+  }
+
+  auto coverage_vs = [&](const std::vector<std::vector<Objectives>>& a,
+                         const std::vector<std::vector<Objectives>>& b) {
+    RunningStats c;
+    for (const auto& fa : a) {
+      for (const auto& fb : b) c.add(set_coverage(fa, fb));
+    }
+    return c.mean();
+  };
+
+  table.add_row({"TSMO (one MO run)", fmt_double(t_front.mean(), 1),
+                 format_mean_sd(t_dist.mean(), t_dist.stddev()),
+                 fmt_double(t_hv.mean() / 1e6, 3) + "e6", "-", "-"});
+  for (int k = 0; k < 3; ++k) {
+    RunningStats front, dist, hv;
+    for (const auto& f : ws_fronts[k]) {
+      front.add(static_cast<double>(f.size()));
+      hv.add(hypervolume(f, ref));
+      double best = 0.0;
+      for (const auto& o : f) {
+        best = best == 0.0 ? o.distance : std::min(best, o.distance);
+      }
+      dist.add(best);
+    }
+    table.add_row(
+        {"weighted-sum, " + std::to_string(draw_counts[k]) + " draws",
+         fmt_double(front.mean(), 1),
+         format_mean_sd(dist.mean(), dist.stddev()),
+         fmt_double(hv.mean() / 1e6, 3) + "e6",
+         fmt_percent(coverage_vs(ws_fronts[k], tsmo_fronts)),
+         fmt_percent(coverage_vs(tsmo_fronts, ws_fronts[k]))});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: on the *feasible* fronts the weighted-sum "
+               "baseline wins at equal budgets — a dedicated scalar "
+               "best-improvement search exploits harder than TSMO's "
+               "random non-dominated selection, and TSMO's archive "
+               "spends most of its 20 slots on infeasible tradeoff "
+               "points. This matches the paper's own caution that TSMO's "
+               "quality was never benchmarked against other algorithms "
+               "(SIII.A); the SII.C case for the MO run is practical "
+               "(no weight elicitation from the customer), not raw "
+               "performance.\n";
+  return 0;
+}

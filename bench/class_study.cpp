@@ -1,0 +1,70 @@
+// Instance-class study (ours): how the sequential TSMO behaves across all
+// six Solomon/Homberger classes (R/C/RC x short/long horizon) at a fixed
+// budget.  The paper only evaluates C1/R1/C2/R2 at 400/600 cities; this
+// bench adds the RC classes and reports the structural differences
+// (vehicles used, front shapes, feasible share) per class.
+
+#include <iostream>
+
+#include "core/sequential_tsmo.hpp"
+#include "moo/metrics.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "vrptw/bounds.hpp"
+#include "vrptw/generator.hpp"
+
+int main() {
+  using namespace tsmo;
+  const std::int64_t evals = env_int("TSMO_EVALS", 15000);
+  const int runs = static_cast<int>(env_int("TSMO_RUNS", 3));
+
+  std::cout << "Class study: sequential TSMO on 200-customer instances, "
+            << evals << " evaluations, " << runs << " runs per class\n\n";
+
+  TextTable table({"class", "capacity", "best dist", "gap vs LB",
+                   "best veh", "min veh bound", "feas front",
+                   "tardy share"});
+  for (const char* prefix :
+       {"R1_2", "C1_2", "RC1_2", "R2_2", "C2_2", "RC2_2"}) {
+    const Instance inst =
+        generate_named(std::string(prefix) + "_1");
+    const double lb = distance_lower_bound(inst);
+    RunningStats dist, veh, feas, tardy;
+    for (int r = 0; r < runs; ++r) {
+      TsmoParams p;
+      p.max_evaluations = evals;
+      p.restart_after = std::max<int>(
+          5, static_cast<int>(evals / p.neighborhood_size / 5));
+      p.seed = 1000 + static_cast<std::uint64_t>(r);
+      const RunResult result = SequentialTsmo(inst, p).run();
+      const auto front = result.feasible_front();
+      dist.add(result.best_feasible_distance());
+      veh.add(result.best_feasible_vehicles());
+      feas.add(static_cast<double>(front.size()));
+      tardy.add(result.front.empty()
+                    ? 0.0
+                    : 1.0 - static_cast<double>(front.size()) /
+                                static_cast<double>(result.front.size()));
+    }
+    table.add_row({prefix, fmt_double(inst.capacity(), 0),
+                   format_mean_sd(dist.mean(), dist.stddev()),
+                   fmt_percent(dist.mean() / lb - 1.0, 0),
+                   fmt_double(veh.mean(), 1),
+                   std::to_string(inst.min_vehicles_by_capacity()),
+                   fmt_double(feas.mean(), 1),
+                   fmt_percent(tardy.mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\n(gap vs LB uses the MST/depot-leg lower bound, which "
+               "ignores time windows entirely — it is a coarse sanity "
+               "bound, not an optimality certificate; tighter windows "
+               "inflate the apparent gap.)\n";
+  std::cout << "\nReading: type-1 classes (capacity 200, tight windows) "
+               "force fleets near the capacity lower bound and leave most "
+               "of the archive tardy; type-2 classes (capacity 700, wide "
+               "windows) run few vehicles and admit shorter tours. "
+               "Clustered classes yield the shortest distances at equal "
+               "size, mixed RC sits between.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Anytime behaviour: best-feasible-distance-so-far as a function of
+// evaluations for the sequential TSMO under the three feasibility screens.
+// Complements ablation_feasibility_screen with the *trajectory*, not just
+// the endpoint: the local criterion's detours through tardy regions are
+// visible as plateaus of the feasible incumbent.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "core/sequential_tsmo.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+
+int main() {
+  using namespace tsmo;
+  const Instance inst = generate_named("R1_2_1");
+  const std::int64_t evals = env_int("TSMO_EVALS", 30000);
+
+  std::cout << "Convergence of the feasible incumbent on " << inst.name()
+            << ", " << evals << " evaluations\n\n";
+
+  struct Curve {
+    FeasibilityScreen screen;
+    std::map<std::int64_t, double> incumbent;  // evaluations -> best dist
+  };
+  std::vector<Curve> curves = {{FeasibilityScreen::CapacityOnly, {}},
+                               {FeasibilityScreen::Local, {}},
+                               {FeasibilityScreen::Exact, {}}};
+
+  for (Curve& curve : curves) {
+    TsmoParams p;
+    p.max_evaluations = evals;
+    p.feasibility_screen = curve.screen;
+    p.restart_after =
+        std::max<int>(5, static_cast<int>(evals / p.neighborhood_size / 5));
+    p.seed = 77;
+    double best = 0.0;
+    auto update = [&](const Objectives& o) {
+      if (o.tardiness == 0.0 && (best == 0.0 || o.distance < best)) {
+        best = o.distance;
+      }
+    };
+    SequentialTsmo(inst, p).run([&](const IterationEvent& ev) {
+      // Incumbent over every evaluated point: the current solution and
+      // the whole neighborhood of this iteration.
+      update(ev.current);
+      for (const Candidate& c : *ev.candidates) update(c.obj);
+      if (best > 0.0) curve.incumbent[ev.evaluations] = best;
+    });
+  }
+
+  // Print a sampled table: incumbent at ~10 checkpoints.
+  TextTable table({"evaluations", "capacity-only", "local (paper)",
+                   "exact"});
+  for (int k = 1; k <= 10; ++k) {
+    const std::int64_t at = evals * k / 10;
+    std::vector<std::string> row{std::to_string(at)};
+    for (const Curve& curve : curves) {
+      // Last incumbent at or before the checkpoint.
+      auto it = curve.incumbent.upper_bound(at);
+      if (it == curve.incumbent.begin()) {
+        row.push_back("-");
+      } else {
+        row.push_back(fmt_double(std::prev(it)->second, 1));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the exact screen improves steadily; under the "
+               "weaker screens (the paper's local criterion included) the "
+               "feasible incumbent flatlines for long stretches while the "
+               "search explores tardy regions — the soft-window detours "
+               "§II.B permits rarely return with a better feasible "
+               "solution at these budgets.\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream csv("bench_results/convergence_curves.csv");
+  if (csv) {
+    csv << "screen,evaluations,best_feasible_distance\n";
+    for (const Curve& curve : curves) {
+      for (const auto& [at, best] : curve.incumbent) {
+        csv << to_string(curve.screen) << ',' << at << ',' << best << '\n';
+      }
+    }
+    std::cout << "CSV written to bench_results/convergence_curves.csv\n";
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+// google-benchmark microbenchmarks of solution evaluation: full vs.
+// incremental route re-evaluation, the permutation codec, archive inserts
+// and the crowding computation.
+
+#include <benchmark/benchmark.h>
+
+#include "construct/i1_insertion.hpp"
+#include "evolutionary/crossover.hpp"
+#include "moo/archive.hpp"
+#include "moo/metrics.hpp"
+#include "operators/local_search.hpp"
+#include "vrptw/generator.hpp"
+#include "vrptw/schedule.hpp"
+#include "vrptw/solution.hpp"
+
+namespace {
+
+using namespace tsmo;
+
+const Instance& instance_for(int customers) {
+  static Instance i100 = generate_named("C1_1_1");
+  static Instance i400 = generate_named("C1_4_1");
+  static Instance i600 = generate_named("C1_6_1");
+  switch (customers) {
+    case 100:
+      return i100;
+    case 400:
+      return i400;
+    default:
+      return i600;
+  }
+}
+
+void BM_FullEvaluation(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  Solution s = construct_i1_random(inst, rng);
+  for (auto _ : state) {
+    // Touch every route so evaluate() recomputes the whole solution.
+    for (int r = 0; r < s.num_routes(); ++r) s.mutable_route(r);
+    s.evaluate();
+    benchmark::DoNotOptimize(s.objectives());
+  }
+}
+BENCHMARK(BM_FullEvaluation)->Arg(100)->Arg(400)->Arg(600)->ArgName("n");
+
+void BM_IncrementalEvaluation(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  Solution s = construct_i1_random(inst, rng);
+  int r = 0;
+  for (auto _ : state) {
+    while (s.route(r).empty()) r = (r + 1) % s.num_routes();
+    s.mutable_route(r);  // dirty one route only
+    s.evaluate();
+    benchmark::DoNotOptimize(s.objectives());
+    r = (r + 1) % s.num_routes();
+  }
+}
+BENCHMARK(BM_IncrementalEvaluation)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(600)
+    ->ArgName("n");
+
+void BM_PermutationCodec(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  const Solution s = construct_i1_random(inst, rng);
+  for (auto _ : state) {
+    const auto perm = s.to_permutation();
+    benchmark::DoNotOptimize(Solution::from_permutation(inst, perm));
+  }
+}
+BENCHMARK(BM_PermutationCodec)->Arg(100)->Arg(400)->Arg(600)->ArgName("n");
+
+void BM_ArchiveTryAdd(benchmark::State& state) {
+  Rng rng(11);
+  ParetoArchive<int> archive(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Objectives o{rng.uniform(1000.0, 2000.0),
+                 static_cast<int>(rng.uniform_int(10, 40)),
+                 rng.uniform(0.0, 100.0)};
+    benchmark::DoNotOptimize(archive.try_add(o, 0));
+  }
+}
+BENCHMARK(BM_ArchiveTryAdd)->Arg(20)->Arg(100)->ArgName("cap");
+
+void BM_CrowdingDistances(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<Objectives> objs;
+  for (int i = 0; i < state.range(0); ++i) {
+    objs.push_back(Objectives{rng.uniform(1000.0, 2000.0),
+                              static_cast<int>(rng.uniform_int(10, 40)),
+                              rng.uniform(0.0, 100.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crowding_distances(objs));
+  }
+}
+BENCHMARK(BM_CrowdingDistances)->Arg(21)->Arg(101)->ArgName("points");
+
+void BM_RouteScheduleCompute(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  const Solution s = construct_i1_random(inst, rng);
+  // Longest route of the construction.
+  const std::vector<int>* route = &s.route(0);
+  for (int r = 0; r < s.num_routes(); ++r) {
+    if (s.route(r).size() > route->size()) route = &s.route(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RouteSchedule::compute(inst, *route));
+  }
+}
+BENCHMARK(BM_RouteScheduleCompute)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(600)
+    ->ArgName("n");
+
+void BM_InsertionKeepsSchedule(benchmark::State& state) {
+  const Instance& inst = instance_for(100);
+  Rng rng(5);
+  const Solution s = construct_i1_random(inst, rng);
+  const std::vector<int>& route = s.route(0);
+  const RouteSchedule sched = RouteSchedule::compute(inst, route);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        insertion_keeps_schedule(inst, route, sched, 1, pos));
+    pos = (pos + 1) % (route.size() + 1);
+  }
+}
+BENCHMARK(BM_InsertionKeepsSchedule);
+
+void BM_BestCostRouteCrossover(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  Rng rng(6);
+  const Solution a = construct_i1_random(inst, rng);
+  const Solution b = construct_i1_random(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best_cost_route_crossover(inst, a, b, rng));
+  }
+}
+BENCHMARK(BM_BestCostRouteCrossover)->Arg(100)->Arg(400)->ArgName("n");
+
+void BM_VndImprove(benchmark::State& state) {
+  const Instance& inst = instance_for(100);
+  MoveEngine engine(inst);
+  Rng rng(7);
+  const Solution base = construct_nearest_neighbor(inst, rng);
+  VndOptions options;
+  options.max_moves = 20;  // bounded descent per iteration
+  for (auto _ : state) {
+    Solution s = base;
+    benchmark::DoNotOptimize(vnd_improve(engine, s, options));
+  }
+}
+BENCHMARK(BM_VndImprove);
+
+void BM_SetCoverage(benchmark::State& state) {
+  Rng rng(17);
+  auto make_front = [&] {
+    std::vector<Objectives> f;
+    for (int i = 0; i < state.range(0); ++i) {
+      f.push_back(Objectives{rng.uniform(1000.0, 2000.0),
+                             static_cast<int>(rng.uniform_int(10, 40)),
+                             rng.uniform(0.0, 100.0)});
+    }
+    return f;
+  };
+  const auto a = make_front();
+  const auto b = make_front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set_coverage(a, b));
+  }
+}
+BENCHMARK(BM_SetCoverage)->Arg(20)->ArgName("front");
+
+}  // namespace
+
+BENCHMARK_MAIN();

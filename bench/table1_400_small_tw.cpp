@@ -1,0 +1,11 @@
+// Table I of the paper: 400-city extended Solomon problems with small time
+// windows (classes C1, R1).  Sequential vs sync/async/coll at 3/6/12 CPUs.
+
+#include "table_common.hpp"
+
+int main() {
+  return tsmo::run_paper_table(
+      "table1",
+      "Table I -- 400 cities, small time windows (C1_4, R1_4)",
+      {"C1_4", "R1_4"});
+}

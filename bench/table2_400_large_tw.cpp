@@ -1,0 +1,11 @@
+// Table II of the paper: 400-city extended Solomon problems with large
+// time windows (classes C2, R2).
+
+#include "table_common.hpp"
+
+int main() {
+  return tsmo::run_paper_table(
+      "table2",
+      "Table II -- 400 cities, large time windows (C2_4, R2_4)",
+      {"C2_4", "R2_4"});
+}

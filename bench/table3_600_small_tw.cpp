@@ -1,0 +1,11 @@
+// Table III of the paper: 600-city extended Solomon problems with small
+// time windows (classes C1, R1).
+
+#include "table_common.hpp"
+
+int main() {
+  return tsmo::run_paper_table(
+      "table3",
+      "Table III -- 600 cities, small time windows (C1_6, R1_6)",
+      {"C1_6", "R1_6"});
+}

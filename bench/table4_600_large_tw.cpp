@@ -1,0 +1,11 @@
+// Table IV of the paper: 600-city extended Solomon problems with large
+// time windows (classes C2, R2).
+
+#include "table_common.hpp"
+
+int main() {
+  return tsmo::run_paper_table(
+      "table4",
+      "Table IV -- 600 cities, large time windows (C2_6, R2_6)",
+      {"C2_6", "R2_6"});
+}

@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared driver for the Table I-IV reproduction binaries.  Each binary
+// names its problem classes and calls run_paper_table(); scale comes from
+// TSMO_BENCH_SCALE (ci | small | paper, default small) with TSMO_RUNS /
+// TSMO_EVALS / TSMO_INSTANCES / TSMO_NEIGHBORHOOD overrides.  CSVs land in
+// bench_results/.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/env.hpp"
+
+namespace tsmo {
+
+inline int run_paper_table(const std::string& table_id,
+                           const std::string& title,
+                           std::vector<std::string> class_prefixes) {
+  TableSpec spec;
+  spec.title = title;
+  spec.class_prefixes = std::move(class_prefixes);
+  spec.scale = ExperimentScale::from_env();
+
+  std::cout << title << "\n"
+            << "scale: runs=" << spec.scale.runs
+            << " instances/class=" << spec.scale.instances_per_class
+            << " evaluations=" << spec.scale.max_evaluations
+            << " neighborhood=" << spec.scale.neighborhood_size
+            << "  (TSMO_BENCH_SCALE="
+            << env_string("TSMO_BENCH_SCALE").value_or("small")
+            << "; set to 'paper' for the full grid)\n\n";
+
+  const bool verbose = env_int("TSMO_VERBOSE", 0) != 0;
+  const TableResult result =
+      run_table(spec, verbose ? &std::cerr : nullptr);
+  print_table(std::cout, result);
+  std::cout << "\nPaper-shape checkpoints: sync ~= sequential quality with"
+            << " modest saturating speedup; async similar quality, best"
+            << " speedup (dips at 12p); coll best quality/coverage,"
+            << " negative speedup growing with P.\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) {
+    const std::string path = "bench_results/" + table_id + ".csv";
+    write_table_csv(path, result);
+    std::cout << "CSV written to " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace tsmo

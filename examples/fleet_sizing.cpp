@@ -1,0 +1,114 @@
+// Fleet-sizing decision support — the use case motivating the paper's
+// multiobjective formulation (§II.C): "instead of handing [the customer]
+// one solution with a given tour and a number of vehicles, we may have
+// found solutions with different travel distances and different numbers of
+// vehicles.  The customer ... can then decide, based on concrete
+// solutions, which of them is most suitable for his or her business."
+//
+// This example runs TSMO on a wide-window instance (where the
+// distance-vs-fleet tradeoff is real), prints the feasible Pareto front,
+// and evaluates it under several cost scenarios (fixed cost per vehicle vs
+// variable cost per distance unit) to show how different businesses would
+// pick different points from the same front.
+//
+//   ./fleet_sizing [instance-name] [evaluations]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/sequential_tsmo.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  double cost_per_km;
+  double cost_per_vehicle;  // daily fixed cost (driver + amortization)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "R2_1_1";
+  const std::int64_t evals =
+      argc > 2 ? std::atoll(argv[2]) : std::int64_t{40000};
+
+  const tsmo::Instance inst = tsmo::generate_named(name);
+  std::cout << "Optimizing fleet for " << inst.name() << " ("
+            << inst.num_customers() << " customers, capacity "
+            << inst.capacity() << ")\n";
+
+  tsmo::TsmoParams params;
+  params.max_evaluations = evals;
+  params.archive_capacity = 30;
+  params.seed = 7;
+  const tsmo::RunResult result = tsmo::SequentialTsmo(inst, params).run();
+
+  // Collect the feasible front, sorted by vehicle count.
+  std::vector<std::size_t> feasible;
+  for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+    if (result.solutions[i].feasible()) feasible.push_back(i);
+  }
+  if (feasible.empty()) {
+    std::cout << "No feasible solution found at this budget; increase "
+                 "evaluations.\n";
+    return 1;
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (result.front[a].vehicles != result.front[b].vehicles) {
+                return result.front[a].vehicles < result.front[b].vehicles;
+              }
+              return result.front[a].distance < result.front[b].distance;
+            });
+
+  tsmo::TextTable front({"option", "vehicles", "distance"});
+  for (std::size_t k = 0; k < feasible.size(); ++k) {
+    const auto& o = result.front[feasible[k]];
+    front.add_row({std::string(1, static_cast<char>('A' + k)),
+                   std::to_string(o.vehicles),
+                   tsmo::fmt_double(o.distance)});
+  }
+  front.print(std::cout,
+              "Feasible Pareto front (" + std::to_string(feasible.size()) +
+                  " options, " + std::to_string(result.evaluations) +
+                  " evaluations)");
+
+  // Decision analysis: which option wins under which cost structure?
+  const Scenario scenarios[] = {
+      {"courier (cheap vans, expensive fuel)", 2.0, 50.0},
+      {"balanced operator", 1.0, 150.0},
+      {"heavy trucks (dear vehicles)", 0.5, 600.0},
+  };
+  std::cout << "\n";
+  tsmo::TextTable analysis(
+      {"scenario", "best option", "vehicles", "distance", "total cost"});
+  for (const Scenario& sc : scenarios) {
+    double best_cost = 1e300;
+    std::size_t best_k = 0;
+    for (std::size_t k = 0; k < feasible.size(); ++k) {
+      const auto& o = result.front[feasible[k]];
+      const double cost = sc.cost_per_km * o.distance +
+                          sc.cost_per_vehicle * o.vehicles;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_k = k;
+      }
+    }
+    const auto& o = result.front[feasible[best_k]];
+    analysis.add_row({sc.name,
+                      std::string(1, static_cast<char>('A' + best_k)),
+                      std::to_string(o.vehicles),
+                      tsmo::fmt_double(o.distance),
+                      tsmo::fmt_double(best_cost)});
+  }
+  analysis.print(std::cout, "Which front point each business would pick");
+  std::cout << "\nOne unbiased multiobjective run served all three "
+               "businesses — no per-customer weight tuning needed (§II.C "
+               "of the paper).\n";
+  return 0;
+}

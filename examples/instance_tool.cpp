@@ -1,0 +1,115 @@
+// Command-line utility around the instance substrate:
+//
+//   instance_tool generate <name> [out.txt]   generate a Homberger-style
+//                                             instance and write it in the
+//                                             Solomon text format
+//   instance_tool info <file-or-name>         print instance statistics
+//   instance_tool check <file-or-name>        validate + try to construct
+//                                             a feasible solution with I1
+//
+// <name> follows the Homberger convention, e.g. R1_4_2 or C2_6_10.
+
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "construct/i1_insertion.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+#include "vrptw/solomon_io.hpp"
+
+namespace {
+
+using namespace tsmo;
+
+Instance load(const std::string& spec) {
+  if (std::filesystem::exists(spec)) return read_solomon_file(spec);
+  return generate_named(spec);
+}
+
+int cmd_generate(const std::string& name, const std::string& out) {
+  const Instance inst = generate_named(name);
+  if (out.empty() || out == "-") {
+    write_solomon(std::cout, inst);
+  } else {
+    write_solomon_file(out, inst);
+    std::cout << "Wrote " << inst.num_customers() << "-customer instance "
+              << inst.name() << " to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const std::string& spec) {
+  const Instance inst = load(spec);
+  RunningStats demand, width, dist_to_depot;
+  int tight = 0;
+  for (int i = 1; i <= inst.num_customers(); ++i) {
+    const Site& s = inst.site(i);
+    demand.add(s.demand);
+    width.add(s.due - s.ready);
+    dist_to_depot.add(inst.distance(0, i));
+    if (s.due - s.ready < inst.horizon() * 0.5) ++tight;
+  }
+  TextTable t({"property", "value"});
+  t.add_row({"name", inst.name()});
+  t.add_row({"customers", std::to_string(inst.num_customers())});
+  t.add_row({"vehicles", std::to_string(inst.max_vehicles())});
+  t.add_row({"capacity", fmt_double(inst.capacity(), 0)});
+  t.add_row({"horizon", fmt_double(inst.horizon())});
+  t.add_row({"total demand", fmt_double(inst.total_demand(), 0)});
+  t.add_row({"min vehicles (capacity bound)",
+             std::to_string(inst.min_vehicles_by_capacity())});
+  t.add_row({"mean demand", fmt_double(demand.mean(), 1)});
+  t.add_row({"mean window width", fmt_double(width.mean(), 1)});
+  t.add_row({"tight windows", std::to_string(tight) + " / " +
+                                  std::to_string(inst.num_customers())});
+  t.add_row({"mean depot distance", fmt_double(dist_to_depot.mean(), 1)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_check(const std::string& spec) {
+  const Instance inst = load(spec);
+  try {
+    inst.validate();
+  } catch (const std::exception& e) {
+    std::cout << "INVALID: " << e.what() << "\n";
+    return 1;
+  }
+  Rng rng(1);
+  const Solution s = construct_i1_random(inst, rng);
+  s.validate();
+  std::cout << "Instance " << inst.name() << " is structurally valid.\n"
+            << "I1 construction: " << s.vehicles_used() << " vehicles, "
+            << "distance " << fmt_double(s.objectives().distance)
+            << ", tardiness " << fmt_double(s.objectives().tardiness)
+            << (s.feasible() ? " (feasible)" : " (INFEASIBLE)") << "\n";
+  return s.feasible() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: instance_tool generate <name> [out.txt]\n"
+                 "       instance_tool info  <file-or-name>\n"
+                 "       instance_tool check <file-or-name>\n";
+    return 64;
+  }
+  const std::string cmd = argv[1];
+  const std::string arg = argv[2];
+  try {
+    if (cmd == "generate") {
+      return cmd_generate(arg, argc > 3 ? argv[3] : "");
+    }
+    if (cmd == "info") return cmd_info(arg);
+    if (cmd == "check") return cmd_check(arg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 64;
+}

@@ -1,0 +1,77 @@
+// Quickstart: generate a 100-customer instance, run the sequential
+// multiobjective Tabu Search, and print the Pareto front it found.
+//
+//   ./quickstart [instance-name] [evaluations]
+//
+// Instance names follow the Homberger convention, e.g. R1_1_1 (random
+// positions, tight windows, 100 customers) or C2_4_1 (clustered, wide
+// windows, 400 customers).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sequential_tsmo.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "R1_1_1";
+  const std::int64_t evals =
+      argc > 2 ? std::atoll(argv[2]) : std::int64_t{20000};
+
+  const tsmo::Instance inst = tsmo::generate_named(name);
+  std::cout << "Instance " << inst.name() << ": " << inst.num_customers()
+            << " customers, fleet " << inst.max_vehicles() << " x capacity "
+            << inst.capacity() << ", horizon " << inst.horizon() << "\n";
+
+  tsmo::TsmoParams params;
+  params.max_evaluations = evals;
+  params.seed = 42;
+
+  const tsmo::RunResult result =
+      tsmo::SequentialTsmo(inst, params).run();
+
+  std::cout << "Ran " << result.iterations << " iterations / "
+            << result.evaluations << " evaluations ("
+            << result.restarts << " restarts) in "
+            << tsmo::fmt_double(result.wall_seconds, 2) << "s\n\n";
+
+  tsmo::TextTable table({"#", "distance", "vehicles", "tardiness",
+                         "feasible"});
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    table.add_row({std::to_string(i + 1),
+                   tsmo::fmt_double(result.front[i].distance),
+                   std::to_string(result.front[i].vehicles),
+                   tsmo::fmt_double(result.front[i].tardiness),
+                   result.solutions[i].feasible() ? "yes" : "no"});
+  }
+  table.print(std::cout, "Pareto archive (" +
+                             std::to_string(result.front.size()) +
+                             " solutions)");
+
+  // Show the shortest feasible solution's first few routes and the paper's
+  // permutation encoding.
+  for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+    if (!result.solutions[i].feasible()) continue;
+    const tsmo::Solution& s = result.solutions[i];
+    std::cout << "\nRoutes of archive member " << (i + 1) << ":\n";
+    int shown = 0;
+    for (int r = 0; r < s.num_routes() && shown < 5; ++r) {
+      if (s.route(r).empty()) continue;
+      std::cout << "  vehicle " << r << ":";
+      for (int c : s.route(r)) std::cout << ' ' << c;
+      std::cout << "  (load " << s.route_stats(r).load << ", dist "
+                << tsmo::fmt_double(s.route_stats(r).distance) << ")\n";
+      ++shown;
+    }
+    const auto perm = s.to_permutation();
+    std::cout << "  permutation string (first 20 of " << perm.size()
+              << "):";
+    for (std::size_t k = 0; k < perm.size() && k < 20; ++k) {
+      std::cout << ' ' << perm[k];
+    }
+    std::cout << " ...\n";
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,271 @@
+// Full-featured solver front-end over the library's public API:
+//
+//   solver_cli --instance R1_4_1 --algorithm coll --processors 6
+//              --evaluations 50000 --json out.json
+//
+// Instances can be Homberger-style names (generated) or Solomon-format
+// files.  Algorithms: seq | sync | async | coll | hybrid | nsga2 |
+// weighted.  The threaded variants run on real threads; --simulate runs
+// the deterministic virtual-clock versions instead and reports the
+// modeled runtime.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/adaptive_memory.hpp"
+#include "core/mots.hpp"
+#include "core/pls.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "core/weighted_ts.hpp"
+#include "evolutionary/nsga2.hpp"
+#include "evolutionary/spea2.hpp"
+#include "harness/plot.hpp"
+#include "harness/report.hpp"
+#include "operators/local_search.hpp"
+#include "parallel/async_tsmo.hpp"
+#include "parallel/hybrid_tsmo.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+#include "parallel/sync_tsmo.hpp"
+#include "sim/sim_tsmo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "vrptw/generator.hpp"
+#include "vrptw/solomon_io.hpp"
+
+namespace {
+
+using namespace tsmo;
+
+Instance load_instance(const std::string& spec) {
+  if (std::filesystem::exists(spec)) return read_solomon_file(spec);
+  return generate_named(spec);
+}
+
+RunResult solve(const std::string& algorithm, const Instance& inst,
+                const TsmoParams& params, int processors, bool simulate) {
+  const CostModel cost = CostModel::for_instance(inst);
+  if (algorithm == "seq") {
+    return simulate ? run_sim_sequential(inst, params, cost)
+                    : SequentialTsmo(inst, params).run();
+  }
+  if (algorithm == "sync") {
+    return simulate ? run_sim_sync(inst, params, processors, cost)
+                    : SyncTsmo(inst, params, processors).run();
+  }
+  if (algorithm == "async") {
+    return simulate ? run_sim_async(inst, params, processors, cost)
+                    : AsyncTsmo(inst, params, processors).run();
+  }
+  if (algorithm == "coll") {
+    MultisearchResult r =
+        simulate ? run_sim_multisearch(inst, params, processors, cost)
+                 : MultisearchTsmo(inst, params, processors).run();
+    for (const RunResult& s : r.per_searcher) {
+      r.merged.sim_seconds = std::max(r.merged.sim_seconds, s.sim_seconds);
+    }
+    return std::move(r.merged);
+  }
+  if (algorithm == "hybrid") {
+    const int per_island = std::max(2, processors / 2);
+    MultisearchResult r =
+        simulate ? run_sim_hybrid(inst, params, 2, per_island, cost)
+                 : HybridTsmo(inst, params, 2, per_island).run();
+    for (const RunResult& s : r.per_searcher) {
+      r.merged.sim_seconds = std::max(r.merged.sim_seconds, s.sim_seconds);
+    }
+    return std::move(r.merged);
+  }
+  if (algorithm == "nsga2") {
+    Nsga2Params np;
+    np.max_evaluations = params.max_evaluations;
+    np.seed = params.seed;
+    np.feasibility_screen = params.feasibility_screen;
+    return Nsga2(inst, np).run();
+  }
+  if (algorithm == "weighted") {
+    Rng rng(params.seed);
+    return weighted_sum_front(inst, params, 5, rng);
+  }
+  if (algorithm == "spea2") {
+    Spea2Params sp;
+    sp.max_evaluations = params.max_evaluations;
+    sp.seed = params.seed;
+    sp.feasibility_screen = params.feasibility_screen;
+    return Spea2(inst, sp).run();
+  }
+  if (algorithm == "mots") {
+    MotsParams mp;
+    mp.max_evaluations = params.max_evaluations;
+    mp.tabu_tenure = params.tabu_tenure;
+    mp.seed = params.seed;
+    mp.feasibility_screen = params.feasibility_screen;
+    return Mots(inst, mp).run();
+  }
+  if (algorithm == "pls") {
+    PlsParams pp;
+    pp.max_evaluations = params.max_evaluations;
+    pp.archive_capacity = params.archive_capacity;
+    pp.seed = params.seed;
+    pp.feasibility_screen = params.feasibility_screen;
+    return ParetoLocalSearch(inst, pp).run();
+  }
+  if (algorithm == "amts") {
+    AdaptiveMemoryParams ap;
+    ap.max_evaluations = params.max_evaluations;
+    ap.cycle_evaluations =
+        std::max<std::int64_t>(params.max_evaluations / 8, 500);
+    ap.inner = params;
+    ap.seed = params.seed;
+    return AdaptiveMemoryTsmo(inst, ap).run();
+  }
+  throw std::invalid_argument("unknown algorithm: " + algorithm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("solver_cli",
+                "multiobjective CVRPTW solver (TSMO and comparators)");
+  cli.add_option("instance", "Homberger-style name or Solomon file",
+                 "R1_1_1");
+  cli.add_option("algorithm",
+                 "seq | sync | async | coll | hybrid | nsga2 | spea2 | "
+                 "mots | amts | pls | weighted",
+                 "seq");
+  cli.add_option("evaluations", "evaluation budget", "20000");
+  cli.add_option("processors", "processors for the parallel variants",
+                 "3");
+  cli.add_option("neighborhood", "neighborhood size", "200");
+  cli.add_option("tenure", "tabu tenure", "20");
+  cli.add_option("archive", "archive capacity", "20");
+  cli.add_option("restart-after", "unimproving iterations before restart",
+                 "100");
+  cli.add_option("seed", "random seed", "1");
+  cli.add_option("screen", "capacity | local | exact", "local");
+  cli.add_option("json", "write the result as JSON to this file", "");
+  cli.add_option("svg",
+                 "render the best feasible solution's routes to this SVG "
+                 "file",
+                 "");
+  cli.add_flag("simulate", "run on the virtual clock (deterministic)");
+  cli.add_flag("polish",
+               "post-run VND local search on every archive solution");
+  cli.add_flag("quiet", "suppress the front table");
+  if (!cli.parse(argc, argv, std::cerr)) return 64;
+
+  try {
+    const Instance inst = load_instance(cli.get("instance"));
+    TsmoParams params;
+    params.max_evaluations = cli.get_int("evaluations");
+    params.neighborhood_size = static_cast<int>(cli.get_int("neighborhood"));
+    params.tabu_tenure = static_cast<int>(cli.get_int("tenure"));
+    params.archive_capacity = static_cast<int>(cli.get_int("archive"));
+    params.restart_after = static_cast<int>(cli.get_int("restart-after"));
+    params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const std::string screen = cli.get("screen");
+    params.feasibility_screen =
+        screen == "capacity" ? FeasibilityScreen::CapacityOnly
+        : screen == "exact"  ? FeasibilityScreen::Exact
+                             : FeasibilityScreen::Local;
+
+    RunResult result =
+        solve(cli.get("algorithm"), inst, params,
+              static_cast<int>(cli.get_int("processors")),
+              cli.flag("simulate"));
+
+    if (cli.flag("polish")) {
+      // Deterministic VND descent on each archive member; the polished
+      // front is re-filtered since polishing can create dominance.
+      MoveEngine engine(inst);
+      VndOptions vnd;
+      vnd.screen = params.feasibility_screen;
+      int total_moves = 0;
+      for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+        total_moves += vnd_improve(engine, result.solutions[i], vnd)
+                           .moves_applied;
+        result.front[i] = result.solutions[i].objectives();
+      }
+      for (std::size_t i = result.front.size(); i-- > 0;) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < result.front.size() && !dominated;
+             ++j) {
+          if (j == i) continue;
+          if (dominates(result.front[j], result.front[i]) ||
+              (j < i && result.front[j] == result.front[i])) {
+            dominated = true;
+          }
+        }
+        if (dominated) {
+          result.front.erase(result.front.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+          result.solutions.erase(result.solutions.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      std::cout << "polished with " << total_moves << " VND moves\n";
+    }
+
+    std::cout << result.algorithm << " on " << inst.name() << ": "
+              << result.evaluations << " evaluations, "
+              << result.iterations << " iterations, wall "
+              << fmt_double(result.wall_seconds, 2) << "s";
+    if (result.sim_seconds > 0.0) {
+      std::cout << ", virtual " << fmt_double(result.sim_seconds, 1)
+                << "s";
+    }
+    std::cout << "\n";
+
+    if (!cli.flag("quiet")) {
+      TextTable table({"#", "distance", "vehicles", "tardiness",
+                       "feasible"});
+      for (std::size_t i = 0; i < result.front.size(); ++i) {
+        table.add_row({std::to_string(i + 1),
+                       fmt_double(result.front[i].distance),
+                       std::to_string(result.front[i].vehicles),
+                       fmt_double(result.front[i].tardiness),
+                       i < result.solutions.size() &&
+                               result.solutions[i].feasible()
+                           ? "yes"
+                           : "no"});
+      }
+      table.print(std::cout, "Pareto archive");
+    }
+
+    if (const std::string path = cli.get("svg"); !path.empty()) {
+      const Solution* best = nullptr;
+      for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+        const Solution& s = result.solutions[i];
+        if (!s.feasible()) continue;
+        if (best == nullptr ||
+            s.objectives().distance < best->objectives().distance) {
+          best = &s;
+        }
+      }
+      if (best == nullptr && !result.solutions.empty()) {
+        best = &result.solutions.front();  // nothing feasible: plot anyway
+      }
+      if (best != nullptr) {
+        std::ofstream f(path);
+        SvgOptions options;
+        options.title = inst.name() + " — " + result.algorithm + ", " +
+                        to_string(best->objectives());
+        write_solution_svg(f, *best, options);
+        std::cout << "SVG written to " << path << "\n";
+      }
+    }
+    if (const std::string path = cli.get("json"); !path.empty()) {
+      std::ofstream f(path);
+      if (!f) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+      }
+      write_run_json(f, inst, result);
+      std::cout << "JSON written to " << path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

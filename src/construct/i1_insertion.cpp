@@ -1,0 +1,263 @@
+#include "construct/i1_insertion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "vrptw/evaluation.hpp"
+#include "vrptw/schedule.hpp"
+
+namespace tsmo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Best feasible insertion of `u` into `route` under the I1 c1 criterion.
+/// Returns the c1 value and writes the position; kInf when infeasible.
+/// Feasibility per position is O(1) via the route's forward time slack;
+/// I1 keeps routes tardiness-free, so "adds no new lateness" is exactly
+/// the classic hard-window insertion check.
+double best_insertion(const Instance& inst, const I1Params& p,
+                      const std::vector<int>& route,
+                      const RouteSchedule& sched, double load, int u,
+                      int* best_pos) {
+  const Site& su = inst.site(u);
+  if (load + su.demand > inst.capacity()) return kInf;
+  double best = kInf;
+  const int n = static_cast<int>(route.size());
+  for (int pos = 0; pos <= n; ++pos) {
+    if (!insertion_keeps_schedule(inst, route, sched, u,
+                                  static_cast<std::size_t>(pos))) {
+      continue;
+    }
+    const int i = pos > 0 ? route[static_cast<std::size_t>(pos - 1)] : 0;
+    const int j = pos < n ? route[static_cast<std::size_t>(pos)] : 0;
+    const double detour = inst.distance(i, u) + inst.distance(u, j) -
+                          p.mu * inst.distance(i, j);
+    // Delay of the successor's begin-of-service caused by the insertion
+    // (Solomon's c12); zero when u is appended at the end.
+    double delay = 0.0;
+    if (pos < n) {
+      const double depart_pred =
+          pos > 0 ? sched.departure[static_cast<std::size_t>(pos - 1)]
+                  : 0.0;
+      const double begin_u =
+          std::max(depart_pred + inst.distance(i, u), su.ready);
+      const double new_begin_succ =
+          std::max(begin_u + su.service + inst.distance(u, j),
+                   inst.site(j).ready);
+      delay = new_begin_succ - sched.begin[static_cast<std::size_t>(pos)];
+    }
+    const double c1 = p.alpha1 * detour + (1.0 - p.alpha1) * delay;
+    if (c1 < best) {
+      best = c1;
+      *best_pos = pos;
+    }
+  }
+  return best;
+}
+
+/// Fallback when the fleet is exhausted: cheapest capacity-feasible detour
+/// over all routes, ignoring time windows (search handles soft windows).
+void force_insert(const Instance& inst, std::vector<std::vector<int>>& routes,
+                  std::vector<double>& loads, int u) {
+  double best = kInf;
+  std::size_t best_r = 0;
+  int best_pos = 0;
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    if (loads[r] + inst.site(u).demand > inst.capacity()) continue;
+    const auto& route = routes[r];
+    for (int pos = 0; pos <= static_cast<int>(route.size()); ++pos) {
+      const int i = pos > 0 ? route[static_cast<std::size_t>(pos - 1)] : 0;
+      const int j = pos < static_cast<int>(route.size())
+                        ? route[static_cast<std::size_t>(pos)]
+                        : 0;
+      const double detour =
+          inst.distance(i, u) + inst.distance(u, j) - inst.distance(i, j);
+      if (detour < best) {
+        best = detour;
+        best_r = r;
+        best_pos = pos;
+      }
+    }
+  }
+  // Instance::validate guarantees total demand fits the fleet, but
+  // fragmentation can still strand a customer; overload the emptiest
+  // route rather than lose the customer (capacity violation is measured).
+  if (best == kInf) {
+    best_r = static_cast<std::size_t>(
+        std::min_element(loads.begin(), loads.end()) - loads.begin());
+    best_pos = static_cast<int>(routes[best_r].size());
+  }
+  routes[best_r].insert(routes[best_r].begin() + best_pos, u);
+  loads[best_r] += inst.site(u).demand;
+}
+
+}  // namespace
+
+I1Params random_i1_params(Rng& rng) {
+  I1Params p;
+  p.seed_farthest = rng.chance(0.5);
+  p.lambda = rng.uniform(1.0, 2.0);
+  p.mu = rng.uniform(0.5, 1.5);
+  p.alpha1 = rng.uniform(0.0, 1.0);
+  return p;
+}
+
+Solution construct_i1(const Instance& inst, const I1Params& params) {
+  const int n = inst.num_customers();
+  std::vector<bool> routed(static_cast<std::size_t>(n) + 1, false);
+  int unrouted = n;
+
+  std::vector<std::vector<int>> routes;
+  std::vector<double> loads;
+
+  while (unrouted > 0 &&
+         static_cast<int>(routes.size()) < inst.max_vehicles()) {
+    // --- Seed the new route. ---
+    int seed = -1;
+    double best_key = -kInf;
+    for (int u = 1; u <= n; ++u) {
+      if (routed[static_cast<std::size_t>(u)]) continue;
+      const double key = params.seed_farthest ? inst.distance(0, u)
+                                              : -inst.site(u).due;
+      if (key > best_key) {
+        best_key = key;
+        seed = u;
+      }
+    }
+    std::vector<int> route{seed};
+    double load = inst.site(seed).demand;
+    routed[static_cast<std::size_t>(seed)] = true;
+    --unrouted;
+
+    // --- Grow the route until no feasible insertion remains. ---
+    while (unrouted > 0) {
+      const RouteSchedule sched = RouteSchedule::compute(inst, route);
+      int chosen = -1, chosen_pos = 0;
+      double best_c2 = -kInf;
+      for (int u = 1; u <= n; ++u) {
+        if (routed[static_cast<std::size_t>(u)]) continue;
+        int pos = 0;
+        const double c1 =
+            best_insertion(inst, params, route, sched, load, u, &pos);
+        if (c1 == kInf) continue;
+        const double c2 = params.lambda * inst.distance(0, u) - c1;
+        if (c2 > best_c2) {
+          best_c2 = c2;
+          chosen = u;
+          chosen_pos = pos;
+        }
+      }
+      if (chosen < 0) break;
+      route.insert(route.begin() + chosen_pos, chosen);
+      load += inst.site(chosen).demand;
+      routed[static_cast<std::size_t>(chosen)] = true;
+      --unrouted;
+    }
+    routes.push_back(std::move(route));
+    loads.push_back(load);
+  }
+
+  // Fleet exhausted with customers left: force them in (soft windows).
+  for (int u = 1; u <= n && unrouted > 0; ++u) {
+    if (routed[static_cast<std::size_t>(u)]) continue;
+    force_insert(inst, routes, loads, u);
+    routed[static_cast<std::size_t>(u)] = true;
+    --unrouted;
+  }
+  return Solution::from_routes(inst, std::move(routes));
+}
+
+Solution construct_i1_random(const Instance& inst, Rng& rng) {
+  return construct_i1(inst, random_i1_params(rng));
+}
+
+Solution construct_nearest_neighbor(const Instance& inst, Rng& rng) {
+  const int n = inst.num_customers();
+  std::vector<bool> routed(static_cast<std::size_t>(n) + 1, false);
+  int unrouted = n;
+  std::vector<std::vector<int>> routes;
+  std::vector<double> loads;
+
+  std::vector<int> route;
+  double load = 0.0, time = 0.0;
+  int prev = 0;
+  auto close_route = [&] {
+    if (!route.empty()) {
+      routes.push_back(route);
+      loads.push_back(load);
+    }
+    route.clear();
+    load = 0.0;
+    time = 0.0;
+    prev = 0;
+  };
+
+  while (unrouted > 0) {
+    // Nearest unrouted customer reachable feasibly; small random
+    // perturbation of the distance diversifies repeated constructions.
+    int best = -1;
+    double best_d = kInf;
+    for (int u = 1; u <= n; ++u) {
+      if (routed[static_cast<std::size_t>(u)]) continue;
+      const Site& s = inst.site(u);
+      if (load + s.demand > inst.capacity()) continue;
+      const double arrival = time + inst.distance(prev, u);
+      if (arrival > s.due) continue;
+      const double back = std::max(arrival, s.ready) + s.service +
+                          inst.distance(u, 0);
+      if (back > inst.depot().due) continue;
+      const double d = inst.distance(prev, u) * rng.uniform(1.0, 1.1);
+      if (d < best_d) {
+        best_d = d;
+        best = u;
+      }
+    }
+    if (best < 0) {
+      if (route.empty()) {
+        // Not even from the depot: pick any unrouted customer and accept
+        // the (soft) violation so construction always terminates.
+        for (int u = 1; u <= n; ++u) {
+          if (!routed[static_cast<std::size_t>(u)]) {
+            best = u;
+            break;
+          }
+        }
+      } else {
+        if (static_cast<int>(routes.size()) + 1 >= inst.max_vehicles()) {
+          // Last slot: stop opening routes, force the rest.
+          close_route();
+          break;
+        }
+        close_route();
+        continue;
+      }
+    }
+    const Site& s = inst.site(best);
+    const double arrival = time + inst.distance(prev, best);
+    time = std::max(arrival, s.ready) + s.service;
+    route.push_back(best);
+    load += s.demand;
+    prev = best;
+    routed[static_cast<std::size_t>(best)] = true;
+    --unrouted;
+  }
+  close_route();
+
+  for (int u = 1; u <= n && unrouted > 0; ++u) {
+    if (routed[static_cast<std::size_t>(u)]) continue;
+    if (routes.empty()) {
+      routes.push_back({});
+      loads.push_back(0.0);
+    }
+    force_insert(inst, routes, loads, u);
+    routed[static_cast<std::size_t>(u)] = true;
+    --unrouted;
+  }
+  return Solution::from_routes(inst, std::move(routes));
+}
+
+}  // namespace tsmo

@@ -1,0 +1,46 @@
+#pragma once
+
+// Solomon's I1 sequential insertion heuristic (Solomon 1987, §III.B of the
+// paper): routes are built one at a time.  A route is seeded with either
+// the unrouted customer farthest from the depot or the one with the
+// earliest due date ("this parameter was controlled randomly"); customers
+// are then inserted at the position minimizing a weighted detour-plus-delay
+// cost c1, choosing the customer maximizing the savings c2 = lambda * d_0u
+// - c1(u).  When no feasible insertion exists the next route is opened.
+//
+// Insertions keep the route time-window- and capacity-feasible (hard check
+// during construction), so on instances admitting a feasible solution the
+// initial solution normally has zero tardiness.  If the fleet runs out,
+// remaining customers are placed at their cheapest capacity-feasible
+// position, accepting tardiness (the search operates on soft windows).
+
+#include "util/rng.hpp"
+#include "vrptw/instance.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+struct I1Params {
+  double lambda = 2.0;  ///< weight of the depot-distance savings term
+  double mu = 1.0;      ///< weight of the removed direct edge in the detour
+  double alpha1 = 0.5;  ///< detour weight; alpha2 = 1 - alpha1 (delay weight)
+  bool seed_farthest = true;  ///< seed rule: farthest vs earliest due date
+};
+
+/// Draws the randomized parameter set used by the paper's initialization:
+/// seed rule is a fair coin, lambda in [1,2], mu in [0.5,1.5],
+/// alpha1 in [0,1].
+I1Params random_i1_params(Rng& rng);
+
+/// Deterministic I1 construction for a fixed parameter set.
+Solution construct_i1(const Instance& inst, const I1Params& params);
+
+/// Convenience: random parameters, then construct.
+Solution construct_i1_random(const Instance& inst, Rng& rng);
+
+/// Baseline constructor: randomized nearest-neighbour, respecting capacity
+/// and opening a new route when the nearest feasible customer would be
+/// reached after its due date.  Used in tests and as a comparison seed.
+Solution construct_nearest_neighbor(const Instance& inst, Rng& rng);
+
+}  // namespace tsmo

@@ -1,0 +1,78 @@
+#include "construct/insertion_utils.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "vrptw/schedule.hpp"
+
+namespace tsmo {
+
+void remove_customers(Solution& s, std::span<const int> customers) {
+  for (int c : customers) {
+    const int r = s.route_of(c);
+    if (r < 0) continue;
+    auto& route = s.mutable_route(r);
+    route.erase(std::find(route.begin(), route.end(), c));
+    s.evaluate();  // keeps route_of/position_of indexes fresh
+  }
+}
+
+int best_cost_insert(Solution& s, int c, Rng& rng) {
+  const Instance& inst = s.instance();
+  const double demand = inst.site(c).demand;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct Best {
+    double delta = kInf;
+    int route = -1;
+    int pos = 0;
+  };
+  Best keeps_schedule, capacity_only;
+
+  for (int r = 0; r < s.num_routes(); ++r) {
+    const auto& route = s.route(r);
+    if (s.route_stats(r).load + demand > inst.capacity()) continue;
+    const RouteSchedule sched = RouteSchedule::compute(inst, route);
+    for (int pos = 0; pos <= static_cast<int>(route.size()); ++pos) {
+      const int pred =
+          pos > 0 ? route[static_cast<std::size_t>(pos - 1)] : 0;
+      const int succ = pos < static_cast<int>(route.size())
+                           ? route[static_cast<std::size_t>(pos)]
+                           : 0;
+      const double delta = inst.distance(pred, c) + inst.distance(c, succ) -
+                           inst.distance(pred, succ);
+      // Tiny jitter diversifies ties across repeated insertions.
+      const double keyed = delta * rng.uniform(1.0, 1.0001);
+      if (keyed < capacity_only.delta) {
+        capacity_only = Best{keyed, r, pos};
+      }
+      if (keyed < keeps_schedule.delta &&
+          insertion_keeps_schedule(inst, route, sched, c,
+                                   static_cast<std::size_t>(pos))) {
+        keeps_schedule = Best{keyed, r, pos};
+      }
+    }
+  }
+
+  const Best& pick =
+      keeps_schedule.route >= 0 ? keeps_schedule : capacity_only;
+  int target = pick.route;
+  int pos = pick.pos;
+  if (target < 0) {
+    double lightest = kInf;
+    target = 0;
+    for (int r = 0; r < s.num_routes(); ++r) {
+      if (s.route_stats(r).load < lightest) {
+        lightest = s.route_stats(r).load;
+        target = r;
+      }
+    }
+    pos = static_cast<int>(s.route(target).size());
+  }
+  auto& route = s.mutable_route(target);
+  route.insert(route.begin() + pos, c);
+  s.evaluate();
+  return target;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,24 @@
+#pragma once
+
+// Solution-repair utilities shared by the recombination operator (BCRC)
+// and the adaptive-memory constructor: removing customers and re-inserting
+// them at their cheapest position.
+
+#include <span>
+
+#include "util/rng.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+/// Removes the given customers from `s` (missing ones are ignored).
+void remove_customers(Solution& s, std::span<const int> customers);
+
+/// Inserts `c` at its cheapest position: first choice among positions
+/// keeping all touched schedules tardiness-free; otherwise the cheapest
+/// capacity-feasible position; otherwise appended to the least-loaded
+/// route (capacity violation is measured, and selection weeds it out).
+/// Returns the route index used.
+int best_cost_insert(Solution& s, int c, Rng& rng);
+
+}  // namespace tsmo

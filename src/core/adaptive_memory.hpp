@@ -1,0 +1,53 @@
+#pragma once
+
+// Adaptive-memory Tabu Search, the domain-decomposition approach the paper
+// describes in §I: "Adaptive memory is represented as a pool of solution
+// parts from which new solutions are created.  During the search good
+// parts are identified and added to the memory" (Taillard et al. 1997;
+// parallelized hierarchically by Badeau et al. 1997).
+//
+// Simplified single-process realization of that concept, used as a fourth
+// family member in the comparison benches:
+//   cycle:  (1) assemble a solution from non-overlapping routes drawn
+//               from the pool, biased toward routes that came from good
+//               solutions; leftover customers are best-cost inserted;
+//           (2) improve it with a TSMO burst (the same SearchState the
+//               other variants use);
+//           (3) harvest: the burst's archive feeds the global front and
+//               its non-dominated solutions donate their routes to the
+//               pool (pruned to capacity by parent quality).
+
+#include "core/params.hpp"
+#include "core/run_result.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct AdaptiveMemoryParams {
+  std::int64_t max_evaluations = 100000;
+  /// Evaluation budget per improvement burst (cycle).
+  std::int64_t cycle_evaluations = 5000;
+  /// Maximum routes retained in the adaptive memory.
+  int pool_capacity = 200;
+  /// Bias exponent for drawing routes: 1 = uniform over the pool,
+  /// larger values favor routes from better solutions.
+  double selection_bias = 4.0;
+  /// Parameters of the inner TSMO bursts (budget fields are overridden).
+  TsmoParams inner;
+  std::uint64_t seed = 1;
+};
+
+class AdaptiveMemoryTsmo {
+ public:
+  AdaptiveMemoryTsmo(const Instance& inst,
+                     const AdaptiveMemoryParams& params)
+      : inst_(&inst), params_(params) {}
+
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  AdaptiveMemoryParams params_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,43 @@
+#pragma once
+
+// A Candidate is an evaluated potential next solution: a move, the
+// objectives it yields, its tabu features, and a shared handle on the base
+// solution the move applies to.
+//
+// Keeping the base alive matters for the asynchronous algorithm (§III.D):
+// the master may select "solutions that were neighbors of a previous
+// solution, but not evaluated at the time the algorithm continued" — i.e.
+// candidates whose base is no longer the current solution.  Materializing
+// a candidate therefore applies the move to *its own* base, never to the
+// current solution.
+
+#include <memory>
+#include <vector>
+
+#include "operators/neighborhood.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+struct Candidate {
+  Objectives obj;
+  Move move;
+  MoveAttrs creates;
+  MoveAttrs destroys;
+  std::shared_ptr<const Solution> base;
+};
+
+/// Wraps evaluated neighbors of `base` into candidates sharing one handle.
+std::vector<Candidate> make_candidates(
+    const NeighborhoodGenerator& generator,
+    std::shared_ptr<const Solution> base, int count, Rng& rng);
+
+/// Applies the candidate's move to a copy of its base.
+Solution materialize(const MoveEngine& engine, const Candidate& c);
+
+/// Indices of the non-dominated members of `candidates` (first occurrence
+/// wins among duplicates).
+std::vector<std::size_t> nondominated_indices(
+    const std::vector<Candidate>& candidates);
+
+}  // namespace tsmo

@@ -1,0 +1,133 @@
+#include "core/mots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "construct/i1_insertion.hpp"
+#include "core/tabu_list.hpp"
+#include "moo/archive.hpp"
+#include "operators/neighborhood.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+namespace {
+
+struct Searcher {
+  Solution current;
+  TabuList tabu;
+  ScalarWeights weights;
+};
+
+/// Hansen-style weight derivation: objective k of searcher i is weighted
+/// by how much the *other* current solutions beat it on k (normalized),
+/// so each point is pushed where its peers are better and the set drifts
+/// apart along the front.  A floor keeps every objective active.
+void update_weights(std::vector<Searcher>& searchers) {
+  const std::size_t n = searchers.size();
+  if (n < 2) return;
+  double lo_d = 1e300, hi_d = -1e300, lo_t = 1e300, hi_t = -1e300;
+  int lo_v = 1 << 30, hi_v = -(1 << 30);
+  for (const Searcher& s : searchers) {
+    const Objectives& o = s.current.objectives();
+    lo_d = std::min(lo_d, o.distance);
+    hi_d = std::max(hi_d, o.distance);
+    lo_v = std::min(lo_v, o.vehicles);
+    hi_v = std::max(hi_v, o.vehicles);
+    lo_t = std::min(lo_t, o.tardiness);
+    hi_t = std::max(hi_t, o.tardiness);
+  }
+  const double span_d = std::max(hi_d - lo_d, 1e-9);
+  const double span_v = std::max(static_cast<double>(hi_v - lo_v), 1e-9);
+  const double span_t = std::max(hi_t - lo_t, 1e-9);
+
+  for (Searcher& s : searchers) {
+    const Objectives& mine = s.current.objectives();
+    double wd = 0.1, wv = 0.1, wt = 0.1;  // floor
+    for (const Searcher& other : searchers) {
+      if (&other == &s) continue;
+      const Objectives& theirs = other.current.objectives();
+      wd += std::max(0.0, (mine.distance - theirs.distance) / span_d);
+      wv += std::max(0.0, static_cast<double>(mine.vehicles -
+                                              theirs.vehicles) /
+                              span_v);
+      wt += std::max(0.0, (mine.tardiness - theirs.tardiness) / span_t);
+    }
+    const double total = wd + wv + wt;
+    // Scalarization operates on raw objectives; rescale the normalized
+    // weights back to objective magnitudes so no objective vanishes.
+    s.weights.distance = wd / total / span_d;
+    s.weights.vehicles = wv / total / span_v;
+    s.weights.tardiness = wt / total / span_t;
+  }
+}
+
+}  // namespace
+
+RunResult Mots::run() const {
+  Timer timer;
+  Rng rng(params_.seed);
+  MoveEngine engine(*inst_);
+  NeighborhoodGenerator generator(engine, {1, 1, 1, 1, 1},
+                                  params_.feasibility_screen);
+  ParetoArchive<Solution> archive(
+      static_cast<std::size_t>(std::max(params_.archive_capacity, 2)));
+
+  std::int64_t evaluations = 0;
+  std::vector<Searcher> searchers;
+  const int k = std::max(2, params_.num_searchers);
+  searchers.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    Searcher s{construct_i1_random(*inst_, rng),
+               TabuList(static_cast<std::size_t>(
+                   std::max(params_.tabu_tenure, 0))),
+               ScalarWeights{}};
+    ++evaluations;
+    archive.try_add(s.current.objectives(), s.current);
+    searchers.push_back(std::move(s));
+  }
+
+  std::int64_t iterations = 0;
+  while (evaluations < params_.max_evaluations) {
+    update_weights(searchers);
+    for (Searcher& s : searchers) {
+      if (evaluations >= params_.max_evaluations) break;
+      const int want = static_cast<int>(std::min<std::int64_t>(
+          params_.neighborhood_size,
+          params_.max_evaluations - evaluations));
+      const std::vector<Neighbor> neighbors =
+          generator.generate(s.current, want, rng);
+      evaluations += static_cast<std::int64_t>(neighbors.size());
+
+      const Neighbor* chosen = nullptr;
+      double best = std::numeric_limits<double>::infinity();
+      for (const Neighbor& nb : neighbors) {
+        if (s.tabu.is_tabu(nb.creates)) continue;
+        const double v = scalarize(nb.obj, s.weights);
+        if (v < best) {
+          best = v;
+          chosen = &nb;
+        }
+      }
+      if (chosen == nullptr) continue;  // all tabu: stay, retry next round
+      s.tabu.push(chosen->destroys);
+      s.current = generator.materialize(s.current, *chosen);
+      archive.try_add(s.current.objectives(), s.current);
+    }
+    ++iterations;
+  }
+
+  RunResult result;
+  result.algorithm = "mots";
+  for (const auto& e : archive.entries()) {
+    result.front.push_back(e.obj);
+    result.solutions.push_back(e.value);
+  }
+  result.evaluations = evaluations;
+  result.iterations = iterations;
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,43 @@
+#pragma once
+
+// MOTS — Hansen's multiobjective Tabu Search (MCDM 1997), the prior MO
+// tabu search the paper discusses in §III.A ("An investigation of Tabu
+// Search for MO optimisation resulted in the MOTS algorithm").  Provided
+// as a comparator for the TSMO family.
+//
+// Simplified but faithful core: a set of concurrent "current" solutions,
+// each optimizing a weighted scalarization with its own tabu list; the
+// weight vectors are re-derived every iteration so that each point is
+// pushed hardest on the objectives where its peers beat it — drifting the
+// set apart along the front.  All non-dominated solutions feed a shared
+// archive, which is the reported result.
+
+#include "core/params.hpp"
+#include "core/run_result.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct MotsParams {
+  std::int64_t max_evaluations = 100000;
+  int num_searchers = 8;         ///< concurrent current solutions
+  int neighborhood_size = 25;    ///< samples per searcher per iteration
+  int tabu_tenure = 20;
+  int archive_capacity = 40;
+  FeasibilityScreen feasibility_screen = FeasibilityScreen::Local;
+  std::uint64_t seed = 1;
+};
+
+class Mots {
+ public:
+  Mots(const Instance& inst, const MotsParams& params)
+      : inst_(&inst), params_(params) {}
+
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  MotsParams params_;
+};
+
+}  // namespace tsmo

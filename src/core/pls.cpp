@@ -1,0 +1,131 @@
+#include "core/pls.hpp"
+
+#include <algorithm>
+
+#include "construct/i1_insertion.hpp"
+#include "moo/archive.hpp"
+#include "operators/local_search.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+namespace {
+
+/// Archive member with PLS's explored flag.
+struct Member {
+  Solution solution;
+  bool explored = false;
+};
+
+/// Crowding-bounded non-dominated insertion, mirroring ParetoArchive but
+/// on the flagged member list.  Returns true when `s` was stored.
+bool try_add(std::vector<Member>& archive, std::size_t capacity,
+             Solution s) {
+  const Objectives& obj = s.objectives();
+  for (const Member& m : archive) {
+    if (m.solution.objectives() == obj ||
+        dominates(m.solution.objectives(), obj)) {
+      return false;
+    }
+  }
+  std::erase_if(archive, [&](const Member& m) {
+    return dominates(obj, m.solution.objectives());
+  });
+  if (archive.size() < capacity) {
+    archive.push_back(Member{std::move(s), false});
+    return true;
+  }
+  std::vector<Objectives> objs;
+  objs.reserve(archive.size() + 1);
+  for (const Member& m : archive) objs.push_back(m.solution.objectives());
+  objs.push_back(obj);
+  const std::vector<double> crowd = crowding_distances(objs);
+  const std::size_t worst = static_cast<std::size_t>(
+      std::min_element(crowd.begin(), crowd.end()) - crowd.begin());
+  if (worst == archive.size()) return false;  // candidate most crowded
+  archive.erase(archive.begin() + static_cast<std::ptrdiff_t>(worst));
+  archive.push_back(Member{std::move(s), false});
+  return true;
+}
+
+}  // namespace
+
+RunResult ParetoLocalSearch::run() const {
+  Timer timer;
+  Rng rng(params_.seed);
+  MoveEngine engine(*inst_);
+
+  std::vector<Member> archive;
+  const auto capacity =
+      static_cast<std::size_t>(std::max(params_.archive_capacity, 2));
+  try_add(archive, capacity, construct_i1_random(*inst_, rng));
+  std::int64_t evaluations = 1;
+  std::int64_t iterations = 0;
+
+  while (evaluations < params_.max_evaluations) {
+    // Random unexplored member; restart from a fresh construction when
+    // the whole archive is explored (PLS would otherwise terminate —
+    // restarting keeps budgets comparable with the other algorithms).
+    std::vector<std::size_t> unexplored;
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+      if (!archive[i].explored) unexplored.push_back(i);
+    }
+    if (unexplored.empty()) {
+      Solution fresh = construct_i1_random(*inst_, rng);
+      ++evaluations;
+      if (!try_add(archive, capacity, std::move(fresh))) {
+        // Nothing new: mark everything unexplored to re-scan the front
+        // (the screen's randomless enumeration makes this a fixpoint
+        // re-check; restarts keep injecting diversity).
+        for (Member& m : archive) m.explored = false;
+      }
+      continue;
+    }
+    const std::size_t pick = unexplored[rng.below(unexplored.size())];
+    // Copy: archive mutates during neighbor insertion.
+    const Solution current = archive[pick].solution;
+    archive[pick].explored = true;
+
+    for (int t = 0;
+         t < kNumMoveTypes && evaluations < params_.max_evaluations; ++t) {
+      for_each_move(current, static_cast<MoveType>(t),
+                    [&](const Move& m) {
+                      if (evaluations >= params_.max_evaluations) return;
+                      if (!engine.applicable(current, m)) return;
+                      if (!engine.screened_feasible(
+                              current, m, params_.feasibility_screen)) {
+                        return;
+                      }
+                      const Objectives obj = engine.evaluate(current, m);
+                      ++evaluations;
+                      // Cheap pre-check before materializing.
+                      bool interesting = true;
+                      for (const Member& mem : archive) {
+                        if (mem.solution.objectives() == obj ||
+                            dominates(mem.solution.objectives(), obj)) {
+                          interesting = false;
+                          break;
+                        }
+                      }
+                      if (!interesting) return;
+                      Solution neighbor = current;
+                      engine.apply(neighbor, m);
+                      try_add(archive, capacity, std::move(neighbor));
+                    });
+    }
+    ++iterations;
+  }
+
+  RunResult result;
+  result.algorithm = "pls";
+  for (Member& m : archive) {
+    result.front.push_back(m.solution.objectives());
+    result.solutions.push_back(std::move(m.solution));
+  }
+  result.evaluations = evaluations;
+  result.iterations = iterations;
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace tsmo

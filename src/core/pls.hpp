@@ -1,0 +1,42 @@
+#pragma once
+
+// Pareto Local Search (Paquete, Chiarandini & Stützle 2004) — the
+// canonical archive-based local search for multiobjective combinatorial
+// problems, included as the simplest trajectory-method comparator: no tabu
+// memory, no randomized sampling, just exhaustive neighborhood exploration
+// of unexplored archive members.
+//
+//   archive <- { initial solution }
+//   while an unexplored member exists and budget remains:
+//     pick an unexplored member s, enumerate every screened move of every
+//     operator, try to add each neighbor to the archive; mark s explored.
+//
+// Neighborhood enumeration reuses the VND machinery; acceptance uses the
+// same crowding-bounded archive as TSMO so fronts are size-comparable.
+
+#include "core/params.hpp"
+#include "core/run_result.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct PlsParams {
+  std::int64_t max_evaluations = 100000;
+  int archive_capacity = 20;
+  FeasibilityScreen feasibility_screen = FeasibilityScreen::Local;
+  std::uint64_t seed = 1;
+};
+
+class ParetoLocalSearch {
+ public:
+  ParetoLocalSearch(const Instance& inst, const PlsParams& params)
+      : inst_(&inst), params_(params) {}
+
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  PlsParams params_;
+};
+
+}  // namespace tsmo

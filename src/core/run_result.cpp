@@ -1,0 +1,51 @@
+#include "core/run_result.hpp"
+
+#include <algorithm>
+
+namespace tsmo {
+
+std::vector<Objectives> RunResult::feasible_front() const {
+  std::vector<Objectives> out;
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    if (solutions[i].feasible()) out.push_back(front[i]);
+  }
+  return out;
+}
+
+double RunResult::mean_feasible_distance() const {
+  const auto f = feasible_front();
+  if (f.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Objectives& o : f) sum += o.distance;
+  return sum / static_cast<double>(f.size());
+}
+
+double RunResult::mean_feasible_vehicles() const {
+  const auto f = feasible_front();
+  if (f.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Objectives& o : f) sum += static_cast<double>(o.vehicles);
+  return sum / static_cast<double>(f.size());
+}
+
+double RunResult::best_feasible_distance() const {
+  const auto f = feasible_front();
+  if (f.empty()) return 0.0;
+  return std::min_element(f.begin(), f.end(),
+                          [](const Objectives& a, const Objectives& b) {
+                            return a.distance < b.distance;
+                          })
+      ->distance;
+}
+
+int RunResult::best_feasible_vehicles() const {
+  const auto f = feasible_front();
+  if (f.empty()) return 0;
+  return std::min_element(f.begin(), f.end(),
+                          [](const Objectives& a, const Objectives& b) {
+                            return a.vehicles < b.vehicles;
+                          })
+      ->vehicles;
+}
+
+}  // namespace tsmo

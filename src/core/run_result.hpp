@@ -1,0 +1,47 @@
+#pragma once
+
+// Result of one optimizer run: the archive content plus counters.  Tables
+// I-IV only admit feasible solutions ("these solutions were excluded for
+// the generation of the results"), so the feasible subset is exposed
+// explicitly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vrptw/objectives.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<Objectives> front;    ///< archive objective vectors
+  std::vector<Solution> solutions;  ///< matching archive solutions
+
+  std::int64_t evaluations = 0;
+  std::int64_t iterations = 0;
+  std::int64_t restarts = 0;
+  double wall_seconds = 0.0;
+  /// Modeled runtime on the virtual clock when run on the DES substrate
+  /// (0 for direct executions).  The paper's runtime/speedup columns are
+  /// regenerated from this — see DESIGN.md §4.
+  double sim_seconds = 0.0;
+
+  /// Archive members without time-window or capacity violations.
+  std::vector<Objectives> feasible_front() const;
+
+  /// Mean distance over the feasible front (0 when empty).
+  double mean_feasible_distance() const;
+
+  /// Mean vehicle count over the feasible front (0 when empty).
+  double mean_feasible_vehicles() const;
+
+  /// Best (minimum) distance over the feasible front (0 when empty).
+  double best_feasible_distance() const;
+
+  /// Best (minimum) vehicle count over the feasible front (0 when empty).
+  int best_feasible_vehicles() const;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,153 @@
+#include "core/search_state.hpp"
+
+#include <algorithm>
+
+#include "construct/i1_insertion.hpp"
+
+namespace tsmo {
+
+SearchState::SearchState(const Instance& inst, const TsmoParams& params,
+                         Rng rng)
+    : inst_(&inst),
+      params_(params),
+      rng_(rng),
+      engine_(inst),
+      generator_(engine_, params.operator_weights,
+                 params.feasibility_screen),
+      tabu_(static_cast<std::size_t>(std::max(params.tabu_tenure, 0))),
+      nondom_(static_cast<std::size_t>(std::max(params.nondom_capacity, 1))),
+      archive_(static_cast<std::size_t>(std::max(params.archive_capacity, 2))) {
+  params_.clamp();
+}
+
+void SearchState::initialize() {
+  initialize_with(construct_i1_random(*inst_, rng_));
+}
+
+void SearchState::initialize_with(Solution s) {
+  s.evaluate();
+  current_ = std::make_shared<const Solution>(std::move(s));
+  ++evaluations_;
+  archive_.try_add(current_->objectives(), *current_);
+  iterations_ = 0;
+  restarts_ = 0;
+  last_improvement_ = 0;
+  no_improvement_ = false;
+}
+
+std::vector<Candidate> SearchState::generate_candidates(int count) {
+  std::vector<Candidate> c =
+      make_candidates(generator_, current_, count, rng_);
+  evaluations_ += static_cast<std::int64_t>(c.size());
+  return c;
+}
+
+std::optional<std::size_t> SearchState::select(
+    const std::vector<Candidate>& candidates) {
+  const std::vector<std::size_t> nd = nondominated_indices(candidates);
+  std::vector<std::size_t> admissible;
+  admissible.reserve(nd.size());
+  for (std::size_t i : nd) {
+    const bool tabu = tabu_.is_tabu(candidates[i].creates);
+    const bool aspired = params_.use_aspiration && tabu &&
+                         archive_.would_improve(candidates[i].obj);
+    if (!tabu || aspired) admissible.push_back(i);
+  }
+  if (admissible.empty()) return std::nullopt;
+  return admissible[rng_.below(admissible.size())];
+}
+
+Solution SearchState::restart_pick() {
+  const std::size_t total = nondom_.size() + archive_.size();
+  if (total == 0) {
+    // Both memories exhausted: fall back to a fresh construction.
+    ++evaluations_;
+    return construct_i1_random(*inst_, rng_);
+  }
+  const std::size_t k = rng_.below(total);
+  if (k < nondom_.size()) {
+    return std::move(nondom_.take_random(rng_).value);  // consumed
+  }
+  return archive_.sample(rng_).value;  // copied, archive keeps it
+}
+
+SearchState::StepOutcome SearchState::step_with_candidates(
+    const std::vector<Candidate>& candidates) {
+  StepOutcome out;
+  // Line 8: s <- Select(N, M_tabulist)
+  const std::optional<std::size_t> sel = select(candidates);
+
+  // Lines 9-12: restart from the memories when selection failed or the
+  // archive has stagnated.
+  if (sel.has_value() && !no_improvement_) {
+    const Candidate& c = candidates[*sel];
+    Solution next = materialize(engine_, c);
+    tabu_.push(c.destroys);
+    current_ = std::make_shared<const Solution>(std::move(next));
+    out.selected = sel;
+  } else {
+    current_ = std::make_shared<const Solution>(restart_pick());
+    ++restarts_;
+    out.restarted = true;
+    no_improvement_ = false;
+  }
+
+  // Line 13: UpdateMemories(s, N) — chosen current into M_archive,
+  // remaining non-dominated neighbors into M_nondom.
+  bool improved =
+      archive_accepted(archive_.try_add(current_->objectives(), *current_));
+  for (std::size_t i : nondominated_indices(candidates)) {
+    if (out.selected && i == *out.selected) continue;
+    const Candidate& c = candidates[i];
+    if (nondom_.would_add(c.obj)) {
+      nondom_.try_add(c.obj, materialize(engine_, c));
+    }
+  }
+
+  // Adaptive-operator statistics (extension; no-op when disabled).
+  if (params_.adaptive_operators) {
+    for (const Candidate& c : candidates) {
+      ++offered_[static_cast<std::size_t>(c.move.type)];
+    }
+    if (out.selected) {
+      ++selected_[static_cast<std::size_t>(
+          candidates[*out.selected].move.type)];
+    }
+    maybe_adapt_weights();
+  }
+
+  // Lines 14-17: stagnation bookkeeping on M_archive.
+  ++iterations_;
+  if (improved) last_improvement_ = iterations_;
+  if (iterations_ - last_improvement_ >=
+      static_cast<std::int64_t>(params_.restart_after)) {
+    no_improvement_ = true;
+  }
+  out.archive_improved = improved;
+  return out;
+}
+
+void SearchState::maybe_adapt_weights() {
+  if ((iterations_ + 1) % std::max(params_.adapt_interval, 1) != 0) {
+    return;
+  }
+  std::array<double, kNumMoveTypes> weights{};
+  for (int t = 0; t < kNumMoveTypes; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    // Success ratio with additive smoothing; floor keeps every operator
+    // alive (the selection signal is noisy at MO random selection).
+    weights[i] = 0.2 + static_cast<double>(selected_[i] + 1) /
+                           static_cast<double>(offered_[i] + 10);
+    // Exponential forgetting so the weights track the current phase.
+    selected_[i] /= 2;
+    offered_[i] /= 2;
+  }
+  generator_ = NeighborhoodGenerator(engine_, weights,
+                                     params_.feasibility_screen);
+}
+
+bool SearchState::receive(const Solution& s) {
+  return nondom_.try_add(s.objectives(), s);
+}
+
+}  // namespace tsmo

@@ -1,0 +1,142 @@
+#pragma once
+
+// SearchState bundles everything one TSMO searcher owns — current solution,
+// tabu list, the memories M_nondom and M_archive, its RNG stream — and
+// implements the selection / restart / memory-update step of Algorithm 1.
+//
+// All four execution modes (sequential, synchronous and asynchronous
+// master-worker, collaborative multisearch, and the DES-simulated variants)
+// drive the *same* step_with_candidates(); they differ only in how and when
+// candidate sets are produced.  This guarantees the quality comparison in
+// the benchmarks measures the parallelization strategy, not divergent
+// reimplementations.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "core/params.hpp"
+#include "core/tabu_list.hpp"
+#include "moo/archive.hpp"
+#include "moo/nondom_memory.hpp"
+#include "operators/move_engine.hpp"
+#include "operators/neighborhood.hpp"
+#include "util/rng.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+class SearchState {
+ public:
+  SearchState(const Instance& inst, const TsmoParams& params, Rng rng);
+
+  // Non-copyable/movable: generator_ points at engine_, so a copied or
+  // moved-from state would alias the wrong engine.
+  SearchState(const SearchState&) = delete;
+  SearchState& operator=(const SearchState&) = delete;
+
+  /// Builds the I1 initial solution with random parameters (§III.B) and
+  /// seeds the memories with it.  Counts as one evaluation.
+  void initialize();
+
+  /// Starts from a given solution instead (workers and tests).
+  void initialize_with(Solution s);
+
+  bool initialized() const noexcept { return current_ != nullptr; }
+
+  /// Current solution as a shared handle — candidate sets keep their base
+  /// alive through this.
+  std::shared_ptr<const Solution> current() const noexcept {
+    return current_;
+  }
+
+  const TsmoParams& params() const noexcept { return params_; }
+  Rng& rng() noexcept { return rng_; }
+  const MoveEngine& engine() const noexcept { return engine_; }
+  const NeighborhoodGenerator& generator() const noexcept {
+    return generator_;
+  }
+  const ParetoArchive<Solution>& archive() const noexcept { return archive_; }
+  const NondomMemory<Solution>& nondom() const noexcept { return nondom_; }
+  const TabuList& tabu() const noexcept { return tabu_; }
+
+  /// Generates an evaluated candidate set of `count` neighbors of the
+  /// current solution (one evaluation each).
+  std::vector<Candidate> generate_candidates(int count);
+
+  struct StepOutcome {
+    /// Index into the candidate vector of the accepted move, when one was
+    /// accepted (its move was applied and its tabu features pushed).
+    std::optional<std::size_t> selected;
+    bool restarted = false;         ///< current was drawn from the memories
+    bool archive_improved = false;  ///< M_archive changed this step
+  };
+
+  /// One iteration of Algorithm 1 given an externally produced candidate
+  /// set: Select -> (restart?) -> UpdateMemories -> stagnation bookkeeping.
+  /// An empty candidate set forces a restart.
+  StepOutcome step_with_candidates(const std::vector<Candidate>& candidates);
+
+  /// Multisearch reception (§III.E): "The process receiving the individual
+  /// tries to store the solution in its memory of non-dominated solutions
+  /// M_nondom."  Returns true when stored.
+  bool receive(const Solution& s);
+
+  /// True when this searcher would currently emit an improving solution —
+  /// i.e. its last step added to the archive.
+  std::int64_t iterations() const noexcept { return iterations_; }
+  std::int64_t restarts() const noexcept { return restarts_; }
+  std::int64_t evaluations() const noexcept { return evaluations_; }
+  /// External evaluation work (e.g. by workers on this searcher's behalf)
+  /// is charged here so the budget check sees the global count.
+  void charge_evaluations(std::int64_t n) noexcept { evaluations_ += n; }
+  bool budget_exhausted() const noexcept {
+    return evaluations_ >= params_.max_evaluations;
+  }
+
+  int iterations_since_improvement() const noexcept {
+    return static_cast<int>(iterations_ - last_improvement_);
+  }
+  bool stagnated() const noexcept { return no_improvement_; }
+
+  /// Current operator weights (fixed unless params.adaptive_operators).
+  const std::array<double, kNumMoveTypes>& operator_weights()
+      const noexcept {
+    return generator_.weights();
+  }
+
+ private:
+  /// Select(N, M_tabulist): uniformly random among non-tabu members of the
+  /// non-dominated subset; nullopt when all are tabu (or the set is empty).
+  std::optional<std::size_t> select(const std::vector<Candidate>& candidates);
+
+  /// SelectFrom(M_nondom ∪ M_archive): random union member; M_nondom
+  /// entries are consumed.  Falls back to a fresh I1 construction when
+  /// both memories are empty (costs one evaluation).
+  Solution restart_pick();
+
+  /// Re-derives operator weights from selected/offered statistics when
+  /// the adaptive extension is enabled.
+  void maybe_adapt_weights();
+
+  const Instance* inst_;
+  TsmoParams params_;
+  Rng rng_;
+  MoveEngine engine_;
+  NeighborhoodGenerator generator_;
+  TabuList tabu_;
+  NondomMemory<Solution> nondom_;
+  ParetoArchive<Solution> archive_;
+  std::shared_ptr<const Solution> current_;
+
+  std::int64_t iterations_ = 0;
+  std::int64_t restarts_ = 0;
+  std::int64_t evaluations_ = 0;
+  std::int64_t last_improvement_ = 0;
+  bool no_improvement_ = false;
+  std::array<std::int64_t, kNumMoveTypes> offered_{};
+  std::array<std::int64_t, kNumMoveTypes> selected_{};
+};
+
+}  // namespace tsmo

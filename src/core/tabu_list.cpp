@@ -1,0 +1,38 @@
+#include "core/tabu_list.hpp"
+
+namespace tsmo {
+
+void TabuList::set_tenure(std::size_t tenure) {
+  tenure_ = tenure;
+  while (queue_.size() > tenure_) evict_oldest();
+}
+
+void TabuList::push(const MoveAttrs& destroyed) {
+  if (tenure_ == 0) return;
+  queue_.push_back(destroyed);
+  for (std::uint64_t a : destroyed) ++counts_[a];
+  while (queue_.size() > tenure_) evict_oldest();
+}
+
+void TabuList::evict_oldest() {
+  const MoveAttrs& oldest = queue_.front();
+  for (std::uint64_t a : oldest) {
+    auto it = counts_.find(a);
+    if (it != counts_.end() && --it->second == 0) counts_.erase(it);
+  }
+  queue_.pop_front();
+}
+
+bool TabuList::is_tabu(const MoveAttrs& creates) const {
+  for (std::uint64_t a : creates) {
+    if (counts_.contains(a)) return true;
+  }
+  return false;
+}
+
+void TabuList::clear() {
+  queue_.clear();
+  counts_.clear();
+}
+
+}  // namespace tsmo

@@ -1,0 +1,50 @@
+#pragma once
+
+// The short-term memory of Tabu Search (§III.B): "The tabu list is
+// organized as a queue and will hold information about the moves made.
+// When the tabu list is full it will forget about the oldest moves.  The
+// length of the tabu list can be specified by the tabu tenure parameter."
+//
+// One entry per accepted move (its destroyed features); a candidate move is
+// tabu when any feature it would create is still remembered.  An
+// unordered multiset mirrors the queue for O(1) membership tests.
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "operators/move.hpp"
+
+namespace tsmo {
+
+class TabuList {
+ public:
+  explicit TabuList(std::size_t tenure) : tenure_(tenure) {}
+
+  std::size_t tenure() const noexcept { return tenure_; }
+
+  /// Changing the tenure takes effect immediately: a shorter list forgets
+  /// its oldest entries right away (multisearch perturbs this parameter).
+  void set_tenure(std::size_t tenure);
+
+  /// Number of remembered moves (<= tenure).
+  std::size_t size() const noexcept { return queue_.size(); }
+
+  /// Records an accepted move's destroyed features, forgetting the oldest
+  /// move when the queue exceeds the tenure.
+  void push(const MoveAttrs& destroyed);
+
+  /// True when any feature in `creates` is currently remembered.
+  bool is_tabu(const MoveAttrs& creates) const;
+
+  void clear();
+
+ private:
+  void evict_oldest();
+
+  std::size_t tenure_;
+  std::deque<MoveAttrs> queue_;
+  std::unordered_map<std::uint64_t, int> counts_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,127 @@
+#include "core/weighted_ts.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "construct/i1_insertion.hpp"
+#include "core/tabu_list.hpp"
+#include "operators/neighborhood.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+RunResult WeightedTabuSearch::run() const {
+  Timer timer;
+  Rng rng(params_.seed);
+  MoveEngine engine(*inst_);
+  NeighborhoodGenerator generator(engine);
+  TabuList tabu(static_cast<std::size_t>(std::max(params_.tabu_tenure, 0)));
+
+  Solution current = construct_i1_random(*inst_, rng);
+  std::int64_t evaluations = 1;
+  Solution best = current;
+  double best_value = scalarize(best.objectives(), weights_);
+
+  std::int64_t iterations = 0, restarts = 0, last_improvement = 0;
+  while (evaluations < params_.max_evaluations) {
+    const int want = static_cast<int>(std::min<std::int64_t>(
+        params_.neighborhood_size, params_.max_evaluations - evaluations));
+    if (want <= 0) break;
+    const std::vector<Neighbor> neighbors =
+        generator.generate(current, want, rng);
+    evaluations += static_cast<std::int64_t>(neighbors.size());
+
+    // Best-improvement selection on the scalarized objective; aspiration
+    // admits tabu neighbors that beat the incumbent best.
+    const Neighbor* chosen = nullptr;
+    double chosen_value = std::numeric_limits<double>::infinity();
+    for (const Neighbor& n : neighbors) {
+      const double v = scalarize(n.obj, weights_);
+      const bool is_tabu = tabu.is_tabu(n.creates);
+      if (is_tabu && v >= best_value) continue;
+      if (v < chosen_value) {
+        chosen_value = v;
+        chosen = &n;
+      }
+    }
+
+    ++iterations;
+    if (chosen != nullptr) {
+      tabu.push(chosen->destroys);
+      current = generator.materialize(current, *chosen);
+      if (chosen_value < best_value) {
+        best_value = chosen_value;
+        best = current;
+        last_improvement = iterations;
+      }
+    }
+    if (chosen == nullptr ||
+        iterations - last_improvement >=
+            static_cast<std::int64_t>(params_.restart_after)) {
+      current = best;
+      tabu.clear();
+      ++restarts;
+      last_improvement = iterations;
+    }
+  }
+
+  RunResult r;
+  r.algorithm = "weighted-ts";
+  r.front.push_back(best.objectives());
+  r.solutions.push_back(std::move(best));
+  r.evaluations = evaluations;
+  r.iterations = iterations;
+  r.restarts = restarts;
+  r.wall_seconds = timer.elapsed_seconds();
+  return r;
+}
+
+RunResult weighted_sum_front(const Instance& inst, const TsmoParams& params,
+                             int num_weight_draws, Rng& rng) {
+  Timer timer;
+  RunResult merged;
+  merged.algorithm = "weighted-sum-front";
+  const std::int64_t per_run =
+      std::max<std::int64_t>(params.max_evaluations /
+                                 std::max(num_weight_draws, 1),
+                             1);
+  for (int k = 0; k < num_weight_draws; ++k) {
+    TsmoParams p = params;
+    p.max_evaluations = per_run;
+    p.seed = rng.next();
+    ScalarWeights w;
+    w.distance = 1.0;
+    w.vehicles = rng.uniform(0.0, 50.0);
+    w.tardiness = 1000.0;  // strongly drive toward feasibility
+    const RunResult r = WeightedTabuSearch(inst, p, w).run();
+    merged.evaluations += r.evaluations;
+    merged.iterations += r.iterations;
+    merged.restarts += r.restarts;
+    for (std::size_t i = 0; i < r.front.size(); ++i) {
+      // Keep only mutually non-dominated bests across weight draws.
+      bool dominated = false;
+      for (const Objectives& o : merged.front) {
+        if (weakly_dominates(o, r.front[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      for (std::size_t j = merged.front.size(); j-- > 0;) {
+        if (dominates(r.front[i], merged.front[j])) {
+          merged.front.erase(merged.front.begin() +
+                             static_cast<std::ptrdiff_t>(j));
+          merged.solutions.erase(merged.solutions.begin() +
+                                 static_cast<std::ptrdiff_t>(j));
+        }
+      }
+      merged.front.push_back(r.front[i]);
+      merged.solutions.push_back(r.solutions[i]);
+    }
+  }
+  merged.wall_seconds = timer.elapsed_seconds();
+  return merged;
+}
+
+}  // namespace tsmo

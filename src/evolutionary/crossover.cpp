@@ -1,0 +1,29 @@
+#include "evolutionary/crossover.hpp"
+
+#include <algorithm>
+
+namespace tsmo {
+
+Solution best_cost_route_crossover(const Instance& inst, const Solution& a,
+                                   const Solution& b, Rng& rng) {
+  (void)inst;  // parents carry their instance; kept for API symmetry
+  // Pick a random non-empty route of b.
+  std::vector<int> donors;
+  for (int r = 0; r < b.num_routes(); ++r) {
+    if (!b.route(r).empty()) donors.push_back(r);
+  }
+  Solution child = a;
+  if (donors.empty()) return child;
+  const auto& removed = b.route(donors[rng.below(donors.size())]);
+
+  remove_customers(child, removed);
+  // Reinsertion order is randomized — BCRC's main diversification lever.
+  std::vector<int> order(removed.begin(), removed.end());
+  for (std::size_t k = order.size(); k > 1; --k) {
+    std::swap(order[k - 1], order[rng.below(k)]);
+  }
+  for (int c : order) best_cost_insert(child, c, rng);
+  return child;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,27 @@
+#pragma once
+
+// Best-cost route crossover (BCRC) for the VRPTW, the standard recombina-
+// tion in multiobjective evolutionary VRPTW solvers (Ombuki et al. 2006):
+// the child inherits parent A's routes, a randomly chosen route of parent
+// B is removed from it, and the displaced customers are re-inserted one by
+// one at their cheapest position (preferring positions that keep the
+// schedule tardiness-free, falling back to capacity-feasible ones).
+//
+// This is the recombination used by the NSGA-II comparator — the paper's
+// §V future-work comparison against "well established multiobjective
+// evolutionary algorithms".
+
+#include "construct/insertion_utils.hpp"
+#include "util/rng.hpp"
+#include "vrptw/instance.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+/// Produces a child from parents `a` and `b`.  Always yields a valid
+/// solution (every customer exactly once, capacity respected); when `b`
+/// has no non-empty route, returns a copy of `a`.
+Solution best_cost_route_crossover(const Instance& inst, const Solution& a,
+                                   const Solution& b, Rng& rng);
+
+}  // namespace tsmo

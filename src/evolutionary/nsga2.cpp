@@ -1,0 +1,142 @@
+#include "evolutionary/nsga2.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "construct/i1_insertion.hpp"
+#include "evolutionary/crossover.hpp"
+#include "moo/archive.hpp"
+#include "moo/sorting.hpp"
+#include "operators/move_engine.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+namespace {
+
+struct Individual {
+  Solution solution;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// Binary tournament on (rank asc, crowding desc).
+const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) {
+  const Individual& a = pop[rng.below(pop.size())];
+  const Individual& b = pop[rng.below(pop.size())];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+/// Assigns ranks and per-front crowding distances in place.
+void assign_fitness(std::vector<Individual>& pop) {
+  std::vector<Objectives> objs;
+  objs.reserve(pop.size());
+  for (const Individual& ind : pop) {
+    objs.push_back(ind.solution.objectives());
+  }
+  const std::vector<int> ranks = nondominated_sort(objs);
+  int max_rank = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    pop[i].rank = ranks[i];
+    max_rank = std::max(max_rank, ranks[i]);
+  }
+  for (int level = 0; level <= max_rank; ++level) {
+    std::vector<std::size_t> members;
+    std::vector<Objectives> front;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (pop[i].rank == level) {
+        members.push_back(i);
+        front.push_back(objs[i]);
+      }
+    }
+    const std::vector<double> crowd = crowding_distances(front);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      pop[members[k]].crowding = crowd[k];
+    }
+  }
+}
+
+}  // namespace
+
+RunResult Nsga2::run() const {
+  Timer timer;
+  Rng rng(params_.seed);
+  MoveEngine engine(*inst_);
+  const int n = std::max(4, params_.population_size);
+  std::int64_t evaluations = 0;
+
+  // --- Initial population: randomized I1 constructions. ---
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n && evaluations < params_.max_evaluations; ++i) {
+    pop.push_back(Individual{construct_i1_random(*inst_, rng)});
+    ++evaluations;
+  }
+  assign_fitness(pop);
+
+  std::int64_t generations = 0;
+  while (evaluations < params_.max_evaluations) {
+    // --- Variation: one offspring per parent slot. ---
+    std::vector<Individual> offspring;
+    offspring.reserve(pop.size());
+    while (offspring.size() < pop.size() &&
+           evaluations < params_.max_evaluations) {
+      const Individual& p1 = tournament(pop, rng);
+      Solution child =
+          rng.chance(params_.crossover_rate)
+              ? best_cost_route_crossover(*inst_, p1.solution,
+                                          tournament(pop, rng).solution,
+                                          rng)
+              : p1.solution;
+      if (rng.chance(params_.mutation_rate)) {
+        const int moves = static_cast<int>(rng.uniform_int(1, 3));
+        for (int m = 0; m < moves; ++m) {
+          const auto type = static_cast<MoveType>(
+              rng.below(static_cast<std::uint64_t>(kNumMoveTypes)));
+          const auto move = engine.propose(type, child, rng, 12,
+                                           params_.feasibility_screen);
+          if (move) engine.apply(child, *move);
+        }
+      }
+      ++evaluations;
+      offspring.push_back(Individual{std::move(child)});
+    }
+
+    // --- (mu + lambda) elitist survival. ---
+    for (Individual& ind : offspring) pop.push_back(std::move(ind));
+    assign_fitness(pop);
+    std::stable_sort(pop.begin(), pop.end(),
+                     [](const Individual& a, const Individual& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.crowding > b.crowding;
+                     });
+    pop.erase(pop.begin() + n, pop.end());
+    ++generations;
+  }
+
+  // --- Report the final rank-0 front (deduplicated objectives). ---
+  assign_fitness(pop);
+  RunResult result;
+  result.algorithm = "nsga2";
+  for (const Individual& ind : pop) {
+    if (ind.rank != 0) continue;
+    const Objectives& o = ind.solution.objectives();
+    bool duplicate = false;
+    for (const Objectives& seen : result.front) {
+      if (seen == o) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    result.front.push_back(o);
+    result.solutions.push_back(ind.solution);
+  }
+  result.evaluations = evaluations;
+  result.iterations = generations;
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,46 @@
+#pragma once
+
+// NSGA-II (Deb et al. 2000) applied to the multiobjective CVRPTW —
+// implements the comparison the paper defers to future work (§V): "a
+// comparison between the TSMO versions here and the well established
+// multiobjective evolutionary algorithms".
+//
+// Standard generational NSGA-II: binary tournament on (rank, crowding),
+// best-cost route crossover, mutation by the paper's own move operators
+// (reusing the MoveEngine), (mu + lambda) elitist survival via fast
+// non-dominated sorting and crowding distance.  The evaluation budget is
+// counted per constructed/offspring solution, making runs directly
+// comparable to TSMO at equal `max_evaluations`.
+
+#include "core/run_result.hpp"
+#include "operators/move.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct Nsga2Params {
+  std::int64_t max_evaluations = 100000;
+  int population_size = 100;
+  double crossover_rate = 0.9;
+  /// Probability that an offspring is mutated (1-3 random operator moves,
+  /// screened like the TSMO neighborhood).
+  double mutation_rate = 0.3;
+  FeasibilityScreen feasibility_screen = FeasibilityScreen::Local;
+  std::uint64_t seed = 1;
+};
+
+class Nsga2 {
+ public:
+  Nsga2(const Instance& inst, const Nsga2Params& params)
+      : inst_(&inst), params_(params) {}
+
+  /// Runs until the evaluation budget is exhausted.  The result's front
+  /// holds the final population's rank-0 solutions (deduplicated).
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  Nsga2Params params_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,229 @@
+#include "evolutionary/spea2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "construct/i1_insertion.hpp"
+#include "evolutionary/crossover.hpp"
+#include "operators/move_engine.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+namespace {
+
+struct Individual {
+  Solution solution;
+  double fitness = 0.0;  // lower is better (raw + density)
+};
+
+/// Normalized objective-space Euclidean distance used by the density
+/// estimator and archive truncation.
+double objective_distance(const Objectives& a, const Objectives& b,
+                          const Objectives& scale) {
+  const double dd = (a.distance - b.distance) / std::max(scale.distance, 1e-9);
+  const double dv = static_cast<double>(a.vehicles - b.vehicles) /
+                    std::max(static_cast<double>(scale.vehicles), 1e-9);
+  const double dt =
+      (a.tardiness - b.tardiness) / std::max(scale.tardiness, 1e-9);
+  return std::sqrt(dd * dd + dv * dv + dt * dt);
+}
+
+Objectives objective_ranges(const std::vector<Individual>& pool) {
+  Objectives lo{1e300, 1 << 30, 1e300}, hi{-1e300, -(1 << 30), -1e300};
+  for (const Individual& ind : pool) {
+    const Objectives& o = ind.solution.objectives();
+    lo.distance = std::min(lo.distance, o.distance);
+    hi.distance = std::max(hi.distance, o.distance);
+    lo.vehicles = std::min(lo.vehicles, o.vehicles);
+    hi.vehicles = std::max(hi.vehicles, o.vehicles);
+    lo.tardiness = std::min(lo.tardiness, o.tardiness);
+    hi.tardiness = std::max(hi.tardiness, o.tardiness);
+  }
+  return Objectives{std::max(hi.distance - lo.distance, 1e-9),
+                    std::max(hi.vehicles - lo.vehicles, 1),
+                    std::max(hi.tardiness - lo.tardiness, 1e-9)};
+}
+
+/// SPEA2 fitness over the combined pool: strength -> raw fitness ->
+/// density (1 / (2 + kth-nearest distance)).
+void assign_fitness(std::vector<Individual>& pool) {
+  const std::size_t n = pool.size();
+  std::vector<int> strength(n, 0);
+  std::vector<std::vector<std::size_t>> dominators(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(pool[i].solution.objectives(),
+                    pool[j].solution.objectives())) {
+        ++strength[i];
+        dominators[j].push_back(i);
+      }
+    }
+  }
+  const Objectives scale = objective_ranges(pool);
+  const auto k = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(n)));
+  std::vector<double> dists;
+  for (std::size_t i = 0; i < n; ++i) {
+    double raw = 0.0;
+    for (std::size_t d : dominators[i]) {
+      raw += static_cast<double>(strength[d]);
+    }
+    dists.clear();
+    dists.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dists.push_back(objective_distance(pool[i].solution.objectives(),
+                                         pool[j].solution.objectives(),
+                                         scale));
+    }
+    const std::size_t kth = std::min(k, dists.size() - 1);
+    std::nth_element(dists.begin(),
+                     dists.begin() + static_cast<std::ptrdiff_t>(kth),
+                     dists.end());
+    const double density =
+        1.0 / (2.0 + dists[kth]);
+    pool[i].fitness = raw + density;
+  }
+}
+
+/// Environmental selection: all non-dominated (fitness < 1) members, then
+/// truncation (remove the most crowded) or fill-up with the best
+/// dominated ones.
+std::vector<Individual> environmental_selection(
+    std::vector<Individual> pool, std::size_t archive_size) {
+  std::vector<Individual> archive;
+  std::vector<Individual> rest;
+  for (Individual& ind : pool) {
+    (ind.fitness < 1.0 ? archive : rest).push_back(std::move(ind));
+  }
+  if (archive.size() < archive_size) {
+    std::sort(rest.begin(), rest.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+    for (Individual& ind : rest) {
+      if (archive.size() >= archive_size) break;
+      archive.push_back(std::move(ind));
+    }
+    return archive;
+  }
+  // Truncation: repeatedly remove the member with the smallest nearest-
+  // neighbour distance.
+  while (archive.size() > archive_size) {
+    std::vector<Individual>& a = archive;
+    const Objectives scale = objective_ranges(a);
+    double min_d = std::numeric_limits<double>::infinity();
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        if (i == j) continue;
+        nearest = std::min(
+            nearest, objective_distance(a[i].solution.objectives(),
+                                        a[j].solution.objectives(), scale));
+      }
+      if (nearest < min_d) {
+        min_d = nearest;
+        victim = i;
+      }
+    }
+    archive.erase(archive.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return archive;
+}
+
+const Individual& tournament(const std::vector<Individual>& pool,
+                             Rng& rng) {
+  const Individual& a = pool[rng.below(pool.size())];
+  const Individual& b = pool[rng.below(pool.size())];
+  return a.fitness <= b.fitness ? a : b;
+}
+
+}  // namespace
+
+RunResult Spea2::run() const {
+  Timer timer;
+  Rng rng(params_.seed);
+  MoveEngine engine(*inst_);
+  const int n = std::max(4, params_.population_size);
+  const auto archive_size =
+      static_cast<std::size_t>(std::max(4, params_.archive_size));
+  std::int64_t evaluations = 0;
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n && evaluations < params_.max_evaluations; ++i) {
+    population.push_back(Individual{construct_i1_random(*inst_, rng)});
+    ++evaluations;
+  }
+  std::vector<Individual> archive;
+
+  std::int64_t generations = 0;
+  while (evaluations < params_.max_evaluations) {
+    // Pool = population + archive; fitness; environmental selection.
+    std::vector<Individual> pool = std::move(population);
+    for (Individual& ind : archive) pool.push_back(std::move(ind));
+    assign_fitness(pool);
+    archive = environmental_selection(std::move(pool), archive_size);
+
+    // Mating selection + variation from the archive.
+    population.clear();
+    while (population.size() < static_cast<std::size_t>(n) &&
+           evaluations < params_.max_evaluations) {
+      const Individual& p1 = tournament(archive, rng);
+      Solution child =
+          rng.chance(params_.crossover_rate)
+              ? best_cost_route_crossover(
+                    *inst_, p1.solution, tournament(archive, rng).solution,
+                    rng)
+              : p1.solution;
+      if (rng.chance(params_.mutation_rate)) {
+        const int moves = static_cast<int>(rng.uniform_int(1, 3));
+        for (int m = 0; m < moves; ++m) {
+          const auto type = static_cast<MoveType>(
+              rng.below(static_cast<std::uint64_t>(kNumMoveTypes)));
+          const auto move = engine.propose(type, child, rng, 12,
+                                           params_.feasibility_screen);
+          if (move) engine.apply(child, *move);
+        }
+      }
+      ++evaluations;
+      population.push_back(Individual{std::move(child)});
+    }
+    ++generations;
+  }
+
+  // Final archive: report its non-dominated subset.
+  RunResult result;
+  result.algorithm = "spea2";
+  for (const Individual& ind : archive) {
+    const Objectives& o = ind.solution.objectives();
+    bool keep = true;
+    for (const Individual& other : archive) {
+      if (&other == &ind) continue;
+      if (dominates(other.solution.objectives(), o)) {
+        keep = false;
+        break;
+      }
+    }
+    for (const Objectives& seen : result.front) {
+      if (seen == o) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    result.front.push_back(o);
+    result.solutions.push_back(ind.solution);
+  }
+  result.evaluations = evaluations;
+  result.iterations = generations;
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace tsmo

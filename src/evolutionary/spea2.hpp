@@ -1,0 +1,45 @@
+#pragma once
+
+// SPEA2 (Zitzler, Laumanns, Thiele 2001) applied to the multiobjective
+// CVRPTW.  Together with NSGA-II this completes the set of "well
+// established multiobjective evolutionary algorithms" the paper names in
+// §III.A and defers comparing against in §V.
+//
+// Standard SPEA2: strength/raw fitness (how many dominate you, weighted
+// by how much they dominate), density via the k-th nearest neighbour in
+// objective space, a fixed-size external archive maintained by truncation
+// (iteratively removing the most crowded member), binary tournament on the
+// archive, and the same VRPTW variation operators as the NSGA-II
+// comparator (best-cost route crossover + the paper's move operators).
+
+#include "core/run_result.hpp"
+#include "operators/move.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct Spea2Params {
+  std::int64_t max_evaluations = 100000;
+  int population_size = 80;
+  int archive_size = 40;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.3;
+  FeasibilityScreen feasibility_screen = FeasibilityScreen::Local;
+  std::uint64_t seed = 1;
+};
+
+class Spea2 {
+ public:
+  Spea2(const Instance& inst, const Spea2Params& params)
+      : inst_(&inst), params_(params) {}
+
+  /// Runs until the evaluation budget is exhausted; the result's front is
+  /// the non-dominated subset of the final archive.
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  Spea2Params params_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,107 @@
+#pragma once
+
+// Experiment harness for regenerating the paper's Tables I-IV.
+//
+// One table = one problem set (e.g. the 400-city C1+R1 classes) evaluated
+// with the sequential TSMO and the three parallel variants at 3/6/12
+// processors.  Reported per algorithm, following the paper's conventions:
+//   distance  mean ± sd over runs of the per-run SUM over instances of the
+//             average feasible-front distance  (the paper's 6-digit values
+//             are sums over the whole problem set)
+//   vehicles  same aggregation for the vehicle objective
+//   runtime   mean virtual runtime in seconds (DES cost model; see
+//             DESIGN.md §4)
+//   coverage  Zitzler set coverage, averaged over all run pairs and
+//             problems against all other algorithms, both directions
+//   speedup   (Ts/Tp - 1) as a percentage, like the paper's speedup column
+//   p-value   paired t-test of per-run summed distance vs. the sequential
+//             algorithm (the paper's significance analysis, §IV)
+//
+// Scale is controlled by TSMO_BENCH_SCALE (ci | small | paper) with
+// TSMO_RUNS / TSMO_EVALS / TSMO_INSTANCES overrides, so the default bench
+// invocation finishes on a laptop while `paper` reruns the full grid.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/run_result.hpp"
+#include "sim/cost_model.hpp"
+
+namespace tsmo {
+
+struct ExperimentScale {
+  int runs = 3;
+  int instances_per_class = 2;
+  std::int64_t max_evaluations = 10000;
+  int neighborhood_size = 200;
+
+  /// Reads TSMO_BENCH_SCALE (default "small") and the numeric overrides.
+  static ExperimentScale from_env();
+};
+
+enum class AlgoKind { Sequential, Sync, Async, Coll, Hybrid };
+
+struct AlgoConfig {
+  std::string name;       ///< row label, e.g. "TSMO async."
+  AlgoKind kind = AlgoKind::Sequential;
+  int processors = 1;     ///< total processors (hybrid: islands x workers)
+  int islands = 0;        ///< hybrid only
+};
+
+/// The standard grid of the paper: sequential + {sync, async, coll} at
+/// {3, 6, 12} processors.
+std::vector<AlgoConfig> paper_algorithm_grid();
+
+struct TableSpec {
+  std::string title;
+  /// Class prefixes, e.g. {"C1_4", "R1_4"}; instances are generated as
+  /// <prefix>_<ordinal> for ordinal in 1..instances_per_class.
+  std::vector<std::string> class_prefixes;
+  ExperimentScale scale;
+  std::vector<AlgoConfig> algorithms = paper_algorithm_grid();
+  std::uint64_t base_seed = 20070326;  // IPPS 2007
+};
+
+/// One table row after aggregation.
+struct TableRow {
+  std::string name;
+  double distance_mean = 0.0, distance_sd = 0.0;
+  double vehicles_mean = 0.0, vehicles_sd = 0.0;
+  double runtime_mean = 0.0, runtime_sd = 0.0;
+  double coverage_fwd = 0.0;  ///< this algorithm dominating the others
+  double coverage_rev = 0.0;  ///< the others dominating this algorithm
+  double speedup_pct = 0.0;   ///< vs sequential; 0 for the sequential row
+  double p_value = 1.0;       ///< paired t-test vs sequential distance
+  /// Robustness companions (CSV only; the printed table keeps the paper's
+  /// columns): Mann-Whitney U p-value of the same comparison, and the mean
+  /// additive epsilon indicator of this algorithm's fronts against the
+  /// sequential fronts of the same problem/run.
+  double mw_p_value = 1.0;
+  double epsilon_vs_seq = 0.0;
+};
+
+struct TableResult {
+  TableSpec spec;
+  std::vector<TableRow> rows;
+  /// feasible fronts[algo][problem][run] kept for metric recomputation.
+  std::vector<std::vector<std::vector<std::vector<Objectives>>>> fronts;
+};
+
+/// Runs the full grid on the DES substrate.  Progress lines go to `log`
+/// when non-null.
+TableResult run_table(const TableSpec& spec, std::ostream* log = nullptr);
+
+/// Renders the result in the paper's table layout.
+void print_table(std::ostream& os, const TableResult& result);
+
+/// Appends rows to a CSV file (one line per algorithm).
+void write_table_csv(const std::string& path, const TableResult& result);
+
+/// Executes one algorithm configuration on one instance (exposed for the
+/// ablation benches and tests).
+RunResult run_algorithm(const AlgoConfig& algo, const Instance& inst,
+                        const TsmoParams& params, const CostModel& cost);
+
+}  // namespace tsmo

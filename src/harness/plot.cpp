@@ -1,0 +1,100 @@
+#include "harness/plot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace tsmo {
+
+namespace {
+
+/// Qualitative palette (ColorBrewer-like), cycled over routes.
+constexpr const char* kPalette[] = {
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02",
+    "#a6761d", "#666666", "#1f78b4", "#b2df8a", "#fb9a99", "#cab2d6",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+}  // namespace
+
+void write_solution_svg(std::ostream& os, const Solution& solution,
+                        const SvgOptions& options) {
+  const Instance& inst = solution.instance();
+
+  double lo_x = 1e300, hi_x = -1e300, lo_y = 1e300, hi_y = -1e300;
+  for (int i = 0; i < inst.num_sites(); ++i) {
+    lo_x = std::min(lo_x, inst.site(i).x);
+    hi_x = std::max(hi_x, inst.site(i).x);
+    lo_y = std::min(lo_y, inst.site(i).y);
+    hi_y = std::max(hi_y, inst.site(i).y);
+  }
+  const double margin = 30.0;
+  const double top = options.title.empty() ? margin : margin + 24.0;
+  const double sx =
+      (options.width - 2 * margin) / std::max(hi_x - lo_x, 1e-9);
+  const double sy =
+      (options.height - margin - top) / std::max(hi_y - lo_y, 1e-9);
+  const double scale = std::min(sx, sy);
+  auto px = [&](double x) { return margin + (x - lo_x) * scale; };
+  auto py = [&](double y) {
+    // SVG y grows downward; flip so north stays up.
+    return options.height - margin - (y - lo_y) * scale;
+  };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << options.width << "\" height=\"" << options.height
+     << "\" viewBox=\"0 0 " << options.width << ' ' << options.height
+     << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    os << "<text x=\"" << margin << "\" y=\"" << margin
+       << "\" font-family=\"sans-serif\" font-size=\"16\">"
+       << options.title << "</text>\n";
+  }
+
+  char buf[128];
+  // Routes as polylines depot -> customers -> depot.
+  int color = 0;
+  for (int r = 0; r < solution.num_routes(); ++r) {
+    const auto& route = solution.route(r);
+    if (route.empty()) continue;
+    os << "<polyline fill=\"none\" stroke=\""
+       << kPalette[static_cast<std::size_t>(color++) % kPaletteSize]
+       << "\" stroke-width=\"1.5\" points=\"";
+    std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", px(inst.depot().x),
+                  py(inst.depot().y));
+    os << buf;
+    for (int c : route) {
+      std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", px(inst.site(c).x),
+                    py(inst.site(c).y));
+      os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.1f,%.1f", px(inst.depot().x),
+                  py(inst.depot().y));
+    os << buf << "\"/>\n";
+  }
+
+  // Customers as dots (optionally labeled), depot as a black square.
+  for (int i = 1; i < inst.num_sites(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" "
+                  "fill=\"#333333\"/>\n",
+                  px(inst.site(i).x), py(inst.site(i).y));
+    os << buf;
+    if (options.show_customer_ids) {
+      std::snprintf(buf, sizeof(buf),
+                    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"8\" "
+                    "font-family=\"sans-serif\">%d</text>\n",
+                    px(inst.site(i).x) + 3.0, py(inst.site(i).y) - 3.0, i);
+      os << buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" "
+                "fill=\"black\"/>\n",
+                px(inst.depot().x) - 5.0, py(inst.depot().y) - 5.0);
+  os << buf;
+  os << "</svg>\n";
+}
+
+}  // namespace tsmo

@@ -1,0 +1,23 @@
+#pragma once
+
+// SVG rendering of solutions: routes as colored polylines over the
+// customer layout.  Dependency-free; output opens in any browser.
+
+#include <iosfwd>
+
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+struct SvgOptions {
+  int width = 800;
+  int height = 800;
+  bool show_customer_ids = false;
+  std::string title;  ///< rendered above the plot when non-empty
+};
+
+/// Writes a standalone SVG document visualizing the solution's routes.
+void write_solution_svg(std::ostream& os, const Solution& solution,
+                        const SvgOptions& options = {});
+
+}  // namespace tsmo

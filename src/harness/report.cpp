@@ -1,0 +1,54 @@
+#include "harness/report.hpp"
+
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace tsmo {
+
+void write_run_json(std::ostream& os, const Instance& inst,
+                    const RunResult& result, bool include_routes) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("algorithm").value(result.algorithm);
+  w.key("instance").begin_object();
+  w.key("name").value(inst.name());
+  w.key("customers").value(inst.num_customers());
+  w.key("max_vehicles").value(inst.max_vehicles());
+  w.key("capacity").value(inst.capacity());
+  w.end_object();
+  w.key("evaluations").value(result.evaluations);
+  w.key("iterations").value(result.iterations);
+  w.key("restarts").value(result.restarts);
+  w.key("wall_seconds").value(result.wall_seconds);
+  w.key("sim_seconds").value(result.sim_seconds);
+
+  w.key("front").begin_array();
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    const Objectives& o = result.front[i];
+    w.begin_object();
+    w.key("distance").value(o.distance);
+    w.key("vehicles").value(o.vehicles);
+    w.key("tardiness").value(o.tardiness);
+    if (i < result.solutions.size()) {
+      const Solution& s = result.solutions[i];
+      w.key("feasible").value(s.feasible());
+      if (include_routes) {
+        w.key("routes").begin_array();
+        for (int r = 0; r < s.num_routes(); ++r) {
+          if (s.route(r).empty()) continue;
+          w.begin_array();
+          for (int c : s.route(r)) w.value(c);
+          w.end_array();
+        }
+        w.end_array();
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace tsmo

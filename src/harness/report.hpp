@@ -1,0 +1,19 @@
+#pragma once
+
+// Machine-readable export of run results (JSON) for external analysis and
+// plotting pipelines.
+
+#include <iosfwd>
+
+#include "core/run_result.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+/// Writes one run as a JSON document: instance metadata, counters, and
+/// the full archive (objectives, feasibility, routes per solution when
+/// `include_routes`).
+void write_run_json(std::ostream& os, const Instance& inst,
+                    const RunResult& result, bool include_routes = true);
+
+}  // namespace tsmo

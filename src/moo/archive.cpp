@@ -1,0 +1,40 @@
+#include "moo/archive.hpp"
+
+#include <numeric>
+
+namespace tsmo {
+
+std::vector<double> crowding_distances(const std::vector<Objectives>& objs) {
+  const std::size_t n = objs.size();
+  std::vector<double> dist(n, 0.0);
+  if (n <= 2) {
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    return dist;
+  }
+
+  auto accumulate_dim = [&](auto key) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return key(objs[a]) < key(objs[b]);
+    });
+    const double lo = key(objs[idx.front()]);
+    const double hi = key(objs[idx.back()]);
+    dist[idx.front()] = std::numeric_limits<double>::infinity();
+    dist[idx.back()] = std::numeric_limits<double>::infinity();
+    if (hi <= lo) return;  // degenerate dimension: no spread to credit
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      dist[idx[i]] +=
+          (key(objs[idx[i + 1]]) - key(objs[idx[i - 1]])) / (hi - lo);
+    }
+  };
+
+  accumulate_dim([](const Objectives& o) { return o.distance; });
+  accumulate_dim(
+      [](const Objectives& o) { return static_cast<double>(o.vehicles); });
+  accumulate_dim([](const Objectives& o) { return o.tardiness; });
+  return dist;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,120 @@
+#pragma once
+
+// Bounded Pareto archive with crowding-distance replacement.
+//
+// This is the paper's M_archive (§III.B): "A chosen solution can be added
+// to the archive when it is not dominated [by] the solutions in the archive
+// and when the archive is not full.  If the archive is full, the solution
+// is added based on the result of a crowding comparison [NSGA-II]. ...
+// A solution that has a low distance value has similar fitness values
+// compared to the rest of the solutions and will be deleted."
+//
+// The archive is generic over the payload so tests can exercise it with
+// plain tags while the algorithms store full Solutions.
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vrptw/objectives.hpp"
+
+namespace tsmo {
+
+enum class ArchiveOutcome {
+  Added,            ///< inserted (possibly evicting dominated members)
+  AddedEvicted,     ///< inserted into a full archive; most-crowded evicted
+  Dominated,        ///< rejected: an existing member dominates it
+  Duplicate,        ///< rejected: identical objectives already present
+  RejectedCrowded,  ///< rejected: archive full and candidate most crowded
+};
+
+/// True when the outcome means the candidate now lives in the archive.
+constexpr bool archive_accepted(ArchiveOutcome o) noexcept {
+  return o == ArchiveOutcome::Added || o == ArchiveOutcome::AddedEvicted;
+}
+
+/// Crowding distances for a set of objective vectors (NSGA-II, Deb et al.):
+/// per objective, boundary points get +inf and interior points accumulate
+/// the normalized gap between their neighbours.
+std::vector<double> crowding_distances(const std::vector<Objectives>& objs);
+
+template <typename T>
+class ParetoArchive {
+ public:
+  struct Entry {
+    Objectives obj;
+    T value;
+  };
+
+  explicit ParetoArchive(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  bool full() const noexcept { return entries_.size() >= capacity_; }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// True when `obj` would be accepted (non-dominated, non-duplicate and
+  /// either the archive has room or `obj` would not be the most crowded).
+  /// Does not modify the archive.
+  bool would_improve(const Objectives& obj) const {
+    for (const Entry& e : entries_) {
+      if (e.obj == obj || dominates(e.obj, obj)) return false;
+    }
+    return true;
+  }
+
+  /// Attempts to insert.  Strong guarantee: on rejection the archive is
+  /// unchanged.
+  ArchiveOutcome try_add(const Objectives& obj, T value) {
+    for (const Entry& e : entries_) {
+      if (e.obj == obj) return ArchiveOutcome::Duplicate;
+      if (dominates(e.obj, obj)) return ArchiveOutcome::Dominated;
+    }
+    // Remove members the candidate dominates.
+    std::erase_if(entries_,
+                  [&](const Entry& e) { return dominates(obj, e.obj); });
+    if (entries_.size() < capacity_) {
+      entries_.push_back(Entry{obj, std::move(value)});
+      return ArchiveOutcome::Added;
+    }
+    // Full: crowding comparison over members plus the candidate.
+    std::vector<Objectives> objs;
+    objs.reserve(entries_.size() + 1);
+    for (const Entry& e : entries_) objs.push_back(e.obj);
+    objs.push_back(obj);
+    const std::vector<double> dist = crowding_distances(objs);
+    const std::size_t worst = static_cast<std::size_t>(
+        std::min_element(dist.begin(), dist.end()) - dist.begin());
+    if (worst == entries_.size()) {
+      return ArchiveOutcome::RejectedCrowded;  // candidate is most crowded
+    }
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(worst));
+    entries_.push_back(Entry{obj, std::move(value)});
+    return ArchiveOutcome::AddedEvicted;
+  }
+
+  /// Uniformly random member; archive must be non-empty.
+  const Entry& sample(Rng& rng) const {
+    return entries_[rng.below(entries_.size())];
+  }
+
+  /// Objective vectors of all members (for metrics).
+  std::vector<Objectives> objectives() const {
+    std::vector<Objectives> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.obj);
+    return out;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,149 @@
+#include "moo/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace tsmo {
+
+double set_coverage(std::span<const Objectives> a,
+                    std::span<const Objectives> b) {
+  if (b.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const Objectives& bo : b) {
+    for (const Objectives& ao : a) {
+      if (weakly_dominates(ao, bo)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(b.size());
+}
+
+std::vector<Objectives> nondominated_filter(std::span<const Objectives> pts) {
+  std::vector<Objectives> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < pts.size() && keep; ++j) {
+      if (j == i) continue;
+      if (dominates(pts[j], pts[i])) keep = false;
+      // Deduplicate: keep only the first of identical points.
+      if (j < i && pts[j] == pts[i]) keep = false;
+    }
+    if (keep) out.push_back(pts[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// 2-D hypervolume (minimization of (x, y)) against reference (rx, ry).
+double hv2d(std::vector<std::pair<double, double>> pts, double rx,
+            double ry) {
+  std::erase_if(pts, [&](const auto& p) {
+    return p.first >= rx || p.second >= ry;
+  });
+  if (pts.empty()) return 0.0;
+  std::sort(pts.begin(), pts.end());
+  double area = 0.0;
+  double prev_y = ry;
+  for (const auto& [x, y] : pts) {
+    if (y < prev_y) {
+      area += (rx - x) * (prev_y - y);
+      prev_y = y;
+    }
+  }
+  return area;
+}
+
+}  // namespace
+
+double hypervolume(std::span<const Objectives> front,
+                   const Objectives& reference) {
+  // Sweep the (integer) vehicle axis: the region dominated at vehicle
+  // level v is the union of 2-D fronts of all points with vehicles <= v.
+  std::map<int, std::vector<std::pair<double, double>>> by_vehicles;
+  for (const Objectives& o : front) {
+    if (o.vehicles >= reference.vehicles || o.distance >= reference.distance ||
+        o.tardiness >= reference.tardiness) {
+      continue;
+    }
+    by_vehicles[o.vehicles].push_back({o.distance, o.tardiness});
+  }
+  if (by_vehicles.empty()) return 0.0;
+
+  double volume = 0.0;
+  std::vector<std::pair<double, double>> accumulated;
+  int prev_level = 0;
+  bool first = true;
+  for (auto it = by_vehicles.begin(); it != by_vehicles.end(); ++it) {
+    if (!first) {
+      const double slab = static_cast<double>(it->first - prev_level);
+      volume += slab * hv2d(accumulated, reference.distance,
+                            reference.tardiness);
+    }
+    accumulated.insert(accumulated.end(), it->second.begin(),
+                       it->second.end());
+    prev_level = it->first;
+    first = false;
+  }
+  const double top_slab =
+      static_cast<double>(reference.vehicles - prev_level);
+  volume += top_slab * hv2d(accumulated, reference.distance,
+                            reference.tardiness);
+  return volume;
+}
+
+double spacing(std::span<const Objectives> front) {
+  const std::size_t n = front.size();
+  if (n < 2) return 0.0;
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d =
+          std::fabs(front[i].distance - front[j].distance) +
+          std::fabs(static_cast<double>(front[i].vehicles -
+                                        front[j].vehicles)) +
+          std::fabs(front[i].tardiness - front[j].tardiness);
+      nearest[i] = std::min(nearest[i], d);
+    }
+  }
+  double mean = 0.0;
+  for (double d : nearest) mean += d;
+  mean /= static_cast<double>(n);
+  double ss = 0.0;
+  for (double d : nearest) ss += (d - mean) * (d - mean);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double epsilon_indicator(std::span<const Objectives> a,
+                         std::span<const Objectives> b) {
+  if (b.empty()) return 0.0;
+  if (a.empty()) return std::numeric_limits<double>::infinity();
+  double eps = -std::numeric_limits<double>::infinity();
+  for (const Objectives& bo : b) {
+    // Smallest shift with which *some* a-point covers this b-point.
+    double best = std::numeric_limits<double>::infinity();
+    for (const Objectives& ao : a) {
+      const double need =
+          std::max({ao.distance - bo.distance,
+                    static_cast<double>(ao.vehicles - bo.vehicles),
+                    ao.tardiness - bo.tardiness});
+      best = std::min(best, need);
+    }
+    eps = std::max(eps, best);
+  }
+  return eps;
+}
+
+std::vector<Objectives> merge_fronts(
+    const std::vector<std::vector<Objectives>>& fronts) {
+  std::vector<Objectives> all;
+  for (const auto& f : fronts) all.insert(all.end(), f.begin(), f.end());
+  return nondominated_filter(all);
+}
+
+}  // namespace tsmo

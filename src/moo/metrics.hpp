@@ -1,0 +1,52 @@
+#pragma once
+
+// Front-quality metrics.
+//
+// The coverage column of Tables I-IV uses Zitzler's set coverage metric
+// C(A,B): the fraction of solutions in B that are weakly dominated by at
+// least one solution in A.  "A value of 100% means that the algorithm in
+// question dominates all the solutions found by the other algorithms."
+// Hypervolume and spacing are provided for the extended ablation benches.
+
+#include <span>
+#include <vector>
+
+#include "vrptw/objectives.hpp"
+
+namespace tsmo {
+
+/// Zitzler set coverage C(A, B) in [0, 1].  C(A, B) == 1 means every
+/// member of B is weakly dominated by some member of A.  By convention
+/// C(A, {}) = 0 (nothing to cover).
+double set_coverage(std::span<const Objectives> a,
+                    std::span<const Objectives> b);
+
+/// Strips dominated and duplicate points, returning the non-dominated
+/// subset in the input order.
+std::vector<Objectives> nondominated_filter(std::span<const Objectives> pts);
+
+/// Exact 3-D hypervolume (minimization) dominated by `front` relative to
+/// `reference`; points not strictly below the reference in every objective
+/// contribute nothing.  Computed by sweeping the vehicle dimension (small
+/// integer range) and accumulating 2-D slices.
+double hypervolume(std::span<const Objectives> front,
+                   const Objectives& reference);
+
+/// Schott's spacing metric: standard deviation of nearest-neighbour
+/// Manhattan distances in objective space (0 for fewer than 2 points).
+double spacing(std::span<const Objectives> front);
+
+/// Additive epsilon indicator I_eps+(a, b): the smallest epsilon such that
+/// every point of `b` is weakly dominated by some point of `a` shifted by
+/// epsilon in every objective.  <= 0 when `a` already covers `b` (strictly
+/// negative when it dominates with slack); positive when `a` falls short;
+/// +inf when `a` is empty and `b` is not; 0 when `b` is empty.
+double epsilon_indicator(std::span<const Objectives> a,
+                         std::span<const Objectives> b);
+
+/// Merges several fronts and filters to the combined non-dominated set —
+/// used by the multisearch algorithm to report one front per parallel run.
+std::vector<Objectives> merge_fronts(
+    const std::vector<std::vector<Objectives>>& fronts);
+
+}  // namespace tsmo

@@ -1,0 +1,56 @@
+#include "moo/sorting.hpp"
+
+namespace tsmo {
+
+std::vector<int> nondominated_sort(std::span<const Objectives> points) {
+  const std::size_t n = points.size();
+  std::vector<int> rank(n, -1);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dominates(points[i], points[j])) {
+        dominated_by[i].push_back(j);
+        ++domination_count[j];
+      } else if (dominates(points[j], points[i])) {
+        dominated_by[j].push_back(i);
+        ++domination_count[i];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (domination_count[i] == 0) {
+      rank[i] = 0;
+      current.push_back(i);
+    }
+  }
+  int level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) {
+          rank[j] = level + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++level;
+    current = std::move(next);
+  }
+  return rank;
+}
+
+std::vector<std::size_t> first_front(std::span<const Objectives> points) {
+  const std::vector<int> ranks = nondominated_sort(points);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (ranks[i] == 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,22 @@
+#pragma once
+
+// Fast non-dominated sorting (Deb et al., NSGA-II): partitions a set of
+// objective vectors into Pareto ranks — rank 0 is the non-dominated front,
+// rank 1 the front after removing rank 0, and so on.
+
+#include <span>
+#include <vector>
+
+#include "vrptw/objectives.hpp"
+
+namespace tsmo {
+
+/// Returns the Pareto rank of every point (rank 0 = non-dominated).
+/// O(N^2 * M) like the NSGA-II original; N is a population, not an
+/// archive, so this is the intended use.
+std::vector<int> nondominated_sort(std::span<const Objectives> points);
+
+/// Indices of the rank-0 points (convenience wrapper).
+std::vector<std::size_t> first_front(std::span<const Objectives> points);
+
+}  // namespace tsmo

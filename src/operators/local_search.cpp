@@ -1,0 +1,128 @@
+#include "operators/local_search.hpp"
+
+#include <limits>
+
+namespace tsmo {
+
+void for_each_move(const Solution& s, MoveType t,
+                   const std::function<void(const Move&)>& visit) {
+  const int R = s.num_routes();
+  switch (t) {
+    case MoveType::Relocate:
+      for (int r1 = 0; r1 < R; ++r1) {
+        const int n1 = static_cast<int>(s.route(r1).size());
+        for (int i = 0; i < n1; ++i) {
+          for (int r2 = 0; r2 < R; ++r2) {
+            if (r2 == r1) continue;
+            const int n2 = static_cast<int>(s.route(r2).size());
+            // Opening more than one fresh vehicle is equivalent; only
+            // consider the first empty slot to bound the scan.
+            if (n2 == 0 && r2 > 0 && s.route(r2 - 1).empty()) continue;
+            for (int j = 0; j <= n2; ++j) {
+              visit(Move{MoveType::Relocate, r1, r2, i, j});
+            }
+          }
+        }
+      }
+      break;
+    case MoveType::Exchange:
+      for (int r1 = 0; r1 < R; ++r1) {
+        for (int r2 = r1 + 1; r2 < R; ++r2) {
+          const int n1 = static_cast<int>(s.route(r1).size());
+          const int n2 = static_cast<int>(s.route(r2).size());
+          for (int i = 0; i < n1; ++i) {
+            for (int j = 0; j < n2; ++j) {
+              visit(Move{MoveType::Exchange, r1, r2, i, j});
+            }
+          }
+        }
+      }
+      break;
+    case MoveType::TwoOpt:
+      for (int r = 0; r < R; ++r) {
+        const int n = static_cast<int>(s.route(r).size());
+        for (int i = 0; i < n; ++i) {
+          for (int j = i + 1; j < n; ++j) {
+            visit(Move{MoveType::TwoOpt, r, r, i, j});
+          }
+        }
+      }
+      break;
+    case MoveType::TwoOptStar:
+      for (int r1 = 0; r1 < R; ++r1) {
+        if (s.route(r1).empty()) continue;
+        for (int r2 = r1 + 1; r2 < R; ++r2) {
+          if (s.route(r2).empty()) continue;
+          const int n1 = static_cast<int>(s.route(r1).size());
+          const int n2 = static_cast<int>(s.route(r2).size());
+          for (int i = 0; i <= n1; ++i) {
+            for (int j = 0; j <= n2; ++j) {
+              // Both-at-start (label swap) and both-at-end are no-ops.
+              if ((i == 0 && j == 0) || (i == n1 && j == n2)) continue;
+              visit(Move{MoveType::TwoOptStar, r1, r2, i, j});
+            }
+          }
+        }
+      }
+      break;
+    case MoveType::OrOpt:
+      for (int r = 0; r < R; ++r) {
+        const int n = static_cast<int>(s.route(r).size());
+        for (int i = 0; i + 1 < n; ++i) {
+          for (int j = 0; j <= n - 2; ++j) {
+            if (j == i) continue;
+            visit(Move{MoveType::OrOpt, r, r, i, j});
+          }
+        }
+      }
+      break;
+  }
+}
+
+std::optional<Move> best_move_of_type(const MoveEngine& engine,
+                                      const Solution& s, MoveType t,
+                                      const VndOptions& options,
+                                      double current_value) {
+  std::optional<Move> best;
+  double best_value = current_value;
+  for_each_move(s, t, [&](const Move& m) {
+    if (!engine.applicable(s, m)) return;
+    if (!engine.screened_feasible(s, m, options.screen)) return;
+    const double v = scalarize(engine.evaluate(s, m), options.weights);
+    if (v < best_value) {
+      best_value = v;
+      best = m;
+    }
+  });
+  return best;
+}
+
+VndResult vnd_improve(const MoveEngine& engine, Solution& s,
+                      const VndOptions& options) {
+  VndResult result;
+  s.evaluate();
+  result.initial_value = scalarize(s.objectives(), options.weights);
+  double current = result.initial_value;
+
+  static constexpr MoveType kOrder[] = {
+      MoveType::Relocate, MoveType::TwoOpt, MoveType::OrOpt,
+      MoveType::Exchange, MoveType::TwoOptStar};
+
+  int k = 0;
+  while (k < kNumMoveTypes && result.moves_applied < options.max_moves) {
+    const auto move =
+        best_move_of_type(engine, s, kOrder[k], options, current);
+    if (!move) {
+      ++k;  // neighborhood exhausted: try the next one
+      continue;
+    }
+    engine.apply(s, *move);
+    current = scalarize(s.objectives(), options.weights);
+    ++result.moves_applied;
+    k = 0;  // improvement: restart from the first neighborhood
+  }
+  result.final_value = current;
+  return result;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,54 @@
+#pragma once
+
+// Deterministic local-search polish: variable neighborhood descent (VND)
+// over the five operators.  For each operator, the full (enumerable) move
+// set is scanned for the best scalarized improvement; on success the
+// search restarts from the first operator, and it terminates at a local
+// optimum of all five neighborhoods.
+//
+// Uses: polishing final fronts before reporting, the memetic option of the
+// evolutionary comparators, and as a deterministic baseline in tests.
+
+#include <functional>
+
+#include "operators/move_engine.hpp"
+#include "vrptw/objectives.hpp"
+
+namespace tsmo {
+
+struct VndOptions {
+  ScalarWeights weights{1.0, 50.0, 1000.0};
+  FeasibilityScreen screen = FeasibilityScreen::Local;
+  /// Hard cap on accepted moves (safety on pathological instances).
+  int max_moves = 10000;
+};
+
+struct VndResult {
+  int moves_applied = 0;
+  double initial_value = 0.0;
+  double final_value = 0.0;
+};
+
+/// Improves `s` in place to a VND local optimum of the scalarized
+/// objective.  Every accepted move passes the configured feasibility
+/// screen, so capacity is preserved and (with the Exact screen) so is
+/// zero tardiness.
+VndResult vnd_improve(const MoveEngine& engine, Solution& s,
+                      const VndOptions& options = {});
+
+/// Enumerates every structurally valid move of type `t` on `s` and
+/// returns the screened move with the best (lowest) scalarized objective,
+/// if it improves on `current_value`.  Exposed for tests.
+std::optional<Move> best_move_of_type(const MoveEngine& engine,
+                                      const Solution& s, MoveType t,
+                                      const VndOptions& options,
+                                      double current_value);
+
+/// Invokes `visit` for every structurally valid move of type `t` on `s`
+/// (no feasibility screening — callers screen as needed).  For Relocate,
+/// at most one empty target route is enumerated (further empty slots are
+/// symmetric).  This is the enumeration VND and Pareto Local Search share.
+void for_each_move(const Solution& s, MoveType t,
+                   const std::function<void(const Move&)>& visit);
+
+}  // namespace tsmo

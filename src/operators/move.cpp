@@ -1,0 +1,42 @@
+#include "operators/move.hpp"
+
+#include <cstdio>
+
+namespace tsmo {
+
+const char* to_string(MoveType t) noexcept {
+  switch (t) {
+    case MoveType::Relocate:
+      return "Relocate";
+    case MoveType::Exchange:
+      return "Exchange";
+    case MoveType::TwoOpt:
+      return "2-opt";
+    case MoveType::TwoOptStar:
+      return "2-opt*";
+    case MoveType::OrOpt:
+      return "or-opt";
+  }
+  return "?";
+}
+
+const char* to_string(FeasibilityScreen s) noexcept {
+  switch (s) {
+    case FeasibilityScreen::CapacityOnly:
+      return "capacity-only";
+    case FeasibilityScreen::Local:
+      return "local (paper)";
+    case FeasibilityScreen::Exact:
+      return "exact";
+  }
+  return "?";
+}
+
+std::string to_string(const Move& m) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s(r1=%d, r2=%d, i=%d, j=%d)",
+                to_string(m.type), m.r1, m.r2, m.i, m.j);
+  return buf;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,92 @@
+#pragma once
+
+// Move representation for the five neighborhood operators of §II.B:
+//
+//   Relocate   move customer (r1, i) into route r2 at position j  (r1 != r2)
+//   Exchange   swap customers (r1, i) and (r2, j)                 (r1 != r2)
+//   TwoOpt     reverse positions [i, j] within route r1
+//   TwoOptStar r1 := r1[0,i) + r2[j,end);  r2 := r2[0,j) + r1[i,end)
+//   OrOpt      move the two consecutive customers at [i, i+1] of r1 to
+//              position j of the same route (j indexes the route with the
+//              segment already removed)
+//
+// Tabu attributes: every move *creates* a small set of solution features
+// (customer-to-route assignments, directed edges) and *destroys* another.
+// A candidate is tabu when one of the features it creates was recently
+// destroyed (stored in the tabu list); accepting a move pushes its
+// destroyed features.  This realizes "forbid moves towards a configuration
+// already visited" with O(1) storage per move.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tsmo {
+
+enum class MoveType : std::uint8_t {
+  Relocate,
+  Exchange,
+  TwoOpt,
+  TwoOptStar,
+  OrOpt,
+};
+
+inline constexpr int kNumMoveTypes = 5;
+
+const char* to_string(MoveType t) noexcept;
+
+/// How strictly proposed moves are screened before entering a
+/// neighborhood.  Capacity is always enforced (§II.A: "because of the
+/// design of the operators, this violation could not occur").
+enum class FeasibilityScreen : std::uint8_t {
+  CapacityOnly,  ///< soft windows entirely unscreened
+  Local,         ///< the paper's §II.B local criterion (default)
+  Exact,         ///< capacity + no increase of the affected routes'
+                 ///< tardiness (schedule-exact)
+};
+
+const char* to_string(FeasibilityScreen s) noexcept;
+
+struct Move {
+  MoveType type = MoveType::Relocate;
+  int r1 = -1;  ///< first route
+  int r2 = -1;  ///< second route (== r1 for intra-route operators)
+  int i = -1;   ///< position in r1 (semantics per type, see above)
+  int j = -1;   ///< position in r2 / insertion position
+
+  friend bool operator==(const Move&, const Move&) = default;
+};
+
+std::string to_string(const Move& m);
+
+/// Fixed-capacity attribute set: moves touch at most 4 features.
+class MoveAttrs {
+ public:
+  void push(std::uint64_t a) noexcept {
+    if (size_ < attrs_.size()) attrs_[size_++] = a;
+  }
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t operator[](std::size_t k) const noexcept { return attrs_[k]; }
+  const std::uint64_t* begin() const noexcept { return attrs_.data(); }
+  const std::uint64_t* end() const noexcept { return attrs_.data() + size_; }
+
+ private:
+  std::array<std::uint64_t, 4> attrs_{};
+  std::size_t size_ = 0;
+};
+
+/// Feature hash: customer `c` assigned to route `r`.
+constexpr std::uint64_t assign_attr(int c, int r) noexcept {
+  return (std::uint64_t{1} << 62) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)) << 20) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(r) & 0xfffffU);
+}
+
+/// Feature hash: directed edge a -> b in some tour (0 == depot).
+constexpr std::uint64_t edge_attr(int a, int b) noexcept {
+  return (std::uint64_t{2} << 62) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 20) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b) & 0xfffffU);
+}
+
+}  // namespace tsmo

@@ -1,0 +1,481 @@
+#include "operators/move_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsmo {
+
+namespace {
+
+int at_or_depot(const std::vector<int>& route, int pos) {
+  return pos >= 0 && pos < static_cast<int>(route.size())
+             ? route[static_cast<std::size_t>(pos)]
+             : 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Structural validity
+// ---------------------------------------------------------------------------
+
+bool MoveEngine::applicable(const Solution& base, const Move& m) const {
+  const int R = base.num_routes();
+  if (m.r1 < 0 || m.r1 >= R || m.r2 < 0 || m.r2 >= R) return false;
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  const int n1 = static_cast<int>(r1.size());
+  const int n2 = static_cast<int>(r2.size());
+  switch (m.type) {
+    case MoveType::Relocate:
+      return m.r1 != m.r2 && m.i >= 0 && m.i < n1 && m.j >= 0 && m.j <= n2;
+    case MoveType::Exchange:
+      return m.r1 != m.r2 && m.i >= 0 && m.i < n1 && m.j >= 0 && m.j < n2;
+    case MoveType::TwoOpt:
+      return m.r1 == m.r2 && m.i >= 0 && m.i < m.j && m.j < n1;
+    case MoveType::TwoOptStar:
+      // Cut points may equal the route length (empty tail); forbid the two
+      // no-op cuts (both at end) and the pure label swap (both at start).
+      return m.r1 != m.r2 && n1 > 0 && n2 > 0 && m.i >= 0 && m.i <= n1 &&
+             m.j >= 0 && m.j <= n2 && !(m.i == n1 && m.j == n2) &&
+             !(m.i == 0 && m.j == 0);
+    case MoveType::OrOpt:
+      // Segment [i, i+1]; j indexes the route after segment removal.
+      return m.r1 == m.r2 && n1 >= 3 && m.i >= 0 && m.i + 1 < n1 &&
+             m.j >= 0 && m.j <= n1 - 2 && m.j != m.i;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Local feasibility (paper §II.B)
+// ---------------------------------------------------------------------------
+
+bool MoveEngine::locally_feasible(const Solution& base, const Move& m) const {
+  assert(applicable(base, m));
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  const double cap = inst_->capacity();
+
+  switch (m.type) {
+    case MoveType::Relocate: {
+      const int c = r1[static_cast<std::size_t>(m.i)];
+      if (base.route_stats(m.r2).load + inst_->site(c).demand > cap) {
+        return false;
+      }
+      const int pred = at_or_depot(r2, m.j - 1);
+      const int succ = at_or_depot(r2, m.j);
+      return edge_ok(pred, c) && edge_ok(c, succ);
+    }
+    case MoveType::Exchange: {
+      const int c1 = r1[static_cast<std::size_t>(m.i)];
+      const int c2 = r2[static_cast<std::size_t>(m.j)];
+      const double d1 = inst_->site(c1).demand;
+      const double d2 = inst_->site(c2).demand;
+      if (base.route_stats(m.r1).load - d1 + d2 > cap) return false;
+      if (base.route_stats(m.r2).load - d2 + d1 > cap) return false;
+      const int p1 = at_or_depot(r1, m.i - 1);
+      const int s1 = at_or_depot(r1, m.i + 1);
+      const int p2 = at_or_depot(r2, m.j - 1);
+      const int s2 = at_or_depot(r2, m.j + 1);
+      return edge_ok(p1, c2) && edge_ok(c2, s1) && edge_ok(p2, c1) &&
+             edge_ok(c1, s2);
+    }
+    case MoveType::TwoOpt: {
+      // New junctions: (i-1) -> j and i -> (j+1); the reversed interior is
+      // deliberately unchecked ("local" criterion).
+      const int pred = at_or_depot(r1, m.i - 1);
+      const int succ = at_or_depot(r1, m.j + 1);
+      return edge_ok(pred, r1[static_cast<std::size_t>(m.j)]) &&
+             edge_ok(r1[static_cast<std::size_t>(m.i)], succ);
+    }
+    case MoveType::TwoOptStar: {
+      double prefix1 = 0.0, prefix2 = 0.0;
+      for (int k = 0; k < m.i; ++k) {
+        prefix1 += inst_->site(r1[static_cast<std::size_t>(k)]).demand;
+      }
+      for (int k = 0; k < m.j; ++k) {
+        prefix2 += inst_->site(r2[static_cast<std::size_t>(k)]).demand;
+      }
+      const double load1 = base.route_stats(m.r1).load;
+      const double load2 = base.route_stats(m.r2).load;
+      if (prefix1 + (load2 - prefix2) > cap) return false;
+      if (prefix2 + (load1 - prefix1) > cap) return false;
+      const int tail1 = at_or_depot(r1, m.i - 1);
+      const int head2 = at_or_depot(r2, m.j);
+      const int tail2 = at_or_depot(r2, m.j - 1);
+      const int head1 = at_or_depot(r1, m.i);
+      return edge_ok(tail1, head2) && edge_ok(tail2, head1);
+    }
+    case MoveType::OrOpt: {
+      const int s1 = r1[static_cast<std::size_t>(m.i)];
+      const int s2 = r1[static_cast<std::size_t>(m.i + 1)];
+      // Route with the segment removed, for locating insertion neighbours.
+      auto removed_at = [&](int pos) {
+        // Position `pos` in the route after removing [i, i+1].
+        const int shifted = pos >= m.i ? pos + 2 : pos;
+        return at_or_depot(r1, shifted);
+      };
+      const int pred = m.j > 0 ? removed_at(m.j - 1) : 0;
+      const int succ = removed_at(m.j);
+      const int gap_pred = at_or_depot(r1, m.i - 1);
+      const int gap_succ = at_or_depot(r1, m.i + 2);
+      return edge_ok(pred, s1) && edge_ok(s2, succ) &&
+             edge_ok(gap_pred, gap_succ);
+    }
+  }
+  return false;
+}
+
+bool MoveEngine::capacity_feasible(const Solution& base,
+                                   const Move& m) const {
+  assert(applicable(base, m));
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  const double cap = inst_->capacity();
+  switch (m.type) {
+    case MoveType::Relocate: {
+      const int c = r1[static_cast<std::size_t>(m.i)];
+      return base.route_stats(m.r2).load + inst_->site(c).demand <= cap;
+    }
+    case MoveType::Exchange: {
+      const double d1 =
+          inst_->site(r1[static_cast<std::size_t>(m.i)]).demand;
+      const double d2 =
+          inst_->site(r2[static_cast<std::size_t>(m.j)]).demand;
+      return base.route_stats(m.r1).load - d1 + d2 <= cap &&
+             base.route_stats(m.r2).load - d2 + d1 <= cap;
+    }
+    case MoveType::TwoOpt:
+    case MoveType::OrOpt:
+      return true;  // intra-route: loads unchanged
+    case MoveType::TwoOptStar: {
+      double prefix1 = 0.0, prefix2 = 0.0;
+      for (int k = 0; k < m.i; ++k) {
+        prefix1 += inst_->site(r1[static_cast<std::size_t>(k)]).demand;
+      }
+      for (int k = 0; k < m.j; ++k) {
+        prefix2 += inst_->site(r2[static_cast<std::size_t>(k)]).demand;
+      }
+      const double load1 = base.route_stats(m.r1).load;
+      const double load2 = base.route_stats(m.r2).load;
+      return prefix1 + (load2 - prefix2) <= cap &&
+             prefix2 + (load1 - prefix1) <= cap;
+    }
+  }
+  return false;
+}
+
+bool MoveEngine::exact_feasible(const Solution& base, const Move& m) const {
+  if (!capacity_feasible(base, m)) return false;
+  build_modified(base, m, scratch1_, scratch2_);
+  double old_tardiness = base.route_stats(m.r1).tardiness;
+  double new_tardiness = evaluate_route(*inst_, scratch1_).tardiness;
+  if (m.r1 != m.r2) {
+    old_tardiness += base.route_stats(m.r2).tardiness;
+    new_tardiness += evaluate_route(*inst_, scratch2_).tardiness;
+  }
+  return new_tardiness <= old_tardiness + 1e-9;
+}
+
+bool MoveEngine::screened_feasible(const Solution& base, const Move& m,
+                                   FeasibilityScreen screen) const {
+  switch (screen) {
+    case FeasibilityScreen::CapacityOnly:
+      return capacity_feasible(base, m);
+    case FeasibilityScreen::Local:
+      return locally_feasible(base, m);
+    case FeasibilityScreen::Exact:
+      return exact_feasible(base, m);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Route reconstruction, evaluation, application
+// ---------------------------------------------------------------------------
+
+void MoveEngine::build_modified(const Solution& base, const Move& m,
+                                std::vector<int>& out1,
+                                std::vector<int>& out2) const {
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  out1.clear();
+  out2.clear();
+  switch (m.type) {
+    case MoveType::Relocate: {
+      const int c = r1[static_cast<std::size_t>(m.i)];
+      out1 = r1;
+      out1.erase(out1.begin() + m.i);
+      out2 = r2;
+      out2.insert(out2.begin() + m.j, c);
+      break;
+    }
+    case MoveType::Exchange: {
+      out1 = r1;
+      out2 = r2;
+      std::swap(out1[static_cast<std::size_t>(m.i)],
+                out2[static_cast<std::size_t>(m.j)]);
+      break;
+    }
+    case MoveType::TwoOpt: {
+      out1 = r1;
+      std::reverse(out1.begin() + m.i, out1.begin() + m.j + 1);
+      break;
+    }
+    case MoveType::TwoOptStar: {
+      out1.assign(r1.begin(), r1.begin() + m.i);
+      out1.insert(out1.end(), r2.begin() + m.j, r2.end());
+      out2.assign(r2.begin(), r2.begin() + m.j);
+      out2.insert(out2.end(), r1.begin() + m.i, r1.end());
+      break;
+    }
+    case MoveType::OrOpt: {
+      const int s1 = r1[static_cast<std::size_t>(m.i)];
+      const int s2 = r1[static_cast<std::size_t>(m.i + 1)];
+      out1 = r1;
+      out1.erase(out1.begin() + m.i, out1.begin() + m.i + 2);
+      out1.insert(out1.begin() + m.j, {s1, s2});
+      break;
+    }
+  }
+}
+
+Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
+  assert(applicable(base, m));
+  build_modified(base, m, scratch1_, scratch2_);
+
+  const RouteStats new1 = evaluate_route(*inst_, scratch1_);
+  const bool inter = m.r1 != m.r2;
+  const RouteStats new2 =
+      inter ? evaluate_route(*inst_, scratch2_) : RouteStats{};
+
+  // Summing over all routes in index order makes the result bitwise
+  // identical to Solution::evaluate() after apply() — so candidate
+  // objectives, archive duplicate detection, and materialized solutions
+  // always agree exactly.  R is small (<= fleet size), so this costs a
+  // few hundred nanoseconds, not correctness.
+  Objectives obj;
+  for (int r = 0; r < base.num_routes(); ++r) {
+    const RouteStats* stats;
+    bool empty;
+    if (r == m.r1) {
+      stats = &new1;
+      empty = scratch1_.empty();
+    } else if (inter && r == m.r2) {
+      stats = &new2;
+      empty = scratch2_.empty();
+    } else {
+      stats = &base.route_stats(r);
+      empty = base.route(r).empty();
+    }
+    obj.distance += stats->distance;
+    obj.tardiness += stats->tardiness;
+    if (!empty) ++obj.vehicles;
+  }
+  return obj;
+}
+
+void MoveEngine::apply(Solution& s, const Move& m) const {
+  assert(applicable(s, m));
+  build_modified(s, m, scratch1_, scratch2_);
+  s.mutable_route(m.r1) = scratch1_;
+  if (m.r1 != m.r2) s.mutable_route(m.r2) = scratch2_;
+  s.evaluate();
+}
+
+// ---------------------------------------------------------------------------
+// Tabu attributes
+// ---------------------------------------------------------------------------
+
+MoveAttrs MoveEngine::created_attrs(const Solution& base,
+                                    const Move& m) const {
+  MoveAttrs attrs;
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  switch (m.type) {
+    case MoveType::Relocate:
+      attrs.push(assign_attr(r1[static_cast<std::size_t>(m.i)], m.r2));
+      break;
+    case MoveType::Exchange:
+      attrs.push(assign_attr(r1[static_cast<std::size_t>(m.i)], m.r2));
+      attrs.push(assign_attr(r2[static_cast<std::size_t>(m.j)], m.r1));
+      break;
+    case MoveType::TwoOpt:
+      attrs.push(edge_attr(at_or_depot(r1, m.i - 1),
+                           r1[static_cast<std::size_t>(m.j)]));
+      attrs.push(edge_attr(r1[static_cast<std::size_t>(m.i)],
+                           at_or_depot(r1, m.j + 1)));
+      break;
+    case MoveType::TwoOptStar:
+      attrs.push(edge_attr(at_or_depot(r1, m.i - 1), at_or_depot(r2, m.j)));
+      attrs.push(edge_attr(at_or_depot(r2, m.j - 1), at_or_depot(r1, m.i)));
+      break;
+    case MoveType::OrOpt: {
+      const int s1 = r1[static_cast<std::size_t>(m.i)];
+      const int s2 = r1[static_cast<std::size_t>(m.i + 1)];
+      auto removed_at = [&](int pos) {
+        const int shifted = pos >= m.i ? pos + 2 : pos;
+        return at_or_depot(r1, shifted);
+      };
+      attrs.push(edge_attr(m.j > 0 ? removed_at(m.j - 1) : 0, s1));
+      attrs.push(edge_attr(s2, removed_at(m.j)));
+      break;
+    }
+  }
+  return attrs;
+}
+
+MoveAttrs MoveEngine::destroyed_attrs(const Solution& base,
+                                      const Move& m) const {
+  MoveAttrs attrs;
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  switch (m.type) {
+    case MoveType::Relocate:
+      attrs.push(assign_attr(r1[static_cast<std::size_t>(m.i)], m.r1));
+      break;
+    case MoveType::Exchange:
+      attrs.push(assign_attr(r1[static_cast<std::size_t>(m.i)], m.r1));
+      attrs.push(assign_attr(r2[static_cast<std::size_t>(m.j)], m.r2));
+      break;
+    case MoveType::TwoOpt:
+      attrs.push(edge_attr(at_or_depot(r1, m.i - 1),
+                           r1[static_cast<std::size_t>(m.i)]));
+      attrs.push(edge_attr(r1[static_cast<std::size_t>(m.j)],
+                           at_or_depot(r1, m.j + 1)));
+      break;
+    case MoveType::TwoOptStar:
+      attrs.push(
+          edge_attr(at_or_depot(r1, m.i - 1), at_or_depot(r1, m.i)));
+      attrs.push(
+          edge_attr(at_or_depot(r2, m.j - 1), at_or_depot(r2, m.j)));
+      break;
+    case MoveType::OrOpt: {
+      const int s1 = r1[static_cast<std::size_t>(m.i)];
+      const int s2 = r1[static_cast<std::size_t>(m.i + 1)];
+      attrs.push(edge_attr(at_or_depot(r1, m.i - 1), s1));
+      attrs.push(edge_attr(s2, at_or_depot(r1, m.i + 2)));
+      break;
+    }
+  }
+  return attrs;
+}
+
+// ---------------------------------------------------------------------------
+// Random proposals
+// ---------------------------------------------------------------------------
+
+std::optional<Move> MoveEngine::propose(MoveType t, const Solution& base,
+                                        Rng& rng, int max_attempts,
+                                        FeasibilityScreen screen) const {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::optional<Move> m;
+    switch (t) {
+      case MoveType::Relocate:
+        m = propose_relocate(base, rng);
+        break;
+      case MoveType::Exchange:
+        m = propose_exchange(base, rng);
+        break;
+      case MoveType::TwoOpt:
+        m = propose_two_opt(base, rng);
+        break;
+      case MoveType::TwoOptStar:
+        m = propose_two_opt_star(base, rng);
+        break;
+      case MoveType::OrOpt:
+        m = propose_or_opt(base, rng);
+        break;
+    }
+    if (m && screened_feasible(base, *m, screen)) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<Move> MoveEngine::propose_relocate(const Solution& base,
+                                                 Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 1 || base.num_routes() < 2) return std::nullopt;
+  const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r1 = base.route_of(c);
+  if (r1 < 0) return std::nullopt;
+  int r2 = static_cast<int>(
+      rng.below(static_cast<std::uint64_t>(base.num_routes() - 1)));
+  if (r2 >= r1) ++r2;  // uniform over routes != r1
+  const int j = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(base.route(r2).size()) + 1));
+  return Move{MoveType::Relocate, r1, r2, base.position_of(c), j};
+}
+
+std::optional<Move> MoveEngine::propose_exchange(const Solution& base,
+                                                 Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2) return std::nullopt;
+  const int c1 =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int c2 =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r1 = base.route_of(c1);
+  const int r2 = base.route_of(c2);
+  if (r1 < 0 || r2 < 0 || r1 == r2) return std::nullopt;
+  return Move{MoveType::Exchange, r1, r2, base.position_of(c1),
+              base.position_of(c2)};
+}
+
+std::optional<Move> MoveEngine::propose_two_opt(const Solution& base,
+                                                Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2) return std::nullopt;
+  // Anchor on a random customer so longer routes are picked proportionally.
+  const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r = base.route_of(c);
+  if (r < 0) return std::nullopt;
+  const int len = static_cast<int>(base.route(r).size());
+  if (len < 2) return std::nullopt;
+  int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(len)));
+  int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(len)));
+  if (i == j) return std::nullopt;
+  if (i > j) std::swap(i, j);
+  return Move{MoveType::TwoOpt, r, r, i, j};
+}
+
+std::optional<Move> MoveEngine::propose_two_opt_star(const Solution& base,
+                                                     Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2) return std::nullopt;
+  const int c1 =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int c2 =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r1 = base.route_of(c1);
+  const int r2 = base.route_of(c2);
+  if (r1 < 0 || r2 < 0 || r1 == r2) return std::nullopt;
+  const int n1 = static_cast<int>(base.route(r1).size());
+  const int n2 = static_cast<int>(base.route(r2).size());
+  const int i =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(n1) + 1));
+  const int j =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(n2) + 1));
+  if ((i == n1 && j == n2) || (i == 0 && j == 0)) return std::nullopt;
+  return Move{MoveType::TwoOptStar, r1, r2, i, j};
+}
+
+std::optional<Move> MoveEngine::propose_or_opt(const Solution& base,
+                                               Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 3) return std::nullopt;
+  const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r = base.route_of(c);
+  if (r < 0) return std::nullopt;
+  const int len = static_cast<int>(base.route(r).size());
+  if (len < 3) return std::nullopt;
+  const int i =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(len - 1)));
+  const int j =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(len - 1)));
+  if (j == i) return std::nullopt;
+  return Move{MoveType::OrOpt, r, r, i, j};
+}
+
+}  // namespace tsmo

@@ -1,0 +1,92 @@
+#pragma once
+
+// MoveEngine: proposal, feasibility screening, delta evaluation and
+// application of the five operators.
+//
+// Delta evaluation never copies a whole solution: a move touches at most
+// two routes, so the engine rebuilds only those routes in scratch buffers,
+// re-evaluates them, and patches the base objectives.  Only the *selected*
+// neighbor of an iteration is materialized by applying the move.
+
+#include <optional>
+#include <vector>
+
+#include "operators/move.hpp"
+#include "util/rng.hpp"
+#include "vrptw/instance.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo {
+
+class MoveEngine {
+ public:
+  explicit MoveEngine(const Instance& inst) : inst_(&inst) {}
+
+  const Instance& instance() const noexcept { return *inst_; }
+
+  /// The paper's local feasibility criterion (§II.B): new junction edges
+  /// must satisfy a_i + c_i + t_{i,k} <= b_k, and the receiving route's
+  /// demand must stay within capacity.  Purely static — O(route length)
+  /// worst case (2-opt* prefix loads), O(1) typically.
+  bool locally_feasible(const Solution& base, const Move& m) const;
+
+  /// Capacity part of the screen only (always enforced in every mode).
+  bool capacity_feasible(const Solution& base, const Move& m) const;
+
+  /// Exact screen: capacity plus "the move does not increase the summed
+  /// tardiness of the routes it touches".  O(route length) re-schedule.
+  bool exact_feasible(const Solution& base, const Move& m) const;
+
+  /// Dispatches on the screening mode.
+  bool screened_feasible(const Solution& base, const Move& m,
+                         FeasibilityScreen screen) const;
+
+  /// Structural validity of the move against this solution (indices in
+  /// range, operator preconditions).  Feasibility is separate.
+  bool applicable(const Solution& base, const Move& m) const;
+
+  /// Objectives of `base` with `m` applied; `base` is not modified.
+  Objectives evaluate(const Solution& base, const Move& m) const;
+
+  /// Applies `m` to `s` in place and re-evaluates the affected routes.
+  void apply(Solution& s, const Move& m) const;
+
+  /// Features the move creates (checked against the tabu list).
+  MoveAttrs created_attrs(const Solution& base, const Move& m) const;
+
+  /// Features the move destroys (pushed into the tabu list on acceptance).
+  MoveAttrs destroyed_attrs(const Solution& base, const Move& m) const;
+
+  /// Draws a random structurally-valid move of type `t` passing the
+  /// screen, or nullopt after `max_attempts` failed draws.
+  std::optional<Move> propose(
+      MoveType t, const Solution& base, Rng& rng, int max_attempts = 12,
+      FeasibilityScreen screen = FeasibilityScreen::Local) const;
+
+ private:
+  /// Fills `out1`/`out2` with the new contents of routes m.r1 / m.r2
+  /// (`out2` untouched for intra-route moves).
+  void build_modified(const Solution& base, const Move& m,
+                      std::vector<int>& out1, std::vector<int>& out2) const;
+
+  /// True when traversing a -> b cannot locally violate b's window:
+  /// a_a + c_a + t_{a,b} <= b_b (indices may be 0 == depot).
+  bool edge_ok(int a, int b) const noexcept {
+    const Site& sa = inst_->site(a);
+    const Site& sb = inst_->site(b);
+    return sa.ready + sa.service + inst_->distance(a, b) <= sb.due;
+  }
+
+  std::optional<Move> propose_relocate(const Solution& base, Rng& rng) const;
+  std::optional<Move> propose_exchange(const Solution& base, Rng& rng) const;
+  std::optional<Move> propose_two_opt(const Solution& base, Rng& rng) const;
+  std::optional<Move> propose_two_opt_star(const Solution& base,
+                                           Rng& rng) const;
+  std::optional<Move> propose_or_opt(const Solution& base, Rng& rng) const;
+
+  const Instance* inst_;
+  mutable std::vector<int> scratch1_;
+  mutable std::vector<int> scratch2_;
+};
+
+}  // namespace tsmo

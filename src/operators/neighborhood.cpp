@@ -1,0 +1,63 @@
+#include "operators/neighborhood.hpp"
+
+#include <stdexcept>
+
+namespace tsmo {
+
+NeighborhoodGenerator::NeighborhoodGenerator(
+    const MoveEngine& engine,
+    const std::array<double, kNumMoveTypes>& weights,
+    FeasibilityScreen screen)
+    : engine_(&engine), weights_(weights), screen_(screen) {
+  for (double w : weights_) {
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "NeighborhoodGenerator: negative operator weight");
+    }
+    total_weight_ += w;
+  }
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument(
+        "NeighborhoodGenerator: all operator weights are zero");
+  }
+}
+
+MoveType NeighborhoodGenerator::sample_type(Rng& rng) const {
+  double x = rng.uniform(0.0, total_weight_);
+  for (int t = 0; t < kNumMoveTypes; ++t) {
+    x -= weights_[static_cast<std::size_t>(t)];
+    if (x < 0.0) return static_cast<MoveType>(t);
+  }
+  return static_cast<MoveType>(kNumMoveTypes - 1);
+}
+
+std::vector<Neighbor> NeighborhoodGenerator::generate(const Solution& base,
+                                                      int count,
+                                                      Rng& rng) const {
+  std::vector<Neighbor> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Each propose() internally retries a few position draws; this outer
+  // budget additionally re-draws the operator type, matching the paper.
+  int draws_left = count * 25;
+  while (static_cast<int>(out.size()) < count && draws_left-- > 0) {
+    const MoveType type = sample_type(rng);
+    const auto move = engine_->propose(type, base, rng, 12, screen_);
+    if (!move) continue;
+    Neighbor n;
+    n.move = *move;
+    n.obj = engine_->evaluate(base, *move);
+    n.creates = engine_->created_attrs(base, *move);
+    n.destroys = engine_->destroyed_attrs(base, *move);
+    out.push_back(n);
+  }
+  return out;
+}
+
+Solution NeighborhoodGenerator::materialize(const Solution& base,
+                                            const Neighbor& n) const {
+  Solution s = base;
+  engine_->apply(s, n.move);
+  return s;
+}
+
+}  // namespace tsmo

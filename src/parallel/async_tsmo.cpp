@@ -1,0 +1,92 @@
+#include "parallel/async_tsmo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "core/sequential_tsmo.hpp"
+#include "parallel/worker_team.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+RunResult AsyncTsmo::run() const {
+  Timer timer;
+  const int procs = std::max(2, processors_);
+  SearchState state(*inst_, params_, Rng(params_.seed));
+  state.initialize();
+  WorkerTeam team(*inst_, procs - 1, params_.seed);
+
+  const int chunk = std::max(1, params_.neighborhood_size / procs);
+  std::vector<bool> busy(static_cast<std::size_t>(team.num_workers()),
+                         false);
+  std::int64_t inflight = 0;  // evaluations requested but not yet returned
+  std::vector<Candidate> pool;
+  std::uint64_t ticket = 0;
+
+  auto drain = [&](std::optional<GenResult> result) {
+    while (result) {
+      busy[static_cast<std::size_t>(result->worker_id)] = false;
+      inflight -= static_cast<std::int64_t>(chunk);
+      state.charge_evaluations(
+          static_cast<std::int64_t>(result->candidates.size()));
+      pool.insert(pool.end(),
+                  std::make_move_iterator(result->candidates.begin()),
+                  std::make_move_iterator(result->candidates.end()));
+      result = team.try_collect();
+    }
+  };
+
+  while (!state.budget_exhausted()) {
+    // Dispatch fresh chunks (on the current solution) to idle workers, as
+    // long as the budget leaves room for the in-flight work.
+    for (int w = 0; w < team.num_workers(); ++w) {
+      const std::int64_t headroom = params_.max_evaluations -
+                                    state.evaluations() - inflight;
+      if (busy[static_cast<std::size_t>(w)] || headroom < chunk) continue;
+      team.submit(GenRequest{state.current(), chunk, ++ticket});
+      busy[static_cast<std::size_t>(w)] = true;
+      inflight += chunk;
+    }
+
+    // Master's own share of the neighborhood.
+    const std::int64_t remaining =
+        params_.max_evaluations - state.evaluations();
+    const int master_chunk =
+        static_cast<int>(std::min<std::int64_t>(chunk, remaining));
+    if (master_chunk > 0) {
+      std::vector<Candidate> mine = state.generate_candidates(master_chunk);
+      pool.insert(pool.end(), std::make_move_iterator(mine.begin()),
+                  std::make_move_iterator(mine.end()));
+    }
+    drain(team.try_collect());
+
+    // --- Algorithm 2: decide whether to keep waiting. ---
+    const auto wait_started = std::chrono::steady_clock::now();
+    const auto too_long =
+        std::chrono::duration<double, std::milli>(options_.wait_too_long_ms);
+    for (;;) {
+      const bool c1 = std::any_of(busy.begin(), busy.end(),
+                                  [](bool b) { return !b; });
+      const bool c2 = std::any_of(
+          pool.begin(), pool.end(), [&](const Candidate& c) {
+            return dominates(c.obj, state.current()->objectives());
+          });
+      const bool c3 =
+          std::chrono::steady_clock::now() - wait_started >= too_long;
+      const bool c4 = state.budget_exhausted();
+      if (c1 || c2 || c3 || c4) break;
+      drain(team.collect_for(std::chrono::microseconds(200)));
+    }
+
+    if (pool.empty() && state.budget_exhausted()) break;
+    state.step_with_candidates(pool);
+    // The considered pool is consumed; results still in flight will join
+    // the pool of the iteration in which they arrive.
+    pool.clear();
+  }
+
+  return collect_result(state, "async", timer.elapsed_seconds());
+}
+
+}  // namespace tsmo

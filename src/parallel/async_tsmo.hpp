@@ -1,0 +1,47 @@
+#pragma once
+
+// Asynchronous master-worker TSMO (§III.D, Algorithm 2).
+//
+// The master distributes neighborhood chunks but "does not wait in all
+// cases for the workers to continue": after finishing its own chunk it
+// consults a decision function and proceeds to selection with whatever has
+// been evaluated so far.  Straggler results join the candidate pool of a
+// later iteration, so the search "can select solutions that were neighbors
+// of a previous solution" — the dynamics illustrated in the paper's Fig. 1.
+//
+// Decision function (Algorithm 2) — continue when any of:
+//   c1  at least one worker is idle (finished its chunk)
+//   c2  some collected neighbor dominates the current solution
+//   c3  the master has waited too long
+//   c4  the evaluation budget is exhausted
+
+#include "core/run_result.hpp"
+#include "core/search_state.hpp"
+
+namespace tsmo {
+
+struct AsyncOptions {
+  /// c3 threshold: how long the master keeps waiting for worker results
+  /// before proceeding with the partial pool.
+  double wait_too_long_ms = 2.0;
+};
+
+class AsyncTsmo {
+ public:
+  AsyncTsmo(const Instance& inst, const TsmoParams& params, int processors,
+            AsyncOptions options = {})
+      : inst_(&inst),
+        params_(params),
+        processors_(processors),
+        options_(options) {}
+
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  TsmoParams params_;
+  int processors_;
+  AsyncOptions options_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,91 @@
+#pragma once
+
+// Unbounded MPMC channel (mutex + condition variable).
+//
+// This is the only inter-thread communication primitive in the library:
+// master->worker generation requests, worker->master results, and the
+// multisearch mailboxes are all channels.  Close semantics: push after
+// close is refused; pop drains remaining items, then reports closed.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tsmo {
+
+template <typename T>
+class Channel {
+ public:
+  /// Enqueues an item; returns false (dropping the item) when closed.
+  bool push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Blocks until an item arrives or the channel is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Blocks up to `timeout`; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, timeout,
+                 [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,151 @@
+#include "parallel/hybrid_tsmo.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/sequential_tsmo.hpp"
+#include "parallel/channel.hpp"
+#include "parallel/worker_team.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+MultisearchResult HybridTsmo::run() const {
+  Timer timer;
+  const int k = std::max(2, islands_);
+  const int procs = std::max(2, procs_per_island_);
+  const auto n = static_cast<std::size_t>(k);
+
+  std::vector<std::unique_ptr<Channel<Solution>>> mailboxes;
+  mailboxes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mailboxes.push_back(std::make_unique<Channel<Solution>>());
+  }
+  std::vector<RunResult> per_island(n);
+  std::atomic<std::int64_t> messages_sent{0};
+  std::atomic<std::int64_t> messages_accepted{0};
+
+  auto island = [&](int id) {
+    Timer local_timer;
+    Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x9d2c5680ULL);
+    TsmoParams p = id == 0 ? params_ : params_.perturbed(rng);
+    p.max_evaluations = params_.max_evaluations;
+    p.seed = rng.next();
+
+    SearchState state(*inst_, p, Rng(p.seed));
+    state.initialize();
+    WorkerTeam team(*inst_, procs - 1, p.seed);
+
+    std::vector<int> comm;
+    for (int j = 0; j < k; ++j) {
+      if (j != id) comm.push_back(j);
+    }
+    for (std::size_t j = comm.size(); j > 1; --j) {
+      std::swap(comm[j - 1], comm[rng.below(j)]);
+    }
+
+    // Asynchronous master loop (as in AsyncTsmo) + island exchange.
+    const int chunk = std::max(1, p.neighborhood_size / procs);
+    std::vector<bool> busy(static_cast<std::size_t>(team.num_workers()),
+                           false);
+    std::int64_t inflight = 0;
+    std::vector<Candidate> pool;
+    std::uint64_t ticket = 0;
+    bool initial_phase = true;
+
+    auto drain = [&](std::optional<GenResult> result) {
+      while (result) {
+        busy[static_cast<std::size_t>(result->worker_id)] = false;
+        inflight -= chunk;
+        state.charge_evaluations(
+            static_cast<std::int64_t>(result->candidates.size()));
+        pool.insert(pool.end(),
+                    std::make_move_iterator(result->candidates.begin()),
+                    std::make_move_iterator(result->candidates.end()));
+        result = team.try_collect();
+      }
+    };
+
+    while (!state.budget_exhausted()) {
+      while (auto incoming = mailboxes[static_cast<std::size_t>(id)]
+                                 ->try_pop()) {
+        if (state.receive(*incoming)) {
+          messages_accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      for (int w = 0; w < team.num_workers(); ++w) {
+        const std::int64_t headroom =
+            p.max_evaluations - state.evaluations() - inflight;
+        if (busy[static_cast<std::size_t>(w)] || headroom < chunk) {
+          continue;
+        }
+        team.submit(GenRequest{state.current(), chunk, ++ticket});
+        busy[static_cast<std::size_t>(w)] = true;
+        inflight += chunk;
+      }
+      const std::int64_t remaining =
+          p.max_evaluations - state.evaluations();
+      const int master_chunk =
+          static_cast<int>(std::min<std::int64_t>(chunk, remaining));
+      if (master_chunk > 0) {
+        auto mine = state.generate_candidates(master_chunk);
+        pool.insert(pool.end(), std::make_move_iterator(mine.begin()),
+                    std::make_move_iterator(mine.end()));
+      }
+      drain(team.try_collect());
+
+      const auto wait_started = std::chrono::steady_clock::now();
+      for (;;) {
+        const bool c1 = std::any_of(busy.begin(), busy.end(),
+                                    [](bool b) { return !b; });
+        const bool c2 = std::any_of(
+            pool.begin(), pool.end(), [&](const Candidate& c) {
+              return dominates(c.obj, state.current()->objectives());
+            });
+        const bool c3 = std::chrono::steady_clock::now() - wait_started >=
+                        std::chrono::milliseconds(2);
+        if (c1 || c2 || c3 || state.budget_exhausted()) break;
+        drain(team.collect_for(std::chrono::microseconds(200)));
+      }
+
+      if (pool.empty() && state.budget_exhausted()) break;
+      const auto outcome = state.step_with_candidates(pool);
+      pool.clear();
+
+      if (initial_phase &&
+          state.iterations_since_improvement() >= p.restart_after) {
+        initial_phase = false;
+      }
+      if (!initial_phase && outcome.archive_improved && !comm.empty()) {
+        const int target = comm.front();
+        std::rotate(comm.begin(), comm.begin() + 1, comm.end());
+        mailboxes[static_cast<std::size_t>(target)]->push(
+            *state.current());
+        messages_sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    per_island[static_cast<std::size_t>(id)] = collect_result(
+        state, "hybrid[" + std::to_string(id) + "]",
+        local_timer.elapsed_seconds());
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (int id = 0; id < k; ++id) threads.emplace_back(island, id);
+  }  // join
+
+  MultisearchResult result;
+  result.per_searcher = std::move(per_island);
+  result.merged = merge_results(result.per_searcher, "hybrid");
+  result.merged.wall_seconds = timer.elapsed_seconds();
+  result.messages_sent = messages_sent.load();
+  result.messages_accepted = messages_accepted.load();
+  return result;
+}
+
+}  // namespace tsmo

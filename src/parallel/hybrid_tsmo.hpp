@@ -1,0 +1,39 @@
+#pragma once
+
+// Threaded hybrid of the paper's §V future work: islands of asynchronous
+// master-worker groups (§III.D) that exchange improving solutions like the
+// collaborative multisearch (§III.E).  The deterministic virtual-clock
+// counterpart is run_sim_hybrid() in src/sim.
+//
+// Topology: `islands` master threads, each driving `procs_per_island - 1`
+// generation workers (total processors = islands * procs_per_island).
+// Every island owns a full evaluation budget, perturbs its parameters like
+// a multisearch searcher (island 0 keeps the base), and after its initial
+// phase sends archive improvements to one peer island at a time through a
+// rotating communication list.
+
+#include "core/run_result.hpp"
+#include "core/search_state.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+
+namespace tsmo {
+
+class HybridTsmo {
+ public:
+  HybridTsmo(const Instance& inst, const TsmoParams& params, int islands,
+             int procs_per_island)
+      : inst_(&inst),
+        params_(params),
+        islands_(islands),
+        procs_per_island_(procs_per_island) {}
+
+  MultisearchResult run() const;
+
+ private:
+  const Instance* inst_;
+  TsmoParams params_;
+  int islands_;
+  int procs_per_island_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,136 @@
+#include "parallel/multisearch_tsmo.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "core/sequential_tsmo.hpp"
+#include "parallel/channel.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+RunResult merge_results(const std::vector<RunResult>& results,
+                        std::string algorithm) {
+  RunResult merged;
+  merged.algorithm = std::move(algorithm);
+  for (const RunResult& r : results) {
+    merged.evaluations += r.evaluations;
+    merged.iterations += r.iterations;
+    merged.restarts += r.restarts;
+    merged.wall_seconds = std::max(merged.wall_seconds, r.wall_seconds);
+    merged.sim_seconds = std::max(merged.sim_seconds, r.sim_seconds);
+    for (std::size_t i = 0; i < r.front.size(); ++i) {
+      bool dominated = false;
+      for (const Objectives& o : merged.front) {
+        if (weakly_dominates(o, r.front[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      for (std::size_t j = merged.front.size(); j-- > 0;) {
+        if (dominates(r.front[i], merged.front[j])) {
+          merged.front.erase(merged.front.begin() +
+                             static_cast<std::ptrdiff_t>(j));
+          merged.solutions.erase(merged.solutions.begin() +
+                                 static_cast<std::ptrdiff_t>(j));
+        }
+      }
+      merged.front.push_back(r.front[i]);
+      merged.solutions.push_back(r.solutions[i]);
+    }
+  }
+  return merged;
+}
+
+MultisearchResult MultisearchTsmo::run() const {
+  Timer timer;
+  const int procs = std::max(2, processors_);
+  const auto n = static_cast<std::size_t>(procs);
+
+  // One mailbox per searcher; solutions are exchanged by value.
+  std::vector<std::unique_ptr<Channel<Solution>>> mailboxes;
+  mailboxes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mailboxes.push_back(std::make_unique<Channel<Solution>>());
+  }
+
+  std::vector<RunResult> per_searcher(n);
+  std::atomic<std::int64_t> messages_sent{0};
+  std::atomic<std::int64_t> messages_accepted{0};
+
+  auto searcher = [&](int id) {
+    Timer local_timer;
+    Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x51ed2701ULL);
+    // Searcher 0 keeps the base parameters; others perturb (§III.E).
+    TsmoParams p = id == 0 ? params_ : params_.perturbed(rng);
+    p.max_evaluations = params_.max_evaluations;  // full budget each
+    p.seed = rng.next();
+
+    SearchState state(*inst_, p, Rng(p.seed));
+    state.initialize();
+
+    // Random private communication list over the other searchers.
+    std::vector<int> comm;
+    for (int k = 0; k < procs; ++k) {
+      if (k != id) comm.push_back(k);
+    }
+    for (std::size_t k = comm.size(); k > 1; --k) {
+      std::swap(comm[k - 1], comm[rng.below(k)]);
+    }
+
+    bool initial_phase = true;
+    while (!state.budget_exhausted()) {
+      // Incorporate peer solutions before the next step.
+      while (auto received = mailboxes[static_cast<std::size_t>(id)]
+                                 ->try_pop()) {
+        if (state.receive(*received)) {
+          messages_accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      const std::int64_t remaining =
+          p.max_evaluations - state.evaluations();
+      const int want = static_cast<int>(
+          std::min<std::int64_t>(p.neighborhood_size, remaining));
+      if (want <= 0) break;
+      const auto candidates = state.generate_candidates(want);
+      const auto outcome = state.step_with_candidates(candidates);
+
+      if (initial_phase && state.iterations_since_improvement() >=
+                               p.restart_after) {
+        initial_phase = false;  // stagnated once: start collaborating
+      }
+      if (!initial_phase && outcome.archive_improved && !comm.empty()) {
+        const int target = comm.front();
+        std::rotate(comm.begin(), comm.begin() + 1, comm.end());
+        mailboxes[static_cast<std::size_t>(target)]->push(*state.current());
+        messages_sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    per_searcher[static_cast<std::size_t>(id)] = collect_result(
+        state, "coll[" + std::to_string(id) + "]",
+        local_timer.elapsed_seconds());
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (int id = 0; id < procs; ++id) {
+      threads.emplace_back(searcher, id);
+    }
+  }  // join
+
+  MultisearchResult result;
+  result.per_searcher = std::move(per_searcher);
+  result.merged = merge_results(result.per_searcher, "coll");
+  result.merged.wall_seconds = timer.elapsed_seconds();
+  result.messages_sent = messages_sent.load();
+  result.messages_accepted = messages_accepted.load();
+  return result;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,54 @@
+#include "parallel/sync_tsmo.hpp"
+
+#include <algorithm>
+
+#include "core/sequential_tsmo.hpp"
+#include "parallel/worker_team.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+RunResult SyncTsmo::run() const {
+  Timer timer;
+  const int procs = std::max(2, processors_);
+  SearchState state(*inst_, params_, Rng(params_.seed));
+  state.initialize();
+  WorkerTeam team(*inst_, procs - 1, params_.seed);
+
+  std::uint64_t ticket = 0;
+  while (!state.budget_exhausted()) {
+    const std::int64_t remaining =
+        params_.max_evaluations - state.evaluations();
+    const int want = static_cast<int>(std::min<std::int64_t>(
+        params_.neighborhood_size, remaining));
+    if (want <= 0) break;
+
+    // Distribute the neighborhood among master + workers.
+    const int worker_chunk = want / procs;
+    int dispatched = 0;
+    if (worker_chunk > 0) {
+      for (int w = 0; w < team.num_workers(); ++w) {
+        team.submit(GenRequest{state.current(), worker_chunk, ++ticket});
+        ++dispatched;
+      }
+    }
+    const int master_chunk = want - dispatched * worker_chunk;
+    std::vector<Candidate> candidates =
+        state.generate_candidates(master_chunk);
+
+    // Barrier: wait for every worker's part before selecting.
+    for (int w = 0; w < dispatched; ++w) {
+      auto result = team.collect();
+      if (!result) break;  // team shut down (cannot happen mid-run)
+      state.charge_evaluations(
+          static_cast<std::int64_t>(result->candidates.size()));
+      candidates.insert(candidates.end(),
+                        std::make_move_iterator(result->candidates.begin()),
+                        std::make_move_iterator(result->candidates.end()));
+    }
+    state.step_with_candidates(candidates);
+  }
+  return collect_result(state, "sync", timer.elapsed_seconds());
+}
+
+}  // namespace tsmo

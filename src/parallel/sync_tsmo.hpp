@@ -1,0 +1,35 @@
+#pragma once
+
+// Synchronous master-worker TSMO (§III.C).
+//
+// "A very simple parallelization of the GenerateNeighborhood() and
+// Evaluate() functions using a master process that distributes the work
+// among himself and several worker processes. ... It is synchronized in
+// that the master selects the current individual, distributes the work and
+// waits to collect all the results."
+//
+// Behaviour is identical to the sequential algorithm given the combined
+// neighborhood — only wall-clock changes — which is why the paper finds
+// "the behavior of the synchronous algorithm does not differ from the
+// sequential one" and no significant quality difference.
+
+#include "core/run_result.hpp"
+#include "core/search_state.hpp"
+
+namespace tsmo {
+
+class SyncTsmo {
+ public:
+  /// `processors` counts the master plus its workers (paper: 3, 6, 12).
+  SyncTsmo(const Instance& inst, const TsmoParams& params, int processors)
+      : inst_(&inst), params_(params), processors_(processors) {}
+
+  RunResult run() const;
+
+ private:
+  const Instance* inst_;
+  TsmoParams params_;
+  int processors_;
+};
+
+}  // namespace tsmo

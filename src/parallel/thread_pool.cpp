@@ -1,0 +1,26 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tsmo {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this] {
+      while (auto task = tasks_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace tsmo

@@ -1,0 +1,46 @@
+#pragma once
+
+// Minimal fixed-size thread pool over Channel<task>.  General-purpose
+// substrate (tests, examples); the master-worker algorithms use the more
+// specialized WorkerTeam, which keeps per-worker RNG streams and engines.
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "parallel/channel.hpp"
+
+namespace tsmo {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Joins all workers after draining outstanding tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Schedules a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    tasks_.push([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  Channel<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tsmo

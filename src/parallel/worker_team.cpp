@@ -1,0 +1,42 @@
+#include "parallel/worker_team.hpp"
+
+#include <algorithm>
+
+#include "operators/neighborhood.hpp"
+
+namespace tsmo {
+
+WorkerTeam::WorkerTeam(const Instance& inst, int num_workers,
+                       std::uint64_t seed)
+    : inst_(&inst) {
+  Rng master(seed ^ 0x5eedF00dULL);
+  const int n = std::max(1, num_workers);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i, rng = master.split()]() mutable { worker_loop(i, rng); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  requests_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  results_.close();
+}
+
+void WorkerTeam::worker_loop(int id, Rng rng) {
+  MoveEngine engine(*inst_);
+  NeighborhoodGenerator generator(engine);
+  while (auto request = requests_.pop()) {
+    GenResult result;
+    result.ticket = request->ticket;
+    result.worker_id = id;
+    result.candidates = make_candidates(generator, request->base,
+                                        request->count, rng);
+    results_.push(std::move(result));
+  }
+}
+
+}  // namespace tsmo

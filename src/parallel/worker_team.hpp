@@ -1,0 +1,77 @@
+#pragma once
+
+// Persistent neighborhood-generation workers for the master-worker
+// algorithms (§III.C, §III.D): each worker owns its MoveEngine (the engine
+// has mutable scratch buffers and is not shareable), its generator, and an
+// independent RNG stream.  The master hands out GenRequests; workers push
+// back GenResults.  Bases travel as shared_ptr<const Solution>, which is
+// safe to read concurrently.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "parallel/channel.hpp"
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct GenRequest {
+  std::shared_ptr<const Solution> base;
+  int count = 0;
+  std::uint64_t ticket = 0;  ///< echoed back; lets the master age results
+};
+
+struct GenResult {
+  std::vector<Candidate> candidates;
+  std::uint64_t ticket = 0;
+  int worker_id = -1;
+};
+
+class WorkerTeam {
+ public:
+  /// Spawns `num_workers` threads; RNG streams are derived from `seed` by
+  /// repeated jumps, so results are deterministic per (seed, num_workers)
+  /// up to arrival order.
+  WorkerTeam(const Instance& inst, int num_workers, std::uint64_t seed);
+
+  /// Closes the request channel and joins the workers.
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  int num_workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Hands a generation request to the next free worker (requests are
+  /// pulled from a shared channel, so any idle worker picks it up).
+  void submit(GenRequest request) { requests_.push(std::move(request)); }
+
+  /// Non-blocking collection of one finished result.
+  std::optional<GenResult> try_collect() { return results_.try_pop(); }
+
+  /// Blocks up to `timeout` for a result.
+  template <typename Rep, typename Period>
+  std::optional<GenResult> collect_for(
+      std::chrono::duration<Rep, Period> timeout) {
+    return results_.pop_for(timeout);
+  }
+
+  /// Blocks until a result arrives (only valid while requests are
+  /// outstanding; otherwise it would block until destruction).
+  std::optional<GenResult> collect() { return results_.pop(); }
+
+ private:
+  void worker_loop(int id, Rng rng);
+
+  const Instance* inst_;
+  Channel<GenRequest> requests_;
+  Channel<GenResult> results_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,36 @@
+#include "sim/des.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsmo {
+
+void Simulation::schedule_at(double t, Callback cb) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a copy
+  // of the shared_ptr-backed std::function, which is cheap.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(double t) {
+  while (!queue_.empty() && queue_.top().time < t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace tsmo

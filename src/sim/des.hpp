@@ -1,0 +1,64 @@
+#pragma once
+
+// Minimal discrete-event simulator: a priority queue of timestamped
+// callbacks and a virtual clock.  Ties are broken FIFO so runs are fully
+// deterministic.  Used by the simulated collaborative/hybrid drivers,
+// where multiple searchers interleave on the virtual timeline.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tsmo {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time (microseconds by library convention).
+  double now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `t` (>= now; earlier times
+  /// are clamped to now).
+  void schedule_at(double t, Callback cb);
+
+  /// Schedules `cb` at now + dt (dt < 0 clamps to now).
+  void schedule_after(double dt, Callback cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Executes the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs while events exist and now() < t.
+  void run_until(double t);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed (diagnostics).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,81 @@
+#pragma once
+
+// Simulated executions of the four algorithms on a virtual clock.
+//
+// These drivers run the REAL search code (the same SearchState /
+// MoveEngine / memories as the threaded implementations); the CostModel
+// only determines how much virtual time each piece of work consumes and
+// hence *when worker results become visible to the master* — exactly the
+// mechanism that separates the synchronous, asynchronous and collaborative
+// strategies in the paper.  Results carry the virtual runtime in
+// RunResult::sim_seconds; the speedup columns of Tables I-IV are
+// Ts_sim / Tp_sim.
+//
+// Everything here is deterministic in (instance, params, processors, seed).
+
+#include <functional>
+
+#include "core/run_result.hpp"
+#include "core/search_state.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+#include "sim/cost_model.hpp"
+
+namespace tsmo {
+
+/// Sequential TSMO with virtual-time accounting (the Ts baseline).
+RunResult run_sim_sequential(const Instance& inst, const TsmoParams& params,
+                             const CostModel& cost);
+
+/// Synchronous master-worker (§III.C): per iteration the master dispatches
+/// chunks, computes its own, and blocks at a barrier until the slowest
+/// worker (straggler noise applies) has returned.
+RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
+                       int processors, const CostModel& cost);
+
+/// Per-master-iteration snapshot of the asynchronous search, used by the
+/// Fig. 1 trajectory bench: the candidate pool considered (which may mix
+/// neighbors generated against earlier current solutions) and the solution
+/// selected from it.
+struct SimAsyncIterationEvent {
+  std::int64_t iteration = 0;
+  double virtual_time_s = 0.0;
+  std::vector<Objectives> pool;
+  Objectives selected;
+  bool restarted = false;
+};
+
+struct SimAsyncOptions {
+  /// c3 threshold in virtual microseconds; <= 0 selects the default of
+  /// half a worker-chunk evaluation time.
+  double wait_too_long_us = 0.0;
+  /// Ablation switches for the decision function's conditions (Algorithm
+  /// 2): disabling c1 makes the master ignore idle workers; disabling c2
+  /// ignores dominating candidates.  c3 (the timeout) and c4 (the budget)
+  /// always apply, so the search cannot deadlock.
+  bool use_c1 = true;
+  bool use_c2 = true;
+  /// Invoked after every master iteration when set.
+  std::function<void(const SimAsyncIterationEvent&)> observer;
+};
+
+/// Asynchronous master-worker (§III.D, Algorithm 2) on the virtual clock.
+RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
+                        int processors, const CostModel& cost,
+                        SimAsyncOptions options = {});
+
+/// Collaborative multisearch (§III.E) on a discrete-event simulation:
+/// searchers interleave on the virtual timeline and solution messages are
+/// delivered with latency.  Deterministic, unlike the threaded variant.
+MultisearchResult run_sim_multisearch(const Instance& inst,
+                                      const TsmoParams& params,
+                                      int processors, const CostModel& cost);
+
+/// The paper's future-work hybrid (§V): `islands` collaborative islands,
+/// each an asynchronous master-worker group of `procs_per_island`
+/// processors, exchanging improving solutions like the multisearch TS.
+MultisearchResult run_sim_hybrid(const Instance& inst,
+                                 const TsmoParams& params, int islands,
+                                 int procs_per_island,
+                                 const CostModel& cost);
+
+}  // namespace tsmo

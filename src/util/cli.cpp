@@ -1,0 +1,115 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsmo {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  options_[name] = Option{help, default_value, false, false};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{help, "", true, false};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      err << help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      err << program_ << ": unknown option --" << name << "\n" << help();
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      if (has_value) {
+        err << program_ << ": flag --" << name << " takes no value\n";
+        return false;
+      }
+      opt.set = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        err << program_ << ": option --" << name << " needs a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    opt.value = std::move(value);
+    opt.set = true;
+  }
+  return true;
+}
+
+const std::string& CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::logic_error("CliParser: unregistered option " + name);
+  }
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::logic_error("CliParser: unregistered flag " + name);
+  }
+  return it->second.set;
+}
+
+bool CliParser::was_set(const std::string& name) const {
+  const auto it = options_.find(name);
+  return it != options_.end() && it->second.set;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) {
+      os << " <value>";
+      if (!opt.value.empty()) os << " (default: " << opt.value << ")";
+    }
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      show this text\n";
+  return os.str();
+}
+
+}  // namespace tsmo

@@ -1,0 +1,58 @@
+#pragma once
+
+// Minimal command-line option parser for the example/tool binaries.
+// Supports --name value, --name=value, boolean --flags, positional
+// arguments, defaults, and generated --help text.  No external deps.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsmo {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers a value option (always string-typed; use the typed getters).
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+
+  /// Registers a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (and writes a diagnostic to `err`) on
+  /// unknown options or missing values; `--help` also returns false after
+  /// printing the usage text.
+  bool parse(int argc, const char* const* argv, std::ostream& err);
+
+  const std::string& get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool flag(const std::string& name) const;
+  bool was_set(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  std::string help() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool set = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,22 @@
+#pragma once
+
+// Environment-variable configuration used by the benchmark binaries
+// (e.g. TSMO_BENCH_SCALE=ci|small|paper, TSMO_SEED=...).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tsmo {
+
+/// Returns the value of an environment variable, if set and non-empty.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Parses an integer environment variable; returns fallback when unset or
+/// malformed.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Parses a floating-point environment variable.
+double env_double(const std::string& name, double fallback);
+
+}  // namespace tsmo

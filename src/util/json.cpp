@@ -1,0 +1,140 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tsmo {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  *os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    for (int k = 0; k < indent_; ++k) *os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  started_ = true;
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (has_items_.back()) *os_ << ',';
+    has_items_.back() = true;
+    newline_indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back(Scope::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back(Scope::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (has_items_.back()) *os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  *os_ << '"' << escape(name) << "\": ";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  *os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    *os_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  *os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  *os_ << "null";
+  return *this;
+}
+
+}  // namespace tsmo

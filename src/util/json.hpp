@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal streaming JSON writer (objects, arrays, scalars, correct string
+// escaping).  Used to export run results for external tooling without any
+// third-party dependency.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsmo {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(&os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes a key inside an object; must be followed by a value or a
+  /// begin_object/begin_array.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// True when all opened scopes are closed again.
+  bool complete() const noexcept { return stack_.empty() && started_; }
+
+  /// Escapes a string for embedding in JSON (exposed for tests).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  void newline_indent();
+
+  std::ostream* os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool expecting_value_ = false;  // a key was just written
+  bool started_ = false;
+};
+
+}  // namespace tsmo

@@ -1,0 +1,364 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace tsmo {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return Summary{rs.count(), rs.mean(), rs.stddev(), rs.min(), rs.max()};
+}
+
+// ---------------------------------------------------------------------------
+// Special functions
+// ---------------------------------------------------------------------------
+
+double log_gamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static constexpr double kCoeff[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula keeps the approximation in its accurate range.
+    const double pi = 3.14159265358979323846;
+    return std::log(pi / std::sin(pi * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoeff[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoeff[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * 3.14159265358979323846) +
+         (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Numerical-Recipes
+/// style modified Lentz algorithm).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta: a and b must be positive");
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (dof <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * incomplete_beta(0.5 * dof, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+// ---------------------------------------------------------------------------
+// Hypothesis tests
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TTestResult finish_t(double t, double dof) {
+  TTestResult r;
+  r.t = t;
+  r.dof = dof;
+  if (dof <= 0.0 || !std::isfinite(t)) {
+    r.p_value = 1.0;
+    r.valid = false;
+    return r;
+  }
+  const double cdf = student_t_cdf(std::fabs(t), dof);
+  r.p_value = std::clamp(2.0 * (1.0 - cdf), 0.0, 1.0);
+  r.valid = true;
+  return r;
+}
+
+}  // namespace
+
+TTestResult paired_t_test(std::span<const double> xs,
+                          std::span<const double> ys) {
+  TTestResult r;
+  if (xs.size() != ys.size() || xs.size() < 2) return r;
+  RunningStats diff;
+  for (std::size_t i = 0; i < xs.size(); ++i) diff.add(xs[i] - ys[i]);
+  const double sd = diff.stddev();
+  const auto n = static_cast<double>(diff.count());
+  if (sd == 0.0) {
+    // All differences identical: either trivially equal (p = 1) or a
+    // degenerate perfect separation (report p = 0).
+    r.t = diff.mean() == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    r.dof = n - 1.0;
+    r.p_value = diff.mean() == 0.0 ? 1.0 : 0.0;
+    r.valid = true;
+    return r;
+  }
+  const double t = diff.mean() / (sd / std::sqrt(n));
+  return finish_t(t, n - 1.0);
+}
+
+TTestResult welch_t_test(std::span<const double> xs,
+                         std::span<const double> ys) {
+  TTestResult r;
+  if (xs.size() < 2 || ys.size() < 2) return r;
+  RunningStats a, b;
+  for (double x : xs) a.add(x);
+  for (double y : ys) b.add(y);
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double se2 = va + vb;
+  if (se2 == 0.0) {
+    r.t = a.mean() == b.mean() ? 0.0 : std::numeric_limits<double>::infinity();
+    r.dof = static_cast<double>(a.count() + b.count() - 2);
+    r.p_value = a.mean() == b.mean() ? 1.0 : 0.0;
+    r.valid = true;
+    return r;
+  }
+  const double t = (a.mean() - b.mean()) / std::sqrt(se2);
+  const double dof =
+      se2 * se2 /
+      (va * va / (static_cast<double>(a.count()) - 1.0) +
+       vb * vb / (static_cast<double>(b.count()) - 1.0));
+  return finish_t(t, dof);
+}
+
+TTestResult one_sample_t_test(std::span<const double> xs, double mu0) {
+  TTestResult r;
+  if (xs.size() < 2) return r;
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  const double sd = s.stddev();
+  const auto n = static_cast<double>(s.count());
+  if (sd == 0.0) {
+    r.t = s.mean() == mu0 ? 0.0 : std::numeric_limits<double>::infinity();
+    r.dof = n - 1.0;
+    r.p_value = s.mean() == mu0 ? 1.0 : 0.0;
+    r.valid = true;
+    return r;
+  }
+  const double t = (s.mean() - mu0) / (sd / std::sqrt(n));
+  return finish_t(t, n - 1.0);
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> xs,
+                                 std::span<const double> ys) {
+  MannWhitneyResult r;
+  const std::size_t n1 = xs.size(), n2 = ys.size();
+  if (n1 == 0 || n2 == 0) return r;
+
+  // Rank the pooled sample with midranks for ties.
+  struct Tagged {
+    double value;
+    bool from_x;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(n1 + n2);
+  for (double x : xs) pool.push_back({x, true});
+  for (double y : ys) pool.push_back({y, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& a, const Tagged& b) {
+              return a.value < b.value;
+            });
+
+  double rank_sum_x = 0.0;
+  double tie_term = 0.0;  // sum of t^3 - t over tie groups
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].value == pool[i].value) ++j;
+    const double midrank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const auto ties = static_cast<double>(j - i);
+    if (ties > 1.0) tie_term += ties * ties * ties - ties;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].from_x) rank_sum_x += midrank;
+    }
+    i = j;
+  }
+
+  const double fn1 = static_cast<double>(n1);
+  const double fn2 = static_cast<double>(n2);
+  const double n = fn1 + fn2;
+  r.u = rank_sum_x - fn1 * (fn1 + 1.0) / 2.0;
+  const double mean_u = fn1 * fn2 / 2.0;
+  const double var_u =
+      fn1 * fn2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All values tied: no evidence of a difference.
+    r.z = 0.0;
+    r.p_value = 1.0;
+    r.valid = true;
+    return r;
+  }
+  // Continuity correction toward the mean.
+  const double diff = r.u - mean_u;
+  const double corrected =
+      diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  r.z = corrected / std::sqrt(var_u);
+  r.p_value = std::clamp(2.0 * (1.0 - normal_cdf(std::fabs(r.z))), 0.0, 1.0);
+  r.valid = true;
+  return r;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, double confidence,
+                              int resamples, std::uint64_t seed) {
+  BootstrapCi ci;
+  if (xs.empty()) return ci;
+  ci.point = mean_of(xs);
+  if (xs.size() == 1 || resamples <= 0) {
+    ci.lower = ci.upper = ci.point;
+    return ci;
+  }
+  // Local xorshift-style generator keeps this independent of util/rng.hpp
+  // (stats is used below rng in some builds) and deterministic.
+  std::uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      sum += xs[next() % xs.size()];
+    }
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = std::clamp(1.0 - confidence, 1e-6, 1.0);
+  const auto idx = [&](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    return means[static_cast<std::size_t>(pos + 0.5)];
+  };
+  ci.lower = idx(alpha / 2.0);
+  ci.upper = idx(1.0 - alpha / 2.0);
+  return ci;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::string format_mean_sd(double mean, double sd, int precision) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, mean, precision,
+                sd);
+  return buf;
+}
+
+double mean_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double median_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace tsmo

@@ -1,0 +1,137 @@
+#pragma once
+
+// Statistics substrate for the experiment harness.
+//
+// The paper reports mean ± standard deviation over 30 runs and assesses
+// significance with pairwise t-tests (§IV: "To test the statistical
+// significance a pairwise t-test was performed...").  This module provides
+// Welford accumulators, descriptive summaries, and Student-t machinery
+// (paired and Welch two-sample tests) built on a regularized incomplete
+// beta function — no external math library required.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsmo {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Descriptive summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// ---------------------------------------------------------------------------
+// Special functions (double precision, relative error ~1e-12 in the ranges
+// exercised by the tests).
+// ---------------------------------------------------------------------------
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction form.
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+// ---------------------------------------------------------------------------
+// Hypothesis tests
+// ---------------------------------------------------------------------------
+
+struct TTestResult {
+  double t = 0.0;        ///< test statistic
+  double dof = 0.0;      ///< degrees of freedom (fractional for Welch)
+  double p_value = 1.0;  ///< two-sided p-value
+  bool valid = false;    ///< false when the test is degenerate (n too small)
+};
+
+/// Paired t-test on matched samples (the paper's "pairwise t-test" across
+/// per-problem results).  Requires xs.size() == ys.size() >= 2.
+TTestResult paired_t_test(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// Welch's unequal-variance two-sample t-test.
+TTestResult welch_t_test(std::span<const double> xs,
+                         std::span<const double> ys);
+
+/// One-sample t-test against a hypothesized mean.
+TTestResult one_sample_t_test(std::span<const double> xs, double mu0);
+
+struct MannWhitneyResult {
+  double u = 0.0;        ///< U statistic of the first sample
+  double z = 0.0;        ///< normal approximation (tie-corrected)
+  double p_value = 1.0;  ///< two-sided
+  bool valid = false;
+};
+
+/// Mann-Whitney U test (two-sided, normal approximation with tie
+/// correction) — the nonparametric alternative to Welch's t-test for the
+/// skewed per-run distributions metaheuristics produce.
+MannWhitneyResult mann_whitney_u(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+struct BootstrapCi {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;  ///< sample mean
+};
+
+/// Percentile bootstrap confidence interval for the mean.
+/// `confidence` in (0, 1), e.g. 0.95.  Deterministic in `seed`.
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs,
+                              double confidence = 0.95,
+                              int resamples = 2000,
+                              std::uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// Small helpers used when reporting results
+// ---------------------------------------------------------------------------
+
+/// Formats "mean±sd" with the given precision, e.g. "226897.72±4999.31".
+std::string format_mean_sd(double mean, double sd, int precision = 2);
+
+/// Sample mean of a span (0 for empty).
+double mean_of(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev_of(std::span<const double> xs);
+
+/// Median (interpolated); 0 for empty input.  Copies and sorts internally.
+double median_of(std::span<const double> xs);
+
+}  // namespace tsmo

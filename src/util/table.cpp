@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tsmo {
+
+TextTable::TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  aligns_.resize(header_.size(), Align::Right);
+  if (!aligns_.empty()) aligns_[0] = Align::Left;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::print(std::ostream& os, const std::string& title) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      // Count display width; the ± sign is 2 bytes in UTF-8 but 1 column.
+      std::size_t w = cells[i].size();
+      for (std::size_t p = cells[i].find("±"); p != std::string::npos;
+           p = cells[i].find("±", p + 2)) {
+        --w;
+      }
+      widths[i] = std::max(widths[i], w);
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.separator) widen(r.cells);
+  }
+
+  auto pad = [&](const std::string& s, std::size_t i) {
+    std::size_t display = s.size();
+    for (std::size_t p = s.find("±"); p != std::string::npos;
+         p = s.find("±", p + 2)) {
+      --display;
+    }
+    const std::size_t w = widths[i];
+    const std::string fill(display < w ? w - display : 0, ' ');
+    const Align a = i < aligns_.size() ? aligns_[i] : Align::Right;
+    return a == Align::Left ? s + fill : fill + s;
+  };
+
+  std::size_t total = ncols > 0 ? (ncols - 1) * 3 : 0;
+  for (std::size_t w : widths) total += w;
+
+  if (!title.empty()) {
+    os << title << '\n';
+    os << std::string(std::max(title.size(), total), '=') << '\n';
+  }
+  for (std::size_t i = 0; i < ncols; ++i) {
+    if (i) os << " | ";
+    os << pad(i < header_.size() ? header_[i] : "", i);
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t i = 0; i < ncols; ++i) {
+      if (i) os << " | ";
+      os << pad(i < r.cells.size() ? r.cells[i] : "", i);
+    }
+    os << '\n';
+  }
+}
+
+std::string TextTable::to_string(const std::string& title) const {
+  std::ostringstream oss;
+  print(oss, title);
+  return oss.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os << ',';
+    os << header[i];
+  }
+  os << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace tsmo

@@ -1,0 +1,59 @@
+#pragma once
+
+// Plain-text table rendering used by the benchmark harness to print the
+// paper-style result tables (Tables I-IV) and ablation summaries.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsmo {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// Minimal fixed-width text table.  Rows are vectors of preformatted cells;
+/// the renderer pads each column to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a data row.  Short rows are padded with empty cells; extra
+  /// cells widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator at this position.
+  void add_separator();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table; `title` (if non-empty) is printed above it.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::string to_string(const std::string& title = "") const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with fixed precision into a std::string.
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats a percentage ("12.34%").
+std::string fmt_percent(double fraction, int precision = 2);
+
+/// Writes rows as CSV (no quoting of embedded commas — callers use plain
+/// numeric/identifier cells).
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace tsmo

@@ -1,0 +1,58 @@
+#include "vrptw/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace tsmo {
+
+double mst_distance_lower_bound(const Instance& inst) {
+  const int n = inst.num_sites();
+  if (n <= 1) return 0.0;
+  std::vector<double> key(static_cast<std::size_t>(n),
+                          std::numeric_limits<double>::infinity());
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+  key[0] = 0.0;
+  double total = 0.0;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[static_cast<std::size_t>(v)] &&
+          key[static_cast<std::size_t>(v)] < best_key) {
+        best_key = key[static_cast<std::size_t>(v)];
+        best = v;
+      }
+    }
+    in_tree[static_cast<std::size_t>(best)] = true;
+    total += best_key;
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      key[static_cast<std::size_t>(v)] =
+          std::min(key[static_cast<std::size_t>(v)],
+                   inst.distance(best, v));
+    }
+  }
+  return total;
+}
+
+double distance_lower_bound(const Instance& inst) {
+  const double mst = mst_distance_lower_bound(inst);
+  // Depot-leg bound: k vehicles pay at least the 2k cheapest depot legs
+  // plus, for each customer, nothing further that's valid in general.
+  const int k = inst.min_vehicles_by_capacity();
+  std::vector<double> depot_legs;
+  depot_legs.reserve(static_cast<std::size_t>(inst.num_customers()));
+  for (int c = 1; c <= inst.num_customers(); ++c) {
+    depot_legs.push_back(inst.distance(0, c));
+  }
+  std::sort(depot_legs.begin(), depot_legs.end());
+  double legs = 0.0;
+  for (int i = 0; i < 2 * k && i < static_cast<int>(depot_legs.size());
+       ++i) {
+    legs += depot_legs[static_cast<std::size_t>(i)];
+  }
+  return std::max(mst, legs);
+}
+
+}  // namespace tsmo

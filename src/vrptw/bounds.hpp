@@ -1,0 +1,23 @@
+#pragma once
+
+// Cheap lower bounds for gap reporting.  Neither bound is tight for the
+// CVRPTW, but both are valid for any feasible (and any tardy) solution,
+// so "distance / bound" gives an honest upper bound on the optimality gap
+// in the benches' reports.
+
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+/// Minimum-spanning-tree lower bound on the total travel distance: every
+/// solution's route edges connect all sites into a spanning structure, so
+/// f1 >= MST over all sites (Prim, O(N^2)).
+double mst_distance_lower_bound(const Instance& inst);
+
+/// Lower bound on f1 that additionally accounts for depot legs: each of
+/// the at-least-`ceil(demand/capacity)` vehicles must leave and re-enter
+/// the depot, paying at least the two smallest depot distances.
+/// Takes the max with the MST bound.
+double distance_lower_bound(const Instance& inst);
+
+}  // namespace tsmo

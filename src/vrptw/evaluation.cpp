@@ -1,0 +1,46 @@
+#include "vrptw/evaluation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsmo {
+
+RouteStats evaluate_route(const Instance& inst, std::span<const int> route) {
+  RouteStats stats;
+  if (route.empty()) return stats;
+
+  int prev = 0;       // depot
+  double time = 0.0;  // departure time from `prev`
+  for (int c : route) {
+    const Site& s = inst.site(c);
+    const double arrival = time + inst.distance(prev, c);
+    stats.distance += inst.distance(prev, c);
+    stats.load += s.demand;
+    stats.tardiness += std::max(arrival - s.due, 0.0);
+    time = std::max(arrival, s.ready) + s.service;
+    prev = c;
+  }
+  const double back = time + inst.distance(prev, 0);
+  stats.distance += inst.distance(prev, 0);
+  stats.tardiness += std::max(back - inst.depot().due, 0.0);
+  stats.completion = back;
+  return stats;
+}
+
+double arrival_time_at(const Instance& inst, std::span<const int> route,
+                       std::size_t position) {
+  assert(position < route.size());
+  int prev = 0;
+  double time = 0.0;
+  for (std::size_t i = 0; i <= position; ++i) {
+    const int c = route[i];
+    const Site& s = inst.site(c);
+    const double arrival = time + inst.distance(prev, c);
+    if (i == position) return arrival;
+    time = std::max(arrival, s.ready) + s.service;
+    prev = c;
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace tsmo

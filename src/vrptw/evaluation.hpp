@@ -1,0 +1,35 @@
+#pragma once
+
+// Route-level evaluation of the CVRPTW objectives.
+//
+// A vehicle leaves the depot at time 0.  Arriving before a customer's ready
+// time means waiting; arriving after the due date accrues tardiness (soft
+// time windows, §II).  Travel time equals Euclidean distance (unit speed).
+
+#include <span>
+
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+/// Aggregated per-route quantities.  A Solution caches one RouteStats per
+/// route so that moves touching one or two routes re-evaluate only those.
+struct RouteStats {
+  double distance = 0.0;   ///< depot -> c1 -> ... -> ck -> depot
+  double load = 0.0;       ///< summed customer demand
+  double tardiness = 0.0;  ///< sum over visits (and depot return) of lateness
+  double completion = 0.0; ///< time the vehicle is back at the depot
+
+  friend bool operator==(const RouteStats&, const RouteStats&) = default;
+};
+
+/// Evaluates a single route given as a sequence of customer indices
+/// (excluding the depot endpoints).  An empty route yields all-zero stats.
+RouteStats evaluate_route(const Instance& inst, std::span<const int> route);
+
+/// Arrival time at the customer occupying `position` within the route
+/// (0-based).  Exposed for tests and for diagnostic reporting.
+double arrival_time_at(const Instance& inst, std::span<const int> route,
+                       std::size_t position);
+
+}  // namespace tsmo

@@ -1,0 +1,68 @@
+#pragma once
+
+// Synthetic generator for Homberger-style extended Solomon instances.
+//
+// The paper evaluates on Joerg Homberger's 400- and 600-city extension of
+// the Solomon set (classes C1/C2/R1/R2/RC1/RC2).  The original files were
+// distributed from a university URL that no longer resolves; this module
+// generates statistically equivalent instances instead (see DESIGN.md §4):
+//
+//   * spatial structure   — R: uniform, C: Gaussian clusters, RC: mixed
+//   * constant density    — field side scales with sqrt(N)
+//   * type 1 ("small TW") — tight windows, capacity 200 -> many vehicles
+//   * type 2 ("large TW") — wide windows, capacity 700 -> few vehicles
+//   * guaranteed feasibility — windows are placed around the arrival times
+//     of greedy seed routes, so a zero-tardiness solution always exists
+//
+// Generation is fully deterministic in (config, seed).
+
+#include <cstdint>
+#include <string>
+
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+/// Spatial distribution of customers (Solomon's R / C / RC).
+enum class SpatialClass { Random, Clustered, Mixed };
+
+/// Scheduling horizon/window type (Solomon's 1 / 2).
+enum class HorizonClass { Short, Long };
+
+struct GeneratorConfig {
+  int num_customers = 100;
+  SpatialClass spatial = SpatialClass::Random;
+  HorizonClass horizon = HorizonClass::Short;
+
+  /// Fraction of customers receiving a tight window centered on a seed
+  /// arrival; the rest get the full horizon.  Solomon varies this 25-100%
+  /// across instances within a class.
+  double tw_density = 1.0;
+
+  /// Fleet size; <= 0 selects the paper's convention R = N/4
+  /// (25 vehicles for 100 cities, 100 for 400 cities).
+  int max_vehicles = 0;
+
+  /// Vehicle capacity; <= 0 selects 200 (Short) / 700 (Long).
+  double capacity = 0.0;
+
+  std::uint64_t seed = 1;
+
+  /// Instance name; empty selects an auto-generated "<class>_<n>_s<seed>".
+  std::string name;
+};
+
+/// Generates one instance.  Throws std::invalid_argument on nonsensical
+/// configs (num_customers < 1, tw_density outside [0,1]).
+Instance generate_instance(const GeneratorConfig& config);
+
+/// Convenience: builds the config for a Homberger-style instance name such
+/// as "R1_4_3" (class R, type 1, 400 customers, 3rd instance — the ordinal
+/// seeds the generator) and generates it.
+Instance generate_named(const std::string& name);
+
+/// Parses "<C|R|RC><1|2>_<hundreds>_<ordinal>" into a config.
+/// Throws std::invalid_argument on malformed names.
+GeneratorConfig parse_instance_name(const std::string& name);
+
+}  // namespace tsmo

@@ -1,0 +1,72 @@
+#include "vrptw/instance.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tsmo {
+
+Instance::Instance(std::string name, std::vector<Site> sites,
+                   int max_vehicles, double capacity)
+    : name_(std::move(name)),
+      sites_(std::move(sites)),
+      max_vehicles_(max_vehicles),
+      capacity_(capacity) {
+  if (sites_.empty()) {
+    throw std::invalid_argument("Instance: needs at least the depot site");
+  }
+  if (max_vehicles_ <= 0) {
+    throw std::invalid_argument("Instance: max_vehicles must be positive");
+  }
+  if (capacity_ <= 0.0) {
+    throw std::invalid_argument("Instance: capacity must be positive");
+  }
+  const std::size_t n = sites_.size();
+  dist_ = FlatMatrix<double>(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = sites_[i].x - sites_[j].x;
+      const double dy = sites_[i].y - sites_[j].y;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      dist_(i, j) = d;
+      dist_(j, i) = d;
+    }
+  }
+  total_demand_ = 0.0;
+  for (std::size_t i = 1; i < n; ++i) total_demand_ += sites_[i].demand;
+}
+
+void Instance::validate() const {
+  char msg[160];
+  if (sites_[0].demand != 0.0) {
+    throw std::invalid_argument("Instance: depot must have zero demand");
+  }
+  for (int i = 0; i < num_sites(); ++i) {
+    const Site& s = site(i);
+    if (s.ready > s.due) {
+      std::snprintf(msg, sizeof(msg),
+                    "Instance: site %d has ready %.2f > due %.2f", i, s.ready,
+                    s.due);
+      throw std::invalid_argument(msg);
+    }
+    if (s.demand < 0.0 || s.service < 0.0) {
+      std::snprintf(msg, sizeof(msg),
+                    "Instance: site %d has negative demand or service", i);
+      throw std::invalid_argument(msg);
+    }
+    if (i > 0 && s.demand > capacity_) {
+      std::snprintf(msg, sizeof(msg),
+                    "Instance: customer %d demand %.2f exceeds capacity %.2f",
+                    i, s.demand, capacity_);
+      throw std::invalid_argument(msg);
+    }
+  }
+  if (total_demand_ > capacity_ * static_cast<double>(max_vehicles_)) {
+    std::snprintf(msg, sizeof(msg),
+                  "Instance: total demand %.2f exceeds fleet capacity %.2f",
+                  total_demand_,
+                  capacity_ * static_cast<double>(max_vehicles_));
+    throw std::invalid_argument(msg);
+  }
+}
+
+}  // namespace tsmo

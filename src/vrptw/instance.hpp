@@ -1,0 +1,88 @@
+#pragma once
+
+// CVRPTW problem instance (§II of the paper).
+//
+// Sites S = {0..N}: index 0 is the depot, customers are 1..N.  Travel costs
+// are Euclidean distances held in a dense matrix T.  The fleet is
+// homogeneous: every vehicle has capacity m; at most R vehicles exist.
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/flat_matrix.hpp"
+
+namespace tsmo {
+
+/// One site: the depot (index 0) or a customer.
+struct Site {
+  double x = 0.0;
+  double y = 0.0;
+  double demand = 0.0;   ///< d_i (0 for the depot)
+  double ready = 0.0;    ///< a_i: earliest service start
+  double due = 0.0;      ///< b_i: latest arrival without tardiness
+  double service = 0.0;  ///< c_i: service duration
+};
+
+class Instance {
+ public:
+  /// `sites[0]` must be the depot.  Throws std::invalid_argument on
+  /// structurally invalid input (no depot, nonpositive capacity/fleet).
+  Instance(std::string name, std::vector<Site> sites, int max_vehicles,
+           double capacity);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// N: number of customers (excludes the depot).
+  int num_customers() const noexcept {
+    return static_cast<int>(sites_.size()) - 1;
+  }
+
+  /// Total number of sites, N + 1.
+  int num_sites() const noexcept { return static_cast<int>(sites_.size()); }
+
+  /// R: size of the available fleet.
+  int max_vehicles() const noexcept { return max_vehicles_; }
+
+  /// m: homogeneous vehicle capacity.
+  double capacity() const noexcept { return capacity_; }
+
+  const Site& site(int i) const noexcept {
+    return sites_[static_cast<std::size_t>(i)];
+  }
+  const Site& depot() const noexcept { return sites_[0]; }
+  const std::vector<Site>& sites() const noexcept { return sites_; }
+
+  /// t_{i,j}: Euclidean travel cost (== travel time; unit speed).
+  double distance(int i, int j) const noexcept {
+    return dist_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+
+  /// Sum of all customer demands; a lower bound on fleet usage is
+  /// ceil(total_demand / capacity).
+  double total_demand() const noexcept { return total_demand_; }
+
+  /// Smallest number of vehicles that can carry the total demand.
+  int min_vehicles_by_capacity() const noexcept {
+    return static_cast<int>(std::ceil(total_demand_ / capacity_));
+  }
+
+  /// Planning horizon: the depot's due date.
+  double horizon() const noexcept { return sites_[0].due; }
+
+  /// Checks instance plausibility (windows ordered, demands within
+  /// capacity, fleet can carry total demand); throws std::invalid_argument
+  /// with a diagnostic message on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Site> sites_;
+  int max_vehicles_ = 0;
+  double capacity_ = 0.0;
+  double total_demand_ = 0.0;
+  FlatMatrix<double> dist_;
+};
+
+}  // namespace tsmo

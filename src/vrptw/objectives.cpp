@@ -1,0 +1,14 @@
+#include "vrptw/objectives.hpp"
+
+#include <cstdio>
+
+namespace tsmo {
+
+std::string to_string(const Objectives& o) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "f1=%.2f, f2=%d, f3=%.2f", o.distance,
+                o.vehicles, o.tardiness);
+  return buf;
+}
+
+}  // namespace tsmo

@@ -1,0 +1,66 @@
+#pragma once
+
+// The three objectives of the paper's multiobjective CVRPTW formulation
+// (§II.A), all minimized:
+//   f1  total travel distance (Euclidean, including depot legs)
+//   f2  number of vehicles actually deployed (non-empty tours)
+//   f3  total tardiness — sum of max(arrival - due, 0) over all sites
+//       (soft time windows: lateness is penalized, not forbidden)
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tsmo {
+
+struct Objectives {
+  double distance = 0.0;   ///< f1: total tour length
+  int vehicles = 0;        ///< f2: deployed vehicles
+  double tardiness = 0.0;  ///< f3: summed time-window violation
+
+  friend bool operator==(const Objectives&, const Objectives&) = default;
+};
+
+/// Pareto dominance for minimization: `a` dominates `b` when a is no worse
+/// in every objective and strictly better in at least one.
+inline bool dominates(const Objectives& a, const Objectives& b) noexcept {
+  if (a.distance > b.distance || a.vehicles > b.vehicles ||
+      a.tardiness > b.tardiness) {
+    return false;
+  }
+  return a.distance < b.distance || a.vehicles < b.vehicles ||
+         a.tardiness < b.tardiness;
+}
+
+/// Weak dominance: no worse in every objective (used by the set-coverage
+/// metric, which Zitzler defines with weak dominance).
+inline bool weakly_dominates(const Objectives& a,
+                             const Objectives& b) noexcept {
+  return a.distance <= b.distance && a.vehicles <= b.vehicles &&
+         a.tardiness <= b.tardiness;
+}
+
+/// True when neither solution dominates the other.
+inline bool incomparable(const Objectives& a, const Objectives& b) noexcept {
+  return !dominates(a, b) && !dominates(b, a);
+}
+
+/// Weighted-sum scalarization used by the single-objective TS baseline
+/// (§II.C discusses the weighted single-criteria alternative).
+struct ScalarWeights {
+  double distance = 1.0;
+  double vehicles = 0.0;
+  double tardiness = 100.0;
+};
+
+inline double scalarize(const Objectives& o,
+                        const ScalarWeights& w) noexcept {
+  return w.distance * o.distance +
+         w.vehicles * static_cast<double>(o.vehicles) +
+         w.tardiness * o.tardiness;
+}
+
+/// Human-readable "f1=..., f2=..., f3=..." string.
+std::string to_string(const Objectives& o);
+
+}  // namespace tsmo

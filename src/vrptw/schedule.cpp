@@ -1,0 +1,75 @@
+#include "vrptw/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsmo {
+
+RouteSchedule RouteSchedule::compute(const Instance& inst,
+                                     std::span<const int> route) {
+  RouteSchedule s;
+  const std::size_t n = route.size();
+  s.arrival.reserve(n);
+  s.begin.reserve(n);
+  s.departure.reserve(n);
+  s.lateness.reserve(n);
+
+  int prev = 0;
+  double time = 0.0;
+  for (int c : route) {
+    const Site& site = inst.site(c);
+    const double arr = time + inst.distance(prev, c);
+    const double beg = std::max(arr, site.ready);
+    s.arrival.push_back(arr);
+    s.begin.push_back(beg);
+    s.departure.push_back(beg + site.service);
+    s.lateness.push_back(std::max(arr - site.due, 0.0));
+    s.total_tardiness += s.lateness.back();
+    time = beg + site.service;
+    prev = c;
+  }
+  s.depot_return = time + inst.distance(prev, 0);
+  s.depot_lateness = std::max(s.depot_return - inst.depot().due, 0.0);
+  s.total_tardiness += s.depot_lateness;
+
+  // Backward pass: forward_slack[j] = min(room at j, waiting at j + slack
+  // downstream).  Index n is the depot return.
+  s.forward_slack.assign(n + 1, 0.0);
+  s.forward_slack[n] = std::max(inst.depot().due - s.depot_return, 0.0);
+  for (std::size_t j = n; j-- > 0;) {
+    const Site& site = inst.site(route[j]);
+    const double room = std::max(site.due - s.arrival[j], 0.0);
+    const double wait = s.begin[j] - s.arrival[j];
+    s.forward_slack[j] = std::min(room, wait + s.forward_slack[j + 1]);
+  }
+  return s;
+}
+
+bool insertion_keeps_schedule(const Instance& inst,
+                              std::span<const int> route,
+                              const RouteSchedule& schedule, int c,
+                              std::size_t position) {
+  assert(position <= route.size());
+  assert(schedule.size() == route.size());
+  const Site& site = inst.site(c);
+
+  const int pred = position > 0 ? route[position - 1] : 0;
+  const double depart_pred =
+      position > 0 ? schedule.departure[position - 1] : 0.0;
+  const double arrival_c = depart_pred + inst.distance(pred, c);
+  if (arrival_c > site.due) return false;  // the insert itself is late
+  const double departure_c =
+      std::max(arrival_c, site.ready) + site.service;
+
+  if (position == route.size()) {
+    const double new_return = departure_c + inst.distance(c, 0);
+    const double delay = new_return - schedule.depot_return;
+    return delay <= schedule.forward_slack[position];
+  }
+  const int succ = route[position];
+  const double new_arrival_succ = departure_c + inst.distance(c, succ);
+  const double delay = new_arrival_succ - schedule.arrival[position];
+  return delay <= schedule.forward_slack[position];
+}
+
+}  // namespace tsmo

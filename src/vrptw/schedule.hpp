@@ -1,0 +1,48 @@
+#pragma once
+
+// Detailed route schedule analytics: per-visit arrival / service-begin /
+// departure times, per-visit tardiness, and Savelsbergh-style forward time
+// slack (how far the whole suffix of the route can be delayed without
+// creating new tardiness).  Used by the exact feasibility screen, the
+// diagnostics in instance_tool, and tests.
+
+#include <span>
+#include <vector>
+
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+struct RouteSchedule {
+  std::vector<double> arrival;    ///< arrival time at each position
+  std::vector<double> begin;      ///< service start (>= ready)
+  std::vector<double> departure;  ///< begin + service
+  std::vector<double> lateness;   ///< max(arrival - due, 0) per position
+  /// forward_slack[i] (size = route size + 1): the largest delay of the
+  /// *arrival* at position i that creates no new lateness at i or any
+  /// later visit; index size() refers to the depot return.  Waiting time
+  /// absorbs delay (Savelsbergh's forward time slack, generalized to
+  /// soft windows: already-late visits tolerate zero additional delay).
+  std::vector<double> forward_slack;
+  double depot_return = 0.0;      ///< arrival back at the depot
+  double depot_lateness = 0.0;    ///< lateness of the depot return
+  double total_tardiness = 0.0;   ///< sum of all lateness incl. depot
+
+  std::size_t size() const noexcept { return arrival.size(); }
+
+  /// Computes the full schedule of a route (customer indices, depot
+  /// endpoints implicit).  Empty route yields an empty schedule.
+  static RouteSchedule compute(const Instance& inst,
+                               std::span<const int> route);
+};
+
+/// True when inserting customer `c` at `position` of `route` keeps the
+/// route free of (additional) tardiness — the exact counterpart of the
+/// paper's local criterion, O(route length) via the precomputed slack.
+/// `schedule` must be compute()'d from the same route.
+bool insertion_keeps_schedule(const Instance& inst,
+                              std::span<const int> route,
+                              const RouteSchedule& schedule, int c,
+                              std::size_t position);
+
+}  // namespace tsmo

@@ -1,0 +1,41 @@
+#pragma once
+
+// Reader/writer for the standard Solomon / Homberger instance text format:
+//
+//   <NAME>
+//
+//   VEHICLE
+//   NUMBER     CAPACITY
+//      25         200
+//
+//   CUSTOMER
+//   CUST NO.  XCOORD.  YCOORD.  DEMAND  READY TIME  DUE DATE  SERVICE TIME
+//       0       40       50       0         0        1236         0
+//       1       45       68      10       912         967        90
+//       ...
+//
+// Customer number 0 is the depot.  This is the format the Homberger
+// extended Solomon benchmark (used in the paper's §IV) is distributed in.
+
+#include <iosfwd>
+#include <string>
+
+#include "vrptw/instance.hpp"
+
+namespace tsmo {
+
+/// Parses an instance from a stream.  Throws std::runtime_error with a
+/// line-oriented diagnostic on malformed input.
+Instance read_solomon(std::istream& is);
+
+/// Parses an instance from a file path.
+Instance read_solomon_file(const std::string& path);
+
+/// Writes an instance in the same format (coordinates and times with up to
+/// two decimals, which round-trips the generator's output exactly enough
+/// for distance matrices to agree to 1e-2).
+void write_solomon(std::ostream& os, const Instance& inst);
+
+void write_solomon_file(const std::string& path, const Instance& inst);
+
+}  // namespace tsmo

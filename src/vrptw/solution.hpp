@@ -1,0 +1,115 @@
+#pragma once
+
+// Candidate solution: a fixed fleet of R routes (some possibly empty) over
+// the instance's customers, with cached per-route evaluation.
+//
+// The paper encodes solutions as one permutation string with 0-separators
+// (§II.A): every tour starts/ends at the depot, tours are concatenated with
+// consecutive zeros collapsed, and one trailing 0 is appended per unused
+// vehicle, giving |P| = N + R + 1.  Solution stores routes directly and
+// provides a lossless codec to and from that string.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vrptw/evaluation.hpp"
+#include "vrptw/instance.hpp"
+#include "vrptw/objectives.hpp"
+
+namespace tsmo {
+
+class Solution {
+ public:
+  /// All R routes empty.  Evaluated state: zero objectives.
+  explicit Solution(const Instance& inst);
+
+  /// Builds from explicit routes (customer indices, depot excluded).
+  /// Fewer than R routes are padded with empty ones; more than R throw.
+  /// The result is fully evaluated.
+  static Solution from_routes(const Instance& inst,
+                              std::vector<std::vector<int>> routes);
+
+  /// Decodes the paper's permutation representation.  Throws
+  /// std::invalid_argument when the string is malformed (wrong length is
+  /// accepted as long as tours fit the fleet; indices must be valid).
+  static Solution from_permutation(const Instance& inst,
+                                   std::span<const int> perm);
+
+  const Instance& instance() const noexcept { return *inst_; }
+
+  /// Fleet size R == number of route slots (including empty ones).
+  int num_routes() const noexcept { return static_cast<int>(routes_.size()); }
+
+  const std::vector<int>& route(int r) const noexcept {
+    return routes_[static_cast<std::size_t>(r)];
+  }
+
+  /// Grants mutable access to a route and marks it dirty; the next
+  /// evaluate() re-evaluates exactly the dirty routes.
+  std::vector<int>& mutable_route(int r);
+
+  /// Re-evaluates dirty routes (or everything on first call) and refreshes
+  /// the cached objectives.  Idempotent when nothing is dirty.
+  void evaluate();
+
+  bool is_evaluated() const noexcept { return evaluated_ && dirty_.empty(); }
+
+  /// Cached objectives; callers must evaluate() after mutation.
+  const Objectives& objectives() const noexcept { return objectives_; }
+
+  const RouteStats& route_stats(int r) const noexcept {
+    return stats_[static_cast<std::size_t>(r)];
+  }
+
+  /// f2: number of non-empty routes.
+  int vehicles_used() const noexcept;
+
+  /// Summed load excess over capacity across routes (0 when the operators'
+  /// invariant holds).
+  double capacity_violation() const noexcept;
+
+  /// True when the solution violates neither time windows nor capacity.
+  /// Tables I-IV only admit feasible solutions into the reported fronts.
+  bool feasible() const noexcept {
+    return objectives_.tardiness == 0.0 && capacity_violation() == 0.0;
+  }
+
+  /// Encodes the paper's permutation string, e.g. (0,4,2,0,3,0,1,0,0,0).
+  std::vector<int> to_permutation() const;
+
+  /// FNV-1a hash over the canonical permutation (route order preserved).
+  std::uint64_t hash() const noexcept;
+
+  /// Index of the route containing customer c, or -1.  O(1) via the
+  /// customer->route index maintained alongside the routes.
+  int route_of(int customer) const noexcept {
+    return customer_route_[static_cast<std::size_t>(customer)];
+  }
+
+  /// Position of customer c within its route, or -1.  Kept consistent by
+  /// rebuild during evaluate(); after raw route mutation call evaluate()
+  /// before relying on it.
+  int position_of(int customer) const noexcept {
+    return customer_pos_[static_cast<std::size_t>(customer)];
+  }
+
+  /// Checks the structural invariant: every customer appears exactly once
+  /// across all routes.  Throws std::logic_error with diagnostics.
+  void validate() const;
+
+ private:
+  void rebuild_index();
+  void recompute_totals();
+
+  const Instance* inst_;
+  std::vector<std::vector<int>> routes_;
+  std::vector<RouteStats> stats_;
+  Objectives objectives_;
+  std::vector<int> dirty_;
+  bool evaluated_ = false;
+  std::vector<int> customer_route_;  // size N+1; [0] unused
+  std::vector<int> customer_pos_;
+};
+
+}  // namespace tsmo

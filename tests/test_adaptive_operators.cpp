@@ -1,0 +1,84 @@
+// Tests of the adaptive operator-weight extension (ALNS-style online
+// reweighting; off by default to match the paper).
+
+#include <gtest/gtest.h>
+
+#include "core/search_state.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams adaptive_params(std::int64_t evals = 4000) {
+  TsmoParams p;
+  p.max_evaluations = evals;
+  p.neighborhood_size = 40;
+  p.restart_after = 10;
+  p.adaptive_operators = true;
+  p.adapt_interval = 10;
+  p.seed = 61;
+  return p;
+}
+
+TEST(AdaptiveOperators, DisabledKeepsWeightsFixed) {
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams p = adaptive_params();
+  p.adaptive_operators = false;
+  SearchState state(inst, p, Rng(p.seed));
+  state.initialize();
+  for (int i = 0; i < 25; ++i) {
+    state.step_with_candidates(state.generate_candidates(40));
+  }
+  for (double w : state.operator_weights()) {
+    EXPECT_EQ(w, 1.0);
+  }
+}
+
+TEST(AdaptiveOperators, EnabledReweightsAfterInterval) {
+  const Instance inst = generate_named("R1_1_1");
+  const TsmoParams p = adaptive_params();
+  SearchState state(inst, p, Rng(p.seed));
+  state.initialize();
+  for (int i = 0; i < 25; ++i) {
+    state.step_with_candidates(state.generate_candidates(40));
+  }
+  bool changed = false;
+  for (double w : state.operator_weights()) {
+    EXPECT_GT(w, 0.0);  // floor keeps every operator alive
+    if (w != 1.0) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(AdaptiveOperators, RunCompletesWithValidFront) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = SequentialTsmo(inst, adaptive_params()).run();
+  ASSERT_FALSE(r.front.empty());
+  for (const Solution& s : r.solutions) {
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0);
+  }
+}
+
+TEST(AdaptiveOperators, DeterministicPerSeed) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult a = SequentialTsmo(inst, adaptive_params()).run();
+  const RunResult b = SequentialTsmo(inst, adaptive_params()).run();
+  EXPECT_EQ(a.front, b.front);
+}
+
+TEST(AdaptiveOperators, QualityComparableToFixedWeights) {
+  // The adaptation must not break the search; allow a generous band.
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams fixed = adaptive_params(8000);
+  fixed.adaptive_operators = false;
+  const RunResult f = SequentialTsmo(inst, fixed).run();
+  const RunResult a = SequentialTsmo(inst, adaptive_params(8000)).run();
+  ASSERT_FALSE(f.feasible_front().empty());
+  ASSERT_FALSE(a.feasible_front().empty());
+  EXPECT_LT(a.best_feasible_distance(), f.best_feasible_distance() * 1.2);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,77 @@
+#include "vrptw/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "test_support.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(MstBound, KnownLineInstance) {
+  // Depot at 0, customers at 10..40 on a line: MST = 4 edges of length 10.
+  const Instance inst = testing::line_instance(4);
+  EXPECT_DOUBLE_EQ(mst_distance_lower_bound(inst), 40.0);
+}
+
+TEST(MstBound, SingleSiteIsZero) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 100, 0}};
+  const Instance inst("d", std::move(sites), 1, 10);
+  EXPECT_DOUBLE_EQ(mst_distance_lower_bound(inst), 0.0);
+}
+
+TEST(MstBound, TinyInstanceExact) {
+  // tiny_instance: depot center, customers at distance 3, 4, 3, 4.
+  // MST connects each customer straight to the depot: 3+4+3+4 = 14.
+  const Instance inst = testing::tiny_instance();
+  EXPECT_DOUBLE_EQ(mst_distance_lower_bound(inst), 14.0);
+}
+
+TEST(DistanceLowerBound, AtLeastMst) {
+  const Instance inst = generate_named("R1_1_1");
+  EXPECT_GE(distance_lower_bound(inst),
+            mst_distance_lower_bound(inst));
+}
+
+class BoundValidity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BoundValidity, NoSolutionBeatsTheBound) {
+  const Instance inst = generate_named(GetParam());
+  const double bound = distance_lower_bound(inst);
+  EXPECT_GT(bound, 0.0);
+  // Constructions and optimized fronts must all respect the bound.
+  Rng rng(3);
+  EXPECT_GE(construct_i1_random(inst, rng).objectives().distance, bound);
+  EXPECT_GE(construct_nearest_neighbor(inst, rng).objectives().distance,
+            bound);
+  TsmoParams p;
+  p.max_evaluations = 4000;
+  p.neighborhood_size = 50;
+  p.seed = 5;
+  const RunResult r = SequentialTsmo(inst, p).run();
+  for (const Objectives& o : r.front) {
+    EXPECT_GE(o.distance, bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, BoundValidity,
+                         ::testing::Values("R1_1_1", "C1_1_1", "RC2_1_1",
+                                           "R2_1_2"));
+
+TEST(DistanceLowerBound, GapIsReasonableAfterOptimization) {
+  // Sanity on the bound's usefulness: the optimized distance should land
+  // within a small factor of the bound on a clustered instance.
+  const Instance inst = generate_named("C1_1_1");
+  TsmoParams p;
+  p.max_evaluations = 20000;
+  p.seed = 9;
+  const RunResult r = SequentialTsmo(inst, p).run();
+  double best = 1e300;
+  for (const Objectives& o : r.front) best = std::min(best, o.distance);
+  EXPECT_LT(best / distance_lower_bound(inst), 3.0);
+}
+
+}  // namespace
+}  // namespace tsmo

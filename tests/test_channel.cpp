@@ -1,0 +1,111 @@
+#include "parallel/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tsmo {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  ch.push(1);
+  ch.push(2);
+  ch.push(3);
+  EXPECT_EQ(ch.try_pop(), 1);
+  EXPECT_EQ(ch.try_pop(), 2);
+  EXPECT_EQ(ch.try_pop(), 3);
+  EXPECT_EQ(ch.try_pop(), std::nullopt);
+}
+
+TEST(Channel, SizeAndEmpty) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.empty());
+  ch.push(7);
+  EXPECT_EQ(ch.size(), 1u);
+  ch.try_pop();
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, PushAfterCloseIsRefused) {
+  Channel<int> ch;
+  ch.push(1);
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.push(2));
+  // Remaining items drain, then closed-empty.
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, PopForTimesOutWhenEmpty) {
+  Channel<int> ch;
+  const auto result = ch.pop_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(result, std::nullopt);
+}
+
+TEST(Channel, PopForReturnsAvailableItem) {
+  Channel<int> ch;
+  ch.push(9);
+  EXPECT_EQ(ch.pop_for(std::chrono::milliseconds(5)), 9);
+}
+
+TEST(Channel, PopBlocksUntilPush) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.push(42);
+  });
+  EXPECT_EQ(ch.pop(), 42);
+  producer.join();
+}
+
+TEST(Channel, CloseWakesBlockedConsumers) {
+  Channel<int> ch;
+  std::thread consumer([&] { EXPECT_EQ(ch.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ch.close();
+  consumer.join();
+}
+
+TEST(Channel, MoveOnlyPayloads) {
+  Channel<std::unique_ptr<int>> ch;
+  ch.push(std::make_unique<int>(5));
+  auto item = ch.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 5);
+}
+
+TEST(Channel, ConcurrentProducersAndConsumers) {
+  Channel<int> ch;
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = ch.pop()) {
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  ch.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace tsmo

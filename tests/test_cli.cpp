@@ -1,0 +1,102 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tsmo {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("name", "a string", "default");
+  cli.add_option("count", "an int", "5");
+  cli.add_option("ratio", "a double", "0.5");
+  cli.add_flag("verbose", "a flag");
+  return cli;
+}
+
+bool parse(CliParser& cli, std::initializer_list<const char*> args,
+           std::string* err_text = nullptr) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  std::ostringstream err;
+  const bool ok =
+      cli.parse(static_cast<int>(argv.size()), argv.data(), err);
+  if (err_text) *err_text = err.str();
+  return ok;
+}
+
+TEST(CliParser, DefaultsApplyWhenUnset) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.5);
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_FALSE(cli.was_set("name"));
+}
+
+TEST(CliParser, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--name", "abc", "--count", "42"}));
+  EXPECT_EQ(cli.get("name"), "abc");
+  EXPECT_EQ(cli.get_int("count"), 42);
+  EXPECT_TRUE(cli.was_set("name"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--ratio=2.25", "--name=x=y"}));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+  EXPECT_EQ(cli.get("name"), "x=y");  // only first '=' splits
+}
+
+TEST(CliParser, FlagsAndPositionals) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"pos1", "--verbose", "pos2"}));
+  EXPECT_TRUE(cli.flag("verbose"));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(CliParser, UnknownOptionFails) {
+  CliParser cli = make_parser();
+  std::string err;
+  EXPECT_FALSE(parse(cli, {"--bogus", "1"}, &err));
+  EXPECT_NE(err.find("unknown option"), std::string::npos);
+}
+
+TEST(CliParser, MissingValueFails) {
+  CliParser cli = make_parser();
+  std::string err;
+  EXPECT_FALSE(parse(cli, {"--name"}, &err));
+  EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST(CliParser, FlagWithValueFails) {
+  CliParser cli = make_parser();
+  std::string err;
+  EXPECT_FALSE(parse(cli, {"--verbose=yes"}, &err));
+  EXPECT_NE(err.find("takes no value"), std::string::npos);
+}
+
+TEST(CliParser, HelpReturnsFalseAndPrintsOptions) {
+  CliParser cli = make_parser();
+  std::string err;
+  EXPECT_FALSE(parse(cli, {"--help"}, &err));
+  EXPECT_NE(err.find("--name"), std::string::npos);
+  EXPECT_NE(err.find("a flag"), std::string::npos);
+  EXPECT_NE(err.find("default: 5"), std::string::npos);
+}
+
+TEST(CliParser, UnregisteredAccessThrows) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_THROW(cli.get("nope"), std::logic_error);
+  EXPECT_THROW(cli.flag("nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,110 @@
+#include "construct/i1_insertion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+class I1Test : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(I1Test, RoutesEveryCustomerExactlyOnce) {
+  const Instance inst = generate_named(GetParam());
+  Rng rng(1);
+  const Solution s = construct_i1_random(inst, rng);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST_P(I1Test, ProducesFeasibleSolution) {
+  const Instance inst = generate_named(GetParam());
+  Rng rng(2);
+  const Solution s = construct_i1_random(inst, rng);
+  EXPECT_DOUBLE_EQ(s.objectives().tardiness, 0.0);
+  EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0);
+  EXPECT_LE(s.vehicles_used(), inst.max_vehicles());
+  EXPECT_GE(s.vehicles_used(), inst.min_vehicles_by_capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, I1Test,
+                         ::testing::Values("R1_1_1", "R2_1_1", "C1_1_1",
+                                           "C2_1_1", "RC1_1_1", "RC2_1_3"));
+
+TEST(I1, DeterministicForFixedParams) {
+  const Instance inst = generate_named("R1_1_1");
+  const I1Params p{1.5, 1.0, 0.6, true};
+  const Solution a = construct_i1(inst, p);
+  const Solution b = construct_i1(inst, p);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.objectives(), b.objectives());
+}
+
+TEST(I1, SeedRuleChangesConstruction) {
+  const Instance inst = generate_named("R1_1_1");
+  I1Params far{1.5, 1.0, 0.6, true};
+  I1Params due = far;
+  due.seed_farthest = false;
+  EXPECT_NE(construct_i1(inst, far).hash(),
+            construct_i1(inst, due).hash());
+}
+
+TEST(I1, RandomParamsAreInDocumentedRanges) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const I1Params p = random_i1_params(rng);
+    EXPECT_GE(p.lambda, 1.0);
+    EXPECT_LE(p.lambda, 2.0);
+    EXPECT_GE(p.mu, 0.5);
+    EXPECT_LE(p.mu, 1.5);
+    EXPECT_GE(p.alpha1, 0.0);
+    EXPECT_LE(p.alpha1, 1.0);
+  }
+}
+
+TEST(I1, DifferentRandomDrawsDiversify) {
+  const Instance inst = generate_named("R1_1_1");
+  Rng rng(4);
+  const Solution a = construct_i1_random(inst, rng);
+  const Solution b = construct_i1_random(inst, rng);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(I1, TinyInstance) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = construct_i1(inst, I1Params{});
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_DOUBLE_EQ(s.objectives().tardiness, 0.0);
+}
+
+TEST(I1, TightFleetStillRoutesEveryone) {
+  // 6 customers, demand 1 each, only 1 vehicle of ample capacity: one tour.
+  const Instance inst = testing::line_instance(6, /*max_vehicles=*/1);
+  const Solution s = construct_i1(inst, I1Params{});
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.vehicles_used(), 1);
+}
+
+TEST(NearestNeighbor, RoutesEveryCustomerFeasibly) {
+  for (const char* name : {"R1_1_1", "C2_1_1"}) {
+    const Instance inst = generate_named(name);
+    Rng rng(5);
+    const Solution s = construct_nearest_neighbor(inst, rng);
+    EXPECT_NO_THROW(s.validate()) << name;
+    EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0) << name;
+    EXPECT_LE(s.vehicles_used(), inst.max_vehicles()) << name;
+  }
+}
+
+TEST(NearestNeighbor, GenerallyWorseOrEqualToI1) {
+  // Not a strict theorem, but I1 should win clearly on a clustered
+  // instance; guard the comparison loosely.
+  const Instance inst = generate_named("C1_1_1");
+  Rng rng(6);
+  const Solution i1 = construct_i1_random(inst, rng);
+  const Solution nn = construct_nearest_neighbor(inst, rng);
+  EXPECT_LT(i1.objectives().distance, nn.objectives().distance * 1.5);
+}
+
+}  // namespace
+}  // namespace tsmo

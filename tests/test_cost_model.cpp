@@ -1,0 +1,61 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(CostModel, ScalesLinearlyWithInstanceSize) {
+  const CostModel m400 = CostModel::for_instance(generate_named("R1_4_1"));
+  const CostModel m600 = CostModel::for_instance(generate_named("R1_6_1"));
+  EXPECT_NEAR(m600.eval_us / m400.eval_us, 601.0 / 401.0, 1e-9);
+  EXPECT_GT(m600.transfer_solution_us, m400.transfer_solution_us);
+}
+
+TEST(CostModel, StragglerNoiseHasUnitMean) {
+  CostModel m;
+  m.straggler_sigma = 1.2;
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(m.straggler_noise(rng));
+  EXPECT_NEAR(s.mean(), 1.0, 0.05);
+  EXPECT_GT(s.max(), 5.0);  // heavy upper tail (stragglers exist)
+}
+
+TEST(CostModel, ZeroSigmaIsDeterministic) {
+  CostModel m;
+  m.straggler_sigma = 0.0;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.straggler_noise(rng), 1.0);
+  }
+}
+
+TEST(CostModel, NoiseIsAlwaysPositive) {
+  CostModel m;
+  m.straggler_sigma = 2.0;
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(m.straggler_noise(rng), 0.0);
+  }
+}
+
+TEST(CostModel, ContentionGrowsLogarithmically) {
+  CostModel m;
+  m.coll_contention = 0.15;
+  EXPECT_EQ(m.contention_factor(1), 1.0);
+  const double c3 = m.contention_factor(3);
+  const double c6 = m.contention_factor(6);
+  const double c12 = m.contention_factor(12);
+  EXPECT_GT(c3, 1.0);
+  EXPECT_GT(c6, c3);
+  EXPECT_GT(c12, c6);
+  // Logarithmic: equal increments per doubling.
+  EXPECT_NEAR(c12 - c6, c6 - c3, 1e-9);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,99 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tsmo {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ExecutesEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulation, SimultaneousEventsAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 7.0);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, NegativeDelayClamps) {
+  Simulation sim;
+  sim.schedule_after(-10.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, EventsCanChainIndefinitely) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) sim.schedule_after(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulation, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StepReturnsFalseWhenDrained) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "vrptw/objectives.hpp"
+
+namespace tsmo {
+namespace {
+
+Objectives obj(double d, int v, double t) { return Objectives{d, v, t}; }
+
+TEST(Dominance, StrictImprovementInAllObjectives) {
+  EXPECT_TRUE(dominates(obj(1, 1, 1), obj(2, 2, 2)));
+  EXPECT_FALSE(dominates(obj(2, 2, 2), obj(1, 1, 1)));
+}
+
+TEST(Dominance, ImprovementInOneObjectiveSuffices) {
+  EXPECT_TRUE(dominates(obj(1, 2, 3), obj(1, 2, 4)));
+  EXPECT_TRUE(dominates(obj(1, 2, 3), obj(1, 3, 3)));
+  EXPECT_TRUE(dominates(obj(0.5, 2, 3), obj(1, 2, 3)));
+}
+
+TEST(Dominance, EqualVectorsDoNotDominate) {
+  EXPECT_FALSE(dominates(obj(1, 2, 3), obj(1, 2, 3)));
+}
+
+TEST(Dominance, TradeoffsAreIncomparable) {
+  EXPECT_TRUE(incomparable(obj(1, 3, 1), obj(2, 2, 1)));
+  EXPECT_TRUE(incomparable(obj(1, 2, 9), obj(9, 2, 1)));
+  EXPECT_FALSE(incomparable(obj(1, 1, 1), obj(2, 2, 2)));
+}
+
+TEST(Dominance, WeakIncludesEquality) {
+  EXPECT_TRUE(weakly_dominates(obj(1, 2, 3), obj(1, 2, 3)));
+  EXPECT_TRUE(weakly_dominates(obj(1, 2, 3), obj(1, 2, 4)));
+  EXPECT_FALSE(weakly_dominates(obj(1, 2, 4), obj(1, 2, 3)));
+}
+
+TEST(Dominance, IsIrreflexiveAndAsymmetric) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Objectives a = obj(rng.uniform(0, 10),
+                             static_cast<int>(rng.uniform_int(0, 5)),
+                             rng.uniform(0, 10));
+    const Objectives b = obj(rng.uniform(0, 10),
+                             static_cast<int>(rng.uniform_int(0, 5)),
+                             rng.uniform(0, 10));
+    EXPECT_FALSE(dominates(a, a));
+    EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+  }
+}
+
+TEST(Dominance, IsTransitive) {
+  Rng rng(6);
+  int checked = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto rnd = [&] {
+      return obj(rng.uniform(0, 3), static_cast<int>(rng.uniform_int(0, 3)),
+                 rng.uniform(0, 3));
+    };
+    const Objectives a = rnd(), b = rnd(), c = rnd();
+    if (dominates(a, b) && dominates(b, c)) {
+      EXPECT_TRUE(dominates(a, c));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);  // the property was actually exercised
+}
+
+TEST(Scalarize, WeightsCombineLinearly) {
+  const ScalarWeights w{2.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(scalarize(obj(1, 2, 3), w), 2.0 + 6.0 + 15.0);
+  const ScalarWeights only_distance{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(scalarize(obj(7, 9, 11), only_distance), 7.0);
+}
+
+TEST(Scalarize, DominanceImpliesNoWorseScalar) {
+  Rng rng(7);
+  const ScalarWeights w{1.0, 4.0, 2.0};
+  for (int i = 0; i < 500; ++i) {
+    auto rnd = [&] {
+      return obj(rng.uniform(0, 10), static_cast<int>(rng.uniform_int(0, 5)),
+                 rng.uniform(0, 10));
+    };
+    const Objectives a = rnd(), b = rnd();
+    if (dominates(a, b)) {
+      EXPECT_LE(scalarize(a, w), scalarize(b, w));
+    }
+  }
+}
+
+TEST(Objectives, ToStringContainsAllValues) {
+  const std::string s = to_string(obj(12.5, 3, 0.25));
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,145 @@
+// Degenerate and boundary-condition coverage across the stack: one-customer
+// instances, extreme generator densities, saturated fleets, and operators
+// on minimal routes.
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "operators/neighborhood.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+Instance one_customer_instance() {
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0},
+                             {5, 0, 3, 0, 100, 2}};
+  return Instance("one", std::move(sites), 2, 10);
+}
+
+TEST(EdgeCases, OneCustomerConstruction) {
+  const Instance inst = one_customer_instance();
+  Rng rng(1);
+  const Solution s = construct_i1_random(inst, rng);
+  EXPECT_EQ(s.vehicles_used(), 1);
+  EXPECT_DOUBLE_EQ(s.objectives().distance, 10.0);
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(EdgeCases, OneCustomerSearchTerminates) {
+  const Instance inst = one_customer_instance();
+  TsmoParams p;
+  p.max_evaluations = 200;
+  p.neighborhood_size = 10;
+  p.seed = 2;
+  const RunResult r = SequentialTsmo(inst, p).run();
+  // The only structure possible: one route with the single customer
+  // (relocate to the other empty slot is the sole move family).
+  ASSERT_FALSE(r.front.empty());
+  EXPECT_DOUBLE_EQ(r.front[0].distance, 10.0);
+}
+
+TEST(EdgeCases, OneCustomerNeighborhoodOnlyRelocates) {
+  const Instance inst = one_customer_instance();
+  MoveEngine engine(inst);
+  NeighborhoodGenerator generator(engine);
+  const Solution base = Solution::from_routes(inst, {{1}});
+  Rng rng(3);
+  for (const Neighbor& nb : generator.generate(base, 30, rng)) {
+    EXPECT_EQ(nb.move.type, MoveType::Relocate);
+  }
+}
+
+TEST(EdgeCases, GeneratorZeroDensityGivesOnlyWideWindows) {
+  GeneratorConfig cfg;
+  cfg.num_customers = 30;
+  cfg.tw_density = 0.0;
+  cfg.seed = 4;
+  const Instance inst = generate_instance(cfg);
+  for (int c = 1; c <= inst.num_customers(); ++c) {
+    EXPECT_EQ(inst.site(c).ready, 0.0) << c;
+    // Due clamped only by the return-feasibility horizon.
+    EXPECT_GT(inst.site(c).due, inst.horizon() * 0.5) << c;
+  }
+}
+
+TEST(EdgeCases, GeneratorFullDensityGivesBoundedWindows) {
+  GeneratorConfig cfg;
+  cfg.num_customers = 30;
+  cfg.horizon = HorizonClass::Short;
+  cfg.tw_density = 1.0;
+  cfg.seed = 5;
+  const Instance inst = generate_instance(cfg);
+  int tight = 0;
+  for (int c = 1; c <= inst.num_customers(); ++c) {
+    if (inst.site(c).due - inst.site(c).ready < inst.horizon() * 0.25) {
+      ++tight;
+    }
+  }
+  EXPECT_GT(tight, 25);  // nearly all windows are genuinely tight
+}
+
+TEST(EdgeCases, SaturatedFleetStillSearchable) {
+  // Fleet of exactly min_vehicles: every route is near capacity, so many
+  // relocate/exchange proposals fail the capacity screen; the search must
+  // still progress.
+  GeneratorConfig cfg;
+  cfg.num_customers = 40;
+  cfg.seed = 6;
+  Instance probe = generate_instance(cfg);
+  cfg.max_vehicles = probe.min_vehicles_by_capacity() + 1;
+  const Instance inst = generate_instance(cfg);
+  TsmoParams p;
+  p.max_evaluations = 1500;
+  p.neighborhood_size = 30;
+  p.seed = 7;
+  const RunResult r = SequentialTsmo(inst, p).run();
+  ASSERT_FALSE(r.front.empty());
+  for (const Solution& s : r.solutions) {
+    EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0);
+    EXPECT_LE(s.vehicles_used(), inst.max_vehicles());
+  }
+}
+
+TEST(EdgeCases, TinyNeighborhoodSizeOne) {
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams p;
+  p.max_evaluations = 300;
+  p.neighborhood_size = 1;
+  p.seed = 8;
+  const RunResult r = SequentialTsmo(inst, p).run();
+  EXPECT_GE(r.iterations, 250);  // ~one evaluation per iteration
+  EXPECT_FALSE(r.front.empty());
+}
+
+TEST(EdgeCases, SingleRouteInstanceOperatorsDegrade) {
+  // Everything in one route: inter-route operators cannot apply; intra
+  // ones still work.
+  const Instance inst = generate_named("R2_1_1");  // big capacity
+  MoveEngine engine(inst);
+  std::vector<int> all;
+  for (int c = 1; c <= 20; ++c) all.push_back(c);
+  std::vector<Site> sites;
+  // Build a reduced instance with 20 customers and one vehicle.
+  sites.push_back(inst.depot());
+  for (int c = 1; c <= 20; ++c) sites.push_back(inst.site(c));
+  const Instance small("small20", std::move(sites), 1, 1e9);
+  MoveEngine small_engine(small);
+  const Solution s = Solution::from_routes(small, {all});
+  Rng rng(9);
+  int intra = 0;
+  for (int k = 0; k < 200; ++k) {
+    const auto type = static_cast<MoveType>(rng.below(5));
+    const auto move = small_engine.propose(type, s, rng);
+    if (move) {
+      EXPECT_TRUE(move->type == MoveType::TwoOpt ||
+                  move->type == MoveType::OrOpt);
+      ++intra;
+    }
+  }
+  EXPECT_GT(intra, 0);
+}
+
+}  // namespace
+}  // namespace tsmo

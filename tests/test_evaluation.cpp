@@ -1,0 +1,116 @@
+#include "vrptw/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(EvaluateRoute, EmptyRouteIsAllZero) {
+  const Instance inst = testing::tiny_instance();
+  const RouteStats s = evaluate_route(inst, std::vector<int>{});
+  EXPECT_EQ(s, RouteStats{});
+}
+
+TEST(EvaluateRoute, SingleCustomerRoundTrip) {
+  const Instance inst = testing::tiny_instance();
+  // depot -> c1 (d=3) -> depot (d=3); arrival 3 within [0,100]; service 1.
+  const RouteStats s = evaluate_route(inst, std::vector<int>{1});
+  EXPECT_DOUBLE_EQ(s.distance, 6.0);
+  EXPECT_DOUBLE_EQ(s.load, 10.0);
+  EXPECT_DOUBLE_EQ(s.tardiness, 0.0);
+  EXPECT_DOUBLE_EQ(s.completion, 7.0);  // 3 arrive + 1 service + 3 back
+}
+
+TEST(EvaluateRoute, TwoCustomersWithKnownGeometry) {
+  const Instance inst = testing::tiny_instance();
+  // depot -> c1 (3) -> c2 (5) -> depot (4): distance 12.
+  // Times: arrive c1 at 3, serve until 4; arrive c2 at 9, serve until 10;
+  // back at depot at 14.
+  const RouteStats s = evaluate_route(inst, std::vector<int>{1, 2});
+  EXPECT_DOUBLE_EQ(s.distance, 12.0);
+  EXPECT_DOUBLE_EQ(s.load, 30.0);
+  EXPECT_DOUBLE_EQ(s.tardiness, 0.0);
+  EXPECT_DOUBLE_EQ(s.completion, 14.0);
+}
+
+TEST(EvaluateRoute, WaitsForReadyTime) {
+  const Instance inst = testing::tiny_instance();
+  // c3 has ready = 5; arrival at 3 -> wait until 5, serve 2 -> leaves at 7.
+  const RouteStats s = evaluate_route(inst, std::vector<int>{3});
+  EXPECT_DOUBLE_EQ(s.tardiness, 0.0);
+  EXPECT_DOUBLE_EQ(s.completion, 10.0);  // 5 + 2 + 3
+}
+
+TEST(EvaluateRoute, AccruesTardinessAfterDueDate) {
+  // Tight due date: customer at distance 3 with due = 2.
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0}, {3, 0, 5, 0, 2, 1}};
+  const Instance inst("t", std::move(sites), 2, 100.0);
+  const RouteStats s = evaluate_route(inst, std::vector<int>{1});
+  EXPECT_DOUBLE_EQ(s.tardiness, 1.0);  // arrival 3, due 2
+}
+
+TEST(EvaluateRoute, TardinessSumsOverVisits) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0},
+                             {3, 0, 1, 0, 2, 1},    // late by 1
+                             {6, 0, 1, 0, 5, 1}};   // arrive 3+1+3=7, late 2
+  const Instance inst("t", std::move(sites), 2, 100.0);
+  const RouteStats s = evaluate_route(inst, std::vector<int>{1, 2});
+  EXPECT_DOUBLE_EQ(s.tardiness, 3.0);
+}
+
+TEST(EvaluateRoute, DepotReturnAfterHorizonIsTardy) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 5, 0},  // short horizon
+                             {3, 0, 1, 0, 100, 1}};
+  const Instance inst("t", std::move(sites), 2, 100.0);
+  const RouteStats s = evaluate_route(inst, std::vector<int>{1});
+  // Back at 7, horizon 5 -> 2 tardy.
+  EXPECT_DOUBLE_EQ(s.tardiness, 2.0);
+}
+
+TEST(EvaluateRoute, WaitingDoesNotReduceTardinessLater) {
+  // Waiting at c1 (ready 10) pushes the c2 arrival past its due date.
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0},
+                             {3, 0, 1, 10, 100, 1},
+                             {6, 0, 1, 0, 10, 1}};
+  const Instance inst("t", std::move(sites), 2, 100.0);
+  const RouteStats s = evaluate_route(inst, std::vector<int>{1, 2});
+  // Arrive c1 at 3, wait to 10, serve to 11, arrive c2 at 14: 4 late.
+  EXPECT_DOUBLE_EQ(s.tardiness, 4.0);
+}
+
+TEST(ArrivalTimeAt, MatchesManualSchedule) {
+  const Instance inst = testing::tiny_instance();
+  const std::vector<int> route = {1, 2, 4};
+  EXPECT_DOUBLE_EQ(arrival_time_at(inst, route, 0), 3.0);
+  EXPECT_DOUBLE_EQ(arrival_time_at(inst, route, 1), 9.0);
+  // leave c2 at 10, distance c2->c4 = 8 -> arrive 18.
+  EXPECT_DOUBLE_EQ(arrival_time_at(inst, route, 2), 18.0);
+}
+
+TEST(ArrivalTimeAt, AccountsForWaiting) {
+  const Instance inst = testing::tiny_instance();
+  const std::vector<int> route = {3, 1};  // wait at c3 until 5
+  EXPECT_DOUBLE_EQ(arrival_time_at(inst, route, 0), 3.0);
+  // Leave c3 at 5+2=7; distance c3->c1 = 6 -> arrive 13.
+  EXPECT_DOUBLE_EQ(arrival_time_at(inst, route, 1), 13.0);
+}
+
+TEST(EvaluateRoute, LoadIgnoresTimeStructure) {
+  const Instance inst = testing::tiny_instance();
+  const RouteStats a = evaluate_route(inst, std::vector<int>{1, 2, 3});
+  const RouteStats b = evaluate_route(inst, std::vector<int>{3, 2, 1});
+  EXPECT_DOUBLE_EQ(a.load, b.load);
+  EXPECT_DOUBLE_EQ(a.load, 60.0);
+}
+
+TEST(EvaluateRoute, ReversedRouteSameDistanceNoWindows) {
+  const Instance inst = testing::line_instance(4);
+  const RouteStats a = evaluate_route(inst, std::vector<int>{1, 2, 3, 4});
+  const RouteStats b = evaluate_route(inst, std::vector<int>{4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(a.distance, b.distance);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,138 @@
+// Tests of the three feasibility screening modes (capacity-only / the
+// paper's local criterion / exact) and their plumbing through proposals,
+// the generator, and TsmoParams.
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "operators/neighborhood.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+class ScreenTest : public ::testing::Test {
+ protected:
+  ScreenTest() : inst_(generate_named("R1_1_1")), engine_(inst_) {}
+
+  Solution seed() {
+    Rng rng(5);
+    return construct_i1_random(inst_, rng);
+  }
+
+  Instance inst_;
+  MoveEngine engine_;
+};
+
+TEST_F(ScreenTest, ScreensFormAStrictnessHierarchy) {
+  // exact => capacity; local => capacity.  Fuzz over random proposals.
+  Rng rng(7);
+  const Solution base = seed();
+  int exact_count = 0, local_count = 0, cap_count = 0;
+  for (int k = 0; k < 2000; ++k) {
+    const auto type = static_cast<MoveType>(rng.below(5));
+    const auto move =
+        engine_.propose(type, base, rng, 1, FeasibilityScreen::CapacityOnly);
+    if (!move) continue;
+    const bool cap = engine_.capacity_feasible(base, *move);
+    const bool local = engine_.locally_feasible(base, *move);
+    const bool exact = engine_.exact_feasible(base, *move);
+    ASSERT_TRUE(cap);  // propose already screened capacity
+    if (local) {
+      EXPECT_TRUE(cap);
+    }
+    if (exact) {
+      EXPECT_TRUE(cap);
+    }
+    cap_count += cap;
+    local_count += local;
+    exact_count += exact;
+  }
+  // The stricter screens must actually reject a nontrivial fraction.
+  EXPECT_LT(local_count, cap_count);
+  EXPECT_LT(exact_count, cap_count);
+}
+
+TEST_F(ScreenTest, ExactScreenNeverIncreasesTardiness) {
+  Rng rng(9);
+  Solution current = seed();
+  for (int step = 0; step < 200; ++step) {
+    const auto type = static_cast<MoveType>(rng.below(5));
+    const auto move = engine_.propose(type, current, rng, 12,
+                                      FeasibilityScreen::Exact);
+    if (!move) continue;
+    const double before = current.objectives().tardiness;
+    engine_.apply(current, *move);
+    EXPECT_LE(current.objectives().tardiness, before + 1e-9);
+  }
+  // Starting feasible and never increasing tardiness keeps it feasible.
+  EXPECT_DOUBLE_EQ(current.objectives().tardiness, 0.0);
+}
+
+TEST_F(ScreenTest, CapacityOnlyStillEnforcesCapacity) {
+  Rng rng(11);
+  Solution current = seed();
+  for (int step = 0; step < 300; ++step) {
+    const auto type = static_cast<MoveType>(rng.below(5));
+    const auto move = engine_.propose(type, current, rng, 12,
+                                      FeasibilityScreen::CapacityOnly);
+    if (!move) continue;
+    engine_.apply(current, *move);
+    EXPECT_DOUBLE_EQ(current.capacity_violation(), 0.0);
+  }
+}
+
+TEST_F(ScreenTest, CapacityOnlyAllowsWindowViolations) {
+  // Without the window screen the search must be able to visit tardy
+  // solutions (soft windows).
+  Rng rng(13);
+  Solution current = seed();
+  bool saw_tardy = false;
+  for (int step = 0; step < 400 && !saw_tardy; ++step) {
+    const auto type = static_cast<MoveType>(rng.below(5));
+    const auto move = engine_.propose(type, current, rng, 12,
+                                      FeasibilityScreen::CapacityOnly);
+    if (!move) continue;
+    engine_.apply(current, *move);
+    saw_tardy = current.objectives().tardiness > 0.0;
+  }
+  EXPECT_TRUE(saw_tardy);
+}
+
+TEST_F(ScreenTest, GeneratorRespectsScreen) {
+  NeighborhoodGenerator generator(engine_, {1, 1, 1, 1, 1},
+                                  FeasibilityScreen::Exact);
+  EXPECT_EQ(generator.screen(), FeasibilityScreen::Exact);
+  Rng rng(15);
+  const Solution base = seed();
+  for (const Neighbor& nb : generator.generate(base, 100, rng)) {
+    EXPECT_TRUE(engine_.exact_feasible(base, nb.move));
+    // With a feasible base, exact-screened neighbors stay feasible.
+    EXPECT_DOUBLE_EQ(nb.obj.tardiness, 0.0);
+  }
+}
+
+TEST_F(ScreenTest, ParamsPlumbScreenThroughRun) {
+  TsmoParams p;
+  p.max_evaluations = 1500;
+  p.neighborhood_size = 30;
+  p.seed = 17;
+  p.feasibility_screen = FeasibilityScreen::Exact;
+  const RunResult r = SequentialTsmo(inst_, p).run();
+  ASSERT_FALSE(r.front.empty());
+  // Exact screening from a feasible start: the whole archive is feasible.
+  for (const Objectives& o : r.front) {
+    EXPECT_DOUBLE_EQ(o.tardiness, 0.0);
+  }
+}
+
+TEST(ScreenToString, Names) {
+  EXPECT_STREQ(to_string(FeasibilityScreen::CapacityOnly),
+               "capacity-only");
+  EXPECT_STREQ(to_string(FeasibilityScreen::Local), "local (paper)");
+  EXPECT_STREQ(to_string(FeasibilityScreen::Exact), "exact");
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,142 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TableSpec tiny_spec() {
+  TableSpec spec;
+  spec.title = "tiny";
+  spec.class_prefixes = {"R1_1"};
+  spec.scale.runs = 2;
+  spec.scale.instances_per_class = 1;
+  spec.scale.max_evaluations = 800;
+  spec.scale.neighborhood_size = 40;
+  spec.algorithms = {
+      {"Sequential TSMO", AlgoKind::Sequential, 1, 0},
+      {"TSMO sync. 3p", AlgoKind::Sync, 3, 0},
+      {"TSMO async. 3p", AlgoKind::Async, 3, 0},
+      {"TSMO coll. 3p", AlgoKind::Coll, 3, 0},
+  };
+  return spec;
+}
+
+TEST(ExperimentScale, EnvOverrides) {
+  ::setenv("TSMO_BENCH_SCALE", "ci", 1);
+  ::setenv("TSMO_RUNS", "7", 1);
+  const ExperimentScale s = ExperimentScale::from_env();
+  EXPECT_EQ(s.runs, 7);
+  EXPECT_EQ(s.instances_per_class, 1);
+  ::unsetenv("TSMO_BENCH_SCALE");
+  ::unsetenv("TSMO_RUNS");
+}
+
+TEST(ExperimentScale, PaperScaleMatchesPaper) {
+  ::setenv("TSMO_BENCH_SCALE", "paper", 1);
+  const ExperimentScale s = ExperimentScale::from_env();
+  EXPECT_EQ(s.runs, 30);
+  EXPECT_EQ(s.instances_per_class, 10);
+  EXPECT_EQ(s.max_evaluations, 100000);
+  EXPECT_EQ(s.neighborhood_size, 200);
+  ::unsetenv("TSMO_BENCH_SCALE");
+}
+
+TEST(PaperAlgorithmGrid, HasSequentialPlusNineParallelRows) {
+  const auto grid = paper_algorithm_grid();
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_EQ(grid[0].kind, AlgoKind::Sequential);
+  int sync = 0, async_n = 0, coll = 0;
+  for (const auto& a : grid) {
+    if (a.kind == AlgoKind::Sync) ++sync;
+    if (a.kind == AlgoKind::Async) ++async_n;
+    if (a.kind == AlgoKind::Coll) ++coll;
+  }
+  EXPECT_EQ(sync, 3);
+  EXPECT_EQ(async_n, 3);
+  EXPECT_EQ(coll, 3);
+}
+
+TEST(RunAlgorithm, DispatchesEveryKind) {
+  const Instance inst = generate_named("R1_1_1");
+  const CostModel cost = CostModel::for_instance(inst);
+  TsmoParams p;
+  p.max_evaluations = 600;
+  p.neighborhood_size = 30;
+  p.seed = 5;
+  for (const auto kind : {AlgoKind::Sequential, AlgoKind::Sync,
+                          AlgoKind::Async, AlgoKind::Coll,
+                          AlgoKind::Hybrid}) {
+    AlgoConfig cfg{"x", kind, 4, 2};
+    const RunResult r = run_algorithm(cfg, inst, p, cost);
+    EXPECT_FALSE(r.front.empty());
+    EXPECT_GT(r.sim_seconds, 0.0);
+  }
+}
+
+TEST(RunTable, ProducesAggregatedRows) {
+  const TableResult result = run_table(tiny_spec());
+  ASSERT_EQ(result.rows.size(), 4u);
+  // Sequential row: no speedup, p-value placeholder.
+  EXPECT_EQ(result.rows[0].speedup_pct, 0.0);
+  for (const TableRow& row : result.rows) {
+    EXPECT_GT(row.distance_mean, 0.0) << row.name;
+    EXPECT_GT(row.vehicles_mean, 0.0) << row.name;
+    EXPECT_GT(row.runtime_mean, 0.0) << row.name;
+    EXPECT_GE(row.coverage_fwd, 0.0);
+    EXPECT_LE(row.coverage_fwd, 1.0);
+    EXPECT_GE(row.p_value, 0.0);
+    EXPECT_LE(row.p_value, 1.0);
+  }
+  // Structural timing claims on the virtual clock.
+  EXPECT_GT(result.rows[1].speedup_pct, 0.0);   // sync faster
+  EXPECT_GT(result.rows[2].speedup_pct, 0.0);   // async faster
+  EXPECT_LT(result.rows[3].speedup_pct, 0.0);   // coll slower
+  // Fronts stored for every (algo, problem, run).
+  ASSERT_EQ(result.fronts.size(), 4u);
+  ASSERT_EQ(result.fronts[0].size(), 1u);
+  ASSERT_EQ(result.fronts[0][0].size(), 2u);
+}
+
+TEST(RunTable, PrintAndCsv) {
+  const TableResult result = run_table(tiny_spec());
+  std::ostringstream os;
+  print_table(os, result);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Sequential TSMO"), std::string::npos);
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+
+  const std::string path =
+      ::testing::TempDir() + "/tsmo_table_test.csv";
+  write_table_csv(path, result);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_NE(header.find("algorithm"), std::string::npos);
+  int lines = 0;
+  std::string line;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, 4);
+  std::filesystem::remove(path);
+}
+
+TEST(RunTable, DeterministicForSameSpec) {
+  const TableResult a = run_table(tiny_spec());
+  const TableResult b = run_table(tiny_spec());
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].distance_mean, b.rows[i].distance_mean) << i;
+    EXPECT_EQ(a.rows[i].runtime_mean, b.rows[i].runtime_mean) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,63 @@
+#include "parallel/hybrid_tsmo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moo/metrics.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams test_params(std::int64_t evals = 2500) {
+  TsmoParams p;
+  p.max_evaluations = evals;
+  p.neighborhood_size = 50;
+  p.restart_after = 8;
+  p.seed = 99;
+  return p;
+}
+
+TEST(HybridTsmo, RunsIslandsWithFullBudgets) {
+  const Instance inst = generate_named("R1_1_1");
+  const MultisearchResult r =
+      HybridTsmo(inst, test_params(), 2, 3).run();
+  EXPECT_EQ(r.per_searcher.size(), 2u);
+  for (const RunResult& island : r.per_searcher) {
+    EXPECT_GE(island.evaluations, 2400);
+    EXPECT_LE(island.evaluations, 2500 + 3 * 50);
+  }
+}
+
+TEST(HybridTsmo, MergedFrontCoversIslandFronts) {
+  const Instance inst = generate_named("R1_1_1");
+  const MultisearchResult r =
+      HybridTsmo(inst, test_params(), 2, 3).run();
+  ASSERT_FALSE(r.merged.front.empty());
+  for (const RunResult& island : r.per_searcher) {
+    EXPECT_GE(set_coverage(r.merged.front, island.front), 0.999);
+  }
+  for (std::size_t i = 0; i < r.merged.front.size(); ++i) {
+    EXPECT_EQ(r.merged.solutions[i].objectives(), r.merged.front[i]);
+    EXPECT_NO_THROW(r.merged.solutions[i].validate());
+  }
+}
+
+TEST(HybridTsmo, ExchangesSolutionsAfterInitialPhase) {
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams p = test_params(6000);
+  p.restart_after = 4;
+  const MultisearchResult r = HybridTsmo(inst, p, 3, 2).run();
+  EXPECT_GT(r.messages_sent, 0);
+  EXPECT_GE(r.messages_sent, r.messages_accepted);
+}
+
+TEST(HybridTsmo, MinimaClampedToTwoIslandsTwoProcs) {
+  const Instance inst = generate_named("R1_1_1");
+  const MultisearchResult r =
+      HybridTsmo(inst, test_params(1000), 1, 1).run();
+  EXPECT_EQ(r.per_searcher.size(), 2u);  // clamped to 2 islands
+  EXPECT_FALSE(r.merged.front.empty());
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,113 @@
+#include "vrptw/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(Instance, BasicAccessors) {
+  const Instance inst = testing::tiny_instance();
+  EXPECT_EQ(inst.name(), "tiny");
+  EXPECT_EQ(inst.num_customers(), 4);
+  EXPECT_EQ(inst.num_sites(), 5);
+  EXPECT_EQ(inst.max_vehicles(), 3);
+  EXPECT_EQ(inst.capacity(), 60.0);
+  EXPECT_EQ(inst.horizon(), 1000.0);
+  EXPECT_EQ(inst.depot().demand, 0.0);
+}
+
+TEST(Instance, EuclideanDistances) {
+  const Instance inst = testing::tiny_instance();
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 2), 5.0);  // 3-4-5 triangle
+  EXPECT_DOUBLE_EQ(inst.distance(1, 3), 6.0);
+  EXPECT_DOUBLE_EQ(inst.distance(2, 4), 8.0);
+}
+
+TEST(Instance, DistanceMatrixIsSymmetricWithZeroDiagonal) {
+  const Instance inst = testing::tiny_instance();
+  for (int i = 0; i < inst.num_sites(); ++i) {
+    EXPECT_EQ(inst.distance(i, i), 0.0);
+    for (int j = 0; j < inst.num_sites(); ++j) {
+      EXPECT_DOUBLE_EQ(inst.distance(i, j), inst.distance(j, i));
+    }
+  }
+}
+
+TEST(Instance, TriangleInequalityHolds) {
+  const Instance inst = testing::tiny_instance();
+  for (int i = 0; i < inst.num_sites(); ++i) {
+    for (int j = 0; j < inst.num_sites(); ++j) {
+      for (int k = 0; k < inst.num_sites(); ++k) {
+        EXPECT_LE(inst.distance(i, j),
+                  inst.distance(i, k) + inst.distance(k, j) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Instance, TotalDemandAndFleetBound) {
+  const Instance inst = testing::tiny_instance();
+  EXPECT_DOUBLE_EQ(inst.total_demand(), 75.0);
+  EXPECT_EQ(inst.min_vehicles_by_capacity(), 2);  // ceil(75/60)
+}
+
+TEST(Instance, ConstructorRejectsEmptySites) {
+  EXPECT_THROW(Instance("x", {}, 1, 10.0), std::invalid_argument);
+}
+
+TEST(Instance, ConstructorRejectsNonPositiveFleetOrCapacity) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 10, 0}};
+  EXPECT_THROW(Instance("x", sites, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(Instance("x", sites, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(Instance("x", sites, 1, -5.0), std::invalid_argument);
+}
+
+TEST(Instance, ValidateAcceptsGoodInstance) {
+  EXPECT_NO_THROW(testing::tiny_instance().validate());
+}
+
+TEST(Instance, ValidateRejectsInvertedWindow) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 100, 0},
+                             {1, 0, 5, 50, 10, 0}};  // ready > due
+  const Instance inst("x", std::move(sites), 2, 100.0);
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, ValidateRejectsDemandOverCapacity) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 100, 0},
+                             {1, 0, 500, 0, 10, 0}};
+  const Instance inst("x", std::move(sites), 2, 100.0);
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, ValidateRejectsDepotWithDemand) {
+  std::vector<Site> sites = {{0, 0, 3, 0, 100, 0}, {1, 0, 5, 0, 10, 0}};
+  const Instance inst("x", std::move(sites), 2, 100.0);
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, ValidateRejectsFleetTooSmallForTotalDemand) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 100, 0},
+                             {1, 0, 80, 0, 10, 0},
+                             {2, 0, 80, 0, 10, 0},
+                             {3, 0, 80, 0, 10, 0}};
+  const Instance inst("x", std::move(sites), 2, 100.0);  // 240 > 200
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, ValidateRejectsNegativeDemandOrService) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 100, 0},
+                             {1, 0, -1, 0, 10, 0}};
+  EXPECT_THROW(Instance("x", sites, 2, 100.0).validate(),
+               std::invalid_argument);
+  sites[1] = {1, 0, 1, 0, 10, -2};
+  EXPECT_THROW(Instance("x", sites, 2, 100.0).validate(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsmo

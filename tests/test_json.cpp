@@ -1,0 +1,119 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/sequential_tsmo.hpp"
+#include "harness/report.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(JsonWriter, ScalarObject) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("x");
+  w.key("c").value(true);
+  w.key("d").null();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"a\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"b\": \"x\""), std::string::npos);
+  EXPECT_NE(s.find("\"c\": true"), std::string::npos);
+  EXPECT_NE(s.find("\"d\": null"), std::string::npos);
+}
+
+TEST(JsonWriter, ArraysAndNesting) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("xs").begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.key("y").value(3.5);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  // Commas between siblings, none before the first element.
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1,"), std::string::npos);
+  EXPECT_EQ(s.find(",1"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::escape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.end_array();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("null"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.key("empty_obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_NE(os.str().find("[]"), std::string::npos);
+  EXPECT_NE(os.str().find("{}"), std::string::npos);
+}
+
+TEST(WriteRunJson, ProducesWellFormedDocument) {
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams p;
+  p.max_evaluations = 800;
+  p.neighborhood_size = 40;
+  p.seed = 3;
+  const RunResult r = SequentialTsmo(inst, p).run();
+
+  std::ostringstream os;
+  write_run_json(os, inst, r);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"algorithm\": \"sequential\""), std::string::npos);
+  EXPECT_NE(s.find("\"customers\": 100"), std::string::npos);
+  EXPECT_NE(s.find("\"front\""), std::string::npos);
+  EXPECT_NE(s.find("\"routes\""), std::string::npos);
+  // Balanced braces/brackets (crude well-formedness check).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(WriteRunJson, RoutesOptional) {
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams p;
+  p.max_evaluations = 400;
+  p.neighborhood_size = 40;
+  p.seed = 3;
+  const RunResult r = SequentialTsmo(inst, p).run();
+  std::ostringstream os;
+  write_run_json(os, inst, r, /*include_routes=*/false);
+  EXPECT_EQ(os.str().find("\"routes\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsmo

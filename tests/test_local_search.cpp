@@ -1,0 +1,120 @@
+#include "operators/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "test_support.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(BestMoveOfType, FindsTheObviousRelocate) {
+  // Line instance: {1, 3} and {2} — relocating 2 between 1 and 3 shortens
+  // the distance strictly.
+  const Instance inst = testing::line_instance(3);
+  MoveEngine engine(inst);
+  Solution s = Solution::from_routes(inst, {{1, 3}, {2}});
+  const VndOptions options;
+  const double current = scalarize(s.objectives(), options.weights);
+  const auto move = best_move_of_type(engine, s, MoveType::Relocate,
+                                      options, current);
+  ASSERT_TRUE(move.has_value());
+  engine.apply(s, *move);
+  EXPECT_EQ(s.route(0), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BestMoveOfType, ReturnsNulloptAtLocalOptimum) {
+  const Instance inst = testing::line_instance(3);
+  MoveEngine engine(inst);
+  const Solution s = Solution::from_routes(inst, {{1, 2, 3}});
+  const VndOptions options;
+  const double current = scalarize(s.objectives(), options.weights);
+  EXPECT_FALSE(best_move_of_type(engine, s, MoveType::TwoOpt, options,
+                                 current)
+                   .has_value());
+  EXPECT_FALSE(best_move_of_type(engine, s, MoveType::OrOpt, options,
+                                 current)
+                   .has_value());
+}
+
+TEST(BestMoveOfType, TwoOptUncrossesARoute) {
+  // {2, 1, 3, 4}: the 0->2->1->3 zigzag reverses into 0->1->2->3.
+  const Instance inst = testing::line_instance(4);
+  MoveEngine engine(inst);
+  Solution s = Solution::from_routes(inst, {{2, 1, 3, 4}});
+  const VndOptions options;
+  const auto move =
+      best_move_of_type(engine, s, MoveType::TwoOpt, options,
+                        scalarize(s.objectives(), options.weights));
+  ASSERT_TRUE(move.has_value());
+  engine.apply(s, *move);
+  EXPECT_EQ(s.route(0), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(VndImprove, NeverWorsensAndReachesLocalOptimum) {
+  const Instance inst = generate_named("R1_1_1");
+  MoveEngine engine(inst);
+  Rng rng(4);
+  Solution s = construct_i1_random(inst, rng);
+  const VndOptions options;
+  const VndResult r = vnd_improve(engine, s, options);
+  EXPECT_LE(r.final_value, r.initial_value);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0);
+  // At the local optimum no operator has an improving screened move.
+  const double v = scalarize(s.objectives(), options.weights);
+  for (int t = 0; t < kNumMoveTypes; ++t) {
+    EXPECT_FALSE(best_move_of_type(engine, s, static_cast<MoveType>(t),
+                                   options, v)
+                     .has_value())
+        << "operator " << t << " still improves";
+  }
+}
+
+TEST(VndImprove, ImprovesARandomizedConstructionClearly) {
+  const Instance inst = generate_named("C1_1_1");
+  MoveEngine engine(inst);
+  Rng rng(5);
+  Solution s = construct_nearest_neighbor(inst, rng);
+  const double before = s.objectives().distance;
+  vnd_improve(engine, s);
+  EXPECT_LT(s.objectives().distance, before);
+}
+
+TEST(VndImprove, ExactScreenPreservesFeasibility) {
+  const Instance inst = generate_named("R1_1_2");
+  MoveEngine engine(inst);
+  Rng rng(6);
+  Solution s = construct_i1_random(inst, rng);
+  ASSERT_TRUE(s.feasible());
+  VndOptions options;
+  options.screen = FeasibilityScreen::Exact;
+  vnd_improve(engine, s, options);
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(VndImprove, MaxMovesCapsTheDescent) {
+  const Instance inst = generate_named("R1_1_1");
+  MoveEngine engine(inst);
+  Rng rng(7);
+  Solution s = construct_nearest_neighbor(inst, rng);
+  VndOptions options;
+  options.max_moves = 3;
+  const VndResult r = vnd_improve(engine, s, options);
+  EXPECT_LE(r.moves_applied, 3);
+}
+
+TEST(VndImprove, DeterministicResult) {
+  const Instance inst = generate_named("RC1_1_1");
+  MoveEngine engine(inst);
+  Rng rng(8);
+  const Solution base = construct_i1_random(inst, rng);
+  Solution a = base, b = base;
+  vnd_improve(engine, a);
+  vnd_improve(engine, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace tsmo

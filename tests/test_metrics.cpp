@@ -1,0 +1,230 @@
+#include "moo/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tsmo {
+namespace {
+
+Objectives obj(double d, int v, double t) { return Objectives{d, v, t}; }
+
+TEST(SetCoverage, FullDominationIsOne) {
+  const std::vector<Objectives> a = {obj(1, 1, 1)};
+  const std::vector<Objectives> b = {obj(2, 2, 2), obj(3, 1, 1)};
+  EXPECT_DOUBLE_EQ(set_coverage(a, b), 1.0);
+}
+
+TEST(SetCoverage, NoDominationIsZero) {
+  const std::vector<Objectives> a = {obj(5, 5, 5)};
+  const std::vector<Objectives> b = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(set_coverage(a, b), 0.0);
+}
+
+TEST(SetCoverage, PartialCoverage) {
+  const std::vector<Objectives> a = {obj(1, 1, 5)};
+  const std::vector<Objectives> b = {obj(2, 2, 6), obj(0, 0, 0)};
+  EXPECT_DOUBLE_EQ(set_coverage(a, b), 0.5);
+}
+
+TEST(SetCoverage, WeakDominanceCountsEqualPoints) {
+  const std::vector<Objectives> a = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(set_coverage(a, a), 1.0);
+}
+
+TEST(SetCoverage, EmptyBGivesZero) {
+  const std::vector<Objectives> a = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(set_coverage(a, {}), 0.0);
+}
+
+TEST(SetCoverage, EmptyACoversNothing) {
+  const std::vector<Objectives> b = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(set_coverage({}, b), 0.0);
+}
+
+TEST(SetCoverage, IsNotSymmetric) {
+  const std::vector<Objectives> a = {obj(1, 1, 1), obj(9, 9, 9)};
+  const std::vector<Objectives> b = {obj(2, 2, 2)};
+  EXPECT_DOUBLE_EQ(set_coverage(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(set_coverage(b, a), 0.5);
+}
+
+TEST(NondominatedFilter, RemovesDominatedAndDuplicates) {
+  const std::vector<Objectives> pts = {obj(1, 1, 9), obj(2, 2, 9),
+                                       obj(9, 1, 1), obj(1, 1, 9)};
+  const auto f = nondominated_filter(pts);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], obj(1, 1, 9));
+  EXPECT_EQ(f[1], obj(9, 1, 1));
+}
+
+TEST(NondominatedFilter, EmptyInput) {
+  EXPECT_TRUE(nondominated_filter({}).empty());
+}
+
+TEST(NondominatedFilter, ResultIsMutuallyNonDominated) {
+  Rng rng(5);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(obj(rng.uniform(0, 10),
+                      static_cast<int>(rng.uniform_int(0, 5)),
+                      rng.uniform(0, 10)));
+  }
+  const auto f = nondominated_filter(pts);
+  EXPECT_FALSE(f.empty());
+  for (const auto& x : f) {
+    for (const auto& y : f) {
+      if (&x == &y) continue;
+      EXPECT_FALSE(dominates(x, y));
+    }
+  }
+  // Every dropped point is weakly dominated by some kept point.
+  for (const auto& p : pts) {
+    bool covered = false;
+    for (const auto& x : f) {
+      if (weakly_dominates(x, p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(Hypervolume, SinglePointBox) {
+  // Point (1, 1, 1) vs reference (3, 3, 3): box 2 x 2 x 2 = 8.
+  const std::vector<Objectives> f = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(hypervolume(f, obj(3, 3, 3)), 8.0);
+}
+
+TEST(Hypervolume, PointOutsideReferenceContributesNothing) {
+  const std::vector<Objectives> f = {obj(5, 1, 1)};
+  EXPECT_DOUBLE_EQ(hypervolume(f, obj(3, 3, 3)), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, obj(3, 3, 3)), 0.0);
+}
+
+TEST(Hypervolume, TwoPointUnion) {
+  // (1,1,2) and (2,1,1) vs ref (3,2,3):
+  // vehicle slab [1,2): 2D front {(1,2),(2,1)} vs (3,3):
+  // area = (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3; slab height 1 -> HV 3.
+  const std::vector<Objectives> f = {obj(1, 1, 2), obj(2, 1, 1)};
+  EXPECT_DOUBLE_EQ(hypervolume(f, obj(3, 2, 3)), 3.0);
+}
+
+TEST(Hypervolume, VehicleSlabsAccumulate) {
+  // A better-vehicles point dominates volume at every level above it.
+  const std::vector<Objectives> f = {obj(1, 1, 1)};
+  // ref vehicles 4: slabs at v=1,2,3 -> 3 x (2x2) = 12.
+  EXPECT_DOUBLE_EQ(hypervolume(f, obj(3, 4, 3)), 12.0);
+}
+
+TEST(Hypervolume, MonotoneUnderAddingPoints) {
+  Rng rng(7);
+  const Objectives ref = obj(10, 10, 10);
+  std::vector<Objectives> f;
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    f.push_back(obj(rng.uniform(0, 10),
+                    static_cast<int>(rng.uniform_int(0, 9)),
+                    rng.uniform(0, 10)));
+    const double hv = hypervolume(f, ref);
+    EXPECT_GE(hv, prev - 1e-9);
+    prev = hv;
+  }
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const std::vector<Objectives> f1 = {obj(1, 1, 1)};
+  const std::vector<Objectives> f2 = {obj(1, 1, 1), obj(2, 2, 2)};
+  const Objectives ref = obj(5, 5, 5);
+  EXPECT_DOUBLE_EQ(hypervolume(f1, ref), hypervolume(f2, ref));
+}
+
+TEST(Spacing, FewPointsIsZero) {
+  EXPECT_DOUBLE_EQ(spacing({}), 0.0);
+  const std::vector<Objectives> one = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(spacing(one), 0.0);
+}
+
+TEST(Spacing, UniformFrontHasZeroSpacing) {
+  // Equally spaced points on a line: nearest-neighbour distances equal.
+  const std::vector<Objectives> f = {obj(0, 0, 0), obj(1, 0, 0),
+                                     obj(2, 0, 0), obj(3, 0, 0)};
+  EXPECT_NEAR(spacing(f), 0.0, 1e-12);
+}
+
+TEST(Spacing, IrregularFrontHasPositiveSpacing) {
+  const std::vector<Objectives> f = {obj(0, 0, 0), obj(1, 0, 0),
+                                     obj(10, 0, 0)};
+  EXPECT_GT(spacing(f), 0.0);
+}
+
+TEST(EpsilonIndicator, ZeroForIdenticalFronts) {
+  const std::vector<Objectives> f = {obj(1, 2, 3), obj(3, 1, 2)};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(f, f), 0.0);
+}
+
+TEST(EpsilonIndicator, NegativeWhenStrictlyBetter) {
+  const std::vector<Objectives> a = {obj(1, 1, 1)};
+  const std::vector<Objectives> b = {obj(3, 3, 3)};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, b), -2.0);
+  EXPECT_DOUBLE_EQ(epsilon_indicator(b, a), 2.0);
+}
+
+TEST(EpsilonIndicator, MeasuresTheWorstGap) {
+  const std::vector<Objectives> a = {obj(1, 1, 1)};
+  const std::vector<Objectives> b = {obj(2, 0, 2)};
+  // a needs +1 on vehicles to cover b's vehicle value of 0... here
+  // a.vehicles - b.vehicles = 1 is the binding dimension.
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, b), 1.0);
+}
+
+TEST(EpsilonIndicator, PicksBestCoveringPointPerTarget) {
+  const std::vector<Objectives> a = {obj(1, 4, 1), obj(4, 1, 1)};
+  const std::vector<Objectives> b = {obj(2, 5, 2), obj(5, 2, 2)};
+  // Each b-point is covered by its nearby a-point with slack 1 in every
+  // objective; the far a-point would need +3.
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, b), -1.0);
+}
+
+TEST(EpsilonIndicator, EmptyFrontConventions) {
+  const std::vector<Objectives> f = {obj(1, 1, 1)};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(f, {}), 0.0);
+  EXPECT_TRUE(std::isinf(epsilon_indicator({}, f)));
+}
+
+TEST(EpsilonIndicator, ConsistentWithCoverage) {
+  // eps <= 0 implies full coverage C(a, b) == 1.
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto mk = [&] {
+      std::vector<Objectives> f;
+      for (int i = 0; i < 5; ++i) {
+        f.push_back(obj(rng.uniform(0, 10),
+                        static_cast<int>(rng.uniform_int(0, 5)),
+                        rng.uniform(0, 10)));
+      }
+      return f;
+    };
+    const auto a = mk(), b = mk();
+    if (epsilon_indicator(a, b) <= 0.0) {
+      EXPECT_DOUBLE_EQ(set_coverage(a, b), 1.0);
+    }
+  }
+}
+
+TEST(MergeFronts, KeepsOnlyGlobalNonDominated) {
+  const std::vector<std::vector<Objectives>> fronts = {
+      {obj(1, 1, 9), obj(5, 1, 5)},
+      {obj(4, 1, 4), obj(9, 1, 1)},
+  };
+  const auto merged = merge_fronts(fronts);
+  // (5,1,5) dominated by (4,1,4).
+  ASSERT_EQ(merged.size(), 3u);
+  for (const auto& o : merged) EXPECT_FALSE(o == obj(5, 1, 5));
+}
+
+}  // namespace
+}  // namespace tsmo

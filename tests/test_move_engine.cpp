@@ -1,0 +1,293 @@
+#include "operators/move_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "test_support.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+// line_instance customers: 1..6 at x = 10..60, all windows open.
+class MoveEngineTest : public ::testing::Test {
+ protected:
+  MoveEngineTest()
+      : inst_(testing::line_instance(6)),
+        engine_(inst_),
+        base_(Solution::from_routes(inst_, {{1, 2, 3}, {4, 5, 6}})) {}
+
+  Instance inst_;
+  MoveEngine engine_;
+  Solution base_;
+};
+
+TEST_F(MoveEngineTest, RelocateMovesCustomerBetweenRoutes) {
+  // Move customer 2 (route 0 pos 1) into route 1 at position 0.
+  const Move m{MoveType::Relocate, 0, 1, 1, 0};
+  ASSERT_TRUE(engine_.applicable(base_, m));
+  Solution s = base_;
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{1, 3}));
+  EXPECT_EQ(s.route(1), (std::vector<int>{2, 4, 5, 6}));
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST_F(MoveEngineTest, RelocateIntoEmptyRouteOpensVehicle) {
+  const Move m{MoveType::Relocate, 0, 2, 0, 0};
+  ASSERT_TRUE(engine_.applicable(base_, m));
+  Solution s = base_;
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(2), (std::vector<int>{1}));
+  EXPECT_EQ(s.objectives().vehicles, 3);
+}
+
+TEST_F(MoveEngineTest, RelocateLastCustomerClosesVehicle) {
+  Solution single = Solution::from_routes(inst_, {{1}, {2, 3, 4, 5, 6}});
+  const Move m{MoveType::Relocate, 0, 1, 0, 5};
+  engine_.apply(single, m);
+  EXPECT_TRUE(single.route(0).empty());
+  EXPECT_EQ(single.objectives().vehicles, 1);
+}
+
+TEST_F(MoveEngineTest, ExchangeSwapsAcrossRoutes) {
+  const Move m{MoveType::Exchange, 0, 1, 0, 2};
+  ASSERT_TRUE(engine_.applicable(base_, m));
+  Solution s = base_;
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{6, 2, 3}));
+  EXPECT_EQ(s.route(1), (std::vector<int>{4, 5, 1}));
+}
+
+TEST_F(MoveEngineTest, TwoOptReversesSegment) {
+  const Move m{MoveType::TwoOpt, 0, 0, 0, 2};
+  ASSERT_TRUE(engine_.applicable(base_, m));
+  Solution s = base_;
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(s.route(1), (std::vector<int>{4, 5, 6}));
+}
+
+TEST_F(MoveEngineTest, TwoOptInnerSegment) {
+  Solution s = Solution::from_routes(inst_, {{1, 2, 3, 4, 5, 6}});
+  const Move m{MoveType::TwoOpt, 0, 0, 1, 4};
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{1, 5, 4, 3, 2, 6}));
+}
+
+TEST_F(MoveEngineTest, TwoOptStarCrossesTails) {
+  const Move m{MoveType::TwoOptStar, 0, 1, 1, 2};
+  ASSERT_TRUE(engine_.applicable(base_, m));
+  Solution s = base_;
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{1, 6}));
+  EXPECT_EQ(s.route(1), (std::vector<int>{4, 5, 2, 3}));
+}
+
+TEST_F(MoveEngineTest, TwoOptStarWithBoundaryCutsMovesWholeTail) {
+  // i=0: route 0 gives everything away; j=|r2|: route 1 keeps all.
+  const Move m{MoveType::TwoOptStar, 0, 1, 0, 3};
+  ASSERT_TRUE(engine_.applicable(base_, m));
+  Solution s = base_;
+  engine_.apply(s, m);
+  EXPECT_TRUE(s.route(0).empty());
+  EXPECT_EQ(s.route(1), (std::vector<int>{4, 5, 6, 1, 2, 3}));
+  EXPECT_EQ(s.objectives().vehicles, 1);
+}
+
+TEST_F(MoveEngineTest, OrOptMovesPairWithinRoute) {
+  Solution s = Solution::from_routes(inst_, {{1, 2, 3, 4, 5, 6}});
+  // Move [1, 2] (positions 0..1) to position 2 of the reduced route
+  // {3,4,5,6} -> {3, 4, 1, 2, 5, 6}.
+  const Move m{MoveType::OrOpt, 0, 0, 0, 2};
+  ASSERT_TRUE(engine_.applicable(s, m));
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{3, 4, 1, 2, 5, 6}));
+}
+
+TEST_F(MoveEngineTest, OrOptToFront) {
+  Solution s = Solution::from_routes(inst_, {{1, 2, 3, 4}});
+  const Move m{MoveType::OrOpt, 0, 0, 2, 0};
+  engine_.apply(s, m);
+  EXPECT_EQ(s.route(0), (std::vector<int>{3, 4, 1, 2}));
+}
+
+// --- applicable() edge cases ---
+
+TEST_F(MoveEngineTest, ApplicableRejectsOutOfRange) {
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::Relocate, 0, 5, 0, 0}));
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::Relocate, 0, 1, 3, 0}));
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::Relocate, 0, 1, 0, 4}));
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::Relocate, 0, 0, 0, 0}));
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::Exchange, 0, 0, 0, 1}));
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::TwoOpt, 0, 0, 2, 2}));
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::TwoOpt, 0, 0, 2, 1}));
+  // 2-opt*: both-at-end and both-at-start are no-ops.
+  EXPECT_FALSE(
+      engine_.applicable(base_, {MoveType::TwoOptStar, 0, 1, 3, 3}));
+  EXPECT_FALSE(
+      engine_.applicable(base_, {MoveType::TwoOptStar, 0, 1, 0, 0}));
+  // or-opt: identity position and short routes.
+  EXPECT_FALSE(engine_.applicable(base_, {MoveType::OrOpt, 0, 0, 1, 1}));
+  Solution two = Solution::from_routes(inst_, {{1, 2}, {3, 4, 5, 6}});
+  EXPECT_FALSE(engine_.applicable(two, {MoveType::OrOpt, 0, 0, 0, 1}));
+}
+
+// --- Local feasibility (paper criterion) ---
+
+TEST(MoveEngineFeasibility, CapacityGuardsRelocate) {
+  const Instance inst = testing::tiny_instance(3, /*capacity=*/30);
+  MoveEngine engine(inst);
+  // Route loads: {1}=10, {2}=20, {3,4} would be 45 > 30 so split.
+  const Solution s = Solution::from_routes(inst, {{1, 3}, {2}, {4}});
+  // Moving 2 (demand 20) into route 0 (load 40) would burst capacity 30.
+  const Move m{MoveType::Relocate, 1, 0, 0, 1};
+  ASSERT_TRUE(engine.applicable(s, m));
+  EXPECT_FALSE(engine.locally_feasible(s, m));
+  // Moving 1 (demand 10) into route 1 (load 20) exactly fits.
+  const Move ok{MoveType::Relocate, 0, 1, 0, 0};
+  EXPECT_TRUE(engine.locally_feasible(s, ok));
+}
+
+TEST(MoveEngineFeasibility, WindowGuardsInsertion) {
+  // Customer 2's window closes before it can be reached after customer 1.
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0},
+                             {10, 0, 1, 0, 1000, 5},   // far, service 5
+                             {1, 0, 1, 0, 3, 0},       // due 3, near depot
+                             {2, 0, 1, 0, 1000, 0}};
+  const Instance inst("w", std::move(sites), 3, 100);
+  MoveEngine engine(inst);
+  const Solution s = Solution::from_routes(inst, {{1}, {2}, {3}});
+  // Insert 2 after 1: a_1 + c_1 + t_{1,2} = 0 + 5 + 9 = 14 > b_2 = 3.
+  const Move bad{MoveType::Relocate, 1, 0, 0, 1};
+  EXPECT_FALSE(engine.locally_feasible(s, bad));
+  // Insert 2 before 1 at route start: t_{0,2} = 1 <= 3, and
+  // a_2 + c_2 + t_{2,1} = 0 + 0 + 9 <= b_1. Feasible.
+  const Move good{MoveType::Relocate, 1, 0, 0, 0};
+  EXPECT_TRUE(engine.locally_feasible(s, good));
+}
+
+TEST(MoveEngineFeasibility, TwoOptChecksNewJunctions) {
+  // Reversing an interior segment creates the junction c1 -> c3; c1's long
+  // service time pushes c3 past its due date:
+  // a_1 + c_1 + t_{1,3} = 0 + 50 + 2 = 52 > b_3 = 4.
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0},
+                             {1, 0, 1, 0, 1000, 50},
+                             {2, 0, 1, 0, 1000, 0},
+                             {3, 0, 1, 0, 4, 0}};
+  const Instance inst("w", std::move(sites), 2, 100);
+  MoveEngine engine(inst);
+  const Solution s = Solution::from_routes(inst, {{1, 2, 3}});
+  const Move m{MoveType::TwoOpt, 0, 0, 1, 2};  // {1,2,3} -> {1,3,2}
+  ASSERT_TRUE(engine.applicable(s, m));
+  EXPECT_FALSE(engine.locally_feasible(s, m));
+  // A full-route reversal only creates depot junctions, which stay open.
+  const Move full{MoveType::TwoOpt, 0, 0, 0, 2};
+  EXPECT_TRUE(engine.locally_feasible(s, full));
+}
+
+TEST(MoveEngineFeasibility, TwoOptStarChecksBothNewLoads) {
+  const Instance inst = testing::tiny_instance(3, /*capacity=*/35);
+  MoveEngine engine(inst);
+  // loads: r0 = {1,2} = 30; r1 = {3} = 30; r2 = {4} = 15.
+  const Solution s = Solution::from_routes(inst, {{1, 2}, {3}, {4}});
+  // Cross r0 (keep {1}) with r1 (keep {}): new r0 = {1, 3} = 40 > 35.
+  const Move m{MoveType::TwoOptStar, 0, 1, 1, 0};
+  ASSERT_TRUE(engine.applicable(s, m));
+  EXPECT_FALSE(engine.locally_feasible(s, m));
+  // Cross r0 (keep {1}) with r2 (keep {}): new r0 = {1, 4} = 25 ok,
+  // new r2 = {2} = 20 ok.
+  const Move ok{MoveType::TwoOptStar, 0, 2, 1, 0};
+  EXPECT_TRUE(engine.locally_feasible(s, ok));
+}
+
+// --- The core correctness property: delta evaluation == apply + evaluate,
+// fuzzed over random proposals on generated instances. ---
+
+class MoveFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MoveFuzzTest, EvaluateMatchesApplyAndSolutionStaysValid) {
+  const Instance inst = generate_named(GetParam());
+  MoveEngine engine(inst);
+  Rng rng(2024);
+  Solution current = construct_i1_random(inst, rng);
+  int applied = 0;
+  for (int step = 0; step < 400; ++step) {
+    const auto type = static_cast<MoveType>(rng.below(5));
+    const auto move = engine.propose(type, current, rng);
+    if (!move) continue;
+    ASSERT_TRUE(engine.applicable(current, *move)) << to_string(*move);
+    ASSERT_TRUE(engine.locally_feasible(current, *move));
+    const Objectives predicted = engine.evaluate(current, *move);
+    Solution next = current;
+    engine.apply(next, *move);
+    // Delta evaluation is bitwise identical to apply-then-evaluate (the
+    // engine sums route stats in the same order as Solution::evaluate).
+    EXPECT_EQ(predicted, next.objectives()) << to_string(*move);
+    ASSERT_NO_THROW(next.validate());
+    // Capacity must be preserved by the operators' feasibility criterion.
+    EXPECT_DOUBLE_EQ(next.capacity_violation(), 0.0) << to_string(*move);
+    current = std::move(next);
+    ++applied;
+  }
+  EXPECT_GT(applied, 100) << "fuzz did not exercise enough moves";
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, MoveFuzzTest,
+                         ::testing::Values("R1_1_1", "C1_1_1", "RC1_1_2",
+                                           "R2_1_1", "C2_1_2"));
+
+// --- Tabu attributes ---
+
+TEST_F(MoveEngineTest, RelocateAttrsDescribeAssignments) {
+  const Move m{MoveType::Relocate, 0, 1, 1, 0};  // customer 2: r0 -> r1
+  const MoveAttrs created = engine_.created_attrs(base_, m);
+  const MoveAttrs destroyed = engine_.destroyed_attrs(base_, m);
+  ASSERT_EQ(created.size(), 1u);
+  ASSERT_EQ(destroyed.size(), 1u);
+  EXPECT_EQ(created[0], assign_attr(2, 1));
+  EXPECT_EQ(destroyed[0], assign_attr(2, 0));
+}
+
+TEST_F(MoveEngineTest, ExchangeAttrsCoverBothCustomers) {
+  const Move m{MoveType::Exchange, 0, 1, 0, 2};  // swap 1 and 6
+  const MoveAttrs created = engine_.created_attrs(base_, m);
+  const MoveAttrs destroyed = engine_.destroyed_attrs(base_, m);
+  EXPECT_EQ(created.size(), 2u);
+  EXPECT_EQ(destroyed.size(), 2u);
+}
+
+TEST_F(MoveEngineTest, InverseMoveCreatesWhatWasDestroyed) {
+  // Relocating 2 from r0 to r1 and back: the second move's created attrs
+  // equal the first move's destroyed attrs.
+  const Move there{MoveType::Relocate, 0, 1, 1, 0};
+  const MoveAttrs destroyed = engine_.destroyed_attrs(base_, there);
+  Solution s = base_;
+  engine_.apply(s, there);
+  const Move back{MoveType::Relocate, 1, 0, 0, 1};
+  const MoveAttrs created = engine_.created_attrs(s, back);
+  ASSERT_EQ(created.size(), 1u);
+  EXPECT_EQ(created[0], destroyed[0]);
+}
+
+TEST(MoveAttrsTest, AssignAndEdgeAttrsAreDistinct) {
+  EXPECT_NE(assign_attr(1, 2), edge_attr(1, 2));
+  EXPECT_NE(edge_attr(1, 2), edge_attr(2, 1));  // directed
+  EXPECT_NE(assign_attr(1, 2), assign_attr(2, 1));
+}
+
+TEST(MoveAttrsTest, CapsAtFourEntries) {
+  MoveAttrs a;
+  for (int i = 0; i < 10; ++i) a.push(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(MoveToString, ContainsOperatorName) {
+  const Move m{MoveType::TwoOptStar, 1, 2, 3, 4};
+  const std::string s = to_string(m);
+  EXPECT_NE(s.find("2-opt*"), std::string::npos);
+  EXPECT_NE(s.find("r1=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsmo

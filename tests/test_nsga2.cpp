@@ -1,0 +1,168 @@
+// Tests of the evolutionary comparator: best-cost route crossover and the
+// NSGA-II loop.
+
+#include "evolutionary/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "evolutionary/crossover.hpp"
+#include "moo/metrics.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+class CrossoverTest : public ::testing::Test {
+ protected:
+  CrossoverTest() : inst_(generate_named("R1_1_1")) {}
+
+  Solution parent(std::uint64_t seed) {
+    Rng rng(seed);
+    return construct_i1_random(inst_, rng);
+  }
+
+  Instance inst_;
+};
+
+TEST_F(CrossoverTest, ChildIsAlwaysAValidSolution) {
+  Rng rng(1);
+  const Solution a = parent(10);
+  const Solution b = parent(20);
+  for (int k = 0; k < 50; ++k) {
+    const Solution child = best_cost_route_crossover(inst_, a, b, rng);
+    EXPECT_NO_THROW(child.validate());
+    EXPECT_TRUE(child.is_evaluated());
+  }
+}
+
+TEST_F(CrossoverTest, ChildrenAreDiverse) {
+  Rng rng(2);
+  const Solution a = parent(10);
+  const Solution b = parent(20);
+  std::set<std::uint64_t> hashes;
+  for (int k = 0; k < 30; ++k) {
+    hashes.insert(best_cost_route_crossover(inst_, a, b, rng).hash());
+  }
+  EXPECT_GT(hashes.size(), 5u);
+}
+
+TEST_F(CrossoverTest, EmptyDonorReturnsCopyOfA) {
+  Rng rng(3);
+  const Solution a = parent(10);
+  const Solution empty_b(inst_);
+  const Solution child = best_cost_route_crossover(inst_, a, empty_b, rng);
+  EXPECT_EQ(child.hash(), a.hash());
+}
+
+TEST_F(CrossoverTest, RemoveCustomersRemovesExactlyThose) {
+  Solution s = parent(10);
+  const std::vector<int> victims = {1, 5, 17};
+  remove_customers(s, victims);
+  for (int c : victims) {
+    EXPECT_EQ(s.route_of(c), -1);
+  }
+  // Everyone else still routed exactly once.
+  int routed = 0;
+  for (int r = 0; r < s.num_routes(); ++r) {
+    routed += static_cast<int>(s.route(r).size());
+  }
+  EXPECT_EQ(routed, inst_.num_customers() - 3);
+}
+
+TEST_F(CrossoverTest, BestCostInsertKeepsCapacity) {
+  Rng rng(4);
+  Solution s = parent(10);
+  remove_customers(s, std::vector<int>{3});
+  best_cost_insert(s, 3, rng);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0);
+}
+
+TEST_F(CrossoverTest, BestCostInsertPrefersFeasibleSchedules) {
+  // Inserting into a feasible parent should keep tardiness at zero when a
+  // schedule-keeping position exists (it nearly always does on R1_1_1).
+  Rng rng(5);
+  Solution s = parent(10);
+  ASSERT_DOUBLE_EQ(s.objectives().tardiness, 0.0);
+  remove_customers(s, std::vector<int>{7});
+  best_cost_insert(s, 7, rng);
+  EXPECT_DOUBLE_EQ(s.objectives().tardiness, 0.0);
+}
+
+// --- NSGA-II ---
+
+Nsga2Params small_params(std::int64_t evals = 3000) {
+  Nsga2Params p;
+  p.max_evaluations = evals;
+  p.population_size = 24;
+  p.seed = 7;
+  return p;
+}
+
+TEST(Nsga2Test, RespectsEvaluationBudget) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = Nsga2(inst, small_params(1000)).run();
+  EXPECT_LE(r.evaluations, 1000);
+  EXPECT_GE(r.evaluations, 990);
+  EXPECT_GT(r.iterations, 0);  // generations
+}
+
+TEST(Nsga2Test, FrontIsValidAndNonDominated) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = Nsga2(inst, small_params()).run();
+  ASSERT_FALSE(r.front.empty());
+  ASSERT_EQ(r.front.size(), r.solutions.size());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(r.solutions[i].objectives(), r.front[i]);
+    EXPECT_NO_THROW(r.solutions[i].validate());
+  }
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b));
+      EXPECT_FALSE(a == b);  // deduplicated
+    }
+  }
+}
+
+TEST(Nsga2Test, DeterministicPerSeed) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult a = Nsga2(inst, small_params()).run();
+  const RunResult b = Nsga2(inst, small_params()).run();
+  EXPECT_EQ(a.front, b.front);
+}
+
+TEST(Nsga2Test, ImprovesOverInitialPopulationBest) {
+  const Instance inst = generate_named("R1_1_1");
+  // Initial population = 24 I1 constructions from the same stream.
+  Rng rng(7);
+  double best_initial = 1e300;
+  for (int i = 0; i < 24; ++i) {
+    best_initial = std::min(
+        best_initial, construct_i1_random(inst, rng).objectives().distance);
+  }
+  const RunResult r = Nsga2(inst, small_params(12000)).run();
+  double best_final = 1e300;
+  for (const Objectives& o : r.front) {
+    best_final = std::min(best_final, o.distance);
+  }
+  EXPECT_LT(best_final, best_initial);
+}
+
+TEST(Nsga2Test, FindsFeasibleSolutions) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = Nsga2(inst, small_params(8000)).run();
+  EXPECT_FALSE(r.feasible_front().empty());
+}
+
+TEST(Nsga2Test, ExactScreenKeepsMutationFeasible) {
+  const Instance inst = generate_named("R1_1_1");
+  Nsga2Params p = small_params(4000);
+  p.feasibility_screen = FeasibilityScreen::Exact;
+  const RunResult r = Nsga2(inst, p).run();
+  EXPECT_FALSE(r.front.empty());
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,92 @@
+// Tests of weighted operator selection in the neighborhood generator and
+// its plumbing through TsmoParams (the operator-ablation mechanism).
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "operators/neighborhood.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+class OperatorWeightsTest : public ::testing::Test {
+ protected:
+  OperatorWeightsTest() : inst_(generate_named("R1_1_1")), engine_(inst_) {}
+
+  Solution seed() {
+    Rng rng(5);
+    return construct_i1_random(inst_, rng);
+  }
+
+  Instance inst_;
+  MoveEngine engine_;
+};
+
+TEST_F(OperatorWeightsTest, ZeroWeightDisablesOperator) {
+  for (int drop = 0; drop < kNumMoveTypes; ++drop) {
+    std::array<double, kNumMoveTypes> w{1, 1, 1, 1, 1};
+    w[static_cast<std::size_t>(drop)] = 0.0;
+    NeighborhoodGenerator generator(engine_, w);
+    Rng rng(6);
+    const Solution base = seed();
+    for (const Neighbor& nb : generator.generate(base, 300, rng)) {
+      EXPECT_NE(static_cast<int>(nb.move.type), drop);
+    }
+  }
+}
+
+TEST_F(OperatorWeightsTest, SingleOperatorOnly) {
+  std::array<double, kNumMoveTypes> w{0, 0, 0, 0, 0};
+  w[static_cast<std::size_t>(MoveType::Relocate)] = 1.0;
+  NeighborhoodGenerator generator(engine_, w);
+  Rng rng(7);
+  const Solution base = seed();
+  const auto n = generator.generate(base, 100, rng);
+  EXPECT_FALSE(n.empty());
+  for (const Neighbor& nb : n) {
+    EXPECT_EQ(nb.move.type, MoveType::Relocate);
+  }
+}
+
+TEST_F(OperatorWeightsTest, WeightsBiasSampling) {
+  std::array<double, kNumMoveTypes> w{10, 1, 1, 1, 1};  // favor Relocate
+  NeighborhoodGenerator generator(engine_, w);
+  Rng rng(8);
+  const Solution base = seed();
+  int relocates = 0;
+  const auto n = generator.generate(base, 500, rng);
+  for (const Neighbor& nb : n) {
+    if (nb.move.type == MoveType::Relocate) ++relocates;
+  }
+  EXPECT_GT(relocates, static_cast<int>(n.size()) / 2);
+}
+
+TEST_F(OperatorWeightsTest, RejectsInvalidWeights) {
+  EXPECT_THROW(NeighborhoodGenerator(engine_, {0, 0, 0, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(NeighborhoodGenerator(engine_, {1, -1, 1, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST_F(OperatorWeightsTest, DefaultIsEqualProbability) {
+  NeighborhoodGenerator generator(engine_);
+  for (double w : generator.weights()) EXPECT_EQ(w, 1.0);
+}
+
+TEST_F(OperatorWeightsTest, ParamsPlumbThroughSequentialRun) {
+  TsmoParams p;
+  p.max_evaluations = 1500;
+  p.neighborhood_size = 30;
+  p.seed = 9;
+  p.operator_weights = {1, 0, 0, 0, 0};  // Relocate only
+  const RunResult r = SequentialTsmo(inst_, p).run();
+  EXPECT_FALSE(r.front.empty());
+  for (const Solution& s : r.solutions) {
+    EXPECT_NO_THROW(s.validate());
+  }
+}
+
+}  // namespace
+}  // namespace tsmo

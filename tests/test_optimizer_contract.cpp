@@ -1,0 +1,204 @@
+// The optimizer contract: every algorithm in the library — the TSMO
+// family, the simulated drivers, and all comparators — must honour the
+// same invariants.  One parameterized suite catches contract regressions
+// anywhere in the family.
+//
+//   1. evaluation budget respected (small bounded overshoot allowed for
+//      in-flight parallel work)
+//   2. non-empty front; solutions match their objective vectors
+//   3. every solution structurally valid (each customer exactly once)
+//   4. zero capacity violation (the operators' §II.A invariant)
+//   5. front mutually non-dominated
+//   6. deterministic given the seed (threaded variants exempt — their
+//      arrival order is scheduling-dependent)
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/adaptive_memory.hpp"
+#include "core/mots.hpp"
+#include "core/pls.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "core/weighted_ts.hpp"
+#include "evolutionary/nsga2.hpp"
+#include "evolutionary/spea2.hpp"
+#include "parallel/async_tsmo.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+#include "parallel/sync_tsmo.hpp"
+#include "sim/sim_tsmo.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+constexpr std::int64_t kBudget = 2500;
+
+struct Entrant {
+  const char* name;
+  bool deterministic;
+  /// Allowed overshoot of the evaluation budget (in-flight chunks).
+  std::int64_t slack;
+  /// Total-budget multiplier (coll gives every searcher a full budget).
+  std::int64_t budget_factor;
+  std::function<RunResult(const Instance&, std::uint64_t)> run;
+};
+
+TsmoParams tsmo_params(std::uint64_t seed) {
+  TsmoParams p;
+  p.max_evaluations = kBudget;
+  p.neighborhood_size = 50;
+  p.restart_after = 10;
+  p.seed = seed;
+  return p;
+}
+
+std::vector<Entrant> entrants() {
+  std::vector<Entrant> out;
+  out.push_back({"sequential", true, 2, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   return SequentialTsmo(i, tsmo_params(s)).run();
+                 }});
+  out.push_back({"sync-threaded", false, 60, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   return SyncTsmo(i, tsmo_params(s), 3).run();
+                 }});
+  out.push_back({"async-threaded", false, 200, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   return AsyncTsmo(i, tsmo_params(s), 3).run();
+                 }});
+  out.push_back({"coll-threaded", false, 200, 3,
+                 [](const Instance& i, std::uint64_t s) {
+                   return MultisearchTsmo(i, tsmo_params(s), 3)
+                       .run()
+                       .merged;
+                 }});
+  out.push_back({"sim-sequential", true, 2, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   return run_sim_sequential(i, tsmo_params(s),
+                                             CostModel::for_instance(i));
+                 }});
+  out.push_back({"sim-sync", true, 60, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   return run_sim_sync(i, tsmo_params(s), 3,
+                                       CostModel::for_instance(i));
+                 }});
+  out.push_back({"sim-async", true, 200, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   return run_sim_async(i, tsmo_params(s), 3,
+                                        CostModel::for_instance(i));
+                 }});
+  out.push_back({"sim-coll", true, 200, 3,
+                 [](const Instance& i, std::uint64_t s) {
+                   return run_sim_multisearch(i, tsmo_params(s), 3,
+                                              CostModel::for_instance(i))
+                       .merged;
+                 }});
+  out.push_back({"sim-hybrid", true, 400, 2,
+                 [](const Instance& i, std::uint64_t s) {
+                   return run_sim_hybrid(i, tsmo_params(s), 2, 3,
+                                         CostModel::for_instance(i))
+                       .merged;
+                 }});
+  out.push_back({"nsga2", true, 2, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   Nsga2Params p;
+                   p.max_evaluations = kBudget;
+                   p.population_size = 20;
+                   p.seed = s;
+                   return Nsga2(i, p).run();
+                 }});
+  out.push_back({"spea2", true, 2, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   Spea2Params p;
+                   p.max_evaluations = kBudget;
+                   p.population_size = 16;
+                   p.archive_size = 10;
+                   p.seed = s;
+                   return Spea2(i, p).run();
+                 }});
+  out.push_back({"mots", true, 25, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   MotsParams p;
+                   p.max_evaluations = kBudget;
+                   p.num_searchers = 4;
+                   p.neighborhood_size = 20;
+                   p.seed = s;
+                   return Mots(i, p).run();
+                 }});
+  out.push_back({"adaptive-memory", true, 60, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   AdaptiveMemoryParams p;
+                   p.max_evaluations = kBudget;
+                   p.cycle_evaluations = 800;
+                   p.inner.neighborhood_size = 40;
+                   p.inner.restart_after = 8;
+                   p.seed = s;
+                   return AdaptiveMemoryTsmo(i, p).run();
+                 }});
+  out.push_back({"pls", true, 2, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   PlsParams p;
+                   p.max_evaluations = kBudget;
+                   p.seed = s;
+                   return ParetoLocalSearch(i, p).run();
+                 }});
+  out.push_back({"weighted-sum", true, 10, 1,
+                 [](const Instance& i, std::uint64_t s) {
+                   Rng rng(s);
+                   return weighted_sum_front(i, tsmo_params(s), 3, rng);
+                 }});
+  return out;
+}
+
+class OptimizerContract : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OptimizerContract, HonorsTheContract) {
+  const std::vector<Entrant> all = entrants();
+  const Entrant& e = all[GetParam()];
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = e.run(inst, 2024);
+
+  // (1) budget
+  EXPECT_LE(r.evaluations, kBudget * e.budget_factor + e.slack) << e.name;
+  EXPECT_GE(r.evaluations, kBudget * e.budget_factor * 9 / 10) << e.name;
+
+  // (2) front and solutions agree
+  ASSERT_FALSE(r.front.empty()) << e.name;
+  ASSERT_EQ(r.front.size(), r.solutions.size()) << e.name;
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(r.solutions[i].objectives(), r.front[i]) << e.name;
+    // (3) structural validity
+    EXPECT_NO_THROW(r.solutions[i].validate()) << e.name;
+    // (4) capacity invariant
+    EXPECT_DOUBLE_EQ(r.solutions[i].capacity_violation(), 0.0) << e.name;
+  }
+  // (5) mutual non-dominance
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b)) << e.name;
+    }
+  }
+  // (6) determinism
+  if (e.deterministic) {
+    const RunResult again = e.run(inst, 2024);
+    EXPECT_EQ(again.front, r.front) << e.name;
+  }
+}
+
+std::string entrant_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string n = entrants()[info.param].name;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, OptimizerContract,
+                         ::testing::Range(std::size_t{0},
+                                          entrants().size()),
+                         entrant_name);
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,54 @@
+// Integration at the paper's actual parameters (100,000 evaluations,
+// neighborhood 200, tenure 20, archive 20, restart after 100) on a
+// 100-city instance — verifies the production configuration end to end.
+// Runs in well under a second thanks to incremental evaluation.
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "core/sequential_tsmo.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(PaperScale, SequentialHundredThousandEvaluations) {
+  const Instance inst = generate_named("R1_1_1");
+  TsmoParams params;  // paper defaults
+  params.seed = 7;
+  const RunResult r = SequentialTsmo(inst, params).run();
+
+  EXPECT_GE(r.evaluations, 99800);
+  EXPECT_LE(r.evaluations, 100002);
+  EXPECT_EQ(r.iterations, 500);  // 100k / 200
+
+  ASSERT_FALSE(r.front.empty());
+  EXPECT_LE(r.front.size(), 20u);  // archive capacity
+  ASSERT_FALSE(r.feasible_front().empty());
+
+  // Clear improvement over the initial construction at full budget.
+  Rng rng(7);
+  const Solution initial = construct_i1_random(inst, rng);
+  EXPECT_LT(r.best_feasible_distance(),
+            initial.objectives().distance * 0.96);
+  EXPECT_LE(r.best_feasible_vehicles(), initial.vehicles_used());
+
+  for (const Solution& s : r.solutions) {
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_DOUBLE_EQ(s.capacity_violation(), 0.0);
+  }
+}
+
+TEST(PaperScale, WallClockStaysInteractive) {
+  // Paper-scale runs must remain laptop-friendly: the whole 100k-eval run
+  // should take well under 10 seconds even on modest hardware.
+  const Instance inst = generate_named("C1_1_1");
+  TsmoParams params;
+  params.seed = 11;
+  const RunResult r = SequentialTsmo(inst, params).run();
+  EXPECT_LT(r.wall_seconds, 10.0);
+  EXPECT_GE(r.evaluations, 99800);
+}
+
+}  // namespace
+}  // namespace tsmo

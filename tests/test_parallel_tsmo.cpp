@@ -1,0 +1,145 @@
+// Integration tests of the three threaded parallel algorithms (§III.C-E).
+// These run real threads; budgets are kept small so the suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_tsmo.hpp"
+#include "moo/metrics.hpp"
+#include "parallel/async_tsmo.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+#include "parallel/sync_tsmo.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams test_params(std::int64_t evals = 4000) {
+  TsmoParams p;
+  p.max_evaluations = evals;
+  p.neighborhood_size = 60;
+  p.restart_after = 20;
+  p.seed = 55;
+  return p;
+}
+
+void expect_valid_result(const RunResult& r, const char* what) {
+  ASSERT_FALSE(r.front.empty()) << what;
+  ASSERT_EQ(r.front.size(), r.solutions.size()) << what;
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(r.solutions[i].objectives(), r.front[i]) << what;
+    EXPECT_NO_THROW(r.solutions[i].validate()) << what;
+  }
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b)) << what;
+    }
+  }
+}
+
+class ParallelTsmoTest : public ::testing::Test {
+ protected:
+  ParallelTsmoTest() : inst_(generate_named("R1_1_1")) {}
+  Instance inst_;
+};
+
+TEST_F(ParallelTsmoTest, SyncProducesValidFront) {
+  const RunResult r = SyncTsmo(inst_, test_params(), 3).run();
+  expect_valid_result(r, "sync");
+  EXPECT_EQ(r.algorithm, "sync");
+  EXPECT_GE(r.evaluations, test_params().max_evaluations - 60);
+}
+
+TEST_F(ParallelTsmoTest, SyncRespectsBudgetApproximately) {
+  const RunResult r = SyncTsmo(inst_, test_params(2000), 6).run();
+  // The barrier collects whole chunks, so overshoot is < one neighborhood.
+  EXPECT_LE(r.evaluations, 2000 + 60);
+}
+
+TEST_F(ParallelTsmoTest, SyncQualityComparableToSequential) {
+  // Same budget, same components: the sync variant must find feasible
+  // solutions of the same magnitude (behavioural equivalence claim §III.C).
+  const RunResult seq = SequentialTsmo(inst_, test_params(8000)).run();
+  const RunResult syn = SyncTsmo(inst_, test_params(8000), 3).run();
+  ASSERT_FALSE(seq.feasible_front().empty());
+  ASSERT_FALSE(syn.feasible_front().empty());
+  EXPECT_LT(syn.best_feasible_distance(),
+            seq.best_feasible_distance() * 1.25);
+  EXPECT_GT(syn.best_feasible_distance(),
+            seq.best_feasible_distance() * 0.75);
+}
+
+TEST_F(ParallelTsmoTest, AsyncProducesValidFront) {
+  const RunResult r = AsyncTsmo(inst_, test_params(), 3).run();
+  expect_valid_result(r, "async");
+  EXPECT_EQ(r.algorithm, "async");
+}
+
+TEST_F(ParallelTsmoTest, AsyncTerminatesAtBudget) {
+  const RunResult r = AsyncTsmo(inst_, test_params(1500), 6).run();
+  EXPECT_GE(r.evaluations, 1400);
+  // In-flight chunks can overshoot by at most one chunk per worker.
+  EXPECT_LE(r.evaluations, 1500 + 6 * 60);
+}
+
+TEST_F(ParallelTsmoTest, AsyncWithManyProcessors) {
+  const RunResult r = AsyncTsmo(inst_, test_params(3000), 12).run();
+  expect_valid_result(r, "async-12");
+}
+
+TEST_F(ParallelTsmoTest, MultisearchMergesSearcherFronts) {
+  const MultisearchResult r =
+      MultisearchTsmo(inst_, test_params(1500), 3).run();
+  EXPECT_EQ(r.per_searcher.size(), 3u);
+  expect_valid_result(r.merged, "coll-merged");
+  for (const RunResult& s : r.per_searcher) {
+    expect_valid_result(s, "coll-searcher");
+    // Each searcher owns a full budget (paper budget semantics).
+    EXPECT_GE(s.evaluations, 1400);
+  }
+  // Merged front covers every individual front.
+  for (const RunResult& s : r.per_searcher) {
+    EXPECT_GE(set_coverage(r.merged.front, s.front), 0.999);
+  }
+}
+
+TEST_F(ParallelTsmoTest, MultisearchExchangesSolutions) {
+  TsmoParams p = test_params(4000);
+  p.restart_after = 5;  // end the initial phase quickly
+  const MultisearchResult r = MultisearchTsmo(inst_, p, 3).run();
+  EXPECT_GT(r.messages_sent, 0);
+  EXPECT_GE(r.messages_sent, r.messages_accepted);
+}
+
+TEST_F(ParallelTsmoTest, MergeResultsFiltersDominated) {
+  RunResult a, b;
+  const Instance& inst = inst_;
+  Solution s(inst);
+  a.front = {Objectives{1, 1, 9}, Objectives{5, 1, 5}};
+  a.solutions = {s, s};
+  a.evaluations = 10;
+  b.front = {Objectives{4, 1, 4}, Objectives{9, 1, 1}};
+  b.solutions = {s, s};
+  b.evaluations = 20;
+  const RunResult merged = merge_results({a, b}, "m");
+  EXPECT_EQ(merged.front.size(), 3u);  // (5,1,5) dominated by (4,1,4)
+  EXPECT_EQ(merged.evaluations, 30);
+  EXPECT_EQ(merged.algorithm, "m");
+  for (const auto& o : merged.front) {
+    EXPECT_FALSE(o == (Objectives{5, 1, 5}));
+  }
+}
+
+TEST_F(ParallelTsmoTest, MergeResultsDeduplicatesEqualObjectives) {
+  RunResult a, b;
+  Solution s(inst_);
+  a.front = {Objectives{1, 1, 1}};
+  a.solutions = {s};
+  b.front = {Objectives{1, 1, 1}};
+  b.solutions = {s};
+  const RunResult merged = merge_results({a, b}, "m");
+  EXPECT_EQ(merged.front.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,76 @@
+#include "harness/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "construct/i1_insertion.hpp"
+#include "test_support.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+std::size_t count_substr(const std::string& s, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t p = s.find(needle); p != std::string::npos;
+       p = s.find(needle, p + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SolutionSvg, ContainsOnePolylinePerNonEmptyRoute) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = Solution::from_routes(inst, {{1, 2}, {3}, {4}});
+  std::ostringstream os;
+  write_solution_svg(os, s);
+  const std::string svg = os.str();
+  EXPECT_EQ(count_substr(svg, "<polyline"), 3u);
+  // One dot per customer plus the depot square.
+  EXPECT_EQ(count_substr(svg, "<circle"), 4u);
+  EXPECT_EQ(count_substr(svg, "<rect"), 2u);  // background + depot
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SolutionSvg, EmptyRoutesAreSkipped) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = Solution::from_routes(inst, {{1, 2, 3, 4}});
+  std::ostringstream os;
+  write_solution_svg(os, s);
+  EXPECT_EQ(count_substr(os.str(), "<polyline"), 1u);
+}
+
+TEST(SolutionSvg, TitleAndIdsOptional) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = Solution::from_routes(inst, {{1, 2}});
+  SvgOptions options;
+  options.title = "hello-title";
+  options.show_customer_ids = true;
+  std::ostringstream os;
+  write_solution_svg(os, s, options);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("hello-title"), std::string::npos);
+  // 4 customer id labels + title.
+  EXPECT_EQ(count_substr(svg, "<text"), 5u);
+}
+
+TEST(SolutionSvg, CoordinatesStayInsideViewBox) {
+  const Instance inst = generate_named("C1_1_1");
+  Rng rng(3);
+  const Solution s = construct_i1_random(inst, rng);
+  std::ostringstream os;
+  SvgOptions options;
+  options.width = 400;
+  options.height = 400;
+  write_solution_svg(os, s, options);
+  // No negative coordinates appear in point lists or attributes (a
+  // leading minus would follow a quote, space, or comma).
+  const std::string svg = os.str();
+  EXPECT_EQ(svg.find(",-"), std::string::npos);
+  EXPECT_EQ(svg.find("\"-"), std::string::npos);
+  EXPECT_EQ(svg.find(" -"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,104 @@
+#include "core/pls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "operators/local_search.hpp"
+#include "test_support.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+PlsParams pls_params(std::int64_t evals = 4000) {
+  PlsParams p;
+  p.max_evaluations = evals;
+  p.seed = 31;
+  return p;
+}
+
+TEST(ForEachMove, EnumeratesExactCounts) {
+  const Instance inst = testing::line_instance(6);
+  const Solution s = Solution::from_routes(inst, {{1, 2, 3}, {4, 5, 6}});
+  auto count = [&](MoveType t) {
+    int n = 0;
+    for_each_move(s, t, [&](const Move&) { ++n; });
+    return n;
+  };
+  // Relocate: 6 customers x (1 other non-empty route x 4 positions +
+  // 1 first-empty route x 1 position) = 6 x 5 = 30.
+  EXPECT_EQ(count(MoveType::Relocate), 30);
+  // Exchange: only the (r0, r1) pair with 3x3 swaps; empty routes add 0.
+  EXPECT_EQ(count(MoveType::Exchange), 9);
+  // TwoOpt: per route C(3,2) = 3 segment pairs -> 6.
+  EXPECT_EQ(count(MoveType::TwoOpt), 6);
+  // TwoOptStar: cut points 0..3 x 0..3 minus the two no-op pairs = 14.
+  EXPECT_EQ(count(MoveType::TwoOptStar), 14);
+  // OrOpt: per route: segments i in {0,1} x targets j in {0,1}\{i} = 2.
+  EXPECT_EQ(count(MoveType::OrOpt), 4);
+}
+
+TEST(ForEachMove, AllEnumeratedMovesAreApplicable) {
+  const Instance inst = generate_named("R1_1_1");
+  MoveEngine engine(inst);
+  Rng rng(3);
+  Solution s = Solution::from_routes(inst, {{1, 2, 3, 4}, {5, 6}, {7}});
+  for (int t = 0; t < kNumMoveTypes; ++t) {
+    for_each_move(s, static_cast<MoveType>(t), [&](const Move& m) {
+      EXPECT_TRUE(engine.applicable(s, m)) << to_string(m);
+    });
+  }
+}
+
+TEST(Pls, RespectsBudget) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = ParetoLocalSearch(inst, pls_params(1500)).run();
+  EXPECT_GE(r.evaluations, 1400);
+  EXPECT_LE(r.evaluations, 1500 + 2);
+}
+
+TEST(Pls, FrontIsValidAndNonDominated) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r = ParetoLocalSearch(inst, pls_params()).run();
+  ASSERT_FALSE(r.front.empty());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(r.solutions[i].objectives(), r.front[i]);
+    EXPECT_NO_THROW(r.solutions[i].validate());
+    EXPECT_DOUBLE_EQ(r.solutions[i].capacity_violation(), 0.0);
+  }
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST(Pls, DeterministicPerSeed) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult a = ParetoLocalSearch(inst, pls_params()).run();
+  const RunResult b = ParetoLocalSearch(inst, pls_params()).run();
+  EXPECT_EQ(a.front, b.front);
+}
+
+TEST(Pls, ArchiveCapacityRespected) {
+  const Instance inst = generate_named("R1_1_1");
+  PlsParams p = pls_params();
+  p.archive_capacity = 5;
+  const RunResult r = ParetoLocalSearch(inst, p).run();
+  EXPECT_LE(r.front.size(), 5u);
+}
+
+TEST(Pls, ImprovesOnTheInitialConstruction) {
+  const Instance inst = generate_named("C1_1_1");
+  const RunResult r = ParetoLocalSearch(inst, pls_params(12000)).run();
+  ASSERT_FALSE(r.feasible_front().empty());
+  // The initial I1 solution came from the same stream; PLS fully explores
+  // its neighborhood, so the front must strictly dominate or extend it.
+  Rng rng(31);
+  const Solution initial = construct_i1_random(inst, rng);
+  EXPECT_LT(r.best_feasible_distance(), initial.objectives().distance);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,195 @@
+#include "core/search_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams small_params() {
+  TsmoParams p;
+  p.max_evaluations = 5000;
+  p.neighborhood_size = 40;
+  p.restart_after = 5;
+  p.seed = 11;
+  return p;
+}
+
+class SearchStateTest : public ::testing::Test {
+ protected:
+  SearchStateTest() : inst_(generate_named("R1_1_1")) {}
+  Instance inst_;
+};
+
+TEST_F(SearchStateTest, InitializeSeedsMemories) {
+  SearchState st(inst_, small_params(), Rng(1));
+  EXPECT_FALSE(st.initialized());
+  st.initialize();
+  EXPECT_TRUE(st.initialized());
+  EXPECT_EQ(st.archive().size(), 1u);
+  EXPECT_EQ(st.evaluations(), 1);
+  EXPECT_EQ(st.iterations(), 0);
+  EXPECT_NO_THROW(st.current()->validate());
+}
+
+TEST_F(SearchStateTest, GenerateCandidatesChargesEvaluations) {
+  SearchState st(inst_, small_params(), Rng(1));
+  st.initialize();
+  const auto c = st.generate_candidates(30);
+  EXPECT_EQ(c.size(), 30u);
+  EXPECT_EQ(st.evaluations(), 31);
+}
+
+TEST_F(SearchStateTest, StepSelectsFromCandidates) {
+  SearchState st(inst_, small_params(), Rng(1));
+  st.initialize();
+  const auto candidates = st.generate_candidates(40);
+  const auto out = st.step_with_candidates(candidates);
+  EXPECT_EQ(st.iterations(), 1);
+  if (out.selected) {
+    EXPECT_FALSE(out.restarted);
+    EXPECT_EQ(st.current()->objectives(),
+              candidates[*out.selected].obj);
+    EXPECT_GT(st.tabu().size(), 0u);
+  } else {
+    EXPECT_TRUE(out.restarted);
+  }
+}
+
+TEST_F(SearchStateTest, EmptyCandidateSetForcesRestart) {
+  SearchState st(inst_, small_params(), Rng(1));
+  st.initialize();
+  const auto out = st.step_with_candidates({});
+  EXPECT_TRUE(out.restarted);
+  EXPECT_FALSE(out.selected.has_value());
+  EXPECT_EQ(st.restarts(), 1);
+  EXPECT_NO_THROW(st.current()->validate());
+}
+
+TEST_F(SearchStateTest, RestartWithEmptyMemoriesConstructsFresh) {
+  TsmoParams p = small_params();
+  p.archive_capacity = 2;
+  SearchState st(inst_, p, Rng(2));
+  st.initialize();
+  // Drain the archive indirectly: force restarts repeatedly; even when
+  // M_nondom is empty the state must produce a valid current.
+  for (int i = 0; i < 10; ++i) {
+    st.step_with_candidates({});
+    EXPECT_NO_THROW(st.current()->validate());
+  }
+  EXPECT_EQ(st.restarts(), 10);
+}
+
+TEST_F(SearchStateTest, StagnationTriggersRestartAfterThreshold) {
+  TsmoParams p = small_params();
+  p.restart_after = 3;
+  SearchState st(inst_, p, Rng(3));
+  st.initialize();
+  std::int64_t restarts_before = st.restarts();
+  bool saw_stagnation_restart = false;
+  for (int i = 0; i < 60; ++i) {
+    const auto cands = st.generate_candidates(10);
+    const auto out = st.step_with_candidates(cands);
+    if (out.restarted && !cands.empty()) saw_stagnation_restart = true;
+  }
+  // With a tight threshold some restart must have occurred.
+  EXPECT_TRUE(saw_stagnation_restart || st.restarts() > restarts_before);
+}
+
+TEST_F(SearchStateTest, StagnationFlagSetAfterUnimprovingIterations) {
+  TsmoParams p = small_params();
+  p.restart_after = 2;
+  SearchState st(inst_, p, Rng(4));
+  st.initialize();
+  // Empty candidate steps never improve the archive (restart picks come
+  // from the archive itself and are duplicates).
+  st.step_with_candidates({});
+  st.step_with_candidates({});
+  EXPECT_GE(st.iterations_since_improvement(), 2);
+  EXPECT_TRUE(st.stagnated());
+}
+
+TEST_F(SearchStateTest, ArchiveGrowsDuringSearch) {
+  SearchState st(inst_, small_params(), Rng(5));
+  st.initialize();
+  for (int i = 0; i < 40; ++i) {
+    st.step_with_candidates(st.generate_candidates(40));
+  }
+  EXPECT_GT(st.archive().size(), 1u);
+  // All archive members mutually non-dominated.
+  const auto& entries = st.archive().entries();
+  for (const auto& a : entries) {
+    for (const auto& b : entries) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a.obj, b.obj));
+    }
+  }
+}
+
+TEST_F(SearchStateTest, TabuSelectionAvoidsRecentMoves) {
+  // With aspiration off and a huge tenure, accepted moves' inverse
+  // features must not be re-selectable immediately.
+  TsmoParams p = small_params();
+  p.tabu_tenure = 1000;
+  SearchState st(inst_, p, Rng(6));
+  st.initialize();
+  for (int i = 0; i < 20; ++i) {
+    const auto cands = st.generate_candidates(30);
+    const auto out = st.step_with_candidates(cands);
+    if (out.selected) {
+      EXPECT_FALSE(st.tabu().is_tabu(cands[*out.selected].creates) &&
+                   !p.use_aspiration)
+          << "selected a tabu candidate without aspiration";
+    }
+  }
+}
+
+TEST_F(SearchStateTest, ReceiveStoresIntoNondomMemory) {
+  SearchState st(inst_, small_params(), Rng(7));
+  st.initialize();
+  SearchState other(inst_, small_params(), Rng(8));
+  other.initialize();
+  const std::size_t before = st.nondom().size();
+  const bool stored = st.receive(*other.current());
+  if (stored) {
+    EXPECT_EQ(st.nondom().size(), before + 1);
+  } else {
+    EXPECT_EQ(st.nondom().size(), before);
+  }
+  // Receiving the identical solution again must be rejected.
+  if (stored) {
+    EXPECT_FALSE(st.receive(*other.current()));
+  }
+}
+
+TEST_F(SearchStateTest, BudgetExhaustionFlag) {
+  TsmoParams p = small_params();
+  p.max_evaluations = 50;
+  SearchState st(inst_, p, Rng(9));
+  st.initialize();
+  EXPECT_FALSE(st.budget_exhausted());
+  st.generate_candidates(49);
+  EXPECT_TRUE(st.budget_exhausted());
+}
+
+TEST_F(SearchStateTest, ChargeEvaluationsCountsExternalWork) {
+  TsmoParams p = small_params();
+  p.max_evaluations = 100;
+  SearchState st(inst_, p, Rng(10));
+  st.initialize();
+  st.charge_evaluations(99);
+  EXPECT_TRUE(st.budget_exhausted());
+}
+
+TEST_F(SearchStateTest, CurrentSurvivesStepAsSharedHandle) {
+  SearchState st(inst_, small_params(), Rng(11));
+  st.initialize();
+  const auto held = st.current();
+  st.step_with_candidates(st.generate_candidates(30));
+  // The old current must still be intact (candidates may reference it).
+  EXPECT_NO_THROW(held->validate());
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,151 @@
+#include "core/sequential_tsmo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "moo/metrics.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams test_params(std::int64_t evals = 6000) {
+  TsmoParams p;
+  p.max_evaluations = evals;
+  p.neighborhood_size = 50;
+  p.seed = 21;
+  return p;
+}
+
+class SequentialTsmoTest : public ::testing::Test {
+ protected:
+  SequentialTsmoTest() : inst_(generate_named("R1_1_1")) {}
+  Instance inst_;
+};
+
+TEST_F(SequentialTsmoTest, RespectsEvaluationBudget) {
+  const RunResult r = SequentialTsmo(inst_, test_params(1000)).run();
+  EXPECT_GE(r.evaluations, 990);
+  // The loop clips the last neighborhood to the remaining budget; only the
+  // rare restart-on-empty-memory construction can exceed it.
+  EXPECT_LE(r.evaluations, 1000 + 2);
+}
+
+TEST_F(SequentialTsmoTest, FrontIsMutuallyNonDominated) {
+  const RunResult r = SequentialTsmo(inst_, test_params()).run();
+  ASSERT_FALSE(r.front.empty());
+  for (const auto& a : r.front) {
+    for (const auto& b : r.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST_F(SequentialTsmoTest, SolutionsMatchFrontObjectives) {
+  const RunResult r = SequentialTsmo(inst_, test_params()).run();
+  ASSERT_EQ(r.solutions.size(), r.front.size());
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    EXPECT_EQ(r.solutions[i].objectives(), r.front[i]);
+    EXPECT_NO_THROW(r.solutions[i].validate());
+  }
+}
+
+TEST_F(SequentialTsmoTest, FindsFeasibleSolutions) {
+  const RunResult r = SequentialTsmo(inst_, test_params()).run();
+  EXPECT_FALSE(r.feasible_front().empty())
+      << "search lost all zero-tardiness solutions";
+}
+
+TEST_F(SequentialTsmoTest, ImprovesOnInitialConstruction) {
+  Rng rng(21);  // same seed as the algorithm's construction stream
+  const Solution initial = construct_i1_random(inst_, rng);
+  const RunResult r = SequentialTsmo(inst_, test_params(20000)).run();
+  // The distance objective must improve clearly (possibly trading
+  // tardiness along the front)...
+  double best_distance = 1e300;
+  for (const Objectives& o : r.front) {
+    best_distance = std::min(best_distance, o.distance);
+  }
+  EXPECT_LT(best_distance, initial.objectives().distance * 0.97);
+  // ...while the feasible end of the front must not regress much (the
+  // size-20 crowding archive may evict the exact best feasible point).
+  EXPECT_LT(r.best_feasible_distance(),
+            initial.objectives().distance * 1.05);
+}
+
+TEST_F(SequentialTsmoTest, DeterministicForSeed) {
+  const RunResult a = SequentialTsmo(inst_, test_params()).run();
+  const RunResult b = SequentialTsmo(inst_, test_params()).run();
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i], b.front[i]);
+  }
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST_F(SequentialTsmoTest, DifferentSeedsExploreDifferently) {
+  TsmoParams p2 = test_params();
+  p2.seed = 22;
+  const RunResult a = SequentialTsmo(inst_, test_params()).run();
+  const RunResult b = SequentialTsmo(inst_, p2).run();
+  EXPECT_NE(a.front, b.front);
+}
+
+TEST_F(SequentialTsmoTest, ObserverSeesEveryIteration) {
+  std::int64_t count = 0, last_evals = 0;
+  bool monotone = true;
+  const RunResult r = SequentialTsmo(inst_, test_params())
+                          .run([&](const IterationEvent& ev) {
+                            ++count;
+                            ASSERT_NE(ev.candidates, nullptr);
+                            if (ev.evaluations < last_evals) {
+                              monotone = false;
+                            }
+                            last_evals = ev.evaluations;
+                          });
+  EXPECT_EQ(count, r.iterations);
+  EXPECT_TRUE(monotone);
+}
+
+TEST_F(SequentialTsmoTest, ArchiveCapacityRespected) {
+  TsmoParams p = test_params();
+  p.archive_capacity = 5;
+  const RunResult r = SequentialTsmo(inst_, p).run();
+  EXPECT_LE(r.front.size(), 5u);
+}
+
+TEST_F(SequentialTsmoTest, AspirationVariantRuns) {
+  TsmoParams p = test_params();
+  p.use_aspiration = true;
+  const RunResult r = SequentialTsmo(inst_, p).run();
+  EXPECT_FALSE(r.front.empty());
+}
+
+TEST_F(SequentialTsmoTest, MoreEvaluationsDoNotHurt) {
+  // Coarse sanity: 10x budget should not end with a clearly worse best
+  // feasible distance (same seed, same trajectory prefix).
+  const RunResult small = SequentialTsmo(inst_, test_params(2000)).run();
+  const RunResult large = SequentialTsmo(inst_, test_params(20000)).run();
+  if (!small.feasible_front().empty() && !large.feasible_front().empty()) {
+    EXPECT_LE(large.best_feasible_distance(),
+              small.best_feasible_distance() * 1.05);
+  }
+}
+
+TEST(SequentialTsmoClasses, RunsOnAllProblemClasses) {
+  for (const char* name : {"C1_1_1", "C2_1_1", "RC1_1_1", "R2_1_1"}) {
+    const Instance inst = generate_named(name);
+    TsmoParams p;
+    p.max_evaluations = 2000;
+    p.neighborhood_size = 40;
+    p.seed = 31;
+    const RunResult r = SequentialTsmo(inst, p).run();
+    EXPECT_FALSE(r.front.empty()) << name;
+    EXPECT_FALSE(r.feasible_front().empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tsmo

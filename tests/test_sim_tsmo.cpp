@@ -1,0 +1,182 @@
+// Tests of the DES-driven algorithm variants: determinism, structural
+// runtime orderings (the paper's qualitative claims), and equivalence of
+// the simulated sequential run with the direct sequential implementation.
+
+#include "sim/sim_tsmo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_tsmo.hpp"
+#include "moo/metrics.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams test_params(std::int64_t evals = 4000) {
+  TsmoParams p;
+  p.max_evaluations = evals;
+  p.neighborhood_size = 60;
+  p.restart_after = 20;
+  p.seed = 77;
+  return p;
+}
+
+class SimTsmoTest : public ::testing::Test {
+ protected:
+  SimTsmoTest()
+      : inst_(generate_named("R1_1_1")),
+        cost_(CostModel::for_instance(inst_)) {
+    // Small budgets mean few iterations; damp the straggler tail so the
+    // structural runtime orderings are tested, not noise luck.
+    cost_.straggler_sigma = 0.3;
+  }
+  Instance inst_;
+  CostModel cost_;
+};
+
+TEST_F(SimTsmoTest, SimSequentialMatchesDirectSequentialExactly) {
+  // Both run the same SearchState code with the same seed; the virtual
+  // clock must not change the search trajectory at all.
+  const RunResult direct = SequentialTsmo(inst_, test_params()).run();
+  const RunResult simulated =
+      run_sim_sequential(inst_, test_params(), cost_);
+  ASSERT_EQ(simulated.front.size(), direct.front.size());
+  for (std::size_t i = 0; i < direct.front.size(); ++i) {
+    EXPECT_EQ(simulated.front[i], direct.front[i]);
+  }
+  EXPECT_EQ(simulated.iterations, direct.iterations);
+  EXPECT_EQ(simulated.evaluations, direct.evaluations);
+  EXPECT_GT(simulated.sim_seconds, 0.0);
+}
+
+TEST_F(SimTsmoTest, AllVariantsAreDeterministic) {
+  const RunResult a1 = run_sim_async(inst_, test_params(), 3, cost_);
+  const RunResult a2 = run_sim_async(inst_, test_params(), 3, cost_);
+  EXPECT_EQ(a1.front, a2.front);
+  EXPECT_EQ(a1.sim_seconds, a2.sim_seconds);
+
+  const RunResult s1 = run_sim_sync(inst_, test_params(), 3, cost_);
+  const RunResult s2 = run_sim_sync(inst_, test_params(), 3, cost_);
+  EXPECT_EQ(s1.front, s2.front);
+  EXPECT_EQ(s1.sim_seconds, s2.sim_seconds);
+
+  const MultisearchResult c1 =
+      run_sim_multisearch(inst_, test_params(1500), 3, cost_);
+  const MultisearchResult c2 =
+      run_sim_multisearch(inst_, test_params(1500), 3, cost_);
+  EXPECT_EQ(c1.merged.front, c2.merged.front);
+  EXPECT_EQ(c1.messages_sent, c2.messages_sent);
+}
+
+TEST_F(SimTsmoTest, SyncIsFasterThanSequentialOnVirtualClock) {
+  // At the paper's granularity (neighborhood 200) the parallel chunk work
+  // dominates the per-worker dispatch cost at every processor count.
+  TsmoParams p = test_params(8000);
+  p.neighborhood_size = 200;
+  const RunResult seq = run_sim_sequential(inst_, p, cost_);
+  for (int procs : {3, 6, 12}) {
+    const RunResult sync = run_sim_sync(inst_, p, procs, cost_);
+    EXPECT_LT(sync.sim_seconds, seq.sim_seconds) << procs << " procs";
+  }
+  // Degenerate granularity: tiny chunks at many processors may lose to
+  // the dispatch bill — that is expected behaviour, not a bug.
+  TsmoParams tiny = test_params(2000);
+  tiny.neighborhood_size = 24;
+  const RunResult seq_tiny = run_sim_sequential(inst_, tiny, cost_);
+  const RunResult sync_tiny = run_sim_sync(inst_, tiny, 12, cost_);
+  EXPECT_LT(sync_tiny.sim_seconds, seq_tiny.sim_seconds * 4.0);
+}
+
+TEST_F(SimTsmoTest, AsyncIsFasterThanSync) {
+  for (int procs : {3, 6}) {
+    const RunResult sync = run_sim_sync(inst_, test_params(), procs, cost_);
+    const RunResult async_r =
+        run_sim_async(inst_, test_params(), procs, cost_);
+    EXPECT_LT(async_r.sim_seconds, sync.sim_seconds) << procs << " procs";
+  }
+}
+
+TEST_F(SimTsmoTest, CollaborativeIsSlowerThanSequentialAndGrowsWithP) {
+  const RunResult seq = run_sim_sequential(inst_, test_params(1500), cost_);
+  double prev = seq.sim_seconds;
+  for (int procs : {3, 6, 12}) {
+    const MultisearchResult coll =
+        run_sim_multisearch(inst_, test_params(1500), procs, cost_);
+    double finish = 0.0;
+    for (const RunResult& s : coll.per_searcher) {
+      finish = std::max(finish, s.sim_seconds);
+    }
+    EXPECT_GT(finish, prev * 0.999) << procs << " procs";
+    prev = finish;
+  }
+}
+
+TEST_F(SimTsmoTest, EachCollaborativeSearcherUsesFullBudget) {
+  const MultisearchResult coll =
+      run_sim_multisearch(inst_, test_params(1500), 3, cost_);
+  for (const RunResult& s : coll.per_searcher) {
+    EXPECT_GE(s.evaluations, 1400);
+  }
+}
+
+TEST_F(SimTsmoTest, AsyncObserverReportsIterations) {
+  std::int64_t events = 0;
+  bool pool_nonempty = true;
+  SimAsyncOptions options;
+  options.observer = [&](const SimAsyncIterationEvent& ev) {
+    ++events;
+    if (ev.pool.empty()) pool_nonempty = false;
+  };
+  const RunResult r =
+      run_sim_async(inst_, test_params(2000), 3, cost_, options);
+  EXPECT_EQ(events, r.iterations);
+  EXPECT_TRUE(pool_nonempty);
+}
+
+TEST_F(SimTsmoTest, AsyncMixesNeighborhoodsAcrossIterations) {
+  // The defining behaviour of §III.D: some iteration must consider more
+  // candidates than master-chunk + one worker chunk can produce, i.e.
+  // stragglers from earlier dispatches joined a later pool.
+  const int chunk = test_params().neighborhood_size / 3;
+  bool mixed = false;
+  SimAsyncOptions options;
+  options.observer = [&](const SimAsyncIterationEvent& ev) {
+    if (static_cast<int>(ev.pool.size()) > 2 * chunk) mixed = true;
+  };
+  run_sim_async(inst_, test_params(6000), 3, cost_, options);
+  EXPECT_TRUE(mixed);
+}
+
+TEST_F(SimTsmoTest, HybridRunsAndMerges) {
+  const MultisearchResult h =
+      run_sim_hybrid(inst_, test_params(1500), 2, 3, cost_);
+  EXPECT_EQ(h.per_searcher.size(), 2u);
+  ASSERT_FALSE(h.merged.front.empty());
+  for (const RunResult& s : h.per_searcher) {
+    EXPECT_GE(set_coverage(h.merged.front, s.front), 0.999);
+  }
+}
+
+TEST_F(SimTsmoTest, HybridIsDeterministic) {
+  const MultisearchResult a =
+      run_sim_hybrid(inst_, test_params(1200), 2, 3, cost_);
+  const MultisearchResult b =
+      run_sim_hybrid(inst_, test_params(1200), 2, 3, cost_);
+  EXPECT_EQ(a.merged.front, b.merged.front);
+}
+
+TEST_F(SimTsmoTest, SimFrontsAreValid) {
+  for (const RunResult& r :
+       {run_sim_sync(inst_, test_params(1500), 3, cost_),
+        run_sim_async(inst_, test_params(1500), 3, cost_)}) {
+    ASSERT_EQ(r.front.size(), r.solutions.size());
+    for (std::size_t i = 0; i < r.front.size(); ++i) {
+      EXPECT_EQ(r.solutions[i].objectives(), r.front[i]);
+      EXPECT_NO_THROW(r.solutions[i].validate());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsmo

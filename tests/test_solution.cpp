@@ -1,0 +1,182 @@
+#include "vrptw/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(Solution, EmptyFleetEvaluatesToZero) {
+  const Instance inst = testing::tiny_instance();
+  Solution s(inst);
+  EXPECT_TRUE(s.is_evaluated());
+  EXPECT_EQ(s.objectives(), Objectives{});
+  EXPECT_EQ(s.num_routes(), 3);
+  EXPECT_EQ(s.vehicles_used(), 0);
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(Solution, FromRoutesEvaluates) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  EXPECT_TRUE(s.is_evaluated());
+  EXPECT_EQ(s.objectives().vehicles, 2);
+  // Route 1: 3 + 5 + 4 = 12; route 2: 3 + 5 + 4 = 12.
+  EXPECT_DOUBLE_EQ(s.objectives().distance, 24.0);
+  EXPECT_DOUBLE_EQ(s.objectives().tardiness, 0.0);
+}
+
+TEST(Solution, FromRoutesPadsToFleetSize) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = Solution::from_routes(inst, {{1, 2, 3, 4}});
+  EXPECT_EQ(s.num_routes(), 3);
+  EXPECT_EQ(s.vehicles_used(), 1);
+}
+
+TEST(Solution, FromRoutesRejectsOversizedFleet) {
+  const Instance inst = testing::tiny_instance();
+  EXPECT_THROW(Solution::from_routes(inst, {{1}, {2}, {3}, {4}}),
+               std::invalid_argument);
+}
+
+TEST(Solution, PaperPermutationExample) {
+  // The paper's §II.A example: 4 customers, 5 vehicles,
+  // P = (0, 4, 2, 0, 3, 0, 1, 0, 0, 0).
+  const Instance inst = testing::tiny_instance(/*max_vehicles=*/5);
+  const Solution s =
+      Solution::from_routes(inst, {{4, 2}, {3}, {1}});
+  const std::vector<int> expected = {0, 4, 2, 0, 3, 0, 1, 0, 0, 0};
+  EXPECT_EQ(s.to_permutation(), expected);
+  // |P| = N + R + 1 = 4 + 5 + 1.
+  EXPECT_EQ(s.to_permutation().size(), 10u);
+}
+
+TEST(Solution, PermutationRoundTripPreservesRoutesAndObjectives) {
+  const Instance inst = testing::tiny_instance();
+  const Solution original = Solution::from_routes(inst, {{2, 1}, {4, 3}});
+  const Solution decoded =
+      Solution::from_permutation(inst, original.to_permutation());
+  EXPECT_EQ(decoded.objectives(), original.objectives());
+  EXPECT_EQ(decoded.to_permutation(), original.to_permutation());
+  EXPECT_EQ(decoded.hash(), original.hash());
+}
+
+TEST(Solution, FromPermutationCollapsesConsecutiveZeros) {
+  const Instance inst = testing::tiny_instance();
+  const std::vector<int> perm = {0, 0, 1, 0, 0, 2, 3, 4, 0, 0};
+  const Solution s = Solution::from_permutation(inst, perm);
+  EXPECT_EQ(s.vehicles_used(), 2);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Solution, FromPermutationRejectsBadIndices) {
+  const Instance inst = testing::tiny_instance();
+  const std::vector<int> bad = {0, 9, 0};
+  EXPECT_THROW(Solution::from_permutation(inst, bad),
+               std::invalid_argument);
+  const std::vector<int> neg = {0, -1, 0};
+  EXPECT_THROW(Solution::from_permutation(inst, neg),
+               std::invalid_argument);
+}
+
+TEST(Solution, IncrementalEvaluationMatchesFull) {
+  const Instance inst = testing::tiny_instance();
+  Solution s = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  // Move customer 2 from route 0 to route 1 by direct mutation.
+  s.mutable_route(0) = {1};
+  s.mutable_route(1) = {3, 4, 2};
+  s.evaluate();
+  const Solution fresh = Solution::from_routes(inst, {{1}, {3, 4, 2}});
+  EXPECT_EQ(s.objectives(), fresh.objectives());
+  EXPECT_EQ(s.route_stats(0), fresh.route_stats(0));
+  EXPECT_EQ(s.route_stats(1), fresh.route_stats(1));
+}
+
+TEST(Solution, MutableRouteInvalidatesUntilEvaluate) {
+  const Instance inst = testing::tiny_instance();
+  Solution s = Solution::from_routes(inst, {{1, 2}});
+  s.mutable_route(0);
+  EXPECT_FALSE(s.is_evaluated());
+  s.evaluate();
+  EXPECT_TRUE(s.is_evaluated());
+}
+
+TEST(Solution, VehiclesCountsNonEmptyRoutes) {
+  const Instance inst = testing::tiny_instance();
+  Solution s = Solution::from_routes(inst, {{1}, {}, {2, 3, 4}});
+  EXPECT_EQ(s.vehicles_used(), 2);
+  EXPECT_EQ(s.objectives().vehicles, 2);
+  // Emptying a route reduces the count.
+  s.mutable_route(0).clear();
+  s.mutable_route(2).push_back(1);
+  s.evaluate();
+  EXPECT_EQ(s.objectives().vehicles, 1);
+}
+
+TEST(Solution, CapacityViolationMeasured) {
+  const Instance inst = testing::tiny_instance(3, /*capacity=*/25.0);
+  // Route {2, 3} carries 50 > 25.
+  const Solution s = Solution::from_routes(inst, {{2, 3}, {1}, {4}});
+  EXPECT_DOUBLE_EQ(s.capacity_violation(), 25.0);
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(Solution, FeasibleRequiresZeroTardiness) {
+  std::vector<Site> sites = {{0, 0, 0, 0, 1000, 0}, {3, 0, 5, 0, 2, 1}};
+  const Instance inst("t", std::move(sites), 2, 100.0);
+  const Solution s = Solution::from_routes(inst, {{1}});
+  EXPECT_GT(s.objectives().tardiness, 0.0);
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(Solution, RouteOfAndPositionOf) {
+  const Instance inst = testing::tiny_instance();
+  const Solution s = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  EXPECT_EQ(s.route_of(1), 0);
+  EXPECT_EQ(s.route_of(4), 1);
+  EXPECT_EQ(s.position_of(1), 0);
+  EXPECT_EQ(s.position_of(2), 1);
+  EXPECT_EQ(s.position_of(4), 1);
+}
+
+TEST(Solution, ValidateDetectsDuplicatesAndMissing) {
+  const Instance inst = testing::tiny_instance();
+  Solution s = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  EXPECT_NO_THROW(s.validate());
+  s.mutable_route(0) = {1, 1};  // duplicate 1, missing 2
+  s.evaluate();
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(Solution, HashDiffersForDifferentSolutions) {
+  const Instance inst = testing::tiny_instance();
+  const Solution a = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  const Solution b = Solution::from_routes(inst, {{2, 1}, {3, 4}});
+  const Solution c = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(Solution, HashIgnoresEmptyRouteSlotsPositions) {
+  const Instance inst = testing::tiny_instance();
+  const Solution a = Solution::from_routes(inst, {{1, 2, 3, 4}, {}});
+  const Solution b = Solution::from_routes(inst, {{1, 2, 3, 4}});
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Solution, CopyIsIndependent) {
+  const Instance inst = testing::tiny_instance();
+  Solution a = Solution::from_routes(inst, {{1, 2}, {3, 4}});
+  Solution b = a;
+  b.mutable_route(0).clear();
+  b.mutable_route(1) = {3, 4, 1, 2};
+  b.evaluate();
+  EXPECT_EQ(a.vehicles_used(), 2);
+  EXPECT_EQ(b.vehicles_used(), 1);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_NO_THROW(b.validate());
+}
+
+}  // namespace
+}  // namespace tsmo

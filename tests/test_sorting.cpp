@@ -1,0 +1,96 @@
+#include "moo/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tsmo {
+namespace {
+
+Objectives obj(double d, int v, double t) { return Objectives{d, v, t}; }
+
+TEST(NondominatedSort, EmptyInput) {
+  EXPECT_TRUE(nondominated_sort({}).empty());
+  EXPECT_TRUE(first_front({}).empty());
+}
+
+TEST(NondominatedSort, AllNonDominatedIsRankZero) {
+  const std::vector<Objectives> pts = {obj(1, 3, 5), obj(2, 2, 5),
+                                       obj(3, 1, 5)};
+  const auto ranks = nondominated_sort(pts);
+  for (int r : ranks) EXPECT_EQ(r, 0);
+}
+
+TEST(NondominatedSort, ChainGetsIncreasingRanks) {
+  const std::vector<Objectives> pts = {obj(3, 3, 3), obj(1, 1, 1),
+                                       obj(2, 2, 2), obj(4, 4, 4)};
+  const auto ranks = nondominated_sort(pts);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[2], 1);
+  EXPECT_EQ(ranks[0], 2);
+  EXPECT_EQ(ranks[3], 3);
+}
+
+TEST(NondominatedSort, TwoFronts) {
+  const std::vector<Objectives> pts = {
+      obj(1, 2, 0), obj(2, 1, 0),   // front 0
+      obj(2, 3, 0), obj(3, 2, 0)};  // front 1 (each dominated by one above)
+  const auto ranks = nondominated_sort(pts);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[2], 1);
+  EXPECT_EQ(ranks[3], 1);
+}
+
+TEST(NondominatedSort, DuplicatesShareARank) {
+  const std::vector<Objectives> pts = {obj(1, 1, 1), obj(1, 1, 1)};
+  const auto ranks = nondominated_sort(pts);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 0);
+}
+
+TEST(NondominatedSort, RanksAreConsistentWithDominance) {
+  Rng rng(3);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back(obj(rng.uniform(0, 10),
+                      static_cast<int>(rng.uniform_int(0, 5)),
+                      rng.uniform(0, 10)));
+  }
+  const auto ranks = nondominated_sort(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_GE(ranks[i], 0);
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (dominates(pts[i], pts[j])) {
+        EXPECT_LT(ranks[i], ranks[j]);
+      }
+    }
+  }
+  // Every rank-0 point is globally non-dominated.
+  for (std::size_t i : first_front(pts)) {
+    for (const Objectives& p : pts) {
+      EXPECT_FALSE(dominates(p, pts[i]));
+    }
+  }
+}
+
+TEST(NondominatedSort, EveryRankLevelIsInternallyNonDominated) {
+  Rng rng(5);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back(obj(rng.uniform(0, 5),
+                      static_cast<int>(rng.uniform_int(0, 3)),
+                      rng.uniform(0, 5)));
+  }
+  const auto ranks = nondominated_sort(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (ranks[i] == ranks[j]) {
+        EXPECT_FALSE(dominates(pts[i], pts[j]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsmo

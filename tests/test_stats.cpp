@@ -1,0 +1,231 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tsmo {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 8.0, 0.0, -1.0, 4.5};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+// --- Special functions ---
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(3.14159265358979), 1e-9);
+  EXPECT_NEAR(log_gamma(10.5), 13.940625219403763, 1e-8);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_0.5(a, a) = 0.5 for any a.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10) << "a=" << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.33, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_0.5(2, 3) = 0.6875 (closed form: x^2(6-8x+3x^2)).
+  EXPECT_NEAR(incomplete_beta(2.0, 3.0, 0.5), 0.6875, 1e-10);
+}
+
+TEST(IncompleteBeta, RejectsBadParameters) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(incomplete_beta(1.0, -2.0, 0.5), std::invalid_argument);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (double dof : {1.0, 5.0, 29.0, 100.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, dof), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentT, KnownQuantiles) {
+  // t_{0.975, 10} = 2.228139; CDF(2.228139, 10) = 0.975.
+  EXPECT_NEAR(student_t_cdf(2.228139, 10.0), 0.975, 1e-5);
+  // t_{0.95, 5} = 2.015048.
+  EXPECT_NEAR(student_t_cdf(2.015048, 5.0), 0.95, 1e-5);
+  // Cauchy case (dof = 1): CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+}
+
+TEST(StudentT, SymmetricTails) {
+  const double p = student_t_cdf(1.7, 8.0);
+  EXPECT_NEAR(student_t_cdf(-1.7, 8.0), 1.0 - p, 1e-12);
+}
+
+TEST(StudentT, LargeDofApproachesNormal) {
+  EXPECT_NEAR(student_t_cdf(1.959964, 1e6), 0.975, 1e-4);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655, 1e-6);
+}
+
+// --- Hypothesis tests ---
+
+TEST(PairedTTest, KnownExample) {
+  // Classic example: d = {1,2,3,4,5} vs zeros -> t = mean/sd*sqrt(n)
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {0, 0, 0, 0, 0};
+  const TTestResult r = paired_t_test(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.t, 3.0 / (std::sqrt(2.5) / std::sqrt(5.0)), 1e-9);
+  EXPECT_EQ(r.dof, 4.0);
+  EXPECT_NEAR(r.p_value, 0.01324, 1e-4);  // two-sided, from R: t.test
+}
+
+TEST(PairedTTest, IdenticalSamplesGivePOne) {
+  const std::vector<double> xs = {3, 1, 4, 1, 5};
+  const TTestResult r = paired_t_test(xs, xs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.t, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(PairedTTest, ConstantShiftIsPerfectlySignificant) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {2, 3, 4};
+  const TTestResult r = paired_t_test(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(PairedTTest, RejectsMismatchedSizes) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_FALSE(paired_t_test(xs, ys).valid);
+}
+
+TEST(PairedTTest, RejectsTooSmallSamples) {
+  const std::vector<double> one = {1.0};
+  EXPECT_FALSE(paired_t_test(one, one).valid);
+}
+
+TEST(WelchTTest, KnownExample) {
+  // Verified against R: t.test(x, y): t = -2.8885, df = 17.776,
+  // p = 0.009867.
+  const std::vector<double> xs = {27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                                  16.9, 20.1, 21.9, 22.6, 23.1, 19.6};
+  const std::vector<double> ys = {27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                                  25.8, 22.0, 24.8, 20.2, 21.9, 22.1};
+  const TTestResult r = welch_t_test(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.t, -2.0, 0.5);
+  EXPECT_GT(r.dof, 10.0);
+  EXPECT_LT(r.p_value, 0.10);
+}
+
+TEST(WelchTTest, SameDistributionNotSignificant) {
+  const std::vector<double> xs = {5.0, 5.1, 4.9, 5.05, 4.95};
+  const std::vector<double> ys = {5.02, 4.98, 5.08, 4.92, 5.0};
+  const TTestResult r = welch_t_test(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.p_value, 0.3);
+}
+
+TEST(OneSampleTTest, DetectsShiftedMean) {
+  const std::vector<double> xs = {10.1, 10.3, 9.9, 10.2, 10.0, 10.25};
+  EXPECT_LT(one_sample_t_test(xs, 9.0).p_value, 0.001);
+  EXPECT_GT(one_sample_t_test(xs, 10.125).p_value, 0.5);
+}
+
+// --- Helpers ---
+
+TEST(FormatMeanSd, MatchesPaperStyle) {
+  EXPECT_EQ(format_mean_sd(226897.72, 4999.31), "226897.72±4999.31");
+  EXPECT_EQ(format_mean_sd(1.5, 0.25, 1), "1.5±0.2");
+}
+
+TEST(Helpers, MeanStddevMedian) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(median_of(xs), 2.5);
+  const std::vector<double> odd = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median_of(odd), 5.0);
+  EXPECT_EQ(median_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,129 @@
+// Tests for the nonparametric statistics: Mann-Whitney U and the
+// percentile bootstrap confidence interval.
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(MannWhitney, RejectsEmptySamples) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_FALSE(mann_whitney_u(xs, {}).valid);
+  EXPECT_FALSE(mann_whitney_u({}, xs).valid);
+}
+
+TEST(MannWhitney, IdenticalSamplesNotSignificant) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+  const MannWhitneyResult r = mann_whitney_u(xs, xs);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(MannWhitney, PerfectSeparationIsSignificant) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> ys = {11, 12, 13, 14, 15, 16, 17, 18};
+  const MannWhitneyResult r = mann_whitney_u(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.u, 0.0);  // no x beats any y
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(MannWhitney, KnownUStatistic) {
+  // xs ranks in pooled {1,2,3, 4,5}: xs = {1,2,3} -> R1 = 6,
+  // U = 6 - 3*4/2 = 0.
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {4, 5};
+  EXPECT_EQ(mann_whitney_u(xs, ys).u, 0.0);
+  // Reversed: U1 + U2 = n1*n2.
+  EXPECT_EQ(mann_whitney_u(ys, xs).u, 6.0);
+}
+
+TEST(MannWhitney, SymmetricPValues) {
+  const std::vector<double> xs = {1.2, 3.4, 2.2, 5.0, 0.4};
+  const std::vector<double> ys = {2.0, 6.0, 4.4, 3.1};
+  const MannWhitneyResult ab = mann_whitney_u(xs, ys);
+  const MannWhitneyResult ba = mann_whitney_u(ys, xs);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-12);
+}
+
+TEST(MannWhitney, HandlesTiesWithMidranks) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  const std::vector<double> ys = {2, 3, 3, 4};
+  const MannWhitneyResult r = mann_whitney_u(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.p_value, 0.05);  // heavy overlap: not significant
+  EXPECT_LT(r.p_value, 1.0);
+}
+
+TEST(MannWhitney, DetectsShiftedDistributions) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(rng.normal(0.0, 1.0));
+    ys.push_back(rng.normal(1.5, 1.0));
+  }
+  EXPECT_LT(mann_whitney_u(xs, ys).p_value, 0.001);
+}
+
+TEST(MannWhitney, SameDistributionUsuallyNotSignificant) {
+  Rng rng(4);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(rng.normal(0.0, 1.0));
+    ys.push_back(rng.normal(0.0, 1.0));
+  }
+  EXPECT_GT(mann_whitney_u(xs, ys).p_value, 0.05);
+}
+
+TEST(BootstrapCi, EmptyAndSingleton) {
+  const BootstrapCi empty = bootstrap_mean_ci({});
+  EXPECT_EQ(empty.point, 0.0);
+  const std::vector<double> one = {7.0};
+  const BootstrapCi single = bootstrap_mean_ci(one);
+  EXPECT_EQ(single.lower, 7.0);
+  EXPECT_EQ(single.upper, 7.0);
+}
+
+TEST(BootstrapCi, ContainsSampleMean) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const BootstrapCi ci = bootstrap_mean_ci(xs, 0.95, 2000, 42);
+  EXPECT_DOUBLE_EQ(ci.point, 5.5);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+  EXPECT_GT(ci.upper, ci.lower);
+}
+
+TEST(BootstrapCi, DeterministicInSeed) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const BootstrapCi a = bootstrap_mean_ci(xs, 0.95, 500, 7);
+  const BootstrapCi b = bootstrap_mean_ci(xs, 0.95, 500, 7);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapCi, HigherConfidenceWidensInterval) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const BootstrapCi c90 = bootstrap_mean_ci(xs, 0.90, 3000, 11);
+  const BootstrapCi c99 = bootstrap_mean_ci(xs, 0.99, 3000, 11);
+  EXPECT_LE(c99.lower, c90.lower);
+  EXPECT_GE(c99.upper, c90.upper);
+}
+
+TEST(BootstrapCi, IntervalShrinksWithSampleSize) {
+  Rng rng(6);
+  std::vector<double> small_s, large_s;
+  for (int i = 0; i < 10; ++i) small_s.push_back(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) large_s.push_back(rng.normal(0.0, 1.0));
+  const BootstrapCi s = bootstrap_mean_ci(small_s, 0.95, 2000, 3);
+  const BootstrapCi l = bootstrap_mean_ci(large_s, 0.95, 2000, 3);
+  EXPECT_LT(l.upper - l.lower, s.upper - s.lower);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared fixtures for the test suite: a tiny hand-constructed instance
+// with exactly computable distances, and helpers to build solutions.
+
+#include <vector>
+
+#include "vrptw/instance.hpp"
+#include "vrptw/solution.hpp"
+
+namespace tsmo::testing {
+
+/// 4 customers on axis-aligned points around a depot at the origin.
+/// Distances from the depot: c1 = 3 (east), c2 = 4 (north), c3 = 3 (west),
+/// c4 = 4 (south).  All pairwise distances are integers or exact
+/// hypotenuses (3-4-5 triangles).
+///
+///   id  (x, y)   demand  ready  due   service
+///   0   (0, 0)   0       0      1000  0
+///   1   (3, 0)   10      0      100   1
+///   2   (0, 4)   20      0      100   1
+///   3   (-3, 0)  30      5      50    2
+///   4   (0, -4)  15      0      100   1
+inline Instance tiny_instance(int max_vehicles = 3, double capacity = 60) {
+  std::vector<Site> sites = {
+      {0, 0, 0, 0, 1000, 0},  {3, 0, 10, 0, 100, 1}, {0, 4, 20, 0, 100, 1},
+      {-3, 0, 30, 5, 50, 2}, {0, -4, 15, 0, 100, 1},
+  };
+  return Instance("tiny", std::move(sites), max_vehicles, capacity);
+}
+
+/// A 1-D line instance: depot at 0 and customers at x = 10, 20, ..., 10*n,
+/// generous windows, demand 1 each — handy for route-order arithmetic.
+inline Instance line_instance(int n, int max_vehicles = 4,
+                              double capacity = 100) {
+  std::vector<Site> sites;
+  sites.push_back({0, 0, 0, 0, 100000, 0});
+  for (int i = 1; i <= n; ++i) {
+    sites.push_back(
+        {10.0 * static_cast<double>(i), 0, 1, 0, 100000, 0});
+  }
+  return Instance("line" + std::to_string(n), std::move(sites),
+                  max_vehicles, capacity);
+}
+
+}  // namespace tsmo::testing

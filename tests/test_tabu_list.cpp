@@ -1,0 +1,102 @@
+#include "core/tabu_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsmo {
+namespace {
+
+MoveAttrs attrs(std::initializer_list<std::uint64_t> xs) {
+  MoveAttrs a;
+  for (auto x : xs) a.push(x);
+  return a;
+}
+
+TEST(TabuList, EmptyListNothingIsTabu) {
+  TabuList t(5);
+  EXPECT_FALSE(t.is_tabu(attrs({1, 2, 3})));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TabuList, PushedAttributesBecomeTabu) {
+  TabuList t(5);
+  t.push(attrs({42}));
+  EXPECT_TRUE(t.is_tabu(attrs({42})));
+  EXPECT_TRUE(t.is_tabu(attrs({7, 42})));  // any overlap suffices
+  EXPECT_FALSE(t.is_tabu(attrs({7})));
+}
+
+TEST(TabuList, QueueForgetsOldestBeyondTenure) {
+  TabuList t(2);
+  t.push(attrs({1}));
+  t.push(attrs({2}));
+  t.push(attrs({3}));  // evicts {1}
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.is_tabu(attrs({1})));
+  EXPECT_TRUE(t.is_tabu(attrs({2})));
+  EXPECT_TRUE(t.is_tabu(attrs({3})));
+}
+
+TEST(TabuList, DuplicateAttributesRefCounted) {
+  TabuList t(3);
+  t.push(attrs({9}));
+  t.push(attrs({9}));
+  t.push(attrs({1}));
+  t.push(attrs({2}));  // evicts the first {9}; the second remains
+  EXPECT_TRUE(t.is_tabu(attrs({9})));
+  t.push(attrs({3}));  // evicts the second {9}
+  EXPECT_FALSE(t.is_tabu(attrs({9})));
+}
+
+TEST(TabuList, MultiAttributeEntriesEvictTogether) {
+  TabuList t(1);
+  t.push(attrs({5, 6}));
+  EXPECT_TRUE(t.is_tabu(attrs({5})));
+  EXPECT_TRUE(t.is_tabu(attrs({6})));
+  t.push(attrs({7}));
+  EXPECT_FALSE(t.is_tabu(attrs({5})));
+  EXPECT_FALSE(t.is_tabu(attrs({6})));
+}
+
+TEST(TabuList, SetTenureShrinksImmediately) {
+  TabuList t(4);
+  t.push(attrs({1}));
+  t.push(attrs({2}));
+  t.push(attrs({3}));
+  t.set_tenure(1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.is_tabu(attrs({3})));
+  EXPECT_FALSE(t.is_tabu(attrs({1})));
+}
+
+TEST(TabuList, SetTenureGrowKeepsEntries) {
+  TabuList t(1);
+  t.push(attrs({1}));
+  t.set_tenure(5);
+  t.push(attrs({2}));
+  EXPECT_TRUE(t.is_tabu(attrs({1})));
+  EXPECT_TRUE(t.is_tabu(attrs({2})));
+}
+
+TEST(TabuList, ZeroTenureNeverStores) {
+  TabuList t(0);
+  t.push(attrs({1}));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.is_tabu(attrs({1})));
+}
+
+TEST(TabuList, ClearForgetsEverything) {
+  TabuList t(5);
+  t.push(attrs({1, 2}));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.is_tabu(attrs({1})));
+}
+
+TEST(TabuList, EmptyAttrsNeverTabu) {
+  TabuList t(5);
+  t.push(attrs({1}));
+  EXPECT_FALSE(t.is_tabu(MoveAttrs{}));
+}
+
+}  // namespace
+}  // namespace tsmo

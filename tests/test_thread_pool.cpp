@@ -1,0 +1,62 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace tsmo {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool must survive a throwing task.
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TasksReturningValuesByMove) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return std::make_unique<int>(9); });
+  EXPECT_EQ(*f.get(), 9);
+}
+
+}  // namespace
+}  // namespace tsmo

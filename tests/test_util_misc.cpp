@@ -1,0 +1,161 @@
+// Tests for the small util pieces: FlatMatrix, TextTable, CSV, env config,
+// Timer.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/env.hpp"
+#include "util/flat_matrix.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo {
+namespace {
+
+TEST(FlatMatrix, DefaultIsEmpty) {
+  FlatMatrix<double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(FlatMatrix, StoresAndRetrieves) {
+  FlatMatrix<int> m(3, 4, -1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(2, 3), -1);
+  m(1, 2) = 42;
+  EXPECT_EQ(m(1, 2), 42);
+  EXPECT_EQ(m(2, 1), -1);
+}
+
+TEST(FlatMatrix, RowMajorLayout) {
+  FlatMatrix<int> m(2, 3, 0);
+  m(0, 2) = 1;
+  m(1, 0) = 2;
+  EXPECT_EQ(m.data()[2], 1);
+  EXPECT_EQ(m.data()[3], 2);
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, TitleUnderlined) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  const std::string s = t.to_string("My Title");
+  EXPECT_EQ(s.find("My Title"), 0u);
+  EXPECT_NE(s.find("====="), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRows) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Header separator plus the explicit one.
+  std::size_t dashes = 0;
+  std::istringstream iss(s);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) {
+      ++dashes;
+    }
+  }
+  EXPECT_EQ(dashes, 2u);
+}
+
+TEST(TextTable, PlusMinusCountsAsOneColumn) {
+  // "1±2" (UTF-8, 4 bytes) must align as 3 display columns.
+  TextTable t({"v"});
+  t.add_row({"1±2"});
+  t.add_row({"abc"});
+  std::istringstream iss(t.to_string());
+  std::string header, sep, row1, row2;
+  std::getline(iss, header);
+  std::getline(iss, sep);
+  std::getline(iss, row1);
+  std::getline(iss, row2);
+  // Both rows should occupy the same display width (row1 has 1 extra byte).
+  EXPECT_EQ(row1.size(), row2.size() + 1);
+}
+
+TEST(FmtHelpers, Format) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(0.1234), "12.34%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(WriteCsv, ProducesHeaderAndRows) {
+  std::ostringstream os;
+  write_csv(os, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Env, StringUnsetReturnsNullopt) {
+  ::unsetenv("TSMO_TEST_UNSET_VAR");
+  EXPECT_FALSE(env_string("TSMO_TEST_UNSET_VAR").has_value());
+}
+
+TEST(Env, StringSetReturnsValue) {
+  ::setenv("TSMO_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("TSMO_TEST_STR").value(), "hello");
+  ::unsetenv("TSMO_TEST_STR");
+}
+
+TEST(Env, EmptyStringCountsAsUnset) {
+  ::setenv("TSMO_TEST_EMPTY", "", 1);
+  EXPECT_FALSE(env_string("TSMO_TEST_EMPTY").has_value());
+  ::unsetenv("TSMO_TEST_EMPTY");
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  ::setenv("TSMO_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("TSMO_TEST_INT", 7), 123);
+  ::setenv("TSMO_TEST_INT", "-5", 1);
+  EXPECT_EQ(env_int("TSMO_TEST_INT", 7), -5);
+  ::setenv("TSMO_TEST_INT", "12abc", 1);
+  EXPECT_EQ(env_int("TSMO_TEST_INT", 7), 7);
+  ::unsetenv("TSMO_TEST_INT");
+  EXPECT_EQ(env_int("TSMO_TEST_INT", 7), 7);
+}
+
+TEST(Env, DoubleParsesAndFallsBack) {
+  ::setenv("TSMO_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("TSMO_TEST_DBL", 1.0), 2.5);
+  ::setenv("TSMO_TEST_DBL", "oops", 1);
+  EXPECT_DOUBLE_EQ(env_double("TSMO_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("TSMO_TEST_DBL");
+}
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Timer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+  EXPECT_GE(t.elapsed_us(), t.elapsed_ms());
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace tsmo

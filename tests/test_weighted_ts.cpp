@@ -1,0 +1,93 @@
+#include "core/weighted_ts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/i1_insertion.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+TsmoParams test_params(std::int64_t evals = 5000) {
+  TsmoParams p;
+  p.max_evaluations = evals;
+  p.neighborhood_size = 50;
+  p.restart_after = 20;
+  p.seed = 33;
+  return p;
+}
+
+TEST(WeightedTabuSearch, ProducesSingleBestSolution) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r =
+      WeightedTabuSearch(inst, test_params(), ScalarWeights{}).run();
+  ASSERT_EQ(r.front.size(), 1u);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_NO_THROW(r.solutions[0].validate());
+  EXPECT_EQ(r.algorithm, "weighted-ts");
+}
+
+TEST(WeightedTabuSearch, ImprovesScalarObjectiveOverConstruction) {
+  const Instance inst = generate_named("R1_1_1");
+  const ScalarWeights w{1.0, 0.0, 1000.0};
+  Rng rng(33);
+  const Solution initial = construct_i1_random(inst, rng);
+  const RunResult r =
+      WeightedTabuSearch(inst, test_params(20000), w).run();
+  EXPECT_LT(scalarize(r.front[0], w),
+            scalarize(initial.objectives(), w));
+}
+
+TEST(WeightedTabuSearch, RespectsBudget) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult r =
+      WeightedTabuSearch(inst, test_params(800), ScalarWeights{}).run();
+  EXPECT_LE(r.evaluations, 802);
+}
+
+TEST(WeightedTabuSearch, DeterministicPerSeed) {
+  const Instance inst = generate_named("R1_1_1");
+  const RunResult a =
+      WeightedTabuSearch(inst, test_params(), ScalarWeights{}).run();
+  const RunResult b =
+      WeightedTabuSearch(inst, test_params(), ScalarWeights{}).run();
+  EXPECT_EQ(a.front[0], b.front[0]);
+}
+
+TEST(WeightedTabuSearch, HighTardinessWeightDrivesFeasibility) {
+  const Instance inst = generate_named("R1_1_2");
+  ScalarWeights w;
+  w.tardiness = 10000.0;
+  const RunResult r = WeightedTabuSearch(inst, test_params(10000), w).run();
+  EXPECT_DOUBLE_EQ(r.front[0].tardiness, 0.0);
+}
+
+TEST(WeightedSumFront, MergesNonDominatedBests) {
+  const Instance inst = generate_named("R1_1_1");
+  Rng rng(44);
+  const RunResult merged =
+      weighted_sum_front(inst, test_params(8000), 4, rng);
+  ASSERT_FALSE(merged.front.empty());
+  EXPECT_LE(merged.front.size(), 4u);
+  for (const auto& a : merged.front) {
+    for (const auto& b : merged.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a, b));
+    }
+  }
+  EXPECT_EQ(merged.front.size(), merged.solutions.size());
+  // Budget is split across draws.
+  EXPECT_LE(merged.evaluations, 8000 + 4 * 2);
+}
+
+TEST(WeightedSumFront, SplitsBudgetEvenly) {
+  const Instance inst = generate_named("R1_1_1");
+  Rng rng(45);
+  const RunResult merged =
+      weighted_sum_front(inst, test_params(4000), 8, rng);
+  EXPECT_GT(merged.evaluations, 3000);
+  EXPECT_LE(merged.evaluations, 4100);
+}
+
+}  // namespace
+}  // namespace tsmo

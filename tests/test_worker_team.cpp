@@ -1,0 +1,98 @@
+#include "parallel/worker_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "construct/i1_insertion.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+class WorkerTeamTest : public ::testing::Test {
+ protected:
+  WorkerTeamTest() : inst_(generate_named("R1_1_1")) {}
+
+  std::shared_ptr<const Solution> base() {
+    Rng rng(3);
+    return std::make_shared<const Solution>(
+        construct_i1_random(inst_, rng));
+  }
+
+  Instance inst_;
+};
+
+TEST_F(WorkerTeamTest, RoundTripsOneRequest) {
+  WorkerTeam team(inst_, 2, 7);
+  team.submit(GenRequest{base(), 25, 99});
+  const auto result = team.collect();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->ticket, 99u);
+  EXPECT_EQ(result->candidates.size(), 25u);
+  EXPECT_GE(result->worker_id, 0);
+  EXPECT_LT(result->worker_id, 2);
+}
+
+TEST_F(WorkerTeamTest, AllRequestsAnswered) {
+  WorkerTeam team(inst_, 3, 7);
+  const auto b = base();
+  std::set<std::uint64_t> tickets;
+  for (std::uint64_t t = 1; t <= 12; ++t) {
+    team.submit(GenRequest{b, 10, t});
+  }
+  std::size_t total = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto r = team.collect();
+    ASSERT_TRUE(r.has_value());
+    tickets.insert(r->ticket);
+    total += r->candidates.size();
+  }
+  EXPECT_EQ(tickets.size(), 12u);
+  EXPECT_EQ(total, 120u);
+}
+
+TEST_F(WorkerTeamTest, CandidatesAreValidAgainstBase) {
+  WorkerTeam team(inst_, 2, 7);
+  const auto b = base();
+  team.submit(GenRequest{b, 30, 1});
+  const auto result = team.collect();
+  ASSERT_TRUE(result.has_value());
+  MoveEngine engine(inst_);
+  for (const Candidate& c : result->candidates) {
+    EXPECT_EQ(c.base.get(), b.get());
+    EXPECT_TRUE(engine.applicable(*b, c.move));
+    const Solution s = materialize(engine, c);
+    EXPECT_EQ(s.objectives(), c.obj);
+  }
+}
+
+TEST_F(WorkerTeamTest, TryCollectNonBlocking) {
+  WorkerTeam team(inst_, 1, 7);
+  EXPECT_FALSE(team.try_collect().has_value());
+  team.submit(GenRequest{base(), 5, 1});
+  // Eventually the result must appear.
+  std::optional<GenResult> r;
+  for (int spin = 0; spin < 1000 && !r; ++spin) {
+    r = team.collect_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(r.has_value());
+}
+
+TEST_F(WorkerTeamTest, CleanShutdownWithPendingRequests) {
+  const auto b = base();
+  {
+    WorkerTeam team(inst_, 2, 7);
+    for (int i = 0; i < 20; ++i) team.submit(GenRequest{b, 50, 1});
+    // Destructor must join without deadlock even with work outstanding.
+  }
+  SUCCEED();
+}
+
+TEST_F(WorkerTeamTest, AtLeastOneWorker) {
+  WorkerTeam team(inst_, 0, 7);
+  EXPECT_EQ(team.num_workers(), 1);
+}
+
+}  // namespace
+}  // namespace tsmo
