@@ -1,14 +1,30 @@
 // google-benchmark microbenchmarks of solution evaluation: full vs.
-// incremental route re-evaluation, the permutation codec, archive inserts
-// and the crowding computation.
+// incremental route re-evaluation, delta vs. full move evaluation, the
+// permutation codec, archive inserts and the crowding computation.
+//
+// Besides the google-benchmark suite, the binary ends by timing
+// MoveEngine::evaluate (delta) against evaluate_full per move type and
+// writing a speedup record to bench_results/delta_eval_speedup.json
+// (pass a path as the first positional argument to redirect it).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "construct/i1_insertion.hpp"
 #include "evolutionary/crossover.hpp"
 #include "moo/archive.hpp"
 #include "moo/metrics.hpp"
 #include "operators/local_search.hpp"
+#include "util/json.hpp"
 #include "vrptw/generator.hpp"
 #include "vrptw/schedule.hpp"
 #include "vrptw/solution.hpp"
@@ -62,6 +78,65 @@ BENCHMARK(BM_IncrementalEvaluation)
     ->Arg(400)
     ->Arg(600)
     ->ArgName("n");
+
+/// Draws `count` random applicable moves of type `t` on `s`.
+std::vector<Move> sample_moves(const MoveEngine& engine, const Solution& s,
+                               MoveType t, int count, Rng& rng) {
+  std::vector<Move> moves;
+  moves.reserve(static_cast<std::size_t>(count));
+  const int R = s.num_routes();
+  while (static_cast<int>(moves.size()) < count) {
+    const int r1 = static_cast<int>(rng.below(static_cast<std::uint64_t>(R)));
+    const int r2 = static_cast<int>(rng.below(static_cast<std::uint64_t>(R)));
+    const auto span1 = static_cast<std::uint64_t>(s.route(r1).size()) + 2;
+    const auto span2 = static_cast<std::uint64_t>(s.route(r2).size()) + 2;
+    Move m{t, r1, r2, static_cast<int>(rng.below(span1)) - 1,
+           static_cast<int>(rng.below(span2)) - 1};
+    if (t == MoveType::TwoOpt || t == MoveType::OrOpt) m.r2 = m.r1;
+    if (engine.applicable(s, m)) moves.push_back(m);
+  }
+  return moves;
+}
+
+/// Delta move evaluation against the base's route caches — the hot path of
+/// neighborhood sampling.  Arg0 = instance size, Arg1 = MoveType index.
+void BM_DeltaMoveEvaluate(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  const auto type = static_cast<MoveType>(state.range(1));
+  MoveEngine engine(inst);
+  Rng rng(23);
+  const Solution s = construct_i1_random(inst, rng);
+  const auto moves = sample_moves(engine, s, type, 256, rng);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(s, moves[k]));
+    k = (k + 1) % moves.size();
+  }
+  state.SetLabel(to_string(type));
+}
+BENCHMARK(BM_DeltaMoveEvaluate)
+    ->ArgsProduct({{100, 400, 600}, {0, 1, 2, 3, 4}})
+    ->ArgNames({"n", "move"});
+
+/// Reference path: materialize both modified routes and re-evaluate them
+/// from scratch.  The delta path above must match this bitwise.
+void BM_FullMoveEvaluate(benchmark::State& state) {
+  const Instance& inst = instance_for(static_cast<int>(state.range(0)));
+  const auto type = static_cast<MoveType>(state.range(1));
+  MoveEngine engine(inst);
+  Rng rng(23);
+  const Solution s = construct_i1_random(inst, rng);
+  const auto moves = sample_moves(engine, s, type, 256, rng);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate_full(s, moves[k]));
+    k = (k + 1) % moves.size();
+  }
+  state.SetLabel(to_string(type));
+}
+BENCHMARK(BM_FullMoveEvaluate)
+    ->ArgsProduct({{100, 400, 600}, {0, 1, 2, 3, 4}})
+    ->ArgNames({"n", "move"});
 
 void BM_PermutationCodec(benchmark::State& state) {
   const Instance& inst = instance_for(static_cast<int>(state.range(0)));
@@ -178,6 +253,119 @@ void BM_SetCoverage(benchmark::State& state) {
 }
 BENCHMARK(BM_SetCoverage)->Arg(20)->ArgName("front");
 
+// ---------------------------------------------------------------------------
+// Speedup record: delta vs. full move evaluation, written as JSON so the
+// regression is visible in bench_results/ history.
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds per evaluation for `f` (which performs `batch` of them):
+/// the best of `reps` timed windows of at least `min_ms` milliseconds,
+/// which discards scheduler noise the way google-benchmark's repetitions
+/// aggregate does.
+template <typename F>
+double ns_per_eval(F&& f, int batch, int min_ms = 80, int reps = 3) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm-up (page in instance matrix, caches)
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = clock::now();
+    const auto deadline = start + std::chrono::milliseconds(min_ms);
+    std::int64_t calls = 0;
+    auto now = start;
+    do {
+      f();
+      ++calls;
+      now = clock::now();
+    } while (now < deadline);
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+            .count());
+    best = std::min(best, ns / (static_cast<double>(calls) * batch));
+  }
+  return best;
+}
+
+void write_speedup_record(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return;
+  }
+  // One short-horizon (many ~10-customer routes) and one long-horizon
+  // (few ~30-customer routes) instance per size: the paper's small- and
+  // large-time-window tables live at these two route-length regimes.
+  const std::vector<std::string> names = {"C1_1_1", "R2_1_1", "C1_4_1",
+                                          "R2_4_1", "C1_6_1", "R2_6_1"};
+  std::map<int, std::vector<double>> by_customers;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("benchmark").value("delta_move_evaluation");
+  json.key("unit").value("ns_per_evaluate");
+  json.key("instances").begin_array();
+  for (const std::string& name : names) {
+    const Instance inst = generate_named(name);
+    MoveEngine engine(inst);
+    Rng rng(23);
+    const Solution s = construct_i1_random(inst, rng);
+    json.begin_object();
+    json.key("instance").value(inst.name());
+    json.key("customers").value(inst.num_customers());
+    json.key("move_types").begin_array();
+    double speedup_product = 1.0;
+    for (int t = 0; t < kNumMoveTypes; ++t) {
+      const auto type = static_cast<MoveType>(t);
+      const auto moves = sample_moves(engine, s, type, 256, rng);
+      double sink = 0.0;
+      const auto sweep_delta = [&] {
+        for (const Move& m : moves) sink += engine.evaluate(s, m).distance;
+      };
+      const auto sweep_full = [&] {
+        for (const Move& m : moves) {
+          sink += engine.evaluate_full(s, m).distance;
+        }
+      };
+      const int batch = static_cast<int>(moves.size());
+      const double delta_ns = ns_per_eval(sweep_delta, batch);
+      const double full_ns = ns_per_eval(sweep_full, batch);
+      benchmark::DoNotOptimize(sink);
+      const double speedup = full_ns / delta_ns;
+      speedup_product *= speedup;
+      by_customers[inst.num_customers()].push_back(speedup);
+      json.begin_object();
+      json.key("type").value(to_string(type));
+      json.key("delta_ns").value(delta_ns);
+      json.key("full_ns").value(full_ns);
+      json.key("speedup").value(speedup);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("geomean_speedup")
+        .value(std::pow(speedup_product, 1.0 / kNumMoveTypes));
+    json.end_object();
+  }
+  json.end_array();
+  // Geomean across both horizon classes and all move types per size.
+  json.key("speedup_by_customers").begin_object();
+  for (const auto& [customers, speedups] : by_customers) {
+    double logsum = 0.0;
+    for (const double sp : speedups) logsum += std::log(sp);
+    json.key(std::to_string(customers))
+        .value(std::exp(logsum / static_cast<double>(speedups.size())));
+  }
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  std::cout << "wrote " << path << '\n';
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::string record_path = "bench_results/delta_eval_speedup.json";
+  if (argc > 1 && argv[1][0] != '-') record_path = argv[1];
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_speedup_record(record_path);
+  return 0;
+}

@@ -32,7 +32,8 @@ int best_cost_insert(Solution& s, int c, Rng& rng) {
   for (int r = 0; r < s.num_routes(); ++r) {
     const auto& route = s.route(r);
     if (s.route_stats(r).load + demand > inst.capacity()) continue;
-    const RouteSchedule sched = RouteSchedule::compute(inst, route);
+    // `s` is evaluated here, so the cached-arc overload applies.
+    const RouteSchedule sched = RouteSchedule::compute(s, r);
     for (int pos = 0; pos <= static_cast<int>(route.size()); ++pos) {
       const int pred =
           pos > 0 ? route[static_cast<std::size_t>(pos - 1)] : 0;

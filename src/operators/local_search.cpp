@@ -1,5 +1,6 @@
 #include "operators/local_search.hpp"
 
+#include <cassert>
 #include <limits>
 
 namespace tsmo {
@@ -83,6 +84,7 @@ std::optional<Move> best_move_of_type(const MoveEngine& engine,
                                       const Solution& s, MoveType t,
                                       const VndOptions& options,
                                       double current_value) {
+  assert(s.is_evaluated());  // delta evaluation reads the route caches
   std::optional<Move> best;
   double best_value = current_value;
   for_each_move(s, t, [&](const Move& m) {

@@ -38,7 +38,9 @@ VndResult vnd_improve(const MoveEngine& engine, Solution& s,
 
 /// Enumerates every structurally valid move of type `t` on `s` and
 /// returns the screened move with the best (lowest) scalarized objective,
-/// if it improves on `current_value`.  Exposed for tests.
+/// if it improves on `current_value`.  Candidates are delta-evaluated
+/// against `s`'s route caches, so `s` must be evaluated.  Exposed for
+/// tests.
 std::optional<Move> best_move_of_type(const MoveEngine& engine,
                                       const Solution& s, MoveType t,
                                       const VndOptions& options,

@@ -90,13 +90,12 @@ bool MoveEngine::locally_feasible(const Solution& base, const Move& m) const {
              edge_ok(r1[static_cast<std::size_t>(m.i)], succ);
     }
     case MoveType::TwoOptStar: {
-      double prefix1 = 0.0, prefix2 = 0.0;
-      for (int k = 0; k < m.i; ++k) {
-        prefix1 += inst_->site(r1[static_cast<std::size_t>(k)]).demand;
-      }
-      for (int k = 0; k < m.j; ++k) {
-        prefix2 += inst_->site(r2[static_cast<std::size_t>(k)]).demand;
-      }
+      // O(1) prefix loads from the cumulative-load cache (bitwise equal to
+      // the demand sums they replace).
+      const double prefix1 =
+          m.i > 0 ? base.route_cache(m.r1).cum_load(m.i - 1) : 0.0;
+      const double prefix2 =
+          m.j > 0 ? base.route_cache(m.r2).cum_load(m.j - 1) : 0.0;
       const double load1 = base.route_stats(m.r1).load;
       const double load2 = base.route_stats(m.r2).load;
       if (prefix1 + (load2 - prefix2) > cap) return false;
@@ -150,13 +149,10 @@ bool MoveEngine::capacity_feasible(const Solution& base,
     case MoveType::OrOpt:
       return true;  // intra-route: loads unchanged
     case MoveType::TwoOptStar: {
-      double prefix1 = 0.0, prefix2 = 0.0;
-      for (int k = 0; k < m.i; ++k) {
-        prefix1 += inst_->site(r1[static_cast<std::size_t>(k)]).demand;
-      }
-      for (int k = 0; k < m.j; ++k) {
-        prefix2 += inst_->site(r2[static_cast<std::size_t>(k)]).demand;
-      }
+      const double prefix1 =
+          m.i > 0 ? base.route_cache(m.r1).cum_load(m.i - 1) : 0.0;
+      const double prefix2 =
+          m.j > 0 ? base.route_cache(m.r2).cum_load(m.j - 1) : 0.0;
       const double load1 = base.route_stats(m.r1).load;
       const double load2 = base.route_stats(m.r2).load;
       return prefix1 + (load2 - prefix2) <= cap &&
@@ -168,12 +164,12 @@ bool MoveEngine::capacity_feasible(const Solution& base,
 
 bool MoveEngine::exact_feasible(const Solution& base, const Move& m) const {
   if (!capacity_feasible(base, m)) return false;
-  build_modified(base, m, scratch1_, scratch2_);
+  const RouteDeltas d = delta_routes(base, m);
   double old_tardiness = base.route_stats(m.r1).tardiness;
-  double new_tardiness = evaluate_route(*inst_, scratch1_).tardiness;
+  double new_tardiness = d.tard1;
   if (m.r1 != m.r2) {
     old_tardiness += base.route_stats(m.r2).tardiness;
-    new_tardiness += evaluate_route(*inst_, scratch2_).tardiness;
+    new_tardiness += d.tard2;
   }
   return new_tardiness <= old_tardiness + 1e-9;
 }
@@ -241,7 +237,160 @@ void MoveEngine::build_modified(const Solution& base, const Move& m,
   }
 }
 
+// Delta evaluation core: each modified route is three pieces — an
+// unchanged prefix adopted from the RouteCache in O(1), the spliced-in
+// visits pushed one by one, and an unchanged tail closed by
+// finish_with_tail, which stops as soon as the new departure time rejoins
+// the cached schedule.  All arithmetic replays evaluate_route's exact
+// operation order, so the results are bitwise what a from-scratch
+// evaluation of the modified route would produce.
+MoveEngine::RouteDeltas MoveEngine::delta_routes(const Solution& base,
+                                                 const Move& m) const {
+  assert(base.is_evaluated());
+  const auto& r1 = base.route(m.r1);
+  const auto& r2 = base.route(m.r2);
+  const RouteCache& c1 = base.route_cache(m.r1);
+  const RouteCache& c2 = base.route_cache(m.r2);
+
+  IncrementalRouteEval eval(*inst_);
+  RouteDeltas out;
+  const auto take1 = [&] {
+    out.dist1 = eval.distance();
+    out.tard1 = eval.tardiness();
+    out.empty1 = eval.route_empty();
+  };
+  const auto take2 = [&] {
+    out.dist2 = eval.distance();
+    out.tard2 = eval.tardiness();
+    out.empty2 = eval.route_empty();
+  };
+
+  switch (m.type) {
+    case MoveType::Relocate: {
+      eval.seed_prefix(r1, c1, m.i);
+      eval.finish_with_tail(r1, c1, m.i + 1);
+      take1();
+      eval.seed_prefix(r2, c2, m.j);
+      eval.push(r1[static_cast<std::size_t>(m.i)]);
+      eval.finish_with_tail(r2, c2, m.j);
+      take2();
+      break;
+    }
+    case MoveType::Exchange: {
+      eval.seed_prefix(r1, c1, m.i);
+      eval.push(r2[static_cast<std::size_t>(m.j)]);
+      eval.finish_with_tail(r1, c1, m.i + 1);
+      take1();
+      eval.seed_prefix(r2, c2, m.j);
+      eval.push(r1[static_cast<std::size_t>(m.i)]);
+      eval.finish_with_tail(r2, c2, m.j + 1);
+      take2();
+      break;
+    }
+    case MoveType::TwoOpt: {
+      eval.seed_prefix(r1, c1, m.i);
+      eval.push_reversed(r1, m.i, m.j + 1);
+      eval.finish_with_tail(r1, c1, m.j + 1);
+      take1();
+      break;
+    }
+    case MoveType::TwoOptStar: {
+      eval.seed_prefix(r1, c1, m.i);
+      eval.finish_with_tail(r2, c2, m.j);
+      take1();
+      eval.seed_prefix(r2, c2, m.j);
+      eval.finish_with_tail(r1, c1, m.i);
+      take2();
+      break;
+    }
+    case MoveType::OrOpt: {
+      // Segment [i, i+1] re-inserted at position j of the reduced route.
+      if (m.j < m.i) {
+        eval.seed_prefix(r1, c1, m.j);
+        eval.push(r1[static_cast<std::size_t>(m.i)]);
+        eval.push(r1[static_cast<std::size_t>(m.i + 1)]);
+        eval.push_range(r1, m.j, m.i);
+        eval.finish_with_tail(r1, c1, m.i + 2);
+      } else {
+        eval.seed_prefix(r1, c1, m.i);
+        eval.push_range(r1, m.i + 2, m.j + 2);
+        eval.push(r1[static_cast<std::size_t>(m.i)]);
+        eval.push(r1[static_cast<std::size_t>(m.i + 1)]);
+        eval.finish_with_tail(r1, c1, m.j + 2);
+      }
+      take1();
+      break;
+    }
+  }
+  return out;
+}
+
 Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
+  assert(applicable(base, m));
+  const RouteDeltas d = delta_routes(base, m);
+  const bool inter = m.r1 != m.r2;
+
+  // Summing route stats in index order makes the result bitwise identical
+  // to Solution::evaluate() after apply() — so candidate objectives,
+  // archive duplicate detection, and materialized solutions always agree
+  // exactly.  The chain up to the first modified route is replayed from
+  // the base's prefix sums (same additions, so bitwise the same state),
+  // and empty routes are skipped throughout: their +0.0 terms never
+  // change a non-negative accumulator.
+  const int A = static_cast<int>(base.active_routes().size());
+  // The chain has at most two modified terms.  active_rank gives each its
+  // position in one lookup: for a non-empty route its active index, and
+  // for an empty r2 (relocate into a fresh vehicle, absent from the
+  // chain) the position its new term is *inserted* at.
+  struct Term {
+    int pos;
+    double dd, dt;
+    bool insert;
+  };
+  const bool r2_was_empty = inter && base.route(m.r2).empty();
+  Term ev[2] = {{base.active_rank(m.r1), d.dist1, d.tard1, false},
+                {inter ? base.active_rank(m.r2) : A, d.dist2, d.tard2,
+                 r2_was_empty}};
+  int ne = inter ? 2 : 1;
+  // An inserted term with the same rank as r1's precedes it exactly when
+  // r2 < r1 (ranks of distinct non-empty routes never tie).
+  if (ne == 2 &&
+      (ev[1].pos < ev[0].pos || (ev[1].pos == ev[0].pos && m.r2 < m.r1))) {
+    std::swap(ev[0], ev[1]);
+  }
+
+  double dist = base.prefix_distance(ev[0].pos);
+  double tard = base.prefix_tardiness(ev[0].pos);
+  int k = ev[0].pos;
+  for (int e = 0; e < ne; ++e) {
+    for (; k < ev[e].pos; ++k) {
+      dist += base.active_distance(k);
+      tard += base.active_tardiness(k);
+    }
+    dist += ev[e].dd;
+    tard += ev[e].dt;
+    if (!ev[e].insert) ++k;  // the substituted term replaces active[k]
+  }
+  for (; k < A; ++k) {
+    dist += base.active_distance(k);
+    tard += base.active_tardiness(k);
+  }
+
+  Objectives obj;
+  obj.distance = dist;
+  obj.tardiness = tard;
+  // Vehicle counting is integer arithmetic (order-independent), so the
+  // base count can be patched instead of re-scanning route emptiness.
+  // r1 is never empty in an applicable move.
+  obj.vehicles = base.objectives().vehicles - 1 + (d.empty1 ? 0 : 1);
+  if (inter) {
+    obj.vehicles += (d.empty2 ? 0 : 1) - (r2_was_empty ? 0 : 1);
+  }
+  return obj;
+}
+
+Objectives MoveEngine::evaluate_full(const Solution& base,
+                                     const Move& m) const {
   assert(applicable(base, m));
   build_modified(base, m, scratch1_, scratch2_);
 
@@ -250,11 +399,6 @@ Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
   const RouteStats new2 =
       inter ? evaluate_route(*inst_, scratch2_) : RouteStats{};
 
-  // Summing over all routes in index order makes the result bitwise
-  // identical to Solution::evaluate() after apply() — so candidate
-  // objectives, archive duplicate detection, and materialized solutions
-  // always agree exactly.  R is small (<= fleet size), so this costs a
-  // few hundred nanoseconds, not correctness.
   Objectives obj;
   for (int r = 0; r < base.num_routes(); ++r) {
     const RouteStats* stats;
@@ -278,9 +422,48 @@ Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
 
 void MoveEngine::apply(Solution& s, const Move& m) const {
   assert(applicable(s, m));
-  build_modified(s, m, scratch1_, scratch2_);
-  s.mutable_route(m.r1) = scratch1_;
-  if (m.r1 != m.r2) s.mutable_route(m.r2) = scratch2_;
+  // In-place splices: no scratch round-trip except the single tail copy a
+  // 2-opt* cross needs.
+  switch (m.type) {
+    case MoveType::Relocate: {
+      auto& r1 = s.mutable_route(m.r1);
+      auto& r2 = s.mutable_route(m.r2);
+      const int c = r1[static_cast<std::size_t>(m.i)];
+      r1.erase(r1.begin() + m.i);
+      r2.insert(r2.begin() + m.j, c);
+      break;
+    }
+    case MoveType::Exchange: {
+      std::swap(s.mutable_route(m.r1)[static_cast<std::size_t>(m.i)],
+                s.mutable_route(m.r2)[static_cast<std::size_t>(m.j)]);
+      break;
+    }
+    case MoveType::TwoOpt: {
+      auto& r = s.mutable_route(m.r1);
+      std::reverse(r.begin() + m.i, r.begin() + m.j + 1);
+      break;
+    }
+    case MoveType::TwoOptStar: {
+      auto& r1 = s.mutable_route(m.r1);
+      auto& r2 = s.mutable_route(m.r2);
+      scratch1_.assign(r1.begin() + m.i, r1.end());
+      r1.resize(static_cast<std::size_t>(m.i));
+      r1.insert(r1.end(), r2.begin() + m.j, r2.end());
+      r2.resize(static_cast<std::size_t>(m.j));
+      r2.insert(r2.end(), scratch1_.begin(), scratch1_.end());
+      break;
+    }
+    case MoveType::OrOpt: {
+      auto& r = s.mutable_route(m.r1);
+      if (m.j < m.i) {
+        std::rotate(r.begin() + m.j, r.begin() + m.i, r.begin() + m.i + 2);
+      } else {
+        std::rotate(r.begin() + m.i, r.begin() + m.i + 2,
+                    r.begin() + m.j + 2);
+      }
+      break;
+    }
+  }
   s.evaluate();
 }
 

@@ -3,10 +3,16 @@
 // MoveEngine: proposal, feasibility screening, delta evaluation and
 // application of the five operators.
 //
-// Delta evaluation never copies a whole solution: a move touches at most
-// two routes, so the engine rebuilds only those routes in scratch buffers,
-// re-evaluates them, and patches the base objectives.  Only the *selected*
-// neighbor of an iteration is materialized by applying the move.
+// Delta evaluation never materializes a modified route: a move touches at
+// most two routes, and for each the engine seeds an IncrementalRouteEval
+// from the base solution's RouteCache prefix, pushes only the spliced-in
+// visits, and closes with the cached tail (early-terminating once the
+// departure time rejoins the cached schedule).  That makes evaluate()
+// amortized O(1)-O(k) in the disturbed suffix length instead of O(route
+// length) plus two route copies, while staying bitwise identical to
+// build_modified + evaluate_route (evaluate_full, kept as the reference
+// implementation for tests and benchmarks).  Only the *selected* neighbor
+// of an iteration is materialized by applying the move.
 
 #include <optional>
 #include <vector>
@@ -26,15 +32,16 @@ class MoveEngine {
 
   /// The paper's local feasibility criterion (§II.B): new junction edges
   /// must satisfy a_i + c_i + t_{i,k} <= b_k, and the receiving route's
-  /// demand must stay within capacity.  Purely static — O(route length)
-  /// worst case (2-opt* prefix loads), O(1) typically.
+  /// demand must stay within capacity.  Purely static — O(1) for every
+  /// operator (2-opt* prefix loads come from the cumulative-load cache).
   bool locally_feasible(const Solution& base, const Move& m) const;
 
   /// Capacity part of the screen only (always enforced in every mode).
   bool capacity_feasible(const Solution& base, const Move& m) const;
 
   /// Exact screen: capacity plus "the move does not increase the summed
-  /// tardiness of the routes it touches".  O(route length) re-schedule.
+  /// tardiness of the routes it touches".  Incremental re-schedule of the
+  /// disturbed suffixes only.
   bool exact_feasible(const Solution& base, const Move& m) const;
 
   /// Dispatches on the screening mode.
@@ -45,10 +52,18 @@ class MoveEngine {
   /// range, operator preconditions).  Feasibility is separate.
   bool applicable(const Solution& base, const Move& m) const;
 
-  /// Objectives of `base` with `m` applied; `base` is not modified.
+  /// Objectives of `base` with `m` applied; `base` is not modified and
+  /// must be evaluated (its RouteCaches seed the incremental evaluation).
+  /// Bitwise identical to evaluate_full.
   Objectives evaluate(const Solution& base, const Move& m) const;
 
-  /// Applies `m` to `s` in place and re-evaluates the affected routes.
+  /// Reference implementation: rebuilds the modified routes in scratch
+  /// buffers and re-evaluates them from scratch.  Kept for differential
+  /// tests and benchmarks of the delta path.
+  Objectives evaluate_full(const Solution& base, const Move& m) const;
+
+  /// Applies `m` to `s` in place (splicing the route vectors directly)
+  /// and re-evaluates the affected routes.
   void apply(Solution& s, const Move& m) const;
 
   /// Features the move creates (checked against the tabu list).
@@ -64,6 +79,16 @@ class MoveEngine {
       FeasibilityScreen screen = FeasibilityScreen::Local) const;
 
  private:
+  /// Delta-evaluated (distance, tardiness, emptiness) of the one or two
+  /// routes `m` modifies, computed against the base RouteCaches without
+  /// materializing the routes.
+  struct RouteDeltas {
+    double dist1 = 0.0, tard1 = 0.0;
+    double dist2 = 0.0, tard2 = 0.0;
+    bool empty1 = false, empty2 = false;
+  };
+  RouteDeltas delta_routes(const Solution& base, const Move& m) const;
+
   /// Fills `out1`/`out2` with the new contents of routes m.r1 / m.r2
   /// (`out2` untouched for intra-route moves).
   void build_modified(const Solution& base, const Move& m,

@@ -42,7 +42,9 @@ class NeighborhoodGenerator {
   /// Draws and evaluates up to `count` neighbors of `base`.  May return
   /// fewer when the solution admits too few locally feasible moves (the
   /// give-up threshold is `count * 25` failed operator draws).  Every
-  /// returned neighbor costs exactly one evaluation.
+  /// returned neighbor costs exactly one evaluation — delta evaluation
+  /// against `base`'s route caches, so `base` must be evaluated (as any
+  /// constructed or applied solution is).
   std::vector<Neighbor> generate(const Solution& base, int count,
                                  Rng& rng) const;
 

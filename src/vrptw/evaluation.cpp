@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "vrptw/solution.hpp"
+
 namespace tsmo {
 
 RouteStats evaluate_route(const Instance& inst, std::span<const int> route) {
@@ -27,6 +29,87 @@ RouteStats evaluate_route(const Instance& inst, std::span<const int> route) {
   return stats;
 }
 
+RouteStats evaluate_route_cached(const Instance& inst,
+                                 std::span<const int> route,
+                                 RouteCache& cache) {
+  RouteStats stats;
+  const int n = static_cast<int>(route.size());
+  cache.n_ = n;
+  cache.last_late_ = -1;
+  if (n == 0) {
+    cache.data_.clear();
+    return stats;
+  }
+  cache.data_.resize(static_cast<std::size_t>(5 * n + 1));
+  double* const arc = cache.data_.data();
+  double* const cum_dist = arc + n + 1;
+  double* const cum_load = cum_dist + n;
+  double* const depart = cum_load + n;
+  double* const cum_tard = depart + n;
+
+  int prev = 0;
+  double time = 0.0;
+  for (int p = 0; p < n; ++p) {
+    const int c = route[static_cast<std::size_t>(p)];
+    const Site& s = inst.site(c);
+    const double d = inst.distance(prev, c);
+    const double arrival = time + d;
+    const double late = std::max(arrival - s.due, 0.0);
+    stats.distance += d;
+    stats.load += s.demand;
+    stats.tardiness += late;
+    time = std::max(arrival, s.ready) + s.service;
+    prev = c;
+    arc[p] = d;
+    cum_dist[p] = stats.distance;
+    cum_load[p] = stats.load;
+    depart[p] = time;
+    cum_tard[p] = stats.tardiness;
+    if (late > 0.0) cache.last_late_ = p;
+  }
+  const double d_back = inst.distance(prev, 0);
+  const double back = time + d_back;
+  const double depot_late = std::max(back - inst.depot().due, 0.0);
+  stats.distance += d_back;
+  stats.tardiness += depot_late;
+  stats.completion = back;
+  arc[n] = d_back;
+  if (depot_late > 0.0) cache.last_late_ = n;
+  return stats;
+}
+
+void IncrementalRouteEval::finish_with_tail(std::span<const int> route,
+                                            const RouteCache& cache,
+                                            int from) noexcept {
+  assert(cache.size() == static_cast<int>(route.size()));
+  const int n = cache.size();
+  for (int q = from; q < n; ++q) {
+    const int c = route[static_cast<std::size_t>(q)];
+    const Site& s = inst_->site(c);
+    // The arc into the first tail visit is a new junction; every later arc
+    // is the route's own cached arc.
+    const double d = q == from ? inst_->distance(prev_, c) : cache.arc(q);
+    const double arrival = time_ + d;
+    dist_ += d;
+    tard_ += std::max(arrival - s.due, 0.0);
+    time_ = std::max(arrival, s.ready) + s.service;
+    prev_ = c;
+    ++visits_;
+    if (time_ <= cache.depart(q) && cache.last_late() <= q) {
+      // The new departure is no later than the cached one, so by
+      // induction every remaining arrival is no later than its cached
+      // arrival; with no lateness left in the cached tail every remaining
+      // arrival stays within its due time, making the remaining tardiness
+      // terms exact +0.0 (adding them would not change tard_).  Only the
+      // cached arc lengths remain, accumulated in evaluate_route's order.
+      visits_ += n - 1 - q;
+      for (int p = q + 1; p <= n; ++p) dist_ += cache.arc(p);
+      return;
+    }
+  }
+  finish();
+}
+
 double arrival_time_at(const Instance& inst, std::span<const int> route,
                        std::size_t position) {
   assert(position < route.size());
@@ -41,6 +124,17 @@ double arrival_time_at(const Instance& inst, std::span<const int> route,
     prev = c;
   }
   return 0.0;  // unreachable
+}
+
+double arrival_time_at(const Solution& s, int route, std::size_t position) {
+  if (s.is_evaluated()) {
+    const RouteCache& cache = s.route_cache(route);
+    const int p = static_cast<int>(position);
+    assert(p < cache.size());
+    // Same arithmetic as the walk: arrival = departure(pred) + arc in.
+    return (p > 0 ? cache.depart(p - 1) : 0.0) + cache.arc(p);
+  }
+  return arrival_time_at(s.instance(), s.route(route), position);
 }
 
 }  // namespace tsmo

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "vrptw/solution.hpp"
+
 namespace tsmo {
 
-RouteSchedule RouteSchedule::compute(const Instance& inst,
-                                     std::span<const int> route) {
+namespace {
+
+// Shared forward/backward passes; `arc(p, prev, c)` supplies the length of
+// the arc into position p (p == n is the depot return).
+template <typename ArcFn>
+RouteSchedule compute_impl(const Instance& inst, std::span<const int> route,
+                           ArcFn&& arc) {
   RouteSchedule s;
   const std::size_t n = route.size();
   s.arrival.reserve(n);
@@ -16,9 +23,10 @@ RouteSchedule RouteSchedule::compute(const Instance& inst,
 
   int prev = 0;
   double time = 0.0;
-  for (int c : route) {
+  for (std::size_t p = 0; p < n; ++p) {
+    const int c = route[p];
     const Site& site = inst.site(c);
-    const double arr = time + inst.distance(prev, c);
+    const double arr = time + arc(p, prev, c);
     const double beg = std::max(arr, site.ready);
     s.arrival.push_back(arr);
     s.begin.push_back(beg);
@@ -28,7 +36,7 @@ RouteSchedule RouteSchedule::compute(const Instance& inst,
     time = beg + site.service;
     prev = c;
   }
-  s.depot_return = time + inst.distance(prev, 0);
+  s.depot_return = time + arc(n, prev, 0);
   s.depot_lateness = std::max(s.depot_return - inst.depot().due, 0.0);
   s.total_tardiness += s.depot_lateness;
 
@@ -43,6 +51,28 @@ RouteSchedule RouteSchedule::compute(const Instance& inst,
     s.forward_slack[j] = std::min(room, wait + s.forward_slack[j + 1]);
   }
   return s;
+}
+
+}  // namespace
+
+RouteSchedule RouteSchedule::compute(const Instance& inst,
+                                     std::span<const int> route) {
+  return compute_impl(inst, route, [&](std::size_t, int prev, int c) {
+    return inst.distance(prev, c);
+  });
+}
+
+RouteSchedule RouteSchedule::compute(const Solution& sol, int r) {
+  const std::vector<int>& route = sol.route(r);
+  // Empty routes have no cached arcs (the depot-return arc is implicit).
+  if (!sol.is_evaluated() || route.empty()) {
+    return compute(sol.instance(), route);
+  }
+  const RouteCache& cache = sol.route_cache(r);
+  return compute_impl(sol.instance(), route,
+                      [&](std::size_t p, int, int) {
+                        return cache.arc(static_cast<int>(p));
+                      });
 }
 
 bool insertion_keeps_schedule(const Instance& inst,

@@ -13,6 +13,8 @@
 
 namespace tsmo {
 
+class Solution;
+
 struct RouteSchedule {
   std::vector<double> arrival;    ///< arrival time at each position
   std::vector<double> begin;      ///< service start (>= ready)
@@ -34,6 +36,11 @@ struct RouteSchedule {
   /// endpoints implicit).  Empty route yields an empty schedule.
   static RouteSchedule compute(const Instance& inst,
                                std::span<const int> route);
+
+  /// Same schedule for route `r` of an evaluated Solution, reading arc
+  /// lengths from its RouteCache instead of the distance matrix (bitwise
+  /// identical values); falls back to the span walk on dirty solutions.
+  static RouteSchedule compute(const Solution& s, int r);
 };
 
 /// True when inserting customer `c` at `position` of `route` keeps the

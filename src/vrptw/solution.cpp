@@ -10,6 +10,7 @@ Solution::Solution(const Instance& inst)
     : inst_(&inst),
       routes_(static_cast<std::size_t>(inst.max_vehicles())),
       stats_(static_cast<std::size_t>(inst.max_vehicles())),
+      caches_(static_cast<std::size_t>(inst.max_vehicles())),
       customer_route_(static_cast<std::size_t>(inst.num_sites()), -1),
       customer_pos_(static_cast<std::size_t>(inst.num_sites()), -1) {
   evaluated_ = true;  // all-empty fleet trivially evaluates to zero
@@ -63,13 +64,13 @@ std::vector<int>& Solution::mutable_route(int r) {
 void Solution::evaluate() {
   if (!evaluated_) {
     for (std::size_t r = 0; r < routes_.size(); ++r) {
-      stats_[r] = evaluate_route(*inst_, routes_[r]);
+      stats_[r] = evaluate_route_cached(*inst_, routes_[r], caches_[r]);
     }
     evaluated_ = true;
   } else {
     for (int r : dirty_) {
-      stats_[static_cast<std::size_t>(r)] =
-          evaluate_route(*inst_, routes_[static_cast<std::size_t>(r)]);
+      const auto ur = static_cast<std::size_t>(r);
+      stats_[ur] = evaluate_route_cached(*inst_, routes_[ur], caches_[ur]);
     }
   }
   dirty_.clear();
@@ -78,12 +79,34 @@ void Solution::evaluate() {
 }
 
 void Solution::recompute_totals() {
+  // Empty routes contribute exact +0.0 distance and tardiness, and a +0.0
+  // addition never changes a non-negative accumulator — so summing only
+  // the non-empty routes (in index order) is bitwise identical to summing
+  // all of them.  The running sums are recorded as prefix arrays so
+  // MoveEngine::evaluate can seed its total at the first modified route
+  // instead of replaying the whole chain.
+  active_routes_.clear();
+  active_rank_.clear();
+  prefix_dist_.clear();
+  prefix_tard_.clear();
+  active_dist_.clear();
+  active_tard_.clear();
+  prefix_dist_.push_back(0.0);
+  prefix_tard_.push_back(0.0);
   objectives_ = Objectives{};
   for (std::size_t r = 0; r < routes_.size(); ++r) {
+    active_rank_.push_back(static_cast<int>(active_routes_.size()));
+    if (routes_[r].empty()) continue;
+    active_routes_.push_back(static_cast<int>(r));
     objectives_.distance += stats_[r].distance;
     objectives_.tardiness += stats_[r].tardiness;
-    if (!routes_[r].empty()) ++objectives_.vehicles;
+    ++objectives_.vehicles;
+    prefix_dist_.push_back(objectives_.distance);
+    prefix_tard_.push_back(objectives_.tardiness);
+    active_dist_.push_back(stats_[r].distance);
+    active_tard_.push_back(stats_[r].tardiness);
   }
+  active_rank_.push_back(static_cast<int>(active_routes_.size()));
 }
 
 void Solution::rebuild_index() {

@@ -62,8 +62,54 @@ class Solution {
     return stats_[static_cast<std::size_t>(r)];
   }
 
+  /// Segment summaries of route r (prefix distance / load / departure /
+  /// tardiness arrays), rebuilt by evaluate() alongside route_stats.
+  /// MoveEngine's delta evaluation reads these; only valid while
+  /// is_evaluated() holds.
+  const RouteCache& route_cache(int r) const noexcept {
+    return caches_[static_cast<std::size_t>(r)];
+  }
+
   /// f2: number of non-empty routes.
   int vehicles_used() const noexcept;
+
+  /// Indices of the non-empty routes, ascending.  Rebuilt by evaluate();
+  /// only valid while is_evaluated() holds.  Because empty routes
+  /// contribute exact +0.0 terms, the objective totals summed over just
+  /// these routes are bitwise identical to the sum over all routes.
+  std::span<const int> active_routes() const noexcept {
+    return active_routes_;
+  }
+
+  /// Left-to-right running sums of route distance / tardiness over the
+  /// first k active routes (k in [0, active_routes().size()]).  Each entry
+  /// equals, bitwise, the accumulator state of recompute_totals after that
+  /// route — MoveEngine::evaluate seeds its total from here instead of
+  /// replaying the whole chain.  Only valid while is_evaluated() holds.
+  double prefix_distance(int k) const noexcept {
+    return prefix_dist_[static_cast<std::size_t>(k)];
+  }
+  double prefix_tardiness(int k) const noexcept {
+    return prefix_tard_[static_cast<std::size_t>(k)];
+  }
+
+  /// Number of non-empty routes with index < r — i.e. the position of
+  /// route r in active_routes() when r is non-empty, and the position a
+  /// newly filled route r would take when it is empty.  r may equal
+  /// num_routes().  Only valid while is_evaluated() holds.
+  int active_rank(int r) const noexcept {
+    return active_rank_[static_cast<std::size_t>(r)];
+  }
+
+  /// Distance / tardiness of the k-th active route, stored contiguously so
+  /// summation loops stay load-and-add only.  Bitwise equal to
+  /// route_stats(active_routes()[k]).  Only valid while is_evaluated().
+  double active_distance(int k) const noexcept {
+    return active_dist_[static_cast<std::size_t>(k)];
+  }
+  double active_tardiness(int k) const noexcept {
+    return active_tard_[static_cast<std::size_t>(k)];
+  }
 
   /// Summed load excess over capacity across routes (0 when the operators'
   /// invariant holds).
@@ -105,7 +151,14 @@ class Solution {
   const Instance* inst_;
   std::vector<std::vector<int>> routes_;
   std::vector<RouteStats> stats_;
+  std::vector<RouteCache> caches_;
   Objectives objectives_;
+  std::vector<int> active_routes_;
+  std::vector<int> active_rank_;
+  std::vector<double> prefix_dist_;
+  std::vector<double> prefix_tard_;
+  std::vector<double> active_dist_;
+  std::vector<double> active_tard_;
   std::vector<int> dirty_;
   bool evaluated_ = false;
   std::vector<int> customer_route_;  // size N+1; [0] unused
