@@ -41,6 +41,10 @@ struct TsmoParams {
   /// Feasibility screening of proposed moves (the paper uses the local
   /// criterion; the screening ablation bench compares all modes).
   FeasibilityScreen feasibility_screen = FeasibilityScreen::Local;
+  /// Records a RunTrace fingerprint of every search decision (see
+  /// util/trace.hpp and DESIGN.md §7).  Runtime toggle; when off the
+  /// recording hooks reduce to one branch per step.  Never perturbed.
+  bool trace = false;
   std::uint64_t seed = 1;
 
   /// Perturbs every numeric parameter with N(0, p/4) noise — §III.E: "The

@@ -22,6 +22,17 @@ struct RunResult {
   std::int64_t evaluations = 0;
   std::int64_t iterations = 0;
   std::int64_t restarts = 0;
+
+  /// Canonical hash of `front` (sorted by objective triple; see
+  /// util/trace.hpp) — always filled, equal for equivalent fronts
+  /// regardless of archive insertion order.
+  std::uint64_t archive_fingerprint = 0;
+  /// Rolling RunTrace hash of the searcher's decision sequence; 0 unless
+  /// the run was traced (TsmoParams::trace).  For merged multisearch
+  /// results this is the XOR of the per-searcher fingerprints, which is
+  /// independent of merge order.
+  std::uint64_t trace_fingerprint = 0;
+
   double wall_seconds = 0.0;
   /// Modeled runtime on the virtual clock when run on the DES substrate
   /// (0 for direct executions).  The paper's runtime/speedup columns are

@@ -16,7 +16,8 @@ SearchState::SearchState(const Instance& inst, const TsmoParams& params,
                  params.feasibility_screen),
       tabu_(static_cast<std::size_t>(std::max(params.tabu_tenure, 0))),
       nondom_(static_cast<std::size_t>(std::max(params.nondom_capacity, 1))),
-      archive_(static_cast<std::size_t>(std::max(params.archive_capacity, 2))) {
+      archive_(static_cast<std::size_t>(std::max(params.archive_capacity, 2))),
+      trace_(params.trace) {
   params_.clamp();
 }
 
@@ -33,6 +34,9 @@ void SearchState::initialize_with(Solution s) {
   restarts_ = 0;
   last_improvement_ = 0;
   no_improvement_ = false;
+  trace_.record_event(RunTrace::kTagInit,
+                      static_cast<std::uint64_t>(trace_id_),
+                      hash_objectives(current_->objectives()));
 }
 
 std::vector<Candidate> SearchState::generate_candidates(int count) {
@@ -124,6 +128,27 @@ SearchState::StepOutcome SearchState::step_with_candidates(
     no_improvement_ = true;
   }
   out.archive_improved = improved;
+
+  if (trace_.enabled()) {
+    std::uint64_t move_hash = 0;
+    if (out.selected) {
+      const Move& m = candidates[*out.selected].move;
+      move_hash = hash_combine(static_cast<std::uint64_t>(m.type),
+                               hash_combine(
+                                   hash_combine(
+                                       static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>(m.r1)),
+                                       static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>(m.r2))),
+                                   hash_combine(
+                                       static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>(m.i)),
+                                       static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>(m.j)))));
+    }
+    trace_.record_step(trace_id_, iterations_, move_hash, out.restarted,
+                       current_->objectives(), archive_.size());
+  }
   return out;
 }
 
@@ -147,7 +172,13 @@ void SearchState::maybe_adapt_weights() {
 }
 
 bool SearchState::receive(const Solution& s) {
-  return nondom_.try_add(s.objectives(), s);
+  const bool stored = nondom_.try_add(s.objectives(), s);
+  if (stored) {
+    trace_.record_event(RunTrace::kTagReceive,
+                        static_cast<std::uint64_t>(trace_id_),
+                        hash_objectives(s.objectives()));
+  }
+  return stored;
 }
 
 }  // namespace tsmo

@@ -23,6 +23,7 @@
 #include "operators/move_engine.hpp"
 #include "operators/neighborhood.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 #include "vrptw/instance.hpp"
 
 namespace tsmo {
@@ -106,6 +107,16 @@ class SearchState {
     return generator_.weights();
   }
 
+  /// Replay trace (enabled by params.trace).  Engines append scheduling
+  /// events; step_with_candidates records every search decision.
+  RunTrace& trace() noexcept { return trace_; }
+  const RunTrace& trace() const noexcept { return trace_; }
+
+  /// Identifies this searcher in trace records (multisearch/hybrid set
+  /// their searcher/island index; defaults to 0 for single-master modes).
+  void set_trace_id(int id) noexcept { trace_id_ = id; }
+  int trace_id() const noexcept { return trace_id_; }
+
  private:
   /// Select(N, M_tabulist): uniformly random among non-tabu members of the
   /// non-dominated subset; nullopt when all are tabu (or the set is empty).
@@ -129,6 +140,8 @@ class SearchState {
   NondomMemory<Solution> nondom_;
   ParetoArchive<Solution> archive_;
   std::shared_ptr<const Solution> current_;
+  RunTrace trace_;
+  int trace_id_ = 0;
 
   std::int64_t iterations_ = 0;
   std::int64_t restarts_ = 0;

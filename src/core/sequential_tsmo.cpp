@@ -17,6 +17,8 @@ RunResult collect_result(const SearchState& state, std::string algorithm,
   r.evaluations = state.evaluations();
   r.iterations = state.iterations();
   r.restarts = state.restarts();
+  r.archive_fingerprint = archive_fingerprint(r.front);
+  r.trace_fingerprint = state.trace().fingerprint();
   r.wall_seconds = wall_seconds;
   return r;
 }

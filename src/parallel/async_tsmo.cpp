@@ -11,6 +11,7 @@
 namespace tsmo {
 
 RunResult AsyncTsmo::run() const {
+  if (options_.deterministic) return run_deterministic();
   Timer timer;
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
@@ -86,6 +87,73 @@ RunResult AsyncTsmo::run() const {
     pool.clear();
   }
 
+  return collect_result(state, "async", timer.elapsed_seconds());
+}
+
+RunResult AsyncTsmo::run_deterministic() const {
+  Timer timer;
+  const int procs = std::max(2, processors_);
+  const int exec =
+      options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
+  SearchState state(*inst_, params_, Rng(params_.seed));
+  state.initialize();
+  WorkerTeam team(*inst_, exec, params_.seed);
+  Rng schedule(params_.seed ^ 0xa57c5eedULL);
+
+  const int chunk = std::max(1, params_.neighborhood_size / procs);
+  std::vector<Candidate> deferred;  // straggler chunks, one iteration late
+  std::uint64_t ticket = 0;
+  std::vector<GenResult> results;
+
+  while (!state.budget_exhausted()) {
+    // Dispatch the full chunk set within the remaining budget (deferred
+    // candidates are already charged, so headroom needs no inflight term).
+    std::int64_t headroom = params_.max_evaluations - state.evaluations();
+    std::int64_t total =
+        std::min<std::int64_t>(static_cast<std::int64_t>(procs) * chunk,
+                               headroom);
+    int dispatched = 0;
+    while (total > 0) {
+      const int count = static_cast<int>(std::min<std::int64_t>(chunk, total));
+      team.submit(
+          GenRequest{state.current(), count, ++ticket, schedule.next(), true});
+      total -= count;
+      ++dispatched;
+    }
+    state.trace().record_event(RunTrace::kTagDispatch, ticket,
+                               static_cast<std::uint64_t>(dispatched));
+
+    // Logical collection: every chunk completes, reassembled in ticket
+    // order; the seeded straggler model, not arrival order, decides which
+    // chunks miss this iteration's selection.
+    results.clear();
+    for (int c = 0; c < dispatched; ++c) {
+      auto result = team.collect();
+      if (!result) break;  // team shut down (cannot happen mid-run)
+      results.push_back(std::move(*result));
+    }
+    std::sort(results.begin(), results.end(),
+              [](const GenResult& a, const GenResult& b) {
+                return a.ticket < b.ticket;
+              });
+    std::vector<Candidate> pool = std::move(deferred);
+    deferred.clear();
+    bool leading = true;
+    for (GenResult& r : results) {
+      state.charge_evaluations(static_cast<std::int64_t>(r.candidates.size()));
+      const bool defer =
+          !leading && schedule.chance(options_.defer_probability);
+      state.trace().record_event(RunTrace::kTagDefer, r.ticket,
+                                 defer ? 1 : 0);
+      auto& sink = defer ? deferred : pool;
+      sink.insert(sink.end(), std::make_move_iterator(r.candidates.begin()),
+                  std::make_move_iterator(r.candidates.end()));
+      leading = false;
+    }
+    state.step_with_candidates(pool);
+  }
+  // Chunks still deferred at exhaustion are dropped, like in-flight
+  // results at termination of the wall-clock mode.
   return collect_result(state, "async", timer.elapsed_seconds());
 }
 

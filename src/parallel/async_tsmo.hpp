@@ -24,6 +24,23 @@ struct AsyncOptions {
   /// c3 threshold: how long the master keeps waiting for worker results
   /// before proceeding with the partial pool.
   double wait_too_long_ms = 2.0;
+
+  /// Deterministic replay mode (DESIGN.md §7).  The wall-clock decision
+  /// function is replaced by a seeded logical schedule: every iteration
+  /// dispatches the full `processors`-way chunk set with schedule-derived
+  /// seeds, reassembles the results in ticket order, and a seeded
+  /// straggler model defers a random subset of non-leading chunks to the
+  /// next iteration's pool — reproducing the paper's "neighbors of a
+  /// previous solution" dynamics (Fig. 1) without arrival-order
+  /// dependence.  The same seed then fingerprints identically for any
+  /// `exec_threads`.
+  bool deterministic = false;
+  /// Worker threads in deterministic mode; 0 selects `processors - 1`.
+  /// Execution width only — never affects the result.
+  int exec_threads = 0;
+  /// Deterministic straggler model: probability that a non-leading chunk
+  /// arrives one iteration late.
+  double defer_probability = 0.25;
 };
 
 class AsyncTsmo {
@@ -38,6 +55,8 @@ class AsyncTsmo {
   RunResult run() const;
 
  private:
+  RunResult run_deterministic() const;
+
   const Instance* inst_;
   TsmoParams params_;
   int processors_;

@@ -8,12 +8,15 @@
 
 #include "core/sequential_tsmo.hpp"
 #include "parallel/channel.hpp"
+#include "parallel/thread_pool.hpp"
 #include "parallel/worker_team.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace tsmo {
 
 MultisearchResult HybridTsmo::run() const {
+  if (options_.deterministic) return run_deterministic();
   Timer timer;
   const int k = std::max(2, islands_);
   const int procs = std::max(2, procs_per_island_);
@@ -36,6 +39,7 @@ MultisearchResult HybridTsmo::run() const {
     p.seed = rng.next();
 
     SearchState state(*inst_, p, Rng(p.seed));
+    state.set_trace_id(id);
     state.initialize();
     WorkerTeam team(*inst_, procs - 1, p.seed);
 
@@ -123,6 +127,9 @@ MultisearchResult HybridTsmo::run() const {
       if (!initial_phase && outcome.archive_improved && !comm.empty()) {
         const int target = comm.front();
         std::rotate(comm.begin(), comm.begin() + 1, comm.end());
+        state.trace().record_event(
+            RunTrace::kTagSend, static_cast<std::uint64_t>(target),
+            hash_objectives(state.current()->objectives()));
         mailboxes[static_cast<std::size_t>(target)]->push(
             *state.current());
         messages_sent.fetch_add(1, std::memory_order_relaxed);
@@ -145,6 +152,153 @@ MultisearchResult HybridTsmo::run() const {
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
+  return result;
+}
+
+MultisearchResult HybridTsmo::run_deterministic() const {
+  Timer timer;
+  const int k = std::max(2, islands_);
+  const int procs = std::max(2, procs_per_island_);
+  const auto n = static_cast<std::size_t>(k);
+  const int exec = options_.exec_threads > 0 ? options_.exec_threads : k;
+
+  // One lock-step island per slot; each round an island performs one
+  // deterministic-async iteration (seeded chunk schedule + straggler
+  // model, chunks evaluated inline) and exchanges solutions afterwards.
+  struct Island {
+    std::unique_ptr<SearchState> state;
+    std::unique_ptr<MoveEngine> engine;  // chunk generation, worker-style
+    std::unique_ptr<NeighborhoodGenerator> generator;
+    TsmoParams p;
+    Rng schedule{0};
+    std::vector<Candidate> deferred;
+    std::vector<int> comm;
+    std::vector<Solution> inbox;
+    std::vector<std::pair<int, Solution>> outbox;
+    Timer local_timer;
+    bool initial_phase = true;
+    bool done = false;
+    std::int64_t sent = 0;
+    std::int64_t accepted = 0;
+    RunResult result;
+  };
+  std::vector<Island> islands(n);
+  for (int id = 0; id < k; ++id) {
+    Island& is = islands[static_cast<std::size_t>(id)];
+    Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x9d2c5680ULL);
+    is.p = id == 0 ? params_ : params_.perturbed(rng);
+    is.p.max_evaluations = params_.max_evaluations;
+    is.p.seed = rng.next();
+    is.state = std::make_unique<SearchState>(*inst_, is.p, Rng(is.p.seed));
+    is.state->set_trace_id(id);
+    is.engine = std::make_unique<MoveEngine>(*inst_);
+    is.generator = std::make_unique<NeighborhoodGenerator>(*is.engine);
+    is.schedule = Rng(is.p.seed ^ 0xa57c5eedULL);
+    for (int j = 0; j < k; ++j) {
+      if (j != id) is.comm.push_back(j);
+    }
+    for (std::size_t j = is.comm.size(); j > 1; --j) {
+      std::swap(is.comm[j - 1], is.comm[rng.below(j)]);
+    }
+  }
+
+  ThreadPool pool(static_cast<unsigned>(std::max(1, exec)));
+  {
+    std::vector<std::future<void>> init;
+    init.reserve(n);
+    for (Island& is : islands) {
+      init.push_back(pool.submit([&is] { is.state->initialize(); }));
+    }
+    for (auto& f : init) f.get();
+  }
+
+  auto step_one = [&](int id) {
+    Island& is = islands[static_cast<std::size_t>(id)];
+    for (const Solution& sol : is.inbox) {
+      if (is.state->receive(sol)) ++is.accepted;
+    }
+    is.inbox.clear();
+
+    if (is.state->budget_exhausted()) {
+      is.done = true;
+      is.result =
+          collect_result(*is.state, "hybrid[" + std::to_string(id) + "]",
+                         is.local_timer.elapsed_seconds());
+      return;
+    }
+    // Deterministic async iteration: seeded chunk schedule within the
+    // remaining budget, straggler chunks one iteration late.
+    const int chunk = std::max(1, is.p.neighborhood_size / procs);
+    std::int64_t total = std::min<std::int64_t>(
+        static_cast<std::int64_t>(procs) * chunk,
+        is.p.max_evaluations - is.state->evaluations());
+    std::vector<Candidate> pool_candidates = std::move(is.deferred);
+    is.deferred.clear();
+    bool leading = true;
+    while (total > 0) {
+      const int count = static_cast<int>(std::min<std::int64_t>(chunk, total));
+      total -= count;
+      Rng task_rng(is.schedule.next());
+      std::vector<Candidate> cands = make_candidates(
+          *is.generator, is.state->current(), count, task_rng);
+      is.state->charge_evaluations(static_cast<std::int64_t>(cands.size()));
+      const bool defer =
+          !leading && is.schedule.chance(options_.defer_probability);
+      is.state->trace().record_event(RunTrace::kTagDefer,
+                                     static_cast<std::uint64_t>(count),
+                                     defer ? 1 : 0);
+      auto& sink = defer ? is.deferred : pool_candidates;
+      sink.insert(sink.end(), std::make_move_iterator(cands.begin()),
+                  std::make_move_iterator(cands.end()));
+      leading = false;
+    }
+    const auto outcome = is.state->step_with_candidates(pool_candidates);
+
+    if (is.initial_phase &&
+        is.state->iterations_since_improvement() >= is.p.restart_after) {
+      is.initial_phase = false;
+    }
+    if (!is.initial_phase && outcome.archive_improved && !is.comm.empty()) {
+      const int target = is.comm.front();
+      std::rotate(is.comm.begin(), is.comm.begin() + 1, is.comm.end());
+      is.state->trace().record_event(
+          RunTrace::kTagSend, static_cast<std::uint64_t>(target),
+          hash_objectives(is.state->current()->objectives()));
+      is.outbox.emplace_back(target, *is.state->current());
+      ++is.sent;
+    }
+  };
+
+  for (;;) {
+    std::vector<int> alive;
+    for (int id = 0; id < k; ++id) {
+      if (!islands[static_cast<std::size_t>(id)].done) alive.push_back(id);
+    }
+    if (alive.empty()) break;
+    std::vector<std::future<void>> round;
+    round.reserve(alive.size());
+    for (int id : alive) {
+      round.push_back(pool.submit([&step_one, id] { step_one(id); }));
+    }
+    for (auto& f : round) f.get();
+    for (Island& is : islands) {
+      for (auto& [target, sol] : is.outbox) {
+        Island& t = islands[static_cast<std::size_t>(target)];
+        if (!t.done) t.inbox.push_back(std::move(sol));
+      }
+      is.outbox.clear();
+    }
+  }
+
+  MultisearchResult result;
+  result.per_searcher.reserve(n);
+  for (Island& is : islands) {
+    result.messages_sent += is.sent;
+    result.messages_accepted += is.accepted;
+    result.per_searcher.push_back(std::move(is.result));
+  }
+  result.merged = merge_results(result.per_searcher, "hybrid");
+  result.merged.wall_seconds = timer.elapsed_seconds();
   return result;
 }
 

@@ -18,22 +18,41 @@
 
 namespace tsmo {
 
+struct HybridOptions {
+  /// Deterministic replay mode (DESIGN.md §7): islands advance in
+  /// lock-step rounds (messages sent in round r arrive in round r+1,
+  /// sender-ordered) and each island runs the deterministic async chunk
+  /// schedule — seeded chunk RNGs plus a seeded straggler model — with
+  /// the chunks evaluated inline on the island's thread.  The same seed
+  /// fingerprints identically for any `exec_threads`.
+  bool deterministic = false;
+  /// Threads executing island rounds; 0 selects one per island.
+  /// Execution width only — never affects the result.
+  int exec_threads = 0;
+  /// Straggler model within each island (see AsyncOptions).
+  double defer_probability = 0.25;
+};
+
 class HybridTsmo {
  public:
   HybridTsmo(const Instance& inst, const TsmoParams& params, int islands,
-             int procs_per_island)
+             int procs_per_island, HybridOptions options = {})
       : inst_(&inst),
         params_(params),
         islands_(islands),
-        procs_per_island_(procs_per_island) {}
+        procs_per_island_(procs_per_island),
+        options_(options) {}
 
   MultisearchResult run() const;
 
  private:
+  MultisearchResult run_deterministic() const;
+
   const Instance* inst_;
   TsmoParams params_;
   int islands_;
   int procs_per_island_;
+  HybridOptions options_;
 };
 
 }  // namespace tsmo

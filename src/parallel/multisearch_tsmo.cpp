@@ -8,7 +8,9 @@
 
 #include "core/sequential_tsmo.hpp"
 #include "parallel/channel.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace tsmo {
 
@@ -43,10 +45,15 @@ RunResult merge_results(const std::vector<RunResult>& results,
       merged.solutions.push_back(r.solutions[i]);
     }
   }
+  merged.archive_fingerprint = archive_fingerprint(merged.front);
+  for (const RunResult& r : results) {
+    merged.trace_fingerprint ^= r.trace_fingerprint;  // order-independent
+  }
   return merged;
 }
 
 MultisearchResult MultisearchTsmo::run() const {
+  if (options_.deterministic) return run_deterministic();
   Timer timer;
   const int procs = std::max(2, processors_);
   const auto n = static_cast<std::size_t>(procs);
@@ -71,6 +78,7 @@ MultisearchResult MultisearchTsmo::run() const {
     p.seed = rng.next();
 
     SearchState state(*inst_, p, Rng(p.seed));
+    state.set_trace_id(id);
     state.initialize();
 
     // Random private communication list over the other searchers.
@@ -107,6 +115,9 @@ MultisearchResult MultisearchTsmo::run() const {
       if (!initial_phase && outcome.archive_improved && !comm.empty()) {
         const int target = comm.front();
         std::rotate(comm.begin(), comm.begin() + 1, comm.end());
+        state.trace().record_event(
+            RunTrace::kTagSend, static_cast<std::uint64_t>(target),
+            hash_objectives(state.current()->objectives()));
         mailboxes[static_cast<std::size_t>(target)]->push(*state.current());
         messages_sent.fetch_add(1, std::memory_order_relaxed);
       }
@@ -130,6 +141,125 @@ MultisearchResult MultisearchTsmo::run() const {
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
+  return result;
+}
+
+MultisearchResult MultisearchTsmo::run_deterministic() const {
+  Timer timer;
+  const int procs = std::max(2, processors_);
+  const auto n = static_cast<std::size_t>(procs);
+  const int exec = options_.exec_threads > 0 ? options_.exec_threads : procs;
+
+  // Per-searcher state; each round's step touches only its own slot, so
+  // rounds can fan out over any number of threads.
+  struct Searcher {
+    std::unique_ptr<SearchState> state;
+    TsmoParams p;
+    std::vector<int> comm;
+    std::vector<Solution> inbox;  ///< delivered between rounds
+    std::vector<std::pair<int, Solution>> outbox;
+    Timer local_timer;
+    bool initial_phase = true;
+    bool done = false;
+    std::int64_t sent = 0;
+    std::int64_t accepted = 0;
+    RunResult result;
+  };
+  std::vector<Searcher> searchers(n);
+  for (int id = 0; id < procs; ++id) {
+    Searcher& s = searchers[static_cast<std::size_t>(id)];
+    Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x51ed2701ULL);
+    s.p = id == 0 ? params_ : params_.perturbed(rng);
+    s.p.max_evaluations = params_.max_evaluations;
+    s.p.seed = rng.next();
+    s.state = std::make_unique<SearchState>(*inst_, s.p, Rng(s.p.seed));
+    s.state->set_trace_id(id);
+    for (int k = 0; k < procs; ++k) {
+      if (k != id) s.comm.push_back(k);
+    }
+    for (std::size_t k = s.comm.size(); k > 1; --k) {
+      std::swap(s.comm[k - 1], s.comm[rng.below(k)]);
+    }
+  }
+
+  ThreadPool pool(static_cast<unsigned>(std::max(1, exec)));
+  {
+    std::vector<std::future<void>> init;
+    init.reserve(n);
+    for (Searcher& s : searchers) {
+      init.push_back(pool.submit([&s] { s.state->initialize(); }));
+    }
+    for (auto& f : init) f.get();
+  }
+
+  auto step_one = [&](int id) {
+    Searcher& s = searchers[static_cast<std::size_t>(id)];
+    // Deliver peer solutions in the deterministic inter-round order.
+    for (const Solution& sol : s.inbox) {
+      if (s.state->receive(sol)) ++s.accepted;
+    }
+    s.inbox.clear();
+
+    const std::int64_t remaining =
+        s.p.max_evaluations - s.state->evaluations();
+    const int want = static_cast<int>(
+        std::min<std::int64_t>(s.p.neighborhood_size, remaining));
+    if (s.state->budget_exhausted() || want <= 0) {
+      s.done = true;
+      s.result = collect_result(*s.state, "coll[" + std::to_string(id) + "]",
+                                s.local_timer.elapsed_seconds());
+      return;
+    }
+    const auto candidates = s.state->generate_candidates(want);
+    const auto outcome = s.state->step_with_candidates(candidates);
+
+    if (s.initial_phase &&
+        s.state->iterations_since_improvement() >= s.p.restart_after) {
+      s.initial_phase = false;
+    }
+    if (!s.initial_phase && outcome.archive_improved && !s.comm.empty()) {
+      const int target = s.comm.front();
+      std::rotate(s.comm.begin(), s.comm.begin() + 1, s.comm.end());
+      s.state->trace().record_event(
+          RunTrace::kTagSend, static_cast<std::uint64_t>(target),
+          hash_objectives(s.state->current()->objectives()));
+      s.outbox.emplace_back(target, *s.state->current());
+      ++s.sent;
+    }
+  };
+
+  for (;;) {
+    std::vector<int> alive;
+    for (int id = 0; id < procs; ++id) {
+      if (!searchers[static_cast<std::size_t>(id)].done) alive.push_back(id);
+    }
+    if (alive.empty()) break;
+    std::vector<std::future<void>> round;
+    round.reserve(alive.size());
+    for (int id : alive) {
+      round.push_back(pool.submit([&step_one, id] { step_one(id); }));
+    }
+    for (auto& f : round) f.get();
+    // Messages sent in round r reach their peer at the start of round
+    // r+1, routed in sender-id order; a finished receiver drops them.
+    for (Searcher& s : searchers) {
+      for (auto& [target, sol] : s.outbox) {
+        Searcher& t = searchers[static_cast<std::size_t>(target)];
+        if (!t.done) t.inbox.push_back(std::move(sol));
+      }
+      s.outbox.clear();
+    }
+  }
+
+  MultisearchResult result;
+  result.per_searcher.reserve(n);
+  for (Searcher& s : searchers) {
+    result.messages_sent += s.sent;
+    result.messages_accepted += s.accepted;
+    result.per_searcher.push_back(std::move(s.result));
+  }
+  result.merged = merge_results(result.per_searcher, "coll");
+  result.merged.wall_seconds = timer.elapsed_seconds();
   return result;
 }
 

@@ -32,18 +32,37 @@ struct MultisearchResult {
   std::int64_t messages_accepted = 0;  ///< stored in a receiver's M_nondom
 };
 
+struct MultisearchOptions {
+  /// Deterministic replay mode (DESIGN.md §7): the searchers advance in
+  /// lock-step rounds; solutions sent in round r are delivered at the
+  /// start of round r+1, routed in sender-id order.  Each round's
+  /// per-searcher iterations touch only that searcher's state, so they
+  /// can execute on any number of threads without changing the result —
+  /// the same seed fingerprints identically for any `exec_threads`.
+  bool deterministic = false;
+  /// Threads executing the lock-step rounds; 0 selects one per searcher.
+  /// Execution width only — never affects the result.
+  int exec_threads = 0;
+};
+
 class MultisearchTsmo {
  public:
   MultisearchTsmo(const Instance& inst, const TsmoParams& params,
-                  int processors)
-      : inst_(&inst), params_(params), processors_(processors) {}
+                  int processors, MultisearchOptions options = {})
+      : inst_(&inst),
+        params_(params),
+        processors_(processors),
+        options_(options) {}
 
   MultisearchResult run() const;
 
  private:
+  MultisearchResult run_deterministic() const;
+
   const Instance* inst_;
   TsmoParams params_;
   int processors_;
+  MultisearchOptions options_;
 };
 
 /// Non-dominated union of several results (fronts and solutions); counters

@@ -9,6 +9,7 @@
 namespace tsmo {
 
 RunResult SyncTsmo::run() const {
+  if (options_.deterministic) return run_deterministic();
   Timer timer;
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
@@ -45,6 +46,64 @@ RunResult SyncTsmo::run() const {
       candidates.insert(candidates.end(),
                         std::make_move_iterator(result->candidates.begin()),
                         std::make_move_iterator(result->candidates.end()));
+    }
+    state.step_with_candidates(candidates);
+  }
+  return collect_result(state, "sync", timer.elapsed_seconds());
+}
+
+RunResult SyncTsmo::run_deterministic() const {
+  Timer timer;
+  const int procs = std::max(2, processors_);
+  const int exec =
+      options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
+  SearchState state(*inst_, params_, Rng(params_.seed));
+  state.initialize();
+  WorkerTeam team(*inst_, exec, params_.seed);
+  // Chunk seeds come from a dedicated schedule stream, so the logical
+  // candidate sequence depends only on (seed, procs) — not on exec width.
+  Rng schedule(params_.seed ^ 0xdead5eedULL);
+
+  std::uint64_t ticket = 0;
+  std::vector<GenResult> results;
+  while (!state.budget_exhausted()) {
+    const std::int64_t remaining =
+        params_.max_evaluations - state.evaluations();
+    const int want = static_cast<int>(std::min<std::int64_t>(
+        params_.neighborhood_size, remaining));
+    if (want <= 0) break;
+
+    // Fixed balanced `procs`-way partition of the neighborhood.
+    int dispatched = 0;
+    for (int c = 0; c < procs; ++c) {
+      const int count = (c + 1) * want / procs - c * want / procs;
+      if (count <= 0) continue;
+      team.submit(
+          GenRequest{state.current(), count, ++ticket, schedule.next(), true});
+      ++dispatched;
+    }
+    state.trace().record_event(RunTrace::kTagDispatch, ticket,
+                               static_cast<std::uint64_t>(dispatched));
+
+    // Barrier, as in the plain mode — but reassemble in ticket order so
+    // the pool is independent of worker scheduling.
+    results.clear();
+    for (int c = 0; c < dispatched; ++c) {
+      auto result = team.collect();
+      if (!result) break;  // team shut down (cannot happen mid-run)
+      results.push_back(std::move(*result));
+    }
+    std::sort(results.begin(), results.end(),
+              [](const GenResult& a, const GenResult& b) {
+                return a.ticket < b.ticket;
+              });
+    std::vector<Candidate> candidates;
+    candidates.reserve(static_cast<std::size_t>(want));
+    for (GenResult& r : results) {
+      state.charge_evaluations(static_cast<std::int64_t>(r.candidates.size()));
+      candidates.insert(candidates.end(),
+                        std::make_move_iterator(r.candidates.begin()),
+                        std::make_move_iterator(r.candidates.end()));
     }
     state.step_with_candidates(candidates);
   }

@@ -18,18 +18,38 @@
 
 namespace tsmo {
 
+struct SyncOptions {
+  /// Deterministic replay mode (DESIGN.md §7): the neighborhood is split
+  /// into a fixed `processors`-way logical partition whose chunks carry
+  /// schedule-derived RNG seeds, and results are reassembled in ticket
+  /// order.  The run is then a pure function of (params, processors) —
+  /// the same seed fingerprints identically for any `exec_threads`.
+  bool deterministic = false;
+  /// Worker threads evaluating the logical chunks in deterministic mode;
+  /// 0 selects `processors - 1`.  Execution width only — never affects
+  /// the result.
+  int exec_threads = 0;
+};
+
 class SyncTsmo {
  public:
   /// `processors` counts the master plus its workers (paper: 3, 6, 12).
-  SyncTsmo(const Instance& inst, const TsmoParams& params, int processors)
-      : inst_(&inst), params_(params), processors_(processors) {}
+  SyncTsmo(const Instance& inst, const TsmoParams& params, int processors,
+           SyncOptions options = {})
+      : inst_(&inst),
+        params_(params),
+        processors_(processors),
+        options_(options) {}
 
   RunResult run() const;
 
  private:
+  RunResult run_deterministic() const;
+
   const Instance* inst_;
   TsmoParams params_;
   int processors_;
+  SyncOptions options_;
 };
 
 }  // namespace tsmo

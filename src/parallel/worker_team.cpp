@@ -33,8 +33,14 @@ void WorkerTeam::worker_loop(int id, Rng rng) {
     GenResult result;
     result.ticket = request->ticket;
     result.worker_id = id;
-    result.candidates = make_candidates(generator, request->base,
-                                        request->count, rng);
+    if (request->seeded) {
+      Rng task_rng(request->seed);
+      result.candidates = make_candidates(generator, request->base,
+                                          request->count, task_rng);
+    } else {
+      result.candidates = make_candidates(generator, request->base,
+                                          request->count, rng);
+    }
     results_.push(std::move(result));
   }
 }

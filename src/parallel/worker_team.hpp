@@ -22,6 +22,12 @@ struct GenRequest {
   std::shared_ptr<const Solution> base;
   int count = 0;
   std::uint64_t ticket = 0;  ///< echoed back; lets the master age results
+  /// Deterministic mode: when `seeded`, the worker draws from a fresh
+  /// Rng(seed) instead of its persistent per-thread stream, making the
+  /// result a pure function of (seed, base, count) — independent of which
+  /// worker runs it and of how many workers exist.
+  std::uint64_t seed = 0;
+  bool seeded = false;
 };
 
 struct GenResult {

@@ -1,0 +1,19 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace tsmo {
+
+std::uint64_t archive_fingerprint(std::vector<Objectives> front) {
+  std::sort(front.begin(), front.end(),
+            [](const Objectives& a, const Objectives& b) {
+              return std::tie(a.distance, a.vehicles, a.tardiness) <
+                     std::tie(b.distance, b.vehicles, b.tardiness);
+            });
+  std::uint64_t h = 0x452821e638d01377ULL;
+  for (const Objectives& o : front) h = hash_combine(h, hash_objectives(o));
+  return hash_combine(h, front.size());
+}
+
+}  // namespace tsmo

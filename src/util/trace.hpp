@@ -1,0 +1,126 @@
+#pragma once
+
+// RunTrace — deterministic-replay fingerprinting (DESIGN.md §7).
+//
+// Every searcher can record a cheap rolling hash of its decision sequence:
+// (searcher id, iteration, accepted move, objective triple, archive size)
+// per step, plus engine-level scheduling events (chunk dispatch, deferral,
+// solution exchange).  Two runs that make identical decisions produce
+// identical fingerprints; a single scheduling divergence changes every
+// subsequent hash.  This turns "are the parallel variants reproducible?"
+// into an equality check instead of an eyeballed front comparison.
+//
+// Tracing is a runtime toggle (TsmoParams::trace).  When off, every record
+// call is a single predictable branch on a bool — near-zero overhead — so
+// the hooks can stay compiled into the hot loop unconditionally.
+//
+// The archive fingerprint is canonical (entries sorted by objective
+// triple), so it is invariant under insertion-order permutations of
+// equivalent fronts; the rolling step fingerprint deliberately is not —
+// it is the replay check.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "vrptw/objectives.hpp"  // header-only POD + inline dominance
+
+namespace tsmo {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-sensitive combination step for rolling hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t h,
+                                     std::uint64_t v) noexcept {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Bit pattern of a double with -0.0 normalized to +0.0 so numerically
+/// equal objective values always hash identically.
+inline std::uint64_t hash_bits(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
+}
+
+/// Hash of one objective triple (exact bit patterns; the library's delta
+/// evaluation is bitwise-reproducible, so no tolerance is needed).
+inline std::uint64_t hash_objectives(const Objectives& o) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  h = hash_combine(h, hash_bits(o.distance));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.vehicles));
+  h = hash_combine(h, hash_bits(o.tardiness));
+  return h;
+}
+
+/// Canonical fingerprint of a Pareto front: sorts a copy lexicographically
+/// by (distance, vehicles, tardiness) and chains the entry hashes, so any
+/// two permutations of the same objective set fingerprint identically.
+std::uint64_t archive_fingerprint(std::vector<Objectives> front);
+
+class RunTrace {
+ public:
+  /// Event tags folded into the rolling hash ahead of their payload.
+  static constexpr std::uint64_t kTagInit = 0xA1;      ///< initial solution
+  static constexpr std::uint64_t kTagStep = 0xA2;      ///< Algorithm 1 step
+  static constexpr std::uint64_t kTagDispatch = 0xA3;  ///< chunk schedule
+  static constexpr std::uint64_t kTagDefer = 0xA4;     ///< straggler model
+  static constexpr std::uint64_t kTagSend = 0xA5;      ///< solution emitted
+  static constexpr std::uint64_t kTagReceive = 0xA6;   ///< stored in M_nondom
+
+  RunTrace() = default;
+  explicit RunTrace(bool enabled) noexcept : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Rolling hash over all recorded events; 0 when tracing is disabled
+  /// (or nothing was recorded), so results can expose "no trace" cheaply.
+  std::uint64_t fingerprint() const noexcept {
+    return events_ == 0 ? 0 : hash_;
+  }
+
+  std::uint64_t events() const noexcept { return events_; }
+
+  /// One step of Algorithm 1: the accepted move (0 on restart), the new
+  /// current objectives, and the archive size after UpdateMemories.
+  void record_step(int searcher_id, std::int64_t iteration,
+                   std::uint64_t move_hash, bool restarted,
+                   const Objectives& current,
+                   std::size_t archive_size) noexcept {
+    if (!enabled_) return;
+    std::uint64_t h = hash_combine(hash_, kTagStep);
+    h = hash_combine(h, static_cast<std::uint64_t>(searcher_id));
+    h = hash_combine(h, static_cast<std::uint64_t>(iteration));
+    h = hash_combine(h, restarted ? 1 : move_hash);
+    h = hash_combine(h, hash_objectives(current));
+    hash_ = hash_combine(h, static_cast<std::uint64_t>(archive_size));
+    ++events_;
+  }
+
+  /// Engine-level scheduling event (dispatch plan, deferral decision,
+  /// solution exchange) with two free payload words.
+  void record_event(std::uint64_t tag, std::uint64_t a,
+                    std::uint64_t b) noexcept {
+    if (!enabled_) return;
+    std::uint64_t h = hash_combine(hash_, tag);
+    h = hash_combine(h, a);
+    hash_ = hash_combine(h, b);
+    ++events_;
+  }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x13198a2e03707344ULL;
+
+  bool enabled_ = false;
+  std::uint64_t hash_ = kSeed;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace tsmo

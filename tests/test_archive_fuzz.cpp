@@ -1,0 +1,132 @@
+// Property/fuzz tests for the Pareto archive (DESIGN.md §7): random
+// insert/prune sequences must never leave a dominated or duplicate entry,
+// and — as long as no crowding eviction triggers — the final content must
+// be exactly the non-dominated subset of the inserted points, independent
+// of insertion order (checked through the canonical archive fingerprint).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "moo/archive.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace tsmo {
+namespace {
+
+/// Objectives drawn from a small integer grid so dominance, duplication,
+/// and tie cases all occur frequently.
+Objectives random_grid_point(Rng& rng) {
+  Objectives o;
+  o.distance = static_cast<double>(rng.below(20));
+  o.vehicles = static_cast<int>(rng.below(5));
+  o.tardiness = static_cast<double>(rng.below(8));
+  return o;
+}
+
+void expect_invariants(const ParetoArchive<int>& archive) {
+  const auto& entries = archive.entries();
+  ASSERT_LE(entries.size(), archive.capacity());
+  for (std::size_t a = 0; a < entries.size(); ++a) {
+    for (std::size_t b = 0; b < entries.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(dominates(entries[a].obj, entries[b].obj))
+          << "dominated point survived at " << b;
+      EXPECT_FALSE(entries[a].obj == entries[b].obj)
+          << "duplicate objective triple at " << a << "," << b;
+    }
+  }
+}
+
+/// Brute-force reference: the distinct non-dominated subset.
+std::vector<Objectives> nondominated_reference(
+    const std::vector<Objectives>& points) {
+  std::vector<Objectives> distinct;
+  for (const Objectives& p : points) {
+    if (std::find(distinct.begin(), distinct.end(), p) == distinct.end()) {
+      distinct.push_back(p);
+    }
+  }
+  std::vector<Objectives> front;
+  for (const Objectives& p : distinct) {
+    const bool dominated =
+        std::any_of(distinct.begin(), distinct.end(),
+                    [&](const Objectives& q) { return dominates(q, p); });
+    if (!dominated) front.push_back(p);
+  }
+  return front;
+}
+
+TEST(ArchiveFuzz, RandomInsertPruneSequencesKeepInvariants) {
+  Rng rng(0xf00d);
+  for (int trial = 0; trial < 40; ++trial) {
+    ParetoArchive<int> archive(2 + rng.below(12));
+    for (int step = 0; step < 250; ++step) {
+      if (rng.below(60) == 0) {
+        archive.clear();  // prune everything, then keep inserting
+      }
+      archive.try_add(random_grid_point(rng), step);
+      expect_invariants(archive);
+      if (::testing::Test::HasFailure()) return;  // don't spam thousands
+    }
+  }
+}
+
+TEST(ArchiveFuzz, WouldImproveAgreesWithTryAddWhenNotFull) {
+  Rng rng(0xbeef);
+  ParetoArchive<int> archive(256);  // never fills: no crowding path
+  for (int step = 0; step < 500; ++step) {
+    const Objectives o = random_grid_point(rng);
+    const bool predicted = archive.would_improve(o);
+    const bool accepted = archive_accepted(archive.try_add(o, step));
+    EXPECT_EQ(predicted, accepted) << "at step " << step;
+  }
+}
+
+TEST(ArchiveFuzz, InsertionOrderPermutationInvariantFingerprint) {
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t count = 1 + rng.below(15);
+    std::vector<Objectives> points;
+    for (std::size_t i = 0; i < count; ++i) {
+      points.push_back(random_grid_point(rng));
+    }
+    const std::uint64_t expected_fp =
+        archive_fingerprint(nondominated_reference(points));
+
+    for (int perm = 0; perm < 5; ++perm) {
+      for (std::size_t i = points.size(); i > 1; --i) {
+        std::swap(points[i - 1], points[rng.below(i)]);
+      }
+      // Capacity above the point count: the crowding-eviction path cannot
+      // trigger, so content must be order-independent.
+      ParetoArchive<int> archive(points.size() + 1);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        archive.try_add(points[i], static_cast<int>(i));
+      }
+      expect_invariants(archive);
+      EXPECT_EQ(archive_fingerprint(archive.objectives()), expected_fp)
+          << "trial " << trial << " permutation " << perm;
+    }
+  }
+}
+
+TEST(ArchiveFuzz, CrowdingEvictionStillKeepsInvariants) {
+  Rng rng(0xd1ce);
+  ParetoArchive<int> archive(4);  // small: eviction happens constantly
+  for (int step = 0; step < 2000; ++step) {
+    // Mutually non-dominated diagonal plus noise: keeps the archive full.
+    Objectives o;
+    o.distance = static_cast<double>(rng.below(64));
+    o.vehicles = static_cast<int>(rng.below(3));
+    o.tardiness = 100.0 - o.distance;
+    archive.try_add(o, step);
+  }
+  expect_invariants(archive);
+  EXPECT_EQ(archive.size(), archive.capacity());
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,207 @@
+// Concurrency stress battery for Channel and ThreadPool, designed to trip
+// ThreadSanitizer (TSMO_TSAN; DESIGN.md §7): many producers and consumers,
+// randomized delays, and shutdown racing in-flight traffic.  The asserted
+// invariants are exact conservation — every successfully pushed item is
+// popped exactly once — so lost wakeups and double-pops fail even without
+// TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "parallel/channel.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace tsmo {
+namespace {
+
+void jitter(Rng& rng) {
+  // A mix of nothing, yields, and sub-100us sleeps perturbs interleavings
+  // far more than uniform sleeping.
+  const std::uint64_t k = rng.below(8);
+  if (k == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(rng.below(100)));
+  } else if (k < 3) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ChannelStress, ManyProducersManyConsumersExactDelivery) {
+  Channel<std::uint64_t> ch;
+  constexpr int kProducers = 8;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 1500;
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> popped{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(static_cast<std::uint64_t>(p) + 17);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.push(static_cast<std::uint64_t>(p) * kPerProducer + i));
+        jitter(rng);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 91);
+      while (auto v = ch.pop()) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+        popped.fetch_add(1, std::memory_order_relaxed);
+        jitter(rng);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ch.close();
+  for (std::thread& t : consumers) t.join();
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(ChannelStress, MixedPopModesUnderContention) {
+  Channel<int> ch;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 800;
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(static_cast<std::uint64_t>(p) + 5);
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.push(1);
+        jitter(rng);
+      }
+    });
+  }
+  // Consumers alternate between try_pop, pop_for, and pop; they stop when
+  // the channel reports closed-and-drained.
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 41);
+      for (;;) {
+        std::optional<int> v;
+        switch (rng.below(3)) {
+          case 0: v = ch.try_pop(); break;
+          case 1: v = ch.pop_for(std::chrono::microseconds(200)); break;
+          default: v = ch.pop(); break;
+        }
+        if (v) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (ch.closed() && ch.empty()) return;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<std::size_t>(p)].join();
+  }
+  ch.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+}
+
+TEST(ChannelStress, ShutdownMidFlightConservesItems) {
+  Channel<int> ch;
+  constexpr int kProducers = 6;
+  std::atomic<std::int64_t> accepted{0};
+  std::atomic<std::int64_t> consumed{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(static_cast<std::uint64_t>(p) + 3);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (ch.push(1)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          return;  // channel closed under us — expected mid-flight
+        }
+        jitter(rng);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (ch.pop()) consumed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();  // races the producers' pushes and the consumers' pops
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+
+  // Every accepted push is drained by exactly one consumer; refused
+  // pushes are dropped by the producer itself.
+  EXPECT_EQ(consumed.load(), accepted.load());
+  EXPECT_FALSE(ch.push(7));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAllTasksRun) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kPerSubmitter = 400;
+  std::atomic<int> ran{0};
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      Rng rng(static_cast<std::uint64_t>(s) + 29);
+      std::vector<std::future<int>> futures;
+      futures.reserve(kPerSubmitter);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        futures.push_back(pool.submit([&ran, i] {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          return i;
+        }));
+        jitter(rng);
+      }
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(ran.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(ThreadPoolStress, DestructionDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool closes the queue and joins after draining
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPoolStress, RepeatedConstructionTeardownChurn) {
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 20 * 50);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,167 @@
+// Golden-seed determinism regression (DESIGN.md §7): for every engine the
+// traced decision fingerprint and the canonical archive fingerprint must be
+// a pure function of (params, logical processors) — in particular identical
+// across 1/2/4 execution threads for the deterministic parallel modes.
+//
+// When the environment variable TSMO_GOLDEN_OUT names a file, every
+// asserted fingerprint is appended to it ("<key> <hex>"), so CI can upload
+// the values as an artifact and diff them across runs and platforms.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sequential_tsmo.hpp"
+#include "parallel/async_tsmo.hpp"
+#include "parallel/hybrid_tsmo.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+#include "parallel/sync_tsmo.hpp"
+#include "vrptw/generator.hpp"
+
+namespace tsmo {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {7, 101};
+constexpr int kExecWidths[] = {1, 2, 4};
+
+Instance small_instance() {
+  GeneratorConfig config;
+  config.num_customers = 40;
+  config.spatial = SpatialClass::Random;
+  config.horizon = HorizonClass::Short;
+  config.seed = 5;
+  config.name = "golden_R1_40";
+  return generate_instance(config);
+}
+
+TsmoParams golden_params(std::uint64_t seed) {
+  TsmoParams p;
+  p.max_evaluations = 1200;
+  p.neighborhood_size = 40;
+  p.restart_after = 15;
+  p.trace = true;
+  p.seed = seed;
+  return p;
+}
+
+void export_fingerprint(const std::string& key, std::uint64_t fp) {
+  const char* path = std::getenv("TSMO_GOLDEN_OUT");
+  if (!path) return;
+  std::ofstream out(path, std::ios::app);
+  out << key << " " << std::hex << fp << std::dec << "\n";
+}
+
+/// Asserts that all runs of one configuration agree on both fingerprints
+/// and exports the common value.
+void expect_identical(const std::vector<RunResult>& runs,
+                      const std::string& key) {
+  ASSERT_FALSE(runs.empty());
+  for (const RunResult& r : runs) {
+    ASSERT_FALSE(r.front.empty()) << key;
+    EXPECT_NE(r.trace_fingerprint, 0u) << key << " (tracing was on)";
+    EXPECT_EQ(r.trace_fingerprint, runs.front().trace_fingerprint) << key;
+    EXPECT_EQ(r.archive_fingerprint, runs.front().archive_fingerprint)
+        << key;
+    EXPECT_EQ(r.front, runs.front().front) << key;
+    EXPECT_EQ(r.evaluations, runs.front().evaluations) << key;
+    EXPECT_EQ(r.iterations, runs.front().iterations) << key;
+  }
+  export_fingerprint(key + ".trace", runs.front().trace_fingerprint);
+  export_fingerprint(key + ".archive", runs.front().archive_fingerprint);
+}
+
+class GoldenSeedTest : public ::testing::Test {
+ protected:
+  GoldenSeedTest() : inst_(small_instance()) {}
+  Instance inst_;
+};
+
+TEST_F(GoldenSeedTest, SequentialReplaysExactly) {
+  for (std::uint64_t seed : kSeeds) {
+    std::vector<RunResult> runs;
+    for (int rep = 0; rep < 2; ++rep) {
+      runs.push_back(SequentialTsmo(inst_, golden_params(seed)).run());
+    }
+    expect_identical(runs, "sequential.seed" + std::to_string(seed));
+  }
+}
+
+TEST_F(GoldenSeedTest, SyncDeterministicInvariantAcrossWorkers) {
+  for (std::uint64_t seed : kSeeds) {
+    std::vector<RunResult> runs;
+    for (int exec : kExecWidths) {
+      SyncOptions options;
+      options.deterministic = true;
+      options.exec_threads = exec;
+      runs.push_back(SyncTsmo(inst_, golden_params(seed), 4, options).run());
+    }
+    expect_identical(runs, "sync-det.seed" + std::to_string(seed));
+  }
+}
+
+TEST_F(GoldenSeedTest, AsyncDeterministicInvariantAcrossWorkers) {
+  for (std::uint64_t seed : kSeeds) {
+    std::vector<RunResult> runs;
+    for (int exec : kExecWidths) {
+      AsyncOptions options;
+      options.deterministic = true;
+      options.exec_threads = exec;
+      runs.push_back(
+          AsyncTsmo(inst_, golden_params(seed), 4, options).run());
+    }
+    expect_identical(runs, "async-det.seed" + std::to_string(seed));
+  }
+}
+
+TEST_F(GoldenSeedTest, MultisearchDeterministicInvariantAcrossThreads) {
+  for (std::uint64_t seed : kSeeds) {
+    std::vector<RunResult> merged;
+    std::vector<MultisearchResult> full;
+    for (int exec : kExecWidths) {
+      MultisearchOptions options;
+      options.deterministic = true;
+      options.exec_threads = exec;
+      full.push_back(
+          MultisearchTsmo(inst_, golden_params(seed), 3, options).run());
+      merged.push_back(full.back().merged);
+    }
+    expect_identical(merged, "coll-det.seed" + std::to_string(seed));
+    for (const MultisearchResult& r : full) {
+      EXPECT_EQ(r.messages_sent, full.front().messages_sent);
+      EXPECT_EQ(r.messages_accepted, full.front().messages_accepted);
+      ASSERT_EQ(r.per_searcher.size(), full.front().per_searcher.size());
+      for (std::size_t i = 0; i < r.per_searcher.size(); ++i) {
+        EXPECT_EQ(r.per_searcher[i].trace_fingerprint,
+                  full.front().per_searcher[i].trace_fingerprint);
+      }
+    }
+  }
+}
+
+TEST_F(GoldenSeedTest, HybridDeterministicInvariantAcrossThreads) {
+  for (std::uint64_t seed : kSeeds) {
+    std::vector<RunResult> merged;
+    for (int exec : kExecWidths) {
+      HybridOptions options;
+      options.deterministic = true;
+      options.exec_threads = exec;
+      merged.push_back(
+          HybridTsmo(inst_, golden_params(seed), 2, 2, options).run().merged);
+    }
+    expect_identical(merged, "hybrid-det.seed" + std::to_string(seed));
+  }
+}
+
+/// Different seeds must not collide — otherwise the fingerprint could not
+/// distinguish divergent runs in the first place.
+TEST_F(GoldenSeedTest, DistinctSeedsDistinctFingerprints) {
+  const RunResult a = SequentialTsmo(inst_, golden_params(kSeeds[0])).run();
+  const RunResult b = SequentialTsmo(inst_, golden_params(kSeeds[1])).run();
+  EXPECT_NE(a.trace_fingerprint, b.trace_fingerprint);
+}
+
+}  // namespace
+}  // namespace tsmo

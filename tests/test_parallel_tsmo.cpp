@@ -56,6 +56,26 @@ TEST_F(ParallelTsmoTest, SyncRespectsBudgetApproximately) {
   EXPECT_LE(r.evaluations, 2000 + 60);
 }
 
+TEST_F(ParallelTsmoTest, SyncDeterministicBudgetIsExact) {
+  // The deterministic schedule never dispatches beyond the remaining
+  // budget, so the loose "+ one neighborhood" tolerance above tightens to
+  // an exact upper bound (the slack below it only covers the generator's
+  // give-up path on an exhausted neighborhood).
+  SyncOptions det;
+  det.deterministic = true;
+  const RunResult r = SyncTsmo(inst_, test_params(2000), 6, det).run();
+  EXPECT_LE(r.evaluations, 2000);
+  EXPECT_GE(r.evaluations, 2000 - 60);
+}
+
+TEST_F(ParallelTsmoTest, SyncDeterministicProducesValidFront) {
+  SyncOptions det;
+  det.deterministic = true;
+  const RunResult r = SyncTsmo(inst_, test_params(), 3, det).run();
+  expect_valid_result(r, "sync-det");
+  EXPECT_EQ(r.algorithm, "sync");
+}
+
 TEST_F(ParallelTsmoTest, SyncQualityComparableToSequential) {
   // Same budget, same components: the sync variant must find feasible
   // solutions of the same magnitude (behavioural equivalence claim §III.C).
@@ -80,6 +100,43 @@ TEST_F(ParallelTsmoTest, AsyncTerminatesAtBudget) {
   EXPECT_GE(r.evaluations, 1400);
   // In-flight chunks can overshoot by at most one chunk per worker.
   EXPECT_LE(r.evaluations, 1500 + 6 * 60);
+}
+
+TEST_F(ParallelTsmoTest, AsyncDeterministicBudgetIsExact) {
+  // Deterministic mode has no in-flight overshoot at all: dispatch is
+  // clamped to the remaining budget, so the per-worker tolerance of the
+  // wall-clock test above collapses to a hard ceiling.
+  AsyncOptions det;
+  det.deterministic = true;
+  const RunResult r = AsyncTsmo(inst_, test_params(1500), 6, det).run();
+  EXPECT_LE(r.evaluations, 1500);
+  EXPECT_GE(r.evaluations, 1500 - 60);
+}
+
+TEST_F(ParallelTsmoTest, AsyncDeterministicProducesValidFront) {
+  AsyncOptions det;
+  det.deterministic = true;
+  const RunResult r = AsyncTsmo(inst_, test_params(), 3, det).run();
+  expect_valid_result(r, "async-det");
+  EXPECT_EQ(r.algorithm, "async");
+}
+
+TEST_F(ParallelTsmoTest, AsyncDeterministicReplaysExactly) {
+  // Two runs of the same seed must agree on every counter and the full
+  // decision trace — not merely on front quality bounds.
+  TsmoParams p = test_params(2000);
+  p.trace = true;
+  AsyncOptions det;
+  det.deterministic = true;
+  const RunResult a = AsyncTsmo(inst_, p, 4, det).run();
+  const RunResult b = AsyncTsmo(inst_, p, 4, det).run();
+  EXPECT_NE(a.trace_fingerprint, 0u);
+  EXPECT_EQ(a.trace_fingerprint, b.trace_fingerprint);
+  EXPECT_EQ(a.archive_fingerprint, b.archive_fingerprint);
+  EXPECT_EQ(a.front, b.front);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.restarts, b.restarts);
 }
 
 TEST_F(ParallelTsmoTest, AsyncWithManyProcessors) {

@@ -1,0 +1,101 @@
+// Unit tests of the RunTrace fingerprint layer (util/trace.hpp).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/trace.hpp"
+
+namespace tsmo {
+namespace {
+
+Objectives obj(double d, int v, double t) {
+  Objectives o;
+  o.distance = d;
+  o.vehicles = v;
+  o.tardiness = t;
+  return o;
+}
+
+TEST(RunTrace, DisabledRecordsNothing) {
+  RunTrace trace;  // disabled by default
+  EXPECT_FALSE(trace.enabled());
+  trace.record_step(0, 1, 42, false, obj(1, 2, 3), 4);
+  trace.record_event(RunTrace::kTagDispatch, 1, 2);
+  EXPECT_EQ(trace.events(), 0u);
+  EXPECT_EQ(trace.fingerprint(), 0u);
+}
+
+TEST(RunTrace, EmptyEnabledTraceFingerprintsAsZero) {
+  RunTrace trace(true);
+  EXPECT_EQ(trace.fingerprint(), 0u);
+}
+
+TEST(RunTrace, IdenticalSequencesMatch) {
+  RunTrace a(true), b(true);
+  for (int i = 1; i <= 5; ++i) {
+    a.record_step(0, i, 7, false, obj(i, 1, 0), 2);
+    b.record_step(0, i, 7, false, obj(i, 1, 0), 2);
+  }
+  EXPECT_EQ(a.events(), 5u);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RunTrace, OrderSensitive) {
+  RunTrace a(true), b(true);
+  a.record_step(0, 1, 7, false, obj(1, 1, 0), 1);
+  a.record_step(0, 2, 9, false, obj(2, 1, 0), 1);
+  b.record_step(0, 2, 9, false, obj(2, 1, 0), 1);
+  b.record_step(0, 1, 7, false, obj(1, 1, 0), 1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RunTrace, SearcherIdAndRestartFlagChangeFingerprint) {
+  RunTrace a(true), b(true), c(true);
+  a.record_step(0, 1, 7, false, obj(1, 1, 0), 1);
+  b.record_step(1, 1, 7, false, obj(1, 1, 0), 1);
+  c.record_step(0, 1, 7, true, obj(1, 1, 0), 1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(RunTrace, EventTagsDistinguish) {
+  RunTrace a(true), b(true);
+  a.record_event(RunTrace::kTagSend, 3, 99);
+  b.record_event(RunTrace::kTagReceive, 3, 99);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ArchiveFingerprint, PermutationInvariant) {
+  std::vector<Objectives> front = {obj(3, 2, 0), obj(1, 4, 0.5),
+                                   obj(2, 3, 0)};
+  const std::uint64_t fp = archive_fingerprint(front);
+  std::swap(front[0], front[2]);
+  EXPECT_EQ(archive_fingerprint(front), fp);
+  std::swap(front[0], front[1]);
+  EXPECT_EQ(archive_fingerprint(front), fp);
+}
+
+TEST(ArchiveFingerprint, ContentSensitive) {
+  const std::vector<Objectives> a = {obj(3, 2, 0), obj(1, 4, 0.5)};
+  std::vector<Objectives> b = a;
+  b[1].tardiness = 0.25;
+  EXPECT_NE(archive_fingerprint(a), archive_fingerprint(b));
+  // Cardinality matters too, even with an empty tail entry.
+  std::vector<Objectives> c = a;
+  c.push_back(obj(0, 0, 0));
+  EXPECT_NE(archive_fingerprint(a), archive_fingerprint(c));
+}
+
+TEST(ArchiveFingerprint, NegativeZeroNormalized) {
+  const std::vector<Objectives> a = {obj(0.0, 0, 0.0)};
+  const std::vector<Objectives> b = {obj(-0.0, 0, -0.0)};
+  EXPECT_EQ(archive_fingerprint(a), archive_fingerprint(b));
+}
+
+TEST(ArchiveFingerprint, EmptyAndSingletonDiffer) {
+  EXPECT_NE(archive_fingerprint({}), archive_fingerprint({obj(1, 1, 1)}));
+}
+
+}  // namespace
+}  // namespace tsmo

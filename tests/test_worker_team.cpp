@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "construct/i1_insertion.hpp"
+#include "util/rng.hpp"
 #include "vrptw/generator.hpp"
 
 namespace tsmo {
@@ -92,6 +97,75 @@ TEST_F(WorkerTeamTest, CleanShutdownWithPendingRequests) {
 TEST_F(WorkerTeamTest, AtLeastOneWorker) {
   WorkerTeam team(inst_, 0, 7);
   EXPECT_EQ(team.num_workers(), 1);
+}
+
+TEST_F(WorkerTeamTest, SeededRequestsIndependentOfTeamSize) {
+  // A seeded request is a pure function of (seed, base, count): two teams
+  // of different sizes must return identical candidates for it.  This is
+  // the primitive the deterministic engine modes are built on.
+  const auto b = base();
+  auto run_with = [&](int workers) {
+    WorkerTeam team(inst_, workers, /*seed=*/1234 + workers);
+    std::vector<GenResult> results;
+    for (std::uint64_t t = 1; t <= 6; ++t) {
+      team.submit(GenRequest{b, 15, t, 0xabc0ffee00ULL + t, true});
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto r = team.collect();
+      EXPECT_TRUE(r.has_value());
+      if (r) results.push_back(std::move(*r));
+    }
+    std::sort(results.begin(), results.end(),
+              [](const GenResult& x, const GenResult& y) {
+                return x.ticket < y.ticket;
+              });
+    return results;
+  };
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t r = 0; r < one.size(); ++r) {
+    ASSERT_EQ(one[r].candidates.size(), four[r].candidates.size());
+    for (std::size_t c = 0; c < one[r].candidates.size(); ++c) {
+      EXPECT_EQ(one[r].candidates[c].move, four[r].candidates[c].move);
+      EXPECT_EQ(one[r].candidates[c].obj, four[r].candidates[c].obj);
+    }
+  }
+}
+
+TEST_F(WorkerTeamTest, ChurnConcurrentSubmittersShutdownMidFlight) {
+  // Team churn designed for the TSan job: concurrent submitters racing a
+  // collector, teams destroyed with work still in flight, repeatedly.
+  const auto b = base();
+  for (int round = 0; round < 6; ++round) {
+    std::atomic<int> submitted{0};
+    int collected = 0;
+    {
+      WorkerTeam team(inst_, 3, static_cast<std::uint64_t>(7 + round));
+      std::vector<std::thread> submitters;
+      for (int s = 0; s < 2; ++s) {
+        submitters.emplace_back([&, s] {
+          Rng rng(static_cast<std::uint64_t>(round * 10 + s));
+          for (std::uint64_t t = 1; t <= 10; ++t) {
+            team.submit(GenRequest{b, 12, t});
+            submitted.fetch_add(1, std::memory_order_relaxed);
+            if (rng.below(3) == 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(rng.below(200)));
+            }
+          }
+        });
+      }
+      // Collect roughly half the traffic, leaving the rest in flight when
+      // the team is torn down.
+      for (int i = 0; i < 10; ++i) {
+        if (team.collect_for(std::chrono::milliseconds(20))) ++collected;
+      }
+      for (std::thread& t : submitters) t.join();
+    }  // destructor joins workers with requests still queued
+    EXPECT_EQ(submitted.load(), 20);
+    EXPECT_LE(collected, 20);
+  }
 }
 
 }  // namespace
