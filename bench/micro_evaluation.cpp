@@ -9,7 +9,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -25,6 +24,7 @@
 #include "moo/metrics.hpp"
 #include "operators/local_search.hpp"
 #include "util/json.hpp"
+#include "util/timer.hpp"
 #include "vrptw/generator.hpp"
 #include "vrptw/schedule.hpp"
 #include "vrptw/solution.hpp"
@@ -264,22 +264,20 @@ BENCHMARK(BM_SetCoverage)->Arg(20)->ArgName("front");
 /// aggregate does.
 template <typename F>
 double ns_per_eval(F&& f, int batch, int min_ms = 80, int reps = 3) {
-  using clock = std::chrono::steady_clock;
   f();  // warm-up (page in instance matrix, caches)
   double best = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < reps; ++rep) {
-    const auto start = clock::now();
-    const auto deadline = start + std::chrono::milliseconds(min_ms);
+    const std::uint64_t start = tsmo::now_ns();
+    const std::uint64_t deadline =
+        start + static_cast<std::uint64_t>(min_ms) * 1000000ULL;
     std::int64_t calls = 0;
-    auto now = start;
+    std::uint64_t now = start;
     do {
       f();
       ++calls;
-      now = clock::now();
+      now = tsmo::now_ns();
     } while (now < deadline);
-    const double ns = static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
-            .count());
+    const double ns = static_cast<double>(now - start);
     best = std::min(best, ns / (static_cast<double>(calls) * batch));
   }
   return best;

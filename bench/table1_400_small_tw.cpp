@@ -3,9 +3,9 @@
 
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return tsmo::run_paper_table(
       "table1",
       "Table I -- 400 cities, small time windows (C1_4, R1_4)",
-      {"C1_4", "R1_4"});
+      {"C1_4", "R1_4"}, argc, argv);
 }

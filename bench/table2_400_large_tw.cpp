@@ -3,9 +3,9 @@
 
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return tsmo::run_paper_table(
       "table2",
       "Table II -- 400 cities, large time windows (C2_4, R2_4)",
-      {"C2_4", "R2_4"});
+      {"C2_4", "R2_4"}, argc, argv);
 }

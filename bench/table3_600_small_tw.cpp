@@ -3,9 +3,9 @@
 
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return tsmo::run_paper_table(
       "table3",
       "Table III -- 600 cities, small time windows (C1_6, R1_6)",
-      {"C1_6", "R1_6"});
+      {"C1_6", "R1_6"}, argc, argv);
 }

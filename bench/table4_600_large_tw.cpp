@@ -3,9 +3,9 @@
 
 #include "table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return tsmo::run_paper_table(
       "table4",
       "Table IV -- 600 cities, large time windows (C2_6, R2_6)",
-      {"C2_6", "R2_6"});
+      {"C2_6", "R2_6"}, argc, argv);
 }

@@ -4,25 +4,43 @@
 // names its problem classes and calls run_paper_table(); scale comes from
 // TSMO_BENCH_SCALE (ci | small | paper, default small) with TSMO_RUNS /
 // TSMO_EVALS / TSMO_INSTANCES / TSMO_NEIGHBORHOOD overrides.  CSVs land in
-// bench_results/.
+// bench_results/.  Pass --telemetry-out <path> to collect the run on the
+// telemetry layer: a Chrome trace lands at <path>, the JSONL snapshot next
+// to it, and the per-phase breakdown is printed after the table.
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "util/cli.hpp"
 #include "util/env.hpp"
+#include "util/telemetry.hpp"
 
 namespace tsmo {
 
 inline int run_paper_table(const std::string& table_id,
                            const std::string& title,
-                           std::vector<std::string> class_prefixes) {
+                           std::vector<std::string> class_prefixes,
+                           int argc = 0,
+                           const char* const* argv = nullptr) {
+  CliParser cli(table_id, title);
+  cli.add_option("telemetry-out",
+                 "write a Chrome trace here (and a .jsonl snapshot next to "
+                 "it), plus the per-phase breakdown",
+                 "");
+  if (argc > 0 && !cli.parse(argc, argv, std::cerr)) return 64;
+  const std::string telemetry_out = cli.get("telemetry-out");
+
   TableSpec spec;
   spec.title = title;
   spec.class_prefixes = std::move(class_prefixes);
   spec.scale = ExperimentScale::from_env();
+  spec.telemetry = !telemetry_out.empty();
+  if (spec.telemetry) telemetry::set_enabled(true);
 
   std::cout << title << "\n"
             << "scale: runs=" << spec.scale.runs
@@ -48,6 +66,21 @@ inline int run_paper_table(const std::string& table_id,
     const std::string path = "bench_results/" + table_id + ".csv";
     write_table_csv(path, result);
     std::cout << "CSV written to " << path << "\n";
+  }
+
+  if (!telemetry_out.empty()) {
+    const auto snap = telemetry::Registry::instance().snapshot();
+    std::cout << "\n";
+    print_phase_breakdown(std::cout, snap);
+    const telemetry::TelemetrySink sink(telemetry_out);
+    if (sink.write(snap)) {
+      std::cout << "telemetry trace written to " << sink.trace_path()
+                << ", snapshot to " << sink.snapshot_path() << "\n";
+    } else {
+      std::cerr << "cannot write telemetry to " << sink.trace_path()
+                << "\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -30,6 +30,7 @@
 #include "sim/sim_tsmo.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 #include "vrptw/generator.hpp"
 #include "vrptw/solomon_io.hpp"
 
@@ -148,6 +149,10 @@ int main(int argc, char** argv) {
                  "render the best feasible solution's routes to this SVG "
                  "file",
                  "");
+  cli.add_option("telemetry-out",
+                 "write a Chrome trace here (and a .jsonl metrics snapshot "
+                 "next to it), plus the per-phase breakdown",
+                 "");
   cli.add_flag("simulate", "run on the virtual clock (deterministic)");
   cli.add_flag("polish",
                "post-run VND local search on every archive solution");
@@ -168,6 +173,11 @@ int main(int argc, char** argv) {
         screen == "capacity" ? FeasibilityScreen::CapacityOnly
         : screen == "exact"  ? FeasibilityScreen::Exact
                              : FeasibilityScreen::Local;
+    const std::string telemetry_out = cli.get("telemetry-out");
+    if (!telemetry_out.empty()) {
+      params.telemetry = true;
+      telemetry::set_enabled(true);  // also covers the comparator solvers
+    }
 
     RunResult result =
         solve(cli.get("algorithm"), inst, params,
@@ -253,6 +263,19 @@ int main(int argc, char** argv) {
         write_solution_svg(f, *best, options);
         std::cout << "SVG written to " << path << "\n";
       }
+    }
+    if (!telemetry_out.empty()) {
+      const auto snap = telemetry::Registry::instance().snapshot();
+      if (!cli.flag("quiet")) print_phase_breakdown(std::cout, snap);
+      const telemetry::TelemetrySink sink(telemetry_out);
+      if (!sink.write(snap)) {
+        std::cerr << "cannot write telemetry to " << sink.trace_path()
+                  << "\n";
+        return 1;
+      }
+      result.telemetry_path = sink.trace_path();
+      std::cout << "telemetry trace written to " << sink.trace_path()
+                << ", snapshot to " << sink.snapshot_path() << "\n";
     }
     if (const std::string path = cli.get("json"); !path.empty()) {
       std::ofstream f(path);

@@ -45,6 +45,11 @@ struct TsmoParams {
   /// util/trace.hpp and DESIGN.md §7).  Runtime toggle; when off the
   /// recording hooks reduce to one branch per step.  Never perturbed.
   bool trace = false;
+  /// Enables the telemetry layer (util/telemetry.hpp, DESIGN.md §8) for the
+  /// duration of the run.  Pure observation: counters, histograms and spans
+  /// only — never consulted by the search, so fingerprints are identical
+  /// with telemetry on or off.  Never perturbed.
+  bool telemetry = false;
   std::uint64_t seed = 1;
 
   /// Perturbs every numeric parameter with N(0, p/4) noise — §III.E: "The

@@ -4,6 +4,12 @@
 
 namespace tsmo {
 
+void RunResult::refresh_throughput() noexcept {
+  const double secs = wall_seconds > 0.0 ? wall_seconds : sim_seconds;
+  iterations_per_second =
+      secs > 0.0 ? static_cast<double>(iterations) / secs : 0.0;
+}
+
 std::vector<Objectives> RunResult::feasible_front() const {
   std::vector<Objectives> out;
   for (std::size_t i = 0; i < solutions.size(); ++i) {

@@ -39,6 +39,20 @@ struct RunResult {
   /// regenerated from this — see DESIGN.md §4.
   double sim_seconds = 0.0;
 
+  /// Iteration throughput over the run's wall clock (iterations /
+  /// wall_seconds; 0 when the run was too short to time).  Filled even when
+  /// full telemetry is off so bench rows always carry basic rate stats.
+  double iterations_per_second = 0.0;
+  /// Where the Chrome trace landed when the run was executed with
+  /// --telemetry-out; empty otherwise.  The JSONL snapshot lives next to it
+  /// (see util/telemetry.hpp TelemetrySink).
+  std::string telemetry_path;
+
+  /// Recomputes iterations_per_second from the current counters, preferring
+  /// real wall clock and falling back to the DES virtual clock.  Call after
+  /// adjusting wall_seconds/sim_seconds (merges, sim substrate).
+  void refresh_throughput() noexcept;
+
   /// Archive members without time-window or capacity violations.
   std::vector<Objectives> feasible_front() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "construct/i1_insertion.hpp"
+#include "util/telemetry.hpp"
 
 namespace tsmo {
 
@@ -40,9 +41,11 @@ void SearchState::initialize_with(Solution s) {
 }
 
 std::vector<Candidate> SearchState::generate_candidates(int count) {
+  TSMO_TIME_SCOPE("search.generate_ns");
   std::vector<Candidate> c =
       make_candidates(generator_, current_, count, rng_);
   evaluations_ += static_cast<std::int64_t>(c.size());
+  TSMO_COUNT_N("search.candidates", c.size());
   return c;
 }
 
@@ -77,6 +80,8 @@ Solution SearchState::restart_pick() {
 
 SearchState::StepOutcome SearchState::step_with_candidates(
     const std::vector<Candidate>& candidates) {
+  TSMO_TIME_SCOPE("search.step_ns");
+  TSMO_COUNT("search.steps");
   StepOutcome out;
   // Line 8: s <- Select(N, M_tabulist)
   const std::optional<std::size_t> sel = select(candidates);
@@ -92,6 +97,7 @@ SearchState::StepOutcome SearchState::step_with_candidates(
   } else {
     current_ = std::make_shared<const Solution>(restart_pick());
     ++restarts_;
+    TSMO_COUNT("search.restarts");
     out.restarted = true;
     no_improvement_ = false;
   }
@@ -122,7 +128,10 @@ SearchState::StepOutcome SearchState::step_with_candidates(
 
   // Lines 14-17: stagnation bookkeeping on M_archive.
   ++iterations_;
-  if (improved) last_improvement_ = iterations_;
+  if (improved) {
+    last_improvement_ = iterations_;
+    TSMO_COUNT("search.archive_improved");
+  }
   if (iterations_ - last_improvement_ >=
       static_cast<std::int64_t>(params_.restart_after)) {
     no_improvement_ = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace tsmo {
@@ -20,10 +21,13 @@ RunResult collect_result(const SearchState& state, std::string algorithm,
   r.archive_fingerprint = archive_fingerprint(r.front);
   r.trace_fingerprint = state.trace().fingerprint();
   r.wall_seconds = wall_seconds;
+  r.refresh_throughput();
   return r;
 }
 
 RunResult SequentialTsmo::run(const IterationObserver& observer) const {
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sequential");
   Timer timer;
   SearchState state(*inst_, params_, Rng(params_.seed));
   state.initialize();

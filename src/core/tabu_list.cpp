@@ -1,5 +1,7 @@
 #include "core/tabu_list.hpp"
 
+#include "util/telemetry.hpp"
+
 namespace tsmo {
 
 void TabuList::set_tenure(std::size_t tenure) {
@@ -9,12 +11,14 @@ void TabuList::set_tenure(std::size_t tenure) {
 
 void TabuList::push(const MoveAttrs& destroyed) {
   if (tenure_ == 0) return;
+  TSMO_COUNT("tabu.push");
   queue_.push_back(destroyed);
   for (std::uint64_t a : destroyed) ++counts_[a];
   while (queue_.size() > tenure_) evict_oldest();
 }
 
 void TabuList::evict_oldest() {
+  TSMO_COUNT("tabu.evictions");
   const MoveAttrs& oldest = queue_.front();
   for (std::uint64_t a : oldest) {
     auto it = counts_.find(a);
@@ -24,8 +28,12 @@ void TabuList::evict_oldest() {
 }
 
 bool TabuList::is_tabu(const MoveAttrs& creates) const {
+  TSMO_COUNT("tabu.checks");
   for (std::uint64_t a : creates) {
-    if (counts_.contains(a)) return true;
+    if (counts_.contains(a)) {
+      TSMO_COUNT("tabu.hits");
+      return true;
+    }
   }
   return false;
 }

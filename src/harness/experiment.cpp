@@ -11,6 +11,7 @@
 #include "util/env.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 #include "vrptw/generator.hpp"
 
 namespace tsmo {
@@ -156,8 +157,12 @@ TableResult run_table(const TableSpec& spec, std::ostream* log) {
         params.restart_after = static_cast<int>(std::clamp<std::int64_t>(
             iterations / 5, 5, 100));
         params.seed = spec.base_seed + 1000003ULL * p + 131ULL * a + r;
-        const RunResult run =
-            run_algorithm(spec.algorithms[a], instances[p], params, cost);
+        params.telemetry = spec.telemetry;
+        const RunResult run = [&] {
+          TSMO_SPAN_TIMED("table.run", "harness.run_ns");
+          return run_algorithm(spec.algorithms[a], instances[p], params,
+                               cost);
+        }();
         const auto front = run.feasible_front();
         result.fronts[a][p][r] = front;
         dist_sum[a][r] += mean_front_distance(front);

@@ -62,6 +62,9 @@ struct TableSpec {
   ExperimentScale scale;
   std::vector<AlgoConfig> algorithms = paper_algorithm_grid();
   std::uint64_t base_seed = 20070326;  // IPPS 2007
+  /// Forwarded into TsmoParams::telemetry for every run (observation only;
+  /// fingerprints and fronts are unaffected — see DESIGN.md §8).
+  bool telemetry = false;
 };
 
 /// One table row after aggregation.

@@ -1,8 +1,11 @@
 #include "harness/report.hpp"
 
+#include <algorithm>
 #include <ostream>
+#include <vector>
 
 #include "util/json.hpp"
+#include "util/table.hpp"
 
 namespace tsmo {
 
@@ -22,6 +25,10 @@ void write_run_json(std::ostream& os, const Instance& inst,
   w.key("restarts").value(result.restarts);
   w.key("wall_seconds").value(result.wall_seconds);
   w.key("sim_seconds").value(result.sim_seconds);
+  w.key("iterations_per_second").value(result.iterations_per_second);
+  if (!result.telemetry_path.empty()) {
+    w.key("telemetry_path").value(result.telemetry_path);
+  }
 
   w.key("front").begin_array();
   for (std::size_t i = 0; i < result.front.size(); ++i) {
@@ -49,6 +56,31 @@ void write_run_json(std::ostream& os, const Instance& inst,
   w.end_array();
   w.end_object();
   os << '\n';
+}
+
+void print_phase_breakdown(std::ostream& os,
+                           const telemetry::Snapshot& snap) {
+  std::vector<const telemetry::HistogramSnap*> rows;
+  for (const telemetry::HistogramSnap& h : snap.histograms) {
+    if (h.count > 0) rows.push_back(&h);
+  }
+  if (rows.empty()) return;
+  std::sort(rows.begin(), rows.end(),
+            [](const telemetry::HistogramSnap* a,
+               const telemetry::HistogramSnap* b) {
+              return a->sum_ns > b->sum_ns;
+            });
+  TextTable table({"phase", "count", "mean [us]", "p50 [us]", "p90 [us]",
+                   "p99 [us]", "total [ms]"});
+  for (const telemetry::HistogramSnap* h : rows) {
+    table.add_row({h->name, std::to_string(h->count),
+                   fmt_double(h->mean_ns() * 1e-3, 1),
+                   fmt_double(h->quantile_ns(0.5) * 1e-3, 1),
+                   fmt_double(h->quantile_ns(0.9) * 1e-3, 1),
+                   fmt_double(h->quantile_ns(0.99) * 1e-3, 1),
+                   fmt_double(static_cast<double>(h->sum_ns) * 1e-6, 1)});
+  }
+  table.print(os, "Telemetry phase breakdown");
 }
 
 }  // namespace tsmo

@@ -1,11 +1,12 @@
 #pragma once
 
 // Machine-readable export of run results (JSON) for external analysis and
-// plotting pipelines.
+// plotting pipelines, plus the human-readable per-phase telemetry table.
 
 #include <iosfwd>
 
 #include "core/run_result.hpp"
+#include "util/telemetry.hpp"
 #include "vrptw/instance.hpp"
 
 namespace tsmo {
@@ -15,5 +16,12 @@ namespace tsmo {
 /// `include_routes`).
 void write_run_json(std::ostream& os, const Instance& inst,
                     const RunResult& result, bool include_routes = true);
+
+/// Renders every latency histogram of the snapshot as a "phase breakdown"
+/// table (count, mean, p50/p90/p99, total time), sorted by total time so
+/// the dominant phase tops the list.  No-op when the snapshot has no
+/// histograms (telemetry off or compiled out).
+void print_phase_breakdown(std::ostream& os,
+                           const telemetry::Snapshot& snap);
 
 }  // namespace tsmo

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 #include "vrptw/objectives.hpp"
 
 namespace tsmo {
@@ -70,13 +71,55 @@ class ParetoArchive {
   /// Attempts to insert.  Strong guarantee: on rejection the archive is
   /// unchanged.
   ArchiveOutcome try_add(const Objectives& obj, T value) {
+    TSMO_TIME_SCOPE("archive.insert_ns");
+    const ArchiveOutcome outcome = try_add_impl(obj, std::move(value));
+    switch (outcome) {
+      case ArchiveOutcome::Added:
+        TSMO_COUNT("archive.insert");
+        break;
+      case ArchiveOutcome::AddedEvicted:
+        TSMO_COUNT("archive.insert");
+        TSMO_COUNT("archive.evict_crowded");
+        break;
+      case ArchiveOutcome::Dominated:
+        TSMO_COUNT("archive.reject_dominated");
+        break;
+      case ArchiveOutcome::Duplicate:
+        TSMO_COUNT("archive.reject_duplicate");
+        break;
+      case ArchiveOutcome::RejectedCrowded:
+        TSMO_COUNT("archive.reject_crowded");
+        break;
+    }
+    TSMO_GAUGE_SET("archive.size", entries_.size());
+    return outcome;
+  }
+
+  /// Uniformly random member; archive must be non-empty.
+  const Entry& sample(Rng& rng) const {
+    return entries_[rng.below(entries_.size())];
+  }
+
+  /// Objective vectors of all members (for metrics).
+  std::vector<Objectives> objectives() const {
+    std::vector<Objectives> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.obj);
+    return out;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  ArchiveOutcome try_add_impl(const Objectives& obj, T value) {
     for (const Entry& e : entries_) {
       if (e.obj == obj) return ArchiveOutcome::Duplicate;
       if (dominates(e.obj, obj)) return ArchiveOutcome::Dominated;
     }
     // Remove members the candidate dominates.
-    std::erase_if(entries_,
-                  [&](const Entry& e) { return dominates(obj, e.obj); });
+    const std::size_t pruned = std::erase_if(
+        entries_, [&](const Entry& e) { return dominates(obj, e.obj); });
+    if (pruned > 0) TSMO_COUNT_N("archive.prune_dominated", pruned);
     if (entries_.size() < capacity_) {
       entries_.push_back(Entry{obj, std::move(value)});
       return ArchiveOutcome::Added;
@@ -97,22 +140,6 @@ class ParetoArchive {
     return ArchiveOutcome::AddedEvicted;
   }
 
-  /// Uniformly random member; archive must be non-empty.
-  const Entry& sample(Rng& rng) const {
-    return entries_[rng.below(entries_.size())];
-  }
-
-  /// Objective vectors of all members (for metrics).
-  std::vector<Objectives> objectives() const {
-    std::vector<Objectives> out;
-    out.reserve(entries_.size());
-    for (const Entry& e : entries_) out.push_back(e.obj);
-    return out;
-  }
-
-  void clear() noexcept { entries_.clear(); }
-
- private:
   std::size_t capacity_;
   std::vector<Entry> entries_;
 };

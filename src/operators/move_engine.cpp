@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/telemetry.hpp"
+
 namespace tsmo {
 
 namespace {
@@ -176,15 +178,21 @@ bool MoveEngine::exact_feasible(const Solution& base, const Move& m) const {
 
 bool MoveEngine::screened_feasible(const Solution& base, const Move& m,
                                    FeasibilityScreen screen) const {
+  bool ok = false;
   switch (screen) {
     case FeasibilityScreen::CapacityOnly:
-      return capacity_feasible(base, m);
+      ok = capacity_feasible(base, m);
+      break;
     case FeasibilityScreen::Local:
-      return locally_feasible(base, m);
+      ok = locally_feasible(base, m);
+      break;
     case FeasibilityScreen::Exact:
-      return exact_feasible(base, m);
+      ok = exact_feasible(base, m);
+      break;
   }
-  return false;
+  TSMO_COUNT("move.screen_checks");
+  if (!ok) TSMO_COUNT("move.screen_reject");
+  return ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -327,6 +335,9 @@ MoveEngine::RouteDeltas MoveEngine::delta_routes(const Solution& base,
 
 Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
   assert(applicable(base, m));
+  // Delta pricing off the base's segment caches — a "cache hit" relative to
+  // the full rebuild in evaluate_full().
+  TSMO_COUNT("move.priced");
   const RouteDeltas d = delta_routes(base, m);
   const bool inter = m.r1 != m.r2;
 
@@ -392,6 +403,7 @@ Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
 Objectives MoveEngine::evaluate_full(const Solution& base,
                                      const Move& m) const {
   assert(applicable(base, m));
+  TSMO_COUNT("move.priced_full");
   build_modified(base, m, scratch1_, scratch2_);
 
   const RouteStats new1 = evaluate_route(*inst_, scratch1_);
@@ -422,6 +434,7 @@ Objectives MoveEngine::evaluate_full(const Solution& base,
 
 void MoveEngine::apply(Solution& s, const Move& m) const {
   assert(applicable(s, m));
+  TSMO_COUNT("move.apply");
   // In-place splices: no scratch round-trip except the single tail copy a
   // 2-opt* cross needs.
   switch (m.type) {
@@ -573,6 +586,7 @@ std::optional<Move> MoveEngine::propose(MoveType t, const Solution& base,
     }
     if (m && screened_feasible(base, *m, screen)) return m;
   }
+  TSMO_COUNT("move.propose_giveup");
   return std::nullopt;
 }
 

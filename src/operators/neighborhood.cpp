@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/telemetry.hpp"
+
 namespace tsmo {
 
 NeighborhoodGenerator::NeighborhoodGenerator(
@@ -45,9 +47,14 @@ std::vector<Neighbor> NeighborhoodGenerator::generate(const Solution& base,
     if (!move) continue;
     Neighbor n;
     n.move = *move;
-    n.obj = engine_->evaluate(base, *move);
-    n.creates = engine_->created_attrs(base, *move);
-    n.destroys = engine_->destroyed_attrs(base, *move);
+    {
+      // "Move pricing": delta evaluation plus tabu-attribute extraction —
+      // the per-neighbor cost the paper's neighborhood size multiplies.
+      TSMO_TIME_SCOPE("move.price_ns");
+      n.obj = engine_->evaluate(base, *move);
+      n.creates = engine_->created_attrs(base, *move);
+      n.destroys = engine_->destroyed_attrs(base, *move);
+    }
     out.push_back(n);
   }
   return out;

@@ -6,12 +6,19 @@
 
 #include "core/sequential_tsmo.hpp"
 #include "parallel/worker_team.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace tsmo {
 
 RunResult AsyncTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.async");
+  TSMO_TELEMETRY_ONLY(
+      if (telemetry::enabled()) {
+        telemetry::Registry::instance().set_thread_label("async master");
+      })
   Timer timer;
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
@@ -48,6 +55,7 @@ RunResult AsyncTsmo::run() const {
       team.submit(GenRequest{state.current(), chunk, ++ticket});
       busy[static_cast<std::size_t>(w)] = true;
       inflight += chunk;
+      TSMO_COUNT("async.chunks_dispatched");
     }
 
     // Master's own share of the neighborhood.
@@ -63,21 +71,21 @@ RunResult AsyncTsmo::run() const {
     drain(team.try_collect());
 
     // --- Algorithm 2: decide whether to keep waiting. ---
-    const auto wait_started = std::chrono::steady_clock::now();
-    const auto too_long =
-        std::chrono::duration<double, std::milli>(options_.wait_too_long_ms);
-    for (;;) {
-      const bool c1 = std::any_of(busy.begin(), busy.end(),
-                                  [](bool b) { return !b; });
-      const bool c2 = std::any_of(
-          pool.begin(), pool.end(), [&](const Candidate& c) {
-            return dominates(c.obj, state.current()->objectives());
-          });
-      const bool c3 =
-          std::chrono::steady_clock::now() - wait_started >= too_long;
-      const bool c4 = state.budget_exhausted();
-      if (c1 || c2 || c3 || c4) break;
-      drain(team.collect_for(std::chrono::microseconds(200)));
+    {
+      TSMO_SPAN_TIMED("async.wait", "async.wait_ns");
+      const Timer wait_timer;
+      for (;;) {
+        const bool c1 = std::any_of(busy.begin(), busy.end(),
+                                    [](bool b) { return !b; });
+        const bool c2 = std::any_of(
+            pool.begin(), pool.end(), [&](const Candidate& c) {
+              return dominates(c.obj, state.current()->objectives());
+            });
+        const bool c3 = wait_timer.elapsed_ms() >= options_.wait_too_long_ms;
+        const bool c4 = state.budget_exhausted();
+        if (c1 || c2 || c3 || c4) break;
+        drain(team.collect_for(std::chrono::microseconds(200)));
+      }
     }
 
     if (pool.empty() && state.budget_exhausted()) break;
@@ -91,6 +99,12 @@ RunResult AsyncTsmo::run() const {
 }
 
 RunResult AsyncTsmo::run_deterministic() const {
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.async");
+  TSMO_TELEMETRY_ONLY(
+      if (telemetry::enabled()) {
+        telemetry::Registry::instance().set_thread_label("async master");
+      })
   Timer timer;
   const int procs = std::max(2, processors_);
   const int exec =
@@ -122,15 +136,19 @@ RunResult AsyncTsmo::run_deterministic() const {
     }
     state.trace().record_event(RunTrace::kTagDispatch, ticket,
                                static_cast<std::uint64_t>(dispatched));
+    TSMO_COUNT_N("async.chunks_dispatched", dispatched);
 
     // Logical collection: every chunk completes, reassembled in ticket
     // order; the seeded straggler model, not arrival order, decides which
     // chunks miss this iteration's selection.
     results.clear();
-    for (int c = 0; c < dispatched; ++c) {
-      auto result = team.collect();
-      if (!result) break;  // team shut down (cannot happen mid-run)
-      results.push_back(std::move(*result));
+    {
+      TSMO_SPAN_TIMED("async.wait", "async.wait_ns");
+      for (int c = 0; c < dispatched; ++c) {
+        auto result = team.collect();
+        if (!result) break;  // team shut down (cannot happen mid-run)
+        results.push_back(std::move(*result));
+      }
     }
     std::sort(results.begin(), results.end(),
               [](const GenResult& a, const GenResult& b) {
@@ -145,6 +163,7 @@ RunResult AsyncTsmo::run_deterministic() const {
           !leading && schedule.chance(options_.defer_probability);
       state.trace().record_event(RunTrace::kTagDefer, r.ticket,
                                  defer ? 1 : 0);
+      if (defer) TSMO_COUNT("async.chunks_deferred");
       auto& sink = defer ? deferred : pool;
       sink.insert(sink.end(), std::make_move_iterator(r.candidates.begin()),
                   std::make_move_iterator(r.candidates.end()));

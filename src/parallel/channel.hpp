@@ -12,19 +12,38 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
+
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
 
 namespace tsmo {
 
 template <typename T>
 class Channel {
  public:
+  /// Registers this channel with the telemetry layer under `label`: a
+  /// `channel.<label>.depth` gauge tracking queue depth and a
+  /// `channel.<label>.wait_ns` histogram of blocking-pop wait times.
+  /// Call before handing the channel to other threads.
+  void enable_telemetry(const std::string& label) {
+#if TSMO_TELEMETRY_ENABLED
+    auto& reg = telemetry::Registry::instance();
+    depth_gauge_ = reg.gauge("channel." + label + ".depth");
+    wait_hist_ = reg.histogram("channel." + label + ".wait_ns");
+#else
+    (void)label;
+#endif
+  }
+
   /// Enqueues an item; returns false (dropping the item) when closed.
   bool push(T item) {
     {
       std::lock_guard lock(mutex_);
       if (closed_) return false;
       queue_.push_back(std::move(item));
+      note_depth(queue_.size());
     }
     cv_.notify_one();
     return true;
@@ -36,16 +55,20 @@ class Channel {
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    note_depth(queue_.size());
     return item;
   }
 
   /// Blocks until an item arrives or the channel is closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
+    const std::uint64_t wait_start = wait_begin();
     cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    wait_end(wait_start);
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    note_depth(queue_.size());
     return item;
   }
 
@@ -53,11 +76,14 @@ class Channel {
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
+    const std::uint64_t wait_start = wait_begin();
     cv_.wait_for(lock, timeout,
                  [this] { return !queue_.empty() || closed_; });
+    wait_end(wait_start);
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    note_depth(queue_.size());
     return item;
   }
 
@@ -82,6 +108,31 @@ class Channel {
   bool empty() const { return size() == 0; }
 
  private:
+#if TSMO_TELEMETRY_ENABLED
+  // Called with mutex_ held, so gauge updates are ordered per channel.
+  void note_depth(std::size_t depth) noexcept {
+    if (depth_gauge_.valid() && telemetry::enabled()) {
+      telemetry::Registry::instance().gauge_set(
+          depth_gauge_, static_cast<std::int64_t>(depth));
+    }
+  }
+  std::uint64_t wait_begin() const noexcept {
+    return wait_hist_.valid() && telemetry::enabled() ? now_ns() : 0;
+  }
+  void wait_end(std::uint64_t wait_start) const noexcept {
+    if (wait_start != 0) {
+      telemetry::Registry::instance().record_ns(wait_hist_,
+                                                now_ns() - wait_start);
+    }
+  }
+  telemetry::GaugeId depth_gauge_{};
+  telemetry::HistogramId wait_hist_{};
+#else
+  void note_depth(std::size_t) noexcept {}
+  std::uint64_t wait_begin() const noexcept { return 0; }
+  void wait_end(std::uint64_t) const noexcept {}
+#endif
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> queue_;

@@ -10,6 +10,7 @@
 #include "parallel/channel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/worker_team.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -17,6 +18,8 @@ namespace tsmo {
 
 MultisearchResult HybridTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.hybrid");
   Timer timer;
   const int k = std::max(2, islands_);
   const int procs = std::max(2, procs_per_island_);
@@ -26,6 +29,9 @@ MultisearchResult HybridTsmo::run() const {
   mailboxes.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     mailboxes.push_back(std::make_unique<Channel<Solution>>());
+    TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
+      mailboxes.back()->enable_telemetry("island" + std::to_string(i));
+    })
   }
   std::vector<RunResult> per_island(n);
   std::atomic<std::int64_t> messages_sent{0};
@@ -33,6 +39,10 @@ MultisearchResult HybridTsmo::run() const {
 
   auto island = [&](int id) {
     Timer local_timer;
+    TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
+      telemetry::Registry::instance().set_thread_label(
+          "hybrid island " + std::to_string(id));
+    })
     Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x9d2c5680ULL);
     TsmoParams p = id == 0 ? params_ : params_.perturbed(rng);
     p.max_evaluations = params_.max_evaluations;
@@ -74,9 +84,12 @@ MultisearchResult HybridTsmo::run() const {
     };
 
     while (!state.budget_exhausted()) {
+      TSMO_SPAN("hybrid.iteration");
       while (auto incoming = mailboxes[static_cast<std::size_t>(id)]
                                  ->try_pop()) {
+        TSMO_COUNT("hybrid.messages_received");
         if (state.receive(*incoming)) {
+          TSMO_COUNT("hybrid.messages_accepted");
           messages_accepted.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -90,6 +103,7 @@ MultisearchResult HybridTsmo::run() const {
         team.submit(GenRequest{state.current(), chunk, ++ticket});
         busy[static_cast<std::size_t>(w)] = true;
         inflight += chunk;
+        TSMO_COUNT("hybrid.chunks_dispatched");
       }
       const std::int64_t remaining =
           p.max_evaluations - state.evaluations();
@@ -102,18 +116,20 @@ MultisearchResult HybridTsmo::run() const {
       }
       drain(team.try_collect());
 
-      const auto wait_started = std::chrono::steady_clock::now();
-      for (;;) {
-        const bool c1 = std::any_of(busy.begin(), busy.end(),
-                                    [](bool b) { return !b; });
-        const bool c2 = std::any_of(
-            pool.begin(), pool.end(), [&](const Candidate& c) {
-              return dominates(c.obj, state.current()->objectives());
-            });
-        const bool c3 = std::chrono::steady_clock::now() - wait_started >=
-                        std::chrono::milliseconds(2);
-        if (c1 || c2 || c3 || state.budget_exhausted()) break;
-        drain(team.collect_for(std::chrono::microseconds(200)));
+      {
+        TSMO_SPAN_TIMED("hybrid.wait", "hybrid.wait_ns");
+        const Timer wait_timer;
+        for (;;) {
+          const bool c1 = std::any_of(busy.begin(), busy.end(),
+                                      [](bool b) { return !b; });
+          const bool c2 = std::any_of(
+              pool.begin(), pool.end(), [&](const Candidate& c) {
+                return dominates(c.obj, state.current()->objectives());
+              });
+          const bool c3 = wait_timer.elapsed_ms() >= 2.0;
+          if (c1 || c2 || c3 || state.budget_exhausted()) break;
+          drain(team.collect_for(std::chrono::microseconds(200)));
+        }
       }
 
       if (pool.empty() && state.budget_exhausted()) break;
@@ -132,6 +148,7 @@ MultisearchResult HybridTsmo::run() const {
             hash_objectives(state.current()->objectives()));
         mailboxes[static_cast<std::size_t>(target)]->push(
             *state.current());
+        TSMO_COUNT("hybrid.messages_sent");
         messages_sent.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -150,12 +167,15 @@ MultisearchResult HybridTsmo::run() const {
   result.per_searcher = std::move(per_island);
   result.merged = merge_results(result.per_searcher, "hybrid");
   result.merged.wall_seconds = timer.elapsed_seconds();
+  result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
   return result;
 }
 
 MultisearchResult HybridTsmo::run_deterministic() const {
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.hybrid");
   Timer timer;
   const int k = std::max(2, islands_);
   const int procs = std::max(2, procs_per_island_);
@@ -214,8 +234,13 @@ MultisearchResult HybridTsmo::run_deterministic() const {
 
   auto step_one = [&](int id) {
     Island& is = islands[static_cast<std::size_t>(id)];
+    TSMO_SPAN("hybrid.iteration");
     for (const Solution& sol : is.inbox) {
-      if (is.state->receive(sol)) ++is.accepted;
+      TSMO_COUNT("hybrid.messages_received");
+      if (is.state->receive(sol)) {
+        TSMO_COUNT("hybrid.messages_accepted");
+        ++is.accepted;
+      }
     }
     is.inbox.clear();
 
@@ -242,11 +267,13 @@ MultisearchResult HybridTsmo::run_deterministic() const {
       std::vector<Candidate> cands = make_candidates(
           *is.generator, is.state->current(), count, task_rng);
       is.state->charge_evaluations(static_cast<std::int64_t>(cands.size()));
+      TSMO_COUNT("hybrid.chunks_dispatched");
       const bool defer =
           !leading && is.schedule.chance(options_.defer_probability);
       is.state->trace().record_event(RunTrace::kTagDefer,
                                      static_cast<std::uint64_t>(count),
                                      defer ? 1 : 0);
+      if (defer) TSMO_COUNT("hybrid.chunks_deferred");
       auto& sink = defer ? is.deferred : pool_candidates;
       sink.insert(sink.end(), std::make_move_iterator(cands.begin()),
                   std::make_move_iterator(cands.end()));
@@ -265,6 +292,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
           RunTrace::kTagSend, static_cast<std::uint64_t>(target),
           hash_objectives(is.state->current()->objectives()));
       is.outbox.emplace_back(target, *is.state->current());
+      TSMO_COUNT("hybrid.messages_sent");
       ++is.sent;
     }
   };
@@ -299,6 +327,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
   }
   result.merged = merge_results(result.per_searcher, "hybrid");
   result.merged.wall_seconds = timer.elapsed_seconds();
+  result.merged.refresh_throughput();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/sequential_tsmo.hpp"
 #include "parallel/channel.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -49,11 +50,14 @@ RunResult merge_results(const std::vector<RunResult>& results,
   for (const RunResult& r : results) {
     merged.trace_fingerprint ^= r.trace_fingerprint;  // order-independent
   }
+  merged.refresh_throughput();
   return merged;
 }
 
 MultisearchResult MultisearchTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.coll");
   Timer timer;
   const int procs = std::max(2, processors_);
   const auto n = static_cast<std::size_t>(procs);
@@ -63,6 +67,9 @@ MultisearchResult MultisearchTsmo::run() const {
   mailboxes.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     mailboxes.push_back(std::make_unique<Channel<Solution>>());
+    TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
+      mailboxes.back()->enable_telemetry("mailbox" + std::to_string(i));
+    })
   }
 
   std::vector<RunResult> per_searcher(n);
@@ -71,6 +78,10 @@ MultisearchResult MultisearchTsmo::run() const {
 
   auto searcher = [&](int id) {
     Timer local_timer;
+    TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
+      telemetry::Registry::instance().set_thread_label(
+          "coll searcher " + std::to_string(id));
+    })
     Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x51ed2701ULL);
     // Searcher 0 keeps the base parameters; others perturb (§III.E).
     TsmoParams p = id == 0 ? params_ : params_.perturbed(rng);
@@ -92,10 +103,13 @@ MultisearchResult MultisearchTsmo::run() const {
 
     bool initial_phase = true;
     while (!state.budget_exhausted()) {
+      TSMO_SPAN("coll.iteration");
       // Incorporate peer solutions before the next step.
       while (auto received = mailboxes[static_cast<std::size_t>(id)]
                                  ->try_pop()) {
+        TSMO_COUNT("coll.messages_received");
         if (state.receive(*received)) {
+          TSMO_COUNT("coll.messages_accepted");
           messages_accepted.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -119,6 +133,7 @@ MultisearchResult MultisearchTsmo::run() const {
             RunTrace::kTagSend, static_cast<std::uint64_t>(target),
             hash_objectives(state.current()->objectives()));
         mailboxes[static_cast<std::size_t>(target)]->push(*state.current());
+        TSMO_COUNT("coll.messages_sent");
         messages_sent.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -139,12 +154,15 @@ MultisearchResult MultisearchTsmo::run() const {
   result.per_searcher = std::move(per_searcher);
   result.merged = merge_results(result.per_searcher, "coll");
   result.merged.wall_seconds = timer.elapsed_seconds();
+  result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
   return result;
 }
 
 MultisearchResult MultisearchTsmo::run_deterministic() const {
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.coll");
   Timer timer;
   const int procs = std::max(2, processors_);
   const auto n = static_cast<std::size_t>(procs);
@@ -194,9 +212,14 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
 
   auto step_one = [&](int id) {
     Searcher& s = searchers[static_cast<std::size_t>(id)];
+    TSMO_SPAN("coll.iteration");
     // Deliver peer solutions in the deterministic inter-round order.
     for (const Solution& sol : s.inbox) {
-      if (s.state->receive(sol)) ++s.accepted;
+      TSMO_COUNT("coll.messages_received");
+      if (s.state->receive(sol)) {
+        TSMO_COUNT("coll.messages_accepted");
+        ++s.accepted;
+      }
     }
     s.inbox.clear();
 
@@ -224,6 +247,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
           RunTrace::kTagSend, static_cast<std::uint64_t>(target),
           hash_objectives(s.state->current()->objectives()));
       s.outbox.emplace_back(target, *s.state->current());
+      TSMO_COUNT("coll.messages_sent");
       ++s.sent;
     }
   };
@@ -260,6 +284,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
   }
   result.merged = merge_results(result.per_searcher, "coll");
   result.merged.wall_seconds = timer.elapsed_seconds();
+  result.merged.refresh_throughput();
   return result;
 }
 

@@ -4,12 +4,19 @@
 
 #include "core/sequential_tsmo.hpp"
 #include "parallel/worker_team.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace tsmo {
 
 RunResult SyncTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sync");
+  TSMO_TELEMETRY_ONLY(
+      if (telemetry::enabled()) {
+        telemetry::Registry::instance().set_thread_label("sync master");
+      })
   Timer timer;
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
@@ -18,6 +25,7 @@ RunResult SyncTsmo::run() const {
 
   std::uint64_t ticket = 0;
   while (!state.budget_exhausted()) {
+    TSMO_SPAN("sync.round");
     const std::int64_t remaining =
         params_.max_evaluations - state.evaluations();
     const int want = static_cast<int>(std::min<std::int64_t>(
@@ -33,19 +41,23 @@ RunResult SyncTsmo::run() const {
         ++dispatched;
       }
     }
+    TSMO_COUNT_N("sync.chunks_dispatched", dispatched);
     const int master_chunk = want - dispatched * worker_chunk;
     std::vector<Candidate> candidates =
         state.generate_candidates(master_chunk);
 
     // Barrier: wait for every worker's part before selecting.
-    for (int w = 0; w < dispatched; ++w) {
-      auto result = team.collect();
-      if (!result) break;  // team shut down (cannot happen mid-run)
-      state.charge_evaluations(
-          static_cast<std::int64_t>(result->candidates.size()));
-      candidates.insert(candidates.end(),
-                        std::make_move_iterator(result->candidates.begin()),
-                        std::make_move_iterator(result->candidates.end()));
+    {
+      TSMO_SPAN_TIMED("sync.barrier", "sync.barrier_wait_ns");
+      for (int w = 0; w < dispatched; ++w) {
+        auto result = team.collect();
+        if (!result) break;  // team shut down (cannot happen mid-run)
+        state.charge_evaluations(
+            static_cast<std::int64_t>(result->candidates.size()));
+        candidates.insert(candidates.end(),
+                          std::make_move_iterator(result->candidates.begin()),
+                          std::make_move_iterator(result->candidates.end()));
+      }
     }
     state.step_with_candidates(candidates);
   }
@@ -53,6 +65,12 @@ RunResult SyncTsmo::run() const {
 }
 
 RunResult SyncTsmo::run_deterministic() const {
+  if (params_.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sync");
+  TSMO_TELEMETRY_ONLY(
+      if (telemetry::enabled()) {
+        telemetry::Registry::instance().set_thread_label("sync master");
+      })
   Timer timer;
   const int procs = std::max(2, processors_);
   const int exec =
@@ -67,6 +85,7 @@ RunResult SyncTsmo::run_deterministic() const {
   std::uint64_t ticket = 0;
   std::vector<GenResult> results;
   while (!state.budget_exhausted()) {
+    TSMO_SPAN("sync.round");
     const std::int64_t remaining =
         params_.max_evaluations - state.evaluations();
     const int want = static_cast<int>(std::min<std::int64_t>(
@@ -84,14 +103,18 @@ RunResult SyncTsmo::run_deterministic() const {
     }
     state.trace().record_event(RunTrace::kTagDispatch, ticket,
                                static_cast<std::uint64_t>(dispatched));
+    TSMO_COUNT_N("sync.chunks_dispatched", dispatched);
 
     // Barrier, as in the plain mode — but reassemble in ticket order so
     // the pool is independent of worker scheduling.
     results.clear();
-    for (int c = 0; c < dispatched; ++c) {
-      auto result = team.collect();
-      if (!result) break;  // team shut down (cannot happen mid-run)
-      results.push_back(std::move(*result));
+    {
+      TSMO_SPAN_TIMED("sync.barrier", "sync.barrier_wait_ns");
+      for (int c = 0; c < dispatched; ++c) {
+        auto result = team.collect();
+        if (!result) break;  // team shut down (cannot happen mid-run)
+        results.push_back(std::move(*result));
+      }
     }
     std::sort(results.begin(), results.end(),
               [](const GenResult& a, const GenResult& b) {

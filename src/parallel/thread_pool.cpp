@@ -2,14 +2,19 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
+
 namespace tsmo {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
+  tasks_.enable_telemetry("pool_tasks");
   const unsigned n = std::max(1u, num_threads);
   threads_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     threads_.emplace_back([this] {
       while (auto task = tasks_.pop()) {
+        TSMO_COUNT("pool.tasks");
+        TSMO_TIME_SCOPE("pool.task_ns");
         (*task)();
       }
     });

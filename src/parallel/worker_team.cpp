@@ -1,14 +1,19 @@
 #include "parallel/worker_team.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "operators/neighborhood.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
 
 namespace tsmo {
 
 WorkerTeam::WorkerTeam(const Instance& inst, int num_workers,
                        std::uint64_t seed)
     : inst_(&inst) {
+  requests_.enable_telemetry("gen_requests");
+  results_.enable_telemetry("gen_results");
   Rng master(seed ^ 0x5eedF00dULL);
   const int n = std::max(1, num_workers);
   threads_.reserve(static_cast<std::size_t>(n));
@@ -29,7 +34,38 @@ WorkerTeam::~WorkerTeam() {
 void WorkerTeam::worker_loop(int id, Rng rng) {
   MoveEngine engine(*inst_);
   NeighborhoodGenerator generator(engine);
-  while (auto request = requests_.pop()) {
+#if TSMO_TELEMETRY_ENABLED
+  // Per-worker utilization gauges use dynamic names ("worker.3.busy_ns"),
+  // so they go through the Registry API instead of the literal-name macros.
+  // gauge_add keeps them cumulative across teams sharing a worker id.
+  telemetry::GaugeId busy_gauge{};
+  telemetry::GaugeId idle_gauge{};
+  bool registered = false;
+#endif
+  for (;;) {
+#if TSMO_TELEMETRY_ENABLED
+    const bool tel = telemetry::enabled();
+    if (tel && !registered) {
+      auto& reg = telemetry::Registry::instance();
+      const std::string prefix = "worker." + std::to_string(id);
+      busy_gauge = reg.gauge(prefix + ".busy_ns");
+      idle_gauge = reg.gauge(prefix + ".idle_ns");
+      reg.set_thread_label("worker " + std::to_string(id));
+      registered = true;
+    }
+    const std::uint64_t wait_start = tel ? now_ns() : 0;
+#endif
+    auto request = requests_.pop();
+#if TSMO_TELEMETRY_ENABLED
+    const std::uint64_t work_start = tel ? now_ns() : 0;
+    if (tel) {
+      auto& reg = telemetry::Registry::instance();
+      reg.gauge_add(idle_gauge,
+                    static_cast<std::int64_t>(work_start - wait_start));
+      TSMO_COUNT_N("workers.idle_ns", work_start - wait_start);
+    }
+#endif
+    if (!request) break;
     GenResult result;
     result.ticket = request->ticket;
     result.worker_id = id;
@@ -41,6 +77,17 @@ void WorkerTeam::worker_loop(int id, Rng rng) {
       result.candidates = make_candidates(generator, request->base,
                                           request->count, rng);
     }
+#if TSMO_TELEMETRY_ENABLED
+    if (tel) {
+      const std::uint64_t work_end = now_ns();
+      auto& reg = telemetry::Registry::instance();
+      reg.gauge_add(busy_gauge,
+                    static_cast<std::int64_t>(work_end - work_start));
+      reg.record_span("worker.chunk", work_start, work_end - work_start);
+      TSMO_COUNT("worker.chunks");
+      TSMO_COUNT_N("workers.busy_ns", work_end - work_start);
+    }
+#endif
     results_.push(std::move(result));
   }
 }

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "core/sequential_tsmo.hpp"
 #include "sim/des.hpp"
+#include "util/telemetry.hpp"
 
 namespace tsmo {
 
@@ -35,6 +37,7 @@ class SimWorker {
     const double work = static_cast<double>(result_.size()) * cost.eval_us *
                         cost.straggler_noise(noise_rng);
     done_time_ = start + cost.msg_us + work;
+    busy_us_ += cost.msg_us + work;
     busy_ = true;
   }
 
@@ -44,13 +47,41 @@ class SimWorker {
     return std::move(result_);
   }
 
+  /// Virtual µs this worker spent receiving + generating so far.
+  double busy_us() const noexcept { return busy_us_; }
+
  private:
   std::unique_ptr<MoveEngine> engine_;
   Rng rng_;
   std::vector<Candidate> result_;
   double done_time_ = kInf;
+  double busy_us_ = 0.0;
   bool busy_ = false;
 };
+
+/// Exports the virtual utilization of simulated workers as the same
+/// `worker.<id>.busy_ns` / `.idle_ns` gauges the real WorkerTeam maintains,
+/// so table benches (which run on the DES substrate) report per-worker
+/// utilization too.  Virtual µs are scaled to ns; idle = total − busy.
+void export_sim_worker_gauges(const std::vector<SimWorker>& workers,
+                              double total_us) {
+#if TSMO_TELEMETRY_ENABLED
+  if (!telemetry::enabled()) return;
+  auto& reg = telemetry::Registry::instance();
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const double busy_us = workers[i].busy_us();
+    const double idle_us = std::max(0.0, total_us - busy_us);
+    const std::string prefix = "worker." + std::to_string(i);
+    reg.gauge_add(reg.gauge(prefix + ".busy_ns"),
+                  static_cast<std::int64_t>(busy_us * 1e3));
+    reg.gauge_add(reg.gauge(prefix + ".idle_ns"),
+                  static_cast<std::int64_t>(idle_us * 1e3));
+  }
+#else
+  (void)workers;
+  (void)total_us;
+#endif
+}
 
 double selection_cost(std::size_t pool_size, const CostModel& cost) {
   return static_cast<double>(pool_size) * cost.sel_per_cand_us +
@@ -65,6 +96,8 @@ double selection_cost(std::size_t pool_size, const CostModel& cost) {
 
 RunResult run_sim_sequential(const Instance& inst, const TsmoParams& params,
                              const CostModel& cost) {
+  if (params.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sim-sequential");
   SearchState state(inst, params, Rng(params.seed));
   state.initialize();
   double t = cost.eval_us;  // initial construction
@@ -81,6 +114,7 @@ RunResult run_sim_sequential(const Instance& inst, const TsmoParams& params,
   }
   RunResult r = collect_result(state, "sim-sequential", 0.0);
   r.sim_seconds = t * 1e-6;
+  r.refresh_throughput();
   return r;
 }
 
@@ -90,6 +124,8 @@ RunResult run_sim_sequential(const Instance& inst, const TsmoParams& params,
 
 RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
                        int processors, const CostModel& cost) {
+  if (params.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sim-sync");
   const int procs = std::max(2, processors);
   SearchState state(inst, params, Rng(params.seed));
   state.initialize();
@@ -120,6 +156,8 @@ RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
         w.dispatch(state.current(), chunk, dispatch_end, cost, noise);
         ++dispatched;
       }
+      TSMO_COUNT_N("sync.chunks_dispatched",
+                   static_cast<std::uint64_t>(dispatched));
     }
     // Master's own share runs after dispatching.
     const int master_chunk = want - dispatched * chunk;
@@ -146,8 +184,10 @@ RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
     t = barrier + selection_cost(pool.size(), cost);
     state.step_with_candidates(pool);
   }
+  export_sim_worker_gauges(workers, t);
   RunResult r = collect_result(state, "sim-sync", 0.0);
   r.sim_seconds = t * 1e-6;
+  r.refresh_throughput();
   return r;
 }
 
@@ -184,6 +224,11 @@ class AsyncSimCore {
   SearchState& state() noexcept { return state_; }
   bool done() const noexcept { return state_.budget_exhausted(); }
 
+  /// Publishes per-worker virtual utilization gauges up to time `total_us`.
+  void export_worker_gauges(double total_us) const {
+    export_sim_worker_gauges(workers_, total_us);
+  }
+
   struct IterResult {
     double end_time = 0.0;
     bool archive_improved = false;
@@ -207,6 +252,7 @@ class AsyncSimCore {
       t += cost_.msg_us + cost_.transfer_solution_us;
       w.dispatch(state_.current(), chunk_, t, cost_, noise_);
       inflight_ += chunk_;
+      TSMO_COUNT("async.chunks_dispatched");
     }
 
     // Master's own share.
@@ -313,6 +359,8 @@ class AsyncSimCore {
 RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
                         int processors, const CostModel& cost,
                         SimAsyncOptions options) {
+  if (params.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sim-async");
   AsyncSimCore core(inst, params, processors, cost, options);
   double t = cost.eval_us;  // initial construction
   while (!core.done()) {
@@ -320,8 +368,10 @@ RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
     t = iter.end_time;
     if (!iter.progressed) break;
   }
+  core.export_worker_gauges(t);
   RunResult r = collect_result(core.state(), "sim-async", 0.0);
   r.sim_seconds = t * 1e-6;
+  r.refresh_throughput();
   return r;
 }
 
@@ -333,6 +383,8 @@ MultisearchResult run_sim_multisearch(const Instance& inst,
                                       const TsmoParams& params,
                                       int processors,
                                       const CostModel& cost) {
+  if (params.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sim-coll");
   const int procs = std::max(2, processors);
   const auto n = static_cast<std::size_t>(procs);
   const double contention = cost.contention_factor(procs);
@@ -425,6 +477,7 @@ MultisearchResult run_sim_multisearch(const Instance& inst,
   for (auto& s : searchers) {
     RunResult r = collect_result(*s.state, "sim-coll", 0.0);
     r.sim_seconds = s.finish_time * 1e-6;
+    r.refresh_throughput();
     result.per_searcher.push_back(std::move(r));
   }
   result.merged = merge_results(result.per_searcher, "sim-coll");
@@ -441,6 +494,8 @@ MultisearchResult run_sim_hybrid(const Instance& inst,
                                  const TsmoParams& params, int islands,
                                  int procs_per_island,
                                  const CostModel& cost) {
+  if (params.telemetry) telemetry::set_enabled(true);
+  TSMO_SPAN("run.sim-hybrid");
   const int k = std::max(2, islands);
   const auto n = static_cast<std::size_t>(k);
   const double contention = cost.contention_factor(k);
@@ -521,8 +576,10 @@ MultisearchResult run_sim_hybrid(const Instance& inst,
   MultisearchResult result;
   result.per_searcher.reserve(n);
   for (auto& isl : nodes) {
+    isl.core->export_worker_gauges(isl.finish_time);
     RunResult r = collect_result(isl.core->state(), "sim-hybrid", 0.0);
     r.sim_seconds = isl.finish_time * 1e-6;
+    r.refresh_throughput();
     result.per_searcher.push_back(std::move(r));
   }
   result.merged = merge_results(result.per_searcher, "sim-hybrid");

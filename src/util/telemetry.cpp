@@ -1,0 +1,440 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace tsmo::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+bool set_enabled(bool on) noexcept {
+  return detail::g_enabled.exchange(on, std::memory_order_seq_cst);
+}
+
+namespace {
+
+/// Bucket index for a duration: 0 for exact zeros, otherwise bit_width
+/// clamped into the top (open-ended) bucket.
+int bucket_index(std::uint64_t ns) noexcept {
+  if (ns == 0) return 0;
+  return std::min(static_cast<int>(std::bit_width(ns)), kHistogramBuckets - 1);
+}
+
+double bucket_lower_ns(int b) noexcept {
+  return b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+}
+
+double bucket_upper_ns(int b) noexcept { return std::ldexp(1.0, b); }
+
+/// Owner-thread increment: cheaper than fetch_add because the slot has
+/// exactly one writer; readers see a monotone (if slightly stale) value.
+void owner_add(std::atomic<std::uint64_t>& slot, std::uint64_t delta) noexcept {
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+struct HistogramCell {
+  std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum_ns{0};
+};
+
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// One per live thread (leased; values survive thread exit so counter totals
+/// conserve exactly).  alignas(64) keeps neighbouring shards off each
+/// other's cache lines.
+struct alignas(64) Shard {
+  explicit Shard(int tid_in) : tid(tid_in) {
+    hists = std::make_unique<HistogramCell[]>(kMaxHistograms);
+    ring = std::make_unique<SpanRecord[]>(kSpanRingCapacity);
+    label = "thread " + std::to_string(tid_in);
+  }
+
+  int tid;
+  std::atomic<std::uint64_t> counters[kMaxCounters] = {};
+  std::unique_ptr<HistogramCell[]> hists;
+  std::unique_ptr<SpanRecord[]> ring;
+  /// Total spans ever recorded; ring slot = head % capacity.  Release store
+  /// so a quiescent-point reader sees the records it covers.
+  std::atomic<std::uint64_t> span_head{0};
+  std::string label;  // guarded by the registry mutex
+};
+
+struct NameTable {
+  std::unordered_map<std::string, int> index;
+  std::vector<std::string> names;
+
+  /// Returns the slot for `name`, or -1 once `capacity` slots are taken.
+  int intern(const std::string& name, int capacity) {
+    auto it = index.find(name);
+    if (it != index.end()) return it->second;
+    if (static_cast<int>(names.size()) >= capacity) return -1;
+    const int slot = static_cast<int>(names.size());
+    names.push_back(name);
+    index.emplace(name, slot);
+    return slot;
+  }
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  NameTable counter_names;
+  NameTable gauge_names;
+  NameTable histogram_names;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<int> free_shards;
+  std::atomic<std::int64_t> gauges[kMaxGauges] = {};
+
+  Shard* acquire_shard() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_shards.empty()) {
+      const int idx = free_shards.back();
+      free_shards.pop_back();
+      return shards[idx].get();
+    }
+    const int tid = static_cast<int>(shards.size());
+    shards.push_back(std::make_unique<Shard>(tid));
+    return shards.back().get();
+  }
+
+  void release_shard(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu);
+    free_shards.push_back(shard->tid);
+  }
+};
+
+namespace {
+
+/// Thread-local shard lease.  The destructor returns the shard (with its
+/// values intact) to the registry free-list for reuse by later threads, so
+/// shard count stays bounded under thread churn and totals never regress.
+struct ShardLease {
+  Shard* shard = nullptr;
+  Registry::Impl* impl = nullptr;
+  ~ShardLease() {
+    if (shard != nullptr) impl->release_shard(shard);
+  }
+};
+
+}  // namespace
+
+// Out-of-line so Impl is complete; called through the public methods below.
+namespace {
+
+Shard& local_shard(Registry::Impl& impl) {
+  static thread_local ShardLease lease;
+  if (lease.shard == nullptr) {
+    lease.shard = impl.acquire_shard();
+    lease.impl = &impl;
+  }
+  return *lease.shard;
+}
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl()) {}
+
+Registry& Registry::instance() noexcept {
+  // Leaked: thread_local ShardLease destructors may run arbitrarily late in
+  // process teardown and must find the registry alive.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+CounterId Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return CounterId{static_cast<std::int16_t>(
+      impl_->counter_names.intern(name, kMaxCounters))};
+}
+
+GaugeId Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return GaugeId{
+      static_cast<std::int16_t>(impl_->gauge_names.intern(name, kMaxGauges))};
+}
+
+HistogramId Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return HistogramId{static_cast<std::int16_t>(
+      impl_->histogram_names.intern(name, kMaxHistograms))};
+}
+
+void Registry::add(CounterId id, std::uint64_t delta) noexcept {
+  if (!id.valid()) return;
+  owner_add(local_shard(*impl_).counters[id.index], delta);
+}
+
+void Registry::gauge_add(GaugeId id, std::int64_t delta) noexcept {
+  if (!id.valid()) return;
+  impl_->gauges[id.index].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_set(GaugeId id, std::int64_t value) noexcept {
+  if (!id.valid()) return;
+  impl_->gauges[id.index].store(value, std::memory_order_relaxed);
+}
+
+void Registry::record_ns(HistogramId id, std::uint64_t ns) noexcept {
+  if (!id.valid()) return;
+  HistogramCell& cell = local_shard(*impl_).hists[id.index];
+  owner_add(cell.buckets[bucket_index(ns)], 1);
+  owner_add(cell.count, 1);
+  owner_add(cell.sum_ns, ns);
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) noexcept {
+  Shard& shard = local_shard(*impl_);
+  const std::uint64_t head =
+      shard.span_head.load(std::memory_order_relaxed);
+  shard.ring[head % kSpanRingCapacity] = SpanRecord{name, start_ns, dur_ns};
+  shard.span_head.store(head + 1, std::memory_order_release);
+}
+
+void Registry::set_thread_label(const std::string& label) {
+  Shard& shard = local_shard(*impl_);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  shard.label = label;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Snapshot snap;
+
+  const auto& counter_names = impl_->counter_names.names;
+  snap.counters.resize(counter_names.size());
+  for (std::size_t i = 0; i < counter_names.size(); ++i) {
+    snap.counters[i].name = counter_names[i];
+  }
+  const auto& hist_names = impl_->histogram_names.names;
+  snap.histograms.resize(hist_names.size());
+  for (std::size_t i = 0; i < hist_names.size(); ++i) {
+    snap.histograms[i].name = hist_names[i];
+  }
+
+  for (const auto& shard_ptr : impl_->shards) {
+    const Shard& shard = *shard_ptr;
+    for (std::size_t i = 0; i < counter_names.size(); ++i) {
+      snap.counters[i].value +=
+          shard.counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < hist_names.size(); ++i) {
+      const HistogramCell& cell = shard.hists[i];
+      HistogramSnap& out = snap.histograms[i];
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        out.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+      out.count += cell.count.load(std::memory_order_relaxed);
+      out.sum_ns += cell.sum_ns.load(std::memory_order_relaxed);
+    }
+
+    const std::uint64_t head = shard.span_head.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(head, kSpanRingCapacity);
+    for (std::uint64_t k = 0; k < kept; ++k) {
+      const SpanRecord& rec = shard.ring[(head - kept + k) % kSpanRingCapacity];
+      if (rec.name == nullptr) continue;
+      snap.spans.push_back(
+          SpanSnap{rec.name, shard.tid, rec.start_ns, rec.dur_ns});
+    }
+    snap.threads.push_back(
+        ThreadSnap{shard.tid, shard.label, head, head - kept});
+  }
+
+  const auto& gauge_names = impl_->gauge_names.names;
+  snap.gauges.resize(gauge_names.size());
+  for (std::size_t i = 0; i < gauge_names.size(); ++i) {
+    snap.gauges[i].name = gauge_names[i];
+    snap.gauges[i].value = impl_->gauges[i].load(std::memory_order_relaxed);
+  }
+
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanSnap& a, const SpanSnap& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return snap;
+}
+
+void Registry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& shard_ptr : impl_->shards) {
+    Shard& shard = *shard_ptr;
+    for (auto& c : shard.counters) c.store(0, std::memory_order_relaxed);
+    for (int h = 0; h < kMaxHistograms; ++h) {
+      HistogramCell& cell = shard.hists[h];
+      for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum_ns.store(0, std::memory_order_relaxed);
+    }
+    for (int s = 0; s < kSpanRingCapacity; ++s) shard.ring[s] = SpanRecord{};
+    shard.span_head.store(0, std::memory_order_relaxed);
+  }
+  for (auto& g : impl_->gauges) g.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnap::quantile_ns(double q) const noexcept {
+  if (count == 0) return 0.0;
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= target) {
+      const double lo = bucket_lower_ns(b);
+      const double hi = bucket_upper_ns(b);
+      const double frac =
+          (target - before) / static_cast<double>(buckets[b]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return bucket_upper_ns(kHistogramBuckets - 1);
+}
+
+const CounterSnap* Snapshot::find_counter(
+    const std::string& name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnap* Snapshot::find_gauge(const std::string& name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnap* Snapshot::find_histogram(
+    const std::string& name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Prints nanoseconds as fractional microseconds ("1234.567") — the
+/// timestamp unit Chrome trace events use.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Snapshot& snap) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadSnap& t : snap.threads) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t.tid
+       << ",\"args\":{\"name\":\"" << JsonWriter::escape(t.label) << "\"}}";
+  }
+  for (const SpanSnap& s : snap.spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << JsonWriter::escape(s.name)
+       << "\",\"cat\":\"tsmo\",\"ph\":\"X\",\"ts\":";
+    write_us(os, s.start_ns);
+    os << ",\"dur\":";
+    write_us(os, s.dur_ns);
+    os << ",\"pid\":0,\"tid\":" << s.tid << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_snapshot_jsonl(std::ostream& os, const Snapshot& snap) {
+  os << "{\"kind\":\"meta\",\"counters\":" << snap.counters.size()
+     << ",\"gauges\":" << snap.gauges.size()
+     << ",\"histograms\":" << snap.histograms.size()
+     << ",\"spans\":" << snap.spans.size()
+     << ",\"threads\":" << snap.threads.size() << "}\n";
+  for (const CounterSnap& c : snap.counters) {
+    os << "{\"kind\":\"counter\",\"name\":\"" << JsonWriter::escape(c.name)
+       << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const GaugeSnap& g : snap.gauges) {
+    os << "{\"kind\":\"gauge\",\"name\":\"" << JsonWriter::escape(g.name)
+       << "\",\"value\":" << g.value << "}\n";
+  }
+  for (const HistogramSnap& h : snap.histograms) {
+    os << "{\"kind\":\"histogram\",\"name\":\"" << JsonWriter::escape(h.name)
+       << "\",\"count\":" << h.count << ",\"sum_ns\":" << h.sum_ns;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"mean_ns\":%.1f,\"p50_ns\":%.1f,\"p90_ns\":%.1f,"
+                  "\"p99_ns\":%.1f",
+                  h.mean_ns(), h.quantile_ns(0.50), h.quantile_ns(0.90),
+                  h.quantile_ns(0.99));
+    os << buf << ",\"buckets\":[";
+    // Trim trailing empty buckets to keep lines short.
+    int last = kHistogramBuckets - 1;
+    while (last > 0 && h.buckets[last] == 0) --last;
+    for (int b = 0; b <= last; ++b) {
+      if (b > 0) os << ",";
+      os << h.buckets[b];
+    }
+    os << "]}\n";
+  }
+  for (const ThreadSnap& t : snap.threads) {
+    os << "{\"kind\":\"thread\",\"tid\":" << t.tid << ",\"label\":\""
+       << JsonWriter::escape(t.label)
+       << "\",\"spans_recorded\":" << t.spans_recorded
+       << ",\"spans_dropped\":" << t.spans_dropped << "}\n";
+  }
+}
+
+namespace {
+
+std::string derive_snapshot_path(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return trace_path.substr(0, trace_path.size() - suffix.size()) + ".jsonl";
+  }
+  return trace_path + ".jsonl";
+}
+
+}  // namespace
+
+TelemetrySink::TelemetrySink(std::string trace_path)
+    : trace_path_(std::move(trace_path)),
+      snapshot_path_(derive_snapshot_path(trace_path_)) {}
+
+bool TelemetrySink::write(const Snapshot& snap) const {
+  std::ofstream trace(trace_path_);
+  if (!trace) return false;
+  write_chrome_trace(trace, snap);
+  std::ofstream jsonl(snapshot_path_);
+  if (!jsonl) return false;
+  write_snapshot_jsonl(jsonl, snap);
+  return trace.good() && jsonl.good();
+}
+
+}  // namespace tsmo::telemetry

@@ -1,28 +1,44 @@
 #pragma once
 
-// Wall-clock timing helpers.
+// Wall-clock timing helpers.  now_ns() is the single monotonic clock
+// source for the library: Timer, telemetry spans and latency histograms
+// all derive from it, so timestamps from different subsystems compose.
 
 #include <chrono>
+#include <cstdint>
 
 namespace tsmo {
+
+/// Monotonic nanoseconds since the first call in this process.  Starting
+/// from a process-local epoch keeps the values small enough to survive
+/// double conversion (Chrome trace timestamps are microsecond doubles).
+inline std::uint64_t now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
 
 /// Monotonic stopwatch; starts on construction.
 class Timer {
  public:
-  Timer() noexcept : start_(Clock::now()) {}
+  Timer() noexcept : start_ns_(now_ns()) {}
 
-  void reset() noexcept { start_ = Clock::now(); }
+  void reset() noexcept { start_ns_ = now_ns(); }
+
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_ns_; }
 
   double elapsed_seconds() const noexcept {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(elapsed_ns()) * 1e-9;
   }
 
   double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
   double elapsed_us() const noexcept { return elapsed_seconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace tsmo
