@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_decision.dir/ablation_async_decision.cpp.o"
+  "CMakeFiles/ablation_async_decision.dir/ablation_async_decision.cpp.o.d"
+  "ablation_async_decision"
+  "ablation_async_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

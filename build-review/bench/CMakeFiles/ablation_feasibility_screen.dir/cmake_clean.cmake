@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feasibility_screen.dir/ablation_feasibility_screen.cpp.o"
+  "CMakeFiles/ablation_feasibility_screen.dir/ablation_feasibility_screen.cpp.o.d"
+  "ablation_feasibility_screen"
+  "ablation_feasibility_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feasibility_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

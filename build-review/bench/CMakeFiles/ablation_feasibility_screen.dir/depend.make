@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_feasibility_screen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neighborhood.dir/ablation_neighborhood.cpp.o"
+  "CMakeFiles/ablation_neighborhood.dir/ablation_neighborhood.cpp.o.d"
+  "ablation_neighborhood"
+  "ablation_neighborhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_operators.dir/ablation_operators.cpp.o"
+  "CMakeFiles/ablation_operators.dir/ablation_operators.cpp.o.d"
+  "ablation_operators"
+  "ablation_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tabu.dir/ablation_tabu.cpp.o"
+  "CMakeFiles/ablation_tabu.dir/ablation_tabu.cpp.o.d"
+  "ablation_tabu"
+  "ablation_tabu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tabu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weighted_baseline.dir/ablation_weighted_baseline.cpp.o"
+  "CMakeFiles/ablation_weighted_baseline.dir/ablation_weighted_baseline.cpp.o.d"
+  "ablation_weighted_baseline"
+  "ablation_weighted_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighted_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

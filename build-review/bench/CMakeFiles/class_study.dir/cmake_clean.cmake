@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_study.dir/class_study.cpp.o"
+  "CMakeFiles/class_study.dir/class_study.cpp.o.d"
+  "class_study"
+  "class_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

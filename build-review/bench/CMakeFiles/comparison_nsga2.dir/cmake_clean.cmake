@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_nsga2.dir/comparison_nsga2.cpp.o"
+  "CMakeFiles/comparison_nsga2.dir/comparison_nsga2.cpp.o.d"
+  "comparison_nsga2"
+  "comparison_nsga2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_nsga2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_curves.dir/convergence_curves.cpp.o"
+  "CMakeFiles/convergence_curves.dir/convergence_curves.cpp.o.d"
+  "convergence_curves"
+  "convergence_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

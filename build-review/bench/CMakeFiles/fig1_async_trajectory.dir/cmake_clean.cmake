@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_async_trajectory.dir/fig1_async_trajectory.cpp.o"
+  "CMakeFiles/fig1_async_trajectory.dir/fig1_async_trajectory.cpp.o.d"
+  "fig1_async_trajectory"
+  "fig1_async_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_async_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_future_work.dir/hybrid_future_work.cpp.o"
+  "CMakeFiles/hybrid_future_work.dir/hybrid_future_work.cpp.o.d"
+  "hybrid_future_work"
+  "hybrid_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_evaluation.dir/micro_evaluation.cpp.o"
+  "CMakeFiles/micro_evaluation.dir/micro_evaluation.cpp.o.d"
+  "micro_evaluation"
+  "micro_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

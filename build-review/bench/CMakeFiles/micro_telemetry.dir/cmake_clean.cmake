@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_telemetry.dir/micro_telemetry.cpp.o"
+  "CMakeFiles/micro_telemetry.dir/micro_telemetry.cpp.o.d"
+  "micro_telemetry"
+  "micro_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

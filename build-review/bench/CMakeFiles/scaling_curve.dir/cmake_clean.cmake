@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_curve.dir/scaling_curve.cpp.o"
+  "CMakeFiles/scaling_curve.dir/scaling_curve.cpp.o.d"
+  "scaling_curve"
+  "scaling_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

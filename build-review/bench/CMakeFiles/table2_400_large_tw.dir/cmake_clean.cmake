@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_400_large_tw.dir/table2_400_large_tw.cpp.o"
+  "CMakeFiles/table2_400_large_tw.dir/table2_400_large_tw.cpp.o.d"
+  "table2_400_large_tw"
+  "table2_400_large_tw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_400_large_tw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

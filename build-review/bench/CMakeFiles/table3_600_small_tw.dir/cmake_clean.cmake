@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_600_small_tw.dir/table3_600_small_tw.cpp.o"
+  "CMakeFiles/table3_600_small_tw.dir/table3_600_small_tw.cpp.o.d"
+  "table3_600_small_tw"
+  "table3_600_small_tw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_600_small_tw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

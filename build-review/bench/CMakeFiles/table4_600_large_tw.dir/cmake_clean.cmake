@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_600_large_tw.dir/table4_600_large_tw.cpp.o"
+  "CMakeFiles/table4_600_large_tw.dir/table4_600_large_tw.cpp.o.d"
+  "table4_600_large_tw"
+  "table4_600_large_tw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_600_large_tw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

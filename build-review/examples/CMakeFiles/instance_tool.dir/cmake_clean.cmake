@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_tool.dir/instance_tool.cpp.o"
+  "CMakeFiles/instance_tool.dir/instance_tool.cpp.o.d"
+  "instance_tool"
+  "instance_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

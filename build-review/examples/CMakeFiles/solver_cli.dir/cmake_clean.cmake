@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_cli.dir/solver_cli.cpp.o"
+  "CMakeFiles/solver_cli.dir/solver_cli.cpp.o.d"
+  "solver_cli"
+  "solver_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_construct.dir/i1_insertion.cpp.o"
+  "CMakeFiles/tsmo_construct.dir/i1_insertion.cpp.o.d"
+  "CMakeFiles/tsmo_construct.dir/insertion_utils.cpp.o"
+  "CMakeFiles/tsmo_construct.dir/insertion_utils.cpp.o.d"
+  "libtsmo_construct.a"
+  "libtsmo_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

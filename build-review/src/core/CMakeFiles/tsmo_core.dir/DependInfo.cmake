@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_memory.cpp" "src/core/CMakeFiles/tsmo_core.dir/adaptive_memory.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/adaptive_memory.cpp.o.d"
+  "/root/repo/src/core/candidate.cpp" "src/core/CMakeFiles/tsmo_core.dir/candidate.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/candidate.cpp.o.d"
+  "/root/repo/src/core/mots.cpp" "src/core/CMakeFiles/tsmo_core.dir/mots.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/mots.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/tsmo_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/pls.cpp" "src/core/CMakeFiles/tsmo_core.dir/pls.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/pls.cpp.o.d"
+  "/root/repo/src/core/run_result.cpp" "src/core/CMakeFiles/tsmo_core.dir/run_result.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/run_result.cpp.o.d"
+  "/root/repo/src/core/search_state.cpp" "src/core/CMakeFiles/tsmo_core.dir/search_state.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/search_state.cpp.o.d"
+  "/root/repo/src/core/sequential_tsmo.cpp" "src/core/CMakeFiles/tsmo_core.dir/sequential_tsmo.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/sequential_tsmo.cpp.o.d"
+  "/root/repo/src/core/tabu_list.cpp" "src/core/CMakeFiles/tsmo_core.dir/tabu_list.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/tabu_list.cpp.o.d"
+  "/root/repo/src/core/weighted_ts.cpp" "src/core/CMakeFiles/tsmo_core.dir/weighted_ts.cpp.o" "gcc" "src/core/CMakeFiles/tsmo_core.dir/weighted_ts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/operators/CMakeFiles/tsmo_operators.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/construct/CMakeFiles/tsmo_construct.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/moo/CMakeFiles/tsmo_moo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vrptw/CMakeFiles/tsmo_vrptw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_core.dir/adaptive_memory.cpp.o"
+  "CMakeFiles/tsmo_core.dir/adaptive_memory.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/candidate.cpp.o"
+  "CMakeFiles/tsmo_core.dir/candidate.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/mots.cpp.o"
+  "CMakeFiles/tsmo_core.dir/mots.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/params.cpp.o"
+  "CMakeFiles/tsmo_core.dir/params.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/pls.cpp.o"
+  "CMakeFiles/tsmo_core.dir/pls.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/run_result.cpp.o"
+  "CMakeFiles/tsmo_core.dir/run_result.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/search_state.cpp.o"
+  "CMakeFiles/tsmo_core.dir/search_state.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/sequential_tsmo.cpp.o"
+  "CMakeFiles/tsmo_core.dir/sequential_tsmo.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/tabu_list.cpp.o"
+  "CMakeFiles/tsmo_core.dir/tabu_list.cpp.o.d"
+  "CMakeFiles/tsmo_core.dir/weighted_ts.cpp.o"
+  "CMakeFiles/tsmo_core.dir/weighted_ts.cpp.o.d"
+  "libtsmo_core.a"
+  "libtsmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

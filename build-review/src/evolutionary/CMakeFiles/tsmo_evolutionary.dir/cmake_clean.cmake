@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_evolutionary.dir/crossover.cpp.o"
+  "CMakeFiles/tsmo_evolutionary.dir/crossover.cpp.o.d"
+  "CMakeFiles/tsmo_evolutionary.dir/nsga2.cpp.o"
+  "CMakeFiles/tsmo_evolutionary.dir/nsga2.cpp.o.d"
+  "CMakeFiles/tsmo_evolutionary.dir/spea2.cpp.o"
+  "CMakeFiles/tsmo_evolutionary.dir/spea2.cpp.o.d"
+  "libtsmo_evolutionary.a"
+  "libtsmo_evolutionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_evolutionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_harness.dir/experiment.cpp.o"
+  "CMakeFiles/tsmo_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/tsmo_harness.dir/plot.cpp.o"
+  "CMakeFiles/tsmo_harness.dir/plot.cpp.o.d"
+  "CMakeFiles/tsmo_harness.dir/report.cpp.o"
+  "CMakeFiles/tsmo_harness.dir/report.cpp.o.d"
+  "libtsmo_harness.a"
+  "libtsmo_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

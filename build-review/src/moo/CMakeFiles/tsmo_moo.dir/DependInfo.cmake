@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moo/archive.cpp" "src/moo/CMakeFiles/tsmo_moo.dir/archive.cpp.o" "gcc" "src/moo/CMakeFiles/tsmo_moo.dir/archive.cpp.o.d"
+  "/root/repo/src/moo/metrics.cpp" "src/moo/CMakeFiles/tsmo_moo.dir/metrics.cpp.o" "gcc" "src/moo/CMakeFiles/tsmo_moo.dir/metrics.cpp.o.d"
+  "/root/repo/src/moo/sorting.cpp" "src/moo/CMakeFiles/tsmo_moo.dir/sorting.cpp.o" "gcc" "src/moo/CMakeFiles/tsmo_moo.dir/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/vrptw/CMakeFiles/tsmo_vrptw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

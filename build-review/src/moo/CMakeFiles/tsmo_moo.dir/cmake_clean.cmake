@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_moo.dir/archive.cpp.o"
+  "CMakeFiles/tsmo_moo.dir/archive.cpp.o.d"
+  "CMakeFiles/tsmo_moo.dir/metrics.cpp.o"
+  "CMakeFiles/tsmo_moo.dir/metrics.cpp.o.d"
+  "CMakeFiles/tsmo_moo.dir/sorting.cpp.o"
+  "CMakeFiles/tsmo_moo.dir/sorting.cpp.o.d"
+  "libtsmo_moo.a"
+  "libtsmo_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsmo_moo.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/operators/local_search.cpp" "src/operators/CMakeFiles/tsmo_operators.dir/local_search.cpp.o" "gcc" "src/operators/CMakeFiles/tsmo_operators.dir/local_search.cpp.o.d"
+  "/root/repo/src/operators/move.cpp" "src/operators/CMakeFiles/tsmo_operators.dir/move.cpp.o" "gcc" "src/operators/CMakeFiles/tsmo_operators.dir/move.cpp.o.d"
+  "/root/repo/src/operators/move_engine.cpp" "src/operators/CMakeFiles/tsmo_operators.dir/move_engine.cpp.o" "gcc" "src/operators/CMakeFiles/tsmo_operators.dir/move_engine.cpp.o.d"
+  "/root/repo/src/operators/neighborhood.cpp" "src/operators/CMakeFiles/tsmo_operators.dir/neighborhood.cpp.o" "gcc" "src/operators/CMakeFiles/tsmo_operators.dir/neighborhood.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/vrptw/CMakeFiles/tsmo_vrptw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_operators.dir/local_search.cpp.o"
+  "CMakeFiles/tsmo_operators.dir/local_search.cpp.o.d"
+  "CMakeFiles/tsmo_operators.dir/move.cpp.o"
+  "CMakeFiles/tsmo_operators.dir/move.cpp.o.d"
+  "CMakeFiles/tsmo_operators.dir/move_engine.cpp.o"
+  "CMakeFiles/tsmo_operators.dir/move_engine.cpp.o.d"
+  "CMakeFiles/tsmo_operators.dir/neighborhood.cpp.o"
+  "CMakeFiles/tsmo_operators.dir/neighborhood.cpp.o.d"
+  "libtsmo_operators.a"
+  "libtsmo_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

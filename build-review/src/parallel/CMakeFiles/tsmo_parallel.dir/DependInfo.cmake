@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/async_tsmo.cpp" "src/parallel/CMakeFiles/tsmo_parallel.dir/async_tsmo.cpp.o" "gcc" "src/parallel/CMakeFiles/tsmo_parallel.dir/async_tsmo.cpp.o.d"
+  "/root/repo/src/parallel/hybrid_tsmo.cpp" "src/parallel/CMakeFiles/tsmo_parallel.dir/hybrid_tsmo.cpp.o" "gcc" "src/parallel/CMakeFiles/tsmo_parallel.dir/hybrid_tsmo.cpp.o.d"
+  "/root/repo/src/parallel/multisearch_tsmo.cpp" "src/parallel/CMakeFiles/tsmo_parallel.dir/multisearch_tsmo.cpp.o" "gcc" "src/parallel/CMakeFiles/tsmo_parallel.dir/multisearch_tsmo.cpp.o.d"
+  "/root/repo/src/parallel/sync_tsmo.cpp" "src/parallel/CMakeFiles/tsmo_parallel.dir/sync_tsmo.cpp.o" "gcc" "src/parallel/CMakeFiles/tsmo_parallel.dir/sync_tsmo.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/tsmo_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/tsmo_parallel.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/worker_team.cpp" "src/parallel/CMakeFiles/tsmo_parallel.dir/worker_team.cpp.o" "gcc" "src/parallel/CMakeFiles/tsmo_parallel.dir/worker_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/tsmo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/operators/CMakeFiles/tsmo_operators.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vrptw/CMakeFiles/tsmo_vrptw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/construct/CMakeFiles/tsmo_construct.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/moo/CMakeFiles/tsmo_moo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

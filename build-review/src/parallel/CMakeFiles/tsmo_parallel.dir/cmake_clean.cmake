@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_parallel.dir/async_tsmo.cpp.o"
+  "CMakeFiles/tsmo_parallel.dir/async_tsmo.cpp.o.d"
+  "CMakeFiles/tsmo_parallel.dir/hybrid_tsmo.cpp.o"
+  "CMakeFiles/tsmo_parallel.dir/hybrid_tsmo.cpp.o.d"
+  "CMakeFiles/tsmo_parallel.dir/multisearch_tsmo.cpp.o"
+  "CMakeFiles/tsmo_parallel.dir/multisearch_tsmo.cpp.o.d"
+  "CMakeFiles/tsmo_parallel.dir/sync_tsmo.cpp.o"
+  "CMakeFiles/tsmo_parallel.dir/sync_tsmo.cpp.o.d"
+  "CMakeFiles/tsmo_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/tsmo_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/tsmo_parallel.dir/worker_team.cpp.o"
+  "CMakeFiles/tsmo_parallel.dir/worker_team.cpp.o.d"
+  "libtsmo_parallel.a"
+  "libtsmo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

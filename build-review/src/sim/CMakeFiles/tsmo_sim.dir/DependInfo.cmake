@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/tsmo_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/tsmo_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/tsmo_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/tsmo_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/sim_tsmo.cpp" "src/sim/CMakeFiles/tsmo_sim.dir/sim_tsmo.cpp.o" "gcc" "src/sim/CMakeFiles/tsmo_sim.dir/sim_tsmo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/parallel/CMakeFiles/tsmo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/tsmo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vrptw/CMakeFiles/tsmo_vrptw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/construct/CMakeFiles/tsmo_construct.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/moo/CMakeFiles/tsmo_moo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/operators/CMakeFiles/tsmo_operators.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/tsmo_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tsmo_sim.dir/des.cpp.o"
+  "CMakeFiles/tsmo_sim.dir/des.cpp.o.d"
+  "CMakeFiles/tsmo_sim.dir/sim_tsmo.cpp.o"
+  "CMakeFiles/tsmo_sim.dir/sim_tsmo.cpp.o.d"
+  "libtsmo_sim.a"
+  "libtsmo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

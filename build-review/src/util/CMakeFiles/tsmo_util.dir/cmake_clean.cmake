@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_util.dir/cli.cpp.o"
+  "CMakeFiles/tsmo_util.dir/cli.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/env.cpp.o"
+  "CMakeFiles/tsmo_util.dir/env.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/json.cpp.o"
+  "CMakeFiles/tsmo_util.dir/json.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/rng.cpp.o"
+  "CMakeFiles/tsmo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/stats.cpp.o"
+  "CMakeFiles/tsmo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/table.cpp.o"
+  "CMakeFiles/tsmo_util.dir/table.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/telemetry.cpp.o"
+  "CMakeFiles/tsmo_util.dir/telemetry.cpp.o.d"
+  "CMakeFiles/tsmo_util.dir/trace.cpp.o"
+  "CMakeFiles/tsmo_util.dir/trace.cpp.o.d"
+  "libtsmo_util.a"
+  "libtsmo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

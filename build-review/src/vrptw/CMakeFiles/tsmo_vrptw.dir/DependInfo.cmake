@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vrptw/bounds.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/bounds.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/bounds.cpp.o.d"
+  "/root/repo/src/vrptw/evaluation.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/evaluation.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/evaluation.cpp.o.d"
+  "/root/repo/src/vrptw/generator.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/generator.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/generator.cpp.o.d"
+  "/root/repo/src/vrptw/instance.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/instance.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/instance.cpp.o.d"
+  "/root/repo/src/vrptw/objectives.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/objectives.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/objectives.cpp.o.d"
+  "/root/repo/src/vrptw/schedule.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/schedule.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/schedule.cpp.o.d"
+  "/root/repo/src/vrptw/solomon_io.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/solomon_io.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/solomon_io.cpp.o.d"
+  "/root/repo/src/vrptw/solution.cpp" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/solution.cpp.o" "gcc" "src/vrptw/CMakeFiles/tsmo_vrptw.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

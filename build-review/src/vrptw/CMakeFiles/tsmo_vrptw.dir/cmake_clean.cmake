@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsmo_vrptw.dir/bounds.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/bounds.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/evaluation.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/evaluation.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/generator.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/generator.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/instance.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/instance.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/objectives.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/objectives.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/schedule.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/schedule.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/solomon_io.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/solomon_io.cpp.o.d"
+  "CMakeFiles/tsmo_vrptw.dir/solution.cpp.o"
+  "CMakeFiles/tsmo_vrptw.dir/solution.cpp.o.d"
+  "libtsmo_vrptw.a"
+  "libtsmo_vrptw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsmo_vrptw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

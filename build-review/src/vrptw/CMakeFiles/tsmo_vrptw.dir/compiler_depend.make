@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tsmo_vrptw.
+# This may be replaced when dependencies are built.

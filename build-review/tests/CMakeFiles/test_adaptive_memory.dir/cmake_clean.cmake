@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_memory.dir/test_adaptive_memory.cpp.o"
+  "CMakeFiles/test_adaptive_memory.dir/test_adaptive_memory.cpp.o.d"
+  "test_adaptive_memory"
+  "test_adaptive_memory.pdb"
+  "test_adaptive_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

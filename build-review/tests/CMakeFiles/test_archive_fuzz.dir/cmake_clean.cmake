@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archive_fuzz.dir/test_archive_fuzz.cpp.o"
+  "CMakeFiles/test_archive_fuzz.dir/test_archive_fuzz.cpp.o.d"
+  "test_archive_fuzz"
+  "test_archive_fuzz.pdb"
+  "test_archive_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archive_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

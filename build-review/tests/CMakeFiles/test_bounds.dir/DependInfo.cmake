@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/test_bounds.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/test_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/harness/CMakeFiles/tsmo_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/tsmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/tsmo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/evolutionary/CMakeFiles/tsmo_evolutionary.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/tsmo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/construct/CMakeFiles/tsmo_construct.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/operators/CMakeFiles/tsmo_operators.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/moo/CMakeFiles/tsmo_moo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vrptw/CMakeFiles/tsmo_vrptw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/tsmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

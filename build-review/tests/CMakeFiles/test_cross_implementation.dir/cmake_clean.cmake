@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_implementation.dir/test_cross_implementation.cpp.o"
+  "CMakeFiles/test_cross_implementation.dir/test_cross_implementation.cpp.o.d"
+  "test_cross_implementation"
+  "test_cross_implementation.pdb"
+  "test_cross_implementation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_implementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

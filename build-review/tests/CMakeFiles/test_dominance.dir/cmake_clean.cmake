@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dominance.dir/test_dominance.cpp.o"
+  "CMakeFiles/test_dominance.dir/test_dominance.cpp.o.d"
+  "test_dominance"
+  "test_dominance.pdb"
+  "test_dominance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

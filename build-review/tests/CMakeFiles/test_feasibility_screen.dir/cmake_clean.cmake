@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feasibility_screen.dir/test_feasibility_screen.cpp.o"
+  "CMakeFiles/test_feasibility_screen.dir/test_feasibility_screen.cpp.o.d"
+  "test_feasibility_screen"
+  "test_feasibility_screen.pdb"
+  "test_feasibility_screen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feasibility_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_feasibility_screen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_seed.dir/test_golden_seed.cpp.o"
+  "CMakeFiles/test_golden_seed.dir/test_golden_seed.cpp.o.d"
+  "test_golden_seed"
+  "test_golden_seed.pdb"
+  "test_golden_seed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

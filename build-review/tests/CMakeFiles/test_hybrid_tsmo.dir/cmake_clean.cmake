@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_tsmo.dir/test_hybrid_tsmo.cpp.o"
+  "CMakeFiles/test_hybrid_tsmo.dir/test_hybrid_tsmo.cpp.o.d"
+  "test_hybrid_tsmo"
+  "test_hybrid_tsmo.pdb"
+  "test_hybrid_tsmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_tsmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

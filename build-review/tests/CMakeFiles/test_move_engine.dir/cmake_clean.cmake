@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_move_engine.dir/test_move_engine.cpp.o"
+  "CMakeFiles/test_move_engine.dir/test_move_engine.cpp.o.d"
+  "test_move_engine"
+  "test_move_engine.pdb"
+  "test_move_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_move_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

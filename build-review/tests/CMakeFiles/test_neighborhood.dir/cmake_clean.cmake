@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighborhood.dir/test_neighborhood.cpp.o"
+  "CMakeFiles/test_neighborhood.dir/test_neighborhood.cpp.o.d"
+  "test_neighborhood"
+  "test_neighborhood.pdb"
+  "test_neighborhood[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

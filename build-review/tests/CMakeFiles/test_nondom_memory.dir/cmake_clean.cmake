@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nondom_memory.dir/test_nondom_memory.cpp.o"
+  "CMakeFiles/test_nondom_memory.dir/test_nondom_memory.cpp.o.d"
+  "test_nondom_memory"
+  "test_nondom_memory.pdb"
+  "test_nondom_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nondom_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

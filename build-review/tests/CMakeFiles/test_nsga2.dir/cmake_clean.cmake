@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsga2.dir/test_nsga2.cpp.o"
+  "CMakeFiles/test_nsga2.dir/test_nsga2.cpp.o.d"
+  "test_nsga2"
+  "test_nsga2.pdb"
+  "test_nsga2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsga2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operator_weights.dir/test_operator_weights.cpp.o"
+  "CMakeFiles/test_operator_weights.dir/test_operator_weights.cpp.o.d"
+  "test_operator_weights"
+  "test_operator_weights.pdb"
+  "test_operator_weights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operator_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_scale.dir/test_paper_scale.cpp.o"
+  "CMakeFiles/test_paper_scale.dir/test_paper_scale.cpp.o.d"
+  "test_paper_scale"
+  "test_paper_scale.pdb"
+  "test_paper_scale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_tsmo.dir/test_parallel_tsmo.cpp.o"
+  "CMakeFiles/test_parallel_tsmo.dir/test_parallel_tsmo.cpp.o.d"
+  "test_parallel_tsmo"
+  "test_parallel_tsmo.pdb"
+  "test_parallel_tsmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_tsmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

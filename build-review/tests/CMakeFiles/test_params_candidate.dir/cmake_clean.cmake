@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_params_candidate.dir/test_params_candidate.cpp.o"
+  "CMakeFiles/test_params_candidate.dir/test_params_candidate.cpp.o.d"
+  "test_params_candidate"
+  "test_params_candidate.pdb"
+  "test_params_candidate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_params_candidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

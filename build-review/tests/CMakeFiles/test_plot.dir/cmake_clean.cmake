@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plot.dir/test_plot.cpp.o"
+  "CMakeFiles/test_plot.dir/test_plot.cpp.o.d"
+  "test_plot"
+  "test_plot.pdb"
+  "test_plot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

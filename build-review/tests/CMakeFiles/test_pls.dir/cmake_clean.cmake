@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pls.dir/test_pls.cpp.o"
+  "CMakeFiles/test_pls.dir/test_pls.cpp.o.d"
+  "test_pls"
+  "test_pls.pdb"
+  "test_pls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_result.dir/test_run_result.cpp.o"
+  "CMakeFiles/test_run_result.dir/test_run_result.cpp.o.d"
+  "test_run_result"
+  "test_run_result.pdb"
+  "test_run_result[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

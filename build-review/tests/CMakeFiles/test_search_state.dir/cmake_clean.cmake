@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_state.dir/test_search_state.cpp.o"
+  "CMakeFiles/test_search_state.dir/test_search_state.cpp.o.d"
+  "test_search_state"
+  "test_search_state.pdb"
+  "test_search_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_tsmo.dir/test_sequential_tsmo.cpp.o"
+  "CMakeFiles/test_sequential_tsmo.dir/test_sequential_tsmo.cpp.o.d"
+  "test_sequential_tsmo"
+  "test_sequential_tsmo.pdb"
+  "test_sequential_tsmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_tsmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tsmo.dir/test_sim_tsmo.cpp.o"
+  "CMakeFiles/test_sim_tsmo.dir/test_sim_tsmo.cpp.o.d"
+  "test_sim_tsmo"
+  "test_sim_tsmo.pdb"
+  "test_sim_tsmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tsmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

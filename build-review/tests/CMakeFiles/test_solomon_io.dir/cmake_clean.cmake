@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solomon_io.dir/test_solomon_io.cpp.o"
+  "CMakeFiles/test_solomon_io.dir/test_solomon_io.cpp.o.d"
+  "test_solomon_io"
+  "test_solomon_io.pdb"
+  "test_solomon_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solomon_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solution.dir/test_solution.cpp.o"
+  "CMakeFiles/test_solution.dir/test_solution.cpp.o.d"
+  "test_solution"
+  "test_solution.pdb"
+  "test_solution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

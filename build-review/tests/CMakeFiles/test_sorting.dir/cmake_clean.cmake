@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorting.dir/test_sorting.cpp.o"
+  "CMakeFiles/test_sorting.dir/test_sorting.cpp.o.d"
+  "test_sorting"
+  "test_sorting.pdb"
+  "test_sorting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_nonparametric.dir/test_stats_nonparametric.cpp.o"
+  "CMakeFiles/test_stats_nonparametric.dir/test_stats_nonparametric.cpp.o.d"
+  "test_stats_nonparametric"
+  "test_stats_nonparametric.pdb"
+  "test_stats_nonparametric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_nonparametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

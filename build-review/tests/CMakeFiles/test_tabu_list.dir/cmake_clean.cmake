@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabu_list.dir/test_tabu_list.cpp.o"
+  "CMakeFiles/test_tabu_list.dir/test_tabu_list.cpp.o.d"
+  "test_tabu_list"
+  "test_tabu_list.pdb"
+  "test_tabu_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabu_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_ts.dir/test_weighted_ts.cpp.o"
+  "CMakeFiles/test_weighted_ts.dir/test_weighted_ts.cpp.o.d"
+  "test_weighted_ts"
+  "test_weighted_ts.pdb"
+  "test_weighted_ts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

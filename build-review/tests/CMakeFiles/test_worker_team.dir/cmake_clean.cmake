@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worker_team.dir/test_worker_team.cpp.o"
+  "CMakeFiles/test_worker_team.dir/test_worker_team.cpp.o.d"
+  "test_worker_team"
+  "test_worker_team.pdb"
+  "test_worker_team[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worker_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
