@@ -16,6 +16,7 @@
 #include <iostream>
 #include <vector>
 
+#include "moo/anytime.hpp"
 #include "sim/sim_tsmo.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -31,13 +32,21 @@ int main() {
   params.seed = 7;
   const CostModel cost = CostModel::for_instance(inst);
 
+  ConvergenceConfig cc;
+  cc.reference = convergence_reference(inst);
+  cc.sample_every_iters = 10;
+  cc.sample_every_ms = 0.0;  // iteration cadence only: deterministic
+  ConvergenceRecorder recorder(cc);
+
   std::vector<SimAsyncIterationEvent> events;
   SimAsyncOptions options;
+  options.recorder = &recorder;
   options.observer = [&](const SimAsyncIterationEvent& ev) {
     events.push_back(ev);
   };
   const RunResult result =
       run_sim_async(inst, params, /*processors=*/3, cost, options);
+  recorder.finalize(result.front);
 
   std::cout << "Fig. 1 -- asynchronous TS trajectory on " << inst.name()
             << " (3 processors, " << result.evaluations
@@ -99,8 +108,36 @@ int main() {
   for (const auto& line : canvas) std::cout << "  |" << line << "\n";
   std::cout << "  +" << std::string(W, '-') << "\n\n";
 
+  // --- Anytime view from the convergence recorder: how quickly the
+  // archive's hypervolume approaches its final value, and how close each
+  // sampled archive already was to the final front (additive epsilon). ---
+  const auto& samples = recorder.samples();
+  if (!samples.empty()) {
+    const double final_hv = samples.back().hv;
+    TextTable anytime({"iter", "archive", "hv/final [%]", "eps to final",
+                       "best feasible f1"});
+    const std::size_t stride =
+        std::max<std::size_t>(samples.size() / 10, 1);
+    for (std::size_t k = 0; k < samples.size(); k += stride) {
+      const ConvergenceSample& s = samples[k];
+      anytime.add_row(
+          {std::to_string(s.iteration), std::to_string(s.archive_size),
+           final_hv > 0.0 ? fmt_double(100.0 * s.hv / final_hv, 1) : "-",
+           fmt_double(s.eps_to_final, 1),
+           s.best_feasible_distance > 0.0
+               ? fmt_double(s.best_feasible_distance, 1)
+               : "-"});
+    }
+    anytime.print(std::cout, "Anytime convergence (recorder samples)");
+    std::cout << "\n";
+  }
+
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
+  if (recorder.write_jsonl("bench_results/fig1_convergence.jsonl")) {
+    std::cout << "convergence event stream written to "
+                 "bench_results/fig1_convergence.jsonl\n";
+  }
   std::ofstream csv("bench_results/fig1_trajectory.csv");
   if (csv) {
     csv << "iteration,virtual_time_s,pool_size,kind,distance,vehicles,"

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/adaptive_memory.hpp"
 #include "core/mots.hpp"
@@ -22,6 +23,7 @@
 #include "evolutionary/spea2.hpp"
 #include "harness/plot.hpp"
 #include "harness/report.hpp"
+#include "moo/anytime.hpp"
 #include "operators/local_search.hpp"
 #include "parallel/async_tsmo.hpp"
 #include "parallel/hybrid_tsmo.hpp"
@@ -29,6 +31,7 @@
 #include "parallel/sync_tsmo.hpp"
 #include "sim/sim_tsmo.hpp"
 #include "util/cli.hpp"
+#include "util/progress.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
 #include "vrptw/generator.hpp"
@@ -43,25 +46,45 @@ Instance load_instance(const std::string& spec) {
   return generate_named(spec);
 }
 
+/// Recorder/watchdog knobs forwarded into the engine option structs.
+/// The recorder covers the four TSMO engines (threaded) plus the
+/// simulated asynchronous master; other algorithms ignore it.
+struct ObserveOptions {
+  ConvergenceRecorder* recorder = nullptr;
+  bool stall_restart = false;
+};
+
 RunResult solve(const std::string& algorithm, const Instance& inst,
-                const TsmoParams& params, int processors, bool simulate) {
+                const TsmoParams& params, int processors, bool simulate,
+                const ObserveOptions& observe = {}) {
   const CostModel cost = CostModel::for_instance(inst);
   if (algorithm == "seq") {
     return simulate ? run_sim_sequential(inst, params, cost)
                     : SequentialTsmo(inst, params).run();
   }
   if (algorithm == "sync") {
+    SyncOptions so;
+    so.recorder = observe.recorder;
     return simulate ? run_sim_sync(inst, params, processors, cost)
-                    : SyncTsmo(inst, params, processors).run();
+                    : SyncTsmo(inst, params, processors, so).run();
   }
   if (algorithm == "async") {
-    return simulate ? run_sim_async(inst, params, processors, cost)
-                    : AsyncTsmo(inst, params, processors).run();
+    if (simulate) {
+      SimAsyncOptions sa;
+      sa.recorder = observe.recorder;
+      return run_sim_async(inst, params, processors, cost, std::move(sa));
+    }
+    AsyncOptions ao;
+    ao.recorder = observe.recorder;
+    ao.stall_restart = observe.stall_restart;
+    return AsyncTsmo(inst, params, processors, ao).run();
   }
   if (algorithm == "coll") {
+    MultisearchOptions mo;
+    mo.recorder = observe.recorder;
     MultisearchResult r =
         simulate ? run_sim_multisearch(inst, params, processors, cost)
-                 : MultisearchTsmo(inst, params, processors).run();
+                 : MultisearchTsmo(inst, params, processors, mo).run();
     for (const RunResult& s : r.per_searcher) {
       r.merged.sim_seconds = std::max(r.merged.sim_seconds, s.sim_seconds);
     }
@@ -69,9 +92,12 @@ RunResult solve(const std::string& algorithm, const Instance& inst,
   }
   if (algorithm == "hybrid") {
     const int per_island = std::max(2, processors / 2);
+    HybridOptions ho;
+    ho.recorder = observe.recorder;
+    ho.stall_restart = observe.stall_restart;
     MultisearchResult r =
         simulate ? run_sim_hybrid(inst, params, 2, per_island, cost)
-                 : HybridTsmo(inst, params, 2, per_island).run();
+                 : HybridTsmo(inst, params, 2, per_island, ho).run();
     for (const RunResult& s : r.per_searcher) {
       r.merged.sim_seconds = std::max(r.merged.sim_seconds, s.sim_seconds);
     }
@@ -153,6 +179,24 @@ int main(int argc, char** argv) {
                  "write a Chrome trace here (and a .jsonl metrics snapshot "
                  "next to it), plus the per-phase breakdown",
                  "");
+  cli.add_option("convergence-out",
+                 "record anytime convergence and write the event stream "
+                 "(convergence.jsonl schema) to this file",
+                 "");
+  cli.add_option("sample-iters",
+                 "convergence sample cadence in searcher iterations", "50");
+  cli.add_option("sample-ms", "convergence sample cadence in wall ms",
+                 "250");
+  cli.add_option("stall-ms",
+                 "flag a worker stalled after this many ms without a "
+                 "heartbeat (0 disables the watchdog)",
+                 "0");
+  cli.add_flag("progress",
+               "live one-line status (iterations/s, hypervolume, archive "
+               "size, stalled workers)");
+  cli.add_flag("stall-restart",
+               "let a watchdog verdict trigger the stalled searcher's "
+               "diversification restart (async/hybrid, needs --stall-ms)");
   cli.add_flag("simulate", "run on the virtual clock (deterministic)");
   cli.add_flag("polish",
                "post-run VND local search on every archive solution");
@@ -178,11 +222,39 @@ int main(int argc, char** argv) {
       params.telemetry = true;
       telemetry::set_enabled(true);  // also covers the comparator solvers
     }
+    params.convergence_sample_iters =
+        static_cast<int>(cli.get_int("sample-iters"));
+    params.convergence_sample_ms = cli.get_double("sample-ms");
+
+    const std::string convergence_out = cli.get("convergence-out");
+    std::unique_ptr<ConvergenceRecorder> recorder;
+    if (!convergence_out.empty() || cli.flag("progress") ||
+        cli.get_double("stall-ms") > 0.0) {
+      ConvergenceConfig cc;
+      cc.reference = convergence_reference(inst);
+      cc.sample_every_iters = params.convergence_sample_iters;
+      cc.sample_every_ms = params.convergence_sample_ms;
+      cc.stall_threshold_ms = cli.get_double("stall-ms");
+      recorder = std::make_unique<ConvergenceRecorder>(cc);
+    }
+    ObserveOptions observe;
+    observe.recorder = recorder.get();
+    observe.stall_restart = cli.flag("stall-restart");
+
+    std::unique_ptr<ProgressPrinter> progress;
+    if (cli.flag("progress") && recorder) {
+      ConvergenceRecorder* rec = recorder.get();
+      progress = std::make_unique<ProgressPrinter>(
+          std::cout, 200.0, [rec] { return rec->status_line(); });
+    }
 
     RunResult result =
         solve(cli.get("algorithm"), inst, params,
               static_cast<int>(cli.get_int("processors")),
-              cli.flag("simulate"));
+              cli.flag("simulate"), observe);
+
+    if (progress) progress->finish();
+    if (recorder) recorder->finalize(result.front);
 
     if (cli.flag("polish")) {
       // Deterministic VND descent on each archive member; the polished
@@ -242,6 +314,21 @@ int main(int argc, char** argv) {
       table.print(std::cout, "Pareto archive");
     }
 
+    if (recorder && !cli.flag("quiet") &&
+        !recorder->attribution().empty()) {
+      TextTable attr(
+          {"searcher", "worker", "operator", "insertions", "survived"});
+      for (const AttributionRow& row : recorder->attribution()) {
+        attr.add_row(
+            {std::to_string(row.searcher),
+             row.worker < 0 ? "self" : std::to_string(row.worker),
+             row.op < 0 ? "init/restart"
+                        : to_string(static_cast<MoveType>(row.op)),
+             std::to_string(row.insertions), std::to_string(row.survived)});
+      }
+      attr.print(std::cout, "Archive contributions");
+    }
+
     if (const std::string path = cli.get("svg"); !path.empty()) {
       const Solution* best = nullptr;
       for (std::size_t i = 0; i < result.solutions.size(); ++i) {
@@ -276,6 +363,17 @@ int main(int argc, char** argv) {
       result.telemetry_path = sink.trace_path();
       std::cout << "telemetry trace written to " << sink.trace_path()
                 << ", snapshot to " << sink.snapshot_path() << "\n";
+    }
+    if (recorder && !convergence_out.empty()) {
+      if (!recorder->write_jsonl(convergence_out)) {
+        std::cerr << "cannot write convergence stream to "
+                  << convergence_out << "\n";
+        return 1;
+      }
+      std::cout << recorder->samples().size() << " convergence samples ("
+                << recorder->insertions().size() << " insertions, "
+                << recorder->stalls_flagged()
+                << " stalls) written to " << convergence_out << "\n";
     }
     if (const std::string path = cli.get("json"); !path.empty()) {
       std::ofstream f(path);

@@ -11,6 +11,7 @@
 // a candidate therefore applies the move to *its own* base, never to the
 // current solution.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct Candidate {
   MoveAttrs creates;
   MoveAttrs destroys;
   std::shared_ptr<const Solution> base;
+  /// Generation worker that evaluated this candidate; -1 when the searcher
+  /// produced it itself.  Stamped by WorkerTeam / the DES worker model and
+  /// carried into the convergence recorder's contribution attribution.
+  std::int16_t origin = -1;
 };
 
 /// Wraps evaluated neighbors of `base` into candidates sharing one handle.

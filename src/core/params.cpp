@@ -34,6 +34,8 @@ void TsmoParams::clamp() {
   archive_capacity = std::max(archive_capacity, 2);
   nondom_capacity = std::max(nondom_capacity, 1);
   restart_after = std::max(restart_after, 1);
+  if (convergence_sample_iters < 0) convergence_sample_iters = 0;
+  if (!(convergence_sample_ms >= 0.0)) convergence_sample_ms = 0.0;
 }
 
 }  // namespace tsmo

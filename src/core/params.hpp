@@ -50,6 +50,13 @@ struct TsmoParams {
   /// only — never consulted by the search, so fingerprints are identical
   /// with telemetry on or off.  Never perturbed.
   bool telemetry = false;
+  /// Dual sampling cadence of the anytime convergence recorder (DESIGN.md
+  /// §9): a searcher samples its archive every `convergence_sample_iters`
+  /// iterations and additionally once `convergence_sample_ms` of wall clock
+  /// passed since its last sample (either <= 0 disables that schedule).
+  /// Observation only; never consulted by the search and never perturbed.
+  int convergence_sample_iters = 50;
+  double convergence_sample_ms = 250.0;
   std::uint64_t seed = 1;
 
   /// Perturbs every numeric parameter with N(0, p/4) noise — §III.E: "The

@@ -14,10 +14,24 @@
 
 namespace tsmo {
 
+/// Provenance of one archive member: which searcher/worker/operator last
+/// inserted its objective vector, and at which searcher iteration.  worker
+/// == -1 means the searcher evaluated the move itself (or it came from
+/// construction/restart, in which case op is also -1).
+struct ArchiveAttribution {
+  int searcher = 0;
+  int worker = -1;
+  int op = -1;
+  std::int64_t iteration = 0;
+};
+
 struct RunResult {
   std::string algorithm;
   std::vector<Objectives> front;    ///< archive objective vectors
   std::vector<Solution> solutions;  ///< matching archive solutions
+  /// Per-member provenance, parallel to `front` (empty only for results
+  /// predating a run, never truncated by merges).
+  std::vector<ArchiveAttribution> attribution;
 
   std::int64_t evaluations = 0;
   std::int64_t iterations = 0;

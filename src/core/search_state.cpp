@@ -26,11 +26,48 @@ void SearchState::initialize() {
   initialize_with(construct_i1_random(*inst_, rng_));
 }
 
+void SearchState::set_recorder(ConvergenceRecorder* rec, int searcher_id) {
+  recorder_ =
+      rec ? rec->attach(searcher_id,
+                        "searcher " + std::to_string(searcher_id))
+          : nullptr;
+}
+
+ArchiveAttribution SearchState::attribution_for(const Objectives& obj) const {
+  for (const auto& [o, attr] : provenance_) {
+    if (o == obj) return attr;
+  }
+  ArchiveAttribution attr;
+  attr.searcher = trace_id_;
+  return attr;
+}
+
+void SearchState::note_insertion(const Objectives& obj, int op, int worker) {
+  ArchiveAttribution attr;
+  attr.searcher = trace_id_;
+  attr.worker = worker;
+  attr.op = op;
+  attr.iteration = iterations_;
+  bool found = false;
+  for (auto& [o, a] : provenance_) {
+    if (o == obj) {
+      a = attr;
+      found = true;
+      break;
+    }
+  }
+  if (!found) provenance_.emplace_back(obj, attr);
+  if (recorder_) recorder_->record_insertion(obj, op, worker, iterations_);
+}
+
 void SearchState::initialize_with(Solution s) {
   s.evaluate();
   current_ = std::make_shared<const Solution>(std::move(s));
   ++evaluations_;
-  archive_.try_add(current_->objectives(), *current_);
+  if (archive_accepted(
+          archive_.try_add(current_->objectives(), *current_))) {
+    note_insertion(current_->objectives(), -1, -1);
+  }
   iterations_ = 0;
   restarts_ = 0;
   last_improvement_ = 0;
@@ -83,6 +120,11 @@ SearchState::StepOutcome SearchState::step_with_candidates(
   TSMO_TIME_SCOPE("search.step_ns");
   TSMO_COUNT("search.steps");
   StepOutcome out;
+  // A pending watchdog diversification request routes through the
+  // existing stagnation path (opt-in; never set in deterministic runs).
+  if (external_restart_.exchange(false, std::memory_order_relaxed)) {
+    no_improvement_ = true;
+  }
   // Line 8: s <- Select(N, M_tabulist)
   const std::optional<std::size_t> sel = select(candidates);
 
@@ -106,6 +148,15 @@ SearchState::StepOutcome SearchState::step_with_candidates(
   // remaining non-dominated neighbors into M_nondom.
   bool improved =
       archive_accepted(archive_.try_add(current_->objectives(), *current_));
+  if (improved) {
+    if (out.selected) {
+      const Candidate& c = candidates[*out.selected];
+      note_insertion(current_->objectives(),
+                     static_cast<int>(c.move.type), c.origin);
+    } else {
+      note_insertion(current_->objectives(), -1, -1);
+    }
+  }
   for (std::size_t i : nondominated_indices(candidates)) {
     if (out.selected && i == *out.selected) continue;
     const Candidate& c = candidates[i];
@@ -157,6 +208,13 @@ SearchState::StepOutcome SearchState::step_with_candidates(
     }
     trace_.record_step(trace_id_, iterations_, move_hash, out.restarted,
                        current_->objectives(), archive_.size());
+  }
+
+  if (recorder_) {
+    recorder_->heartbeat(iterations_);
+    if (recorder_->sample_due(iterations_)) {
+      recorder_->sample(iterations_, evaluations_, archive_.objectives());
+    }
   }
   return out;
 }

@@ -11,13 +11,17 @@
 // the benchmarks measures the parallelization strategy, not divergent
 // reimplementations.
 
+#include <atomic>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/candidate.hpp"
 #include "core/params.hpp"
+#include "core/run_result.hpp"
 #include "core/tabu_list.hpp"
+#include "moo/anytime.hpp"
 #include "moo/archive.hpp"
 #include "moo/nondom_memory.hpp"
 #include "operators/move_engine.hpp"
@@ -117,6 +121,29 @@ class SearchState {
   void set_trace_id(int id) noexcept { trace_id_ = id; }
   int trace_id() const noexcept { return trace_id_; }
 
+  /// Attaches the anytime convergence recorder (DESIGN.md §9) under this
+  /// searcher's trace id — call after set_trace_id.  Observation only:
+  /// heartbeats, archive samples and insertion events; never touches the
+  /// RNG or any search decision.  Pass nullptr to detach.
+  void set_recorder(ConvergenceRecorder* rec) {
+    set_recorder(rec, trace_id_);
+  }
+  /// Same, under an explicit recorder searcher id (the DES drivers keep
+  /// their trace ids untouched so fingerprints are recorder-independent).
+  void set_recorder(ConvergenceRecorder* rec, int searcher_id);
+
+  /// Provenance of the current archive content: attribution of the last
+  /// insertion of each member's objective vector (identity attribution
+  /// when the vector was never tracked, e.g. for received solutions).
+  ArchiveAttribution attribution_for(const Objectives& obj) const;
+
+  /// Asynchronous diversification request (the stall watchdog's opt-in
+  /// reaction): the next step treats the search as stagnated and restarts
+  /// from the memories.  Safe from any thread.
+  void request_restart() noexcept {
+    external_restart_.store(true, std::memory_order_relaxed);
+  }
+
  private:
   /// Select(N, M_tabulist): uniformly random among non-tabu members of the
   /// non-dominated subset; nullopt when all are tabu (or the set is empty).
@@ -131,6 +158,10 @@ class SearchState {
   /// the adaptive extension is enabled.
   void maybe_adapt_weights();
 
+  /// Records that `obj` (re)entered the archive with the given provenance
+  /// and forwards the insertion to the recorder when attached.
+  void note_insertion(const Objectives& obj, int op, int worker);
+
   const Instance* inst_;
   TsmoParams params_;
   Rng rng_;
@@ -142,6 +173,12 @@ class SearchState {
   std::shared_ptr<const Solution> current_;
   RunTrace trace_;
   int trace_id_ = 0;
+  ConvergenceRecorder::Searcher* recorder_ = nullptr;
+  /// Last-writer provenance per distinct objective vector that entered the
+  /// archive (linear scan: archives hold tens of points).  Always
+  /// maintained so RunResult::attribution works without a recorder.
+  std::vector<std::pair<Objectives, ArchiveAttribution>> provenance_;
+  std::atomic<bool> external_restart_{false};
 
   std::int64_t iterations_ = 0;
   std::int64_t restarts_ = 0;

@@ -1,0 +1,433 @@
+#include "moo/anytime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace tsmo {
+
+namespace {
+
+/// Strictly inside the reference box in every objective — only such points
+/// dominate volume and can displace front members.
+bool interior(const Objectives& p, const Objectives& ref) noexcept {
+  return p.distance < ref.distance && p.vehicles < ref.vehicles &&
+         p.tardiness < ref.tardiness;
+}
+
+/// JSON string escaping for the few label strings we emit.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Doubles round-trip exactly at max_digits10; infinities become null so
+/// the stream stays strict JSON.
+void put_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void put_obj(std::ostream& os, const Objectives& o) {
+  os << "[";
+  put_double(os, o.distance);
+  os << "," << o.vehicles << ",";
+  put_double(os, o.tardiness);
+  os << "]";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// convergence_reference
+// ---------------------------------------------------------------------------
+
+Objectives convergence_reference(const Instance& inst) {
+  // Distance: no route visits a customer by a path longer than the
+  // out-and-back depot leg, so 2 * sum of depot round-trips bounds any
+  // solution the construction or search would keep; doubled again for
+  // slack so early infeasible-leaning fronts still register volume.
+  double round_trips = 0.0;
+  const int n = inst.num_customers();
+  for (int i = 1; i <= n; ++i) {
+    round_trips += 2.0 * inst.distance(0, i);
+  }
+  Objectives ref;
+  ref.distance = std::max(2.0 * round_trips, 1.0);
+  ref.vehicles = inst.max_vehicles() + 1;
+  // Tardiness: a visit can be late by at most the horizon (the depot due
+  // date bounds every arrival in any evaluated solution).
+  ref.tardiness = std::max(inst.horizon() * static_cast<double>(n), 1.0);
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalHypervolume
+// ---------------------------------------------------------------------------
+
+bool IncrementalHypervolume::add(const Objectives& p) {
+  ++seen_;
+  last_gain_ = 0.0;
+  if (!interior(p, ref_)) return false;
+  // O(n) reject path: a point weakly dominated by (or equal to) a front
+  // member changes nothing — this is the overwhelmingly common case once
+  // the search has warmed up.
+  for (const Objectives& q : front_) {
+    if (weakly_dominates(q, p)) return false;
+  }
+  // Accept: drop the members p dominates, then recompute over the new
+  // front.  hypervolume() sorts internally, so the cached value is the
+  // same bits a from-scratch call over this set would produce.
+  front_.erase(std::remove_if(front_.begin(), front_.end(),
+                              [&p](const Objectives& q) {
+                                return weakly_dominates(p, q);
+                              }),
+               front_.end());
+  front_.push_back(p);
+  const double before = value_;
+  value_ = hypervolume(front_, ref_);
+  ++recomputes_;
+  last_gain_ = value_ - before;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ConvergenceRecorder
+// ---------------------------------------------------------------------------
+
+ConvergenceRecorder::ConvergenceRecorder(ConvergenceConfig config)
+    : config_(std::move(config)),
+      epoch_ns_(now_ns()),
+      global_hv_(config_.reference) {
+  if (config_.stall_threshold_ms > 0.0) {
+    const auto threshold = static_cast<std::uint64_t>(
+        config_.stall_threshold_ms * 1.0e6);
+    const auto interval = static_cast<std::uint64_t>(
+        std::max(config_.stall_check_interval_ms, 1.0) * 1.0e6);
+    watchdog_ = std::make_unique<StallWatchdog>(
+        board_, threshold, interval,
+        [this](const StallWatchdog::StallEvent& ev) { on_stall(ev); });
+  }
+}
+
+ConvergenceRecorder::~ConvergenceRecorder() = default;
+
+ConvergenceRecorder::Searcher* ConvergenceRecorder::attach(
+    int searcher_id, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Searcher& s : searchers_) {
+    if (s.id_ == searcher_id) return &s;
+  }
+  searchers_.emplace_back();
+  Searcher& s = searchers_.back();
+  s.rec_ = this;
+  s.id_ = searcher_id;
+  s.slot_ = board_.register_slot(label);
+  s.hv_ = IncrementalHypervolume(config_.reference);
+  s.last_sample_ns_ = now_ns();
+  searcher_slots_.push_back(s.slot_);
+  if (static_cast<int>(slot_to_searcher_.size()) <= s.slot_) {
+    slot_to_searcher_.resize(static_cast<std::size_t>(s.slot_) + 1, -1);
+  }
+  slot_to_searcher_[static_cast<std::size_t>(s.slot_)] = searcher_id;
+  return &s;
+}
+
+int ConvergenceRecorder::register_worker(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int slot = board_.register_slot(label);
+  if (static_cast<int>(slot_to_searcher_.size()) <= slot) {
+    slot_to_searcher_.resize(static_cast<std::size_t>(slot) + 1, -1);
+  }
+  return slot;
+}
+
+void ConvergenceRecorder::engine_started(const std::string& engine,
+                                         int searchers, int workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  engine_name_ = engine;
+  engine_start_ns_ = now_ns();
+  LifecycleEvent ev;
+  ev.kind = "engine_start";
+  ev.engine = engine;
+  ev.searchers = searchers;
+  ev.workers = workers;
+  ev.t_ns = engine_start_ns_ - epoch_ns_;
+  lifecycle_.push_back(std::move(ev));
+}
+
+void ConvergenceRecorder::engine_finished(std::int64_t iterations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LifecycleEvent ev;
+  ev.kind = "engine_finish";
+  ev.engine = engine_name_;
+  ev.iterations = iterations;
+  ev.t_ns = now_ns() - epoch_ns_;
+  lifecycle_.push_back(std::move(ev));
+}
+
+void ConvergenceRecorder::set_stall_action(
+    std::function<void(int)> action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stall_action_ = std::move(action);
+}
+
+void ConvergenceRecorder::on_stall(const StallWatchdog::StallEvent& ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StallRecord rec;
+  rec.slot = ev.slot;
+  rec.label = ev.label;
+  rec.age_ms = static_cast<double>(ev.age_ns) / 1.0e6;
+  rec.progress = ev.progress;
+  rec.t_ns = now_ns() - epoch_ns_;
+  stalls_.push_back(std::move(rec));
+  int searcher_id = -1;
+  if (ev.slot >= 0 &&
+      ev.slot < static_cast<int>(slot_to_searcher_.size())) {
+    searcher_id = slot_to_searcher_[static_cast<std::size_t>(ev.slot)];
+  }
+  // Invoked under the recorder lock on purpose: set_stall_action(nullptr)
+  // then guarantees no in-flight invocation survives its return, so
+  // engines can clear the action right before their search states die.
+  // Actions must therefore be tiny and never call back into the recorder
+  // (request_restart is one atomic store).
+  if (stall_action_ && searcher_id >= 0) stall_action_(searcher_id);
+}
+
+// --- Searcher ---
+
+bool ConvergenceRecorder::Searcher::sample_due(
+    std::int64_t iteration) noexcept {
+  const int every = rec_->config_.sample_every_iters;
+  if (every > 0 && iteration - last_sample_iter_ >= every) return true;
+  const double ms = rec_->config_.sample_every_ms;
+  if (ms > 0.0) {
+    const std::uint64_t elapsed = now_ns() - last_sample_ns_;
+    if (static_cast<double>(elapsed) >= ms * 1.0e6) return true;
+  }
+  return false;
+}
+
+void ConvergenceRecorder::Searcher::sample(std::int64_t iteration,
+                                           std::int64_t evaluations,
+                                           std::vector<Objectives> archive) {
+  last_sample_iter_ = iteration;
+  last_sample_ns_ = now_ns();
+  ConvergenceSample s;
+  s.searcher = id_;
+  s.iteration = iteration;
+  s.evaluations = evaluations;
+  s.t_ns = last_sample_ns_ - rec_->epoch_ns_;
+  s.hv = hv_.value();
+  s.archive_size = archive.size();
+  s.spacing = spacing(archive);
+  s.best_feasible_distance = best_feasible_;
+  s.eps_to_final = std::numeric_limits<double>::infinity();
+  s.archive = std::move(archive);
+  std::lock_guard<std::mutex> lock(rec_->mutex_);
+  s.hv_global = rec_->global_hv_.value();
+  rec_->samples_.push_back(std::move(s));
+}
+
+void ConvergenceRecorder::Searcher::record_insertion(
+    const Objectives& obj, int op, int worker, std::int64_t iteration) {
+  hv_.add(obj);
+  if (obj.tardiness <= 0.0 &&
+      (best_feasible_ == 0.0 || obj.distance < best_feasible_)) {
+    best_feasible_ = obj.distance;
+  }
+  InsertionEvent ev;
+  ev.searcher = id_;
+  ev.worker = worker;
+  ev.op = op;
+  ev.iteration = iteration;
+  ev.obj = obj;
+  ev.t_ns = now_ns() - rec_->epoch_ns_;
+  std::lock_guard<std::mutex> lock(rec_->mutex_);
+  rec_->global_hv_.add(obj);
+  rec_->insertions_.push_back(std::move(ev));
+}
+
+// --- Live view ---
+
+std::string ConvergenceRecorder::status_line() const {
+  std::string engine;
+  double hv = 0.0;
+  std::size_t samples = 0;
+  std::uint64_t start_ns = epoch_ns_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine = engine_name_;
+    hv = global_hv_.value();
+    samples = samples_.size();
+    if (engine_start_ns_ != 0) start_ns = engine_start_ns_;
+  }
+  const std::int64_t iters = board_.total_progress();
+  const double secs =
+      static_cast<double>(now_ns() - start_ns) / 1.0e9;
+  const double rate = secs > 1.0e-3 ? static_cast<double>(iters) / secs : 0.0;
+  std::ostringstream os;
+  os << (engine.empty() ? "tsmo" : engine) << " | it " << iters << " | "
+     << static_cast<std::int64_t>(rate) << " it/s | hv ";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", hv);
+  os << buf << " | samples " << samples << " | stalled "
+     << stalled_count();
+  return os.str();
+}
+
+int ConvergenceRecorder::stalled_count() const noexcept {
+  return watchdog_ ? watchdog_->stalled_count() : 0;
+}
+
+std::int64_t ConvergenceRecorder::stalls_flagged() const noexcept {
+  return watchdog_ ? watchdog_->stalls_flagged() : 0;
+}
+
+double ConvergenceRecorder::global_hv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return global_hv_.value();
+}
+
+// --- Post-run ---
+
+void ConvergenceRecorder::finalize(
+    const std::vector<Objectives>& final_front) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) return;
+  finalized_ = true;
+  for (ConvergenceSample& s : samples_) {
+    s.eps_to_final = epsilon_indicator(s.archive, final_front);
+  }
+  for (InsertionEvent& ev : insertions_) {
+    ev.survived =
+        std::find(final_front.begin(), final_front.end(), ev.obj) !=
+        final_front.end();
+  }
+  // Aggregate per (searcher, worker, op).
+  attribution_.clear();
+  for (const InsertionEvent& ev : insertions_) {
+    AttributionRow* row = nullptr;
+    for (AttributionRow& r : attribution_) {
+      if (r.searcher == ev.searcher && r.worker == ev.worker &&
+          r.op == ev.op) {
+        row = &r;
+        break;
+      }
+    }
+    if (!row) {
+      attribution_.emplace_back();
+      row = &attribution_.back();
+      row->searcher = ev.searcher;
+      row->worker = ev.worker;
+      row->op = ev.op;
+    }
+    ++row->insertions;
+    if (ev.survived) ++row->survived;
+  }
+  std::sort(attribution_.begin(), attribution_.end(),
+            [](const AttributionRow& a, const AttributionRow& b) {
+              if (a.searcher != b.searcher) return a.searcher < b.searcher;
+              if (a.worker != b.worker) return a.worker < b.worker;
+              return a.op < b.op;
+            });
+}
+
+void ConvergenceRecorder::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"event\":\"meta\",\"version\":1,\"reference\":";
+  put_obj(os, config_.reference);
+  os << ",\"sample_every_iters\":" << config_.sample_every_iters
+     << ",\"sample_every_ms\":";
+  put_double(os, config_.sample_every_ms);
+  os << ",\"stall_threshold_ms\":";
+  put_double(os, config_.stall_threshold_ms);
+  os << ",\"finalized\":" << (finalized_ ? "true" : "false") << "}\n";
+
+  for (const LifecycleEvent& ev : lifecycle_) {
+    os << "{\"event\":\"" << ev.kind << "\",\"engine\":\""
+       << json_escape(ev.engine) << "\"";
+    if (ev.kind == "engine_start") {
+      os << ",\"searchers\":" << ev.searchers
+         << ",\"workers\":" << ev.workers;
+    } else {
+      os << ",\"iterations\":" << ev.iterations;
+    }
+    os << ",\"t_ns\":" << ev.t_ns << "}\n";
+  }
+
+  for (const ConvergenceSample& s : samples_) {
+    os << "{\"event\":\"sample\",\"searcher\":" << s.searcher
+       << ",\"iteration\":" << s.iteration
+       << ",\"evaluations\":" << s.evaluations << ",\"t_ns\":" << s.t_ns
+       << ",\"hv\":";
+    put_double(os, s.hv);
+    os << ",\"hv_global\":";
+    put_double(os, s.hv_global);
+    os << ",\"archive_size\":" << s.archive_size << ",\"spacing\":";
+    put_double(os, s.spacing);
+    os << ",\"best_feasible_distance\":";
+    put_double(os, s.best_feasible_distance);
+    os << ",\"eps_to_final\":";
+    put_double(os, s.eps_to_final);
+    os << "}\n";
+  }
+
+  for (const InsertionEvent& ev : insertions_) {
+    os << "{\"event\":\"insertion\",\"searcher\":" << ev.searcher
+       << ",\"worker\":" << ev.worker << ",\"op\":" << ev.op
+       << ",\"iteration\":" << ev.iteration << ",\"obj\":";
+    put_obj(os, ev.obj);
+    os << ",\"t_ns\":" << ev.t_ns
+       << ",\"survived\":" << (ev.survived ? "true" : "false") << "}\n";
+  }
+
+  for (const StallRecord& st : stalls_) {
+    os << "{\"event\":\"stall\",\"slot\":" << st.slot << ",\"label\":\""
+       << json_escape(st.label) << "\",\"age_ms\":";
+    put_double(os, st.age_ms);
+    os << ",\"progress\":" << st.progress << ",\"t_ns\":" << st.t_ns
+       << "}\n";
+  }
+
+  for (const AttributionRow& r : attribution_) {
+    os << "{\"event\":\"attribution\",\"searcher\":" << r.searcher
+       << ",\"worker\":" << r.worker << ",\"op\":" << r.op
+       << ",\"insertions\":" << r.insertions
+       << ",\"survived\":" << r.survived << "}\n";
+  }
+}
+
+bool ConvergenceRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tsmo

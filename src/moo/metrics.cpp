@@ -139,11 +139,42 @@ double epsilon_indicator(std::span<const Objectives> a,
   return eps;
 }
 
+std::vector<MergeProvenance> merge_fronts_attributed(
+    const std::vector<std::vector<Objectives>>& fronts,
+    std::vector<Objectives>* merged_out) {
+  std::vector<Objectives> all;
+  std::vector<MergeProvenance> origin;
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+      all.push_back(fronts[f][i]);
+      origin.push_back({static_cast<int>(f), i});
+    }
+  }
+  std::vector<MergeProvenance> out;
+  std::vector<Objectives> merged;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < all.size() && keep; ++j) {
+      if (j == i) continue;
+      if (dominates(all[j], all[i])) keep = false;
+      // Exactly one survivor per distinct vector: the earliest in scan
+      // order wins, regardless of which front contributed it.
+      if (j < i && all[j] == all[i]) keep = false;
+    }
+    if (keep) {
+      out.push_back(origin[i]);
+      merged.push_back(all[i]);
+    }
+  }
+  if (merged_out) *merged_out = std::move(merged);
+  return out;
+}
+
 std::vector<Objectives> merge_fronts(
     const std::vector<std::vector<Objectives>>& fronts) {
-  std::vector<Objectives> all;
-  for (const auto& f : fronts) all.insert(all.end(), f.begin(), f.end());
-  return nondominated_filter(all);
+  std::vector<Objectives> merged;
+  merge_fronts_attributed(fronts, &merged);
+  return merged;
 }
 
 }  // namespace tsmo

@@ -49,4 +49,22 @@ double epsilon_indicator(std::span<const Objectives> a,
 std::vector<Objectives> merge_fronts(
     const std::vector<std::vector<Objectives>>& fronts);
 
+/// Provenance of one surviving merged point: the front (worker) and index
+/// within that front it came from.
+struct MergeProvenance {
+  int front = 0;
+  std::size_t index = 0;
+};
+
+/// merge_fronts with attribution: returns one provenance entry per
+/// *distinct* surviving objective vector, in the merged order.  When the
+/// same vector appears in several fronts (e.g. two workers discovered the
+/// same solution) exactly one entry survives — the earliest (front, index)
+/// in scan order — so contribution counts never double-count duplicates.
+/// When `merged_out` is non-null it receives the merged front, identical
+/// to merge_fronts() of the same input.
+std::vector<MergeProvenance> merge_fronts_attributed(
+    const std::vector<std::vector<Objectives>>& fronts,
+    std::vector<Objectives>* merged_out = nullptr);
+
 }  // namespace tsmo

@@ -22,8 +22,17 @@ RunResult AsyncTsmo::run() const {
   Timer timer;
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
-  state.initialize();
   WorkerTeam team(*inst_, procs - 1, params_.seed);
+  if (options_.recorder) {
+    options_.recorder->engine_started("async", 1, team.num_workers());
+    team.enable_heartbeats(*options_.recorder, "async worker");
+    state.set_recorder(options_.recorder);
+    if (options_.stall_restart) {
+      options_.recorder->set_stall_action(
+          [&state](int) { state.request_restart(); });
+    }
+  }
+  state.initialize();
 
   const int chunk = std::max(1, params_.neighborhood_size / procs);
   std::vector<bool> busy(static_cast<std::size_t>(team.num_workers()),
@@ -95,6 +104,12 @@ RunResult AsyncTsmo::run() const {
     pool.clear();
   }
 
+  if (options_.recorder) {
+    // Clearing the action blocks out any in-flight watchdog invocation,
+    // so it can no longer touch `state` after this line.
+    options_.recorder->set_stall_action(nullptr);
+    options_.recorder->engine_finished(state.iterations());
+  }
   return collect_result(state, "async", timer.elapsed_seconds());
 }
 
@@ -110,8 +125,13 @@ RunResult AsyncTsmo::run_deterministic() const {
   const int exec =
       options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
   SearchState state(*inst_, params_, Rng(params_.seed));
-  state.initialize();
   WorkerTeam team(*inst_, exec, params_.seed);
+  if (options_.recorder) {
+    options_.recorder->engine_started("async", 1, team.num_workers());
+    team.enable_heartbeats(*options_.recorder, "async worker");
+    state.set_recorder(options_.recorder);
+  }
+  state.initialize();
   Rng schedule(params_.seed ^ 0xa57c5eedULL);
 
   const int chunk = std::max(1, params_.neighborhood_size / procs);
@@ -173,6 +193,7 @@ RunResult AsyncTsmo::run_deterministic() const {
   }
   // Chunks still deferred at exhaustion are dropped, like in-flight
   // results at termination of the wall-clock mode.
+  if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "async", timer.elapsed_seconds());
 }
 

@@ -41,6 +41,16 @@ struct AsyncOptions {
   /// Deterministic straggler model: probability that a non-leading chunk
   /// arrives one iteration late.
   double defer_probability = 0.25;
+  /// Anytime convergence recorder (DESIGN.md §9); observation only, so
+  /// deterministic fingerprints are identical with or without it.  Must
+  /// outlive the run.
+  ConvergenceRecorder* recorder = nullptr;
+  /// Opt-in stall reaction: when the recorder's watchdog flags the master
+  /// searcher, route the verdict into the existing diversification path
+  /// (restart from the memories on the next step).  Ignored without a
+  /// recorder or in deterministic mode; off by default because it makes
+  /// the search wall-clock dependent.
+  bool stall_restart = false;
 };
 
 class AsyncTsmo {

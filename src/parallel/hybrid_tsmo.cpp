@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "core/sequential_tsmo.hpp"
@@ -37,6 +38,24 @@ MultisearchResult HybridTsmo::run() const {
   std::atomic<std::int64_t> messages_sent{0};
   std::atomic<std::int64_t> messages_accepted{0};
 
+  // Stall-action registry: islands sign their SearchState in while it is
+  // alive; the watchdog action (running under the recorder lock) routes a
+  // flagged island id to a restart request through this table.
+  std::mutex stall_mutex;
+  std::vector<SearchState*> stall_reg(n, nullptr);
+  if (options_.recorder) {
+    options_.recorder->engine_started("hybrid", k, k * (procs - 1));
+    if (options_.stall_restart) {
+      options_.recorder->set_stall_action([&stall_mutex, &stall_reg](int id) {
+        std::lock_guard<std::mutex> lock(stall_mutex);
+        if (id >= 0 && id < static_cast<int>(stall_reg.size()) &&
+            stall_reg[static_cast<std::size_t>(id)]) {
+          stall_reg[static_cast<std::size_t>(id)]->request_restart();
+        }
+      });
+    }
+  }
+
   auto island = [&](int id) {
     Timer local_timer;
     TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
@@ -50,8 +69,15 @@ MultisearchResult HybridTsmo::run() const {
 
     SearchState state(*inst_, p, Rng(p.seed));
     state.set_trace_id(id);
-    state.initialize();
     WorkerTeam team(*inst_, procs - 1, p.seed);
+    if (options_.recorder) {
+      state.set_recorder(options_.recorder);
+      team.enable_heartbeats(*options_.recorder,
+                             "island " + std::to_string(id) + " worker");
+      std::lock_guard<std::mutex> lock(stall_mutex);
+      stall_reg[static_cast<std::size_t>(id)] = &state;
+    }
+    state.initialize();
 
     std::vector<int> comm;
     for (int j = 0; j < k; ++j) {
@@ -155,6 +181,12 @@ MultisearchResult HybridTsmo::run() const {
     per_island[static_cast<std::size_t>(id)] = collect_result(
         state, "hybrid[" + std::to_string(id) + "]",
         local_timer.elapsed_seconds());
+    if (options_.recorder) {
+      // Sign out before `state` dies; a concurrent watchdog action then
+      // finds nullptr instead of a dangling pointer.
+      std::lock_guard<std::mutex> lock(stall_mutex);
+      stall_reg[static_cast<std::size_t>(id)] = nullptr;
+    }
   };
 
   {
@@ -170,6 +202,10 @@ MultisearchResult HybridTsmo::run() const {
   result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
+  if (options_.recorder) {
+    options_.recorder->set_stall_action(nullptr);
+    options_.recorder->engine_finished(result.merged.iterations);
+  }
   return result;
 }
 
@@ -211,6 +247,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     is.p.seed = rng.next();
     is.state = std::make_unique<SearchState>(*inst_, is.p, Rng(is.p.seed));
     is.state->set_trace_id(id);
+    if (options_.recorder) is.state->set_recorder(options_.recorder);
     is.engine = std::make_unique<MoveEngine>(*inst_);
     is.generator = std::make_unique<NeighborhoodGenerator>(*is.engine);
     is.schedule = Rng(is.p.seed ^ 0xa57c5eedULL);
@@ -222,6 +259,9 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     }
   }
 
+  if (options_.recorder) {
+    options_.recorder->engine_started("hybrid", k, 0);
+  }
   ThreadPool pool(static_cast<unsigned>(std::max(1, exec)));
   {
     std::vector<std::future<void>> init;
@@ -328,6 +368,9 @@ MultisearchResult HybridTsmo::run_deterministic() const {
   result.merged = merge_results(result.per_searcher, "hybrid");
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.merged.refresh_throughput();
+  if (options_.recorder) {
+    options_.recorder->engine_finished(result.merged.iterations);
+  }
   return result;
 }
 

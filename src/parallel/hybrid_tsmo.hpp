@@ -31,6 +31,16 @@ struct HybridOptions {
   int exec_threads = 0;
   /// Straggler model within each island (see AsyncOptions).
   double defer_probability = 0.25;
+  /// Anytime convergence recorder (DESIGN.md §9); each island attaches
+  /// under its island id and its generation workers get heartbeat gauges.
+  /// Observation only, so deterministic fingerprints are identical with or
+  /// without it.  Must outlive the run.
+  ConvergenceRecorder* recorder = nullptr;
+  /// Opt-in stall reaction: a watchdog-flagged island searcher restarts
+  /// from its memories on its next step (the engine's existing
+  /// diversification path).  Ignored without a recorder or in
+  /// deterministic mode; off by default (wall-clock dependent).
+  bool stall_restart = false;
 };
 
 class HybridTsmo {

@@ -26,6 +26,10 @@ RunResult merge_results(const std::vector<RunResult>& results,
     merged.wall_seconds = std::max(merged.wall_seconds, r.wall_seconds);
     merged.sim_seconds = std::max(merged.sim_seconds, r.sim_seconds);
     for (std::size_t i = 0; i < r.front.size(); ++i) {
+      // The weak-dominance check also rejects exact duplicates, so an
+      // objective vector reached by several searchers keeps exactly one
+      // merged entry — and therefore one attribution row (first searcher
+      // wins) — never double-counting a shared point.
       bool dominated = false;
       for (const Objectives& o : merged.front) {
         if (weakly_dominates(o, r.front[i])) {
@@ -40,10 +44,15 @@ RunResult merge_results(const std::vector<RunResult>& results,
                              static_cast<std::ptrdiff_t>(j));
           merged.solutions.erase(merged.solutions.begin() +
                                  static_cast<std::ptrdiff_t>(j));
+          merged.attribution.erase(merged.attribution.begin() +
+                                   static_cast<std::ptrdiff_t>(j));
         }
       }
       merged.front.push_back(r.front[i]);
       merged.solutions.push_back(r.solutions[i]);
+      merged.attribution.push_back(i < r.attribution.size()
+                                       ? r.attribution[i]
+                                       : ArchiveAttribution{});
     }
   }
   merged.archive_fingerprint = archive_fingerprint(merged.front);
@@ -90,6 +99,7 @@ MultisearchResult MultisearchTsmo::run() const {
 
     SearchState state(*inst_, p, Rng(p.seed));
     state.set_trace_id(id);
+    if (options_.recorder) state.set_recorder(options_.recorder);
     state.initialize();
 
     // Random private communication list over the other searchers.
@@ -142,6 +152,9 @@ MultisearchResult MultisearchTsmo::run() const {
         local_timer.elapsed_seconds());
   };
 
+  if (options_.recorder) {
+    options_.recorder->engine_started("coll", procs, 0);
+  }
   {
     std::vector<std::jthread> threads;
     threads.reserve(n);
@@ -157,6 +170,9 @@ MultisearchResult MultisearchTsmo::run() const {
   result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
+  if (options_.recorder) {
+    options_.recorder->engine_finished(result.merged.iterations);
+  }
   return result;
 }
 
@@ -192,6 +208,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     s.p.seed = rng.next();
     s.state = std::make_unique<SearchState>(*inst_, s.p, Rng(s.p.seed));
     s.state->set_trace_id(id);
+    if (options_.recorder) s.state->set_recorder(options_.recorder);
     for (int k = 0; k < procs; ++k) {
       if (k != id) s.comm.push_back(k);
     }
@@ -200,6 +217,9 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     }
   }
 
+  if (options_.recorder) {
+    options_.recorder->engine_started("coll", procs, 0);
+  }
   ThreadPool pool(static_cast<unsigned>(std::max(1, exec)));
   {
     std::vector<std::future<void>> init;
@@ -285,6 +305,9 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
   result.merged = merge_results(result.per_searcher, "coll");
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.merged.refresh_throughput();
+  if (options_.recorder) {
+    options_.recorder->engine_finished(result.merged.iterations);
+  }
   return result;
 }
 

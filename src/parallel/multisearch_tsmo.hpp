@@ -43,6 +43,10 @@ struct MultisearchOptions {
   /// Threads executing the lock-step rounds; 0 selects one per searcher.
   /// Execution width only — never affects the result.
   int exec_threads = 0;
+  /// Anytime convergence recorder (DESIGN.md §9); each searcher attaches
+  /// under its searcher id.  Observation only, so deterministic
+  /// fingerprints are identical with or without it.  Must outlive the run.
+  ConvergenceRecorder* recorder = nullptr;
 };
 
 class MultisearchTsmo {

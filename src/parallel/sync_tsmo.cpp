@@ -20,8 +20,13 @@ RunResult SyncTsmo::run() const {
   Timer timer;
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
-  state.initialize();
   WorkerTeam team(*inst_, procs - 1, params_.seed);
+  if (options_.recorder) {
+    options_.recorder->engine_started("sync", 1, team.num_workers());
+    team.enable_heartbeats(*options_.recorder, "sync worker");
+    state.set_recorder(options_.recorder);
+  }
+  state.initialize();
 
   std::uint64_t ticket = 0;
   while (!state.budget_exhausted()) {
@@ -61,6 +66,7 @@ RunResult SyncTsmo::run() const {
     }
     state.step_with_candidates(candidates);
   }
+  if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "sync", timer.elapsed_seconds());
 }
 
@@ -76,8 +82,13 @@ RunResult SyncTsmo::run_deterministic() const {
   const int exec =
       options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
   SearchState state(*inst_, params_, Rng(params_.seed));
-  state.initialize();
   WorkerTeam team(*inst_, exec, params_.seed);
+  if (options_.recorder) {
+    options_.recorder->engine_started("sync", 1, team.num_workers());
+    team.enable_heartbeats(*options_.recorder, "sync worker");
+    state.set_recorder(options_.recorder);
+  }
+  state.initialize();
   // Chunk seeds come from a dedicated schedule stream, so the logical
   // candidate sequence depends only on (seed, procs) — not on exec width.
   Rng schedule(params_.seed ^ 0xdead5eedULL);
@@ -130,6 +141,7 @@ RunResult SyncTsmo::run_deterministic() const {
     }
     state.step_with_candidates(candidates);
   }
+  if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "sync", timer.elapsed_seconds());
 }
 

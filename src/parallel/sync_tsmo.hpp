@@ -29,6 +29,10 @@ struct SyncOptions {
   /// 0 selects `processors - 1`.  Execution width only — never affects
   /// the result.
   int exec_threads = 0;
+  /// Anytime convergence recorder (DESIGN.md §9); observation only, so
+  /// deterministic fingerprints are identical with or without it.  Must
+  /// outlive the run.
+  ConvergenceRecorder* recorder = nullptr;
 };
 
 class SyncTsmo {

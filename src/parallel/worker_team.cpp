@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "moo/anytime.hpp"
 #include "operators/neighborhood.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -31,9 +32,21 @@ WorkerTeam::~WorkerTeam() {
   results_.close();
 }
 
+void WorkerTeam::enable_heartbeats(ConvergenceRecorder& recorder,
+                                   const std::string& prefix) {
+  heartbeat_slots_.clear();
+  heartbeat_slots_.reserve(threads_.size());
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    heartbeat_slots_.push_back(
+        recorder.register_worker(prefix + " " + std::to_string(i)));
+  }
+  recorder_.store(&recorder, std::memory_order_release);
+}
+
 void WorkerTeam::worker_loop(int id, Rng rng) {
   MoveEngine engine(*inst_);
   NeighborhoodGenerator generator(engine);
+  std::int64_t chunks_done = 0;
 #if TSMO_TELEMETRY_ENABLED
   // Per-worker utilization gauges use dynamic names ("worker.3.busy_ns"),
   // so they go through the Registry API instead of the literal-name macros.
@@ -76,6 +89,16 @@ void WorkerTeam::worker_loop(int id, Rng rng) {
     } else {
       result.candidates = make_candidates(generator, request->base,
                                           request->count, rng);
+    }
+    // Attribution: candidates remember which worker evaluated them.
+    for (Candidate& c : result.candidates) {
+      c.origin = static_cast<std::int16_t>(id);
+    }
+    if (ConvergenceRecorder* rec =
+            recorder_.load(std::memory_order_acquire)) {
+      ++chunks_done;
+      rec->worker_heartbeat(heartbeat_slots_[static_cast<std::size_t>(id)],
+                            chunks_done);
     }
 #if TSMO_TELEMETRY_ENABLED
     if (tel) {

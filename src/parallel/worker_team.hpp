@@ -7,8 +7,10 @@
 // back GenResults.  Bases travel as shared_ptr<const Solution>, which is
 // safe to read concurrently.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "vrptw/instance.hpp"
 
 namespace tsmo {
+
+class ConvergenceRecorder;
 
 struct GenRequest {
   std::shared_ptr<const Solution> base;
@@ -53,6 +57,13 @@ class WorkerTeam {
     return static_cast<int>(threads_.size());
   }
 
+  /// Registers one heartbeat slot per worker ("<prefix> N") on the
+  /// recorder's board; workers then beat after every finished chunk, with
+  /// their chunk count as the progress gauge.  Call before the first
+  /// submit(); the recorder must outlive the team.
+  void enable_heartbeats(ConvergenceRecorder& recorder,
+                         const std::string& prefix);
+
   /// Hands a generation request to the next free worker (requests are
   /// pulled from a shared channel, so any idle worker picks it up).
   void submit(GenRequest request) { requests_.push(std::move(request)); }
@@ -77,6 +88,10 @@ class WorkerTeam {
   const Instance* inst_;
   Channel<GenRequest> requests_;
   Channel<GenResult> results_;
+  /// Heartbeat wiring (set once by enable_heartbeats before any request
+  /// flows; workers only read it while processing a request).
+  std::atomic<ConvergenceRecorder*> recorder_{nullptr};
+  std::vector<int> heartbeat_slots_;
   std::vector<std::thread> threads_;
 };
 

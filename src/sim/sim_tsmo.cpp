@@ -21,8 +21,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// becomes visible to the master at that time.
 class SimWorker {
  public:
-  SimWorker(const Instance& inst, Rng rng)
-      : engine_(std::make_unique<MoveEngine>(inst)), rng_(rng) {}
+  SimWorker(const Instance& inst, int id, Rng rng)
+      : engine_(std::make_unique<MoveEngine>(inst)), rng_(rng), id_(id) {}
 
   bool busy() const noexcept { return busy_; }
   double done_time() const noexcept { return done_time_; }
@@ -34,6 +34,7 @@ class SimWorker {
                 double start, const CostModel& cost, Rng& noise_rng) {
     NeighborhoodGenerator generator(*engine_);
     result_ = make_candidates(generator, std::move(base), count, rng_);
+    for (Candidate& c : result_) c.origin = static_cast<std::int16_t>(id_);
     const double work = static_cast<double>(result_.size()) * cost.eval_us *
                         cost.straggler_noise(noise_rng);
     done_time_ = start + cost.msg_us + work;
@@ -57,6 +58,7 @@ class SimWorker {
   double done_time_ = kInf;
   double busy_us_ = 0.0;
   bool busy_ = false;
+  int id_ = -1;
 };
 
 /// Exports the virtual utilization of simulated workers as the same
@@ -135,7 +137,7 @@ RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
   std::vector<SimWorker> workers;
   workers.reserve(static_cast<std::size_t>(procs - 1));
   for (int w = 0; w < procs - 1; ++w) {
-    workers.emplace_back(inst, stream_seed.split());
+    workers.emplace_back(inst, w, stream_seed.split());
   }
 
   double t = cost.eval_us;  // initial construction
@@ -216,7 +218,10 @@ class AsyncSimCore {
     Rng stream_seed(params.seed ^ 0x5eedF00dULL);
     workers_.reserve(static_cast<std::size_t>(procs - 1));
     for (int w = 0; w < procs - 1; ++w) {
-      workers_.emplace_back(inst, stream_seed.split());
+      workers_.emplace_back(inst, w, stream_seed.split());
+    }
+    if (options_.recorder) {
+      state_.set_recorder(options_.recorder, options_.searcher_id);
     }
     state_.initialize();
   }
@@ -361,7 +366,11 @@ RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
                         SimAsyncOptions options) {
   if (params.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sim-async");
-  AsyncSimCore core(inst, params, processors, cost, options);
+  ConvergenceRecorder* rec = options.recorder;
+  if (rec) {
+    rec->engine_started("sim-async", 1, std::max(2, processors) - 1);
+  }
+  AsyncSimCore core(inst, params, processors, cost, std::move(options));
   double t = cost.eval_us;  // initial construction
   while (!core.done()) {
     const auto iter = core.iterate(t);
@@ -369,6 +378,7 @@ RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
     if (!iter.progressed) break;
   }
   core.export_worker_gauges(t);
+  if (rec) rec->engine_finished(core.state().iterations());
   RunResult r = collect_result(core.state(), "sim-async", 0.0);
   r.sim_seconds = t * 1e-6;
   r.refresh_throughput();

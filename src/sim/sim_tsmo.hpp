@@ -56,6 +56,12 @@ struct SimAsyncOptions {
   bool use_c2 = true;
   /// Invoked after every master iteration when set.
   std::function<void(const SimAsyncIterationEvent&)> observer;
+  /// Anytime convergence recorder (DESIGN.md §9); the simulated master
+  /// attaches under `searcher_id` (which deliberately does NOT change the
+  /// search's trace id, so fingerprints stay identical with the recorder
+  /// on or off).  Observation only; must outlive the run.
+  ConvergenceRecorder* recorder = nullptr;
+  int searcher_id = 0;
 };
 
 /// Asynchronous master-worker (§III.D, Algorithm 2) on the virtual clock.

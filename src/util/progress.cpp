@@ -1,0 +1,182 @@
+#include "util/progress.hpp"
+
+#include <algorithm>
+
+namespace tsmo {
+
+// ---------------------------------------------------------------------------
+// HeartbeatBoard
+// ---------------------------------------------------------------------------
+
+int HeartbeatBoard::register_slot(std::string label) {
+  std::lock_guard<std::mutex> lock(register_mutex_);
+  slots_.emplace_back();
+  slots_.back().label = std::move(label);
+  const int slot = static_cast<int>(slots_.size()) - 1;
+  registered_.store(slot + 1, std::memory_order_release);
+  return slot;
+}
+
+int HeartbeatBoard::size() const {
+  return registered_.load(std::memory_order_acquire);
+}
+
+const std::string& HeartbeatBoard::label(int slot) const {
+  return slots_[static_cast<std::size_t>(slot)].label;
+}
+
+void HeartbeatBoard::beat(int slot, std::int64_t progress) noexcept {
+  if (slot < 0 || slot >= registered_.load(std::memory_order_acquire)) {
+    return;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.progress.store(progress, std::memory_order_relaxed);
+  s.beats.fetch_add(1, std::memory_order_relaxed);
+  // The timestamp is stored last so a reader that sees a fresh time also
+  // sees a progress value at least as fresh.
+  s.last_beat_ns.store(now_ns(), std::memory_order_release);
+}
+
+HeartbeatBoard::Reading HeartbeatBoard::read(int slot) const {
+  Reading r;
+  if (slot < 0 || slot >= size()) return r;
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  r.slot = slot;
+  r.label = s.label;
+  r.last_beat_ns = s.last_beat_ns.load(std::memory_order_acquire);
+  r.progress = s.progress.load(std::memory_order_relaxed);
+  r.beats = s.beats.load(std::memory_order_relaxed);
+  return r;
+}
+
+std::vector<HeartbeatBoard::Reading> HeartbeatBoard::read_all() const {
+  const int n = size();
+  std::vector<Reading> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(read(i));
+  return out;
+}
+
+std::int64_t HeartbeatBoard::total_progress() const noexcept {
+  const int n = size();
+  std::int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += slots_[static_cast<std::size_t>(i)].progress.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// StallWatchdog
+// ---------------------------------------------------------------------------
+
+StallWatchdog::StallWatchdog(const HeartbeatBoard& board,
+                             std::uint64_t threshold_ns,
+                             std::uint64_t check_interval_ns,
+                             Callback on_stall)
+    : board_(&board),
+      threshold_ns_(std::max<std::uint64_t>(threshold_ns, 1)),
+      check_interval_ns_(std::max<std::uint64_t>(check_interval_ns, 100000)),
+      on_stall_(std::move(on_stall)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StallWatchdog::scan_now() {
+  const std::uint64_t now = now_ns();
+  const int n = board_->size();
+  if (static_cast<int>(flagged_slots_.size()) < n) {
+    flagged_slots_.resize(static_cast<std::size_t>(n), false);
+  }
+  int stalled = 0;
+  for (int i = 0; i < n; ++i) {
+    const HeartbeatBoard::Reading r = board_->read(i);
+    if (r.last_beat_ns == 0) continue;  // never beat: not yet running
+    const std::uint64_t age =
+        now > r.last_beat_ns ? now - r.last_beat_ns : 0;
+    const auto idx = static_cast<std::size_t>(i);
+    if (age >= threshold_ns_) {
+      ++stalled;
+      if (!flagged_slots_[idx]) {
+        flagged_slots_[idx] = true;
+        flagged_.fetch_add(1, std::memory_order_relaxed);
+        if (on_stall_) {
+          on_stall_(StallEvent{i, r.label, age, r.progress});
+        }
+      }
+    } else {
+      flagged_slots_[idx] = false;  // re-arm after a fresh beat
+    }
+  }
+  stalled_now_.store(stalled, std::memory_order_relaxed);
+}
+
+void StallWatchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::nanoseconds(check_interval_ns_),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    scan_now();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProgressPrinter
+// ---------------------------------------------------------------------------
+
+ProgressPrinter::ProgressPrinter(std::ostream& os, double interval_ms,
+                                 Render render)
+    : os_(&os),
+      interval_ms_(std::max(interval_ms, 20.0)),
+      render_(std::move(render)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+ProgressPrinter::~ProgressPrinter() { finish(); }
+
+void ProgressPrinter::paint() {
+  if (!render_) return;
+  const std::string line = render_();
+  *os_ << '\r' << line << "\033[K" << std::flush;
+}
+
+void ProgressPrinter::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock,
+                 std::chrono::microseconds(
+                     static_cast<std::int64_t>(interval_ms_ * 1000.0)),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    paint();
+    lock.lock();
+  }
+}
+
+void ProgressPrinter::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) return;
+    finished_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  paint();
+  *os_ << '\n' << std::flush;
+}
+
+}  // namespace tsmo

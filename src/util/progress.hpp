@@ -1,0 +1,163 @@
+#pragma once
+
+// Liveness primitives for the anytime convergence recorder (DESIGN.md §9).
+//
+// Three pieces, all independent of the VRPTW domain so they live in util:
+//   * HeartbeatBoard — a registry of per-worker heartbeat gauges.  A beat
+//     is one relaxed store pair (timestamp, progress counter) on a slot
+//     only the owning thread writes; readers (the watchdog, the live
+//     status line) take racy-but-atomic snapshots.
+//   * StallWatchdog — a monitor thread that periodically scans a
+//     HeartbeatBoard and invokes a callback for every slot whose last
+//     beat is older than a threshold.  Each stall episode fires once; the
+//     slot re-arms when a fresh beat arrives.
+//   * ProgressPrinter — a background thread that repaints one terminal
+//     status line ("\r…\033[K") on a steady cadence from a render
+//     callback.
+//
+// None of these touch search state or RNG streams — they observe, so
+// deterministic-mode fingerprints are identical with or without them.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+/// Registry of per-worker heartbeat gauges.  Registration is mutex
+/// protected; beats and reads are lock-free on stable slot storage
+/// (std::deque never relocates).
+class HeartbeatBoard {
+ public:
+  struct Reading {
+    int slot = -1;
+    std::string label;
+    std::uint64_t last_beat_ns = 0;  ///< 0 until the first beat
+    std::int64_t progress = 0;       ///< e.g. the worker's iteration count
+    std::uint64_t beats = 0;
+  };
+
+  /// Registers a new gauge and returns its slot index.
+  int register_slot(std::string label);
+
+  int size() const;
+  const std::string& label(int slot) const;
+
+  /// One heartbeat: stamps now_ns() and the caller's progress counter.
+  /// Invalid slots are ignored (so callers can pass -1 for "detached").
+  void beat(int slot, std::int64_t progress) noexcept;
+
+  Reading read(int slot) const;
+  std::vector<Reading> read_all() const;
+
+  /// Sum of the progress counters over all slots (for throughput lines).
+  std::int64_t total_progress() const noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> last_beat_ns{0};
+    std::atomic<std::int64_t> progress{0};
+    std::atomic<std::uint64_t> beats{0};
+    std::string label;
+  };
+
+  mutable std::mutex register_mutex_;
+  std::deque<Slot> slots_;                 // stable addresses
+  std::atomic<int> registered_{0};         // slots [0, registered_) readable
+};
+
+/// Monitor thread flagging workers whose heartbeat has gone quiet.
+class StallWatchdog {
+ public:
+  struct StallEvent {
+    int slot = -1;
+    std::string label;
+    std::uint64_t age_ns = 0;      ///< time since the last beat
+    std::int64_t progress = 0;     ///< progress counter at stall time
+  };
+  using Callback = std::function<void(const StallEvent&)>;
+
+  /// Starts the monitor.  A slot is stalled when it has beaten at least
+  /// once and its last beat is older than `threshold_ns`.  The callback
+  /// runs on the monitor thread, once per stall episode per slot.
+  StallWatchdog(const HeartbeatBoard& board, std::uint64_t threshold_ns,
+                std::uint64_t check_interval_ns, Callback on_stall);
+
+  /// Stops and joins the monitor.
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Slots currently considered stalled (monitor's last scan).
+  int stalled_count() const noexcept {
+    return stalled_now_.load(std::memory_order_relaxed);
+  }
+  /// Total stall episodes flagged since construction.
+  std::int64_t stalls_flagged() const noexcept {
+    return flagged_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs one scan immediately (tests; also used by the final scan).
+  void scan_now();
+
+ private:
+  void loop();
+
+  const HeartbeatBoard* board_;
+  std::uint64_t threshold_ns_;
+  std::uint64_t check_interval_ns_;
+  Callback on_stall_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<bool> flagged_slots_;  // monitor thread only
+  std::atomic<int> stalled_now_{0};
+  std::atomic<std::int64_t> flagged_{0};
+  std::thread thread_;
+};
+
+/// Background single-line status repainter.  Writes "\r<line>\033[K" to the
+/// stream every `interval_ms`; finish() (or destruction) paints the final
+/// line and moves to a fresh line.
+class ProgressPrinter {
+ public:
+  using Render = std::function<std::string()>;
+
+  ProgressPrinter(std::ostream& os, double interval_ms, Render render);
+  ~ProgressPrinter();
+
+  ProgressPrinter(const ProgressPrinter&) = delete;
+  ProgressPrinter& operator=(const ProgressPrinter&) = delete;
+
+  /// Stops the repaint thread, paints one last line and ends it with '\n'.
+  /// Idempotent.
+  void finish();
+
+ private:
+  void paint();
+  void loop();
+
+  std::ostream* os_;
+  double interval_ms_;
+  Render render_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool finished_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tsmo

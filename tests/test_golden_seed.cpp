@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/sequential_tsmo.hpp"
+#include "moo/anytime.hpp"
 #include "parallel/async_tsmo.hpp"
 #include "parallel/hybrid_tsmo.hpp"
 #include "parallel/multisearch_tsmo.hpp"
@@ -152,6 +153,55 @@ TEST_F(GoldenSeedTest, HybridDeterministicInvariantAcrossThreads) {
           HybridTsmo(inst_, golden_params(seed), 2, 2, options).run().merged);
     }
     expect_identical(merged, "hybrid-det.seed" + std::to_string(seed));
+  }
+}
+
+/// The convergence recorder is pure observation (DESIGN.md §9): attaching
+/// it must leave both fingerprints bitwise identical for every engine.
+TEST_F(GoldenSeedTest, RecorderOnOffFingerprintsIdentical) {
+  const std::uint64_t seed = kSeeds[0];
+  ConvergenceConfig cc;
+  cc.reference = convergence_reference(inst_);
+  cc.sample_every_iters = 5;
+
+  {
+    ConvergenceRecorder rec(cc);
+    SyncOptions off, on;
+    off.deterministic = on.deterministic = true;
+    on.recorder = &rec;
+    expect_identical({SyncTsmo(inst_, golden_params(seed), 4, off).run(),
+                      SyncTsmo(inst_, golden_params(seed), 4, on).run()},
+                     "sync-det.recorder.seed" + std::to_string(seed));
+    EXPECT_FALSE(rec.samples().empty());
+  }
+  {
+    ConvergenceRecorder rec(cc);
+    AsyncOptions off, on;
+    off.deterministic = on.deterministic = true;
+    on.recorder = &rec;
+    expect_identical({AsyncTsmo(inst_, golden_params(seed), 4, off).run(),
+                      AsyncTsmo(inst_, golden_params(seed), 4, on).run()},
+                     "async-det.recorder.seed" + std::to_string(seed));
+  }
+  {
+    ConvergenceRecorder rec(cc);
+    MultisearchOptions off, on;
+    off.deterministic = on.deterministic = true;
+    on.recorder = &rec;
+    expect_identical(
+        {MultisearchTsmo(inst_, golden_params(seed), 3, off).run().merged,
+         MultisearchTsmo(inst_, golden_params(seed), 3, on).run().merged},
+        "coll-det.recorder.seed" + std::to_string(seed));
+  }
+  {
+    ConvergenceRecorder rec(cc);
+    HybridOptions off, on;
+    off.deterministic = on.deterministic = true;
+    on.recorder = &rec;
+    expect_identical(
+        {HybridTsmo(inst_, golden_params(seed), 2, 2, off).run().merged,
+         HybridTsmo(inst_, golden_params(seed), 2, 2, on).run().merged},
+        "hybrid-det.recorder.seed" + std::to_string(seed));
   }
 }
 
