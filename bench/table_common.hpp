@@ -6,16 +6,20 @@
 // TSMO_EVALS / TSMO_INSTANCES / TSMO_NEIGHBORHOOD overrides.  CSVs land in
 // bench_results/.  Pass --telemetry-out <path> to collect the run on the
 // telemetry layer: a Chrome trace lands at <path>, the JSONL snapshot next
-// to it, and the per-phase breakdown is printed after the table.
+// to it, and the per-phase breakdown is printed after the table.  Pass
+// --serve <port> to expose /metrics, /healthz, /status and /buildinfo for
+// the duration of the table run (0 disables, -1 picks an ephemeral port).
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "obs/obs_server.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/telemetry.hpp"
@@ -32,15 +36,33 @@ inline int run_paper_table(const std::string& table_id,
                  "write a Chrome trace here (and a .jsonl snapshot next to "
                  "it), plus the per-phase breakdown",
                  "");
+  cli.add_option("serve",
+                 "serve /metrics /healthz /status /buildinfo on this HTTP "
+                 "port while the table runs (0 disables, -1 ephemeral)",
+                 "0");
   if (argc > 0 && !cli.parse(argc, argv, std::cerr)) return 64;
   const std::string telemetry_out = cli.get("telemetry-out");
+  const int serve_port = static_cast<int>(cli.get_int("serve"));
 
   TableSpec spec;
   spec.title = title;
   spec.class_prefixes = std::move(class_prefixes);
   spec.scale = ExperimentScale::from_env();
-  spec.telemetry = !telemetry_out.empty();
+  spec.telemetry = !telemetry_out.empty() || serve_port != 0;
   if (spec.telemetry) telemetry::set_enabled(true);
+
+  std::unique_ptr<obs::ObsServer> server;
+  if (serve_port != 0) {
+    obs::ObsServer::Options so;
+    so.port = serve_port < 0 ? 0 : serve_port;
+    server = std::make_unique<obs::ObsServer>(so);
+    if (!server->start()) {
+      std::cerr << "cannot serve: " << server->reason() << "\n";
+      return 1;
+    }
+    std::cout << "observability server on http://127.0.0.1:"
+              << server->port() << "\n";
+  }
 
   std::cout << title << "\n"
             << "scale: runs=" << spec.scale.runs

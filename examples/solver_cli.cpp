@@ -9,10 +9,13 @@
 // the deterministic virtual-clock versions instead and reports the
 // modeled runtime.
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+
+#include <unistd.h>
 
 #include "core/adaptive_memory.hpp"
 #include "core/mots.hpp"
@@ -24,6 +27,8 @@
 #include "harness/plot.hpp"
 #include "harness/report.hpp"
 #include "moo/anytime.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/obs_server.hpp"
 #include "operators/local_search.hpp"
 #include "parallel/async_tsmo.hpp"
 #include "parallel/hybrid_tsmo.hpp"
@@ -32,6 +37,7 @@
 #include "sim/sim_tsmo.hpp"
 #include "util/cli.hpp"
 #include "util/progress.hpp"
+#include "util/stop.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
 #include "vrptw/generator.hpp"
@@ -44,6 +50,32 @@ using namespace tsmo;
 Instance load_instance(const std::string& spec) {
   if (std::filesystem::exists(spec)) return read_solomon_file(spec);
   return generate_named(spec);
+}
+
+// SIGINT/SIGTERM: the first signal requests a cooperative stop — every
+// engine loop keys off SearchState::budget_exhausted(), so the run drains
+// and the normal post-run flushing (telemetry, convergence, partial
+// RunResult JSON) still happens.  A second signal force-exits with the
+// conventional 128+SIGINT status.  Everything here is async-signal-safe:
+// atomic stores plus (when armed) one lock-free flight-recorder append.
+volatile std::sig_atomic_t g_stop_signals = 0;
+
+void handle_stop_signal(int signo) {
+  ++g_stop_signals;
+  if (g_stop_signals > 1) _exit(130);
+  if (obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::instance().record(obs::FlightKind::kStopRequest,
+                                           nullptr, signo);
+  }
+  request_stop();
+}
+
+void install_stop_signals() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 }
 
 /// Recorder/watchdog knobs forwarded into the engine option structs.
@@ -191,6 +223,14 @@ int main(int argc, char** argv) {
                  "flag a worker stalled after this many ms without a "
                  "heartbeat (0 disables the watchdog)",
                  "0");
+  cli.add_option("serve",
+                 "serve /metrics /healthz /status /buildinfo on this "
+                 "HTTP port (0 disables, -1 picks an ephemeral port)",
+                 "0");
+  cli.add_option("postmortem",
+                 "arm the crash-safe flight recorder: SIGSEGV/SIGABRT/"
+                 "SIGBUS dump a postmortem JSON document to this path",
+                 "");
   cli.add_flag("progress",
                "live one-line status (iterations/s, hypervolume, archive "
                "size, stalled workers)");
@@ -226,10 +266,19 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.get_int("sample-iters"));
     params.convergence_sample_ms = cli.get_double("sample-ms");
 
+    // Serving implies the full observation stack: telemetry for /metrics
+    // and a convergence recorder for /status and /healthz.  All of it is
+    // pure observation, so fingerprints are unaffected.
+    params.serve_port = static_cast<int>(cli.get_int("serve"));
+    if (params.serve_port != 0) {
+      params.telemetry = true;
+      telemetry::set_enabled(true);
+    }
+
     const std::string convergence_out = cli.get("convergence-out");
     std::unique_ptr<ConvergenceRecorder> recorder;
     if (!convergence_out.empty() || cli.flag("progress") ||
-        cli.get_double("stall-ms") > 0.0) {
+        cli.get_double("stall-ms") > 0.0 || params.serve_port != 0) {
       ConvergenceConfig cc;
       cc.reference = convergence_reference(inst);
       cc.sample_every_iters = params.convergence_sample_iters;
@@ -240,6 +289,44 @@ int main(int argc, char** argv) {
     ObserveOptions observe;
     observe.recorder = recorder.get();
     observe.stall_restart = cli.flag("stall-restart");
+
+    install_stop_signals();
+
+    const std::string postmortem = cli.get("postmortem");
+    if (!postmortem.empty()) {
+      if (!obs::install_crash_handlers(postmortem)) {
+        std::cerr << "cannot open postmortem path " << postmortem << "\n";
+        return 1;
+      }
+    }
+    if (recorder && (obs::FlightRecorder::enabled() ||
+                     cli.get_int("serve") != 0)) {
+      // Postmortems include the last heartbeat of every worker slot; the
+      // board outlives the run (detached before the recorder dies below).
+      obs::FlightRecorder::instance().set_heartbeat_board(
+          &recorder->board());
+      recorder->set_stall_observer([](const StallRecord& s) {
+        obs::flight_stall(s.label.c_str(), s.slot, s.progress);
+      });
+    }
+
+    // Declared after `recorder` so it is destroyed (and stopped) first —
+    // handlers hold a recorder pointer until then.
+    std::unique_ptr<obs::ObsServer> server;
+    if (params.serve_port != 0) {
+      obs::ObsServer::Options so;
+      so.port = params.serve_port < 0 ? 0 : params.serve_port;
+      server = std::make_unique<obs::ObsServer>(so);
+      obs::FlightRecorder::set_enabled(true);
+      if (!server->start()) {
+        std::cerr << "cannot serve: " << server->reason() << "\n";
+        return 1;
+      }
+      server->set_recorder(recorder.get());
+      std::cout << "observability server on http://127.0.0.1:"
+                << server->port()
+                << " (/metrics /healthz /status /buildinfo)\n";
+    }
 
     std::unique_ptr<ProgressPrinter> progress;
     if (cli.flag("progress") && recorder) {
@@ -255,6 +342,11 @@ int main(int argc, char** argv) {
 
     if (progress) progress->finish();
     if (recorder) recorder->finalize(result.front);
+    result.stopped_early = result.stopped_early || stop_requested();
+    if (result.stopped_early) {
+      std::cout << "stop requested (signal): flushing partial results\n";
+    }
+    if (!postmortem.empty()) result.postmortem_path = postmortem;
 
     if (cli.flag("polish")) {
       // Deterministic VND descent on each archive member; the polished
@@ -384,6 +476,11 @@ int main(int argc, char** argv) {
       write_run_json(f, inst, result);
       std::cout << "JSON written to " << path << "\n";
     }
+    if (server) {
+      server->set_recorder(nullptr);
+      server->stop();
+    }
+    obs::FlightRecorder::instance().set_heartbeat_board(nullptr);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -57,6 +57,13 @@ struct TsmoParams {
   /// Observation only; never consulted by the search and never perturbed.
   int convergence_sample_iters = 50;
   double convergence_sample_ms = 250.0;
+  /// Port of the embedded HTTP observability server (DESIGN.md §10):
+  /// /metrics, /healthz, /status, /buildinfo.  0 (default) disables the
+  /// server entirely; -1 asks for an ephemeral port (tests).  Serving is
+  /// pure observation — handlers only read atomics and recorder state —
+  /// so fingerprints are identical with the server on or off.  Never
+  /// perturbed.
+  int serve_port = 0;
   std::uint64_t seed = 1;
 
   /// Perturbs every numeric parameter with N(0, p/4) noise — §III.E: "The

@@ -61,6 +61,13 @@ struct RunResult {
   /// --telemetry-out; empty otherwise.  The JSONL snapshot lives next to it
   /// (see util/telemetry.hpp TelemetrySink).
   std::string telemetry_path;
+  /// True when the run ended on a cooperative stop request (solver_cli's
+  /// SIGINT/SIGTERM path) rather than budget exhaustion; the front is the
+  /// partial result at the moment of the stop.
+  bool stopped_early = false;
+  /// Where the crash-handler postmortem would land when the flight
+  /// recorder was armed (--postmortem); empty otherwise.
+  std::string postmortem_path;
 
   /// Recomputes iterations_per_second from the current counters, preferring
   /// real wall clock and falling back to the DES virtual clock.  Call after

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "construct/i1_insertion.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/telemetry.hpp"
 
 namespace tsmo {
@@ -57,6 +58,7 @@ void SearchState::note_insertion(const Objectives& obj, int op, int worker) {
     }
   }
   if (!found) provenance_.emplace_back(obj, attr);
+  obs::flight_archive_insert(trace_id_, op, iterations_);
   if (recorder_) recorder_->record_insertion(obj, op, worker, iterations_);
 }
 
@@ -216,6 +218,7 @@ SearchState::StepOutcome SearchState::step_with_candidates(
       recorder_->sample(iterations_, evaluations_, archive_.objectives());
     }
   }
+  if (trace_.enabled()) obs::flight_fingerprint(trace_.fingerprint());
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include "operators/move_engine.hpp"
 #include "operators/neighborhood.hpp"
 #include "util/rng.hpp"
+#include "util/stop.hpp"
 #include "util/trace.hpp"
 #include "vrptw/instance.hpp"
 
@@ -96,8 +97,12 @@ class SearchState {
   /// External evaluation work (e.g. by workers on this searcher's behalf)
   /// is charged here so the budget check sees the global count.
   void charge_evaluations(std::int64_t n) noexcept { evaluations_ += n; }
+  /// True when the evaluation budget is spent *or* a cooperative stop was
+  /// requested (solver_cli's SIGINT/SIGTERM path): every engine loop keys
+  /// off this check, so a stop request drains exactly like budget
+  /// exhaustion and results are still collected and flushed.
   bool budget_exhausted() const noexcept {
-    return evaluations_ >= params_.max_evaluations;
+    return evaluations_ >= params_.max_evaluations || stop_requested();
   }
 
   int iterations_since_improvement() const noexcept {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
+#include "util/stop.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -22,13 +24,16 @@ RunResult collect_result(const SearchState& state, std::string algorithm,
   r.archive_fingerprint = archive_fingerprint(r.front);
   r.trace_fingerprint = state.trace().fingerprint();
   r.wall_seconds = wall_seconds;
+  r.stopped_early = stop_requested();
   r.refresh_throughput();
+  obs::flight_fingerprint(r.trace_fingerprint);
   return r;
 }
 
 RunResult SequentialTsmo::run(const IterationObserver& observer) const {
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sequential");
+  obs::flight_engine_start("sequential", 1, 0);
   Timer timer;
   SearchState state(*inst_, params_, Rng(params_.seed));
   state.initialize();
@@ -53,6 +58,7 @@ RunResult SequentialTsmo::run(const IterationObserver& observer) const {
       observer(ev);
     }
   }
+  obs::flight_engine_finish("sequential", state.iterations());
   return collect_result(state, "sequential", timer.elapsed_seconds());
 }
 

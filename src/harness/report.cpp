@@ -4,6 +4,7 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/buildinfo.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -14,6 +15,14 @@ void write_run_json(std::ostream& os, const Instance& inst,
   JsonWriter w(os);
   w.begin_object();
   w.key("algorithm").value(result.algorithm);
+  // Build provenance: every result is traceable to the binary that made
+  // it (see EXPERIMENTS.md, "Result schema").
+  const obs::BuildInfo& build = obs::build_info();
+  w.key("build").begin_object();
+  w.key("git_sha").value(build.git_sha);
+  w.key("compiler").value(build.compiler);
+  w.key("flags").value(build.flags);
+  w.end_object();
   w.key("instance").begin_object();
   w.key("name").value(inst.name());
   w.key("customers").value(inst.num_customers());
@@ -28,6 +37,10 @@ void write_run_json(std::ostream& os, const Instance& inst,
   w.key("iterations_per_second").value(result.iterations_per_second);
   if (!result.telemetry_path.empty()) {
     w.key("telemetry_path").value(result.telemetry_path);
+  }
+  if (result.stopped_early) w.key("stopped_early").value(true);
+  if (!result.postmortem_path.empty()) {
+    w.key("postmortem_path").value(result.postmortem_path);
   }
 
   w.key("front").begin_array();

@@ -197,6 +197,12 @@ void ConvergenceRecorder::set_stall_action(
   stall_action_ = std::move(action);
 }
 
+void ConvergenceRecorder::set_stall_observer(
+    std::function<void(const StallRecord&)> observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stall_observer_ = std::move(observer);
+}
+
 void ConvergenceRecorder::on_stall(const StallWatchdog::StallEvent& ev) {
   std::lock_guard<std::mutex> lock(mutex_);
   StallRecord rec;
@@ -205,6 +211,7 @@ void ConvergenceRecorder::on_stall(const StallWatchdog::StallEvent& ev) {
   rec.age_ms = static_cast<double>(ev.age_ns) / 1.0e6;
   rec.progress = ev.progress;
   rec.t_ns = now_ns() - epoch_ns_;
+  if (stall_observer_) stall_observer_(rec);
   stalls_.push_back(std::move(rec));
   int searcher_id = -1;
   if (ev.slot >= 0 &&
@@ -312,6 +319,19 @@ std::int64_t ConvergenceRecorder::stalls_flagged() const noexcept {
 double ConvergenceRecorder::global_hv() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return global_hv_.value();
+}
+
+ConvergenceRecorder::LiveStatus ConvergenceRecorder::live_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LiveStatus s;
+  s.engine = engine_name_;
+  s.hv_global = global_hv_.value();
+  s.front = global_hv_.front();
+  s.samples = samples_.size();
+  s.insertions = insertions_.size();
+  s.stalls = stalls_.size();
+  s.engine_start_ns = engine_start_ns_;
+  return s;
 }
 
 // --- Post-run ---

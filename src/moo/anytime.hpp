@@ -244,6 +244,26 @@ class ConvergenceRecorder {
   std::int64_t stalls_flagged() const noexcept;
   double global_hv() const;
 
+  /// Consistent copy of the live run state, taken under the recorder
+  /// mutex — the mid-run surface the /status endpoint serves.
+  struct LiveStatus {
+    std::string engine;
+    double hv_global = 0.0;
+    std::vector<Objectives> front;  ///< global non-dominated set so far
+    std::size_t samples = 0;
+    std::size_t insertions = 0;
+    std::size_t stalls = 0;
+    std::uint64_t engine_start_ns = 0;  ///< 0 until engine_started()
+  };
+  LiveStatus live_status() const;
+
+  /// Observer invoked (under the recorder lock, on the watchdog thread)
+  /// for every recorded stall verdict.  Lets the obs layer route stalls
+  /// into the flight recorder without a moo->obs dependency.  Same
+  /// contract as set_stall_action: keep it tiny, never call back into
+  /// the recorder.
+  void set_stall_observer(std::function<void(const StallRecord&)> observer);
+
   // --- Post-run (quiescent: after the engine returned) ---
   /// Computes eps_to_final for every sample, marks surviving insertions,
   /// and builds the attribution table.  Idempotent guard: second call is
@@ -288,6 +308,7 @@ class ConvergenceRecorder {
   std::vector<LifecycleEvent> lifecycle_;
   std::vector<AttributionRow> attribution_;
   std::function<void(int)> stall_action_;
+  std::function<void(const StallRecord&)> stall_observer_;
   std::string engine_name_;
   std::uint64_t engine_start_ns_ = 0;
   bool finalized_ = false;

@@ -1,0 +1,38 @@
+#include "obs/buildinfo.hpp"
+
+#include "util/json.hpp"
+
+#ifndef TSMO_BUILD_GIT_SHA
+#define TSMO_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef TSMO_BUILD_COMPILER
+#define TSMO_BUILD_COMPILER "unknown"
+#endif
+#ifndef TSMO_BUILD_FLAGS
+#define TSMO_BUILD_FLAGS ""
+#endif
+#ifndef TSMO_BUILD_TYPE
+#define TSMO_BUILD_TYPE "unknown"
+#endif
+
+namespace tsmo::obs {
+
+const BuildInfo& build_info() noexcept {
+  static constexpr BuildInfo info{TSMO_BUILD_GIT_SHA, TSMO_BUILD_COMPILER,
+                                  TSMO_BUILD_FLAGS, TSMO_BUILD_TYPE};
+  return info;
+}
+
+void write_buildinfo_json(std::ostream& os) {
+  const BuildInfo& info = build_info();
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("git_sha").value(info.git_sha);
+  w.key("compiler").value(info.compiler);
+  w.key("flags").value(info.flags);
+  w.key("build_type").value(info.build_type);
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace tsmo::obs

@@ -1,0 +1,27 @@
+#pragma once
+
+// Build provenance (DESIGN.md §10): git sha, compiler, flags and build
+// type captured at configure time (src/obs/CMakeLists.txt passes them as
+// compile definitions).  All fields are string literals with static
+// storage so the flight recorder's crash handler can read them without
+// allocating.  Served at /buildinfo and stamped into every RunResult JSON
+// so bench_results artifacts are traceable to the binary that made them.
+
+#include <ostream>
+
+namespace tsmo::obs {
+
+struct BuildInfo {
+  const char* git_sha;     ///< short sha of HEAD at configure time
+  const char* compiler;    ///< "GNU 13.2.0" style id + version
+  const char* flags;       ///< CXX flags incl. the build-type flags
+  const char* build_type;  ///< CMAKE_BUILD_TYPE
+};
+
+/// The compiled-in build record.
+const BuildInfo& build_info() noexcept;
+
+/// Renders the record as a small JSON object ({"git_sha": ..., ...}).
+void write_buildinfo_json(std::ostream& os);
+
+}  // namespace tsmo::obs

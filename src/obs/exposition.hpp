@@ -1,0 +1,41 @@
+#pragma once
+
+// Prometheus text exposition (format 0.0.4) of a telemetry::Snapshot
+// (DESIGN.md §10).  Rendering rules:
+//
+//   * counters   `a.b.c`                -> `tsmo_a_b_c_total`
+//   * gauges     `worker.<N>.<rest>`    -> `tsmo_worker_<rest>{worker="N"}`
+//                `channel.<label>.depth`-> `tsmo_channel_depth{channel="…"}`
+//                anything else          -> `tsmo_<sanitized>`
+//   * histograms `x.y_ns`               -> `tsmo_x_y_seconds` with
+//     cumulative `_bucket{le="…"}` lines (log2 boundaries converted to
+//     seconds), a terminal `le="+Inf"` bucket, `_sum` and `_count`.
+//
+// Metrics sharing a family (e.g. per-worker gauges) are grouped under one
+// `# HELP`/`# TYPE` pair, label values are escaped per the exposition
+// spec (\\, \", \n), and metric/label names are sanitized to
+// [a-zA-Z_:][a-zA-Z0-9_:]*.  Conformance is pinned by
+// tests/test_http_obs.cpp.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/telemetry.hpp"
+
+namespace tsmo::obs {
+
+/// Clamps `name` to a legal Prometheus metric name: every illegal char
+/// becomes '_', and a leading digit gets a '_' prefix.
+std::string sanitize_metric_name(std::string_view name);
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline.
+std::string escape_label_value(std::string_view value);
+
+/// Renders the full snapshot.  `prefix` (default "tsmo") namespaces every
+/// family; spans/threads are not exposed (scrape-sized data only).
+void write_prometheus(std::ostream& os, const telemetry::Snapshot& snap,
+                      const std::string& prefix = "tsmo");
+
+}  // namespace tsmo::obs

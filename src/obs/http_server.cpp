@@ -1,0 +1,305 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsmo::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+/// Writes the whole buffer, retrying on EINTR/short writes.
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& res) {
+  std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                    status_text(res.status) + "\r\n";
+  out += "Content-Type: " + res.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += res.body;
+  write_all(fd, out.data(), out.size());
+}
+
+/// Reads until the end of the request head ("\r\n\r\n") or limits hit.
+/// Bodies are ignored: every supported endpoint is a bare GET.
+bool read_request_head(int fd, std::string& head) {
+  char buf[2048];
+  head.clear();
+  while (head.size() < 16 * 1024) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 2000);
+    if (pr <= 0) return false;  // timeout or error: drop the connection
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed before finishing the head
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool parse_request_line(const std::string& head, HttpRequest& req) {
+  const std::size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) {
+    req.path = std::move(target);
+    req.query.clear();
+  } else {
+    req.path = target.substr(0, q);
+    req.query = target.substr(q + 1);
+  }
+  return !req.path.empty() && req.path.front() == '/';
+}
+
+}  // namespace
+
+HttpServer::HttpServer(int port, int handler_threads)
+    : port_(port),
+      handler_threads_(handler_threads < 1 ? 1 : handler_threads) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(std::string path, Handler handler) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    reason_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    reason_ = "bind port " + std::to_string(port_) + ": " +
+              std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    reason_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (port_ == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  handlers_.reserve(static_cast<std::size_t>(handler_threads_));
+  for (int i = 0; i < handler_threads_; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  // Drain anything the handlers did not get to.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : queue_) ::close(fd);
+  queue_.clear();
+}
+
+bool HttpServer::enqueue(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= kMaxQueued) return false;
+    queue_.push_back(fd);
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;  // timeout tick (checks stopping_) or EINTR
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    if (!enqueue(fd)) {
+      // Pool saturated: refuse from the acceptor, never block it.
+      HttpResponse busy;
+      busy.status = 503;
+      busy.body = "handler pool saturated\n";
+      send_response(fd, busy);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string head;
+  HttpRequest req;
+  HttpResponse res;
+  if (!read_request_head(fd, head) || !parse_request_line(head, req)) {
+    res.status = 400;
+    res.body = "malformed request\n";
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    res.status = 405;
+    res.body = "only GET is supported\n";
+  } else {
+    res.status = 404;
+    res.body = "no such endpoint\n";
+    for (const auto& [path, handler] : routes_) {
+      if (path == req.path) {
+        res.status = 200;
+        res.body.clear();
+        handler(req, res);
+        break;
+      }
+    }
+  }
+  if (req.method == "HEAD") res.body.clear();
+  send_response(fd, res);
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string http_get(int port, const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  write_all(fd, req.data(), req.size());
+
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr <= 0) break;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+int http_split_response(const std::string& raw, std::string& body) {
+  body.clear();
+  if (raw.compare(0, 5, "HTTP/") != 0) return 0;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return 0;
+  int status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4 && i < raw.size(); ++i) {
+    if (raw[i] < '0' || raw[i] > '9') return 0;
+    status = status * 10 + (raw[i] - '0');
+  }
+  const std::size_t blank = raw.find("\r\n\r\n");
+  if (blank != std::string::npos) body = raw.substr(blank + 4);
+  return status;
+}
+
+}  // namespace tsmo::obs

@@ -1,0 +1,114 @@
+#pragma once
+
+// Minimal embedded HTTP/1.1 server (DESIGN.md §10).  POSIX sockets only —
+// no third-party dependency.  One acceptor thread polls the listening
+// socket (~200 ms tick so stop() is prompt) and hands accepted fds to a
+// small fixed pool of handler threads over a bounded internal queue; when
+// the queue is full the connection is refused with 503 from the acceptor
+// itself so a scrape storm cannot pile up unbounded work.
+//
+// Only GET is supported (all endpoints are read-only).  Responses are
+// `Connection: close` — every request gets a fresh connection, which
+// keeps the server stateless and the handler loop trivial.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tsmo::obs {
+
+/// A parsed request: method + path with the query string split off.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+/// A response under construction; handlers fill status/body/content_type.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpResponse&)>;
+
+  /// `port` 0 asks the kernel for an ephemeral port (see port()).
+  explicit HttpServer(int port, int handler_threads = 2);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match GET `path`.  Must be called
+  /// before start().
+  void route(std::string path, Handler handler);
+
+  /// Binds, listens and launches the acceptor + handler threads.
+  /// Returns false (with reason()) if the socket setup fails.
+  bool start();
+
+  /// Graceful shutdown: stops accepting, drains queued connections,
+  /// joins all threads.  Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (resolves ephemeral port 0 after start()).
+  int port() const noexcept { return port_; }
+
+  /// Human-readable failure reason after start() returns false.
+  const std::string& reason() const noexcept { return reason_; }
+
+  /// Total requests answered (any status); exposed for tests.
+  std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  void serve_connection(int fd);
+  bool enqueue(int fd);
+
+  int port_;
+  int handler_threads_;
+  int listen_fd_ = -1;
+  std::string reason_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+
+  // Bounded fd queue feeding the handler pool.
+  static constexpr std::size_t kMaxQueued = 32;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+/// Blocking single-request client used by tests and the overhead bench:
+/// GETs `path` from 127.0.0.1:`port`, returns the raw response (headers +
+/// body) or an empty string on connect/IO failure.
+std::string http_get(int port, const std::string& path,
+                     int timeout_ms = 2000);
+
+/// Splits a raw response from http_get() into (status code, body);
+/// returns status 0 when the response is empty/unparseable.
+int http_split_response(const std::string& raw, std::string& body);
+
+}  // namespace tsmo::obs

@@ -1,0 +1,217 @@
+#include "obs/obs_server.hpp"
+
+#include <sstream>
+
+#include "obs/buildinfo.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "util/json.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo::obs {
+
+namespace {
+
+constexpr const char* kMetricsContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+constexpr const char* kJsonContentType = "application/json; charset=utf-8";
+
+/// A heartbeat younger than this counts as "busy" in /status.
+constexpr double kBusyThresholdMs = 1000.0;
+
+void append_gauge(std::string& out, const char* name, const char* help,
+                  double value) {
+  std::ostringstream v;
+  v.precision(17);
+  v << value;
+  out += std::string("# HELP ") + name + " " + help + "\n";
+  out += std::string("# TYPE ") + name + " gauge\n";
+  out += std::string(name) + " " + v.str() + "\n";
+}
+
+void append_counter(std::string& out, const char* name, const char* help,
+                    std::uint64_t value) {
+  out += std::string("# HELP ") + name + " " + help + "\n";
+  out += std::string("# TYPE ") + name + " counter\n";
+  out += std::string(name) + " " + std::to_string(value) + "\n";
+}
+
+void write_heartbeats(JsonWriter& w, const HeartbeatBoard& board,
+                      std::uint64_t now) {
+  w.begin_array();
+  for (const HeartbeatBoard::Reading& r : board.read_all()) {
+    const double age_ms =
+        r.last_beat_ns == 0 || now <= r.last_beat_ns
+            ? 0.0
+            : static_cast<double>(now - r.last_beat_ns) / 1.0e6;
+    w.begin_object();
+    w.key("slot").value(r.slot);
+    w.key("label").value(r.label);
+    w.key("started").value(r.last_beat_ns != 0);
+    w.key("age_ms").value(age_ms);
+    w.key("progress").value(static_cast<std::int64_t>(r.progress));
+    w.key("beats").value(static_cast<std::int64_t>(r.beats));
+    w.key("busy").value(r.last_beat_ns != 0 && age_ms < kBusyThresholdMs);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+ObsServer::ObsServer(Options opts)
+    : server_(opts.port, opts.handler_threads) {
+  server_.route("/metrics", [this](const HttpRequest&, HttpResponse& res) {
+    handle_metrics(res);
+  });
+  server_.route("/healthz", [this](const HttpRequest&, HttpResponse& res) {
+    handle_healthz(res);
+  });
+  server_.route("/status", [this](const HttpRequest&, HttpResponse& res) {
+    handle_status(res);
+  });
+  server_.route("/buildinfo", [](const HttpRequest&, HttpResponse& res) {
+    std::ostringstream os;
+    write_buildinfo_json(os);
+    res.content_type = kJsonContentType;
+    res.body = os.str();
+  });
+  server_.route("/", [](const HttpRequest&, HttpResponse& res) {
+    res.body =
+        "tsmo operational plane\n"
+        "  /metrics    Prometheus exposition of the telemetry registry\n"
+        "  /healthz    liveness + stall watchdog verdicts\n"
+        "  /status     live Pareto front and per-worker progress\n"
+        "  /buildinfo  git sha, compiler, flags\n";
+  });
+}
+
+bool ObsServer::start() {
+  start_ns_ = now_ns();
+  const bool ok = server_.start();
+  if (ok && FlightRecorder::enabled()) {
+    FlightRecorder::instance().record(FlightKind::kServeStart, nullptr, 0,
+                                      port());
+  }
+  return ok;
+}
+
+void ObsServer::stop() {
+  if (!server_.running()) return;
+  const int p = port();
+  server_.stop();
+  if (FlightRecorder::enabled()) {
+    FlightRecorder::instance().record(FlightKind::kServeStop, nullptr, 0, p);
+  }
+}
+
+void ObsServer::handle_metrics(HttpResponse& res) {
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+#if TSMO_TELEMETRY_ENABLED
+  // Metrics-only snapshot: the span rings are plain records and may be
+  // mid-write on worker threads during a live scrape.
+  write_prometheus(
+      os, telemetry::Registry::instance().snapshot(/*include_spans=*/false));
+#endif
+  std::string body = os.str();
+  append_counter(body, "tsmo_obs_scrapes_total",
+                 "Scrapes of /metrics answered by this process.",
+                 scrapes_.load(std::memory_order_relaxed));
+  append_counter(body, "tsmo_obs_flight_events_total",
+                 "Events recorded by the flight recorder ring.",
+                 FlightRecorder::instance().recorded());
+  if (const ConvergenceRecorder* rec =
+          recorder_.load(std::memory_order_acquire)) {
+    const ConvergenceRecorder::LiveStatus live = rec->live_status();
+    append_gauge(body, "tsmo_pareto_hypervolume",
+                 "Anytime hypervolume of the global non-dominated set.",
+                 live.hv_global);
+    append_gauge(body, "tsmo_pareto_front_size",
+                 "Points in the global non-dominated set.",
+                 static_cast<double>(live.front.size()));
+    append_gauge(body, "tsmo_workers_stalled",
+                 "Heartbeat slots currently flagged by the stall watchdog.",
+                 static_cast<double>(rec->stalled_count()));
+    append_gauge(body, "tsmo_iterations_progress",
+                 "Summed per-slot progress counters (searcher iterations).",
+                 static_cast<double>(rec->board().total_progress()));
+  }
+  res.content_type = kMetricsContentType;
+  res.body = std::move(body);
+}
+
+void ObsServer::handle_healthz(HttpResponse& res) {
+  const ConvergenceRecorder* rec = recorder_.load(std::memory_order_acquire);
+  const std::uint64_t now = now_ns();
+  const int stalled = rec ? rec->stalled_count() : 0;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("status").value(stalled > 0 ? "stalled" : "ok");
+  w.key("uptime_seconds")
+      .value(static_cast<double>(now - start_ns_) / 1.0e9);
+  w.key("stalled_now").value(stalled);
+  w.key("stalls_flagged")
+      .value(static_cast<std::int64_t>(rec ? rec->stalls_flagged() : 0));
+  w.key("flight_events")
+      .value(static_cast<std::int64_t>(FlightRecorder::instance().recorded()));
+  w.key("heartbeats");
+  if (rec) {
+    write_heartbeats(w, rec->board(), now);
+  } else {
+    w.begin_array().end_array();
+  }
+  w.end_object();
+  os << '\n';
+  res.content_type = kJsonContentType;
+  res.body = os.str();
+}
+
+void ObsServer::handle_status(HttpResponse& res) {
+  const ConvergenceRecorder* rec = recorder_.load(std::memory_order_acquire);
+  const std::uint64_t now = now_ns();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (!rec) {
+    w.key("engine").value("idle");
+    w.key("attached").value(false);
+    w.end_object();
+  } else {
+    const ConvergenceRecorder::LiveStatus live = rec->live_status();
+    w.key("engine").value(live.engine.empty() ? "pending" : live.engine);
+    w.key("attached").value(true);
+    w.key("hv_global").value(live.hv_global);
+    w.key("front_size")
+        .value(static_cast<std::int64_t>(live.front.size()));
+    w.key("front").begin_array();
+    for (const Objectives& o : live.front) {
+      w.begin_object();
+      w.key("distance").value(o.distance);
+      w.key("vehicles").value(o.vehicles);
+      w.key("tardiness").value(o.tardiness);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("samples").value(static_cast<std::int64_t>(live.samples));
+    w.key("insertions").value(static_cast<std::int64_t>(live.insertions));
+    w.key("stalls").value(static_cast<std::int64_t>(live.stalls));
+    w.key("iterations")
+        .value(static_cast<std::int64_t>(rec->board().total_progress()));
+    const double run_s =
+        live.engine_start_ns == 0 || now <= live.engine_start_ns
+            ? 0.0
+            : static_cast<double>(now - live.engine_start_ns) / 1.0e9;
+    w.key("run_seconds").value(run_s);
+    w.key("workers");
+    write_heartbeats(w, rec->board(), now);
+    w.end_object();
+  }
+  os << '\n';
+  res.content_type = kJsonContentType;
+  res.body = os.str();
+}
+
+}  // namespace tsmo::obs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/sequential_tsmo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "parallel/worker_team.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -23,6 +24,7 @@ RunResult AsyncTsmo::run() const {
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
   WorkerTeam team(*inst_, procs - 1, params_.seed);
+  obs::flight_engine_start("async", 1, team.num_workers());
   if (options_.recorder) {
     options_.recorder->engine_started("async", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "async worker");
@@ -110,6 +112,7 @@ RunResult AsyncTsmo::run() const {
     options_.recorder->set_stall_action(nullptr);
     options_.recorder->engine_finished(state.iterations());
   }
+  obs::flight_engine_finish("async", state.iterations());
   return collect_result(state, "async", timer.elapsed_seconds());
 }
 
@@ -126,6 +129,7 @@ RunResult AsyncTsmo::run_deterministic() const {
       options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
   SearchState state(*inst_, params_, Rng(params_.seed));
   WorkerTeam team(*inst_, exec, params_.seed);
+  obs::flight_engine_start("async", 1, team.num_workers());
   if (options_.recorder) {
     options_.recorder->engine_started("async", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "async worker");
@@ -193,6 +197,7 @@ RunResult AsyncTsmo::run_deterministic() const {
   }
   // Chunks still deferred at exhaustion are dropped, like in-flight
   // results at termination of the wall-clock mode.
+  obs::flight_engine_finish("async", state.iterations());
   if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "async", timer.elapsed_seconds());
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -26,14 +27,14 @@ class Channel {
   /// Registers this channel with the telemetry layer under `label`: a
   /// `channel.<label>.depth` gauge tracking queue depth and a
   /// `channel.<label>.wait_ns` histogram of blocking-pop wait times.
+  /// Also names the channel for the flight recorder's high-water events.
   /// Call before handing the channel to other threads.
   void enable_telemetry(const std::string& label) {
+    label_ = label;
 #if TSMO_TELEMETRY_ENABLED
     auto& reg = telemetry::Registry::instance();
     depth_gauge_ = reg.gauge("channel." + label + ".depth");
     wait_hist_ = reg.histogram("channel." + label + ".wait_ns");
-#else
-    (void)label;
 #endif
   }
 
@@ -44,6 +45,7 @@ class Channel {
       if (closed_) return false;
       queue_.push_back(std::move(item));
       note_depth(queue_.size());
+      note_high_water(queue_.size());
     }
     cv_.notify_one();
     return true;
@@ -133,9 +135,23 @@ class Channel {
   void wait_end(std::uint64_t) const noexcept {}
 #endif
 
+  // Called with mutex_ held.  Depth grows one push at a time, so checking
+  // for exact powers of two records each doubling of the backlog exactly
+  // once per new high-water mark (named channels only).
+  void note_high_water(std::size_t depth) noexcept {
+    if (depth <= high_water_) return;
+    high_water_ = depth;
+    if (depth >= 2 && (depth & (depth - 1)) == 0 && !label_.empty()) {
+      obs::flight_channel_high_water(label_.c_str(),
+                                     static_cast<std::int64_t>(depth));
+    }
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> queue_;
+  std::string label_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
 };
 

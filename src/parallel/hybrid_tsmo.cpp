@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/sequential_tsmo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "parallel/channel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/worker_team.hpp"
@@ -43,6 +44,7 @@ MultisearchResult HybridTsmo::run() const {
   // flagged island id to a restart request through this table.
   std::mutex stall_mutex;
   std::vector<SearchState*> stall_reg(n, nullptr);
+  obs::flight_engine_start("hybrid", k, k * (procs - 1));
   if (options_.recorder) {
     options_.recorder->engine_started("hybrid", k, k * (procs - 1));
     if (options_.stall_restart) {
@@ -202,6 +204,7 @@ MultisearchResult HybridTsmo::run() const {
   result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
+  obs::flight_engine_finish("hybrid", result.merged.iterations);
   if (options_.recorder) {
     options_.recorder->set_stall_action(nullptr);
     options_.recorder->engine_finished(result.merged.iterations);
@@ -259,6 +262,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     }
   }
 
+  obs::flight_engine_start("hybrid", k, 0);
   if (options_.recorder) {
     options_.recorder->engine_started("hybrid", k, 0);
   }
@@ -368,6 +372,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
   result.merged = merge_results(result.per_searcher, "hybrid");
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.merged.refresh_throughput();
+  obs::flight_engine_finish("hybrid", result.merged.iterations);
   if (options_.recorder) {
     options_.recorder->engine_finished(result.merged.iterations);
   }

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/sequential_tsmo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "parallel/channel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/telemetry.hpp"
@@ -152,6 +153,7 @@ MultisearchResult MultisearchTsmo::run() const {
         local_timer.elapsed_seconds());
   };
 
+  obs::flight_engine_start("coll", procs, 0);
   if (options_.recorder) {
     options_.recorder->engine_started("coll", procs, 0);
   }
@@ -170,6 +172,7 @@ MultisearchResult MultisearchTsmo::run() const {
   result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
+  obs::flight_engine_finish("coll", result.merged.iterations);
   if (options_.recorder) {
     options_.recorder->engine_finished(result.merged.iterations);
   }
@@ -217,6 +220,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     }
   }
 
+  obs::flight_engine_start("coll", procs, 0);
   if (options_.recorder) {
     options_.recorder->engine_started("coll", procs, 0);
   }
@@ -305,6 +309,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
   result.merged = merge_results(result.per_searcher, "coll");
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.merged.refresh_throughput();
+  obs::flight_engine_finish("coll", result.merged.iterations);
   if (options_.recorder) {
     options_.recorder->engine_finished(result.merged.iterations);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sequential_tsmo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "parallel/worker_team.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -21,6 +22,7 @@ RunResult SyncTsmo::run() const {
   const int procs = std::max(2, processors_);
   SearchState state(*inst_, params_, Rng(params_.seed));
   WorkerTeam team(*inst_, procs - 1, params_.seed);
+  obs::flight_engine_start("sync", 1, team.num_workers());
   if (options_.recorder) {
     options_.recorder->engine_started("sync", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "sync worker");
@@ -66,6 +68,7 @@ RunResult SyncTsmo::run() const {
     }
     state.step_with_candidates(candidates);
   }
+  obs::flight_engine_finish("sync", state.iterations());
   if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "sync", timer.elapsed_seconds());
 }
@@ -83,6 +86,7 @@ RunResult SyncTsmo::run_deterministic() const {
       options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
   SearchState state(*inst_, params_, Rng(params_.seed));
   WorkerTeam team(*inst_, exec, params_.seed);
+  obs::flight_engine_start("sync", 1, team.num_workers());
   if (options_.recorder) {
     options_.recorder->engine_started("sync", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "sync worker");
@@ -141,6 +145,7 @@ RunResult SyncTsmo::run_deterministic() const {
     }
     state.step_with_candidates(candidates);
   }
+  obs::flight_engine_finish("sync", state.iterations());
   if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "sync", timer.elapsed_seconds());
 }

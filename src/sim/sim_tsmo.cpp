@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/sequential_tsmo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/des.hpp"
 #include "util/telemetry.hpp"
 
@@ -367,6 +368,7 @@ RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
   if (params.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sim-async");
   ConvergenceRecorder* rec = options.recorder;
+  obs::flight_engine_start("sim-async", 1, std::max(2, processors) - 1);
   if (rec) {
     rec->engine_started("sim-async", 1, std::max(2, processors) - 1);
   }
@@ -378,6 +380,7 @@ RunResult run_sim_async(const Instance& inst, const TsmoParams& params,
     if (!iter.progressed) break;
   }
   core.export_worker_gauges(t);
+  obs::flight_engine_finish("sim-async", core.state().iterations());
   if (rec) rec->engine_finished(core.state().iterations());
   RunResult r = collect_result(core.state(), "sim-async", 0.0);
   r.sim_seconds = t * 1e-6;

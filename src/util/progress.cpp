@@ -49,6 +49,19 @@ HeartbeatBoard::Reading HeartbeatBoard::read(int slot) const {
   return r;
 }
 
+void HeartbeatBoard::read_raw(int slot, std::uint64_t& last_beat_ns,
+                              std::int64_t& progress,
+                              std::uint64_t& beats) const noexcept {
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  last_beat_ns = s.last_beat_ns.load(std::memory_order_acquire);
+  progress = s.progress.load(std::memory_order_relaxed);
+  beats = s.beats.load(std::memory_order_relaxed);
+}
+
+const char* HeartbeatBoard::label_c_str(int slot) const noexcept {
+  return slots_[static_cast<std::size_t>(slot)].label.c_str();
+}
+
 std::vector<HeartbeatBoard::Reading> HeartbeatBoard::read_all() const {
   const int n = size();
   std::vector<Reading> out;

@@ -60,6 +60,12 @@ class HeartbeatBoard {
   Reading read(int slot) const;
   std::vector<Reading> read_all() const;
 
+  /// Async-signal-safe raw slot access (no locks, no allocation) for the
+  /// flight recorder's postmortem writer.  `slot` must be in [0, size()).
+  void read_raw(int slot, std::uint64_t& last_beat_ns, std::int64_t& progress,
+                std::uint64_t& beats) const noexcept;
+  const char* label_c_str(int slot) const noexcept;
+
   /// Sum of the progress counters over all slots (for throughput lines).
   std::int64_t total_progress() const noexcept;
 

@@ -1,0 +1,7 @@
+#include "util/stop.hpp"
+
+namespace tsmo::detail {
+
+std::atomic<bool> g_stop_requested{false};
+
+}  // namespace tsmo::detail

@@ -1,0 +1,36 @@
+#pragma once
+
+// Process-wide cooperative stop flag (DESIGN.md §10).
+//
+// solver_cli's SIGINT/SIGTERM handler sets it (one async-signal-safe
+// atomic store); every engine loop observes it through
+// SearchState::budget_exhausted(), so a stop request drains exactly like
+// an exhausted evaluation budget: workers finish their current move,
+// channels close, results are collected and flushed.  Never set during a
+// normal run, so determinism and golden-seed fingerprints are untouched.
+
+#include <atomic>
+
+namespace tsmo {
+
+namespace detail {
+extern std::atomic<bool> g_stop_requested;
+}  // namespace detail
+
+/// True once request_stop() was called.  One relaxed load — cheap enough
+/// for every budget_exhausted() check.
+inline bool stop_requested() noexcept {
+  return detail::g_stop_requested.load(std::memory_order_relaxed);
+}
+
+/// Requests a cooperative stop.  Async-signal-safe (one atomic store).
+inline void request_stop() noexcept {
+  detail::g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Re-arms the flag (tests; between runs in one process).
+inline void clear_stop_request() noexcept {
+  detail::g_stop_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace tsmo

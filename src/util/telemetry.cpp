@@ -214,7 +214,9 @@ void Registry::set_thread_label(const std::string& label) {
   shard.label = label;
 }
 
-Snapshot Registry::snapshot() const {
+Snapshot Registry::snapshot() const { return snapshot(true); }
+
+Snapshot Registry::snapshot(bool include_spans) const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   Snapshot snap;
 
@@ -248,11 +250,14 @@ Snapshot Registry::snapshot() const {
     const std::uint64_t head = shard.span_head.load(std::memory_order_acquire);
     const std::uint64_t kept =
         std::min<std::uint64_t>(head, kSpanRingCapacity);
-    for (std::uint64_t k = 0; k < kept; ++k) {
-      const SpanRecord& rec = shard.ring[(head - kept + k) % kSpanRingCapacity];
-      if (rec.name == nullptr) continue;
-      snap.spans.push_back(
-          SpanSnap{rec.name, shard.tid, rec.start_ns, rec.dur_ns});
+    if (include_spans) {
+      for (std::uint64_t k = 0; k < kept; ++k) {
+        const SpanRecord& rec =
+            shard.ring[(head - kept + k) % kSpanRingCapacity];
+        if (rec.name == nullptr) continue;
+        snap.spans.push_back(
+            SpanSnap{rec.name, shard.tid, rec.start_ns, rec.dur_ns});
+      }
     }
     snap.threads.push_back(
         ThreadSnap{shard.tid, shard.label, head, head - kept});

@@ -165,6 +165,12 @@ class Registry {
   /// for exact data (see file header).
   Snapshot snapshot() const;
 
+  /// Same, but `include_spans` false skips the per-thread span rings.
+  /// Span records are plain (non-atomic) storage, so this is the variant
+  /// a *live* reader — the /metrics scrape handler — must use; counters,
+  /// gauges and histograms stay safe (racy-but-atomic) mid-run.
+  Snapshot snapshot(bool include_spans) const;
+
   /// Zeroes all counters, gauges, histograms and span rings while keeping
   /// every registration valid (function-local static ids in the macros must
   /// survive a reset).

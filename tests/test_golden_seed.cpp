@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sequential_tsmo.hpp"
 #include "moo/anytime.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/http_server.hpp"
+#include "obs/obs_server.hpp"
 #include "parallel/async_tsmo.hpp"
 #include "parallel/hybrid_tsmo.hpp"
 #include "parallel/multisearch_tsmo.hpp"
@@ -203,6 +208,71 @@ TEST_F(GoldenSeedTest, RecorderOnOffFingerprintsIdentical) {
          HybridTsmo(inst_, golden_params(seed), 2, 2, on).run().merged},
         "hybrid-det.recorder.seed" + std::to_string(seed));
   }
+}
+
+/// The operational plane (DESIGN.md §10) is pure observation as well: an
+/// enabled flight recorder plus a live ObsServer being scraped while the
+/// engine runs must leave both fingerprints bitwise identical.
+TEST_F(GoldenSeedTest, ServeAndFlightRecorderFingerprintsIdentical) {
+  const std::uint64_t seed = kSeeds[0];
+
+  // Baselines with the whole operational plane off.
+  AsyncOptions async_off;
+  async_off.deterministic = true;
+  const RunResult async_base =
+      AsyncTsmo(inst_, golden_params(seed), 4, async_off).run();
+  SyncOptions sync_off;
+  sync_off.deterministic = true;
+  const RunResult sync_base =
+      SyncTsmo(inst_, golden_params(seed), 4, sync_off).run();
+
+  // Same runs with the flight recorder on and a scraper hammering the
+  // /metrics and /status endpoints of a recorder-attached server.
+  const bool was = obs::FlightRecorder::set_enabled(true);
+  obs::FlightRecorder::instance().reset();
+  ConvergenceConfig cc;
+  cc.reference = convergence_reference(inst_);
+  cc.sample_every_iters = 5;
+  ConvergenceRecorder rec(cc);
+  obs::FlightRecorder::instance().set_heartbeat_board(&rec.board());
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+  server.set_recorder(&rec);
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      obs::http_get(server.port(), "/metrics");
+      obs::http_get(server.port(), "/status");
+      obs::http_get(server.port(), "/healthz");
+    }
+  });
+
+  AsyncOptions async_on;
+  async_on.deterministic = true;
+  async_on.recorder = &rec;
+  const RunResult async_instrumented =
+      AsyncTsmo(inst_, golden_params(seed), 4, async_on).run();
+  SyncOptions sync_on;
+  sync_on.deterministic = true;
+  sync_on.recorder = &rec;
+  const RunResult sync_instrumented =
+      SyncTsmo(inst_, golden_params(seed), 4, sync_on).run();
+
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_GT(server.scrapes(), 0u);
+  EXPECT_GT(obs::FlightRecorder::instance().recorded(), 0u);
+  server.set_recorder(nullptr);
+  server.stop();
+  obs::FlightRecorder::instance().set_heartbeat_board(nullptr);
+  obs::FlightRecorder::instance().reset();
+  obs::FlightRecorder::set_enabled(was);
+
+  expect_identical({async_base, async_instrumented},
+                   "async-det.obs.seed" + std::to_string(seed));
+  expect_identical({sync_base, sync_instrumented},
+                   "sync-det.obs.seed" + std::to_string(seed));
 }
 
 /// Different seeds must not collide — otherwise the fingerprint could not
