@@ -11,15 +11,20 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "construct/i1_insertion.hpp"
+#include "core/search_state.hpp"
 #include "evolutionary/crossover.hpp"
+#include "moo/anytime.hpp"
 #include "moo/archive.hpp"
 #include "moo/metrics.hpp"
 #include "operators/local_search.hpp"
@@ -283,6 +288,181 @@ double ns_per_eval(F&& f, int batch, int min_ms = 80, int reps = 3) {
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// End-to-end search throughput across the four sampling/pricing configs,
+// measured as *equivalent-progress* iterations per second:
+//
+//   1. The reference config (uniform sampling + single-move pricing — the
+//      pre-candidate-list pipeline) runs a fixed budget of full TSMO
+//      iterations (generate + select + memory update) and records its final
+//      anytime hypervolume H* (IncrementalHypervolume against the
+//      instance's convergence_reference) and wall time T_ref.
+//   2. Every other config runs the *same* search loop until its anytime
+//      hypervolume reaches H* (capped at 4x the budget), taking time T.
+//   3. Its rate is budget / T — iterations-of-equivalent-search-progress
+//      per second — and its speedup is T_ref / T.
+//
+// Rationale: candidate-list pruning spends slightly more per iteration to
+// propose far better moves, so raw same-iteration-count throughput would
+// credit a config for doing *worse* search faster.  Equal-quality wall
+// time is the end-to-end measure of the pipeline: identical search state
+// machine, identical stopping quality, only the sampling/pricing differs.
+// uniform+batch samples bitwise-identically to the reference, so its
+// number degrades gracefully to the pure batch-pricing throughput ratio.
+// Everything is deterministic per (instance, seed, config): reps differ
+// only in timing noise, and the min over reps is reported.
+//
+// The candidate-list build and the I1 construction are excluded from the
+// timed window — they are one-time setup, not per-iteration work.
+// ---------------------------------------------------------------------------
+
+/// Instance sizes for the end-to-end section: env TSMO_PERF_SIZES (comma
+/// separated hundreds of customers, e.g. "400,600") overrides the default
+/// 400,600,1000 sweep — the CI perf smoke uses "400" to stay fast.
+std::vector<int> end_to_end_sizes() {
+  const char* env = std::getenv("TSMO_PERF_SIZES");
+  const std::string spec = env != nullptr ? env : "400,600,1000";
+  std::vector<int> sizes;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) sizes.push_back(std::stoi(tok));
+  }
+  return sizes;
+}
+
+constexpr int kEndToEndCandidateK = 16;
+constexpr int kEndToEndNeighborhood = 40;
+constexpr std::int64_t kEndToEndBudget = 1500;  ///< reference iterations
+
+struct E2eRun {
+  double seconds = 0.0;         ///< min wall time over reps
+  std::int64_t iterations = 0;  ///< iterations executed (deterministic)
+  double hv = 0.0;              ///< final anytime hypervolume
+  bool reached = true;          ///< hit the target before the cap
+};
+
+/// Runs one config's search loop.  With `target` < 0: exactly `budget`
+/// iterations (the reference run).  Otherwise: until the anytime
+/// hypervolume reaches `target`, capped at `budget` iterations.
+E2eRun run_end_to_end(const Instance& inst, int candidate_k, bool batch,
+                      const std::shared_ptr<const CandidateList>& cands,
+                      std::int64_t budget, double target, int reps = 2) {
+  TsmoParams p;
+  p.max_evaluations = std::numeric_limits<std::int64_t>::max() / 2;
+  p.neighborhood_size = kEndToEndNeighborhood;
+  p.candidate_k = candidate_k;
+  p.batch_pricing = batch;
+  p.seed = 17;
+  E2eRun out;
+  out.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    SearchState state(inst, p, Rng(p.seed), cands);
+    state.initialize();
+    IncrementalHypervolume hv(convergence_reference(inst));
+    for (const auto& e : state.archive().entries()) hv.add(e.obj);
+    const std::uint64_t start = tsmo::now_ns();
+    std::int64_t iters = 0;
+    bool reached = target >= 0.0 && hv.value() >= target;
+    while (!reached && iters < budget) {
+      const auto outcome = state.step_with_candidates(
+          state.generate_candidates(p.neighborhood_size));
+      ++iters;
+      if (outcome.archive_improved) {
+        for (const auto& e : state.archive().entries()) hv.add(e.obj);
+      }
+      reached = target >= 0.0 && hv.value() >= target;
+    }
+    const double elapsed =
+        static_cast<double>(tsmo::now_ns() - start) * 1e-9;
+    out.seconds = std::min(out.seconds, elapsed);
+    out.iterations = iters;
+    out.hv = hv.value();
+    out.reached = target < 0.0 || reached;
+  }
+  return out;
+}
+
+void write_e2e_config(JsonWriter& json, const char* key, const E2eRun& run,
+                      const E2eRun& ref) {
+  json.key(key).begin_object();
+  json.key("seconds").value(run.seconds);
+  json.key("iterations").value(run.iterations);
+  json.key("hv").value(run.hv);
+  json.key("reached_target").value(run.reached);
+  json.key("equiv_iterations_per_sec")
+      .value(static_cast<double>(ref.iterations) / run.seconds);
+  json.key("speedup").value(ref.seconds / run.seconds);
+  json.end_object();
+}
+
+void write_end_to_end_record(JsonWriter& json) {
+  json.key("end_to_end").begin_object();
+  json.key("unit").value(
+      "equivalent-progress iterations/sec: reference iterations divided by "
+      "the time each config needs to reach the reference config's final "
+      "anytime hypervolume (reference = uniform sampling, single-move "
+      "pricing, fixed iteration budget)");
+  json.key("neighborhood_size").value(kEndToEndNeighborhood);
+  json.key("candidate_k").value(kEndToEndCandidateK);
+  json.key("reference_iterations").value(kEndToEndBudget);
+  json.key("instances").begin_array();
+  std::map<int, std::vector<double>> speedup_by_customers;
+  for (const int size : end_to_end_sizes()) {
+    const std::string suffix = "_" + std::to_string(size / 100) + "_1";
+    for (const std::string cls : {"C1", "R2"}) {
+      const Instance inst = generate_named(cls + suffix);
+      const auto cands = make_candidate_list(inst, kEndToEndCandidateK);
+      const E2eRun ref =
+          run_end_to_end(inst, 0, false, nullptr, kEndToEndBudget, -1.0);
+      const std::int64_t cap = 4 * kEndToEndBudget;
+      const E2eRun uniform_batch =
+          run_end_to_end(inst, 0, true, nullptr, cap, ref.hv);
+      const E2eRun pruned_single = run_end_to_end(
+          inst, kEndToEndCandidateK, false, cands, cap, ref.hv);
+      const E2eRun pruned_batch =
+          run_end_to_end(inst, kEndToEndCandidateK, true, cands, cap, ref.hv);
+      const double speedup = ref.seconds / pruned_batch.seconds;
+      speedup_by_customers[inst.num_customers()].push_back(speedup);
+      json.begin_object();
+      json.key("instance").value(inst.name());
+      json.key("customers").value(inst.num_customers());
+      json.key("target_hv").value(ref.hv);
+      json.key("uniform_single").begin_object();
+      json.key("seconds").value(ref.seconds);
+      json.key("iterations").value(ref.iterations);
+      json.key("hv").value(ref.hv);
+      json.key("iterations_per_sec")
+          .value(static_cast<double>(ref.iterations) / ref.seconds);
+      json.end_object();
+      write_e2e_config(json, "uniform_batch", uniform_batch, ref);
+      write_e2e_config(json, "pruned_single", pruned_single, ref);
+      write_e2e_config(json, "pruned_batch", pruned_batch, ref);
+      json.key("speedup_pruned_batch").value(speedup);
+      json.end_object();
+      std::cout << "e2e " << inst.name() << ": uniform+single "
+                << ref.seconds << "s to hv " << ref.hv << " ("
+                << ref.iterations << " it), pruned+batch "
+                << pruned_batch.seconds << "s / " << pruned_batch.iterations
+                << " it (x" << speedup
+                << (pruned_batch.reached ? "" : ", target NOT reached")
+                << ")\n";
+    }
+  }
+  json.end_array();
+  // Geomean of pruned+batch vs uniform+single across both horizon
+  // classes, per size.
+  json.key("speedup_by_customers").begin_object();
+  for (const auto& [customers, speedups] : speedup_by_customers) {
+    double logsum = 0.0;
+    for (const double sp : speedups) logsum += std::log(sp);
+    json.key(std::to_string(customers))
+        .value(std::exp(logsum / static_cast<double>(speedups.size())));
+  }
+  json.end_object();
+  json.end_object();
+}
+
 void write_speedup_record(const std::string& path) {
   std::ofstream out(path);
   if (!out) {
@@ -351,6 +531,7 @@ void write_speedup_record(const std::string& path) {
         .value(std::exp(logsum / static_cast<double>(speedups.size())));
   }
   json.end_object();
+  write_end_to_end_record(json);
   json.end_object();
   out << '\n';
   std::cout << "wrote " << path << '\n';

@@ -197,6 +197,10 @@ int main(int argc, char** argv) {
                  "3");
   cli.add_option("neighborhood", "neighborhood size", "200");
   cli.add_option("tenure", "tabu tenure", "20");
+  cli.add_option("candidate-k",
+                 "candidate-list size for pruned neighborhood sampling "
+                 "(0 = legacy uniform sampling)",
+                 "0");
   cli.add_option("archive", "archive capacity", "20");
   cli.add_option("restart-after", "unimproving iterations before restart",
                  "100");
@@ -240,6 +244,9 @@ int main(int argc, char** argv) {
   cli.add_flag("simulate", "run on the virtual clock (deterministic)");
   cli.add_flag("polish",
                "post-run VND local search on every archive solution");
+  cli.add_flag("no-batch-pricing",
+               "price candidate moves one-by-one instead of per batch "
+               "(results are bitwise-identical either way)");
   cli.add_flag("quiet", "suppress the front table");
   if (!cli.parse(argc, argv, std::cerr)) return 64;
 
@@ -249,6 +256,8 @@ int main(int argc, char** argv) {
     params.max_evaluations = cli.get_int("evaluations");
     params.neighborhood_size = static_cast<int>(cli.get_int("neighborhood"));
     params.tabu_tenure = static_cast<int>(cli.get_int("tenure"));
+    params.candidate_k = static_cast<int>(cli.get_int("candidate-k"));
+    params.batch_pricing = !cli.flag("no-batch-pricing");
     params.archive_capacity = static_cast<int>(cli.get_int("archive"));
     params.restart_after = static_cast<int>(cli.get_int("restart-after"));
     params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -16,6 +16,9 @@ int perturb_int(int value, Rng& rng) {
 
 }  // namespace
 
+// candidate_k and batch_pricing are deliberately NOT perturbed: perturbing
+// them would add RNG draws (breaking every golden-seed fingerprint) and
+// candidate_k must agree across all searchers sharing one candidate list.
 TsmoParams TsmoParams::perturbed(Rng& rng) const {
   TsmoParams p = *this;
   p.neighborhood_size = perturb_int(neighborhood_size, rng);
@@ -34,6 +37,7 @@ void TsmoParams::clamp() {
   archive_capacity = std::max(archive_capacity, 2);
   nondom_capacity = std::max(nondom_capacity, 1);
   restart_after = std::max(restart_after, 1);
+  candidate_k = std::max(candidate_k, 0);
   if (convergence_sample_iters < 0) convergence_sample_iters = 0;
   if (!(convergence_sample_ms >= 0.0)) convergence_sample_ms = 0.0;
 }

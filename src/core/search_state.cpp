@@ -9,18 +9,21 @@
 namespace tsmo {
 
 SearchState::SearchState(const Instance& inst, const TsmoParams& params,
-                         Rng rng)
+                         Rng rng, std::shared_ptr<const CandidateList> cands)
     : inst_(&inst),
       params_(params),
       rng_(rng),
+      cands_(cands ? std::move(cands)
+                   : make_candidate_list(inst, params.candidate_k)),
       engine_(inst),
       generator_(engine_, params.operator_weights,
-                 params.feasibility_screen),
+                 params.feasibility_screen, params.batch_pricing),
       tabu_(static_cast<std::size_t>(std::max(params.tabu_tenure, 0))),
       nondom_(static_cast<std::size_t>(std::max(params.nondom_capacity, 1))),
       archive_(static_cast<std::size_t>(std::max(params.archive_capacity, 2))),
       trace_(params.trace) {
   params_.clamp();
+  if (params_.candidate_k > 0) engine_.set_candidate_list(cands_.get());
 }
 
 void SearchState::initialize() {
@@ -238,7 +241,8 @@ void SearchState::maybe_adapt_weights() {
     offered_[i] /= 2;
   }
   generator_ = NeighborhoodGenerator(engine_, weights,
-                                     params_.feasibility_screen);
+                                     params_.feasibility_screen,
+                                     params_.batch_pricing);
 }
 
 bool SearchState::receive(const Solution& s) {

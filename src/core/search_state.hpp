@@ -29,13 +29,20 @@
 #include "util/rng.hpp"
 #include "util/stop.hpp"
 #include "util/trace.hpp"
+#include "vrptw/candidate_list.hpp"
 #include "vrptw/instance.hpp"
 
 namespace tsmo {
 
 class SearchState {
  public:
-  SearchState(const Instance& inst, const TsmoParams& params, Rng rng);
+  /// `cands` optionally shares one prebuilt candidate list across the
+  /// searchers/workers of a run (engines build it once via
+  /// make_candidate_list).  When params.candidate_k > 0 and no list is
+  /// passed, the state builds its own — identical content either way, the
+  /// list is a pure function of (instance, k).
+  SearchState(const Instance& inst, const TsmoParams& params, Rng rng,
+              std::shared_ptr<const CandidateList> cands = nullptr);
 
   // Non-copyable/movable: generator_ points at engine_, so a copied or
   // moved-from state would alias the wrong engine.
@@ -170,6 +177,7 @@ class SearchState {
   const Instance* inst_;
   TsmoParams params_;
   Rng rng_;
+  std::shared_ptr<const CandidateList> cands_;  ///< outlives engine_
   MoveEngine engine_;
   NeighborhoodGenerator generator_;
   TabuList tabu_;

@@ -166,7 +166,8 @@ bool MoveEngine::capacity_feasible(const Solution& base,
 
 bool MoveEngine::exact_feasible(const Solution& base, const Move& m) const {
   if (!capacity_feasible(base, m)) return false;
-  const RouteDeltas d = delta_routes(base, m);
+  IncrementalRouteEval eval(*inst_);
+  const RouteDeltas d = delta_routes(base, m, eval);
   double old_tardiness = base.route_stats(m.r1).tardiness;
   double new_tardiness = d.tard1;
   if (m.r1 != m.r2) {
@@ -252,15 +253,14 @@ void MoveEngine::build_modified(const Solution& base, const Move& m,
 // the cached schedule.  All arithmetic replays evaluate_route's exact
 // operation order, so the results are bitwise what a from-scratch
 // evaluation of the modified route would produce.
-MoveEngine::RouteDeltas MoveEngine::delta_routes(const Solution& base,
-                                                 const Move& m) const {
+MoveEngine::RouteDeltas MoveEngine::delta_routes(
+    const Solution& base, const Move& m, IncrementalRouteEval& eval) const {
   assert(base.is_evaluated());
   const auto& r1 = base.route(m.r1);
   const auto& r2 = base.route(m.r2);
-  const RouteCache& c1 = base.route_cache(m.r1);
-  const RouteCache& c2 = base.route_cache(m.r2);
+  const RouteCache::View c1 = base.route_cache(m.r1).view();
+  const RouteCache::View c2 = base.route_cache(m.r2).view();
 
-  IncrementalRouteEval eval(*inst_);
   RouteDeltas out;
   const auto take1 = [&] {
     out.dist1 = eval.distance();
@@ -338,7 +338,29 @@ Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
   // Delta pricing off the base's segment caches — a "cache hit" relative to
   // the full rebuild in evaluate_full().
   TSMO_COUNT("move.priced");
-  const RouteDeltas d = delta_routes(base, m);
+  IncrementalRouteEval eval(*inst_);
+  return combine_deltas(base, m, delta_routes(base, m, eval));
+}
+
+void MoveEngine::evaluate_batch(const Solution& base,
+                                std::span<const Move> moves,
+                                std::vector<Objectives>& out) const {
+  out.resize(moves.size());
+  TSMO_COUNT_N("move.priced", moves.size());
+  TSMO_COUNT("move.batches");
+  // One accumulator for the whole batch: the SoA field pointers are
+  // resolved once, and consecutive moves revisit the same handful of
+  // route caches while they are hot.
+  IncrementalRouteEval eval(*inst_);
+  for (std::size_t b = 0; b < moves.size(); ++b) {
+    assert(applicable(base, moves[b]));
+    out[b] = combine_deltas(base, moves[b],
+                            delta_routes(base, moves[b], eval));
+  }
+}
+
+Objectives MoveEngine::combine_deltas(const Solution& base, const Move& m,
+                                      const RouteDeltas& d) const {
   const bool inter = m.r1 != m.r2;
 
   // Summing route stats in index order makes the result bitwise identical
@@ -584,7 +606,11 @@ std::optional<Move> MoveEngine::propose(MoveType t, const Solution& base,
         m = propose_or_opt(base, rng);
         break;
     }
-    if (m && screened_feasible(base, *m, screen)) return m;
+    if (m && screened_feasible(base, *m, screen)) {
+      if (cands_) TSMO_COUNT("neighborhood.prune_hits");
+      return m;
+    }
+    if (cands_) TSMO_COUNT("neighborhood.prune_rejects");
   }
   TSMO_COUNT("move.propose_giveup");
   return std::nullopt;
@@ -592,6 +618,7 @@ std::optional<Move> MoveEngine::propose(MoveType t, const Solution& base,
 
 std::optional<Move> MoveEngine::propose_relocate(const Solution& base,
                                                  Rng& rng) const {
+  if (cands_) return propose_relocate_pruned(base, rng);
   const int n = inst_->num_customers();
   if (n < 1 || base.num_routes() < 2) return std::nullopt;
   const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
@@ -607,6 +634,7 @@ std::optional<Move> MoveEngine::propose_relocate(const Solution& base,
 
 std::optional<Move> MoveEngine::propose_exchange(const Solution& base,
                                                  Rng& rng) const {
+  if (cands_) return propose_exchange_pruned(base, rng);
   const int n = inst_->num_customers();
   if (n < 2) return std::nullopt;
   const int c1 =
@@ -622,6 +650,7 @@ std::optional<Move> MoveEngine::propose_exchange(const Solution& base,
 
 std::optional<Move> MoveEngine::propose_two_opt(const Solution& base,
                                                 Rng& rng) const {
+  if (cands_) return propose_two_opt_pruned(base, rng);
   const int n = inst_->num_customers();
   if (n < 2) return std::nullopt;
   // Anchor on a random customer so longer routes are picked proportionally.
@@ -639,6 +668,7 @@ std::optional<Move> MoveEngine::propose_two_opt(const Solution& base,
 
 std::optional<Move> MoveEngine::propose_two_opt_star(const Solution& base,
                                                      Rng& rng) const {
+  if (cands_) return propose_two_opt_star_pruned(base, rng);
   const int n = inst_->num_customers();
   if (n < 2) return std::nullopt;
   const int c1 =
@@ -660,6 +690,7 @@ std::optional<Move> MoveEngine::propose_two_opt_star(const Solution& base,
 
 std::optional<Move> MoveEngine::propose_or_opt(const Solution& base,
                                                Rng& rng) const {
+  if (cands_) return propose_or_opt_pruned(base, rng);
   const int n = inst_->num_customers();
   if (n < 3) return std::nullopt;
   const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
@@ -673,6 +704,201 @@ std::optional<Move> MoveEngine::propose_or_opt(const Solution& base,
       static_cast<int>(rng.below(static_cast<std::uint64_t>(len - 1)));
   if (j == i) return std::nullopt;
   return Move{MoveType::OrOpt, r, r, i, j};
+}
+
+// ---------------------------------------------------------------------------
+// Pruned proposals (DESIGN.md §11)
+//
+// Each sampler anchors on a uniformly random customer c, then walks c's
+// candidate list from a random start until it finds a partner that yields a
+// move passing the SAME junction/load conditions locally_feasible checks.
+// All conditions are O(1) (distance-matrix lookups and cached loads), so a
+// successful draw is guaranteed to survive the Local screen — the pruned
+// path converts screen rejections into a bounded O(k) pre-filtered walk.
+// Index arithmetic below produces only applicable moves by construction.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// First neighbor satisfying `pred`, scanning the list cyclically from a
+/// random start so ties across draws stay unbiased; -1 when none qualifies.
+template <typename Pred>
+int walk_neighbors(std::span<const std::int32_t> nb, Rng& rng, Pred&& pred) {
+  if (nb.empty()) return -1;
+  const std::size_t start =
+      static_cast<std::size_t>(rng.below(nb.size()));
+  for (std::size_t t = 0; t < nb.size(); ++t) {
+    const int u = nb[(start + t) % nb.size()];
+    if (pred(u)) return u;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Move> MoveEngine::propose_relocate_pruned(const Solution& base,
+                                                        Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2 || base.num_routes() < 2) return std::nullopt;
+  const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r1 = base.route_of(c);
+  if (r1 < 0) return std::nullopt;
+  const double cap = inst_->capacity();
+  const double dc = inst_->site(c).demand;
+  // Insert c directly before or after its candidate partner u; the side is
+  // fixed by which junction direction is TW-reachable (an rng bit breaks
+  // the tie when both are — the candidate list guarantees at least one is).
+  int side = 0;
+  const int u = walk_neighbors(cands_->neighbors(c), rng, [&](int v) {
+    const int r2 = base.route_of(v);
+    if (r2 < 0 || r2 == r1) return false;
+    if (base.route_stats(r2).load + dc > cap) return false;
+    const auto& route2 = base.route(r2);
+    const int pv = base.position_of(v);
+    const bool after =
+        edge_ok(v, c) && edge_ok(c, at_or_depot(route2, pv + 1));
+    const bool before =
+        edge_ok(c, v) && edge_ok(at_or_depot(route2, pv - 1), c);
+    if (!after && !before) return false;
+    side = after && before ? static_cast<int>(rng.below(2)) : (after ? 1 : 0);
+    return true;
+  });
+  if (u < 0) return std::nullopt;
+  return Move{MoveType::Relocate, r1, base.route_of(u),
+              base.position_of(c), base.position_of(u) + side};
+}
+
+std::optional<Move> MoveEngine::propose_exchange_pruned(const Solution& base,
+                                                        Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2) return std::nullopt;
+  const int c1 = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r1 = base.route_of(c1);
+  if (r1 < 0) return std::nullopt;
+  const auto& route1 = base.route(r1);
+  const int i = base.position_of(c1);
+  const int p1 = at_or_depot(route1, i - 1);
+  const int s1 = at_or_depot(route1, i + 1);
+  const double cap = inst_->capacity();
+  const double d1 = inst_->site(c1).demand;
+  const double load1 = base.route_stats(r1).load;
+  const int c2 = walk_neighbors(cands_->neighbors(c1), rng, [&](int v) {
+    const int r2 = base.route_of(v);
+    if (r2 < 0 || r2 == r1) return false;
+    const double d2 = inst_->site(v).demand;
+    if (load1 - d1 + d2 > cap) return false;
+    if (base.route_stats(r2).load - d2 + d1 > cap) return false;
+    const auto& route2 = base.route(r2);
+    const int pv = base.position_of(v);
+    const int p2 = at_or_depot(route2, pv - 1);
+    const int s2 = at_or_depot(route2, pv + 1);
+    return edge_ok(p1, v) && edge_ok(v, s1) && edge_ok(p2, c1) &&
+           edge_ok(c1, s2);
+  });
+  if (c2 < 0) return std::nullopt;
+  return Move{MoveType::Exchange, r1, base.route_of(c2), i,
+              base.position_of(c2)};
+}
+
+std::optional<Move> MoveEngine::propose_two_opt_pruned(const Solution& base,
+                                                       Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2) return std::nullopt;
+  const int c1 = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r = base.route_of(c1);
+  if (r < 0) return std::nullopt;
+  const auto& route = base.route(r);
+  const int pc = base.position_of(c1);
+  // Reversing [lo+1, hi] creates the junctions (route[lo], route[hi]) and
+  // (route[lo+1], route[hi+1]) — the anchor/partner pair plus the rejoin;
+  // adjacent positions would be a no-op reversal.
+  const int c2 = walk_neighbors(cands_->neighbors(c1), rng, [&](int v) {
+    if (base.route_of(v) != r) return false;
+    const int pv = base.position_of(v);
+    const int lo = std::min(pc, pv);
+    const int hi = std::max(pc, pv);
+    if (hi - lo < 2) return false;
+    return edge_ok(route[static_cast<std::size_t>(lo)],
+                   route[static_cast<std::size_t>(hi)]) &&
+           edge_ok(route[static_cast<std::size_t>(lo + 1)],
+                   at_or_depot(route, hi + 1));
+  });
+  if (c2 < 0) return std::nullopt;
+  const int lo = std::min(pc, base.position_of(c2));
+  const int hi = std::max(pc, base.position_of(c2));
+  return Move{MoveType::TwoOpt, r, r, lo + 1, hi};
+}
+
+std::optional<Move> MoveEngine::propose_two_opt_star_pruned(
+    const Solution& base, Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 2) return std::nullopt;
+  const int c1 = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r1 = base.route_of(c1);
+  if (r1 < 0) return std::nullopt;
+  const auto& route1 = base.route(r1);
+  const int pc = base.position_of(c1);
+  const double cap = inst_->capacity();
+  const double load1 = base.route_stats(r1).load;
+  // Cut after c1 and before u: the crossed tails create the junction
+  // (c1, u) plus the mirror junction (pred(u), succ(c1)).  The prefix-load
+  // checks mirror locally_feasible bitwise (same cum_load cache reads).
+  const double prefix1 = base.route_cache(r1).cum_load(pc);
+  const int head1 = at_or_depot(route1, pc + 1);
+  const int u = walk_neighbors(cands_->neighbors(c1), rng, [&](int v) {
+    const int r2 = base.route_of(v);
+    if (r2 < 0 || r2 == r1) return false;
+    const int pv = base.position_of(v);
+    const double prefix2 =
+        pv > 0 ? base.route_cache(r2).cum_load(pv - 1) : 0.0;
+    const double load2 = base.route_stats(r2).load;
+    if (prefix1 + (load2 - prefix2) > cap) return false;
+    if (prefix2 + (load1 - prefix1) > cap) return false;
+    return edge_ok(c1, v) &&
+           edge_ok(at_or_depot(base.route(r2), pv - 1), head1);
+  });
+  if (u < 0) return std::nullopt;
+  // i >= 1 and j < n2 rule out both forbidden cut pairs.
+  return Move{MoveType::TwoOptStar, r1, base.route_of(u), pc + 1,
+              base.position_of(u)};
+}
+
+std::optional<Move> MoveEngine::propose_or_opt_pruned(const Solution& base,
+                                                      Rng& rng) const {
+  const int n = inst_->num_customers();
+  if (n < 3) return std::nullopt;
+  const int c = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const int r = base.route_of(c);
+  if (r < 0) return std::nullopt;
+  const auto& route = base.route(r);
+  const int len = static_cast<int>(route.size());
+  if (len < 3) return std::nullopt;
+  const int i = base.position_of(c);
+  if (i + 1 >= len) return std::nullopt;  // segment is [i, i+1]
+  // Closing the gap the segment leaves is partner-independent: reject the
+  // anchor before walking when that junction alone fails.
+  if (!edge_ok(at_or_depot(route, i - 1), at_or_depot(route, i + 2))) {
+    return std::nullopt;
+  }
+  const int seg_tail = route[static_cast<std::size_t>(i + 1)];
+  // Re-insert the segment directly after u, creating junction (u, c).
+  // j indexes the route with the segment removed.
+  const auto to_removed_j = [&](int pv) {
+    return (pv > i + 1 ? pv - 2 : pv) + 1;
+  };
+  const int u = walk_neighbors(cands_->neighbors(c), rng, [&](int v) {
+    if (base.route_of(v) != r) return false;
+    const int pv = base.position_of(v);
+    if (pv == i || pv == i + 1) return false;
+    const int j = to_removed_j(pv);
+    if (j == i || j > len - 2) return false;
+    // Successor of u in the segment-removed route (j >= i here, so the
+    // original index shifts past the excised pair).
+    const int succ = at_or_depot(route, j >= i ? j + 2 : j);
+    return edge_ok(v, c) && edge_ok(seg_tail, succ);
+  });
+  if (u < 0) return std::nullopt;
+  return Move{MoveType::OrOpt, r, r, i, to_removed_j(base.position_of(u))};
 }
 
 }  // namespace tsmo

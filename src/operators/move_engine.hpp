@@ -15,10 +15,12 @@
 // of an iteration is materialized by applying the move.
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "operators/move.hpp"
 #include "util/rng.hpp"
+#include "vrptw/candidate_list.hpp"
 #include "vrptw/instance.hpp"
 #include "vrptw/solution.hpp"
 
@@ -29,6 +31,18 @@ class MoveEngine {
   explicit MoveEngine(const Instance& inst) : inst_(&inst) {}
 
   const Instance& instance() const noexcept { return *inst_; }
+
+  /// Switches proposal sampling to the pruned mode (DESIGN.md §11): move
+  /// endpoints are drawn from `cands` k-NN lists instead of uniformly.
+  /// nullptr restores legacy uniform sampling.  The list is borrowed — the
+  /// caller keeps it alive for the engine's lifetime (engines share one
+  /// immutable list per run).  Pricing and application are unaffected:
+  /// only which moves get proposed changes, so determinism per (seed,
+  /// candidate_k) holds.
+  void set_candidate_list(const CandidateList* cands) noexcept {
+    cands_ = cands;
+  }
+  const CandidateList* candidate_list() const noexcept { return cands_; }
 
   /// The paper's local feasibility criterion (§II.B): new junction edges
   /// must satisfy a_i + c_i + t_{i,k} <= b_k, and the receiving route's
@@ -56,6 +70,16 @@ class MoveEngine {
   /// must be evaluated (its RouteCaches seed the incremental evaluation).
   /// Bitwise identical to evaluate_full.
   Objectives evaluate(const Solution& base, const Move& m) const;
+
+  /// Prices every move of `moves` against the same base in one flat pass:
+  /// the incremental evaluator (and with it the SoA window/service
+  /// streams) is hoisted out of the per-move loop, so pricing a whole
+  /// generated neighborhood touches the prefix caches back to back instead
+  /// of re-entering evaluate() per move.  out[i] is bitwise identical to
+  /// evaluate(base, moves[i]) — same arithmetic, same order, merely
+  /// batched (the differential fuzz asserts this).
+  void evaluate_batch(const Solution& base, std::span<const Move> moves,
+                      std::vector<Objectives>& out) const;
 
   /// Reference implementation: rebuilds the modified routes in scratch
   /// buffers and re-evaluates them from scratch.  Kept for differential
@@ -87,7 +111,16 @@ class MoveEngine {
     double dist2 = 0.0, tard2 = 0.0;
     bool empty1 = false, empty2 = false;
   };
-  RouteDeltas delta_routes(const Solution& base, const Move& m) const;
+  /// `eval` is caller-provided so evaluate_batch can reuse one accumulator
+  /// (and its resolved SoA pointers) across a whole batch.
+  RouteDeltas delta_routes(const Solution& base, const Move& m,
+                           IncrementalRouteEval& eval) const;
+
+  /// Chain-merges one move's route deltas into full Objectives, replaying
+  /// Solution::evaluate's summation order bitwise (shared by evaluate and
+  /// evaluate_batch).
+  Objectives combine_deltas(const Solution& base, const Move& m,
+                            const RouteDeltas& d) const;
 
   /// Fills `out1`/`out2` with the new contents of routes m.r1 / m.r2
   /// (`out2` untouched for intra-route moves).
@@ -109,7 +142,22 @@ class MoveEngine {
                                            Rng& rng) const;
   std::optional<Move> propose_or_opt(const Solution& base, Rng& rng) const;
 
+  /// Pruned variants: anchor on a uniform customer, then map the partner
+  /// endpoint through its candidate list (DESIGN.md §11).
+  std::optional<Move> propose_relocate_pruned(const Solution& base,
+                                              Rng& rng) const;
+  std::optional<Move> propose_exchange_pruned(const Solution& base,
+                                              Rng& rng) const;
+  std::optional<Move> propose_two_opt_pruned(const Solution& base,
+                                             Rng& rng) const;
+  std::optional<Move> propose_two_opt_star_pruned(const Solution& base,
+                                                  Rng& rng) const;
+  std::optional<Move> propose_or_opt_pruned(const Solution& base,
+                                            Rng& rng) const;
+
+  /// Uniform draw from c's candidate list, or -1 when the list is empty.
   const Instance* inst_;
+  const CandidateList* cands_ = nullptr;
   mutable std::vector<int> scratch1_;
   mutable std::vector<int> scratch2_;
 };

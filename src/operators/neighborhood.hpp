@@ -33,11 +33,18 @@ class NeighborhoodGenerator {
   /// Weighted operator selection (weights need not be normalized; a zero
   /// weight disables the operator — used by the operator ablation bench).
   /// All-zero weights are rejected.  `screen` selects the feasibility
-  /// screening mode applied to proposals.
+  /// screening mode applied to proposals.  `batch_pricing` selects whether
+  /// generate() prices neighbors one by one as they are drawn (false, the
+  /// pre-batching behavior) or proposes the whole set first and prices it
+  /// in one MoveEngine::evaluate_batch pass (true, the default).  The two
+  /// modes return bitwise-identical neighbor sequences: proposing consumes
+  /// RNG draws, pricing never does, so reordering pricing after the draws
+  /// leaves the RNG stream — and with it every proposed move — unchanged.
   NeighborhoodGenerator(
       const MoveEngine& engine,
       const std::array<double, kNumMoveTypes>& weights,
-      FeasibilityScreen screen = FeasibilityScreen::Local);
+      FeasibilityScreen screen = FeasibilityScreen::Local,
+      bool batch_pricing = true);
 
   /// Draws and evaluates up to `count` neighbors of `base`.  May return
   /// fewer when the solution admits too few locally feasible moves (the
@@ -47,6 +54,8 @@ class NeighborhoodGenerator {
   /// constructed or applied solution is).
   std::vector<Neighbor> generate(const Solution& base, int count,
                                  Rng& rng) const;
+
+  bool batch_pricing() const noexcept { return batch_; }
 
   /// Applies a neighbor's move to a copy of `base`.
   Solution materialize(const Solution& base, const Neighbor& n) const;
@@ -66,6 +75,10 @@ class NeighborhoodGenerator {
   std::array<double, kNumMoveTypes> weights_;
   double total_weight_ = 0.0;
   FeasibilityScreen screen_ = FeasibilityScreen::Local;
+  bool batch_ = true;
+  /// Batch-pricing scratch, reused across generate() calls.
+  mutable std::vector<Move> batch_moves_;
+  mutable std::vector<Objectives> batch_obj_;
 };
 
 }  // namespace tsmo

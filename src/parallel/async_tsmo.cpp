@@ -22,8 +22,10 @@ RunResult AsyncTsmo::run() const {
       })
   Timer timer;
   const int procs = std::max(2, processors_);
-  SearchState state(*inst_, params_, Rng(params_.seed));
-  WorkerTeam team(*inst_, procs - 1, params_.seed);
+  const auto cands = make_candidate_list(*inst_, params_.candidate_k);
+  SearchState state(*inst_, params_, Rng(params_.seed), cands);
+  WorkerTeam team(*inst_, procs - 1, params_.seed, cands,
+                  params_.batch_pricing);
   obs::flight_engine_start("async", 1, team.num_workers());
   if (options_.recorder) {
     options_.recorder->engine_started("async", 1, team.num_workers());
@@ -127,8 +129,9 @@ RunResult AsyncTsmo::run_deterministic() const {
   const int procs = std::max(2, processors_);
   const int exec =
       options_.exec_threads > 0 ? options_.exec_threads : procs - 1;
-  SearchState state(*inst_, params_, Rng(params_.seed));
-  WorkerTeam team(*inst_, exec, params_.seed);
+  const auto cands = make_candidate_list(*inst_, params_.candidate_k);
+  SearchState state(*inst_, params_, Rng(params_.seed), cands);
+  WorkerTeam team(*inst_, exec, params_.seed, cands, params_.batch_pricing);
   obs::flight_engine_start("async", 1, team.num_workers());
   if (options_.recorder) {
     options_.recorder->engine_started("async", 1, team.num_workers());

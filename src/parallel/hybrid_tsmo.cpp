@@ -44,6 +44,8 @@ MultisearchResult HybridTsmo::run() const {
   // flagged island id to a restart request through this table.
   std::mutex stall_mutex;
   std::vector<SearchState*> stall_reg(n, nullptr);
+  // candidate_k is never perturbed, so every island shares one list.
+  const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
   obs::flight_engine_start("hybrid", k, k * (procs - 1));
   if (options_.recorder) {
     options_.recorder->engine_started("hybrid", k, k * (procs - 1));
@@ -69,9 +71,10 @@ MultisearchResult HybridTsmo::run() const {
     p.max_evaluations = params_.max_evaluations;
     p.seed = rng.next();
 
-    SearchState state(*inst_, p, Rng(p.seed));
+    SearchState state(*inst_, p, Rng(p.seed), shared_cands);
     state.set_trace_id(id);
-    WorkerTeam team(*inst_, procs - 1, p.seed);
+    WorkerTeam team(*inst_, procs - 1, p.seed, shared_cands,
+                    p.batch_pricing);
     if (options_.recorder) {
       state.set_recorder(options_.recorder);
       team.enable_heartbeats(*options_.recorder,
@@ -242,17 +245,22 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     RunResult result;
   };
   std::vector<Island> islands(n);
+  const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
   for (int id = 0; id < k; ++id) {
     Island& is = islands[static_cast<std::size_t>(id)];
     Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x9d2c5680ULL);
     is.p = id == 0 ? params_ : params_.perturbed(rng);
     is.p.max_evaluations = params_.max_evaluations;
     is.p.seed = rng.next();
-    is.state = std::make_unique<SearchState>(*inst_, is.p, Rng(is.p.seed));
+    is.state = std::make_unique<SearchState>(*inst_, is.p, Rng(is.p.seed),
+                                             shared_cands);
     is.state->set_trace_id(id);
     if (options_.recorder) is.state->set_recorder(options_.recorder);
     is.engine = std::make_unique<MoveEngine>(*inst_);
-    is.generator = std::make_unique<NeighborhoodGenerator>(*is.engine);
+    if (shared_cands) is.engine->set_candidate_list(shared_cands.get());
+    is.generator = std::make_unique<NeighborhoodGenerator>(
+        *is.engine, std::array<double, kNumMoveTypes>{1, 1, 1, 1, 1},
+        FeasibilityScreen::Local, is.p.batch_pricing);
     is.schedule = Rng(is.p.seed ^ 0xa57c5eedULL);
     for (int j = 0; j < k; ++j) {
       if (j != id) is.comm.push_back(j);

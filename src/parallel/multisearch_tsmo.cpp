@@ -85,6 +85,8 @@ MultisearchResult MultisearchTsmo::run() const {
   std::vector<RunResult> per_searcher(n);
   std::atomic<std::int64_t> messages_sent{0};
   std::atomic<std::int64_t> messages_accepted{0};
+  // candidate_k is never perturbed, so every searcher shares one list.
+  const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
 
   auto searcher = [&](int id) {
     Timer local_timer;
@@ -98,7 +100,7 @@ MultisearchResult MultisearchTsmo::run() const {
     p.max_evaluations = params_.max_evaluations;  // full budget each
     p.seed = rng.next();
 
-    SearchState state(*inst_, p, Rng(p.seed));
+    SearchState state(*inst_, p, Rng(p.seed), shared_cands);
     state.set_trace_id(id);
     if (options_.recorder) state.set_recorder(options_.recorder);
     state.initialize();
@@ -203,13 +205,15 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     RunResult result;
   };
   std::vector<Searcher> searchers(n);
+  const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
   for (int id = 0; id < procs; ++id) {
     Searcher& s = searchers[static_cast<std::size_t>(id)];
     Rng rng(params_.seed + static_cast<std::uint64_t>(id) * 0x51ed2701ULL);
     s.p = id == 0 ? params_ : params_.perturbed(rng);
     s.p.max_evaluations = params_.max_evaluations;
     s.p.seed = rng.next();
-    s.state = std::make_unique<SearchState>(*inst_, s.p, Rng(s.p.seed));
+    s.state = std::make_unique<SearchState>(*inst_, s.p, Rng(s.p.seed),
+                                            shared_cands);
     s.state->set_trace_id(id);
     if (options_.recorder) s.state->set_recorder(options_.recorder);
     for (int k = 0; k < procs; ++k) {

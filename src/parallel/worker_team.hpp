@@ -16,6 +16,7 @@
 
 #include "core/candidate.hpp"
 #include "parallel/channel.hpp"
+#include "vrptw/candidate_list.hpp"
 #include "vrptw/instance.hpp"
 
 namespace tsmo {
@@ -44,8 +45,14 @@ class WorkerTeam {
  public:
   /// Spawns `num_workers` threads; RNG streams are derived from `seed` by
   /// repeated jumps, so results are deterministic per (seed, num_workers)
-  /// up to arrival order.
-  WorkerTeam(const Instance& inst, int num_workers, std::uint64_t seed);
+  /// up to arrival order.  `cands` (optional) switches every worker's
+  /// engine to candidate-list pruned sampling; the immutable list is
+  /// shared read-only across the team and with the master's SearchState.
+  /// `batch_pricing` selects the workers' pricing mode (bitwise-identical
+  /// results either way).
+  WorkerTeam(const Instance& inst, int num_workers, std::uint64_t seed,
+             std::shared_ptr<const CandidateList> cands = nullptr,
+             bool batch_pricing = true);
 
   /// Closes the request channel and joins the workers.
   ~WorkerTeam();
@@ -86,6 +93,8 @@ class WorkerTeam {
   void worker_loop(int id, Rng rng);
 
   const Instance* inst_;
+  std::shared_ptr<const CandidateList> cands_;  ///< outlives the workers
+  bool batch_pricing_ = true;
   Channel<GenRequest> requests_;
   Channel<GenResult> results_;
   /// Heartbeat wiring (set once by enable_heartbeats before any request

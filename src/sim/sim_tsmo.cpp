@@ -22,8 +22,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// becomes visible to the master at that time.
 class SimWorker {
  public:
-  SimWorker(const Instance& inst, int id, Rng rng)
-      : engine_(std::make_unique<MoveEngine>(inst)), rng_(rng), id_(id) {}
+  SimWorker(const Instance& inst, int id, Rng rng,
+            std::shared_ptr<const CandidateList> cands = nullptr,
+            bool batch_pricing = true)
+      : engine_(std::make_unique<MoveEngine>(inst)),
+        cands_(std::move(cands)),
+        batch_pricing_(batch_pricing),
+        rng_(rng),
+        id_(id) {
+    if (cands_) engine_->set_candidate_list(cands_.get());
+  }
 
   bool busy() const noexcept { return busy_; }
   double done_time() const noexcept { return done_time_; }
@@ -33,7 +41,9 @@ class SimWorker {
   /// done_time().
   void dispatch(std::shared_ptr<const Solution> base, int count,
                 double start, const CostModel& cost, Rng& noise_rng) {
-    NeighborhoodGenerator generator(*engine_);
+    NeighborhoodGenerator generator(*engine_, {1, 1, 1, 1, 1},
+                                    FeasibilityScreen::Local,
+                                    batch_pricing_);
     result_ = make_candidates(generator, std::move(base), count, rng_);
     for (Candidate& c : result_) c.origin = static_cast<std::int16_t>(id_);
     const double work = static_cast<double>(result_.size()) * cost.eval_us *
@@ -54,6 +64,8 @@ class SimWorker {
 
  private:
   std::unique_ptr<MoveEngine> engine_;
+  std::shared_ptr<const CandidateList> cands_;
+  bool batch_pricing_ = true;
   Rng rng_;
   std::vector<Candidate> result_;
   double done_time_ = kInf;
@@ -130,7 +142,8 @@ RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
   if (params.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sim-sync");
   const int procs = std::max(2, processors);
-  SearchState state(inst, params, Rng(params.seed));
+  const auto cands = make_candidate_list(inst, params.candidate_k);
+  SearchState state(inst, params, Rng(params.seed), cands);
   state.initialize();
   Rng noise(params.seed ^ 0xd015eULL);
 
@@ -138,7 +151,8 @@ RunResult run_sim_sync(const Instance& inst, const TsmoParams& params,
   std::vector<SimWorker> workers;
   workers.reserve(static_cast<std::size_t>(procs - 1));
   for (int w = 0; w < procs - 1; ++w) {
-    workers.emplace_back(inst, w, stream_seed.split());
+    workers.emplace_back(inst, w, stream_seed.split(), cands,
+                         params.batch_pricing);
   }
 
   double t = cost.eval_us;  // initial construction
@@ -208,7 +222,8 @@ class AsyncSimCore {
       : params_(params),
         cost_(cost),
         options_(std::move(options)),
-        state_(inst, params, Rng(params.seed)),
+        cands_(make_candidate_list(inst, params.candidate_k)),
+        state_(inst, params, Rng(params.seed), cands_),
         noise_(params.seed ^ 0xa57cULL) {
     const int procs = std::max(2, processors);
     chunk_ = std::max(1, params.neighborhood_size / procs);
@@ -219,7 +234,8 @@ class AsyncSimCore {
     Rng stream_seed(params.seed ^ 0x5eedF00dULL);
     workers_.reserve(static_cast<std::size_t>(procs - 1));
     for (int w = 0; w < procs - 1; ++w) {
-      workers_.emplace_back(inst, w, stream_seed.split());
+      workers_.emplace_back(inst, w, stream_seed.split(), cands_,
+                            params.batch_pricing);
     }
     if (options_.recorder) {
       state_.set_recorder(options_.recorder, options_.searcher_id);
@@ -351,6 +367,7 @@ class AsyncSimCore {
   TsmoParams params_;
   CostModel cost_;
   SimAsyncOptions options_;
+  std::shared_ptr<const CandidateList> cands_;  ///< init before state_
   SearchState state_;
   Rng noise_;
   std::vector<SimWorker> workers_;

@@ -1,0 +1,55 @@
+#include "vrptw/candidate_list.hpp"
+
+#include <algorithm>
+
+namespace tsmo {
+
+CandidateList::CandidateList(const Instance& inst, int k)
+    : k_(std::max(k, 0)) {
+  const int S = inst.num_sites();
+  const int N = inst.num_customers();
+  offsets_.assign(static_cast<std::size_t>(S) + 1, 0);
+  if (k_ == 0 || N == 0) return;
+
+  flat_.reserve(static_cast<std::size_t>(S) *
+                static_cast<std::size_t>(std::min(k_, N)));
+  std::vector<std::int32_t> pool;
+  pool.reserve(static_cast<std::size_t>(N));
+  for (int s = 0; s < S; ++s) {
+    pool.clear();
+    for (int c = 1; c <= N; ++c) {
+      if (c == s) continue;
+      // Keep the pair unless it is unreachable in *both* directions; such
+      // a pair can never pass the local feasibility screen as a junction.
+      if (tw_reachable(inst, s, c) || tw_reachable(inst, c, s)) {
+        pool.push_back(static_cast<std::int32_t>(c));
+        ++pairs_kept_;
+      } else {
+        ++pairs_tw_pruned_;
+      }
+    }
+    const auto take =
+        std::min(static_cast<std::size_t>(k_), pool.size());
+    const auto by_distance = [&](std::int32_t a, std::int32_t b) {
+      const double da = inst.distance(s, a);
+      const double db = inst.distance(s, b);
+      if (da != db) return da < db;
+      return a < b;  // deterministic tie-break
+    };
+    std::partial_sort(pool.begin(),
+                      pool.begin() + static_cast<std::ptrdiff_t>(take),
+                      pool.end(), by_distance);
+    flat_.insert(flat_.end(), pool.begin(),
+                 pool.begin() + static_cast<std::ptrdiff_t>(take));
+    offsets_[static_cast<std::size_t>(s) + 1] =
+        static_cast<std::int32_t>(flat_.size());
+  }
+}
+
+std::shared_ptr<const CandidateList> make_candidate_list(const Instance& inst,
+                                                         int k) {
+  if (k <= 0) return nullptr;
+  return std::make_shared<const CandidateList>(inst, k);
+}
+
+}  // namespace tsmo

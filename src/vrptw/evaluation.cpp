@@ -79,23 +79,23 @@ RouteStats evaluate_route_cached(const Instance& inst,
 }
 
 void IncrementalRouteEval::finish_with_tail(std::span<const int> route,
-                                            const RouteCache& cache,
+                                            const RouteCache::View& v,
                                             int from) noexcept {
-  assert(cache.size() == static_cast<int>(route.size()));
-  const int n = cache.size();
+  assert(v.n == static_cast<int>(route.size()));
+  const int n = v.n;
   for (int q = from; q < n; ++q) {
     const int c = route[static_cast<std::size_t>(q)];
-    const Site& s = inst_->site(c);
+    const auto ci = static_cast<std::size_t>(c);
     // The arc into the first tail visit is a new junction; every later arc
     // is the route's own cached arc.
-    const double d = q == from ? inst_->distance(prev_, c) : cache.arc(q);
+    const double d = q == from ? inst_->distance(prev_, c) : v.arc[q];
     const double arrival = time_ + d;
     dist_ += d;
-    tard_ += std::max(arrival - s.due, 0.0);
-    time_ = std::max(arrival, s.ready) + s.service;
+    tard_ += std::max(arrival - due_[ci], 0.0);
+    time_ = std::max(arrival, ready_[ci]) + service_[ci];
     prev_ = c;
     ++visits_;
-    if (time_ <= cache.depart(q) && cache.last_late() <= q) {
+    if (time_ <= v.depart[q] && v.last_late <= q) {
       // The new departure is no later than the cached one, so by
       // induction every remaining arrival is no later than its cached
       // arrival; with no lateness left in the cached tail every remaining
@@ -103,7 +103,7 @@ void IncrementalRouteEval::finish_with_tail(std::span<const int> route,
       // terms exact +0.0 (adding them would not change tard_).  Only the
       // cached arc lengths remain, accumulated in evaluate_route's order.
       visits_ += n - 1 - q;
-      for (int p = q + 1; p <= n; ++p) dist_ += cache.arc(p);
+      for (int p = q + 1; p <= n; ++p) dist_ += v.arc[p];
       return;
     }
   }

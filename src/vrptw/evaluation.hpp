@@ -44,6 +44,35 @@ struct RouteStats {
 /// one extra allocation per route.
 class RouteCache {
  public:
+  /// Borrowed raw pointers into the cache's flat storage, resolved once so
+  /// batch pricing loops read prefix data without per-access index
+  /// arithmetic (DESIGN.md §11).  Valid until the cache is rebuilt; all
+  /// pointers are null for an empty route (n == 0).
+  struct View {
+    const double* arc = nullptr;       ///< n+1 entries (incl. return arc)
+    const double* cum_dist = nullptr;  ///< n entries
+    const double* cum_load = nullptr;  ///< n entries
+    const double* depart = nullptr;    ///< n entries
+    const double* cum_tard = nullptr;  ///< n entries
+    int n = 0;
+    int last_late = -1;
+  };
+
+  View view() const noexcept {
+    View v;
+    v.n = n_;
+    v.last_late = last_late_;
+    if (n_ > 0) {
+      const double* base = data_.data();
+      v.arc = base;
+      v.cum_dist = base + n_ + 1;
+      v.cum_load = v.cum_dist + n_;
+      v.depart = v.cum_load + n_;
+      v.cum_tard = v.depart + n_;
+    }
+    return v;
+  }
+
   bool route_empty() const noexcept { return n_ == 0; }
   int size() const noexcept { return n_; }
 
@@ -111,8 +140,14 @@ RouteStats evaluate_route_cached(const Instance& inst,
 /// to be summed.
 class IncrementalRouteEval {
  public:
+  /// The SoA field pointers are resolved once here, so the per-visit hot
+  /// path below is pure pointer arithmetic over three dense double arrays
+  /// (bitwise the same values as the Site loads they replace).
   explicit IncrementalRouteEval(const Instance& inst) noexcept
-      : inst_(&inst) {}
+      : inst_(&inst),
+        ready_(inst.soa().ready.data()),
+        due_(inst.soa().due.data()),
+        service_(inst.soa().service.data()) {}
 
   /// Resets to the depot (empty route prefix).
   void reset() noexcept {
@@ -126,25 +161,32 @@ class IncrementalRouteEval {
   /// Adopts the cached state after the first `len` visits of `route`.
   void seed_prefix(std::span<const int> route, const RouteCache& cache,
                    int len) noexcept {
+    seed_prefix(route, cache.view(), len);
+  }
+
+  /// View-based variant: batch pricing resolves each cache's view once and
+  /// reuses it across the moves touching that route.
+  void seed_prefix(std::span<const int> route, const RouteCache::View& v,
+                   int len) noexcept {
     if (len <= 0) {
       reset();
       return;
     }
     prev_ = route[static_cast<std::size_t>(len - 1)];
-    time_ = cache.depart(len - 1);
-    dist_ = cache.cum_dist(len - 1);
-    tard_ = cache.cum_tard(len - 1);
+    time_ = v.depart[len - 1];
+    dist_ = v.cum_dist[len - 1];
+    tard_ = v.cum_tard[len - 1];
     visits_ = len;
   }
 
   /// Visits customer `c` next (exact evaluate_route arithmetic).
   void push(int c) noexcept {
-    const Site& s = inst_->site(c);
+    const auto ci = static_cast<std::size_t>(c);
     const double d = inst_->distance(prev_, c);
     const double arrival = time_ + d;
     dist_ += d;
-    tard_ += std::max(arrival - s.due, 0.0);
-    time_ = std::max(arrival, s.ready) + s.service;
+    tard_ += std::max(arrival - due_[ci], 0.0);
+    time_ = std::max(arrival, ready_[ci]) + service_[ci];
     prev_ = c;
     ++visits_;
   }
@@ -176,7 +218,13 @@ class IncrementalRouteEval {
   /// Closes the tour with the tail route[from..] of a cached route,
   /// early-terminating once the departure time rejoins the cached schedule.
   void finish_with_tail(std::span<const int> route, const RouteCache& cache,
-                        int from) noexcept;
+                        int from) noexcept {
+    finish_with_tail(route, cache.view(), from);
+  }
+
+  /// View-based variant (same arithmetic; see seed_prefix above).
+  void finish_with_tail(std::span<const int> route,
+                        const RouteCache::View& v, int from) noexcept;
 
   double distance() const noexcept { return dist_; }
   double tardiness() const noexcept { return tard_; }
@@ -184,6 +232,9 @@ class IncrementalRouteEval {
 
  private:
   const Instance* inst_;
+  const double* ready_;    ///< SoA field pointers (see ctor)
+  const double* due_;
+  const double* service_;
   int prev_ = 0;
   double time_ = 0.0;
   double dist_ = 0.0;

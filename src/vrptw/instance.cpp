@@ -33,6 +33,20 @@ Instance::Instance(std::string name, std::vector<Site> sites,
   }
   total_demand_ = 0.0;
   for (std::size_t i = 1; i < n; ++i) total_demand_ += sites_[i].demand;
+  soa_.x.reserve(n);
+  soa_.y.reserve(n);
+  soa_.demand.reserve(n);
+  soa_.ready.reserve(n);
+  soa_.due.reserve(n);
+  soa_.service.reserve(n);
+  for (const Site& s : sites_) {
+    soa_.x.push_back(s.x);
+    soa_.y.push_back(s.y);
+    soa_.demand.push_back(s.demand);
+    soa_.ready.push_back(s.ready);
+    soa_.due.push_back(s.due);
+    soa_.service.push_back(s.service);
+  }
 }
 
 void Instance::validate() const {

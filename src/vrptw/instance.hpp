@@ -6,6 +6,7 @@
 // are Euclidean distances held in a dense matrix T.  The fleet is
 // homogeneous: every vehicle has capacity m; at most R vehicles exist.
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -23,6 +24,15 @@ struct Site {
   double ready = 0.0;    ///< a_i: earliest service start
   double due = 0.0;      ///< b_i: latest arrival without tardiness
   double service = 0.0;  ///< c_i: service duration
+};
+
+/// Structure-of-arrays mirror of the site table: one contiguous array per
+/// field, indexed by site.  The pricing hot loop (IncrementalRouteEval)
+/// reads only ready/due/service per visit; the SoA layout turns those reads
+/// into dense streams instead of strided Site loads, which is what lets the
+/// batch pricing pass stay in cache (DESIGN.md §11).
+struct SiteSoA {
+  std::vector<double> x, y, demand, ready, due, service;
 };
 
 class Instance {
@@ -54,6 +64,10 @@ class Instance {
   const Site& depot() const noexcept { return sites_[0]; }
   const std::vector<Site>& sites() const noexcept { return sites_; }
 
+  /// SoA mirror of sites(), built once at construction; field i of entry j
+  /// is bitwise equal to the corresponding site(j) field.
+  const SiteSoA& soa() const noexcept { return soa_; }
+
   /// t_{i,j}: Euclidean travel cost (== travel time; unit speed).
   double distance(int i, int j) const noexcept {
     return dist_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
@@ -64,8 +78,17 @@ class Instance {
   double total_demand() const noexcept { return total_demand_; }
 
   /// Smallest number of vehicles that can carry the total demand.
+  /// total_demand_ is an accumulated sum, so when the true total is an
+  /// exact multiple of the capacity the quotient may land a few ulp above
+  /// the integer and a bare ceil would report one spurious vehicle; a
+  /// quotient within relative epsilon of an integer snaps to it.
   int min_vehicles_by_capacity() const noexcept {
-    return static_cast<int>(std::ceil(total_demand_ / capacity_));
+    const double q = total_demand_ / capacity_;
+    const double r = std::round(q);
+    if (std::abs(q - r) <= 1e-9 * std::max(1.0, std::abs(r))) {
+      return static_cast<int>(r);
+    }
+    return static_cast<int>(std::ceil(q));
   }
 
   /// Planning horizon: the depot's due date.
@@ -83,6 +106,7 @@ class Instance {
   double capacity_ = 0.0;
   double total_demand_ = 0.0;
   FlatMatrix<double> dist_;
+  SiteSoA soa_;
 };
 
 }  // namespace tsmo

@@ -196,6 +196,66 @@ TEST(DeltaEvalFeasible, DeltaBitwiseEqualsFullOnConstructedSolutions) {
   }
 }
 
+// evaluate_batch must reproduce the per-move evaluate() results bitwise —
+// the batch path is a pure restructuring (one hoisted IncrementalRouteEval,
+// one flat pass) of the same arithmetic, and candidate objectives feed
+// exact-equality duplicate detection downstream.
+TEST(DeltaEvalBatch, BatchBitwiseEqualsSingleMoveEvaluate) {
+  for (const char* name : {"R1_1_1", "C1_1_1", "RC1_1_2", "C2_1_2"}) {
+    const Instance inst = generate_named(name);
+    MoveEngine engine(inst);
+    Rng rng(0xBA7C4ULL);
+    int batches = 0;
+    for (int state = 0; state < 6; ++state) {
+      Solution current = random_solution(inst, rng);
+      std::vector<Move> moves;
+      int attempts = 0;
+      while (moves.size() < 64 && attempts++ < 3000) {
+        const auto move = random_move(engine, current, rng);
+        if (move) moves.push_back(*move);
+      }
+      ASSERT_GT(moves.size(), 16u) << name;
+      std::vector<Objectives> batch;
+      engine.evaluate_batch(current, moves, batch);
+      ASSERT_EQ(batch.size(), moves.size());
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        const Objectives single = engine.evaluate(current, moves[i]);
+        ASSERT_EQ(batch[i].distance, single.distance)
+            << name << " " << to_string(moves[i]);
+        ASSERT_EQ(batch[i].tardiness, single.tardiness)
+            << name << " " << to_string(moves[i]);
+        ASSERT_EQ(batch[i].vehicles, single.vehicles)
+            << name << " " << to_string(moves[i]);
+      }
+      ++batches;
+      // Walk to a new state so batches see varied route shapes.
+      engine.apply(current, moves[rng.below(moves.size())]);
+    }
+    EXPECT_GT(batches, 0) << name;
+  }
+}
+
+// An empty batch and repeated reuse of the same output vector must be safe.
+TEST(DeltaEvalBatch, EmptyBatchAndOutputReuse) {
+  const Instance inst = generate_named("R1_1_1");
+  MoveEngine engine(inst);
+  Rng rng(11);
+  const Solution s = random_solution(inst, rng);
+  std::vector<Objectives> out(7);  // stale content must be discarded
+  engine.evaluate_batch(s, {}, out);
+  EXPECT_TRUE(out.empty());
+  std::vector<Move> moves;
+  while (moves.size() < 8) {
+    const auto m = random_move(engine, s, rng);
+    if (m) moves.push_back(*m);
+  }
+  engine.evaluate_batch(s, moves, out);
+  ASSERT_EQ(out.size(), moves.size());
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    EXPECT_EQ(out[i], engine.evaluate(s, moves[i]));
+  }
+}
+
 // The cache arrays must replay evaluate_route / RouteSchedule bitwise.
 TEST(RouteCacheConsistency, MatchesScheduleAndStats) {
   const Instance inst = generate_named("RC1_1_1");

@@ -275,6 +275,97 @@ TEST_F(GoldenSeedTest, ServeAndFlightRecorderFingerprintsIdentical) {
                    "sync-det.obs.seed" + std::to_string(seed));
 }
 
+/// Batch pricing is a pure restructuring of the pricing arithmetic and
+/// consumes no RNG, so toggling it must leave every fingerprint bitwise
+/// identical — in legacy sampling mode and in pruned mode alike.
+TEST_F(GoldenSeedTest, BatchPricingOnOffFingerprintsIdentical) {
+  for (std::uint64_t seed : kSeeds) {
+    for (int k : {0, 16}) {
+      TsmoParams on = golden_params(seed);
+      on.candidate_k = k;
+      on.batch_pricing = true;
+      TsmoParams off = on;
+      off.batch_pricing = false;
+      expect_identical({SequentialTsmo(inst_, on).run(),
+                        SequentialTsmo(inst_, off).run()},
+                       "sequential.batch.k" + std::to_string(k) + ".seed" +
+                           std::to_string(seed));
+      SyncOptions so;
+      so.deterministic = true;
+      expect_identical({SyncTsmo(inst_, on, 4, so).run(),
+                        SyncTsmo(inst_, off, 4, so).run()},
+                       "sync-det.batch.k" + std::to_string(k) + ".seed" +
+                           std::to_string(seed));
+    }
+  }
+}
+
+/// Pruned sampling (candidate_k > 0) draws from a different move stream
+/// than legacy uniform sampling, but it must still be a pure function of
+/// (params, logical processors): identical across 1/2/4 execution threads
+/// for every deterministic engine, and repeatable sequentially.
+TEST_F(GoldenSeedTest, PrunedModeDeterministicAcrossWidths) {
+  const auto pruned_params = [&](std::uint64_t seed) {
+    TsmoParams p = golden_params(seed);
+    p.candidate_k = 16;
+    return p;
+  };
+  for (std::uint64_t seed : kSeeds) {
+    const TsmoParams p = pruned_params(seed);
+    {
+      std::vector<RunResult> runs;
+      for (int rep = 0; rep < 2; ++rep) {
+        runs.push_back(SequentialTsmo(inst_, p).run());
+      }
+      expect_identical(runs, "sequential.pruned.seed" + std::to_string(seed));
+      // The pruned stream really is a different trajectory than legacy.
+      EXPECT_NE(runs.front().trace_fingerprint,
+                SequentialTsmo(inst_, golden_params(seed)).run()
+                    .trace_fingerprint);
+    }
+    {
+      std::vector<RunResult> runs;
+      for (int exec : kExecWidths) {
+        SyncOptions options;
+        options.deterministic = true;
+        options.exec_threads = exec;
+        runs.push_back(SyncTsmo(inst_, p, 4, options).run());
+      }
+      expect_identical(runs, "sync-det.pruned.seed" + std::to_string(seed));
+    }
+    {
+      std::vector<RunResult> runs;
+      for (int exec : kExecWidths) {
+        AsyncOptions options;
+        options.deterministic = true;
+        options.exec_threads = exec;
+        runs.push_back(AsyncTsmo(inst_, p, 4, options).run());
+      }
+      expect_identical(runs, "async-det.pruned.seed" + std::to_string(seed));
+    }
+    {
+      std::vector<RunResult> runs;
+      for (int exec : kExecWidths) {
+        MultisearchOptions options;
+        options.deterministic = true;
+        options.exec_threads = exec;
+        runs.push_back(MultisearchTsmo(inst_, p, 3, options).run().merged);
+      }
+      expect_identical(runs, "coll-det.pruned.seed" + std::to_string(seed));
+    }
+    {
+      std::vector<RunResult> runs;
+      for (int exec : kExecWidths) {
+        HybridOptions options;
+        options.deterministic = true;
+        options.exec_threads = exec;
+        runs.push_back(HybridTsmo(inst_, p, 2, 2, options).run().merged);
+      }
+      expect_identical(runs, "hybrid-det.pruned.seed" + std::to_string(seed));
+    }
+  }
+}
+
 /// Different seeds must not collide — otherwise the fingerprint could not
 /// distinguish divergent runs in the first place.
 TEST_F(GoldenSeedTest, DistinctSeedsDistinctFingerprints) {

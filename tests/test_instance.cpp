@@ -55,6 +55,32 @@ TEST(Instance, TotalDemandAndFleetBound) {
   EXPECT_EQ(inst.min_vehicles_by_capacity(), 2);  // ceil(75/60)
 }
 
+// Regression: 0.1 + 0.1 + 0.1 = 0.30000000000000004 in binary, so the
+// naive ceil(total/capacity) rounded 1.0000000000000002 up to 2 vehicles
+// even though one vehicle of capacity 0.3 suffices.  The bound must treat
+// quotients within a relative epsilon of an integer as exact.
+TEST(Instance, MinVehiclesIsRobustToFloatingPointQuotients) {
+  std::vector<Site> sites = {
+      {0, 0, 0, 0, 1000, 0},
+      {1, 0, 0.1, 0, 100, 1},
+      {2, 0, 0.1, 0, 100, 1},
+      {3, 0, 0.1, 0, 100, 1},
+  };
+  const Instance inst("fp", std::move(sites), 3, 0.3);
+  EXPECT_EQ(inst.min_vehicles_by_capacity(), 1);
+
+  // The same shape scaled up: 3 * 10 / 30 must stay 1, and a genuinely
+  // fractional quotient must still round up.
+  std::vector<Site> sites2 = {
+      {0, 0, 0, 0, 1000, 0},
+      {1, 0, 10, 0, 100, 1},
+      {2, 0, 10, 0, 100, 1},
+      {3, 0, 10.5, 0, 100, 1},
+  };
+  const Instance inst2("fp2", std::move(sites2), 3, 30.0);
+  EXPECT_EQ(inst2.min_vehicles_by_capacity(), 2);  // ceil(30.5/30)
+}
+
 TEST(Instance, ConstructorRejectsEmptySites) {
   EXPECT_THROW(Instance("x", {}, 1, 10.0), std::invalid_argument);
 }

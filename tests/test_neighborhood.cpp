@@ -1,5 +1,7 @@
 #include "operators/neighborhood.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "construct/i1_insertion.hpp"
@@ -83,6 +85,73 @@ TEST_F(NeighborhoodTest, UsesAllFiveOperators) {
   for (int t = 0; t < kNumMoveTypes; ++t) {
     EXPECT_TRUE(seen[t]) << "operator " << t << " never sampled";
   }
+}
+
+TEST_F(NeighborhoodTest, PrunedSamplingYieldsApplicableMovesAllOperators) {
+  const auto cands = make_candidate_list(inst_, 16);
+  engine_.set_candidate_list(cands.get());
+  Rng rng(8);
+  const Solution base = seed();
+  bool seen[kNumMoveTypes] = {};
+  for (const Neighbor& nb : generator_.generate(base, 400, rng)) {
+    ASSERT_TRUE(engine_.applicable(base, nb.move)) << to_string(nb.move);
+    ASSERT_TRUE(engine_.locally_feasible(base, nb.move));
+    ASSERT_EQ(nb.obj, generator_.materialize(base, nb).objectives());
+    seen[static_cast<int>(nb.move.type)] = true;
+  }
+  for (int t = 0; t < kNumMoveTypes; ++t) {
+    EXPECT_TRUE(seen[t]) << "operator " << t << " never sampled (pruned)";
+  }
+  engine_.set_candidate_list(nullptr);
+}
+
+TEST_F(NeighborhoodTest, PrunedSamplingIsDeterministic) {
+  const auto cands = make_candidate_list(inst_, 10);
+  engine_.set_candidate_list(cands.get());
+  const Solution base = seed();
+  Rng r1(21), r2(21);
+  const auto a = generator_.generate(base, 80, r1);
+  const auto b = generator_.generate(base, 80, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].move, b[i].move);
+    EXPECT_EQ(a[i].obj, b[i].obj);
+  }
+  engine_.set_candidate_list(nullptr);
+}
+
+// Batch and single-move pricing must produce the exact same neighbor
+// sequence (moves, objectives, attrs) from the same RNG state — batch mode
+// only reorders WHEN moves are priced, never what is sampled or computed.
+TEST_F(NeighborhoodTest, BatchAndSinglePricingIdenticalNeighborhoods) {
+  const Solution base = seed();
+  NeighborhoodGenerator single(engine_, {1, 1, 1, 1, 1},
+                               FeasibilityScreen::Local, false);
+  NeighborhoodGenerator batch(engine_, {1, 1, 1, 1, 1},
+                              FeasibilityScreen::Local, true);
+  EXPECT_FALSE(single.batch_pricing());
+  EXPECT_TRUE(batch.batch_pricing());
+  for (const int k : {0, 12}) {
+    const auto cands = make_candidate_list(inst_, k);
+    engine_.set_candidate_list(cands.get());
+    Rng r1(33), r2(33);
+    const auto a = single.generate(base, 120, r1);
+    const auto b = batch.generate(base, 120, r2);
+    ASSERT_EQ(a.size(), b.size()) << "k=" << k;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].move, b[i].move) << "k=" << k;
+      ASSERT_EQ(a[i].obj, b[i].obj) << "k=" << k;
+      ASSERT_TRUE(std::equal(a[i].creates.begin(), a[i].creates.end(),
+                             b[i].creates.begin(), b[i].creates.end()))
+          << "k=" << k;
+      ASSERT_TRUE(std::equal(a[i].destroys.begin(), a[i].destroys.end(),
+                             b[i].destroys.begin(), b[i].destroys.end()))
+          << "k=" << k;
+    }
+    // And the two generators left the RNG streams in the same state.
+    EXPECT_EQ(r1.next(), r2.next()) << "k=" << k;
+  }
+  engine_.set_candidate_list(nullptr);
 }
 
 TEST(NeighborhoodDegenerate, TinyInstanceMayYieldFewer) {

@@ -58,15 +58,46 @@ TEST(TsmoParams, PerturbedStaysPositive) {
   }
 }
 
+// candidate_k / batch_pricing must never be perturbed: multisearch and
+// hybrid share ONE candidate list across searchers (valid only because k
+// agrees), and any extra rng.normal draw would shift the whole perturbation
+// stream and break every golden-seed fingerprint.
+TEST(TsmoParams, PerturbedNeverTouchesCandidateKOrBatchPricing) {
+  TsmoParams base;
+  base.candidate_k = 16;
+  base.batch_pricing = false;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const TsmoParams p = base.perturbed(rng);
+    ASSERT_EQ(p.candidate_k, 16);
+    ASSERT_FALSE(p.batch_pricing);
+  }
+  // And adding the knobs consumed no extra RNG: the draw count per call is
+  // unchanged, so the same seed still yields the same perturbed values.
+  Rng a(99), b(99);
+  TsmoParams plain;
+  TsmoParams pruned;
+  pruned.candidate_k = 16;
+  const TsmoParams pa = plain.perturbed(a);
+  const TsmoParams pb = pruned.perturbed(b);
+  EXPECT_EQ(pa.neighborhood_size, pb.neighborhood_size);
+  EXPECT_EQ(pa.tabu_tenure, pb.tabu_tenure);
+  EXPECT_EQ(pa.archive_capacity, pb.archive_capacity);
+  EXPECT_EQ(pa.restart_after, pb.restart_after);
+  EXPECT_EQ(a.next(), b.next());  // streams still aligned afterwards
+}
+
 TEST(TsmoParams, ClampFixesNonsense) {
   TsmoParams p;
   p.max_evaluations = -5;
   p.neighborhood_size = 0;
   p.archive_capacity = 0;
+  p.candidate_k = -4;
   p.clamp();
   EXPECT_EQ(p.max_evaluations, 1);
   EXPECT_EQ(p.neighborhood_size, 1);
   EXPECT_EQ(p.archive_capacity, 2);
+  EXPECT_EQ(p.candidate_k, 0);
 }
 
 TEST(Candidate, MakeCandidatesSharesBase) {

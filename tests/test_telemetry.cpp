@@ -348,6 +348,49 @@ TEST(TelemetryDisabled, MacrosRecordNothingWhenOff) {
   EXPECT_TRUE(snap.spans.empty());
 }
 
+#if TSMO_TELEMETRY_ENABLED
+// Candidate-list pruning and batch pricing publish their effectiveness
+// metrics: prune hit/reject counters, a batch counter, and the batch fill
+// ratio histogram (percent of requested neighbors produced per batch).
+TEST_F(TelemetryTest, PruneAndBatchMetricsArePublished) {
+  GeneratorConfig config;
+  config.num_customers = 30;
+  config.spatial = SpatialClass::Random;
+  config.horizon = HorizonClass::Short;
+  config.seed = 11;
+  config.name = "prune_metrics_R1_30";
+  const Instance inst = generate_instance(config);
+
+  TsmoParams params;
+  params.max_evaluations = 800;
+  params.neighborhood_size = 40;
+  params.candidate_k = 12;
+  params.batch_pricing = true;
+  params.telemetry = true;
+  params.seed = 9;
+  SequentialTsmo(inst, params).run();
+
+  const Snapshot snap = Registry::instance().snapshot();
+  const auto* hits = snap.find_counter("neighborhood.prune_hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GT(hits->value, 0u);
+  // Rejects are registered too (they may legitimately be zero on easy
+  // instances, so only presence is asserted).
+  EXPECT_NE(snap.find_counter("neighborhood.prune_rejects"), nullptr);
+  const auto* batches = snap.find_counter("move.batches");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GT(batches->value, 0u);
+  const auto* fill = snap.find_histogram("neighborhood.batch_fill_pct");
+  ASSERT_NE(fill, nullptr);
+  EXPECT_GT(fill->count, 0u);
+  // Batch pricing records its spans under the same name single-move
+  // pricing used, so dashboards and the CI telemetry smoke keep working.
+  const auto* price = snap.find_histogram("move.price_ns");
+  ASSERT_NE(price, nullptr);
+  EXPECT_GT(price->count, 0u);
+}
+#endif  // TSMO_TELEMETRY_ENABLED
+
 // Golden-seed guard: the sequential engine must produce bit-identical
 // decision traces and archives with telemetry on and off — observation
 // only, no RNG or ordering perturbation.
