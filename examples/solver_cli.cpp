@@ -9,11 +9,13 @@
 // the deterministic virtual-clock versions instead and reports the
 // modeled runtime.
 
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include <unistd.h>
 
@@ -24,10 +26,12 @@
 #include "core/weighted_ts.hpp"
 #include "evolutionary/nsga2.hpp"
 #include "evolutionary/spea2.hpp"
+#include "harness/job_runner.hpp"
 #include "harness/plot.hpp"
 #include "harness/report.hpp"
 #include "moo/anytime.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/job_manager.hpp"
 #include "obs/obs_server.hpp"
 #include "operators/local_search.hpp"
 #include "parallel/async_tsmo.hpp"
@@ -231,10 +235,21 @@ int main(int argc, char** argv) {
                  "serve /metrics /healthz /status /buildinfo on this "
                  "HTTP port (0 disables, -1 picks an ephemeral port)",
                  "0");
+  cli.add_option("job-workers",
+                 "executor threads of the --serve-jobs pool", "2");
+  cli.add_option("job-queue",
+                 "admission queue depth of --serve-jobs (submissions "
+                 "beyond it get 429 + Retry-After)",
+                 "16");
   cli.add_option("postmortem",
                  "arm the crash-safe flight recorder: SIGSEGV/SIGABRT/"
                  "SIGBUS dump a postmortem JSON document to this path",
                  "");
+  cli.add_flag("serve-jobs",
+               "run as a batch solver service instead of solving once: "
+               "POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id> "
+               "on the --serve port (ephemeral when --serve is 0), until "
+               "SIGINT/SIGTERM");
   cli.add_flag("progress",
                "live one-line status (iterations/s, hypervolume, archive "
                "size, stalled workers)");
@@ -251,6 +266,56 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv, std::cerr)) return 64;
 
   try {
+    if (cli.flag("serve-jobs")) {
+      // Service mode: no one-shot solve — the process fronts the job
+      // plane until a stop signal and drains cleanly (queued jobs become
+      // cancelled, running engines stop cooperatively).
+      install_stop_signals();
+      telemetry::set_enabled(true);
+      obs::FlightRecorder::set_enabled(true);
+      const std::string postmortem = cli.get("postmortem");
+      if (!postmortem.empty() &&
+          !obs::install_crash_handlers(postmortem)) {
+        std::cerr << "cannot open postmortem path " << postmortem << "\n";
+        return 1;
+      }
+
+      obs::JobManagerConfig jc;
+      jc.queue_capacity =
+          static_cast<std::size_t>(std::max<long long>(
+              1, cli.get_int("job-queue")));
+      jc.executors = static_cast<int>(cli.get_int("job-workers"));
+      obs::JobManager jobs(jc, make_job_runner());
+
+      obs::ObsServer::Options so;
+      const int serve_port = static_cast<int>(cli.get_int("serve"));
+      so.port = serve_port <= 0 ? 0 : serve_port;
+      obs::ObsServer server(so);
+      server.attach_jobs(&jobs);
+      if (!server.start()) {
+        std::cerr << "cannot serve: " << server.reason() << "\n";
+        return 1;
+      }
+      jobs.start();
+      // One parseable line so scripts can discover an ephemeral port.
+      std::cout << "job server on http://127.0.0.1:" << server.port()
+                << " (POST /jobs, " << jc.executors << " workers, queue "
+                << jc.queue_capacity << ")" << std::endl;
+
+      while (!stop_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::cout << "stop requested: draining job plane\n";
+      jobs.shutdown();
+      server.stop();
+      const obs::JobManager::Stats stats = jobs.stats();
+      std::cout << "jobs: " << stats.accepted << " accepted, "
+                << stats.done << " done, " << stats.cancelled
+                << " cancelled, " << stats.failed << " failed, "
+                << stats.rejected << " rejected\n";
+      return 0;
+    }
+
     const Instance inst = load_instance(cli.get("instance"));
     TsmoParams params;
     params.max_evaluations = cli.get_int("evaluations");

@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""End-to-end smoke driver for the HTTP job plane (DESIGN.md §12).
+
+Drives a running `solver_cli --serve-jobs` instance through the full
+lifecycle — admission checks, a golden job whose RunResult is validated
+against a committed reference, a mid-run cancel — then measures sustained
+throughput and submit-to-first-front latency over a burst of quick jobs
+and writes the record to bench_results/job_api_latency.json.
+
+Guard: p99 submit-to-first-front < 2 s on the 100-customer smoke
+instance (R1_1_1).
+
+Usage:
+  job_smoke.py --port 18090 [--golden tests/golden/job_smoke_result.golden.json]
+               [--out bench_results/job_api_latency.json]
+               [--burst 24] [--p99-bound 2.0]
+               [--write-golden]   # refresh the golden from this build
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+GOLDEN_JOB = {
+    "instance": "R1_1_1",
+    "algorithm": "seq",
+    "params": {
+        "evaluations": 3000,
+        "neighborhood": 40,
+        "restart_after": 15,
+        "seed": 7,
+    },
+}
+
+QUICK_JOB = {
+    "instance": "R1_1_1",
+    "algorithm": "seq",
+    "params": {
+        "evaluations": 2000,
+        "neighborhood": 40,
+        "restart_after": 15,
+        "seed": 11,
+    },
+}
+
+LONG_JOB = {
+    "instance": "R1_1_1",
+    "algorithm": "async",
+    "processors": 3,
+    "params": {"evaluations": 500000000, "neighborhood": 60, "seed": 3},
+}
+
+
+def request(port, method, path, payload=None, timeout=30):
+    """Returns (status, parsed-or-raw body). Never raises on HTTP errors."""
+    url = f"http://127.0.0.1:{port}{path}"
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as res:
+            body = res.read().decode()
+            status = res.status
+    except urllib.error.HTTPError as err:
+        body = err.read().decode()
+        status = err.code
+    try:
+        return status, json.loads(body)
+    except json.JSONDecodeError:
+        return status, body
+
+
+def expect(cond, message):
+    if not cond:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def submit(port, payload):
+    status, doc = request(port, "POST", "/jobs", payload)
+    expect(status == 202, f"submit accepted with 202 (got {status}: {doc})")
+    return doc["id"]
+
+
+def wait_terminal(port, job_id, timeout_s=120):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, doc = request(port, "GET", f"/jobs/{job_id}")
+        if status == 200 and doc.get("state") in ("done", "failed",
+                                                  "cancelled"):
+            return doc
+        time.sleep(0.02)
+    print(f"FAIL: {job_id} not terminal within {timeout_s}s", file=sys.stderr)
+    sys.exit(1)
+
+
+def first_front_latency(port, job_id, submitted_at, timeout_s=60):
+    """Seconds from submit until a non-empty Pareto front is observable
+    (live front while running, or the final front_size once done)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, doc = request(port, "GET", f"/jobs/{job_id}")
+        if status != 200:
+            break
+        live = doc.get("live", {})
+        if live.get("front_size", 0) > 0:
+            return time.monotonic() - submitted_at
+        if doc.get("state") == "done" and doc.get("front_size", 0) > 0:
+            return time.monotonic() - submitted_at
+        if doc.get("state") in ("failed", "cancelled"):
+            break
+        time.sleep(0.01)
+    print(f"FAIL: no front ever observed for {job_id}", file=sys.stderr)
+    sys.exit(1)
+
+
+def lifecycle_checks(port):
+    status, doc = request(port, "GET", "/jobs")
+    expect(status == 200 and "jobs" in doc, "GET /jobs lists the job table")
+    status, _ = request(port, "GET", "/jobs/job-999999")
+    expect(status == 404, "unknown job id is 404")
+    status, _ = request(port, "POST", "/jobs", {"nonsense": True})
+    expect(status == 400, "malformed submission is 400")
+
+    # Mid-run cancel: a job with an absurd budget must stop cooperatively
+    # and still serve a partial result.
+    job_id = submit(port, LONG_JOB)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        _, doc = request(port, "GET", f"/jobs/{job_id}")
+        if doc.get("state") == "running":
+            break
+        time.sleep(0.02)
+    status, _ = request(port, "DELETE", f"/jobs/{job_id}")
+    expect(status == 202, "DELETE on a running job is accepted")
+    doc = wait_terminal(port, job_id)
+    expect(doc["state"] == "cancelled", "cancelled job reaches 'cancelled'")
+    status, result = request(port, "GET", f"/jobs/{job_id}/result")
+    expect(status == 200 and result.get("stopped_early") is True,
+           "cancelled job serves a partial result with stopped_early")
+    expect(result["evaluations"] < LONG_JOB["params"]["evaluations"],
+           "partial result used only a fraction of the budget")
+
+
+def validate_golden(result, golden_path, write_golden):
+    if write_golden:
+        with open(golden_path, "w") as out:
+            json.dump(result, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote golden: {golden_path}")
+        return
+    with open(golden_path) as fh:
+        golden = json.load(fh)
+    expect(result["algorithm"] == golden["algorithm"], "algorithm matches")
+    expect(result["instance"]["name"] == golden["instance"]["name"],
+           "instance matches golden")
+    expect(result["instance"]["customers"] == golden["instance"]["customers"],
+           "customer count matches golden")
+    expect(result["evaluations"] == golden["evaluations"],
+           "evaluation budget fully consumed as in the golden")
+    expect(not result.get("stopped_early"), "golden job ran to completion")
+    front = result["front"]
+    gfront = golden["front"]
+    expect(front, "front is non-empty")
+    best = min(p["distance"] for p in front)
+    gbest = min(p["distance"] for p in gfront)
+    expect(abs(best - gbest) <= 0.10 * gbest,
+           f"best distance {best:.1f} within 10% of golden {gbest:.1f}")
+    veh = min(p["vehicles"] for p in front)
+    gveh = min(p["vehicles"] for p in gfront)
+    expect(abs(veh - gveh) <= 1,
+           f"min vehicles {veh} within +/-1 of golden {gveh}")
+    # Fingerprints are bit-exact per build but drift across compilers /
+    # stdlibs, so a mismatch is a warning, not a failure.
+    for key in ("archive_fingerprint", "trace_fingerprint"):
+        if result.get(key) != golden.get(key):
+            print(f"warn: {key} {result.get(key)} != golden "
+                  f"{golden.get(key)} (cross-build drift is expected)")
+        else:
+            print(f"ok: {key} matches golden bit-for-bit")
+
+
+def submit_with_backoff(port, payload, timeout_s=60):
+    """Submits, honoring 429 admission control: backs off for the
+    advertised Retry-After (capped for smoke speed) and retries."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, doc = request(port, "POST", "/jobs", payload)
+        if status == 202:
+            return doc["id"]
+        expect(status == 429,
+               f"only 429 may defer a well-formed submit (got {status})")
+        time.sleep(min(0.05, float(doc.get("retry_after_seconds", 1))))
+    print("FAIL: queue never drained below capacity", file=sys.stderr)
+    sys.exit(1)
+
+
+def measure_burst(port, burst):
+    """Submits `burst` quick jobs back-to-back; returns throughput and
+    per-job submit-to-first-front latencies."""
+    submitted = []
+    t0 = time.monotonic()
+    for i in range(burst):
+        body = json.loads(json.dumps(QUICK_JOB))
+        body["params"]["seed"] = 11 + i  # distinct runs, same shape
+        submitted.append((submit_with_backoff(port, body), time.monotonic()))
+    latencies = [first_front_latency(port, job_id, at)
+                 for job_id, at in submitted]
+    for job_id, _ in submitted:
+        doc = wait_terminal(port, job_id)
+        expect(doc["state"] == "done", f"{job_id} completed")
+    elapsed = time.monotonic() - t0
+    return burst / elapsed, latencies
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--golden",
+                    default="tests/golden/job_smoke_result.golden.json")
+    ap.add_argument("--out", default="bench_results/job_api_latency.json")
+    ap.add_argument("--burst", type=int, default=24)
+    ap.add_argument("--p99-bound", type=float, default=2.0)
+    ap.add_argument("--write-golden", action="store_true")
+    args = ap.parse_args()
+
+    lifecycle_checks(args.port)
+
+    job_id = submit(args.port, GOLDEN_JOB)
+    doc = wait_terminal(args.port, job_id)
+    expect(doc["state"] == "done", "golden job completed")
+    status, result = request(args.port, "GET", f"/jobs/{job_id}/result")
+    expect(status == 200, "golden job result served")
+    validate_golden(result, args.golden, args.write_golden)
+
+    jobs_per_sec, latencies = measure_burst(args.port, args.burst)
+    p50 = percentile(latencies, 0.50)
+    p99 = percentile(latencies, 0.99)
+    record = {
+        "instance": QUICK_JOB["instance"],
+        "burst_jobs": args.burst,
+        "jobs_per_second": round(jobs_per_sec, 3),
+        "submit_to_first_front_seconds": {
+            "p50": round(p50, 4),
+            "p99": round(p99, 4),
+            "max": round(max(latencies), 4),
+        },
+        "p99_bound_seconds": args.p99_bound,
+        "within_bound": p99 < args.p99_bound,
+    }
+    with open(args.out, "w") as out:
+        json.dump(record, out, indent=2)
+        out.write("\n")
+    print(json.dumps(record, indent=2))
+    expect(record["within_bound"],
+           f"p99 submit-to-first-front {p99:.3f}s < {args.p99_bound}s")
+    print("job smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@
 // iterations, archive size 20, tabu tenure 20.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "operators/move.hpp"
@@ -76,6 +77,15 @@ struct TsmoParams {
   /// so fingerprints are identical with the server on or off.  Never
   /// perturbed.
   int serve_port = 0;
+  /// Per-run cooperative stop flag (DESIGN.md §12): when non-null, every
+  /// SearchState of the run treats a raised flag exactly like budget
+  /// exhaustion — the engine drains and the partial result is collected.
+  /// Unlike the process-wide request_stop() (SIGINT/SIGTERM), this scopes
+  /// cancellation to one run, so the job plane can cancel a single job
+  /// without touching its neighbors.  The pointee must outlive the run.
+  /// Never raised during a normal run, so determinism and golden-seed
+  /// fingerprints are untouched; never perturbed.
+  const std::atomic<bool>* stop = nullptr;
   std::uint64_t seed = 1;
 
   /// Perturbs every numeric parameter with N(0, p/4) noise — §III.E: "The

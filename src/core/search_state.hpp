@@ -105,11 +105,21 @@ class SearchState {
   /// is charged here so the budget check sees the global count.
   void charge_evaluations(std::int64_t n) noexcept { evaluations_ += n; }
   /// True when the evaluation budget is spent *or* a cooperative stop was
-  /// requested (solver_cli's SIGINT/SIGTERM path): every engine loop keys
-  /// off this check, so a stop request drains exactly like budget
-  /// exhaustion and results are still collected and flushed.
+  /// requested — either the process-wide flag (solver_cli's SIGINT/SIGTERM
+  /// path) or this run's own TsmoParams::stop (job-plane cancellation):
+  /// every engine loop keys off this check, so a stop request drains
+  /// exactly like budget exhaustion and results are still collected and
+  /// flushed.
   bool budget_exhausted() const noexcept {
-    return evaluations_ >= params_.max_evaluations || stop_requested();
+    return evaluations_ >= params_.max_evaluations || stop_flag_raised();
+  }
+
+  /// True when either cooperative stop flag (process-wide or per-run) is
+  /// raised; collect_result() turns this into RunResult::stopped_early.
+  bool stop_flag_raised() const noexcept {
+    return stop_requested() ||
+           (params_.stop != nullptr &&
+            params_.stop->load(std::memory_order_relaxed));
   }
 
   int iterations_since_improvement() const noexcept {

@@ -24,7 +24,7 @@ RunResult collect_result(const SearchState& state, std::string algorithm,
   r.archive_fingerprint = archive_fingerprint(r.front);
   r.trace_fingerprint = state.trace().fingerprint();
   r.wall_seconds = wall_seconds;
-  r.stopped_early = stop_requested();
+  r.stopped_early = state.stop_flag_raised();
   r.refresh_throughput();
   obs::flight_fingerprint(r.trace_fingerprint);
   return r;

@@ -1,0 +1,199 @@
+#include "harness/job_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/sequential_tsmo.hpp"
+#include "harness/report.hpp"
+#include "moo/anytime.hpp"
+#include "parallel/async_tsmo.hpp"
+#include "parallel/hybrid_tsmo.hpp"
+#include "parallel/multisearch_tsmo.hpp"
+#include "parallel/sync_tsmo.hpp"
+#include "util/json.hpp"
+#include "vrptw/generator.hpp"
+#include "vrptw/solomon_io.hpp"
+
+namespace tsmo {
+
+namespace {
+
+/// Applies the "params" object onto paper-default TsmoParams.
+TsmoParams parse_params(const JsonValue* node) {
+  TsmoParams p;
+  p.trace = true;  // fingerprints are part of the job contract
+  if (node == nullptr || !node->is_object()) return p;
+  if (const JsonValue* v = node->find("evaluations")) {
+    p.max_evaluations = v->as_int64(p.max_evaluations);
+  }
+  if (const JsonValue* v = node->find("neighborhood")) {
+    p.neighborhood_size = static_cast<int>(v->as_int64(p.neighborhood_size));
+  }
+  if (const JsonValue* v = node->find("tenure")) {
+    p.tabu_tenure = static_cast<int>(v->as_int64(p.tabu_tenure));
+  }
+  if (const JsonValue* v = node->find("candidate_k")) {
+    p.candidate_k = static_cast<int>(v->as_int64(p.candidate_k));
+  }
+  if (const JsonValue* v = node->find("archive")) {
+    p.archive_capacity = static_cast<int>(v->as_int64(p.archive_capacity));
+  }
+  if (const JsonValue* v = node->find("restart_after")) {
+    p.restart_after = static_cast<int>(v->as_int64(p.restart_after));
+  }
+  if (const JsonValue* v = node->find("seed")) {
+    p.seed = static_cast<std::uint64_t>(v->as_int64(1));
+  }
+  if (const JsonValue* v = node->find("trace")) {
+    p.trace = v->as_bool(true);
+  }
+  if (const JsonValue* v = node->find("screen"); v && v->is_string()) {
+    const std::string& s = v->as_string();
+    if (s == "capacity") {
+      p.feasibility_screen = FeasibilityScreen::CapacityOnly;
+    } else if (s == "exact") {
+      p.feasibility_screen = FeasibilityScreen::Exact;
+    } else if (s == "local") {
+      p.feasibility_screen = FeasibilityScreen::Local;
+    } else {
+      throw std::invalid_argument("unknown screen: " + s);
+    }
+  }
+  p.clamp();
+  return p;
+}
+
+RunResult run_engine(const std::string& algorithm, const Instance& inst,
+                     const TsmoParams& params, int processors,
+                     ConvergenceRecorder* recorder) {
+  if (algorithm == "seq") {
+    return SequentialTsmo(inst, params).run();
+  }
+  if (algorithm == "sync") {
+    SyncOptions so;
+    so.deterministic = true;
+    so.recorder = recorder;
+    return SyncTsmo(inst, params, processors, so).run();
+  }
+  if (algorithm == "async") {
+    AsyncOptions ao;
+    ao.deterministic = true;
+    ao.recorder = recorder;
+    return AsyncTsmo(inst, params, processors, ao).run();
+  }
+  if (algorithm == "coll") {
+    MultisearchOptions mo;
+    mo.deterministic = true;
+    mo.recorder = recorder;
+    MultisearchResult r = MultisearchTsmo(inst, params, processors, mo).run();
+    return std::move(r.merged);
+  }
+  if (algorithm == "hybrid") {
+    HybridOptions ho;
+    ho.deterministic = true;
+    ho.recorder = recorder;
+    const int per_island = std::max(2, processors / 2);
+    MultisearchResult r = HybridTsmo(inst, params, 2, per_island, ho).run();
+    return std::move(r.merged);
+  }
+  throw std::invalid_argument(
+      "unknown algorithm: " + algorithm +
+      " (job plane runs: seq | sync | async | coll | hybrid)");
+}
+
+}  // namespace
+
+obs::JobOutcome run_job_body(const std::string& body,
+                             const obs::JobContext& ctx) {
+  obs::JobOutcome out;
+  try {
+    std::string parse_error;
+    const std::unique_ptr<JsonValue> doc = json_parse(body, &parse_error);
+    if (!doc || !doc->is_object()) {
+      out.error = "invalid job body: " + parse_error;
+      return out;
+    }
+
+    Instance inst = [&] {
+      if (const JsonValue* s = doc->find("solomon");
+          s != nullptr && s->is_string()) {
+        std::istringstream is(s->as_string());
+        return read_solomon(is);
+      }
+      const JsonValue* name = doc->find("instance");
+      if (name == nullptr || !name->is_string()) {
+        throw std::invalid_argument(
+            "job needs an \"instance\" or \"solomon\" string field");
+      }
+      return generate_named(name->as_string());
+    }();
+
+    TsmoParams params = parse_params(doc->find("params"));
+    params.stop = ctx.cancel;
+
+    std::string algorithm = "seq";
+    if (const JsonValue* a = doc->find("algorithm");
+        a != nullptr && a->is_string()) {
+      algorithm = a->as_string();
+    }
+    int processors = 3;
+    if (const JsonValue* p = doc->find("processors")) {
+      processors = std::max(1, static_cast<int>(p->as_int64(processors)));
+    }
+    bool include_routes = false;
+    if (const JsonValue* r = doc->find("include_routes")) {
+      include_routes = r->as_bool(false);
+    }
+
+    // Per-job recorder: the live anytime front GET /jobs/<id> serves.
+    // Observation only — fingerprints are identical with or without it.
+    ConvergenceConfig cc;
+    cc.reference = convergence_reference(inst);
+    cc.sample_every_iters = params.convergence_sample_iters;
+    cc.sample_every_ms = params.convergence_sample_ms;
+    ConvergenceRecorder recorder(cc);
+    // Declared after the recorder so it retracts the published pointer
+    // *before* the recorder dies — on every exit path, including engine
+    // exceptions unwinding past this scope.
+    struct PublishGuard {
+      const obs::JobContext* ctx;
+      ~PublishGuard() {
+        if (ctx->publish) ctx->publish(nullptr);
+      }
+    } guard{&ctx};
+    if (ctx.publish) ctx.publish(&recorder);
+
+    RunResult result =
+        run_engine(algorithm, inst, params, processors, &recorder);
+
+    recorder.finalize(result.front);
+
+    std::ostringstream os;
+    write_run_json(os, inst, result, include_routes);
+    out.result_json = os.str();
+    out.algorithm = result.algorithm;
+    out.instance = inst.name();
+    out.trace_fingerprint = result.trace_fingerprint;
+    out.archive_fingerprint = result.archive_fingerprint;
+    out.front_size = result.front.size();
+    out.evaluations = result.evaluations;
+    out.wall_seconds = result.wall_seconds;
+    out.stopped_early = result.stopped_early;
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out = obs::JobOutcome{};
+    out.error = e.what();
+  }
+  return out;
+}
+
+obs::JobRunner make_job_runner() {
+  return [](const std::string& body, const obs::JobContext& ctx) {
+    return run_job_body(body, ctx);
+  };
+}
+
+}  // namespace tsmo

@@ -1,6 +1,7 @@
 #include "harness/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 #include <vector>
 
@@ -9,6 +10,19 @@
 #include "util/table.hpp"
 
 namespace tsmo {
+
+namespace {
+
+/// Fingerprints travel as "0x%016x" hex strings: JSON numbers are doubles
+/// to most consumers, which would silently round above 2^53.
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
 
 void write_run_json(std::ostream& os, const Instance& inst,
                     const RunResult& result, bool include_routes) {
@@ -35,6 +49,10 @@ void write_run_json(std::ostream& os, const Instance& inst,
   w.key("wall_seconds").value(result.wall_seconds);
   w.key("sim_seconds").value(result.sim_seconds);
   w.key("iterations_per_second").value(result.iterations_per_second);
+  w.key("archive_fingerprint").value(hex64(result.archive_fingerprint));
+  if (result.trace_fingerprint != 0) {
+    w.key("trace_fingerprint").value(hex64(result.trace_fingerprint));
+  }
   if (!result.telemetry_path.empty()) {
     w.key("telemetry_path").value(result.telemetry_path);
   }

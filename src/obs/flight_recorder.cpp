@@ -34,6 +34,14 @@ const char* to_string(FlightKind kind) noexcept {
       return "serve_stop";
     case FlightKind::kStopRequest:
       return "stop_request";
+    case FlightKind::kJobSubmit:
+      return "job_submit";
+    case FlightKind::kJobStart:
+      return "job_start";
+    case FlightKind::kJobFinish:
+      return "job_finish";
+    case FlightKind::kJobCancel:
+      return "job_cancel";
     case FlightKind::kNote:
       return "note";
   }

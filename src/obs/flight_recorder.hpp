@@ -40,6 +40,10 @@ enum class FlightKind : std::uint8_t {
   kServeStart,
   kServeStop,
   kStopRequest,
+  kJobSubmit,
+  kJobStart,
+  kJobFinish,
+  kJobCancel,
   kNote,
 };
 
@@ -55,6 +59,10 @@ const char* to_string(FlightKind kind) noexcept;
 ///   kChannelHighWater  tag=channel  v=depth
 ///   kSignal            a=signo
 ///   kServeStart/Stop   b=port
+///   kJobSubmit         tag=job id   a=queue depth after admission
+///   kJobStart          tag=job id   v=queue wait [ms]
+///   kJobFinish         tag=job id   a=terminal state  v=run [ms]
+///   kJobCancel         tag=job id   a=1 when it was already running
 struct FlightEvent {
   std::uint64_t seq = 0;   ///< 1-based global claim order
   std::uint64_t t_ns = 0;  ///< now_ns() at record time

@@ -7,7 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace tsmo::obs {
@@ -18,12 +21,24 @@ const char* status_text(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 201:
+      return "Created";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
     case 503:
       return "Service Unavailable";
     default:
@@ -49,30 +64,102 @@ void send_response(int fd, const HttpResponse& res) {
                     status_text(res.status) + "\r\n";
   out += "Content-Type: " + res.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+  for (const auto& [name, value] : res.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += res.body;
   write_all(fd, out.data(), out.size());
 }
 
+/// Outcome of the incremental request read; maps directly onto the error
+/// status the connection is answered with.
+enum class ReadStatus {
+  kOk,
+  kClosed,    // peer vanished mid-request: nothing to answer
+  kTimeout,   // 408
+  kTooLarge,  // 413
+  kMalformed  // 400
+};
+
 /// Reads until the end of the request head ("\r\n\r\n") or limits hit.
-/// Bodies are ignored: every supported endpoint is a bare GET.
-bool read_request_head(int fd, std::string& head) {
+ReadStatus read_request_head(int fd, const HttpServer::Limits& limits,
+                             std::string& head, std::string& overflow) {
   char buf[2048];
   head.clear();
-  while (head.size() < 16 * 1024) {
+  overflow.clear();
+  while (head.size() < limits.max_head_bytes) {
+    const std::size_t mark = head.find("\r\n\r\n");
+    if (mark != std::string::npos) {
+      overflow = head.substr(mark + 4);  // start of the body, if any
+      head.resize(mark + 4);
+      return ReadStatus::kOk;
+    }
     pollfd pfd{fd, POLLIN, 0};
-    const int pr = ::poll(&pfd, 1, 2000);
-    if (pr <= 0) return false;  // timeout or error: drop the connection
+    const int pr = ::poll(&pfd, 1, limits.read_timeout_ms);
+    if (pr == 0) return ReadStatus::kTimeout;
+    if (pr < 0) return ReadStatus::kClosed;
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return ReadStatus::kClosed;
     }
-    if (n == 0) return false;  // peer closed before finishing the head
+    if (n == 0) return ReadStatus::kClosed;
     head.append(buf, static_cast<std::size_t>(n));
-    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return ReadStatus::kTooLarge;
+}
+
+/// Case-insensitive header value lookup inside a raw request head.
+bool find_header(const std::string& head, const std::string& name,
+                 std::string& value) {
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos + 2);
+    if (eol == std::string::npos) break;
+    const std::string line = head.substr(pos + 2, eol - pos - 2);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t s = colon + 1;
+        while (s < line.size() && line[s] == ' ') ++s;
+        value = line.substr(s);
+        return true;
+      }
+    }
+    pos = eol;
   }
   return false;
+}
+
+/// Reads exactly `want` body bytes (beyond what `body` already holds).
+ReadStatus read_request_body(int fd, const HttpServer::Limits& limits,
+                             std::size_t want, std::string& body) {
+  char buf[4096];
+  while (body.size() < want) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, limits.read_timeout_ms);
+    if (pr == 0) return ReadStatus::kTimeout;
+    if (pr < 0) return ReadStatus::kClosed;
+    const ssize_t n = ::read(
+        fd, buf,
+        std::min(sizeof(buf), want - body.size()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kClosed;
+    }
+    if (n == 0) return ReadStatus::kClosed;
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  return ReadStatus::kOk;
 }
 
 bool parse_request_line(const std::string& head, HttpRequest& req) {
@@ -105,7 +192,19 @@ HttpServer::HttpServer(int port, int handler_threads)
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::route(std::string path, Handler handler) {
-  routes_.emplace_back(std::move(path), std::move(handler));
+  route("GET", std::move(path), std::move(handler));
+}
+
+void HttpServer::route(std::string method, std::string path,
+                       Handler handler) {
+  routes_.push_back(
+      {std::move(method), std::move(path), false, std::move(handler)});
+}
+
+void HttpServer::route_prefix(std::string method, std::string prefix,
+                              Handler handler) {
+  routes_.push_back(
+      {std::move(method), std::move(prefix), true, std::move(handler)});
 }
 
 bool HttpServer::start() {
@@ -222,6 +321,39 @@ void HttpServer::handler_loop() {
   }
 }
 
+void HttpServer::dispatch(const HttpRequest& req, HttpResponse& res) const {
+  // GET routes answer HEAD too (the body is stripped by the caller).
+  const std::string& method = req.method == "HEAD" ? "GET" : req.method;
+  const Route* best = nullptr;
+  bool path_known = false;
+  for (const Route& r : routes_) {
+    const bool path_match =
+        r.prefix ? req.path.compare(0, r.path.size(), r.path) == 0
+                 : req.path == r.path;
+    if (!path_match) continue;
+    path_known = true;
+    if (r.method != method) continue;
+    // Exact beats prefix; longer prefix beats shorter.
+    if (best == nullptr || (best->prefix && !r.prefix) ||
+        (best->prefix && r.prefix && r.path.size() > best->path.size())) {
+      best = &r;
+    }
+  }
+  if (best != nullptr) {
+    res.status = 200;
+    res.body.clear();
+    best->handler(req, res);
+    return;
+  }
+  if (path_known) {
+    res.status = 405;
+    res.body = "method not allowed for this endpoint\n";
+    return;
+  }
+  res.status = 404;
+  res.body = "no such endpoint\n";
+}
+
 void HttpServer::serve_connection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -229,21 +361,54 @@ void HttpServer::serve_connection(int fd) {
   std::string head;
   HttpRequest req;
   HttpResponse res;
-  if (!read_request_head(fd, head) || !parse_request_line(head, req)) {
+  const ReadStatus hs = read_request_head(fd, limits_, head, req.body);
+  if (hs == ReadStatus::kClosed) return;  // nobody left to answer
+  if (hs == ReadStatus::kTimeout) {
+    res.status = 408;
+    res.body = "timed out reading request\n";
+  } else if (hs == ReadStatus::kTooLarge) {
+    res.status = 413;
+    res.body = "request head too large\n";
+  } else if (!parse_request_line(head, req)) {
     res.status = 400;
     res.body = "malformed request\n";
-  } else if (req.method != "GET" && req.method != "HEAD") {
-    res.status = 405;
-    res.body = "only GET is supported\n";
   } else {
-    res.status = 404;
-    res.body = "no such endpoint\n";
-    for (const auto& [path, handler] : routes_) {
-      if (path == req.path) {
-        res.status = 200;
-        res.body.clear();
-        handler(req, res);
-        break;
+    std::string value;
+    std::size_t content_length = 0;
+    if (find_header(head, "Content-Length", value)) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || errno != 0) {
+        res.status = 400;
+        res.body = "malformed Content-Length\n";
+        send_response(fd, res);
+        served_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      content_length = static_cast<std::size_t>(n);
+    }
+    if (content_length > limits_.max_body_bytes) {
+      res.status = 413;
+      res.body = "request body exceeds " +
+                 std::to_string(limits_.max_body_bytes) + " bytes\n";
+    } else {
+      if (content_length > 0 &&
+          find_header(head, "Expect", value) &&
+          value.find("100-continue") != std::string::npos) {
+        // curl sends Expect for bodies over 1 KiB and waits for this nod.
+        static const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+        write_all(fd, kContinue, sizeof(kContinue) - 1);
+      }
+      const ReadStatus bs =
+          read_request_body(fd, limits_, content_length, req.body);
+      if (bs == ReadStatus::kClosed) return;
+      if (bs == ReadStatus::kTimeout) {
+        res.status = 408;
+        res.body = "timed out reading request body\n";
+      } else {
+        req.body.resize(content_length);  // drop any pipelined excess
+        dispatch(req, res);
       }
     }
   }
@@ -253,6 +418,13 @@ void HttpServer::serve_connection(int fd) {
 }
 
 std::string http_get(int port, const std::string& path, int timeout_ms) {
+  return http_request(port, "GET", path, std::string(), std::string(),
+                      timeout_ms);
+}
+
+std::string http_request(int port, const std::string& method,
+                         const std::string& path, const std::string& body,
+                         const std::string& content_type, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return {};
   sockaddr_in addr{};
@@ -264,9 +436,16 @@ std::string http_get(int port, const std::string& path, int timeout_ms) {
     ::close(fd);
     return {};
   }
-  const std::string req = "GET " + path +
-                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                          "Connection: close\r\n\r\n";
+  std::string req = method + " " + path +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  if (method != "GET" && method != "HEAD") {
+    if (!content_type.empty()) {
+      req += "Content-Type: " + content_type + "\r\n";
+    }
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "Connection: close\r\n\r\n";
+  if (method != "GET" && method != "HEAD") req += body;
   write_all(fd, req.data(), req.size());
 
   std::string out;
@@ -297,9 +476,43 @@ int http_split_response(const std::string& raw, std::string& body) {
     if (raw[i] < '0' || raw[i] > '9') return 0;
     status = status * 10 + (raw[i] - '0');
   }
+  // An interim 100 Continue is followed by the real response; skip it.
+  if (status == 100) {
+    const std::size_t blank = raw.find("\r\n\r\n");
+    if (blank == std::string::npos) return 0;
+    return http_split_response(raw.substr(blank + 4), body);
+  }
   const std::size_t blank = raw.find("\r\n\r\n");
   if (blank != std::string::npos) body = raw.substr(blank + 4);
   return status;
+}
+
+std::string http_header(const std::string& raw, const std::string& name) {
+  const std::size_t end = raw.find("\r\n\r\n");
+  std::size_t pos = raw.find("\r\n");
+  while (pos != std::string::npos && pos < end) {
+    const std::size_t eol = raw.find("\r\n", pos + 2);
+    if (eol == std::string::npos) break;
+    const std::string line = raw.substr(pos + 2, eol - pos - 2);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t s = colon + 1;
+        while (s < line.size() && line[s] == ' ') ++s;
+        return line.substr(s);
+      }
+    }
+    pos = eol;
+  }
+  return {};
 }
 
 }  // namespace tsmo::obs

@@ -1,15 +1,19 @@
 #pragma once
 
-// Minimal embedded HTTP/1.1 server (DESIGN.md §10).  POSIX sockets only —
-// no third-party dependency.  One acceptor thread polls the listening
-// socket (~200 ms tick so stop() is prompt) and hands accepted fds to a
-// small fixed pool of handler threads over a bounded internal queue; when
-// the queue is full the connection is refused with 503 from the acceptor
-// itself so a scrape storm cannot pile up unbounded work.
+// Minimal embedded HTTP/1.1 server (DESIGN.md §10, §12).  POSIX sockets
+// only — no third-party dependency.  One acceptor thread polls the
+// listening socket (~200 ms tick so stop() is prompt) and hands accepted
+// fds to a small fixed pool of handler threads over a bounded internal
+// queue; when the queue is full the connection is refused with 503 from
+// the acceptor itself so a scrape storm cannot pile up unbounded work.
 //
-// Only GET is supported (all endpoints are read-only).  Responses are
-// `Connection: close` — every request gets a fresh connection, which
-// keeps the server stateless and the handler loop trivial.
+// Originally read-only (GET exact-match routes); the job plane extended
+// it with method-aware exact and prefix routes, request bodies (read up
+// to Limits::max_body_bytes, 413 beyond), and per-read timeouts (408 when
+// a slow client stalls mid-request, so it cannot wedge a handler thread).
+// Responses are `Connection: close` — every request gets a fresh
+// connection, which keeps the server stateless and the handler loop
+// trivial.
 
 #include <atomic>
 #include <condition_variable>
@@ -19,27 +23,43 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tsmo::obs {
 
-/// A parsed request: method + path with the query string split off.
+/// A parsed request: method + path with the query string split off, plus
+/// the body (empty unless the client sent Content-Length).
 struct HttpRequest {
   std::string method;
   std::string path;
   std::string query;
+  std::string body;
 };
 
-/// A response under construction; handlers fill status/body/content_type.
+/// A response under construction; handlers fill status/body/content_type
+/// and may append extra headers (e.g. Retry-After).
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 class HttpServer {
  public:
   using Handler = std::function<void(const HttpRequest&, HttpResponse&)>;
+
+  /// Defensive request limits: a client that sends more than
+  /// `max_body_bytes` of body is refused with 413 (the connection closes
+  /// without reading the excess), and one that stalls longer than
+  /// `read_timeout_ms` mid-head or mid-body gets 408 instead of pinning a
+  /// handler thread forever.
+  struct Limits {
+    std::size_t max_head_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 1 << 20;
+    int read_timeout_ms = 5000;
+  };
 
   /// `port` 0 asks the kernel for an ephemeral port (see port()).
   explicit HttpServer(int port, int handler_threads = 2);
@@ -51,6 +71,18 @@ class HttpServer {
   /// Registers `handler` for exact-match GET `path`.  Must be called
   /// before start().
   void route(std::string path, Handler handler);
+
+  /// Registers `handler` for exact-match `method` (e.g. "POST") `path`.
+  void route(std::string method, std::string path, Handler handler);
+
+  /// Registers `handler` for every `method` request whose path starts
+  /// with `prefix` (e.g. "DELETE" + "/jobs/").  Exact routes win over
+  /// prefix routes; among prefix routes the longest match wins.
+  void route_prefix(std::string method, std::string prefix, Handler handler);
+
+  /// Replaces the request limits.  Must be called before start().
+  void set_limits(const Limits& limits) { limits_ = limits; }
+  const Limits& limits() const noexcept { return limits_; }
 
   /// Binds, listens and launches the acceptor + handler threads.
   /// Returns false (with reason()) if the socket setup fails.
@@ -76,16 +108,25 @@ class HttpServer {
   }
 
  private:
+  struct Route {
+    std::string method;
+    std::string path;
+    bool prefix = false;
+    Handler handler;
+  };
+
   void accept_loop();
   void handler_loop();
   void serve_connection(int fd);
   bool enqueue(int fd);
+  void dispatch(const HttpRequest& req, HttpResponse& res) const;
 
   int port_;
   int handler_threads_;
   int listen_fd_ = -1;
   std::string reason_;
-  std::vector<std::pair<std::string, Handler>> routes_;
+  Limits limits_;
+  std::vector<Route> routes_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
@@ -107,8 +148,20 @@ class HttpServer {
 std::string http_get(int port, const std::string& path,
                      int timeout_ms = 2000);
 
+/// General single-request client: sends `method` `path` with `body`
+/// (Content-Length included whenever method is not GET/HEAD), returns the
+/// raw response or an empty string on connect/IO failure.
+std::string http_request(int port, const std::string& method,
+                         const std::string& path, const std::string& body,
+                         const std::string& content_type =
+                             "application/json; charset=utf-8",
+                         int timeout_ms = 5000);
+
 /// Splits a raw response from http_get() into (status code, body);
 /// returns status 0 when the response is empty/unparseable.
 int http_split_response(const std::string& raw, std::string& body);
+
+/// Case-insensitive header lookup in a raw response; empty when absent.
+std::string http_header(const std::string& raw, const std::string& name);
 
 }  // namespace tsmo::obs

@@ -1,0 +1,69 @@
+#include "obs/job_queue.hpp"
+
+namespace tsmo::obs {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+bool JobQueue::try_push(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(id);
+    ++pushed_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<std::uint64_t> JobQueue::pop_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  const std::uint64_t id = queue_.front();
+  queue_.pop_front();
+  ++popped_;
+  return id;
+}
+
+std::vector<std::uint64_t> JobQueue::close() {
+  std::vector<std::uint64_t> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    drained.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+  }
+  cv_.notify_all();
+  return drained;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::uint64_t JobQueue::pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+std::uint64_t JobQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+std::uint64_t JobQueue::popped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return popped_;
+}
+
+}  // namespace tsmo::obs

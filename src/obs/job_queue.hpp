@@ -1,0 +1,62 @@
+#pragma once
+
+// Bounded FIFO admission queue of the job plane (DESIGN.md §12).
+//
+// The front end (HTTP handler threads) calls try_push(); when the queue is
+// at capacity the push is refused *synchronously* — the caller turns that
+// into 429 + Retry-After, so backpressure reaches the client instead of
+// piling up unbounded work behind the accept loop.  A fixed pool of
+// executor threads blocks in pop_wait(); close() wakes them all for
+// shutdown and drains the remaining ids back to the caller so queued jobs
+// can be marked cancelled instead of silently lost.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace tsmo::obs {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  /// Admits one job id; false when the queue is full or closed (the
+  /// caller distinguishes via closed()).
+  bool try_push(std::uint64_t id);
+
+  /// Blocks until an id is available or the queue is closed; nullopt once
+  /// closed (ids still queued at close time are handed back by close()).
+  std::optional<std::uint64_t> pop_wait();
+
+  /// Closes the queue: subsequent try_push() calls fail and blocked
+  /// pop_wait() callers wake with nullopt.  Returns the ids that were
+  /// still queued — ids no executor will ever pop, so shutdown can mark
+  /// them cancelled instead of silently losing them.
+  std::vector<std::uint64_t> close();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t depth() const;
+  bool closed() const;
+
+  /// Admission counters (monotone; conservation: pushed == popped +
+  /// drained-at-close).
+  std::uint64_t pushed() const;
+  std::uint64_t rejected() const;
+  std::uint64_t popped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::uint64_t> queue_;
+  bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+}  // namespace tsmo::obs

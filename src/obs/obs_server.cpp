@@ -5,6 +5,7 @@
 #include "obs/buildinfo.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/job_manager.hpp"
 #include "util/json.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -77,14 +78,24 @@ ObsServer::ObsServer(Options opts)
     res.content_type = kJsonContentType;
     res.body = os.str();
   });
-  server_.route("/", [](const HttpRequest&, HttpResponse& res) {
+  server_.route("/", [this](const HttpRequest&, HttpResponse& res) {
     res.body =
         "tsmo operational plane\n"
         "  /metrics    Prometheus exposition of the telemetry registry\n"
         "  /healthz    liveness + stall watchdog verdicts\n"
         "  /status     live Pareto front and per-worker progress\n"
         "  /buildinfo  git sha, compiler, flags\n";
+    if (jobs_ != nullptr) {
+      res.body +=
+          "  /jobs       POST submit, GET list; /jobs/<id> status, "
+          "/jobs/<id>/result, DELETE cancel\n";
+    }
   });
+}
+
+void ObsServer::attach_jobs(JobManager* jobs) {
+  jobs_ = jobs;
+  if (jobs_ != nullptr) jobs_->install_routes(server_);
 }
 
 bool ObsServer::start() {
@@ -122,6 +133,29 @@ void ObsServer::handle_metrics(HttpResponse& res) {
   append_counter(body, "tsmo_obs_flight_events_total",
                  "Events recorded by the flight recorder ring.",
                  FlightRecorder::instance().recorded());
+  if (jobs_ != nullptr) {
+    const JobManager::Stats js = jobs_->stats();
+    append_counter(body, "tsmo_jobs_submitted_total",
+                   "POST /jobs submissions that reached admission.",
+                   js.submitted);
+    append_counter(body, "tsmo_jobs_accepted_total",
+                   "Jobs admitted into the bounded queue.", js.accepted);
+    append_counter(body, "tsmo_jobs_rejected_total",
+                   "Jobs refused with 429 by admission control.",
+                   js.rejected);
+    append_counter(body, "tsmo_jobs_done_total",
+                   "Jobs that finished successfully.", js.done);
+    append_counter(body, "tsmo_jobs_failed_total", "Jobs that failed.",
+                   js.failed);
+    append_counter(body, "tsmo_jobs_cancelled_total",
+                   "Jobs cancelled while queued or running.", js.cancelled);
+    append_gauge(body, "tsmo_jobs_queue_depth",
+                 "Jobs waiting in the admission queue.",
+                 static_cast<double>(js.queue_depth));
+    append_gauge(body, "tsmo_jobs_running",
+                 "Jobs currently executing on the pool.",
+                 static_cast<double>(js.running));
+  }
   if (const ConvergenceRecorder* rec =
           recorder_.load(std::memory_order_acquire)) {
     const ConvergenceRecorder::LiveStatus live = rec->live_status();

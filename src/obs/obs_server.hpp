@@ -13,9 +13,14 @@
 //   GET /buildinfo  build provenance (git sha, compiler, flags).
 //   GET /           plain-text index of the endpoints above.
 //
-// Everything served is observation-only: handlers read atomics, take the
-// recorder mutex briefly, and never touch search state or RNGs, so golden
-// -seed fingerprints are identical with the server on or off.
+// With attach_jobs() the same server also fronts the job plane
+// (DESIGN.md §12): POST /jobs, GET /jobs[/<id>[/result]], DELETE
+// /jobs/<id>, and /metrics grows tsmo_jobs_* counters and queue gauges.
+//
+// Everything served (job mutation endpoints aside) is observation-only:
+// handlers read atomics, take the recorder mutex briefly, and never touch
+// search state or RNGs, so golden-seed fingerprints are identical with
+// the server on or off.
 
 #include <atomic>
 #include <cstdint>
@@ -25,6 +30,8 @@
 #include "obs/http_server.hpp"
 
 namespace tsmo::obs {
+
+class JobManager;
 
 class ObsServer {
  public:
@@ -49,6 +56,11 @@ class ObsServer {
     recorder_.store(rec, std::memory_order_release);
   }
 
+  /// Mounts the job plane: registers the /jobs routes and adds job
+  /// counters to /metrics.  Must be called before start(); `jobs` must
+  /// outlive the server.
+  void attach_jobs(JobManager* jobs);
+
   /// /metrics scrapes answered so far.
   std::uint64_t scrapes() const noexcept {
     return scrapes_.load(std::memory_order_relaxed);
@@ -60,6 +72,7 @@ class ObsServer {
   void handle_status(HttpResponse& res);
 
   HttpServer server_;
+  JobManager* jobs_ = nullptr;  ///< set before start(), then read-only
   std::atomic<const ConvergenceRecorder*> recorder_{nullptr};
   std::atomic<std::uint64_t> scrapes_{0};
   std::uint64_t start_ns_ = 0;

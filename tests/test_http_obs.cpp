@@ -516,6 +516,95 @@ TEST(HttpObs, ConcurrentScrapesDuringLiveRunStayValid) {
 }
 
 // ==========================================================================
+// Defensive request limits (HttpServer::Limits): 413 / 408
+// ==========================================================================
+
+/// Bare HttpServer with one echo route and deliberately tiny limits.
+struct TinyLimitServer {
+  obs::HttpServer server{0, 1};
+  TinyLimitServer() {
+    obs::HttpServer::Limits limits;
+    limits.max_head_bytes = 256;
+    limits.max_body_bytes = 64;
+    limits.read_timeout_ms = 150;
+    server.set_limits(limits);
+    server.route("POST", "/echo",
+                 [](const obs::HttpRequest& req, obs::HttpResponse& res) {
+                   res.body = req.body;
+                 });
+  }
+  ~TinyLimitServer() { server.stop(); }
+};
+
+TEST(HttpLimits, BodyWithinLimitRoundTripsUnderTightLimits) {
+  TinyLimitServer tiny;
+  ASSERT_TRUE(tiny.server.start()) << tiny.server.reason();
+  std::string body;
+  EXPECT_EQ(obs::http_split_response(
+                obs::http_request(tiny.server.port(), "POST", "/echo",
+                                  "hello limits"),
+            body),
+            200);
+  EXPECT_EQ(body, "hello limits");
+}
+
+TEST(HttpLimits, OversizedDeclaredBodyGets413) {
+  TinyLimitServer tiny;
+  ASSERT_TRUE(tiny.server.start()) << tiny.server.reason();
+  // 200 declared bytes against a 64-byte cap: refused from the declared
+  // Content-Length alone, before the body is read.
+  const std::string payload(200, 'x');
+  const std::string raw = send_raw(
+      tiny.server.port(),
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+          std::to_string(payload.size()) + "\r\n\r\n" + payload);
+  EXPECT_NE(raw.find("413"), std::string::npos) << raw;
+  EXPECT_NE(raw.find("request body exceeds 64 bytes"), std::string::npos)
+      << raw;
+}
+
+TEST(HttpLimits, OversizedRequestHeadGets413) {
+  TinyLimitServer tiny;
+  ASSERT_TRUE(tiny.server.start()) << tiny.server.reason();
+  // A header block past max_head_bytes with no terminating blank line.
+  std::string head = "GET /echo HTTP/1.1\r\n";
+  while (head.size() <= 300) head += "X-Filler: aaaaaaaaaaaaaaaa\r\n";
+  const std::string raw = send_raw(tiny.server.port(), head);
+  EXPECT_NE(raw.find("413"), std::string::npos) << raw;
+  EXPECT_NE(raw.find("request head too large"), std::string::npos) << raw;
+}
+
+TEST(HttpLimits, StalledClientMidHeadGets408) {
+  TinyLimitServer tiny;
+  ASSERT_TRUE(tiny.server.start()) << tiny.server.reason();
+  // An unterminated head: the client "stalls" and just waits.  The
+  // 150 ms read timeout must answer 408 instead of pinning the (single)
+  // handler thread; send_raw then collects the response until close.
+  const std::string raw =
+      send_raw(tiny.server.port(), "GET /echo HTTP/1.1\r\nHost: x\r\n");
+  EXPECT_NE(raw.find("408"), std::string::npos) << raw;
+  // The handler thread is free again: a normal request still succeeds.
+  std::string body;
+  EXPECT_EQ(obs::http_split_response(
+                obs::http_request(tiny.server.port(), "POST", "/echo", "ok"),
+                body),
+            200);
+  EXPECT_EQ(body, "ok");
+}
+
+TEST(HttpLimits, StalledClientMidBodyGets408) {
+  TinyLimitServer tiny;
+  ASSERT_TRUE(tiny.server.start()) << tiny.server.reason();
+  // Complete head declaring 32 body bytes, but only 4 ever sent.
+  const std::string raw = send_raw(
+      tiny.server.port(),
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 32\r\n\r\nabcd");
+  EXPECT_NE(raw.find("408"), std::string::npos) << raw;
+  EXPECT_NE(raw.find("timed out reading request body"), std::string::npos)
+      << raw;
+}
+
+// ==========================================================================
 // Flight recorder
 // ==========================================================================
 

@@ -1,0 +1,333 @@
+// Black-box HTTP conformance of the job plane (DESIGN.md §12): full
+// submit → poll → result lifecycle, input validation (400), unknown ids
+// (404), method discipline (405), admission control (429 + Retry-After),
+// and mid-run cancellation yielding a stopped_early partial result.
+// Everything here talks to the server over real sockets — the same path
+// external clients use.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "harness/job_runner.hpp"
+#include "obs/http_server.hpp"
+#include "obs/job_manager.hpp"
+#include "obs/obs_server.hpp"
+#include "util/json.hpp"
+#include "vrptw/generator.hpp"
+#include "vrptw/solomon_io.hpp"
+
+namespace tsmo {
+namespace {
+
+/// One service instance on an ephemeral port: ObsServer + JobManager wired
+/// exactly like `solver_cli --serve-jobs`.
+struct JobService {
+  explicit JobService(obs::JobManagerConfig config = {})
+      : jobs(config, make_job_runner()) {
+    server.attach_jobs(&jobs);
+    EXPECT_TRUE(server.start()) << server.reason();
+    jobs.start();
+  }
+  ~JobService() {
+    jobs.shutdown();
+    server.stop();
+  }
+
+  int port() const noexcept { return server.port(); }
+
+  /// Issues one request, returns the status and fills `body`.
+  int request(const std::string& method, const std::string& path,
+              const std::string& payload, std::string& body,
+              std::string* raw_out = nullptr) {
+    const std::string raw =
+        obs::http_request(port(), method, path, payload);
+    if (raw_out != nullptr) *raw_out = raw;
+    return obs::http_split_response(raw, body);
+  }
+
+  obs::JobManager jobs;
+  obs::ObsServer server;
+};
+
+/// A quick seq job on a generated instance (~milliseconds).
+std::string quick_body(std::uint64_t seed = 7,
+                       std::int64_t evaluations = 3000) {
+  std::ostringstream os;
+  os << "{\"instance\": \"R1_1_1\", \"algorithm\": \"seq\", \"params\": "
+     << "{\"evaluations\": " << evaluations << ", \"seed\": " << seed
+     << "}}";
+  return os.str();
+}
+
+/// A job big enough to still be running when we cancel it.
+std::string long_body() {
+  return "{\"instance\": \"R1_1_1\", \"algorithm\": \"seq\", \"params\": "
+         "{\"evaluations\": 500000000, \"neighborhood\": 60}}";
+}
+
+std::string id_of(const std::string& submit_body) {
+  const std::unique_ptr<JsonValue> doc = json_parse(submit_body);
+  if (!doc) return "";
+  const JsonValue* id = doc->find("id");
+  return id != nullptr && id->is_string() ? id->as_string() : "";
+}
+
+std::string state_of(JobService& svc, const std::string& id) {
+  std::string body;
+  if (svc.request("GET", "/jobs/" + id, "", body) != 200) return "";
+  const std::unique_ptr<JsonValue> doc = json_parse(body);
+  if (!doc) return "";
+  const JsonValue* state = doc->find("state");
+  return state != nullptr ? state->as_string() : "";
+}
+
+/// Polls until the job reaches `want` (or any terminal state when `want`
+/// is empty); false on timeout.
+bool wait_for_state(JobService& svc, const std::string& id,
+                    const std::string& want, int timeout_ms = 30000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string state = state_of(svc, id);
+    if (!want.empty() && state == want) return true;
+    if (want.empty() && (state == "done" || state == "failed" ||
+                         state == "cancelled")) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(JobApi, SubmitPollResultLifecycle) {
+  JobService svc;
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body), 202) << body;
+  const std::string id = id_of(body);
+  ASSERT_FALSE(id.empty()) << body;
+  EXPECT_NE(body.find("\"state\": \"queued\""), std::string::npos);
+  EXPECT_NE(body.find("\"status_url\": \"/jobs/" + id + "\""),
+            std::string::npos);
+
+  ASSERT_TRUE(wait_for_state(svc, id, "done"));
+
+  // Terminal status carries the run summary with hex fingerprints.
+  ASSERT_EQ(svc.request("GET", "/jobs/" + id, "", body), 200);
+  EXPECT_NE(body.find("\"algorithm\": \"sequential\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"trace_fingerprint\": \"0x"), std::string::npos);
+  EXPECT_NE(body.find("\"archive_fingerprint\": \"0x"), std::string::npos);
+  EXPECT_NE(body.find("\"stopped_early\": false"), std::string::npos);
+
+  // The result is the full RunResult document.
+  ASSERT_EQ(svc.request("GET", "/jobs/" + id + "/result", "", body), 200);
+  const std::unique_ptr<JsonValue> doc = json_parse(body);
+  ASSERT_NE(doc, nullptr) << body.substr(0, 300);
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("algorithm")->as_string(), "sequential");
+  EXPECT_EQ(doc->find("instance")->find("name")->as_string(), "R1_1_1");
+  EXPECT_EQ(doc->find("evaluations")->as_int64(), 3000);
+  ASSERT_NE(doc->find("front"), nullptr);
+  EXPECT_GT(doc->find("front")->size(), 0u);
+  ASSERT_NE(doc->find("archive_fingerprint"), nullptr);
+  EXPECT_EQ(doc->find("archive_fingerprint")->as_string().substr(0, 2),
+            "0x");
+
+  // The listing reflects the terminal job and conserves the counters.
+  ASSERT_EQ(svc.request("GET", "/jobs", "", body), 200);
+  EXPECT_NE(body.find("\"id\": \"" + id + "\""), std::string::npos);
+  EXPECT_NE(body.find("\"done\": 1"), std::string::npos) << body;
+}
+
+TEST(JobApi, SolomonTextBodyRoundTrips) {
+  // Serialize a small generated instance to Solomon text and submit that
+  // (bodies >1 KiB also exercise the Expect: 100-continue path).
+  GeneratorConfig config;
+  config.num_customers = 30;
+  config.seed = 11;
+  config.name = "job_api_R30";
+  const Instance inst = generate_instance(config);
+  std::ostringstream solomon;
+  write_solomon(solomon, inst);
+
+  std::ostringstream os;
+  os << "{\"solomon\": \"" << JsonWriter::escape(solomon.str())
+     << "\", \"params\": {\"evaluations\": 2000}}";
+
+  JobService svc;
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", os.str(), body), 202) << body;
+  const std::string id = id_of(body);
+  ASSERT_TRUE(wait_for_state(svc, id, "done"));
+  ASSERT_EQ(svc.request("GET", "/jobs/" + id + "/result", "", body), 200);
+  EXPECT_NE(body.find("job_api_R30"), std::string::npos);
+}
+
+TEST(JobApi, MalformedSubmissionsGet400) {
+  JobService svc;
+  std::string body;
+  EXPECT_EQ(svc.request("POST", "/jobs", "not json at all", body), 400);
+  EXPECT_NE(body.find("error"), std::string::npos);
+  EXPECT_EQ(svc.request("POST", "/jobs", "[1, 2, 3]", body), 400);
+  EXPECT_EQ(svc.request("POST", "/jobs", "{\"algorithm\": \"seq\"}", body),
+            400);
+  EXPECT_NE(body.find("instance"), std::string::npos) << body;
+  // Nothing was admitted.
+  EXPECT_EQ(svc.jobs.stats().accepted, 0u);
+}
+
+TEST(JobApi, BadJobParametersFailTheJobNotTheServer) {
+  JobService svc;
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs",
+                        "{\"instance\": \"NOPE_9_9\"}", body),
+            202);
+  const std::string bad_instance = id_of(body);
+  ASSERT_EQ(svc.request("POST", "/jobs",
+                        "{\"instance\": \"R1_1_1\", \"algorithm\": "
+                        "\"warp\"}",
+                        body),
+            202);
+  const std::string bad_algorithm = id_of(body);
+
+  ASSERT_TRUE(wait_for_state(svc, bad_instance, "failed"));
+  ASSERT_TRUE(wait_for_state(svc, bad_algorithm, "failed"));
+  ASSERT_EQ(svc.request("GET", "/jobs/" + bad_algorithm, "", body), 200);
+  EXPECT_NE(body.find("unknown algorithm"), std::string::npos) << body;
+  // A failed job has no result document.
+  EXPECT_EQ(svc.request("GET", "/jobs/" + bad_instance + "/result", "",
+                        body),
+            500);
+  // The plane is still healthy.
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body), 202);
+  ASSERT_TRUE(wait_for_state(svc, id_of(body), "done"));
+}
+
+TEST(JobApi, UnknownIdsGet404) {
+  JobService svc;
+  std::string body;
+  EXPECT_EQ(svc.request("GET", "/jobs/job-999", "", body), 404);
+  EXPECT_EQ(svc.request("GET", "/jobs/job-999/result", "", body), 404);
+  EXPECT_EQ(svc.request("DELETE", "/jobs/job-999", "", body), 404);
+  EXPECT_EQ(svc.request("GET", "/jobs/banana", "", body), 404);
+  EXPECT_EQ(svc.request("GET", "/jobs/job-", "", body), 404);
+}
+
+TEST(JobApi, WrongMethodsGet405) {
+  JobService svc;
+  std::string body;
+  EXPECT_EQ(svc.request("PUT", "/jobs", "{}", body), 405);
+  EXPECT_EQ(svc.request("DELETE", "/jobs", "", body), 405);
+  EXPECT_EQ(svc.request("POST", "/jobs/job-1", "{}", body), 405);
+  // The read-only plane rejects mutations too.
+  EXPECT_EQ(svc.request("POST", "/metrics", "", body), 405);
+}
+
+TEST(JobApi, FullQueueGets429WithRetryAfter) {
+  obs::JobManagerConfig config;
+  config.queue_capacity = 1;
+  config.executors = 1;
+  config.retry_after_seconds = 3;
+  JobService svc(config);
+
+  // One long job occupies the single executor; the next fills the queue;
+  // the third must be refused with backpressure advice.
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", long_body(), body), 202);
+  const std::string running = id_of(body);
+  ASSERT_TRUE(wait_for_state(svc, running, "running"));
+  ASSERT_EQ(svc.request("POST", "/jobs", long_body(), body), 202);
+  const std::string queued = id_of(body);
+
+  std::string raw;
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body, &raw), 429)
+      << body;
+  EXPECT_EQ(obs::http_header(raw, "Retry-After"), "3") << raw;
+  EXPECT_NE(body.find("queue full"), std::string::npos);
+  EXPECT_EQ(svc.jobs.stats().rejected, 1u);
+
+  // Cancel both so teardown is prompt.
+  EXPECT_EQ(svc.request("DELETE", "/jobs/" + queued, "", body), 202);
+  EXPECT_NE(body.find("\"state\": \"cancelled\""), std::string::npos);
+  EXPECT_EQ(svc.request("DELETE", "/jobs/" + running, "", body), 202);
+  ASSERT_TRUE(wait_for_state(svc, running, "cancelled"));
+
+  // Rejected submissions never appear in the registry.
+  ASSERT_EQ(svc.request("GET", "/jobs", "", body), 200);
+  EXPECT_EQ(body.find("job-3"), std::string::npos) << body;
+}
+
+TEST(JobApi, MidRunCancelYieldsStoppedEarlyPartialResult) {
+  JobService svc;
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", long_body(), body), 202);
+  const std::string id = id_of(body);
+  ASSERT_TRUE(wait_for_state(svc, id, "running"));
+
+  // Result is not ready while the job runs: 409 with the status document.
+  ASSERT_EQ(svc.request("GET", "/jobs/" + id + "/result", "", body), 409);
+  EXPECT_NE(body.find("\"state\": \"running\""), std::string::npos);
+
+  ASSERT_EQ(svc.request("DELETE", "/jobs/" + id, "", body), 202);
+  EXPECT_NE(body.find("\"cancel_requested\": true"), std::string::npos);
+  ASSERT_TRUE(wait_for_state(svc, id, "cancelled"));
+
+  // The drained engine left a partial RunResult with stopped_early set.
+  ASSERT_EQ(svc.request("GET", "/jobs/" + id + "/result", "", body), 200);
+  const std::unique_ptr<JsonValue> doc = json_parse(body);
+  ASSERT_NE(doc, nullptr) << body.substr(0, 300);
+  ASSERT_NE(doc->find("stopped_early"), nullptr) << body.substr(0, 300);
+  EXPECT_TRUE(doc->find("stopped_early")->as_bool());
+  // Far fewer evaluations than the (absurd) budget: it really stopped.
+  EXPECT_LT(doc->find("evaluations")->as_int64(), 500000000);
+
+  // Cancelling a terminal job is refused.
+  EXPECT_EQ(svc.request("DELETE", "/jobs/" + id, "", body), 409);
+}
+
+TEST(JobApi, CancelQueuedJobNeverRuns) {
+  obs::JobManagerConfig config;
+  config.queue_capacity = 4;
+  config.executors = 1;
+  JobService svc(config);
+
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", long_body(), body), 202);
+  const std::string running = id_of(body);
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body), 202);
+  const std::string queued = id_of(body);
+
+  ASSERT_EQ(svc.request("DELETE", "/jobs/" + queued, "", body), 202);
+  EXPECT_EQ(state_of(svc, queued), "cancelled");
+  // No result ever existed for it.
+  EXPECT_EQ(svc.request("GET", "/jobs/" + queued + "/result", "", body),
+            409);
+
+  ASSERT_EQ(svc.request("DELETE", "/jobs/" + running, "", body), 202);
+  ASSERT_TRUE(wait_for_state(svc, running, "cancelled"));
+  const obs::JobManager::Stats stats = svc.jobs.stats();
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.done, 0u);
+}
+
+TEST(JobApi, MetricsExposeJobCounters) {
+  JobService svc;
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body), 202);
+  ASSERT_TRUE(wait_for_state(svc, id_of(body), "done"));
+  ASSERT_EQ(svc.request("GET", "/metrics", "", body), 200);
+  EXPECT_NE(body.find("tsmo_jobs_accepted_total 1"), std::string::npos)
+      << body.substr(0, 400);
+  EXPECT_NE(body.find("tsmo_jobs_done_total 1"), std::string::npos);
+  EXPECT_NE(body.find("tsmo_jobs_queue_depth 0"), std::string::npos);
+  ASSERT_EQ(svc.request("GET", "/", "", body), 200);
+  EXPECT_NE(body.find("/jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,174 @@
+// Per-job golden-seed fingerprint guard (DESIGN.md §12): a job's result
+// is a pure function of (instance, params, seed, algorithm, processors).
+// Identical submissions must produce bitwise-identical trace and archive
+// fingerprints regardless of queue interleaving, executor assignment, or
+// concurrent decoy load — and must match a direct in-process run of the
+// very same runner code path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/job_runner.hpp"
+#include "obs/http_server.hpp"
+#include "obs/job_manager.hpp"
+#include "util/json.hpp"
+
+namespace tsmo {
+namespace {
+
+std::string job_body(const std::string& algorithm, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "{\"instance\": \"R1_1_1\", \"algorithm\": \"" << algorithm
+     << "\", \"processors\": 3, \"params\": {\"evaluations\": 4000, "
+     << "\"neighborhood\": 40, \"restart_after\": 15, \"seed\": " << seed
+     << "}}";
+  return os.str();
+}
+
+/// Waits until every named job is terminal; false on timeout.
+bool wait_all_terminal(obs::JobManager& jobs,
+                       const std::vector<std::string>& ids,
+                       int timeout_ms = 60000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (const std::string& id : ids) {
+      if (!obs::is_terminal(jobs.view(id).state)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+std::string submit_ok(obs::JobManager& jobs, const std::string& body) {
+  const obs::JobManager::ApiResponse res = jobs.submit(body);
+  EXPECT_EQ(res.status, 202) << res.body;
+  const std::unique_ptr<JsonValue> doc = json_parse(res.body);
+  if (!doc || doc->find("id") == nullptr) return "";
+  return doc->find("id")->as_string();
+}
+
+TEST(JobDeterminism, DirectRunnerIsReproducible) {
+  const obs::JobContext ctx;
+  const obs::JobOutcome a = run_job_body(job_body("async", 7), ctx);
+  const obs::JobOutcome b = run_job_body(job_body("async", 7), ctx);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_NE(a.trace_fingerprint, 0u);
+  EXPECT_EQ(a.trace_fingerprint, b.trace_fingerprint);
+  EXPECT_EQ(a.archive_fingerprint, b.archive_fingerprint);
+
+  const obs::JobOutcome other = run_job_body(job_body("async", 8), ctx);
+  ASSERT_TRUE(other.ok) << other.error;
+  EXPECT_NE(other.trace_fingerprint, a.trace_fingerprint);
+}
+
+TEST(JobDeterminism, ConcurrentIdenticalSubmissionsFingerprintIdentically) {
+  // Ground truth: the same body run directly, in-process.
+  const obs::JobContext ctx;
+  const obs::JobOutcome direct = run_job_body(job_body("async", 7), ctx);
+  ASSERT_TRUE(direct.ok) << direct.error;
+  ASSERT_NE(direct.trace_fingerprint, 0u);
+
+  // Service side: 4 executors chew through identical submissions
+  // interleaved with decoys (different seeds and algorithms) so jobs run
+  // truly concurrently, on arbitrary executors, in arbitrary order.
+  obs::JobManagerConfig config;
+  config.queue_capacity = 32;
+  config.executors = 4;
+  obs::JobManager jobs(config, make_job_runner());
+  jobs.start();
+
+  std::vector<std::string> identical;
+  std::vector<std::string> decoys;
+  for (int round = 0; round < 4; ++round) {
+    identical.push_back(submit_ok(jobs, job_body("async", 7)));
+    decoys.push_back(submit_ok(jobs, job_body("async", 100 + round)));
+    decoys.push_back(submit_ok(jobs, job_body("coll", 7)));
+  }
+  for (const std::string& id : identical) ASSERT_FALSE(id.empty());
+
+  std::vector<std::string> all = identical;
+  all.insert(all.end(), decoys.begin(), decoys.end());
+  ASSERT_TRUE(wait_all_terminal(jobs, all));
+
+  for (const std::string& id : identical) {
+    const obs::JobManager::JobView v = jobs.view(id);
+    EXPECT_EQ(v.state, obs::JobState::kDone) << id << ": " << v.error;
+    EXPECT_EQ(v.trace_fingerprint, direct.trace_fingerprint) << id;
+    EXPECT_EQ(v.archive_fingerprint, direct.archive_fingerprint) << id;
+    EXPECT_EQ(v.front_size, direct.front_size) << id;
+  }
+  // Decoys with different seeds really are different runs.
+  for (std::size_t i = 0; i < decoys.size(); i += 2) {
+    const obs::JobManager::JobView v = jobs.view(decoys[i]);
+    EXPECT_EQ(v.state, obs::JobState::kDone) << v.error;
+    EXPECT_NE(v.trace_fingerprint, direct.trace_fingerprint);
+  }
+
+  // The result document carries the very fingerprints the views reported
+  // (wall-clock fields differ per run, so no byte-for-byte comparison).
+  const obs::JobManager::ApiResponse res =
+      jobs.result_of(identical.front());
+  ASSERT_EQ(res.status, 200);
+  const std::unique_ptr<JsonValue> doc = json_parse(res.body);
+  ASSERT_NE(doc, nullptr);
+  ASSERT_NE(doc->find("archive_fingerprint"), nullptr);
+  EXPECT_NE(
+      direct.result_json.find(doc->find("archive_fingerprint")->as_string()),
+      std::string::npos);
+  ASSERT_NE(doc->find("trace_fingerprint"), nullptr);
+  EXPECT_NE(
+      direct.result_json.find(doc->find("trace_fingerprint")->as_string()),
+      std::string::npos);
+
+  jobs.shutdown();
+  const obs::JobManager::Stats stats = jobs.stats();
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled);
+}
+
+TEST(JobDeterminism, EveryTsmoAlgorithmIsServiceDeterministic) {
+  // One identical pair per engine family through a loaded 2-executor
+  // pool; each pair must agree with itself.
+  obs::JobManagerConfig config;
+  config.queue_capacity = 32;
+  config.executors = 2;
+  obs::JobManager jobs(config, make_job_runner());
+  jobs.start();
+
+  const std::vector<std::string> algorithms = {"seq", "sync", "async",
+                                               "coll", "hybrid"};
+  std::vector<std::string> first, second;
+  for (const std::string& a : algorithms) {
+    first.push_back(submit_ok(jobs, job_body(a, 13)));
+    second.push_back(submit_ok(jobs, job_body(a, 13)));
+  }
+  std::vector<std::string> all = first;
+  all.insert(all.end(), second.begin(), second.end());
+  ASSERT_TRUE(wait_all_terminal(jobs, all, 120000));
+
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    const obs::JobManager::JobView a = jobs.view(first[i]);
+    const obs::JobManager::JobView b = jobs.view(second[i]);
+    EXPECT_EQ(a.state, obs::JobState::kDone)
+        << algorithms[i] << ": " << a.error;
+    EXPECT_EQ(a.trace_fingerprint, b.trace_fingerprint) << algorithms[i];
+    EXPECT_EQ(a.archive_fingerprint, b.archive_fingerprint)
+        << algorithms[i];
+  }
+  jobs.shutdown();
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,267 @@
+// Job-plane stress (DESIGN.md §12), TSan-friendly: many client threads
+// hammering submit/poll/cancel concurrently.  Invariants under load:
+// no lost or duplicated job ids, counter conservation
+// (accepted == done + failed + cancelled at quiescence, and client-side
+// tallies match the server's), and a clean shutdown with jobs still in
+// flight.  A synthetic runner (injected, like any JobRunner) keeps each
+// job cheap so the thread interleavings — not engine runtime — dominate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http_server.hpp"
+#include "obs/job_manager.hpp"
+#include "obs/obs_server.hpp"
+#include "util/json.hpp"
+
+namespace tsmo {
+namespace {
+
+/// Spins for ~work_ms, honoring the per-job cancel flag like a real
+/// engine's SearchState::budget_exhausted() check.
+obs::JobRunner fake_runner(int work_ms) {
+  return [work_ms](const std::string& body, const obs::JobContext& ctx) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(work_ms);
+    bool cancelled = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (ctx.cancel != nullptr &&
+          ctx.cancel->load(std::memory_order_relaxed)) {
+        cancelled = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    obs::JobOutcome out;
+    out.ok = true;
+    out.algorithm = "fake";
+    out.stopped_early = cancelled;
+    out.archive_fingerprint = std::hash<std::string>{}(body);
+    out.result_json = "{\"algorithm\": \"fake\"}\n";
+    return out;
+  };
+}
+
+std::string id_of(const std::string& submit_body) {
+  const std::unique_ptr<JsonValue> doc = json_parse(submit_body);
+  if (!doc || doc->find("id") == nullptr) return "";
+  return doc->find("id")->as_string();
+}
+
+bool wait_quiescent(obs::JobManager& jobs, int timeout_ms = 30000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const obs::JobManager::Stats s = jobs.stats();
+    if (s.queue_depth == 0 && s.running == 0 &&
+        s.accepted == s.done + s.failed + s.cancelled) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(JobStress, ConcurrentHttpClientsLoseNoIds) {
+  obs::JobManagerConfig config;
+  config.queue_capacity = 8;
+  config.executors = 3;
+  obs::JobManager jobs(config, fake_runner(5));
+  obs::ObsServer::Options so;
+  so.handler_threads = 4;
+  obs::ObsServer server(so);
+  server.attach_jobs(&jobs);
+  ASSERT_TRUE(server.start()) << server.reason();
+  jobs.start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 12;
+  std::mutex mutex;
+  std::vector<std::string> ids;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string payload = "{\"instance\": \"stress-" +
+                                    std::to_string(c * kPerClient + i) +
+                                    "\"}";
+        std::string body;
+        const int status = obs::http_split_response(
+            obs::http_request(server.port(), "POST", "/jobs", payload),
+            body);
+        if (status == 202) {
+          const std::string id = id_of(body);
+          ASSERT_FALSE(id.empty()) << body;
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mutex);
+          ids.push_back(id);
+        } else if (status == 429) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The obs HttpServer sheds accept-queue overload with 503;
+          // anything else would be a bug.
+          if (status != 503) unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_GT(accepted.load(), 0);
+
+  // No duplicate ids were ever handed out.
+  std::set<std::string> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+
+  ASSERT_TRUE(wait_quiescent(jobs));
+  const obs::JobManager::Stats stats = jobs.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(rejected.load()));
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled);
+  // Every accepted id is individually accounted for and terminal.
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(obs::is_terminal(jobs.view(id).state)) << id;
+  }
+
+  jobs.shutdown();
+  server.stop();
+}
+
+TEST(JobStress, SubmitCancelPollStorm) {
+  obs::JobManagerConfig config;
+  config.queue_capacity = 16;
+  config.executors = 2;
+  obs::JobManager jobs(config, fake_runner(10));
+  jobs.start();
+
+  std::mutex mutex;
+  std::vector<std::string> ids;
+  std::atomic<bool> stop{false};
+  std::atomic<int> accepted{0};
+
+  std::vector<std::thread> workers;
+  // Submitters.
+  for (int c = 0; c < 3; ++c) {
+    workers.emplace_back([&, c] {
+      for (int i = 0; i < 40; ++i) {
+        const obs::JobManager::ApiResponse res = jobs.submit(
+            "{\"instance\": \"storm-" + std::to_string(c) + "-" +
+            std::to_string(i) + "\"}");
+        if (res.status == 202) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mutex);
+          ids.push_back(id_of(res.body));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  // Cancellers: race DELETE against the executors over the whole id list.
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string victim;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!ids.empty()) victim = ids[ids.size() / 2];
+        }
+        if (!victim.empty()) {
+          const obs::JobManager::ApiResponse res = jobs.cancel(victim);
+          // Only these outcomes exist: accepted, already-terminal, or a
+          // name raced before its registry insert completed (404 can't
+          // happen here since ids come from completed submits).
+          EXPECT_TRUE(res.status == 202 || res.status == 409)
+              << res.status << " " << res.body;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+  // Pollers: status/result/list must never crash or wedge mid-storm.
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string victim;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!ids.empty()) victim = ids.back();
+        }
+        if (!victim.empty()) {
+          (void)jobs.status_of(victim);
+          (void)jobs.result_of(victim);
+        }
+        (void)jobs.list();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  for (int i = 0; i < 3; ++i) workers[static_cast<std::size_t>(i)].join();
+  ASSERT_TRUE(wait_quiescent(jobs));
+  stop.store(true, std::memory_order_release);
+  for (std::size_t i = 3; i < workers.size(); ++i) workers[i].join();
+
+  const obs::JobManager::Stats stats = jobs.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled);
+  std::set<std::string> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+  jobs.shutdown();
+}
+
+TEST(JobStress, ShutdownWithJobsInFlightDrainsEverything) {
+  obs::JobManagerConfig config;
+  config.queue_capacity = 32;
+  config.executors = 2;
+  obs::JobManager jobs(config, fake_runner(5000));
+  jobs.start();
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) {
+    const obs::JobManager::ApiResponse res = jobs.submit(
+        "{\"instance\": \"flight-" + std::to_string(i) + "\"}");
+    ASSERT_EQ(res.status, 202);
+    ids.push_back(id_of(res.body));
+  }
+  // Let the executors pick up the first couple of jobs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Shutdown must cancel the running jobs cooperatively (the fake runner
+  // honors the flag within ~1 ms) — nowhere near the 5 s per-job budget.
+  const auto t0 = std::chrono::steady_clock::now();
+  jobs.shutdown();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_s, 2.0) << "shutdown did not drain cooperatively";
+
+  // Every accepted job reached a terminal state; nothing was lost.
+  const obs::JobManager::Stats stats = jobs.stats();
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled);
+  EXPECT_GE(stats.cancelled, 6u) << "queued jobs must become cancelled";
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(obs::is_terminal(jobs.view(id).state)) << id;
+  }
+
+  // The closed plane refuses new work.
+  EXPECT_EQ(jobs.submit("{\"instance\": \"late\"}").status, 503);
+  // Idempotent: a second shutdown (and the destructor) is a no-op.
+  jobs.shutdown();
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -115,5 +115,90 @@ TEST(WriteRunJson, RoutesOptional) {
   EXPECT_EQ(os.str().find("\"routes\""), std::string::npos);
 }
 
+// ==========================================================================
+// JsonValue / json_parse (the job-plane request parser)
+// ==========================================================================
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const auto doc = json_parse(
+      "{\"a\": 1, \"b\": -2.5, \"c\": \"hi\", \"d\": true, \"e\": null, "
+      "\"f\": [1, 2, 3], \"g\": {\"nested\": \"yes\"}}");
+  ASSERT_NE(doc, nullptr);
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->size(), 7u);
+  EXPECT_EQ(doc->find("a")->as_int64(), 1);
+  EXPECT_DOUBLE_EQ(doc->find("b")->as_double(), -2.5);
+  EXPECT_EQ(doc->find("c")->as_string(), "hi");
+  EXPECT_TRUE(doc->find("d")->as_bool());
+  EXPECT_TRUE(doc->find("e")->is_null());
+  ASSERT_TRUE(doc->find("f")->is_array());
+  ASSERT_EQ(doc->find("f")->size(), 3u);
+  EXPECT_EQ(doc->find("f")->items()[2].as_int64(), 3);
+  ASSERT_TRUE(doc->find("g")->is_object());
+  EXPECT_EQ(doc->find("g")->find("nested")->as_string(), "yes");
+  EXPECT_EQ(doc->find("absent"), nullptr);
+}
+
+TEST(JsonParse, KeysKeepInputOrderAndLookupIsTyped) {
+  const auto doc = json_parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_NE(doc, nullptr);
+  const std::vector<std::string> want = {"z", "a", "m"};
+  EXPECT_EQ(doc->keys(), want);
+  // Typed accessors fall back instead of crashing on kind mismatches
+  // (numbers keep their raw token in as_string(), by design).
+  EXPECT_EQ(doc->find("z")->as_string(), "1");
+  EXPECT_FALSE(doc->find("z")->as_bool());
+  EXPECT_EQ(doc->find("z")->find("sub"), nullptr);
+}
+
+TEST(JsonParse, Int64StaysExactAboveDoublePrecision) {
+  // 2^53 + 1 is not representable as a double; the raw token must be.
+  const auto doc = json_parse("{\"big\": 9007199254740993, \"neg\": -42}");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->find("big")->as_int64(), 9007199254740993LL);
+  EXPECT_EQ(doc->find("neg")->as_int64(), -42);
+  // A fractional number truncates instead of re-parsing the raw token.
+  const auto frac = json_parse("[2.9]");
+  ASSERT_NE(frac, nullptr);
+  EXPECT_EQ(frac->items()[0].as_int64(), 2);
+}
+
+TEST(JsonParse, StringEscapesRoundTripThroughWriter) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("s").value(std::string("tab\there \"quoted\" back\\slash\nnl"));
+  w.end_object();
+  const auto doc = json_parse(os.str());
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->find("s")->as_string(),
+            "tab\there \"quoted\" back\\slash\nnl");
+  // \uXXXX escapes decode too (UTF-8 output).
+  const auto uni = json_parse("{\"u\": \"a\\u00e9b\"}");
+  ASSERT_NE(uni, nullptr);
+  EXPECT_EQ(uni->find("u")->as_string(), "a\xc3\xa9" "b");
+}
+
+TEST(JsonParse, MalformedInputsReturnNullWithError) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{\"a\": }",
+      "{\"a\": 1,}",
+      "[1, 2",
+      "{\"a\" 1}",
+      "tru",
+      "\"unterminated",
+      "{\"a\": 1} trailing",
+      "[1 2]",
+      "{\"bad\\u00\": 1}",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_EQ(json_parse(text, &error), nullptr) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
 }  // namespace
 }  // namespace tsmo
