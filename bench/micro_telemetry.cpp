@@ -127,6 +127,25 @@ void BM_span_enabled(benchmark::State& state) {
 }
 BENCHMARK(BM_span_enabled);
 
+void BM_span_traced(benchmark::State& state) {
+  // Live-path cost of a span under an ambient trace with an attached
+  // collector: id mint + thread-local swap + one cold mutex on the routed
+  // append (until the budget fills, after which it is count-and-drop).
+  tsmo::telemetry::set_enabled(true);
+  const std::uint64_t trace = tsmo::telemetry::derive_trace_id(77);
+  tsmo::telemetry::TraceBuffer buf(1024);
+  Registry::instance().attach_trace(trace, &buf);
+  tsmo::telemetry::TraceScope scope(tsmo::telemetry::TraceContext{
+      trace, tsmo::telemetry::next_span_id(trace)});
+  for (auto _ : state) {
+    TSMO_SPAN("micro.span_traced");
+  }
+  Registry::instance().detach_trace(trace);
+  tsmo::telemetry::set_enabled(false);
+  Registry::instance().reset();
+}
+BENCHMARK(BM_span_traced);
+
 /// A registry snapshot shaped like a real mid-run scrape: per-operator
 /// counters, per-worker utilization gauges, channel depths and latency
 /// histograms.
@@ -357,6 +376,71 @@ void write_obs_overhead_record(const std::string& path) {
             << " scrapes answered, wrote " << path << '\n';
 }
 
+// ---------------------------------------------------------------------------
+// Causal-tracing overhead guard (DESIGN.md §13): iterations/s of the search
+// loop running fully traced — ambient TraceContext set, a TraceBuffer
+// attached collecting every span and archive.insert instant — vs. the same
+// loop with telemetry equally enabled but untraced.  The delta isolates
+// what tracing itself adds (thread-local context reads, span-id minting,
+// routed appends); spans are per-round granularity, so the bound is
+// tight: < 1%.
+// ---------------------------------------------------------------------------
+
+void write_trace_overhead_record(const std::string& path) {
+  using namespace tsmo;
+  const Instance inst = generate_named("R1_2_1");
+  TsmoParams params;
+  params.max_evaluations = std::numeric_limits<std::int64_t>::max() / 2;
+  params.neighborhood_size = 60;
+  params.seed = 9;
+  const int iters = 600;
+
+  Registry::instance().reset();
+  telemetry::set_enabled(true);
+  search_iters_per_s(inst, params, nullptr, iters, 1);  // warm-up
+  const double off = search_iters_per_s(inst, params, nullptr, iters);
+
+  const std::uint64_t trace = telemetry::derive_trace_id(params.seed);
+  telemetry::TraceBuffer buf(4096);
+  Registry::instance().attach_trace(trace, &buf);
+  double on = 0.0;
+  {
+    telemetry::TraceScope scope(
+        telemetry::TraceContext{trace, telemetry::next_span_id(trace)});
+    on = search_iters_per_s(inst, params, nullptr, iters);
+  }
+  Registry::instance().detach_trace(trace);
+  telemetry::set_enabled(false);
+
+  const double overhead_pct = 100.0 * (off - on) / off;
+  const double bound_pct = 1.0;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return;
+  }
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("benchmark").value("trace_overhead");
+  json.key("instance").value(inst.name());
+  json.key("iterations").value(iters);
+  json.key("neighborhood").value(params.neighborhood_size);
+  json.key("span_budget").value(static_cast<std::int64_t>(buf.budget()));
+  json.key("spans_seen").value(static_cast<std::int64_t>(buf.seen()));
+  json.key("iters_per_s_tracing_off").value(off);
+  json.key("iters_per_s_tracing_on").value(on);
+  json.key("overhead_percent").value(overhead_pct);
+  json.key("bound_percent").value(bound_pct);
+  json.key("within_bound").value(overhead_pct < bound_pct);
+  json.end_object();
+  out << '\n';
+  std::cout << "trace overhead: " << overhead_pct << "% ("
+            << (overhead_pct < bound_pct ? "within" : "EXCEEDS") << " the "
+            << bound_pct << "% bound), " << buf.seen()
+            << " spans collected, wrote " << path << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -366,8 +450,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   write_anytime_overhead_record(record_path);
   // A second positional argument asks for the (slower, 400-customer)
-  // operational-plane scrape overhead record as well.
+  // operational-plane scrape overhead record as well; a third for the
+  // causal-tracing overhead record (DESIGN.md §13).
   if (argc > 2 && argv[2][0] != '-') write_obs_overhead_record(argv[2]);
+  if (argc > 3 && argv[3][0] != '-') write_trace_overhead_record(argv[3]);
   benchmark::Shutdown();
   return 0;
 }

@@ -40,6 +40,7 @@
 #include "parallel/sync_tsmo.hpp"
 #include "sim/sim_tsmo.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/progress.hpp"
 #include "util/stop.hpp"
 #include "util/table.hpp"
@@ -65,7 +66,7 @@ Instance load_instance(const std::string& spec) {
 volatile std::sig_atomic_t g_stop_signals = 0;
 
 void handle_stop_signal(int signo) {
-  ++g_stop_signals;
+  g_stop_signals = g_stop_signals + 1;  // volatile ++ is deprecated in C++20
   if (g_stop_signals > 1) _exit(130);
   if (obs::FlightRecorder::enabled()) {
     obs::FlightRecorder::instance().record(obs::FlightKind::kStopRequest,
@@ -245,6 +246,18 @@ int main(int argc, char** argv) {
                  "arm the crash-safe flight recorder: SIGSEGV/SIGABRT/"
                  "SIGBUS dump a postmortem JSON document to this path",
                  "");
+  cli.add_option("flight-slots",
+                 "capacity of the flight recorder ring, clamped to "
+                 "[16, 65536]",
+                 "256");
+  cli.add_option("log-level",
+                 "structured JSONL log threshold: debug | info | warn | "
+                 "error | off (default info, or warn under --quiet)",
+                 "");
+  cli.add_option("log-out",
+                 "append structured JSONL logs to this file instead of "
+                 "stderr",
+                 "");
   cli.add_flag("serve-jobs",
                "run as a batch solver service instead of solving once: "
                "POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id> "
@@ -265,7 +278,25 @@ int main(int argc, char** argv) {
   cli.add_flag("quiet", "suppress the front table");
   if (!cli.parse(argc, argv, std::cerr)) return 64;
 
+  // Log plane and flight ring are configured before any mode branches, so
+  // both the one-shot solver and the job service share one setup.
+  // --quiet dampens the default log level; an explicit --log-level wins.
+  log::Level log_level =
+      cli.flag("quiet") ? log::Level::kWarn : log::Level::kInfo;
+  const std::string log_level_arg = cli.get("log-level");
+  if (!log_level_arg.empty() && !log::parse_level(log_level_arg, log_level)) {
+    std::cerr << "unknown --log-level: " << log_level_arg << "\n";
+    return 64;
+  }
+  log::set_level(log_level);
+  if (!log::set_output(cli.get("log-out"))) {
+    std::cerr << "cannot open --log-out " << cli.get("log-out") << "\n";
+    return 1;
+  }
+
   try {
+    const int flight_slots = static_cast<int>(cli.get_int("flight-slots"));
+    obs::FlightRecorder::instance().configure_capacity(flight_slots);
     if (cli.flag("serve-jobs")) {
       // Service mode: no one-shot solve — the process fronts the job
       // plane until a stop signal and drains cleanly (queued jobs become
@@ -301,6 +332,11 @@ int main(int argc, char** argv) {
       std::cout << "job server on http://127.0.0.1:" << server.port()
                 << " (POST /jobs, " << jc.executors << " workers, queue "
                 << jc.queue_capacity << ")" << std::endl;
+      log::info("cli")
+          .msg("serving jobs")
+          .i64("port", server.port())
+          .i64("executors", jc.executors)
+          .i64("queue", static_cast<std::int64_t>(jc.queue_capacity));
 
       while (!stop_requested()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -318,6 +354,7 @@ int main(int argc, char** argv) {
 
     const Instance inst = load_instance(cli.get("instance"));
     TsmoParams params;
+    params.flight_slots = flight_slots;
     params.max_evaluations = cli.get_int("evaluations");
     params.neighborhood_size = static_cast<int>(cli.get_int("neighborhood"));
     params.tabu_tenure = static_cast<int>(cli.get_int("tenure"));
@@ -348,6 +385,10 @@ int main(int argc, char** argv) {
       params.telemetry = true;
       telemetry::set_enabled(true);
     }
+    // Direct runs mint a deterministic trace id from the seed, so Chrome
+    // traces (--telemetry-out) and flight events carry the same causal
+    // correlation id scheme as job-plane runs (DESIGN.md §13).
+    params.trace_id = telemetry::derive_trace_id(params.seed);
 
     const std::string convergence_out = cli.get("convergence-out");
     std::unique_ptr<ConvergenceRecorder> recorder;
@@ -416,6 +457,13 @@ int main(int argc, char** argv) {
 
     if (progress) progress->finish();
     if (recorder) recorder->finalize(result.front);
+    log::info("cli")
+        .msg("run finished")
+        .str("algorithm", result.algorithm)
+        .str("instance", inst.name())
+        .hex("trace_id", params.trace_id)
+        .i64("evaluations", result.evaluations)
+        .f64("wall_seconds", result.wall_seconds);
     result.stopped_early = result.stopped_early || stop_requested();
     if (result.stopped_early) {
       std::cout << "stop requested (signal): flushing partial results\n";

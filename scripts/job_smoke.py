@@ -3,7 +3,8 @@
 
 Drives a running `solver_cli --serve-jobs` instance through the full
 lifecycle — admission checks, a golden job whose RunResult is validated
-against a committed reference, a mid-run cancel — then measures sustained
+against a committed reference, a mid-run cancel, a causal-tracing phase
+validating /jobs/<id>/trace and the RED exemplars — then measures sustained
 throughput and submit-to-first-front latency over a burst of quick jobs
 and writes the record to bench_results/job_api_latency.json.
 
@@ -185,6 +186,63 @@ def validate_golden(result, golden_path, write_golden):
             print(f"ok: {key} matches golden bit-for-bit")
 
 
+def trace_checks(port):
+    """Causal-tracing phase (DESIGN.md §13): the submit receipt advertises
+    the trace endpoint, /jobs/<id>/trace serves valid Chrome-trace JSON
+    whose parent links form a tree rooted at the 'job' span, and the RED
+    histograms on /metrics carry a trace exemplar."""
+    body = json.loads(json.dumps(QUICK_JOB))
+    body["params"]["telemetry"] = True  # engine spans join the skeleton
+    status, doc = request(port, "POST", "/jobs", body)
+    expect(status == 202, "traced submit accepted")
+    job_id = doc["id"]
+    trace_id = doc.get("trace_id", "")
+    expect(trace_id.startswith("0x") and trace_id != "0x" + 16 * "0",
+           f"submit receipt carries a non-zero trace_id ({trace_id})")
+    expect(doc.get("trace_url") == f"/jobs/{job_id}/trace",
+           "submit receipt advertises the trace endpoint")
+    final = wait_terminal(port, job_id)
+    expect(final["state"] == "done", "traced job completed")
+
+    status, trace = request(port, "GET", f"/jobs/{job_id}/trace")
+    expect(status == 200 and isinstance(trace, dict),
+           "/jobs/<id>/trace serves a JSON document")
+    events = trace.get("traceEvents")
+    expect(isinstance(events, list) and events,
+           "traceEvents is a non-empty array")
+    spans = [e for e in events if e.get("ph") in ("X", "i")]
+    names = {e["name"] for e in spans}
+    expect({"job", "job.run", "job.queue_wait"} <= names,
+           f"manager skeleton spans present (got {sorted(names)})")
+    span_ids = {e["args"]["span"] for e in spans}
+    zero = "0x" + 16 * "0"
+    roots = [e for e in spans if e["args"]["parent"] == zero]
+    expect(len(roots) == 1 and roots[0]["name"] == "job",
+           "exactly one root span, and it is 'job'")
+    dangling = [e["name"] for e in spans
+                if e["args"]["parent"] != zero
+                and e["args"]["parent"] not in span_ids]
+    expect(not dangling,
+           f"every parent link resolves inside the trace ({dangling})")
+    expect(all(e["args"]["trace"] == trace_id for e in spans),
+           "every span is tagged with the job's trace id")
+    other = trace.get("otherData", {})
+    expect(other.get("trace_id") == trace_id,
+           "otherData repeats the trace id")
+    expect(other.get("spans") == len(spans) and "span_budget" in other,
+           "otherData reports span counts and the budget")
+
+    status, metrics = request(port, "GET", "/metrics")
+    expect(status == 200, "/metrics served")
+    expect("tsmo_http_requests_total{" in metrics,
+           "RED request counters present")
+    expect("tsmo_http_request_duration_seconds_bucket{" in metrics,
+           "RED duration histograms present")
+    expect(' # {trace_id="0x' in metrics,
+           "slowest duration bucket carries a trace exemplar")
+    print("trace phase OK")
+
+
 def submit_with_backoff(port, payload, timeout_s=60):
     """Submits, honoring 429 admission control: backs off for the
     advertised Retry-After (capped for smoke speed) and retries."""
@@ -233,9 +291,17 @@ def main():
     ap.add_argument("--burst", type=int, default=24)
     ap.add_argument("--p99-bound", type=float, default=2.0)
     ap.add_argument("--write-golden", action="store_true")
+    ap.add_argument("--trace-only", action="store_true",
+                    help="run only the causal-tracing phase")
     args = ap.parse_args()
 
+    if args.trace_only:
+        trace_checks(args.port)
+        print("job smoke OK (trace only)")
+        return
+
     lifecycle_checks(args.port)
+    trace_checks(args.port)
 
     job_id = submit(args.port, GOLDEN_JOB)
     doc = wait_terminal(args.port, job_id)

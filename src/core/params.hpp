@@ -77,6 +77,19 @@ struct TsmoParams {
   /// so fingerprints are identical with the server on or off.  Never
   /// perturbed.
   int serve_port = 0;
+  /// Causal trace context of this run (DESIGN.md §13): a non-zero trace_id
+  /// makes the engines re-establish telemetry::TraceScope on their master
+  /// and worker threads, so every recorded span carries the request's id
+  /// and parents under `trace_parent_span` (the caller's enclosing span,
+  /// e.g. the job plane's job.run span; 0 = root).  Ids are deterministic
+  /// (derived from the seed, no wall clock/RNG) and observation-only —
+  /// fingerprints are identical traced or not.  Never perturbed.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent_span = 0;
+  /// Capacity of the crash flight recorder ring (DESIGN.md §10); applied
+  /// before the run starts via obs::FlightRecorder::configure_capacity
+  /// (clamped to [16, 65536]).  Observation only; never perturbed.
+  int flight_slots = 256;
   /// Per-run cooperative stop flag (DESIGN.md §12): when non-null, every
   /// SearchState of the run treats a raised flag exactly like budget
   /// exhaustion — the engine drains and the partial result is collected.

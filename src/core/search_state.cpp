@@ -61,7 +61,12 @@ void SearchState::note_insertion(const Objectives& obj, int op, int worker) {
     }
   }
   if (!found) provenance_.emplace_back(obj, attr);
-  obs::flight_archive_insert(trace_id_, op, iterations_);
+  // Anytime-front insertions surface as instant events on the ambient
+  // trace's timeline (DESIGN.md §13) and tag the flight ring with the
+  // request id; both are no-ops outside a traced run.
+  TSMO_INSTANT("archive.insert");
+  obs::flight_archive_insert(trace_id_, op, iterations_,
+                             telemetry::current_trace().trace_id);
   if (recorder_) recorder_->record_insertion(obj, op, worker, iterations_);
 }
 

@@ -31,9 +31,13 @@ RunResult collect_result(const SearchState& state, std::string algorithm,
 }
 
 RunResult SequentialTsmo::run(const IterationObserver& observer) const {
+  // Re-establish the caller's causal trace on this thread (DESIGN.md §13);
+  // every span below parents under the request's job.run span.
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sequential");
-  obs::flight_engine_start("sequential", 1, 0);
+  obs::flight_engine_start("sequential", 1, 0, params_.trace_id);
   Timer timer;
   SearchState state(*inst_, params_, Rng(params_.seed));
   state.initialize();
@@ -58,7 +62,8 @@ RunResult SequentialTsmo::run(const IterationObserver& observer) const {
       observer(ev);
     }
   }
-  obs::flight_engine_finish("sequential", state.iterations());
+  obs::flight_engine_finish("sequential", state.iterations(),
+                            params_.trace_id);
   return collect_result(state, "sequential", timer.elapsed_seconds());
 }
 

@@ -50,6 +50,9 @@ TsmoParams parse_params(const JsonValue* node) {
   if (const JsonValue* v = node->find("trace")) {
     p.trace = v->as_bool(true);
   }
+  if (const JsonValue* v = node->find("telemetry")) {
+    p.telemetry = v->as_bool(p.telemetry);
+  }
   if (const JsonValue* v = node->find("screen"); v && v->is_string()) {
     const std::string& s = v->as_string();
     if (s == "capacity") {
@@ -133,6 +136,11 @@ obs::JobOutcome run_job_body(const std::string& body,
 
     TsmoParams params = parse_params(doc->find("params"));
     params.stop = ctx.cancel;
+    // Causal trace plumbing (DESIGN.md §13): engine and worker spans
+    // parent under the manager's "job.run" span.  Pure observability —
+    // engines never branch on these ids.
+    params.trace_id = ctx.trace.trace_id;
+    params.trace_parent_span = ctx.trace.span_id;
 
     std::string algorithm = "seq";
     if (const JsonValue* a = doc->find("algorithm");

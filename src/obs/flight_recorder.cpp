@@ -48,17 +48,37 @@ const char* to_string(FlightKind kind) noexcept {
   return "unknown";
 }
 
+FlightRecorder::FlightRecorder() : ring_(new Slot[kDefaultCapacity]) {}
+
 FlightRecorder& FlightRecorder::instance() noexcept {
   // Leaked, like telemetry::Registry: hooks may fire during late teardown.
   static FlightRecorder* r = new FlightRecorder();
   return *r;
 }
 
+int FlightRecorder::configure_capacity(int slots) {
+  const int cap = slots < 16 ? 16 : (slots > 65536 ? 65536 : slots);
+  if (cap == capacity_.load(std::memory_order_relaxed)) {
+    reset();
+    return cap;
+  }
+  // Old ring leaks deliberately: a straggler hook that raced past the
+  // documented "configure before enabling" contract still dereferences
+  // valid memory instead of a freed block.
+  ring_ = new Slot[static_cast<std::size_t>(cap)];
+  capacity_.store(cap, std::memory_order_release);
+  head_.store(0, std::memory_order_relaxed);
+  return cap;
+}
+
 void FlightRecorder::record(FlightKind kind, const char* tag, std::int32_t a,
-                            std::int32_t b, std::int64_t v) noexcept {
+                            std::int32_t b, std::int64_t v,
+                            std::uint64_t trace) noexcept {
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(capacity_.load(std::memory_order_acquire));
   const std::uint64_t seq =
       head_.fetch_add(1, std::memory_order_relaxed) + 1;
-  Slot& slot = ring_[(seq - 1) % kCapacity];
+  Slot& slot = ring_[(seq - 1) % cap];
   // Mark in-progress so snapshot() skips the slot instead of reading a
   // half-written payload, then publish with a release store of the seq.
   slot.seq.store(0, std::memory_order_relaxed);
@@ -68,6 +88,7 @@ void FlightRecorder::record(FlightKind kind, const char* tag, std::int32_t a,
   slot.ev.a = a;
   slot.ev.b = b;
   slot.ev.v = v;
+  slot.ev.trace = trace;
   std::size_t n = 0;
   if (tag != nullptr) {
     for (; n + 1 < sizeof(slot.ev.tag) && tag[n] != '\0'; ++n) {
@@ -79,15 +100,14 @@ void FlightRecorder::record(FlightKind kind, const char* tag, std::int32_t a,
 }
 
 std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(capacity_.load(std::memory_order_acquire));
   const std::uint64_t head = head_.load(std::memory_order_acquire);
-  const std::uint64_t kept =
-      head < static_cast<std::uint64_t>(kCapacity)
-          ? head
-          : static_cast<std::uint64_t>(kCapacity);
+  const std::uint64_t kept = head < cap ? head : cap;
   std::vector<FlightEvent> out;
   out.reserve(kept);
   for (std::uint64_t seq = head - kept + 1; seq <= head; ++seq) {
-    const Slot& slot = ring_[(seq - 1) % kCapacity];
+    const Slot& slot = ring_[(seq - 1) % cap];
     if (slot.seq.load(std::memory_order_acquire) != seq) continue;
     FlightEvent ev = slot.ev;
     // Re-check after the copy: a writer lapping us mid-copy tore the data.
@@ -98,9 +118,10 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
 }
 
 void FlightRecorder::reset() noexcept {
-  for (Slot& slot : ring_) {
-    slot.seq.store(0, std::memory_order_relaxed);
-    slot.ev = FlightEvent{};
+  const int cap = capacity_.load(std::memory_order_acquire);
+  for (int i = 0; i < cap; ++i) {
+    ring_[i].seq.store(0, std::memory_order_relaxed);
+    ring_[i].ev = FlightEvent{};
   }
   head_.store(0, std::memory_order_relaxed);
   last_fingerprint_.store(0, std::memory_order_relaxed);
@@ -242,14 +263,13 @@ void FlightRecorder::dump_postmortem(int fd, int signo) const noexcept {
   w.u64(head_.load(std::memory_order_relaxed));
   w.str(",\n  \"events\": [");
 
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(capacity_.load(std::memory_order_relaxed));
   const std::uint64_t head = head_.load(std::memory_order_relaxed);
-  const std::uint64_t kept =
-      head < static_cast<std::uint64_t>(kCapacity)
-          ? head
-          : static_cast<std::uint64_t>(kCapacity);
+  const std::uint64_t kept = head < cap ? head : cap;
   bool first = true;
   for (std::uint64_t seq = head - kept + 1; seq <= head; ++seq) {
-    const Slot& slot = ring_[(seq - 1) % kCapacity];
+    const Slot& slot = ring_[(seq - 1) % cap];
     if (slot.seq.load(std::memory_order_acquire) != seq) continue;
     if (!first) w.put(',');
     first = false;
@@ -267,7 +287,9 @@ void FlightRecorder::dump_postmortem(int fd, int signo) const noexcept {
     w.i64(slot.ev.b);
     w.str(", \"v\": ");
     w.i64(slot.ev.v);
-    w.put('}');
+    w.str(", \"trace\": \"");
+    w.hex64(slot.ev.trace);
+    w.str("\"}");
   }
   w.str("\n  ],\n  \"heartbeats\": [");
 

@@ -70,16 +70,17 @@ struct FlightEvent {
   std::int32_t a = 0;
   std::int32_t b = 0;
   std::int64_t v = 0;
-  char tag[16] = {};  ///< NUL-terminated, truncated label
+  std::uint64_t trace = 0;  ///< causal trace id (DESIGN.md §13); 0 = untraced
+  char tag[16] = {};        ///< NUL-terminated, truncated label
 };
 
 /// Process-wide ring.  The singleton is leaked (like telemetry::Registry)
 /// so hooks in thread teardown paths never touch a dead object.
 class FlightRecorder {
  public:
-  /// Ring capacity; power of two, comfortably above the 64 events the
-  /// postmortem contract promises.
-  static constexpr int kCapacity = 256;
+  /// Default ring capacity; comfortably above the 64 events the postmortem
+  /// contract promises.  Runtime-configurable via configure_capacity().
+  static constexpr int kDefaultCapacity = 256;
 
   static FlightRecorder& instance() noexcept;
 
@@ -98,9 +99,21 @@ class FlightRecorder {
   /// Appends one event.  Lock-free, allocation-free, async-signal-safe.
   /// `tag` may be nullptr; longer tags are truncated to fit FlightEvent.
   void record(FlightKind kind, const char* tag, std::int32_t a = 0,
-              std::int32_t b = 0, std::int64_t v = 0) noexcept;
+              std::int32_t b = 0, std::int64_t v = 0,
+              std::uint64_t trace = 0) noexcept;
 
-  /// Total events ever recorded (ring keeps the last kCapacity).
+  /// Resizes the ring, clearing it (clamped to [16, 65536]; TsmoParams::
+  /// flight_slots / --flight-slots).  NOT safe concurrently with record()
+  /// or a crash handler — call during startup, before enabling the
+  /// recorder.  Returns the capacity actually applied.
+  int configure_capacity(int slots);
+
+  /// Current ring capacity.
+  int capacity() const noexcept {
+    return capacity_.load(std::memory_order_acquire);
+  }
+
+  /// Total events ever recorded (ring keeps the last capacity()).
   std::uint64_t recorded() const noexcept {
     return head_.load(std::memory_order_acquire);
   }
@@ -135,7 +148,7 @@ class FlightRecorder {
   void dump_postmortem(int fd, int signo) const noexcept;
 
  private:
-  FlightRecorder() = default;
+  FlightRecorder();
   ~FlightRecorder() = delete;  // leaked on purpose
 
   struct Slot {
@@ -149,7 +162,8 @@ class FlightRecorder {
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> last_fingerprint_{0};
   std::atomic<const HeartbeatBoard*> board_{nullptr};
-  std::array<Slot, kCapacity> ring_;
+  std::atomic<int> capacity_{kDefaultCapacity};
+  Slot* ring_;  ///< heap array of capacity() slots; leaked with the singleton
 };
 
 /// Arms SIGSEGV/SIGABRT/SIGBUS: pre-opens `path` (truncating) and installs
@@ -167,27 +181,27 @@ bool write_postmortem(const std::string& path, int signo = 0);
 // Hook helpers: one enabled() branch when the recorder is off.
 // ---------------------------------------------------------------------------
 
-inline void flight_engine_start(const char* engine, int searchers,
-                                int workers) noexcept {
+inline void flight_engine_start(const char* engine, int searchers, int workers,
+                                std::uint64_t trace = 0) noexcept {
   if (FlightRecorder::enabled()) {
     FlightRecorder::instance().record(FlightKind::kEngineStart, engine,
-                                      searchers, workers);
+                                      searchers, workers, 0, trace);
   }
 }
 
-inline void flight_engine_finish(const char* engine,
-                                 std::int64_t iterations) noexcept {
+inline void flight_engine_finish(const char* engine, std::int64_t iterations,
+                                 std::uint64_t trace = 0) noexcept {
   if (FlightRecorder::enabled()) {
     FlightRecorder::instance().record(FlightKind::kEngineFinish, engine, 0, 0,
-                                      iterations);
+                                      iterations, trace);
   }
 }
 
-inline void flight_archive_insert(int searcher, int op,
-                                  std::int64_t iteration) noexcept {
+inline void flight_archive_insert(int searcher, int op, std::int64_t iteration,
+                                  std::uint64_t trace = 0) noexcept {
   if (FlightRecorder::enabled()) {
     FlightRecorder::instance().record(FlightKind::kArchiveInsert, nullptr,
-                                      searcher, op, iteration);
+                                      searcher, op, iteration, trace);
   }
 }
 

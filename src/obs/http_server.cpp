@@ -8,10 +8,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/timer.hpp"
 
 namespace tsmo::obs {
 
@@ -321,17 +324,18 @@ void HttpServer::handler_loop() {
   }
 }
 
-void HttpServer::dispatch(const HttpRequest& req, HttpResponse& res) const {
+void HttpServer::dispatch(const HttpRequest& req, HttpResponse& res,
+                          std::string& route_label) const {
   // GET routes answer HEAD too (the body is stripped by the caller).
   const std::string& method = req.method == "HEAD" ? "GET" : req.method;
   const Route* best = nullptr;
-  bool path_known = false;
+  const Route* known = nullptr;
   for (const Route& r : routes_) {
     const bool path_match =
         r.prefix ? req.path.compare(0, r.path.size(), r.path) == 0
                  : req.path == r.path;
     if (!path_match) continue;
-    path_known = true;
+    known = &r;
     if (r.method != method) continue;
     // Exact beats prefix; longer prefix beats shorter.
     if (best == nullptr || (best->prefix && !r.prefix) ||
@@ -340,27 +344,72 @@ void HttpServer::dispatch(const HttpRequest& req, HttpResponse& res) const {
     }
   }
   if (best != nullptr) {
+    route_label = best->path;
     res.status = 200;
     res.body.clear();
     best->handler(req, res);
     return;
   }
-  if (path_known) {
+  if (known != nullptr) {
+    route_label = known->path;
     res.status = 405;
     res.body = "method not allowed for this endpoint\n";
     return;
   }
+  route_label = "(none)";
   res.status = 404;
   res.body = "no such endpoint\n";
+}
+
+std::vector<RouteStat> HttpServer::route_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void HttpServer::observe(const std::string& route, const std::string& method,
+                         int status, std::uint64_t dur_ns,
+                         std::uint64_t trace_id, const std::string& label) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RouteStat* stat = nullptr;
+  for (RouteStat& s : stats_) {
+    if (s.route == route && s.method == method) {
+      stat = &s;
+      break;
+    }
+  }
+  if (stat == nullptr) {
+    stats_.push_back(RouteStat{});
+    stat = &stats_.back();
+    stat->route = route;
+    stat->method = method;
+  }
+  ++stat->count;
+  ++stat->by_status[status];
+  stat->sum_ns += dur_ns;
+  int bucket = 0;
+  if (dur_ns > 0) {
+    bucket = std::min(static_cast<int>(std::bit_width(dur_ns)),
+                      telemetry::kHistogramBuckets - 1);
+  }
+  ++stat->buckets[bucket];
+  if (dur_ns >= stat->max_ns) {
+    stat->max_ns = dur_ns;
+    stat->exemplar_trace = trace_id;
+    stat->exemplar_label = label;
+  }
 }
 
 void HttpServer::serve_connection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+  const std::uint64_t t0 = now_ns();
   std::string head;
   HttpRequest req;
   HttpResponse res;
+  // Requests that fail before routing (408/413/400) carry this label so
+  // RED accounting still sees them without exploding label cardinality.
+  std::string route_label = "(error)";
   const ReadStatus hs = read_request_head(fd, limits_, head, req.body);
   if (hs == ReadStatus::kClosed) return;  // nobody left to answer
   if (hs == ReadStatus::kTimeout) {
@@ -375,6 +424,7 @@ void HttpServer::serve_connection(int fd) {
   } else {
     std::string value;
     std::size_t content_length = 0;
+    bool bad_length = false;
     if (find_header(head, "Content-Length", value)) {
       errno = 0;
       char* end = nullptr;
@@ -382,13 +432,14 @@ void HttpServer::serve_connection(int fd) {
       if (end == value.c_str() || errno != 0) {
         res.status = 400;
         res.body = "malformed Content-Length\n";
-        send_response(fd, res);
-        served_.fetch_add(1, std::memory_order_relaxed);
-        return;
+        bad_length = true;
+      } else {
+        content_length = static_cast<std::size_t>(n);
       }
-      content_length = static_cast<std::size_t>(n);
     }
-    if (content_length > limits_.max_body_bytes) {
+    if (bad_length) {
+      // handled above
+    } else if (content_length > limits_.max_body_bytes) {
       res.status = 413;
       res.body = "request body exceeds " +
                  std::to_string(limits_.max_body_bytes) + " bytes\n";
@@ -408,13 +459,15 @@ void HttpServer::serve_connection(int fd) {
         res.body = "timed out reading request body\n";
       } else {
         req.body.resize(content_length);  // drop any pipelined excess
-        dispatch(req, res);
+        dispatch(req, res, route_label);
       }
     }
   }
   if (req.method == "HEAD") res.body.clear();
   send_response(fd, res);
   served_.fetch_add(1, std::memory_order_relaxed);
+  observe(route_label, req.method.empty() ? "(unknown)" : req.method,
+          res.status, now_ns() - t0, res.trace_id, res.trace_label);
 }
 
 std::string http_get(int port, const std::string& path, int timeout_ms) {

@@ -15,16 +15,20 @@
 // connection, which keeps the server stateless and the handler loop
 // trivial.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/telemetry.hpp"  // kHistogramBuckets (RED latency buckets)
 
 namespace tsmo::obs {
 
@@ -44,6 +48,31 @@ struct HttpResponse {
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
   std::vector<std::pair<std::string, std::string>> headers;
+  /// Exemplar correlation (DESIGN.md §13): handlers that know which request
+  /// they served stamp the causal trace id and a short label (the job id);
+  /// the slowest-bucket samples of the per-route latency histograms on
+  /// /metrics carry them as exemplars.
+  std::uint64_t trace_id = 0;
+  std::string trace_label;
+};
+
+/// RED (rate/errors/duration) accounting for one (route pattern, method)
+/// pair.  The route label is always the *registered* pattern — never the
+/// raw request path — so metric label cardinality stays bounded; requests
+/// that fail before routing land under "(error)"/"(none)".
+struct RouteStat {
+  std::string route;
+  std::string method;
+  std::uint64_t count = 0;
+  std::map<int, std::uint64_t> by_status;
+  /// log2 latency buckets, same scheme as telemetry histograms (bucket 0 =
+  /// exact zeros, bucket b >= 1 = [2^(b-1), 2^b) ns).
+  std::array<std::uint64_t, telemetry::kHistogramBuckets> buckets{};
+  std::uint64_t sum_ns = 0;
+  /// Slowest request seen and its exemplar ids (trace 0 = none captured).
+  std::uint64_t max_ns = 0;
+  std::uint64_t exemplar_trace = 0;
+  std::string exemplar_label;
 };
 
 class HttpServer {
@@ -107,6 +136,10 @@ class HttpServer {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Copy of the per-route RED stats (one entry per route/method pair that
+  /// has served at least one request).
+  std::vector<RouteStat> route_stats() const;
+
  private:
   struct Route {
     std::string method;
@@ -119,7 +152,13 @@ class HttpServer {
   void handler_loop();
   void serve_connection(int fd);
   bool enqueue(int fd);
-  void dispatch(const HttpRequest& req, HttpResponse& res) const;
+  /// Resolves and runs the handler; `route_label` reports the matched
+  /// registered pattern ("(none)" when no path matched) for RED accounting.
+  void dispatch(const HttpRequest& req, HttpResponse& res,
+                std::string& route_label) const;
+  void observe(const std::string& route, const std::string& method, int status,
+               std::uint64_t dur_ns, std::uint64_t trace_id,
+               const std::string& label);
 
   int port_;
   int handler_threads_;
@@ -131,6 +170,9 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
+
+  mutable std::mutex stats_mu_;
+  std::vector<RouteStat> stats_;
 
   // Bounded fd queue feeding the handler pool.
   static constexpr std::size_t kMaxQueued = 32;

@@ -7,6 +7,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +34,25 @@ std::string error_body(const std::string& message) {
   w.end_object();
   os << '\n';
   return os.str();
+}
+
+/// Seed declared in the job body ("params": {"seed": N}); defaults to the
+/// TsmoParams default so trace ids stay deterministic for seedless bodies.
+std::uint64_t seed_of_body(const JsonValue& doc) {
+  const JsonValue* params = doc.find("params");
+  if (params == nullptr || !params->is_object()) return 1;
+  const JsonValue* seed = params->find("seed");
+  if (seed == nullptr || !seed->is_number()) return 1;
+  return static_cast<std::uint64_t>(seed->as_int64(1));
+}
+
+/// ns as fractional µs ("1234.567"), the Chrome trace timestamp unit.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
 }
 
 void write_front(JsonWriter& w, const std::vector<Objectives>& front) {
@@ -137,6 +157,7 @@ void JobManager::executor_loop() {
       job = it->second.get();
       job->state = JobState::kRunning;
       job->start_ns = now_ns();
+      job->run_span_id = telemetry::next_span_id(job->trace_id);
       wait_ns = job->start_ns - job->submit_ns;
       ++running_;
     }
@@ -146,8 +167,13 @@ void JobManager::executor_loop() {
     if (FlightRecorder::enabled()) {
       FlightRecorder::instance().record(
           FlightKind::kJobStart, job->name.c_str(), 0, 0,
-          static_cast<std::int64_t>(wait_ns / 1000000));
+          static_cast<std::int64_t>(wait_ns / 1000000), job->trace_id);
     }
+    log::debug("jobs")
+        .msg("start")
+        .str("id", job->name)
+        .hex("trace_id", job->trace_id)
+        .f64("wait_seconds", static_cast<double>(wait_ns) / 1.0e9);
     run_job(*job);
   }
 }
@@ -159,6 +185,15 @@ void JobManager::run_job(Job& job) {
     std::lock_guard<std::mutex> lock(job.live_mutex);
     job.live = rec;
   };
+  ctx.trace = telemetry::TraceContext{job.trace_id, job.run_span_id};
+  // Collect every span recorded under this trace id while the runner is on
+  // the stack; engine threads are joined before the runner returns, so the
+  // detach below cannot strand a late append.
+  telemetry::Registry::instance().attach_trace(job.trace_id,
+                                               job.trace_buf.get());
+  // Ambient scope for the executor thread itself, so manager/runner-side
+  // spans and log lines correlate to the job.
+  telemetry::TraceScope trace_scope(ctx.trace);
   JobOutcome out;
   try {
     out = runner_(job.body, ctx);
@@ -169,6 +204,7 @@ void JobManager::run_job(Job& job) {
     out = JobOutcome{};
     out.error = "job runner threw a non-standard exception";
   }
+  telemetry::Registry::instance().detach_trace(job.trace_id);
   {
     // Defensive retract: the recorder dies with the runner frame.
     std::lock_guard<std::mutex> lock(job.live_mutex);
@@ -197,6 +233,20 @@ void JobManager::finish_job(Job& job, JobOutcome outcome) {
     }
     job.state = terminal;
     --running_;
+    // Manager-side lifecycle spans, appended directly (not through the
+    // registry) so /jobs/<id>/trace has the submit→queue→run skeleton even
+    // when telemetry is compiled out or disabled.  tid -1 = the job plane.
+    if (job.trace_buf != nullptr) {
+      job.trace_buf->append(telemetry::TraceSpan{
+          "job.queue_wait", -1, job.submit_ns, job.start_ns - job.submit_ns,
+          telemetry::next_span_id(job.trace_id), job.root_span_id, 0});
+      job.trace_buf->append(telemetry::TraceSpan{"job.run", -1, job.start_ns,
+                                                 run_ns, job.run_span_id,
+                                                 job.root_span_id, 0});
+      job.trace_buf->append(telemetry::TraceSpan{
+          "job", -1, job.submit_ns, job.finish_ns - job.submit_ns,
+          job.root_span_id, 0, 0});
+    }
   }
   switch (terminal) {
     case JobState::kDone:
@@ -214,8 +264,19 @@ void JobManager::finish_job(Job& job, JobOutcome outcome) {
     FlightRecorder::instance().record(
         FlightKind::kJobFinish, job.name.c_str(),
         static_cast<std::int32_t>(terminal), 0,
-        static_cast<std::int64_t>(run_ns / 1000000));
+        static_cast<std::int64_t>(run_ns / 1000000), job.trace_id);
   }
+  // Scope (re-)established here so the auto-injected correlation id also
+  // covers the cancel-from-queue path, where no executor scope is active.
+  telemetry::TraceScope scope(
+      telemetry::TraceContext{job.trace_id, job.root_span_id});
+  log::Event event = terminal == JobState::kFailed ? log::warn("jobs")
+                                                   : log::info("jobs");
+  event.msg("finish")
+      .str("id", job.name)
+      .str("state", to_string(terminal))
+      .f64("run_seconds", static_cast<double>(run_ns) / 1.0e9);
+  if (!job.outcome.error.empty()) event.str("error", job.outcome.error);
 }
 
 // ---------------------------------------------------------------------------
@@ -243,8 +304,10 @@ JobManager::ApiResponse JobManager::submit(const std::string& body) {
             0};
   }
 
+  const std::uint64_t body_seed = seed_of_body(*doc);
   std::string name;
   std::size_t depth = 0;
+  std::uint64_t trace_id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++submitted_;
@@ -257,11 +320,23 @@ JobManager::ApiResponse JobManager::submit(const std::string& body) {
     job->name = "job-" + std::to_string(id);
     job->body = body;
     job->submit_ns = now_ns();
+    // Deterministic trace id: seed mixed with the job id, so concurrent
+    // identical-seed submissions still get distinct traces while the id
+    // sequence stays a pure function of submission order (no wall clock,
+    // no RNG).
+    job->trace_id = telemetry::derive_trace_id(
+        body_seed ^ (id * 0x9e3779b97f4a7c15ULL));
+    job->root_span_id = telemetry::next_span_id(job->trace_id);
+    job->trace_buf =
+        std::make_shared<telemetry::TraceBuffer>(config_.trace_span_budget);
+    trace_id = job->trace_id;
     if (!queue_.try_push(id)) {
       ++rejected_;
       // The id is burned, not reused: names stay unique for the whole
       // process lifetime even across rejections.
       TSMO_COUNT("jobs.rejected");
+      log::warn("jobs").msg("rejected").str("id", job->name).i64(
+          "queue_capacity", static_cast<std::int64_t>(queue_.capacity()));
       std::ostringstream os;
       JsonWriter w(os);
       w.begin_object();
@@ -282,19 +357,27 @@ JobManager::ApiResponse JobManager::submit(const std::string& body) {
   TSMO_GAUGE_SET("jobs.queue_depth", static_cast<double>(depth));
   if (FlightRecorder::enabled()) {
     FlightRecorder::instance().record(FlightKind::kJobSubmit, name.c_str(),
-                                      static_cast<std::int32_t>(depth));
+                                      static_cast<std::int32_t>(depth), 0, 0,
+                                      trace_id);
   }
+  log::info("jobs")
+      .msg("accepted")
+      .str("id", name)
+      .hex("trace_id", trace_id)
+      .i64("queue_depth", static_cast<std::int64_t>(depth));
   std::ostringstream os;
   JsonWriter w(os);
   w.begin_object();
   w.key("id").value(name);
   w.key("state").value("queued");
   w.key("queue_depth").value(static_cast<std::int64_t>(depth));
+  w.key("trace_id").value(hex64(trace_id));
   w.key("status_url").value("/jobs/" + name);
   w.key("result_url").value("/jobs/" + name + "/result");
+  w.key("trace_url").value("/jobs/" + name + "/trace");
   w.end_object();
   os << '\n';
-  return {202, os.str(), 0};
+  return {202, os.str(), 0, trace_id, name};
 }
 
 JobManager::Job* JobManager::find(const std::string& name) const {
@@ -318,6 +401,8 @@ void JobManager::write_job_status(const Job& job, std::string& out) const {
   w.begin_object();
   w.key("id").value(job.name);
   w.key("state").value(to_string(job.state));
+  w.key("trace_id").value(hex64(job.trace_id));
+  w.key("trace_url").value("/jobs/" + job.name + "/trace");
   w.key("cancel_requested")
       .value(job.cancel.load(std::memory_order_relaxed));
   if (job.start_ns != 0) {
@@ -370,6 +455,8 @@ JobManager::ApiResponse JobManager::status_of(const std::string& name) const {
   if (job == nullptr) return {404, error_body("unknown job: " + name), 0};
   ApiResponse res;
   res.status = 200;
+  res.trace_id = job->trace_id;
+  res.trace_label = job->name;
   write_job_status(*job, res.body);
   return res;
 }
@@ -378,39 +465,107 @@ JobManager::ApiResponse JobManager::result_of(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const Job* job = find(name);
   if (job == nullptr) return {404, error_body("unknown job: " + name), 0};
+  ApiResponse res;
+  res.trace_id = job->trace_id;
+  res.trace_label = job->name;
   if (!is_terminal(job->state)) {
     // Not ready yet: the status document tells the client where it is.
-    ApiResponse res;
     res.status = 409;
     write_job_status(*job, res.body);
     return res;
   }
   if (job->state == JobState::kFailed) {
-    return {500, error_body(job->outcome.error.empty()
-                                ? "job failed"
-                                : job->outcome.error),
-            0};
+    res.status = 500;
+    res.body = error_body(job->outcome.error.empty() ? "job failed"
+                                                     : job->outcome.error);
+    return res;
   }
   if (job->outcome.result_json.empty()) {
     // Cancelled before it ever ran: there is no result to serve.
-    ApiResponse res;
     res.status = 409;
     write_job_status(*job, res.body);
     return res;
   }
-  return {200, job->outcome.result_json, 0};
+  res.status = 200;
+  res.body = job->outcome.result_json;
+  return res;
+}
+
+void JobManager::write_job_trace(const Job& job, std::string& out) const {
+  const std::vector<telemetry::TraceSpan> spans =
+      job.trace_buf != nullptr ? job.trace_buf->snapshot()
+                               : std::vector<telemetry::TraceSpan>{};
+  out = "{\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+         "{\"name\":\"tsmo ";
+  out += job.name;  // "job-<digits>", no escaping needed
+  out += "\"}}";
+  for (const telemetry::TraceSpan& s : spans) {
+    out += ",\n{\"name\":\"";
+    out += JsonWriter::escape(s.name);
+    out += "\",\"cat\":\"tsmo\"";
+    if (s.kind == 1) {
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      append_us(out, s.start_ns);
+    } else {
+      out += ",\"ph\":\"X\",\"ts\":";
+      append_us(out, s.start_ns);
+      out += ",\"dur\":";
+      append_us(out, s.dur_ns);
+    }
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(s.tid);
+    out += ",\"args\":{\"trace\":\"";
+    out += hex64(job.trace_id);
+    out += "\",\"span\":\"";
+    out += hex64(s.span_id);
+    out += "\",\"parent\":\"";
+    out += hex64(s.parent_id);
+    out += "\"}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"job\":\"";
+  out += job.name;
+  out += "\",\"state\":\"";
+  out += to_string(job.state);
+  out += "\",\"trace_id\":\"";
+  out += hex64(job.trace_id);
+  out += "\",\"spans\":";
+  out += std::to_string(spans.size());
+  out += ",\"dropped_spans\":";
+  out += std::to_string(job.trace_buf != nullptr ? job.trace_buf->dropped()
+                                                 : 0);
+  out += ",\"span_budget\":";
+  out += std::to_string(job.trace_buf != nullptr ? job.trace_buf->budget()
+                                                 : 0);
+  out += "}}\n";
+}
+
+JobManager::ApiResponse JobManager::trace_of(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find(name);
+  if (job == nullptr) return {404, error_body("unknown job: " + name), 0};
+  ApiResponse res;
+  res.status = 200;
+  res.trace_id = job->trace_id;
+  res.trace_label = job->name;
+  write_job_trace(*job, res.body);
+  return res;
 }
 
 JobManager::ApiResponse JobManager::cancel(const std::string& name) {
   bool was_running = false;
   std::string body;
+  std::uint64_t trace_id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Job* job = find(name);
     if (job == nullptr) return {404, error_body("unknown job: " + name), 0};
+    trace_id = job->trace_id;
     if (is_terminal(job->state)) {
       ApiResponse res;
       res.status = 409;
+      res.trace_id = trace_id;
+      res.trace_label = job->name;
       write_job_status(*job, res.body);
       return res;
     }
@@ -429,9 +584,14 @@ JobManager::ApiResponse JobManager::cancel(const std::string& name) {
   if (!was_running) TSMO_COUNT("jobs.cancelled");
   if (FlightRecorder::enabled()) {
     FlightRecorder::instance().record(FlightKind::kJobCancel, name.c_str(),
-                                      was_running ? 1 : 0);
+                                      was_running ? 1 : 0, 0, 0, trace_id);
   }
-  return {202, body, 0};
+  log::info("jobs")
+      .msg("cancel")
+      .str("id", name)
+      .hex("trace_id", trace_id)
+      .i64("was_running", was_running ? 1 : 0);
+  return {202, body, 0, trace_id, name};
 }
 
 JobManager::ApiResponse JobManager::list() const {
@@ -480,6 +640,8 @@ JobManager::Stats JobManager::stats() const {
   s.cancelled = cancelled_;
   s.queue_depth = queue_.depth();
   s.running = running_;
+  s.queue_capacity = queue_.capacity();
+  s.executors = config_.executors < 1 ? 1 : config_.executors;
   return s;
 }
 
@@ -505,6 +667,8 @@ void JobManager::install_routes(HttpServer& server) {
     res.status = a.status;
     res.content_type = kJsonContentType;
     res.body = a.body;
+    res.trace_id = a.trace_id;
+    res.trace_label = a.trace_label;
     if (a.retry_after > 0) {
       res.headers.emplace_back("Retry-After",
                                std::to_string(a.retry_after));
@@ -523,11 +687,16 @@ void JobManager::install_routes(HttpServer& server) {
       [this, apply](const HttpRequest& req, HttpResponse& res) {
         std::string rest = req.path.substr(6);  // after "/jobs/"
         const std::string kResult = "/result";
+        const std::string kTrace = "/trace";
         if (rest.size() > kResult.size() &&
             rest.compare(rest.size() - kResult.size(), kResult.size(),
                          kResult) == 0) {
           apply(result_of(rest.substr(0, rest.size() - kResult.size())),
                 res);
+        } else if (rest.size() > kTrace.size() &&
+                   rest.compare(rest.size() - kTrace.size(), kTrace.size(),
+                                kTrace) == 0) {
+          apply(trace_of(rest.substr(0, rest.size() - kTrace.size())), res);
         } else {
           apply(status_of(rest), res);
         }

@@ -37,6 +37,7 @@
 #include "moo/anytime.hpp"
 #include "obs/http_server.hpp"
 #include "obs/job_queue.hpp"
+#include "util/telemetry.hpp"
 
 namespace tsmo::obs {
 
@@ -59,6 +60,10 @@ struct JobContext {
   /// retract before the recorder dies; the manager also retracts
   /// defensively when the runner returns.
   std::function<void(const ConvergenceRecorder*)> publish;
+  /// This job's causal trace context (DESIGN.md §13): trace_id names the
+  /// request, span_id is the manager's "job.run" span.  The runner forwards
+  /// both into TsmoParams so engine/worker spans parent under the job.
+  telemetry::TraceContext trace;
 };
 
 /// What the runner hands back for one job.
@@ -92,15 +97,32 @@ struct JobManagerConfig {
   int executors = 2;
   /// Advisory Retry-After [s] attached to 429 responses.
   int retry_after_seconds = 1;
+  /// Per-job span budget: GET /jobs/<id>/trace keeps at most this many
+  /// spans; overflow is counted in the export's dropped_spans, never
+  /// silently lost.
+  std::size_t trace_span_budget = 4096;
 };
 
 class JobManager {
  public:
   /// Uniform API answer: HTTP status + JSON body (+ optional Retry-After).
   struct ApiResponse {
+    ApiResponse() = default;
+    ApiResponse(int status_in, std::string body_in, int retry_after_in = 0,
+                std::uint64_t trace_id_in = 0, std::string trace_label_in = {})
+        : status(status_in),
+          body(std::move(body_in)),
+          retry_after(retry_after_in),
+          trace_id(trace_id_in),
+          trace_label(std::move(trace_label_in)) {}
+
     int status = 200;
     std::string body;
     int retry_after = 0;  ///< seconds; emitted as a Retry-After header
+    /// Exemplar correlation for RED metrics: the causal trace id of the
+    /// job this response concerns (0 when none) and its name.
+    std::uint64_t trace_id = 0;
+    std::string trace_label;
   };
 
   /// Monotone plane counters; at quiescence
@@ -114,6 +136,8 @@ class JobManager {
     std::uint64_t cancelled = 0;
     std::size_t queue_depth = 0;
     std::size_t running = 0;
+    std::size_t queue_capacity = 0;
+    int executors = 0;
   };
 
   /// One job's externally visible state (tests and /jobs listing).
@@ -147,6 +171,9 @@ class JobManager {
   ApiResponse submit(const std::string& body);
   ApiResponse status_of(const std::string& name) const;
   ApiResponse result_of(const std::string& name) const;
+  /// Chrome-trace JSON of the job's causal spans (submit→queue→run→worker);
+  /// valid at any lifecycle stage (empty traceEvents until spans exist).
+  ApiResponse trace_of(const std::string& name) const;
   ApiResponse cancel(const std::string& name);
   ApiResponse list() const;
 
@@ -168,6 +195,14 @@ class JobManager {
     std::uint64_t finish_ns = 0;  // guarded by mutex_
     JobOutcome outcome;           // guarded by mutex_ once terminal
 
+    // Causal trace (DESIGN.md §13): ids minted deterministically at
+    // submit; the buffer collects engine spans while the job runs (via
+    // Registry::attach_trace) plus the manager's own lifecycle spans.
+    std::uint64_t trace_id = 0;
+    std::uint64_t root_span_id = 0;           ///< "job" span
+    std::uint64_t run_span_id = 0;            ///< "job.run" span (mutex_)
+    std::shared_ptr<telemetry::TraceBuffer> trace_buf;
+
     // Live recorder pointer for mid-run /jobs/<id> polling.  Its own
     // mutex so serializing a front never blocks submissions.
     mutable std::mutex live_mutex;
@@ -179,6 +214,7 @@ class JobManager {
   Job* find(const std::string& name) const;  // mutex_ held by caller
   void finish_job(Job& job, JobOutcome outcome);
   void write_job_status(const Job& job, std::string& out) const;
+  void write_job_trace(const Job& job, std::string& out) const;
 
   const JobManagerConfig config_;
   const JobRunner runner_;

@@ -1,5 +1,7 @@
 #include "obs/obs_server.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "obs/buildinfo.hpp"
@@ -36,6 +38,70 @@ void append_counter(std::string& out, const char* name, const char* help,
   out += std::string("# HELP ") + name + " " + help + "\n";
   out += std::string("# TYPE ") + name + " counter\n";
   out += std::string(name) + " " + std::to_string(value) + "\n";
+}
+
+/// RED metrics per HTTP route with exemplars (DESIGN.md §13):
+/// tsmo_http_requests_total{route,method,code} counters plus one
+/// tsmo_http_request_duration_seconds histogram per route/method whose
+/// highest non-empty bucket carries an OpenMetrics-style exemplar
+/// (`# {trace_id="0x…",job="job-N"} <seconds>`) pointing at the slowest
+/// request seen — the jump-off from a latency alert into /jobs/<id>/trace.
+void append_http_red(std::string& out, const std::vector<RouteStat>& stats) {
+  if (stats.empty()) return;
+  auto fmt_double = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  out +=
+      "# HELP tsmo_http_requests_total HTTP requests served, by registered "
+      "route pattern, method and status code.\n"
+      "# TYPE tsmo_http_requests_total counter\n";
+  for (const RouteStat& s : stats) {
+    for (const auto& [code, n] : s.by_status) {
+      out += "tsmo_http_requests_total{route=\"" +
+             escape_label_value(s.route) + "\",method=\"" +
+             escape_label_value(s.method) + "\",code=\"" +
+             std::to_string(code) + "\"} " + std::to_string(n) + "\n";
+    }
+  }
+  out +=
+      "# HELP tsmo_http_request_duration_seconds HTTP request latency by "
+      "route and method; slowest buckets carry trace exemplars.\n"
+      "# TYPE tsmo_http_request_duration_seconds histogram\n";
+  for (const RouteStat& s : stats) {
+    const std::string labels = "route=\"" + escape_label_value(s.route) +
+                               "\",method=\"" + escape_label_value(s.method) +
+                               "\"";
+    int last = static_cast<int>(s.buckets.size()) - 1;
+    while (last > 0 && s.buckets[last] == 0) --last;
+    std::uint64_t cum = 0;
+    for (int b = 0; b <= last; ++b) {
+      cum += s.buckets[b];
+      const double le_seconds =
+          b == 0 ? 0.0 : std::ldexp(1.0, b) * 1e-9;
+      out += "tsmo_http_request_duration_seconds_bucket{" + labels +
+             ",le=\"" + fmt_double(le_seconds) + "\"} " +
+             std::to_string(cum);
+      if (b == last && s.exemplar_trace != 0) {
+        char ex[96];
+        std::snprintf(ex, sizeof(ex), " # {trace_id=\"0x%016llx\"",
+                      static_cast<unsigned long long>(s.exemplar_trace));
+        out += ex;
+        if (!s.exemplar_label.empty()) {
+          out += ",job=\"" + escape_label_value(s.exemplar_label) + "\"";
+        }
+        out += "} " + fmt_double(static_cast<double>(s.max_ns) * 1e-9);
+      }
+      out += "\n";
+    }
+    out += "tsmo_http_request_duration_seconds_bucket{" + labels +
+           ",le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+    out += "tsmo_http_request_duration_seconds_sum{" + labels + "} " +
+           fmt_double(static_cast<double>(s.sum_ns) * 1e-9) + "\n";
+    out += "tsmo_http_request_duration_seconds_count{" + labels + "} " +
+           std::to_string(s.count) + "\n";
+  }
 }
 
 void write_heartbeats(JsonWriter& w, const HeartbeatBoard& board,
@@ -88,7 +154,7 @@ ObsServer::ObsServer(Options opts)
     if (jobs_ != nullptr) {
       res.body +=
           "  /jobs       POST submit, GET list; /jobs/<id> status, "
-          "/jobs/<id>/result, DELETE cancel\n";
+          "/jobs/<id>/result, /jobs/<id>/trace, DELETE cancel\n";
     }
   });
 }
@@ -133,6 +199,7 @@ void ObsServer::handle_metrics(HttpResponse& res) {
   append_counter(body, "tsmo_obs_flight_events_total",
                  "Events recorded by the flight recorder ring.",
                  FlightRecorder::instance().recorded());
+  append_http_red(body, server_.route_stats());
   if (jobs_ != nullptr) {
     const JobManager::Stats js = jobs_->stats();
     append_counter(body, "tsmo_jobs_submitted_total",
@@ -191,6 +258,21 @@ void ObsServer::handle_healthz(HttpResponse& res) {
       .value(static_cast<std::int64_t>(rec ? rec->stalls_flagged() : 0));
   w.key("flight_events")
       .value(static_cast<std::int64_t>(FlightRecorder::instance().recorded()));
+  if (jobs_ != nullptr) {
+    const JobManager::Stats js = jobs_->stats();
+    w.key("jobs").begin_object();
+    w.key("queue_depth").value(static_cast<std::int64_t>(js.queue_depth));
+    w.key("queue_capacity")
+        .value(static_cast<std::int64_t>(js.queue_capacity));
+    w.key("running").value(static_cast<std::int64_t>(js.running));
+    w.key("executors").value(js.executors);
+    w.key("accepted").value(static_cast<std::int64_t>(js.accepted));
+    w.key("done").value(static_cast<std::int64_t>(js.done));
+    w.key("failed").value(static_cast<std::int64_t>(js.failed));
+    w.key("cancelled").value(static_cast<std::int64_t>(js.cancelled));
+    w.key("rejected").value(static_cast<std::int64_t>(js.rejected));
+    w.end_object();
+  }
   w.key("heartbeats");
   if (rec) {
     write_heartbeats(w, rec->board(), now);

@@ -14,6 +14,10 @@ namespace tsmo {
 
 RunResult AsyncTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  // Re-establish the caller's causal trace on this thread (DESIGN.md §13);
+  // every span below parents under the request's job.run span.
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.async");
   TSMO_TELEMETRY_ONLY(
@@ -26,7 +30,7 @@ RunResult AsyncTsmo::run() const {
   SearchState state(*inst_, params_, Rng(params_.seed), cands);
   WorkerTeam team(*inst_, procs - 1, params_.seed, cands,
                   params_.batch_pricing);
-  obs::flight_engine_start("async", 1, team.num_workers());
+  obs::flight_engine_start("async", 1, team.num_workers(), params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("async", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "async worker");
@@ -114,11 +118,13 @@ RunResult AsyncTsmo::run() const {
     options_.recorder->set_stall_action(nullptr);
     options_.recorder->engine_finished(state.iterations());
   }
-  obs::flight_engine_finish("async", state.iterations());
+  obs::flight_engine_finish("async", state.iterations(), params_.trace_id);
   return collect_result(state, "async", timer.elapsed_seconds());
 }
 
 RunResult AsyncTsmo::run_deterministic() const {
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.async");
   TSMO_TELEMETRY_ONLY(
@@ -132,7 +138,7 @@ RunResult AsyncTsmo::run_deterministic() const {
   const auto cands = make_candidate_list(*inst_, params_.candidate_k);
   SearchState state(*inst_, params_, Rng(params_.seed), cands);
   WorkerTeam team(*inst_, exec, params_.seed, cands, params_.batch_pricing);
-  obs::flight_engine_start("async", 1, team.num_workers());
+  obs::flight_engine_start("async", 1, team.num_workers(), params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("async", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "async worker");
@@ -200,7 +206,7 @@ RunResult AsyncTsmo::run_deterministic() const {
   }
   // Chunks still deferred at exhaustion are dropped, like in-flight
   // results at termination of the wall-clock mode.
-  obs::flight_engine_finish("async", state.iterations());
+  obs::flight_engine_finish("async", state.iterations(), params_.trace_id);
   if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "async", timer.elapsed_seconds());
 }

@@ -20,8 +20,14 @@ namespace tsmo {
 
 MultisearchResult HybridTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  // Re-establish the caller's causal trace on this thread (DESIGN.md §13).
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.hybrid");
+  // Island threads re-establish the ambient context captured here, so
+  // their iteration and worker spans parent under the run.hybrid span.
+  const telemetry::TraceContext island_ctx = telemetry::current_trace();
   Timer timer;
   const int k = std::max(2, islands_);
   const int procs = std::max(2, procs_per_island_);
@@ -46,7 +52,7 @@ MultisearchResult HybridTsmo::run() const {
   std::vector<SearchState*> stall_reg(n, nullptr);
   // candidate_k is never perturbed, so every island shares one list.
   const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
-  obs::flight_engine_start("hybrid", k, k * (procs - 1));
+  obs::flight_engine_start("hybrid", k, k * (procs - 1), params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("hybrid", k, k * (procs - 1));
     if (options_.stall_restart) {
@@ -61,6 +67,7 @@ MultisearchResult HybridTsmo::run() const {
   }
 
   auto island = [&](int id) {
+    telemetry::TraceScope island_scope(island_ctx);
     Timer local_timer;
     TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
       telemetry::Registry::instance().set_thread_label(
@@ -207,7 +214,7 @@ MultisearchResult HybridTsmo::run() const {
   result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
-  obs::flight_engine_finish("hybrid", result.merged.iterations);
+  obs::flight_engine_finish("hybrid", result.merged.iterations, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->set_stall_action(nullptr);
     options_.recorder->engine_finished(result.merged.iterations);
@@ -216,8 +223,12 @@ MultisearchResult HybridTsmo::run() const {
 }
 
 MultisearchResult HybridTsmo::run_deterministic() const {
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.hybrid");
+  // Pool threads re-establish this ambient context per round step.
+  const telemetry::TraceContext island_ctx = telemetry::current_trace();
   Timer timer;
   const int k = std::max(2, islands_);
   const int procs = std::max(2, procs_per_island_);
@@ -270,7 +281,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     }
   }
 
-  obs::flight_engine_start("hybrid", k, 0);
+  obs::flight_engine_start("hybrid", k, 0, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("hybrid", k, 0);
   }
@@ -285,6 +296,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
   }
 
   auto step_one = [&](int id) {
+    telemetry::TraceScope island_scope(island_ctx);
     Island& is = islands[static_cast<std::size_t>(id)];
     TSMO_SPAN("hybrid.iteration");
     for (const Solution& sol : is.inbox) {
@@ -380,7 +392,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
   result.merged = merge_results(result.per_searcher, "hybrid");
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.merged.refresh_throughput();
-  obs::flight_engine_finish("hybrid", result.merged.iterations);
+  obs::flight_engine_finish("hybrid", result.merged.iterations, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_finished(result.merged.iterations);
   }

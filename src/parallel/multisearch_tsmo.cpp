@@ -66,8 +66,14 @@ RunResult merge_results(const std::vector<RunResult>& results,
 
 MultisearchResult MultisearchTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  // Re-establish the caller's causal trace on this thread (DESIGN.md §13).
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.coll");
+  // Searcher threads re-establish the ambient context captured here, so
+  // their iteration spans parent under the run.coll span.
+  const telemetry::TraceContext searcher_ctx = telemetry::current_trace();
   Timer timer;
   const int procs = std::max(2, processors_);
   const auto n = static_cast<std::size_t>(procs);
@@ -89,6 +95,7 @@ MultisearchResult MultisearchTsmo::run() const {
   const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
 
   auto searcher = [&](int id) {
+    telemetry::TraceScope searcher_scope(searcher_ctx);
     Timer local_timer;
     TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
       telemetry::Registry::instance().set_thread_label(
@@ -155,7 +162,7 @@ MultisearchResult MultisearchTsmo::run() const {
         local_timer.elapsed_seconds());
   };
 
-  obs::flight_engine_start("coll", procs, 0);
+  obs::flight_engine_start("coll", procs, 0, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("coll", procs, 0);
   }
@@ -174,7 +181,7 @@ MultisearchResult MultisearchTsmo::run() const {
   result.merged.refresh_throughput();
   result.messages_sent = messages_sent.load();
   result.messages_accepted = messages_accepted.load();
-  obs::flight_engine_finish("coll", result.merged.iterations);
+  obs::flight_engine_finish("coll", result.merged.iterations, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_finished(result.merged.iterations);
   }
@@ -182,8 +189,12 @@ MultisearchResult MultisearchTsmo::run() const {
 }
 
 MultisearchResult MultisearchTsmo::run_deterministic() const {
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.coll");
+  // Pool threads re-establish this ambient context per round step.
+  const telemetry::TraceContext searcher_ctx = telemetry::current_trace();
   Timer timer;
   const int procs = std::max(2, processors_);
   const auto n = static_cast<std::size_t>(procs);
@@ -224,7 +235,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     }
   }
 
-  obs::flight_engine_start("coll", procs, 0);
+  obs::flight_engine_start("coll", procs, 0, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("coll", procs, 0);
   }
@@ -239,6 +250,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
   }
 
   auto step_one = [&](int id) {
+    telemetry::TraceScope searcher_scope(searcher_ctx);
     Searcher& s = searchers[static_cast<std::size_t>(id)];
     TSMO_SPAN("coll.iteration");
     // Deliver peer solutions in the deterministic inter-round order.
@@ -313,7 +325,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
   result.merged = merge_results(result.per_searcher, "coll");
   result.merged.wall_seconds = timer.elapsed_seconds();
   result.merged.refresh_throughput();
-  obs::flight_engine_finish("coll", result.merged.iterations);
+  obs::flight_engine_finish("coll", result.merged.iterations, params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_finished(result.merged.iterations);
   }

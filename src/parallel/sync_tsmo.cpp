@@ -12,6 +12,10 @@ namespace tsmo {
 
 RunResult SyncTsmo::run() const {
   if (options_.deterministic) return run_deterministic();
+  // Re-establish the caller's causal trace on this thread (DESIGN.md §13);
+  // every span below parents under the request's job.run span.
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sync");
   TSMO_TELEMETRY_ONLY(
@@ -24,7 +28,7 @@ RunResult SyncTsmo::run() const {
   SearchState state(*inst_, params_, Rng(params_.seed), cands);
   WorkerTeam team(*inst_, procs - 1, params_.seed, cands,
                   params_.batch_pricing);
-  obs::flight_engine_start("sync", 1, team.num_workers());
+  obs::flight_engine_start("sync", 1, team.num_workers(), params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("sync", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "sync worker");
@@ -70,12 +74,14 @@ RunResult SyncTsmo::run() const {
     }
     state.step_with_candidates(candidates);
   }
-  obs::flight_engine_finish("sync", state.iterations());
+  obs::flight_engine_finish("sync", state.iterations(), params_.trace_id);
   if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "sync", timer.elapsed_seconds());
 }
 
 RunResult SyncTsmo::run_deterministic() const {
+  telemetry::TraceScope trace_scope(
+      telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
   TSMO_SPAN("run.sync");
   TSMO_TELEMETRY_ONLY(
@@ -89,7 +95,7 @@ RunResult SyncTsmo::run_deterministic() const {
   const auto cands = make_candidate_list(*inst_, params_.candidate_k);
   SearchState state(*inst_, params_, Rng(params_.seed), cands);
   WorkerTeam team(*inst_, exec, params_.seed, cands, params_.batch_pricing);
-  obs::flight_engine_start("sync", 1, team.num_workers());
+  obs::flight_engine_start("sync", 1, team.num_workers(), params_.trace_id);
   if (options_.recorder) {
     options_.recorder->engine_started("sync", 1, team.num_workers());
     team.enable_heartbeats(*options_.recorder, "sync worker");
@@ -148,7 +154,7 @@ RunResult SyncTsmo::run_deterministic() const {
     }
     state.step_with_candidates(candidates);
   }
-  obs::flight_engine_finish("sync", state.iterations());
+  obs::flight_engine_finish("sync", state.iterations(), params_.trace_id);
   if (options_.recorder) options_.recorder->engine_finished(state.iterations());
   return collect_result(state, "sync", timer.elapsed_seconds());
 }

@@ -14,7 +14,10 @@ WorkerTeam::WorkerTeam(const Instance& inst, int num_workers,
                        std::uint64_t seed,
                        std::shared_ptr<const CandidateList> cands,
                        bool batch_pricing)
-    : inst_(&inst), cands_(std::move(cands)), batch_pricing_(batch_pricing) {
+    : inst_(&inst),
+      cands_(std::move(cands)),
+      batch_pricing_(batch_pricing),
+      trace_ctx_(telemetry::current_trace()) {
   requests_.enable_telemetry("gen_requests");
   results_.enable_telemetry("gen_results");
   Rng master(seed ^ 0x5eedF00dULL);
@@ -46,6 +49,9 @@ void WorkerTeam::enable_heartbeats(ConvergenceRecorder& recorder,
 }
 
 void WorkerTeam::worker_loop(int id, Rng rng) {
+  // Worker threads inherit the team's trace context so their spans carry
+  // the request's trace id and parent under the engine's run span.
+  telemetry::TraceScope trace_scope(trace_ctx_);
   MoveEngine engine(*inst_);
   if (cands_) engine.set_candidate_list(cands_.get());
   // Workers keep the default equal operator weights and local screen (as
@@ -112,7 +118,8 @@ void WorkerTeam::worker_loop(int id, Rng rng) {
       auto& reg = telemetry::Registry::instance();
       reg.gauge_add(busy_gauge,
                     static_cast<std::int64_t>(work_end - work_start));
-      reg.record_span("worker.chunk", work_start, work_end - work_start);
+      reg.record_span("worker.chunk", work_start, work_end - work_start,
+                      telemetry::current_trace());
       TSMO_COUNT("worker.chunks");
       TSMO_COUNT_N("workers.busy_ns", work_end - work_start);
     }

@@ -16,6 +16,7 @@
 
 #include "core/candidate.hpp"
 #include "parallel/channel.hpp"
+#include "util/telemetry.hpp"
 #include "vrptw/candidate_list.hpp"
 #include "vrptw/instance.hpp"
 
@@ -95,6 +96,10 @@ class WorkerTeam {
   const Instance* inst_;
   std::shared_ptr<const CandidateList> cands_;  ///< outlives the workers
   bool batch_pricing_ = true;
+  /// The spawning thread's ambient trace context, captured before the
+  /// worker threads start so each worker_loop can re-establish it — worker
+  /// spans then parent under the engine's run span (DESIGN.md §13).
+  telemetry::TraceContext trace_ctx_;
   Channel<GenRequest> requests_;
   Channel<GenResult> results_;
   /// Heartbeat wiring (set once by enable_heartbeats before any request

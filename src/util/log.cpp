@@ -1,0 +1,203 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/json.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace tsmo::log {
+
+namespace detail {
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+}  // namespace detail
+
+namespace {
+
+std::mutex g_mu;                  // guards sink + limiter state
+std::FILE* g_sink = nullptr;      // nullptr = stderr
+std::FILE* g_owned = nullptr;     // file we opened (closed on replace)
+std::uint64_t g_rate_limit = 200;  // events per second; 0 = unlimited
+std::uint64_t g_window_s = 0;
+std::uint64_t g_window_count = 0;
+std::uint64_t g_window_suppressed = 0;
+std::atomic<std::uint64_t> g_emitted{0};
+std::atomic<std::uint64_t> g_suppressed{0};
+
+std::FILE* sink() noexcept { return g_sink != nullptr ? g_sink : stderr; }
+
+void write_line_locked(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), sink());
+  std::fputc('\n', sink());
+  std::fflush(sink());
+  g_emitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Admission control; called with the event timestamp.  Rolls the
+/// per-second window, emitting a suppression summary (which bypasses the
+/// limiter) when the previous window dropped anything.
+bool admit_locked(std::uint64_t t_ns) {
+  if (g_rate_limit == 0) return true;
+  const std::uint64_t second = t_ns / 1000000000ULL;
+  if (second != g_window_s) {
+    if (g_window_suppressed > 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"t_ns\":%llu,\"level\":\"warn\",\"component\":\"log\","
+                    "\"msg\":\"rate limited\",\"suppressed\":%llu}",
+                    static_cast<unsigned long long>(t_ns),
+                    static_cast<unsigned long long>(g_window_suppressed));
+      write_line_locked(buf);
+    }
+    g_window_s = second;
+    g_window_count = 0;
+    g_window_suppressed = 0;
+  }
+  if (g_window_count >= g_rate_limit) {
+    ++g_window_suppressed;
+    g_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++g_window_count;
+  return true;
+}
+
+void append_key(std::string& line, const char* key) {
+  line += ",\"";
+  line += JsonWriter::escape(key);
+  line += "\":";
+}
+
+}  // namespace
+
+bool parse_level(const std::string& text, Level& out) noexcept {
+  if (text == "debug") out = Level::kDebug;
+  else if (text == "info") out = Level::kInfo;
+  else if (text == "warn") out = Level::kWarn;
+  else if (text == "error") out = Level::kError;
+  else if (text == "off") out = Level::kOff;
+  else return false;
+  return true;
+}
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_level(Level level) noexcept {
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level level() noexcept {
+  return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+
+bool set_output(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (path.empty() || path == "-") {
+    if (g_owned != nullptr) std::fclose(g_owned);
+    g_owned = nullptr;
+    g_sink = nullptr;
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  if (g_owned != nullptr) std::fclose(g_owned);
+  g_owned = f;
+  g_sink = f;
+  return true;
+}
+
+void set_rate_limit(std::uint64_t events_per_second) noexcept {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_rate_limit = events_per_second;
+}
+
+std::uint64_t emitted() noexcept {
+  return g_emitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t suppressed() noexcept {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
+
+Event::Event(Level lvl, const char* component) noexcept {
+  if (!enabled(lvl)) return;
+  const std::uint64_t t_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!admit_locked(t_ns)) return;
+  }
+  live_ = true;
+  line_.reserve(128);
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"t_ns\":%llu,\"level\":\"%s\"",
+                static_cast<unsigned long long>(t_ns), to_string(lvl));
+  line_ = head;
+  line_ += ",\"component\":\"";
+  line_ += JsonWriter::escape(component);
+  line_ += "\"";
+  const telemetry::TraceContext ctx = telemetry::current_trace();
+  if (ctx.valid()) hex("trace_id", ctx.trace_id);
+}
+
+Event::~Event() {
+  if (!live_) return;
+  line_ += "}";
+  std::lock_guard<std::mutex> lock(g_mu);
+  write_line_locked(line_);
+}
+
+Event& Event::msg(const char* text) { return str("msg", text); }
+
+Event& Event::str(const char* key, const std::string& value) {
+  if (!live_) return *this;
+  append_key(line_, key);
+  line_ += "\"";
+  line_ += JsonWriter::escape(value);
+  line_ += "\"";
+  return *this;
+}
+
+Event& Event::i64(const char* key, std::int64_t value) {
+  if (!live_) return *this;
+  append_key(line_, key);
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::u64(const char* key, std::uint64_t value) {
+  if (!live_) return *this;
+  append_key(line_, key);
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::f64(const char* key, double value) {
+  if (!live_) return *this;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  append_key(line_, key);
+  line_ += buf;
+  return *this;
+}
+
+Event& Event::hex(const char* key, std::uint64_t value) {
+  if (!live_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                static_cast<unsigned long long>(value));
+  append_key(line_, key);
+  line_ += buf;
+  return *this;
+}
+
+}  // namespace tsmo::log

@@ -1,0 +1,111 @@
+#pragma once
+
+// Structured leveled log plane (DESIGN.md §13).
+//
+// One JSONL event per line on a single sink (stderr by default, or a file
+// via set_output / --log-out).  Events carry a monotonic timestamp, level,
+// component, message, optional typed fields, and — when the emitting thread
+// runs under a telemetry::TraceContext — the trace id as a correlation id,
+// so log lines join the same causal story as /jobs/<id>/trace spans.
+//
+// Design constraints:
+//   * never on the search hot path — events are per-request / per-lifecycle
+//     granularity, so one global mutex around the sink is fine;
+//   * rate limited (token bucket per wall-second, default 200 events/s);
+//     suppressed events are counted and reported in a periodic summary line
+//     that bypasses the limiter, so bursts can never flood a disk;
+//   * levels below the threshold cost one relaxed atomic load and build
+//     nothing (the Event constructor checks first);
+//   * no allocation after the event is filtered out;
+//   * observation-only: logging never touches search RNG or decisions, so
+//     golden fingerprints are identical with logging on or off.
+//
+// Usage:
+//   log::info("jobs").msg("accepted").str("id", id).i64("queue", depth);
+// The Event emits in its destructor (end of the full expression).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tsmo::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug"/"info"/"warn"/"error"/"off"; unknown strings return false and
+/// leave `out` untouched.
+bool parse_level(const std::string& text, Level& out) noexcept;
+const char* to_string(Level level) noexcept;
+
+/// Global threshold; events below it are discarded at construction.
+/// Default kInfo.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Redirects the sink.  Empty or "-" selects stderr; otherwise the file is
+/// opened for append.  Returns false (and keeps the current sink) when the
+/// file cannot be opened.  Not safe concurrently with in-flight emits from
+/// other threads mid-line; call during startup/config.
+bool set_output(const std::string& path);
+
+/// Events allowed per wall-clock second before suppression kicks in
+/// (0 = unlimited).  Default 200.
+void set_rate_limit(std::uint64_t events_per_second) noexcept;
+
+/// Totals since process start (emitted + suppressed), for tests and the
+/// suppression summary line.
+std::uint64_t emitted() noexcept;
+std::uint64_t suppressed() noexcept;
+
+namespace detail {
+extern std::atomic<int> g_level;
+}  // namespace detail
+
+inline bool enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) >=
+         detail::g_level.load(std::memory_order_relaxed);
+}
+
+/// One structured event, built fluently and emitted on destruction.  When
+/// the level is filtered out the constructor stores nothing and every
+/// chained call is a no-op returning *this.
+class Event {
+ public:
+  Event(Level lvl, const char* component) noexcept;
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& msg(const char* text);
+  Event& str(const char* key, const std::string& value);
+  Event& i64(const char* key, std::int64_t value);
+  Event& u64(const char* key, std::uint64_t value);
+  Event& f64(const char* key, double value);
+  /// 64-bit id rendered as "0x%016llx" (trace/span ids).
+  Event& hex(const char* key, std::uint64_t value);
+
+ private:
+  bool live_ = false;
+  std::string line_;  // partial JSON object, without the closing brace
+};
+
+inline Event debug(const char* component) {
+  return Event(Level::kDebug, component);
+}
+inline Event info(const char* component) {
+  return Event(Level::kInfo, component);
+}
+inline Event warn(const char* component) {
+  return Event(Level::kWarn, component);
+}
+inline Event error(const char* component) {
+  return Event(Level::kError, component);
+}
+
+}  // namespace tsmo::log

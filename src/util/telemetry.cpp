@@ -23,6 +23,39 @@ bool set_enabled(bool on) noexcept {
 
 namespace {
 
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.  Used for
+/// id derivation only — never for search randomness.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<std::uint64_t> g_span_counter{0};
+
+thread_local TraceContext t_ambient_trace;
+
+}  // namespace
+
+std::uint64_t derive_trace_id(std::uint64_t seed) noexcept {
+  const std::uint64_t id = mix64(seed ^ 0x74736d6f5452ULL);  // "tsmoTR"
+  return id == 0 ? 1 : id;
+}
+
+std::uint64_t next_span_id(std::uint64_t trace_id) noexcept {
+  const std::uint64_t n =
+      g_span_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t id = mix64(trace_id ^ (n * 0x9e3779b97f4a7c15ULL));
+  return id == 0 ? 1 : id;
+}
+
+TraceContext current_trace() noexcept { return t_ambient_trace; }
+
+void set_current_trace(TraceContext ctx) noexcept { t_ambient_trace = ctx; }
+
+namespace {
+
 /// Bucket index for a duration: 0 for exact zeros, otherwise bit_width
 /// clamped into the top (open-ended) bucket.
 int bucket_index(std::uint64_t ns) noexcept {
@@ -53,6 +86,10 @@ struct SpanRecord {
   const char* name = nullptr;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint8_t kind = 0;  ///< 0 complete, 1 instant
 };
 
 /// One per live thread (leased; values survive thread exit so counter totals
@@ -101,6 +138,30 @@ struct Registry::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<int> free_shards;
   std::atomic<std::int64_t> gauges[kMaxGauges] = {};
+
+  /// Per-trace subscription slots.  The id is the fast-path filter (one
+  /// relaxed load per slot on traced records); the buffer pointer is only
+  /// touched under the slot mutex, so detach can never race an append into
+  /// a freed buffer.
+  struct TraceSlot {
+    std::atomic<std::uint64_t> id{0};
+    std::mutex slot_mu;
+    TraceBuffer* buffer = nullptr;  // guarded by slot_mu
+  };
+  TraceSlot trace_slots[kMaxActiveTraces];
+
+  void route_trace(const SpanRecord& rec, int tid) {
+    for (TraceSlot& slot : trace_slots) {
+      if (slot.id.load(std::memory_order_relaxed) != rec.trace_id) continue;
+      std::lock_guard<std::mutex> lock(slot.slot_mu);
+      if (slot.id.load(std::memory_order_relaxed) == rec.trace_id &&
+          slot.buffer != nullptr) {
+        slot.buffer->append(TraceSpan{rec.name, tid, rec.start_ns, rec.dur_ns,
+                                      rec.span_id, rec.parent_id, rec.kind});
+      }
+      return;
+    }
+  }
 
   Shard* acquire_shard() {
     std::lock_guard<std::mutex> lock(mu);
@@ -201,11 +262,74 @@ void Registry::record_ns(HistogramId id, std::uint64_t ns) noexcept {
 
 void Registry::record_span(const char* name, std::uint64_t start_ns,
                            std::uint64_t dur_ns) noexcept {
+  record_span(name, start_ns, dur_ns, TraceContext{}, 0);
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns,
+                           TraceContext parent) noexcept {
+  record_span(name, start_ns, dur_ns, parent,
+              parent.valid() ? next_span_id(parent.trace_id) : 0);
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, TraceContext parent,
+                           std::uint64_t span_id) noexcept {
   Shard& shard = local_shard(*impl_);
   const std::uint64_t head =
       shard.span_head.load(std::memory_order_relaxed);
-  shard.ring[head % kSpanRingCapacity] = SpanRecord{name, start_ns, dur_ns};
+  SpanRecord rec{name, start_ns, dur_ns};
+  if (parent.valid()) {
+    rec.trace_id = parent.trace_id;
+    rec.span_id = span_id;
+    rec.parent_id = parent.span_id;
+  }
+  shard.ring[head % kSpanRingCapacity] = rec;
   shard.span_head.store(head + 1, std::memory_order_release);
+  if (rec.trace_id != 0) impl_->route_trace(rec, shard.tid);
+}
+
+void Registry::record_instant(const char* name, std::uint64_t t_ns,
+                              TraceContext parent) noexcept {
+  if (!parent.valid()) return;  // instants only matter inside a trace
+  Shard& shard = local_shard(*impl_);
+  const std::uint64_t head =
+      shard.span_head.load(std::memory_order_relaxed);
+  SpanRecord rec{name, t_ns, 0};
+  rec.trace_id = parent.trace_id;
+  rec.span_id = next_span_id(parent.trace_id);
+  rec.parent_id = parent.span_id;
+  rec.kind = 1;
+  shard.ring[head % kSpanRingCapacity] = rec;
+  shard.span_head.store(head + 1, std::memory_order_release);
+  impl_->route_trace(rec, shard.tid);
+}
+
+bool Registry::attach_trace(std::uint64_t trace_id, TraceBuffer* buffer) {
+  if (trace_id == 0 || buffer == nullptr) return false;
+  for (auto& slot : impl_->trace_slots) {
+    std::uint64_t expected = 0;
+    if (slot.id.compare_exchange_strong(expected, trace_id,
+                                        std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(slot.slot_mu);
+      slot.buffer = buffer;
+      return true;
+    }
+  }
+  return false;  // all kMaxActiveTraces slots busy; spans still hit the rings
+}
+
+void Registry::detach_trace(std::uint64_t trace_id) noexcept {
+  if (trace_id == 0) return;
+  for (auto& slot : impl_->trace_slots) {
+    if (slot.id.load(std::memory_order_relaxed) != trace_id) continue;
+    {
+      std::lock_guard<std::mutex> lock(slot.slot_mu);
+      slot.buffer = nullptr;
+      slot.id.store(0, std::memory_order_release);
+    }
+    return;
+  }
 }
 
 void Registry::set_thread_label(const std::string& label) {
@@ -255,8 +379,9 @@ Snapshot Registry::snapshot(bool include_spans) const {
         const SpanRecord& rec =
             shard.ring[(head - kept + k) % kSpanRingCapacity];
         if (rec.name == nullptr) continue;
-        snap.spans.push_back(
-            SpanSnap{rec.name, shard.tid, rec.start_ns, rec.dur_ns});
+        snap.spans.push_back(SpanSnap{rec.name, shard.tid, rec.start_ns,
+                                      rec.dur_ns, rec.trace_id, rec.span_id,
+                                      rec.parent_id, rec.kind});
       }
     }
     snap.threads.push_back(
@@ -363,12 +488,28 @@ void write_chrome_trace(std::ostream& os, const Snapshot& snap) {
   for (const SpanSnap& s : snap.spans) {
     if (!first) os << ",\n";
     first = false;
-    os << "{\"name\":\"" << JsonWriter::escape(s.name)
-       << "\",\"cat\":\"tsmo\",\"ph\":\"X\",\"ts\":";
-    write_us(os, s.start_ns);
-    os << ",\"dur\":";
-    write_us(os, s.dur_ns);
-    os << ",\"pid\":0,\"tid\":" << s.tid << "}";
+    os << "{\"name\":\"" << JsonWriter::escape(s.name) << "\",\"cat\":\"tsmo\"";
+    if (s.kind == 1) {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      write_us(os, s.start_ns);
+    } else {
+      os << ",\"ph\":\"X\",\"ts\":";
+      write_us(os, s.start_ns);
+      os << ",\"dur\":";
+      write_us(os, s.dur_ns);
+    }
+    os << ",\"pid\":0,\"tid\":" << s.tid;
+    if (s.trace_id != 0) {
+      char ids[128];
+      std::snprintf(ids, sizeof(ids),
+                    ",\"args\":{\"trace\":\"0x%016llx\",\"span\":\"0x%016llx\","
+                    "\"parent\":\"0x%016llx\"}",
+                    static_cast<unsigned long long>(s.trace_id),
+                    static_cast<unsigned long long>(s.span_id),
+                    static_cast<unsigned long long>(s.parent_id));
+      os << ids;
+    }
+    os << "}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";
 }

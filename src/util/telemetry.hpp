@@ -28,6 +28,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -62,6 +63,117 @@ inline bool enabled() noexcept {
 
 /// Flips the runtime switch; returns the previous value.
 bool set_enabled(bool on) noexcept;
+
+// ---------------------------------------------------------------------------
+// Causal tracing (DESIGN.md §13).  A TraceContext names one request (a job,
+// or a direct CLI run) and the innermost live span on the current thread.
+// Ids are deterministic: trace ids are a splitmix64 mix of the request seed,
+// span ids mix the trace id with a process-wide monotone counter — no
+// wall clock and no RNG anywhere in the id path, so tracing can never
+// perturb a seeded run.  The context propagates two ways: ambiently via a
+// thread-local (TraceScope / Span nesting on one thread) and explicitly via
+// TsmoParams across thread boundaries (engines re-establish scope on their
+// master and worker threads).
+// ---------------------------------------------------------------------------
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = untraced
+  std::uint64_t span_id = 0;   ///< innermost enclosing span (parent of children)
+
+  bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// Deterministic non-zero trace id from a request seed (splitmix64 finalizer).
+std::uint64_t derive_trace_id(std::uint64_t seed) noexcept;
+
+/// Fresh non-zero span id under `trace_id`: mixes the trace id with a
+/// relaxed atomic counter (collision-free per process, clock/RNG-free).
+std::uint64_t next_span_id(std::uint64_t trace_id) noexcept;
+
+/// The calling thread's ambient context ({0,0} when untraced).
+TraceContext current_trace() noexcept;
+void set_current_trace(TraceContext ctx) noexcept;
+
+/// RAII ambient-context scope.  An invalid context arms nothing, so passing
+/// TsmoParams ids through unconditionally is safe for untraced runs.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx) noexcept {
+    if (ctx.valid()) {
+      prev_ = current_trace();
+      set_current_trace(ctx);
+      armed_ = true;
+    }
+  }
+  ~TraceScope() {
+    if (armed_) set_current_trace(prev_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool armed_ = false;
+};
+
+/// One collected span of a trace.  `name` must have static storage (the
+/// same contract record_span has); kind 1 marks an instant event.
+struct TraceSpan {
+  const char* name = nullptr;
+  int tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root of the trace
+  std::uint8_t kind = 0;        ///< 0 complete, 1 instant
+};
+
+/// Bounded per-request span collector.  Attach it to the registry under a
+/// trace id (Registry::attach_trace) and every span recorded with that id
+/// lands here until the budget fills; overflow is counted, never silently
+/// lost.  Appends take a mutex — spans are per-round/per-chunk granularity,
+/// never per-evaluation, so the lock is cold.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t budget)
+      : budget_(budget == 0 ? 1 : budget) {}
+
+  void append(const TraceSpan& span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++seen_;
+    if (spans_.size() >= budget_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back(span);
+  }
+
+  std::vector<TraceSpan> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  std::size_t budget() const noexcept { return budget_; }
+  std::uint64_t seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seen_;
+  }
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::size_t budget_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Concurrently collectable traces; bounds the registry's subscription
+/// table.  Attaching beyond it fails soft (spans simply stay uncollected).
+inline constexpr int kMaxActiveTraces = 16;
 
 /// Slot handles returned by Registry::counter/gauge/histogram.  Invalid ids
 /// (registration table full) make every recording call a silent no-op.
@@ -108,6 +220,11 @@ struct SpanSnap {
   int tid = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  // Causal ids; all zero for untraced spans.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint8_t kind = 0;  ///< 0 complete, 1 instant
 };
 
 struct ThreadSnap {
@@ -153,10 +270,34 @@ class Registry {
   void gauge_set(GaugeId id, std::int64_t value) noexcept;
   void record_ns(HistogramId id, std::uint64_t ns) noexcept;
 
-  /// Appends a span to this thread's ring buffer.  `name` must have static
-  /// storage duration (string literal) — the record stores the pointer.
+  /// Appends an untraced span to this thread's ring buffer.  `name` must
+  /// have static storage duration (string literal) — the record stores the
+  /// pointer.
   void record_span(const char* name, std::uint64_t start_ns,
                    std::uint64_t dur_ns) noexcept;
+
+  /// Traced span: mints a fresh span id under `parent` (when valid) and
+  /// additionally routes the record to an attached TraceBuffer.
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns, TraceContext parent) noexcept;
+
+  /// Traced span with a caller-minted id — the RAII Span mints its id at
+  /// construction so children created inside it can parent to it.
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns, TraceContext parent,
+                   std::uint64_t span_id) noexcept;
+
+  /// Zero-duration instant event (Chrome "i" phase), e.g. an anytime-front
+  /// insertion.  Untraced instants (invalid parent) are dropped — they only
+  /// carry information relative to a trace.
+  void record_instant(const char* name, std::uint64_t t_ns,
+                      TraceContext parent) noexcept;
+
+  /// Subscribes `buffer` to every span recorded under `trace_id`; at most
+  /// kMaxActiveTraces subscriptions are live at once (false when full or
+  /// the id is 0).  The buffer must stay alive until detach_trace returns.
+  bool attach_trace(std::uint64_t trace_id, TraceBuffer* buffer);
+  void detach_trace(std::uint64_t trace_id) noexcept;
 
   /// Names this thread's lane in the Chrome trace (e.g. "worker 3").
   void set_thread_label(const std::string& label);
@@ -186,18 +327,28 @@ class Registry {
 };
 
 /// RAII wall-clock span; records into the per-thread ring on destruction.
-/// `name` must be a string literal (static storage).
+/// `name` must be a string literal (static storage).  Under a valid ambient
+/// TraceContext the span mints its own id at construction and installs
+/// itself as the ambient parent for its lifetime, so nested spans (and
+/// record_span calls using current_trace()) form a rooted parent tree.
 class Span {
  public:
   explicit Span(const char* name) noexcept {
     if (enabled()) {
       name_ = name;
       start_ns_ = now_ns();
+      parent_ = current_trace();
+      if (parent_.valid()) {
+        self_ = next_span_id(parent_.trace_id);
+        set_current_trace(TraceContext{parent_.trace_id, self_});
+      }
     }
   }
   ~Span() {
     if (name_ != nullptr) {
-      Registry::instance().record_span(name_, start_ns_, now_ns() - start_ns_);
+      if (self_ != 0) set_current_trace(parent_);
+      Registry::instance().record_span(name_, start_ns_, now_ns() - start_ns_,
+                                       parent_, self_);
     }
   }
   Span(const Span&) = delete;
@@ -206,6 +357,8 @@ class Span {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  TraceContext parent_;
+  std::uint64_t self_ = 0;
 };
 
 /// RAII duration recorder feeding a histogram.  Takes a capture-less lambda
@@ -347,6 +500,16 @@ class TelemetrySink {
   TSMO_SPAN(span_literal);                                                    \
   TSMO_TIME_SCOPE(hist_literal)
 
+/// Records an instant event ("i" phase) under the ambient trace context.
+#define TSMO_INSTANT(name_literal)                                            \
+  do {                                                                        \
+    if (::tsmo::telemetry::enabled()) {                                       \
+      ::tsmo::telemetry::Registry::instance().record_instant(                 \
+          name_literal, ::tsmo::now_ns(),                                     \
+          ::tsmo::telemetry::current_trace());                                \
+    }                                                                         \
+  } while (0)
+
 /// Passes gated statements through verbatim (for non-macro-able telemetry
 /// code, e.g. dynamically named per-worker gauges).  Wrap runtime-sensitive
 /// bodies in `if (telemetry::enabled())` yourself.
@@ -377,6 +540,9 @@ class TelemetrySink {
   } while (0)
 #define TSMO_SPAN_TIMED(span_literal, hist_literal) \
   do {                                              \
+  } while (0)
+#define TSMO_INSTANT(name_literal) \
+  do {                             \
   } while (0)
 #define TSMO_TELEMETRY_ONLY(...)
 

@@ -616,6 +616,8 @@ class FlightRecorderTest : public ::testing::Test {
   }
   void TearDown() override {
     obs::FlightRecorder::instance().set_heartbeat_board(nullptr);
+    obs::FlightRecorder::instance().configure_capacity(
+        obs::FlightRecorder::kDefaultCapacity);
     obs::FlightRecorder::instance().reset();
     obs::FlightRecorder::set_enabled(was_);
   }
@@ -624,17 +626,16 @@ class FlightRecorderTest : public ::testing::Test {
 
 TEST_F(FlightRecorderTest, RingKeepsLastCapacityEventsOldestFirst) {
   obs::FlightRecorder& rec = obs::FlightRecorder::instance();
-  const int total = obs::FlightRecorder::kCapacity + 44;
+  const int cap = rec.capacity();
+  ASSERT_EQ(cap, obs::FlightRecorder::kDefaultCapacity);
+  const int total = cap + 44;
   for (int i = 0; i < total; ++i) {
     rec.record(obs::FlightKind::kNote, "wrap", i);
   }
   EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(total));
   const std::vector<obs::FlightEvent> events = rec.snapshot();
-  ASSERT_EQ(events.size(),
-            static_cast<std::size_t>(obs::FlightRecorder::kCapacity));
-  EXPECT_EQ(events.front().seq,
-            static_cast<std::uint64_t>(total -
-                                       obs::FlightRecorder::kCapacity + 1));
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(cap));
+  EXPECT_EQ(events.front().seq, static_cast<std::uint64_t>(total - cap + 1));
   EXPECT_EQ(events.back().seq, static_cast<std::uint64_t>(total));
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
@@ -644,6 +645,40 @@ TEST_F(FlightRecorderTest, RingKeepsLastCapacityEventsOldestFirst) {
     EXPECT_EQ(static_cast<std::uint64_t>(ev.a) + 1, ev.seq);
     EXPECT_STREQ(ev.tag, "wrap");
   }
+}
+
+TEST_F(FlightRecorderTest, CapacityIsConfigurableAndBoundsChecked) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  // Out-of-range requests clamp to [16, 65536] instead of being applied.
+  EXPECT_EQ(rec.configure_capacity(1), 16);
+  EXPECT_EQ(rec.capacity(), 16);
+  EXPECT_EQ(rec.configure_capacity(1 << 24), 65536);
+  EXPECT_EQ(rec.capacity(), 65536);
+
+  // A reconfigured ring keeps exactly the new capacity of events.
+  ASSERT_EQ(rec.configure_capacity(32), 32);
+  for (int i = 0; i < 100; ++i) {
+    rec.record(obs::FlightKind::kNote, "cap", i);
+  }
+  const std::vector<obs::FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 32u);
+  EXPECT_EQ(events.front().seq, 69u);
+  EXPECT_EQ(events.back().seq, 100u);
+
+  // Reconfiguring (even to the same capacity) resets the ring and counter.
+  EXPECT_EQ(rec.configure_capacity(32), 32);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST_F(FlightRecorderTest, EventsCarryTheTraceId) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  obs::flight_archive_insert(3, 2, 17, 0xabcdef0123456789ULL);
+  rec.record(obs::FlightKind::kNote, "untraced");
+  const std::vector<obs::FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, 0xabcdef0123456789ULL);
+  EXPECT_EQ(events[1].trace, 0u);
 }
 
 TEST_F(FlightRecorderTest, DisabledHooksRecordNothing) {

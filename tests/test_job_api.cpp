@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "obs/job_manager.hpp"
 #include "obs/obs_server.hpp"
 #include "util/json.hpp"
+#include "util/telemetry.hpp"
 #include "vrptw/generator.hpp"
 #include "vrptw/solomon_io.hpp"
 
@@ -327,6 +329,155 @@ TEST(JobApi, MetricsExposeJobCounters) {
   EXPECT_NE(body.find("tsmo_jobs_queue_depth 0"), std::string::npos);
   ASSERT_EQ(svc.request("GET", "/", "", body), 200);
   EXPECT_NE(body.find("/jobs"), std::string::npos);
+}
+
+TEST(JobApi, TraceExportIsValidChromeTraceWithRootedSpans) {
+  JobService svc;
+  std::string body;
+  // telemetry: true so engine/worker spans join the manager skeleton.
+  ASSERT_EQ(svc.request("POST", "/jobs",
+                        "{\"instance\": \"R1_1_1\", \"algorithm\": \"seq\", "
+                        "\"params\": {\"evaluations\": 3000, \"telemetry\": "
+                        "true}}",
+                        body),
+            202)
+      << body;
+  const std::string id = id_of(body);
+  // The submit receipt advertises the causal ids and the trace endpoint.
+  EXPECT_NE(body.find("\"trace_id\": \"0x"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"trace_url\": \"/jobs/" + id + "/trace\""),
+            std::string::npos)
+      << body;
+  ASSERT_TRUE(wait_for_state(svc, id, "done"));
+
+  ASSERT_EQ(svc.request("GET", "/jobs/" + id + "/trace", "", body), 200);
+  std::string err;
+  const std::unique_ptr<JsonValue> doc = json_parse(body, &err);
+  ASSERT_NE(doc, nullptr) << err << "\n" << body.substr(0, 300);
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const JsonValue* other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("job")->as_string(), id);
+  EXPECT_EQ(other->find("state")->as_string(), "done");
+  const std::string trace_id = other->find("trace_id")->as_string();
+  EXPECT_EQ(trace_id.substr(0, 2), "0x");
+  EXPECT_NE(trace_id, "0x0000000000000000");
+  EXPECT_GE(other->find("span_budget")->as_int64(), 1);
+  EXPECT_GE(other->find("dropped_spans")->as_int64(), 0);
+
+  // Every span event carries the job's trace id; parent links form a tree
+  // with exactly one root (the "job" span, parent 0).
+  std::set<std::string> span_ids;
+  std::set<std::string> names;
+  for (const JsonValue& ev : events->items()) {
+    const JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() == "M") continue;  // process metadata
+    const JsonValue* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->find("trace"), nullptr);
+    EXPECT_EQ(args->find("trace")->as_string(), trace_id);
+    span_ids.insert(args->find("span")->as_string());
+    names.insert(ev.find("name")->as_string());
+  }
+  EXPECT_TRUE(names.count("job") == 1 && names.count("job.run") == 1 &&
+              names.count("job.queue_wait") == 1)
+      << body.substr(0, 500);
+  int roots = 0;
+  for (const JsonValue& ev : events->items()) {
+    if (ev.find("ph")->as_string() == "M") continue;
+    const std::string parent = ev.find("args")->find("parent")->as_string();
+    if (parent == "0x0000000000000000") {
+      ++roots;
+      EXPECT_EQ(ev.find("name")->as_string(), "job");
+    } else {
+      EXPECT_EQ(span_ids.count(parent), 1u)
+          << ev.find("name")->as_string() << " dangles from " << parent;
+    }
+  }
+  EXPECT_EQ(roots, 1);
+#if TSMO_TELEMETRY_ENABLED
+  // With telemetry compiled in and requested, engine spans join the tree
+  // under job.run.
+  EXPECT_TRUE(names.count("run.sequential") == 1) << body.substr(0, 500);
+#endif
+}
+
+TEST(JobApi, ConcurrentJobsGetDistinctTraceIds) {
+  JobService svc;
+  std::string body;
+  // Identical bodies (same seed): trace ids must still differ per job.
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(7), body), 202);
+  const std::string first = id_of(body);
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(7), body), 202);
+  const std::string second = id_of(body);
+  ASSERT_TRUE(wait_for_state(svc, first, "done"));
+  ASSERT_TRUE(wait_for_state(svc, second, "done"));
+
+  const auto trace_of = [&](const std::string& id) {
+    std::string status;
+    EXPECT_EQ(svc.request("GET", "/jobs/" + id, "", status), 200);
+    const std::unique_ptr<JsonValue> doc = json_parse(status);
+    if (!doc || doc->find("trace_id") == nullptr) return std::string();
+    return doc->find("trace_id")->as_string();
+  };
+  const std::string t1 = trace_of(first);
+  const std::string t2 = trace_of(second);
+  EXPECT_EQ(t1.substr(0, 2), "0x");
+  EXPECT_NE(t1, "0x0000000000000000");
+  EXPECT_NE(t2, "0x0000000000000000");
+  EXPECT_NE(t1, t2);
+}
+
+TEST(JobApi, MetricsCarryRedHistogramsWithExemplars) {
+  JobService svc;
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body), 202);
+  ASSERT_TRUE(wait_for_state(svc, id_of(body), "done"));
+
+  ASSERT_EQ(svc.request("GET", "/metrics", "", body), 200);
+  EXPECT_NE(body.find("tsmo_http_requests_total{route=\"/jobs\","
+                      "method=\"POST\",code=\"202\"} 1"),
+            std::string::npos)
+      << body.substr(0, 600);
+  EXPECT_NE(body.find("tsmo_http_request_duration_seconds_bucket{"
+                      "route=\"/jobs\",method=\"POST\""),
+            std::string::npos);
+  EXPECT_NE(body.find("tsmo_http_request_duration_seconds_count{"
+                      "route=\"/jobs\",method=\"POST\"} 1"),
+            std::string::npos);
+  // The POST carried the job's trace id, so its slowest bucket must carry
+  // an exemplar naming trace and job.
+  EXPECT_NE(body.find(" # {trace_id=\"0x"), std::string::npos)
+      << body.substr(0, 600);
+  EXPECT_NE(body.find(",job=\"job-1\"}"), std::string::npos);
+  // Cumulative histogram closes with +Inf.
+  EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(JobApi, HealthzReportsTheJobPlane) {
+  obs::JobManagerConfig config;
+  config.queue_capacity = 9;
+  config.executors = 2;
+  JobService svc(config);
+  std::string body;
+  ASSERT_EQ(svc.request("POST", "/jobs", quick_body(), body), 202);
+  ASSERT_TRUE(wait_for_state(svc, id_of(body), "done"));
+
+  ASSERT_EQ(svc.request("GET", "/healthz", "", body), 200);
+  const std::unique_ptr<JsonValue> doc = json_parse(body);
+  ASSERT_NE(doc, nullptr) << body;
+  const JsonValue* jobs = doc->find("jobs");
+  ASSERT_NE(jobs, nullptr) << body;
+  EXPECT_EQ(jobs->find("queue_depth")->as_int64(), 0);
+  EXPECT_EQ(jobs->find("queue_capacity")->as_int64(), 9);
+  EXPECT_EQ(jobs->find("executors")->as_int64(), 2);
+  EXPECT_EQ(jobs->find("running")->as_int64(), 0);
+  EXPECT_EQ(jobs->find("accepted")->as_int64(), 1);
+  EXPECT_EQ(jobs->find("done")->as_int64(), 1);
 }
 
 }  // namespace
