@@ -41,6 +41,7 @@
 #include "sim/sim_tsmo.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 #include "util/progress.hpp"
 #include "util/stop.hpp"
 #include "util/table.hpp"
@@ -258,6 +259,12 @@ int main(int argc, char** argv) {
                  "append structured JSONL logs to this file instead of "
                  "stderr",
                  "");
+  cli.add_option("profile-hz",
+                 "arm the sampling CPU profiler at this rate (0 = off); "
+                 "export via /debug/profile or --profile-out",
+                 "0");
+  cli.add_option("profile-out",
+                 "write the run's folded-stack profile to this file", "");
   cli.add_flag("serve-jobs",
                "run as a batch solver service instead of solving once: "
                "POST /jobs, GET /jobs/<id>[/result], DELETE /jobs/<id> "
@@ -269,6 +276,9 @@ int main(int argc, char** argv) {
   cli.add_flag("stall-restart",
                "let a watchdog verdict trigger the stalled searcher's "
                "diversification restart (async/hybrid, needs --stall-ms)");
+  cli.add_flag("introspect",
+               "collect live per-operator/tabu/archive search rates "
+               "(/jobs introspection and the result's introspect block)");
   cli.add_flag("simulate", "run on the virtual clock (deterministic)");
   cli.add_flag("polish",
                "post-run VND local search on every archive solution");
@@ -304,6 +314,15 @@ int main(int argc, char** argv) {
       install_stop_signals();
       telemetry::set_enabled(true);
       obs::FlightRecorder::set_enabled(true);
+      // Service-wide profiler arm: /debug/profile and /jobs/<id>/profile
+      // work for every job without each body opting in.
+      if (const int hz = static_cast<int>(cli.get_int("profile-hz"));
+          hz > 0) {
+        if (!prof::start(hz)) {
+          std::cerr << "warning: sampling profiler unavailable on this "
+                       "platform; /debug/profile will answer 409\n";
+        }
+      }
       const std::string postmortem = cli.get("postmortem");
       if (!postmortem.empty() &&
           !obs::install_crash_handlers(postmortem)) {
@@ -363,6 +382,8 @@ int main(int argc, char** argv) {
     params.archive_capacity = static_cast<int>(cli.get_int("archive"));
     params.restart_after = static_cast<int>(cli.get_int("restart-after"));
     params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    params.profile_hz = static_cast<int>(cli.get_int("profile-hz"));
+    params.introspect = cli.flag("introspect");
     const std::string screen = cli.get("screen");
     params.feasibility_screen =
         screen == "capacity" ? FeasibilityScreen::CapacityOnly
@@ -597,6 +618,23 @@ int main(int argc, char** argv) {
       }
       write_run_json(f, inst, result);
       std::cout << "JSON written to " << path << "\n";
+    }
+    if (const std::string path = cli.get("profile-out"); !path.empty()) {
+      if (!prof::enabled()) {
+        std::cerr << "--profile-out needs --profile-hz N on a supported "
+                     "platform\n";
+        return 1;
+      }
+      std::ofstream f(path);
+      if (!f) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+      }
+      const std::vector<prof::Sample> samples = prof::collect();
+      f << prof::fold(samples);
+      std::cout << samples.size() << " profile samples ("
+                << prof::stats().rate_hz << " Hz) written to " << path
+                << " (flamegraph.pl-ready folded stacks)\n";
     }
     if (server) {
       server->set_recorder(nullptr);

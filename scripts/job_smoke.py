@@ -4,7 +4,9 @@
 Drives a running `solver_cli --serve-jobs` instance through the full
 lifecycle — admission checks, a golden job whose RunResult is validated
 against a committed reference, a mid-run cancel, a causal-tracing phase
-validating /jobs/<id>/trace and the RED exemplars — then measures sustained
+validating /jobs/<id>/trace and the RED exemplars, a profiler phase
+(--profile-only) validating /debug/profile and /jobs/<id>/profile folded
+stacks plus /jobs/<id>/introspect — then measures sustained
 throughput and submit-to-first-front latency over a burst of quick jobs
 and writes the record to bench_results/job_api_latency.json.
 
@@ -243,6 +245,84 @@ def trace_checks(port):
     print("trace phase OK")
 
 
+def validate_folded(text, context):
+    """Folded-stack syntax (DESIGN.md §14): every non-empty line is
+    "frame(;frame)* <count>" with a positive integer count; returns the
+    total sample count."""
+    total = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        expect(stack != "" and count.isdigit() and int(count) > 0,
+               f"{context}: well-formed folded line ({line!r})")
+        expect(all(frame for frame in stack.split(";")),
+               f"{context}: no empty frame names ({line!r})")
+        total += int(count)
+    return total
+
+
+def profile_checks(port):
+    """Profiler phase (DESIGN.md §14): the server (started with
+    --profile-hz) serves whole-process folded stacks on /debug/profile,
+    per-job stacks on /jobs/<id>/profile filtered to that job's trace,
+    speedscope JSON on ?format=speedscope, and live introspection on
+    /jobs/<id>/introspect."""
+    status, health = request(port, "GET", "/healthz")
+    expect(status == 200 and "profiler" in health,
+           "/healthz reports a profiler section")
+    profiler = health["profiler"]
+    if not profiler.get("supported"):
+        print("skip: profiler unsupported on this platform")
+        return
+    expect(profiler.get("enabled") and profiler.get("rate_hz", 0) > 0,
+           "profiler armed (serve with --profile-hz)")
+
+    body = json.loads(json.dumps(QUICK_JOB))
+    body["params"]["evaluations"] = 400000
+    body["params"]["introspect"] = True
+    status, doc = request(port, "POST", "/jobs", body)
+    expect(status == 202, "profiled submit accepted")
+    job_id = doc["id"]
+    expect(doc.get("profile_url") == f"/jobs/{job_id}/profile",
+           "submit receipt advertises the profile endpoint")
+    expect(doc.get("introspect_url") == f"/jobs/{job_id}/introspect",
+           "submit receipt advertises the introspect endpoint")
+
+    # Whole-process window while the job burns CPU.
+    status, folded = request(port, "GET", "/debug/profile?seconds=2")
+    expect(status == 200 and isinstance(folded, str),
+           "/debug/profile serves folded text")
+    total = validate_folded(folded, "/debug/profile")
+    expect(total > 0, f"windowed profile captured samples ({total})")
+
+    final = wait_terminal(port, job_id)
+    expect(final["state"] == "done", "profiled job completed")
+
+    status, folded = request(port, "GET", f"/jobs/{job_id}/profile")
+    expect(status == 200 and isinstance(folded, str),
+           "/jobs/<id>/profile serves folded text")
+    total = validate_folded(folded, f"/jobs/{job_id}/profile")
+    expect(total > 0, f"per-job profile captured samples ({total})")
+
+    status, ss = request(port, "GET",
+                         f"/jobs/{job_id}/profile?format=speedscope")
+    expect(status == 200 and isinstance(ss, dict),
+           "speedscope format serves JSON")
+    expect(ss.get("profiles") and ss["profiles"][0].get("type") == "sampled",
+           "speedscope document holds a sampled profile")
+
+    status, intro = request(port, "GET", f"/jobs/{job_id}/introspect")
+    expect(status == 200 and isinstance(intro, dict),
+           "/jobs/<id>/introspect serves JSON")
+    search = intro.get("search", {})
+    expect(search.get("steps", 0) > 0, "introspection counted search steps")
+    ops = intro.get("operators", {})
+    expect(ops and all("proposed" in v for v in ops.values()),
+           f"per-operator funnel present ({sorted(ops)})")
+    print("profile phase OK")
+
+
 def submit_with_backoff(port, payload, timeout_s=60):
     """Submits, honoring 429 admission control: backs off for the
     advertised Retry-After (capped for smoke speed) and retries."""
@@ -293,11 +373,19 @@ def main():
     ap.add_argument("--write-golden", action="store_true")
     ap.add_argument("--trace-only", action="store_true",
                     help="run only the causal-tracing phase")
+    ap.add_argument("--profile-only", action="store_true",
+                    help="run only the profiler/introspection phase "
+                         "(server must be started with --profile-hz)")
     args = ap.parse_args()
 
     if args.trace_only:
         trace_checks(args.port)
         print("job smoke OK (trace only)")
+        return
+
+    if args.profile_only:
+        profile_checks(args.port)
+        print("job smoke OK (profile only)")
         return
 
     lifecycle_checks(args.port)

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/profiler.hpp"
 #include "vrptw/evaluation.hpp"
 #include "vrptw/schedule.hpp"
 
@@ -172,6 +173,7 @@ Solution construct_i1(const Instance& inst, const I1Params& params) {
 }
 
 Solution construct_i1_random(const Instance& inst, Rng& rng) {
+  TSMO_PROFILE_FRAME("construct.i1");
   return construct_i1(inst, random_i1_params(rng));
 }
 

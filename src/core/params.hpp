@@ -99,6 +99,20 @@ struct TsmoParams {
   /// Never raised during a normal run, so determinism and golden-seed
   /// fingerprints are untouched; never perturbed.
   const std::atomic<bool>* stop = nullptr;
+  /// In-process sampling profiler rate (DESIGN.md §14).  > 0 arms the
+  /// SIGPROF shadow-stack sampler at that many samples per second of
+  /// *CPU time* per thread (clamped to [1, 1000]); 0 (default) leaves it
+  /// untouched.  Sampling is pure observation — the handler only copies
+  /// the phase stack into a per-thread ring — so fingerprints are
+  /// identical profiled or not.  Never perturbed.
+  int profile_hz = 0;
+  /// Enables the live search-introspection hub (moo/introspect.hpp,
+  /// DESIGN.md §14): per-operator acceptance rates, tabu pressure and
+  /// archive churn published each step for /jobs/<id>/introspect and the
+  /// tsmo_search_* gauges.  The per-searcher counters behind it are always
+  /// maintained (and always summarized into RunResult); this flag only
+  /// controls the shared live hub.  Observation only; never perturbed.
+  bool introspect = false;
   std::uint64_t seed = 1;
 
   /// Perturbs every numeric parameter with N(0, p/4) noise — §III.E: "The

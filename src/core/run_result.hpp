@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "moo/introspect.hpp"
 #include "vrptw/objectives.hpp"
 #include "vrptw/solution.hpp"
 
@@ -68,6 +69,10 @@ struct RunResult {
   /// Where the crash-handler postmortem would land when the flight
   /// recorder was armed (--postmortem); empty otherwise.
   std::string postmortem_path;
+  /// Search-introspection summary (DESIGN.md §14): per-operator funnel,
+  /// tabu pressure and archive churn, summed over every searcher of the
+  /// run.  Always filled (the counters are always maintained).
+  IntrospectStats introspect;
 
   /// Recomputes iterations_per_second from the current counters, preferring
   /// real wall clock and falling back to the DES virtual clock.  Call after

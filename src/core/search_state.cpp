@@ -4,6 +4,7 @@
 
 #include "construct/i1_insertion.hpp"
 #include "obs/flight_recorder.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace tsmo {
@@ -74,8 +75,10 @@ void SearchState::initialize_with(Solution s) {
   s.evaluate();
   current_ = std::make_shared<const Solution>(std::move(s));
   ++evaluations_;
-  if (archive_accepted(
-          archive_.try_add(current_->objectives(), *current_))) {
+  const ArchiveOutcome init_outcome =
+      archive_.try_add(current_->objectives(), *current_);
+  observe_archive_outcome(init_outcome);
+  if (archive_accepted(init_outcome)) {
     note_insertion(current_->objectives(), -1, -1);
   }
   iterations_ = 0;
@@ -89,6 +92,7 @@ void SearchState::initialize_with(Solution s) {
 
 std::vector<Candidate> SearchState::generate_candidates(int count) {
   TSMO_TIME_SCOPE("search.generate_ns");
+  TSMO_PROFILE_FRAME("search.generate");
   std::vector<Candidate> c =
       make_candidates(generator_, current_, count, rng_);
   evaluations_ += static_cast<std::int64_t>(c.size());
@@ -105,6 +109,9 @@ std::optional<std::size_t> SearchState::select(
     const bool tabu = tabu_.is_tabu(candidates[i].creates);
     const bool aspired = params_.use_aspiration && tabu &&
                          archive_.would_improve(candidates[i].obj);
+    ++istats_.tabu_checked;
+    if (tabu) ++istats_.tabu_hits;
+    if (aspired) ++istats_.tabu_aspirations;
     if (!tabu || aspired) admissible.push_back(i);
   }
   if (admissible.empty()) return std::nullopt;
@@ -128,6 +135,7 @@ Solution SearchState::restart_pick() {
 SearchState::StepOutcome SearchState::step_with_candidates(
     const std::vector<Candidate>& candidates) {
   TSMO_TIME_SCOPE("search.step_ns");
+  TSMO_PROFILE_FRAME("search.step");
   TSMO_COUNT("search.steps");
   StepOutcome out;
   // A pending watchdog diversification request routes through the
@@ -149,18 +157,32 @@ SearchState::StepOutcome SearchState::step_with_candidates(
   } else {
     current_ = std::make_shared<const Solution>(restart_pick());
     ++restarts_;
+    ++istats_.restarts;
     TSMO_COUNT("search.restarts");
     out.restarted = true;
     no_improvement_ = false;
   }
 
+  // Introspection funnel: every candidate was a proposal; the selected one
+  // was accepted (improving is settled after the archive insert below).
+  for (const Candidate& c : candidates) {
+    ++istats_.proposed[static_cast<std::size_t>(c.move.type)];
+  }
+  if (out.selected) {
+    ++istats_.accepted[static_cast<std::size_t>(
+        candidates[*out.selected].move.type)];
+  }
+
   // Line 13: UpdateMemories(s, N) — chosen current into M_archive,
   // remaining non-dominated neighbors into M_nondom.
-  bool improved =
-      archive_accepted(archive_.try_add(current_->objectives(), *current_));
+  const ArchiveOutcome step_outcome =
+      archive_.try_add(current_->objectives(), *current_);
+  observe_archive_outcome(step_outcome);
+  const bool improved = archive_accepted(step_outcome);
   if (improved) {
     if (out.selected) {
       const Candidate& c = candidates[*out.selected];
+      ++istats_.improving[static_cast<std::size_t>(c.move.type)];
       note_insertion(current_->objectives(),
                      static_cast<int>(c.move.type), c.origin);
     } else {
@@ -226,8 +248,39 @@ SearchState::StepOutcome SearchState::step_with_candidates(
       recorder_->sample(iterations_, evaluations_, archive_.objectives());
     }
   }
+  // Introspection snapshot gauges + optional live publication.  Pure
+  // observation of already-computed state; no RNG, no decision input.
+  ++istats_.steps;
+  istats_.tabu_occupancy_now = tabu_.size();
+  istats_.tabu_tenure = tabu_.tenure();
+  istats_.archive_size_now = archive_.size();
+  if (live_introspect_ != nullptr) {
+    live_introspect_->publish(introspect_slot_, istats_);
+  }
+
   if (trace_.enabled()) obs::flight_fingerprint(trace_.fingerprint());
   return out;
+}
+
+void SearchState::observe_archive_outcome(ArchiveOutcome o) noexcept {
+  switch (o) {
+    case ArchiveOutcome::Added:
+      ++istats_.archive_inserts;
+      break;
+    case ArchiveOutcome::AddedEvicted:
+      ++istats_.archive_inserts;
+      ++istats_.archive_evictions;
+      break;
+    case ArchiveOutcome::Dominated:
+      ++istats_.archive_dominated_rejects;
+      break;
+    case ArchiveOutcome::Duplicate:
+      ++istats_.archive_duplicate_rejects;
+      break;
+    case ArchiveOutcome::RejectedCrowded:
+      ++istats_.archive_crowded_rejects;
+      break;
+  }
 }
 
 void SearchState::maybe_adapt_weights() {

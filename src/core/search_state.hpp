@@ -23,6 +23,7 @@
 #include "core/tabu_list.hpp"
 #include "moo/anytime.hpp"
 #include "moo/archive.hpp"
+#include "moo/introspect.hpp"
 #include "moo/nondom_memory.hpp"
 #include "operators/move_engine.hpp"
 #include "operators/neighborhood.hpp"
@@ -154,6 +155,20 @@ class SearchState {
   /// their trace ids untouched so fingerprints are recorder-independent).
   void set_recorder(ConvergenceRecorder* rec, int searcher_id);
 
+  /// Introspection counters (DESIGN.md §14): per-operator move funnel,
+  /// tabu pressure, archive churn.  Always maintained — pure observation
+  /// of values the step computes anyway — and copied into RunResult.
+  const IntrospectStats& istats() const noexcept { return istats_; }
+
+  /// Attaches this searcher to a live introspection hub (registering a
+  /// fresh slot); step_with_candidates then publishes its counters after
+  /// every step.  Pass nullptr to detach.  Observation only: never feeds
+  /// back into the search.
+  void set_introspect(LiveIntrospect* live) {
+    live_introspect_ = live;
+    introspect_slot_ = live != nullptr ? live->register_searcher() : -1;
+  }
+
   /// Provenance of the current archive content: attribution of the last
   /// insertion of each member's objective vector (identity attribution
   /// when the vector was never tracked, e.g. for received solutions).
@@ -184,6 +199,9 @@ class SearchState {
   /// and forwards the insertion to the recorder when attached.
   void note_insertion(const Objectives& obj, int op, int worker);
 
+  /// Folds an archive try_add outcome into the churn counters.
+  void observe_archive_outcome(ArchiveOutcome o) noexcept;
+
   const Instance* inst_;
   TsmoParams params_;
   Rng rng_;
@@ -210,6 +228,9 @@ class SearchState {
   bool no_improvement_ = false;
   std::array<std::int64_t, kNumMoveTypes> offered_{};
   std::array<std::int64_t, kNumMoveTypes> selected_{};
+  IntrospectStats istats_;
+  LiveIntrospect* live_introspect_ = nullptr;
+  int introspect_slot_ = -1;
 };
 
 }  // namespace tsmo

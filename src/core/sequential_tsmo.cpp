@@ -1,8 +1,10 @@
 #include "core/sequential_tsmo.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "obs/flight_recorder.hpp"
+#include "util/profiler.hpp"
 #include "util/stop.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -25,6 +27,7 @@ RunResult collect_result(const SearchState& state, std::string algorithm,
   r.trace_fingerprint = state.trace().fingerprint();
   r.wall_seconds = wall_seconds;
   r.stopped_early = state.stop_flag_raised();
+  r.introspect = state.istats();
   r.refresh_throughput();
   obs::flight_fingerprint(r.trace_fingerprint);
   return r;
@@ -36,10 +39,21 @@ RunResult SequentialTsmo::run(const IterationObserver& observer) const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.sequential");
+  TSMO_PROFILE_FRAME("run.sequential");
   obs::flight_engine_start("sequential", 1, 0, params_.trace_id);
   Timer timer;
   SearchState state(*inst_, params_, Rng(params_.seed));
+  // Live introspection: an injected hub wins; otherwise params.introspect
+  // makes the run own one so the registry's /metrics gauges see it.
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = introspect_;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("sequential");
+    live = own_introspect.get();
+  }
+  if (live != nullptr) state.set_introspect(live);
   state.initialize();
 
   while (!state.budget_exhausted()) {

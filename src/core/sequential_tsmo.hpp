@@ -32,9 +32,15 @@ class SequentialTsmo {
   /// Runs Algorithm 1 until the evaluation budget is exhausted.
   RunResult run(const IterationObserver& observer = {}) const;
 
+  /// Optional live introspection hub (DESIGN.md §14) the searcher
+  /// publishes into each step; overrides the self-created hub that
+  /// params.introspect would otherwise provide.  Observation only.
+  void set_introspect(LiveIntrospect* live) noexcept { introspect_ = live; }
+
  private:
   const Instance* inst_;
   TsmoParams params_;
+  LiveIntrospect* introspect_ = nullptr;
 };
 
 /// Copies the archive of a finished searcher into a RunResult.

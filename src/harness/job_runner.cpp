@@ -1,6 +1,7 @@
 #include "harness/job_runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "core/sequential_tsmo.hpp"
 #include "harness/report.hpp"
 #include "moo/anytime.hpp"
+#include "moo/introspect.hpp"
 #include "parallel/async_tsmo.hpp"
 #include "parallel/hybrid_tsmo.hpp"
 #include "parallel/multisearch_tsmo.hpp"
@@ -53,6 +55,12 @@ TsmoParams parse_params(const JsonValue* node) {
   if (const JsonValue* v = node->find("telemetry")) {
     p.telemetry = v->as_bool(p.telemetry);
   }
+  if (const JsonValue* v = node->find("introspect")) {
+    p.introspect = v->as_bool(p.introspect);
+  }
+  if (const JsonValue* v = node->find("profile_hz")) {
+    p.profile_hz = static_cast<int>(v->as_int64(p.profile_hz));
+  }
   if (const JsonValue* v = node->find("screen"); v && v->is_string()) {
     const std::string& s = v->as_string();
     if (s == "capacity") {
@@ -71,26 +79,32 @@ TsmoParams parse_params(const JsonValue* node) {
 
 RunResult run_engine(const std::string& algorithm, const Instance& inst,
                      const TsmoParams& params, int processors,
-                     ConvergenceRecorder* recorder) {
+                     ConvergenceRecorder* recorder,
+                     LiveIntrospect* introspect) {
   if (algorithm == "seq") {
-    return SequentialTsmo(inst, params).run();
+    SequentialTsmo seq(inst, params);
+    seq.set_introspect(introspect);
+    return seq.run();
   }
   if (algorithm == "sync") {
     SyncOptions so;
     so.deterministic = true;
     so.recorder = recorder;
+    so.introspect = introspect;
     return SyncTsmo(inst, params, processors, so).run();
   }
   if (algorithm == "async") {
     AsyncOptions ao;
     ao.deterministic = true;
     ao.recorder = recorder;
+    ao.introspect = introspect;
     return AsyncTsmo(inst, params, processors, ao).run();
   }
   if (algorithm == "coll") {
     MultisearchOptions mo;
     mo.deterministic = true;
     mo.recorder = recorder;
+    mo.introspect = introspect;
     MultisearchResult r = MultisearchTsmo(inst, params, processors, mo).run();
     return std::move(r.merged);
   }
@@ -98,6 +112,7 @@ RunResult run_engine(const std::string& algorithm, const Instance& inst,
     HybridOptions ho;
     ho.deterministic = true;
     ho.recorder = recorder;
+    ho.introspect = introspect;
     const int per_island = std::max(2, processors / 2);
     MultisearchResult r = HybridTsmo(inst, params, 2, per_island, ho).run();
     return std::move(r.merged);
@@ -163,21 +178,39 @@ obs::JobOutcome run_job_body(const std::string& body,
     cc.sample_every_iters = params.convergence_sample_iters;
     cc.sample_every_ms = params.convergence_sample_ms;
     ConvergenceRecorder recorder(cc);
-    // Declared after the recorder so it retracts the published pointer
-    // *before* the recorder dies — on every exit path, including engine
+    // Per-job introspection hub (DESIGN.md §14) when the body opted in;
+    // shared by every searcher of this job and served live on
+    // GET /jobs/<id>/introspect.
+    std::unique_ptr<LiveIntrospect> introspect;
+    if (params.introspect) {
+      char label[24];
+      std::snprintf(label, sizeof(label), "job-%016llx",
+                    static_cast<unsigned long long>(ctx.trace.trace_id));
+      introspect = std::make_unique<LiveIntrospect>(label);
+    }
+    // Declared after the recorder/hub so it retracts the published
+    // pointers *before* they die — on every exit path, including engine
     // exceptions unwinding past this scope.
     struct PublishGuard {
       const obs::JobContext* ctx;
       ~PublishGuard() {
         if (ctx->publish) ctx->publish(nullptr);
+        if (ctx->publish_introspect) ctx->publish_introspect(nullptr);
       }
     } guard{&ctx};
     if (ctx.publish) ctx.publish(&recorder);
+    if (introspect != nullptr && ctx.publish_introspect) {
+      ctx.publish_introspect(introspect.get());
+    }
 
-    RunResult result =
-        run_engine(algorithm, inst, params, processors, &recorder);
+    RunResult result = run_engine(algorithm, inst, params, processors,
+                                  &recorder, introspect.get());
 
     recorder.finalize(result.front);
+    if (introspect != nullptr) {
+      out.introspect_json = introspect->to_json();
+      out.introspect_json += '\n';
+    }
 
     std::ostringstream os;
     write_run_json(os, inst, result, include_routes);

@@ -60,6 +60,46 @@ void write_run_json(std::ostream& os, const Instance& inst,
   if (!result.postmortem_path.empty()) {
     w.key("postmortem_path").value(result.postmortem_path);
   }
+  // Search-introspection summary (DESIGN.md §14): the run's cumulative
+  // operator funnel and tabu/archive pressure.  Omitted for runs that
+  // recorded no steps (e.g. merged placeholders).
+  if (result.introspect.steps > 0) {
+    const IntrospectStats& is = result.introspect;
+    w.key("introspect").begin_object();
+    w.key("operators").begin_object();
+    for (int m = 0; m < kNumMoveTypes; ++m) {
+      const auto idx = static_cast<std::size_t>(m);
+      w.key(to_string(static_cast<MoveType>(m))).begin_object();
+      w.key("proposed")
+          .value(static_cast<std::int64_t>(is.proposed[idx]));
+      w.key("accepted")
+          .value(static_cast<std::int64_t>(is.accepted[idx]));
+      w.key("improving")
+          .value(static_cast<std::int64_t>(is.improving[idx]));
+      w.end_object();
+    }
+    w.end_object();
+    w.key("steps").value(static_cast<std::int64_t>(is.steps));
+    w.key("restarts").value(static_cast<std::int64_t>(is.restarts));
+    w.key("tabu").begin_object();
+    w.key("checked").value(static_cast<std::int64_t>(is.tabu_checked));
+    w.key("hits").value(static_cast<std::int64_t>(is.tabu_hits));
+    w.key("aspirations")
+        .value(static_cast<std::int64_t>(is.tabu_aspirations));
+    w.end_object();
+    w.key("archive").begin_object();
+    w.key("inserts").value(static_cast<std::int64_t>(is.archive_inserts));
+    w.key("evictions")
+        .value(static_cast<std::int64_t>(is.archive_evictions));
+    w.key("dominated_rejects")
+        .value(static_cast<std::int64_t>(is.archive_dominated_rejects));
+    w.key("duplicate_rejects")
+        .value(static_cast<std::int64_t>(is.archive_duplicate_rejects));
+    w.key("crowded_rejects")
+        .value(static_cast<std::int64_t>(is.archive_crowded_rejects));
+    w.end_object();
+    w.end_object();
+  }
 
   w.key("front").begin_array();
   for (std::size_t i = 0; i < result.front.size(); ++i) {

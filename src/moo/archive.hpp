@@ -17,6 +17,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
 #include "vrptw/objectives.hpp"
@@ -72,6 +73,7 @@ class ParetoArchive {
   /// unchanged.
   ArchiveOutcome try_add(const Objectives& obj, T value) {
     TSMO_TIME_SCOPE("archive.insert_ns");
+    TSMO_PROFILE_FRAME("archive.insert");
     const ArchiveOutcome outcome = try_add_impl(obj, std::move(value));
     switch (outcome) {
       case ArchiveOutcome::Added:

@@ -1,0 +1,266 @@
+#include "moo/introspect.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/timer.hpp"
+
+namespace tsmo {
+
+namespace {
+
+/// Rate window served by windowed_rates(); checkpoints older than this are
+/// pruned (one extra is kept so the window always spans >= kWindowNs once
+/// the run is old enough).
+constexpr std::uint64_t kWindowNs = 5'000'000'000ULL;
+/// Minimum spacing between checkpoints — bounds the deque at ~20 entries.
+constexpr std::uint64_t kCheckpointEveryNs = 250'000'000ULL;
+
+double per_second(std::uint64_t delta, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(delta) / seconds : 0.0;
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_kv(std::string& out, const char* key, double v, bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t IntrospectStats::total_proposed() const noexcept {
+  std::uint64_t t = 0;
+  for (std::uint64_t v : proposed) t += v;
+  return t;
+}
+
+std::uint64_t IntrospectStats::total_accepted() const noexcept {
+  std::uint64_t t = 0;
+  for (std::uint64_t v : accepted) t += v;
+  return t;
+}
+
+std::uint64_t IntrospectStats::total_improving() const noexcept {
+  std::uint64_t t = 0;
+  for (std::uint64_t v : improving) t += v;
+  return t;
+}
+
+std::uint64_t IntrospectStats::archive_attempts() const noexcept {
+  return archive_inserts + archive_dominated_rejects +
+         archive_duplicate_rejects + archive_crowded_rejects;
+}
+
+void IntrospectStats::merge(const IntrospectStats& other) noexcept {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kNumMoveTypes); ++i) {
+    proposed[i] += other.proposed[i];
+    accepted[i] += other.accepted[i];
+    improving[i] += other.improving[i];
+  }
+  steps += other.steps;
+  restarts += other.restarts;
+  tabu_checked += other.tabu_checked;
+  tabu_hits += other.tabu_hits;
+  tabu_aspirations += other.tabu_aspirations;
+  tabu_occupancy_now += other.tabu_occupancy_now;
+  tabu_tenure = std::max(tabu_tenure, other.tabu_tenure);
+  archive_inserts += other.archive_inserts;
+  archive_evictions += other.archive_evictions;
+  archive_dominated_rejects += other.archive_dominated_rejects;
+  archive_duplicate_rejects += other.archive_duplicate_rejects;
+  archive_crowded_rejects += other.archive_crowded_rejects;
+  archive_size_now += other.archive_size_now;
+}
+
+LiveIntrospect::LiveIntrospect(std::string label)
+    : label_(std::move(label)) {
+  IntrospectRegistry::instance().attach(this);
+}
+
+LiveIntrospect::~LiveIntrospect() {
+  IntrospectRegistry::instance().detach(this);
+}
+
+int LiveIntrospect::register_searcher() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.emplace_back();
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void LiveIntrospect::publish(int slot, const IntrospectStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) return;
+  slots_[static_cast<std::size_t>(slot)] = stats;
+  const std::uint64_t now = now_ns();
+  if (last_checkpoint_ns_ != 0 &&
+      now - last_checkpoint_ns_ < kCheckpointEveryNs) {
+    return;
+  }
+  last_checkpoint_ns_ = now;
+  window_.push_back(Checkpoint{now, totals_locked()});
+  // Keep one checkpoint older than the window so rates always span >=
+  // kWindowNs once the run has been going that long.
+  while (window_.size() > 2 && now - window_[1].t_ns >= kWindowNs) {
+    window_.pop_front();
+  }
+}
+
+IntrospectStats LiveIntrospect::totals_locked() const {
+  IntrospectStats t;
+  for (const IntrospectStats& s : slots_) t.merge(s);
+  return t;
+}
+
+IntrospectStats LiveIntrospect::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_locked();
+}
+
+IntrospectRates LiveIntrospect::rates_locked(std::uint64_t now) const {
+  IntrospectRates r;
+  if (window_.empty()) return r;
+  const Checkpoint& oldest = window_.front();
+  const IntrospectStats latest = totals_locked();
+  if (now <= oldest.t_ns) return r;
+  const double seconds =
+      static_cast<double>(now - oldest.t_ns) / 1e9;
+  r.window_seconds = seconds;
+  const IntrospectStats& base = oldest.totals;
+  r.steps_per_s = per_second(latest.steps - base.steps, seconds);
+  const std::uint64_t d_prop = latest.total_proposed() - base.total_proposed();
+  const std::uint64_t d_acc = latest.total_accepted() - base.total_accepted();
+  const std::uint64_t d_imp =
+      latest.total_improving() - base.total_improving();
+  r.proposals_per_s = per_second(d_prop, seconds);
+  r.acceptance_rate = ratio(d_acc, d_prop);
+  r.improving_rate = ratio(d_imp, d_acc);
+  r.tabu_hit_rate =
+      ratio(latest.tabu_hits - base.tabu_hits,
+            latest.tabu_checked - base.tabu_checked);
+  r.archive_inserts_per_s =
+      per_second(latest.archive_inserts - base.archive_inserts, seconds);
+  return r;
+}
+
+IntrospectRates LiveIntrospect::windowed_rates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rates_locked(now_ns());
+}
+
+std::string LiveIntrospect::to_json() const {
+  IntrospectStats totals;
+  IntrospectRates rates;
+  std::size_t searchers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    totals = totals_locked();
+    rates = rates_locked(now_ns());
+    searchers = slots_.size();
+  }
+  std::string out;
+  out += "{\"label\":\"";
+  out += label_;  // labels are job ids / engine names: no escaping needed
+  out += "\",";
+  out += "\"searchers\":";
+  out += std::to_string(searchers);
+  out += ',';
+  append_introspect_json(out, totals, &rates);
+  out += '}';
+  return out;
+}
+
+IntrospectRegistry& IntrospectRegistry::instance() {
+  static IntrospectRegistry* reg = new IntrospectRegistry();  // leaked
+  return *reg;
+}
+
+void IntrospectRegistry::attach(LiveIntrospect* hub) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hubs_.push_back(hub);
+}
+
+void IntrospectRegistry::detach(LiveIntrospect* hub) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hubs_.erase(std::remove(hubs_.begin(), hubs_.end(), hub), hubs_.end());
+}
+
+IntrospectStats IntrospectRegistry::aggregate(int* hubs) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IntrospectStats t;
+  for (const LiveIntrospect* hub : hubs_) t.merge(hub->totals());
+  if (hubs != nullptr) *hubs = static_cast<int>(hubs_.size());
+  return t;
+}
+
+void append_introspect_json(std::string& out, const IntrospectStats& s,
+                            const IntrospectRates* rates) {
+  out += "\"operators\":{";
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kNumMoveTypes); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<MoveType>(i));
+    out += "\":{";
+    bool first = true;
+    append_kv(out, "proposed", s.proposed[i], &first);
+    append_kv(out, "accepted", s.accepted[i], &first);
+    append_kv(out, "improving", s.improving[i], &first);
+    out += '}';
+  }
+  out += "},\"search\":{";
+  bool first = true;
+  append_kv(out, "steps", s.steps, &first);
+  append_kv(out, "restarts", s.restarts, &first);
+  append_kv(out, "proposed", s.total_proposed(), &first);
+  append_kv(out, "accepted", s.total_accepted(), &first);
+  append_kv(out, "improving", s.total_improving(), &first);
+  out += "},\"tabu\":{";
+  first = true;
+  append_kv(out, "checked", s.tabu_checked, &first);
+  append_kv(out, "hits", s.tabu_hits, &first);
+  append_kv(out, "aspirations", s.tabu_aspirations, &first);
+  append_kv(out, "occupancy", s.tabu_occupancy_now, &first);
+  append_kv(out, "tenure", s.tabu_tenure, &first);
+  out += "},\"archive\":{";
+  first = true;
+  append_kv(out, "inserts", s.archive_inserts, &first);
+  append_kv(out, "evictions", s.archive_evictions, &first);
+  append_kv(out, "dominated_rejects", s.archive_dominated_rejects, &first);
+  append_kv(out, "duplicate_rejects", s.archive_duplicate_rejects, &first);
+  append_kv(out, "crowded_rejects", s.archive_crowded_rejects, &first);
+  append_kv(out, "size", s.archive_size_now, &first);
+  out += '}';
+  if (rates != nullptr) {
+    out += ",\"rates\":{";
+    first = true;
+    append_kv(out, "window_seconds", rates->window_seconds, &first);
+    append_kv(out, "steps_per_s", rates->steps_per_s, &first);
+    append_kv(out, "proposals_per_s", rates->proposals_per_s, &first);
+    append_kv(out, "acceptance_rate", rates->acceptance_rate, &first);
+    append_kv(out, "improving_rate", rates->improving_rate, &first);
+    append_kv(out, "tabu_hit_rate", rates->tabu_hit_rate, &first);
+    append_kv(out, "archive_inserts_per_s", rates->archive_inserts_per_s,
+              &first);
+    out += '}';
+  }
+}
+
+}  // namespace tsmo

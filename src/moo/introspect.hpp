@@ -1,0 +1,157 @@
+#pragma once
+
+// Live search-introspection plane (DESIGN.md §14).
+//
+// Answers "why is the search converging (or not)?" while a run is still in
+// flight: per-operator proposal/acceptance/improving-move counts, tabu-list
+// occupancy and hit/aspiration pressure, and Pareto-archive churn.
+//
+// Three layers, mirroring the telemetry split of §8:
+//   - IntrospectStats: a plain per-searcher counter block owned by
+//     SearchState.  Always maintained (the counters are a handful of
+//     increments per step, observed from values the search computes
+//     anyway) and copied into RunResult at collect time, so the JSON
+//     report carries the summary even when nothing watches live.
+//   - LiveIntrospect: an optional shared hub (one per run/job) that
+//     searchers publish into at step granularity.  Keeps a short window
+//     of timestamped checkpoints so /jobs/<id>/introspect can serve
+//     *rates* (steps/s, acceptance %, archive churn/s), not just totals.
+//   - IntrospectRegistry: process-wide set of live hubs, aggregated into
+//     tsmo_search_* gauges on /metrics.
+//
+// Nothing in this file feeds back into the search: no RNG draws, no
+// decision inputs — golden-seed fingerprints are bitwise-identical with
+// introspection on or off (tests/test_introspect.cpp).
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "operators/move.hpp"
+
+namespace tsmo {
+
+/// Plain counter block, one per searcher.  All counts are cumulative over
+/// the run; `*_now` fields are the most recent observation.
+struct IntrospectStats {
+  // Per-operator move funnel: generated -> selected as step -> improved
+  // the step objective (indexed by MoveType).
+  std::array<std::uint64_t, kNumMoveTypes> proposed{};
+  std::array<std::uint64_t, kNumMoveTypes> accepted{};
+  std::array<std::uint64_t, kNumMoveTypes> improving{};
+
+  std::uint64_t steps = 0;
+  std::uint64_t restarts = 0;
+
+  // Tabu pressure, observed in candidate selection.
+  std::uint64_t tabu_checked = 0;
+  std::uint64_t tabu_hits = 0;
+  std::uint64_t tabu_aspirations = 0;
+  std::uint64_t tabu_occupancy_now = 0;
+  std::uint64_t tabu_tenure = 0;
+
+  // Archive churn, keyed off the ArchiveOutcome of every try_add.
+  std::uint64_t archive_inserts = 0;
+  std::uint64_t archive_evictions = 0;
+  std::uint64_t archive_dominated_rejects = 0;
+  std::uint64_t archive_duplicate_rejects = 0;
+  std::uint64_t archive_crowded_rejects = 0;
+  std::uint64_t archive_size_now = 0;
+
+  std::uint64_t total_proposed() const noexcept;
+  std::uint64_t total_accepted() const noexcept;
+  std::uint64_t total_improving() const noexcept;
+  std::uint64_t archive_attempts() const noexcept;
+
+  /// Element-wise sum; `*_now` gauges take the sum too (they aggregate
+  /// occupancy/size across searchers).
+  void merge(const IntrospectStats& other) noexcept;
+};
+
+/// Windowed rates derived from two checkpoints ~5 s apart (or the whole
+/// run when younger than the window).
+struct IntrospectRates {
+  double window_seconds = 0.0;
+  double steps_per_s = 0.0;
+  double proposals_per_s = 0.0;
+  double acceptance_rate = 0.0;   ///< accepted / proposed within the window
+  double improving_rate = 0.0;    ///< improving / accepted within the window
+  double tabu_hit_rate = 0.0;     ///< hits / checked within the window
+  double archive_inserts_per_s = 0.0;
+};
+
+/// Shared live hub for one run/job.  Searchers register a slot and publish
+/// their counter block each step; readers (HTTP handlers, /metrics) take
+/// totals and windowed rates under the same mutex.  Registered with the
+/// process-wide IntrospectRegistry for its whole lifetime.
+class LiveIntrospect {
+ public:
+  explicit LiveIntrospect(std::string label = {});
+  ~LiveIntrospect();
+
+  LiveIntrospect(const LiveIntrospect&) = delete;
+  LiveIntrospect& operator=(const LiveIntrospect&) = delete;
+
+  const std::string& label() const noexcept { return label_; }
+
+  /// Reserves a per-searcher slot (cheap; called once per searcher).
+  int register_searcher();
+
+  /// Copies `stats` into `slot` and advances the rate window.  Called by
+  /// the owning searcher thread once per step.
+  void publish(int slot, const IntrospectStats& stats);
+
+  /// Sum over all registered searcher slots.
+  IntrospectStats totals() const;
+
+  IntrospectRates windowed_rates() const;
+
+  /// Full live document for GET /jobs/<id>/introspect: totals, rates and
+  /// the per-operator funnel with operator names.
+  std::string to_json() const;
+
+ private:
+  struct Checkpoint {
+    std::uint64_t t_ns = 0;
+    IntrospectStats totals;
+  };
+
+  IntrospectStats totals_locked() const;
+  IntrospectRates rates_locked(std::uint64_t now_ns) const;
+
+  mutable std::mutex mutex_;
+  std::string label_;
+  std::vector<IntrospectStats> slots_;
+  std::deque<Checkpoint> window_;
+  std::uint64_t last_checkpoint_ns_ = 0;
+};
+
+/// Process-wide registry of live hubs, aggregated into the tsmo_search_*
+/// gauges on /metrics.  Hubs attach in their constructor and detach in
+/// their destructor, so a registered pointer is always safe to aggregate.
+class IntrospectRegistry {
+ public:
+  static IntrospectRegistry& instance();
+
+  void attach(LiveIntrospect* hub);
+  void detach(LiveIntrospect* hub);
+
+  /// Totals summed over every attached hub; `hubs` (when non-null)
+  /// receives the number of hubs aggregated.
+  IntrospectStats aggregate(int* hubs = nullptr) const;
+
+ private:
+  IntrospectRegistry() = default;
+  mutable std::mutex mutex_;
+  std::vector<LiveIntrospect*> hubs_;
+};
+
+/// Writes the introspection summary block (shared by RunResult JSON and
+/// the live endpoint).
+void append_introspect_json(std::string& out, const IntrospectStats& s,
+                            const IntrospectRates* rates);
+
+}  // namespace tsmo

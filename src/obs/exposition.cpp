@@ -3,8 +3,14 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <vector>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 namespace tsmo::obs {
 
@@ -210,5 +216,73 @@ void write_prometheus(std::ostream& os, const telemetry::Snapshot& snap,
     os << f.raw_body;
   }
 }
+
+#if defined(__linux__)
+
+ProcessStats read_process_stats() {
+  ProcessStats ps;
+  // RSS from /proc/self/statm field 2 (pages).
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long size = 0;
+    long resident = 0;
+    if (std::fscanf(f, "%ld %ld", &size, &resident) == 2) {
+      ps.resident_memory_bytes =
+          static_cast<double>(resident) *
+          static_cast<double>(sysconf(_SC_PAGESIZE));
+      ps.available = true;
+    }
+    std::fclose(f);
+  }
+  // utime/stime and starttime from /proc/self/stat; the comm field can
+  // contain spaces and parens, so parse after the *last* ')'.
+  const double ticks = static_cast<double>(sysconf(_SC_CLK_TCK));
+  if (std::FILE* f = std::fopen("/proc/self/stat", "r")) {
+    char buf[1024];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    if (const char* close_paren = std::strrchr(buf, ')')) {
+      // Fields after ") ": state is field 3; utime is 14, stime 15,
+      // starttime 22 (1-based over the whole line).
+      unsigned long long utime = 0;
+      unsigned long long stime = 0;
+      unsigned long long starttime = 0;
+      const int got = std::sscanf(
+          close_paren + 2,
+          "%*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu %*d %*d "
+          "%*d %*d %*d %*d %llu",
+          &utime, &stime, &starttime);
+      if (got == 3 && ticks > 0) {
+        ps.cpu_seconds_total = static_cast<double>(utime + stime) / ticks;
+        // Uptime of the process = system uptime - starttime.
+        if (std::FILE* u = std::fopen("/proc/uptime", "r")) {
+          double sys_uptime = 0.0;
+          if (std::fscanf(u, "%lf", &sys_uptime) == 1) {
+            ps.uptime_seconds =
+                sys_uptime - static_cast<double>(starttime) / ticks;
+            if (ps.uptime_seconds < 0) ps.uptime_seconds = 0;
+          }
+          std::fclose(u);
+        }
+        ps.available = true;
+      }
+    }
+  }
+  if (DIR* d = opendir("/proc/self/fd")) {
+    int count = 0;
+    while (readdir(d) != nullptr) ++count;
+    closedir(d);
+    // Minus ".", ".." and the directory fd itself.
+    ps.open_fds = static_cast<double>(count > 3 ? count - 3 : 0);
+    ps.available = true;
+  }
+  return ps;
+}
+
+#else  // !__linux__
+
+ProcessStats read_process_stats() { return ProcessStats{}; }
+
+#endif
 
 }  // namespace tsmo::obs

@@ -38,4 +38,16 @@ std::string escape_label_value(std::string_view value);
 void write_prometheus(std::ostream& os, const telemetry::Snapshot& snap,
                       const std::string& prefix = "tsmo");
 
+/// Standard process-level stats read from /proc/self (Linux).  On
+/// platforms without procfs every field reads 0 and `available` is false
+/// — the gauges still render (as 0) so scrape configs stay portable.
+struct ProcessStats {
+  bool available = false;
+  double resident_memory_bytes = 0.0;
+  double cpu_seconds_total = 0.0;  ///< utime + stime
+  double open_fds = 0.0;
+  double uptime_seconds = 0.0;  ///< since process start
+};
+ProcessStats read_process_stats();
+
 }  // namespace tsmo::obs

@@ -7,6 +7,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "util/json.hpp"
+#include "util/profiler.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -185,6 +186,10 @@ void JobManager::run_job(Job& job) {
     std::lock_guard<std::mutex> lock(job.live_mutex);
     job.live = rec;
   };
+  ctx.publish_introspect = [&job](const LiveIntrospect* hub) {
+    std::lock_guard<std::mutex> lock(job.live_mutex);
+    job.live_introspect = hub;
+  };
   ctx.trace = telemetry::TraceContext{job.trace_id, job.run_span_id};
   // Collect every span recorded under this trace id while the runner is on
   // the stack; engine threads are joined before the runner returns, so the
@@ -206,9 +211,10 @@ void JobManager::run_job(Job& job) {
   }
   telemetry::Registry::instance().detach_trace(job.trace_id);
   {
-    // Defensive retract: the recorder dies with the runner frame.
+    // Defensive retract: the recorder and hub die with the runner frame.
     std::lock_guard<std::mutex> lock(job.live_mutex);
     job.live = nullptr;
+    job.live_introspect = nullptr;
   }
   finish_job(job, std::move(out));
 }
@@ -375,6 +381,8 @@ JobManager::ApiResponse JobManager::submit(const std::string& body) {
   w.key("status_url").value("/jobs/" + name);
   w.key("result_url").value("/jobs/" + name + "/result");
   w.key("trace_url").value("/jobs/" + name + "/trace");
+  w.key("introspect_url").value("/jobs/" + name + "/introspect");
+  w.key("profile_url").value("/jobs/" + name + "/profile");
   w.end_object();
   os << '\n';
   return {202, os.str(), 0, trace_id, name};
@@ -552,6 +560,72 @@ JobManager::ApiResponse JobManager::trace_of(const std::string& name) const {
   return res;
 }
 
+JobManager::ApiResponse JobManager::introspect_of(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find(name);
+  if (job == nullptr) return {404, error_body("unknown job: " + name), 0};
+  ApiResponse res;
+  res.trace_id = job->trace_id;
+  res.trace_label = job->name;
+  {
+    std::lock_guard<std::mutex> live_lock(job->live_mutex);
+    if (job->live_introspect != nullptr) {
+      res.status = 200;
+      res.body = job->live_introspect->to_json();
+      res.body += '\n';
+      return res;
+    }
+  }
+  if (is_terminal(job->state) && !job->outcome.introspect_json.empty()) {
+    res.status = 200;
+    res.body = job->outcome.introspect_json;
+    if (res.body.empty() || res.body.back() != '\n') res.body += '\n';
+    return res;
+  }
+  res.status = 409;
+  res.body = error_body(
+      "no introspection data for " + name +
+      " (submit with params {\"introspect\": true}, or poll while running)");
+  return res;
+}
+
+JobManager::ApiResponse JobManager::profile_of(
+    const std::string& name, const std::string& format) const {
+  std::uint64_t trace_id = 0;
+  std::string job_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job* job = find(name);
+    if (job == nullptr) return {404, error_body("unknown job: " + name), 0};
+    trace_id = job->trace_id;
+    job_name = job->name;
+  }
+  ApiResponse res;
+  res.trace_id = trace_id;
+  res.trace_label = job_name;
+  if (!prof::enabled()) {
+    res.status = 409;
+    res.body = error_body(
+        "profiler disabled (submit with params {\"profile_hz\": N} or serve "
+        "with --profile-hz)");
+    return res;
+  }
+  // Only this job's samples: the sampler stamps every sample with the
+  // ambient trace id, which the runner threads inherit from the job.
+  const std::vector<prof::Sample> samples = prof::collect(trace_id);
+  res.status = 200;
+  if (format == "speedscope") {
+    std::ostringstream os;
+    prof::write_speedscope(os, samples, "tsmo " + job_name);
+    res.body = os.str();
+  } else {
+    res.body = prof::fold(samples);
+    res.content_type = "text/plain; charset=utf-8";
+  }
+  return res;
+}
+
 JobManager::ApiResponse JobManager::cancel(const std::string& name) {
   bool was_running = false;
   std::string body;
@@ -665,7 +739,8 @@ JobManager::JobView JobManager::view(const std::string& name) const {
 void JobManager::install_routes(HttpServer& server) {
   const auto apply = [](const ApiResponse& a, HttpResponse& res) {
     res.status = a.status;
-    res.content_type = kJsonContentType;
+    res.content_type =
+        a.content_type.empty() ? kJsonContentType : a.content_type;
     res.body = a.body;
     res.trace_id = a.trace_id;
     res.trace_label = a.trace_label;
@@ -688,15 +763,35 @@ void JobManager::install_routes(HttpServer& server) {
         std::string rest = req.path.substr(6);  // after "/jobs/"
         const std::string kResult = "/result";
         const std::string kTrace = "/trace";
-        if (rest.size() > kResult.size() &&
-            rest.compare(rest.size() - kResult.size(), kResult.size(),
-                         kResult) == 0) {
-          apply(result_of(rest.substr(0, rest.size() - kResult.size())),
-                res);
-        } else if (rest.size() > kTrace.size() &&
-                   rest.compare(rest.size() - kTrace.size(), kTrace.size(),
-                                kTrace) == 0) {
-          apply(trace_of(rest.substr(0, rest.size() - kTrace.size())), res);
+        const std::string kIntrospect = "/introspect";
+        const std::string kProfile = "/profile";
+        const auto ends_with = [&rest](const std::string& suffix) {
+          return rest.size() > suffix.size() &&
+                 rest.compare(rest.size() - suffix.size(), suffix.size(),
+                              suffix) == 0;
+        };
+        const auto strip = [&rest](const std::string& suffix) {
+          return rest.substr(0, rest.size() - suffix.size());
+        };
+        if (ends_with(kResult)) {
+          apply(result_of(strip(kResult)), res);
+        } else if (ends_with(kTrace)) {
+          apply(trace_of(strip(kTrace)), res);
+        } else if (ends_with(kIntrospect)) {
+          apply(introspect_of(strip(kIntrospect)), res);
+        } else if (ends_with(kProfile)) {
+          // ?format=speedscope switches from the default folded text.
+          std::string format;
+          const std::string key = "format=";
+          const std::size_t at = req.query.find(key);
+          if (at != std::string::npos) {
+            const std::size_t start = at + key.size();
+            const std::size_t amp = req.query.find('&', start);
+            format = req.query.substr(start, amp == std::string::npos
+                                                 ? std::string::npos
+                                                 : amp - start);
+          }
+          apply(profile_of(strip(kProfile), format), res);
         } else {
           apply(status_of(rest), res);
         }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "moo/anytime.hpp"
+#include "moo/introspect.hpp"
 #include "obs/http_server.hpp"
 #include "obs/job_queue.hpp"
 #include "util/telemetry.hpp"
@@ -60,6 +61,10 @@ struct JobContext {
   /// retract before the recorder dies; the manager also retracts
   /// defensively when the runner returns.
   std::function<void(const ConvergenceRecorder*)> publish;
+  /// Publishes (or retracts) the run's live introspection hub so GET
+  /// /jobs/<id>/introspect can serve operator/tabu/archive rates mid-run
+  /// (DESIGN.md §14).  Same lifetime contract as `publish`.
+  std::function<void(const LiveIntrospect*)> publish_introspect;
   /// This job's causal trace context (DESIGN.md §13): trace_id names the
   /// request, span_id is the manager's "job.run" span.  The runner forwards
   /// both into TsmoParams so engine/worker spans parent under the job.
@@ -71,6 +76,9 @@ struct JobOutcome {
   bool ok = false;
   std::string error;        ///< filled when !ok
   std::string result_json;  ///< full RunResult document (write_run_json)
+  /// Final introspection summary (LiveIntrospect::to_json); empty when
+  /// the job ran without params.introspect.
+  std::string introspect_json;
   // Summary fields surfaced in GET /jobs/<id> without reparsing the JSON.
   std::string algorithm;
   std::string instance;
@@ -119,6 +127,9 @@ class JobManager {
     int status = 200;
     std::string body;
     int retry_after = 0;  ///< seconds; emitted as a Retry-After header
+    /// Overrides the default application/json content type when non-empty
+    /// (the folded-stack profile export is plain text).
+    std::string content_type;
     /// Exemplar correlation for RED metrics: the causal trace id of the
     /// job this response concerns (0 when none) and its name.
     std::uint64_t trace_id = 0;
@@ -174,6 +185,15 @@ class JobManager {
   /// Chrome-trace JSON of the job's causal spans (submit→queue→run→worker);
   /// valid at any lifecycle stage (empty traceEvents until spans exist).
   ApiResponse trace_of(const std::string& name) const;
+  /// Live introspection document while the job runs (when its runner
+  /// published a hub), the terminal summary once done; 409 when the job
+  /// never enabled introspection.
+  ApiResponse introspect_of(const std::string& name) const;
+  /// CPU profile of this job only: samples whose ambient trace id matches
+  /// the job's, folded ("folded", default) or speedscope JSON
+  /// ("speedscope").  409 while the sampling profiler is disarmed.
+  ApiResponse profile_of(const std::string& name,
+                         const std::string& format) const;
   ApiResponse cancel(const std::string& name);
   ApiResponse list() const;
 
@@ -207,6 +227,7 @@ class JobManager {
     // mutex so serializing a front never blocks submissions.
     mutable std::mutex live_mutex;
     const ConvergenceRecorder* live = nullptr;  // guarded by live_mutex
+    const LiveIntrospect* live_introspect = nullptr;  // guarded by live_mutex
   };
 
   void executor_loop();

@@ -1,14 +1,19 @@
 #include "obs/obs_server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
+#include "moo/introspect.hpp"
 #include "obs/buildinfo.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/job_manager.hpp"
 #include "util/json.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -104,6 +109,24 @@ void append_http_red(std::string& out, const std::vector<RouteStat>& stats) {
   }
 }
 
+/// Value of `key` in an application/x-www-form-urlencoded query string;
+/// empty when absent.  No percent-decoding — profile params are plain
+/// integers/identifiers.
+std::string query_param(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
 void write_heartbeats(JsonWriter& w, const HeartbeatBoard& board,
                       std::uint64_t now) {
   w.begin_array();
@@ -138,6 +161,10 @@ ObsServer::ObsServer(Options opts)
   server_.route("/status", [this](const HttpRequest&, HttpResponse& res) {
     handle_status(res);
   });
+  server_.route("/debug/profile",
+                [this](const HttpRequest& req, HttpResponse& res) {
+                  handle_debug_profile(req, res);
+                });
   server_.route("/buildinfo", [](const HttpRequest&, HttpResponse& res) {
     std::ostringstream os;
     write_buildinfo_json(os);
@@ -150,11 +177,14 @@ ObsServer::ObsServer(Options opts)
         "  /metrics    Prometheus exposition of the telemetry registry\n"
         "  /healthz    liveness + stall watchdog verdicts\n"
         "  /status     live Pareto front and per-worker progress\n"
-        "  /buildinfo  git sha, compiler, flags\n";
+        "  /buildinfo  git sha, compiler, flags\n"
+        "  /debug/profile?seconds=N&format=folded|speedscope  CPU profile "
+        "window\n";
     if (jobs_ != nullptr) {
       res.body +=
           "  /jobs       POST submit, GET list; /jobs/<id> status, "
-          "/jobs/<id>/result, /jobs/<id>/trace, DELETE cancel\n";
+          "/jobs/<id>/result, /jobs/<id>/trace, /jobs/<id>/profile, "
+          "/jobs/<id>/introspect, DELETE cancel\n";
     }
   });
 }
@@ -180,6 +210,50 @@ void ObsServer::stop() {
   server_.stop();
   if (FlightRecorder::enabled()) {
     FlightRecorder::instance().record(FlightKind::kServeStop, nullptr, 0, p);
+  }
+}
+
+void ObsServer::handle_debug_profile(const HttpRequest& req,
+                                     HttpResponse& res) {
+  if (!prof::enabled()) {
+    res.status = 409;
+    res.content_type = kJsonContentType;
+    res.body =
+        "{\"error\":\"profiler disabled\",\"hint\":\"start a run with "
+        "--profile-hz N (or params.profile_hz) to arm the sampler\"}\n";
+    return;
+  }
+  int seconds = 2;
+  const std::string s = query_param(req.query, "seconds");
+  if (!s.empty()) {
+    seconds = std::atoi(s.c_str());
+    seconds = std::clamp(seconds, 0, 30);
+  }
+  const std::string format = query_param(req.query, "format");
+  // Window: remember the ring heads, sleep, then collect only what the
+  // sampler appended in between.  seconds=0 dumps everything retained.
+  if (seconds == 0) {
+    const std::vector<prof::Sample> samples = prof::collect();
+    if (format == "speedscope") {
+      std::ostringstream os;
+      prof::write_speedscope(os, samples, "tsmo process profile");
+      res.content_type = kJsonContentType;
+      res.body = os.str();
+    } else {
+      res.body = prof::fold(samples);
+    }
+    return;
+  }
+  const prof::Cursor cur = prof::cursor();
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  const std::vector<prof::Sample> samples = prof::collect_since(cur);
+  if (format == "speedscope") {
+    std::ostringstream os;
+    prof::write_speedscope(os, samples, "tsmo process profile");
+    res.content_type = kJsonContentType;
+    res.body = os.str();
+  } else {
+    res.body = prof::fold(samples);
   }
 }
 
@@ -223,6 +297,74 @@ void ObsServer::handle_metrics(HttpResponse& res) {
                  "Jobs currently executing on the pool.",
                  static_cast<double>(js.running));
   }
+  // Standard process gauges (satellite: node-exporter-style basics so a
+  // bare scrape config gets memory/CPU without a sidecar).
+  const ProcessStats ps = read_process_stats();
+  append_gauge(body, "tsmo_process_resident_memory_bytes",
+               "Resident set size from /proc/self/statm (0 off-Linux).",
+               ps.resident_memory_bytes);
+  append_gauge(body, "tsmo_process_cpu_seconds_total",
+               "Process utime+stime from /proc/self/stat (0 off-Linux).",
+               ps.cpu_seconds_total);
+  append_gauge(body, "tsmo_process_open_fds",
+               "Open file descriptors from /proc/self/fd (0 off-Linux).",
+               ps.open_fds);
+  append_gauge(body, "tsmo_process_uptime_seconds",
+               "Process age from /proc/self/stat starttime (0 off-Linux).",
+               ps.uptime_seconds);
+  {
+    const prof::Stats pstats = prof::stats();
+    append_gauge(body, "tsmo_profiler_enabled",
+                 "1 while the sampling profiler is armed.",
+                 pstats.enabled ? 1.0 : 0.0);
+    append_counter(body, "tsmo_profiler_samples_total",
+                   "Stack samples captured across all thread rings.",
+                   pstats.samples_captured);
+    append_counter(body, "tsmo_profiler_ring_drops_total",
+                   "Samples rotated out of a full per-thread ring.",
+                   pstats.ring_drops);
+  }
+  {
+    int hubs = 0;
+    const IntrospectStats agg = IntrospectRegistry::instance().aggregate(&hubs);
+    append_gauge(body, "tsmo_search_hubs",
+                 "Live introspection hubs (one per active run/job).",
+                 static_cast<double>(hubs));
+    if (hubs > 0) {
+      append_counter(body, "tsmo_search_steps_total",
+                     "Tabu-search steps across all live searchers.",
+                     agg.steps);
+      append_counter(body, "tsmo_search_proposals_total",
+                     "Candidate moves generated across all live searchers.",
+                     agg.total_proposed());
+      append_counter(body, "tsmo_search_accepted_total",
+                     "Candidate moves selected as the step.",
+                     agg.total_accepted());
+      append_counter(body, "tsmo_search_improving_total",
+                     "Selected moves that entered the Pareto archive.",
+                     agg.total_improving());
+      append_counter(body, "tsmo_search_restarts_total",
+                     "Diversification restarts across all live searchers.",
+                     agg.restarts);
+      append_counter(body, "tsmo_search_tabu_hits_total",
+                     "Candidates rejected by the tabu list.", agg.tabu_hits);
+      append_counter(body, "tsmo_search_tabu_checked_total",
+                     "Candidates tested against the tabu list.",
+                     agg.tabu_checked);
+      append_counter(body, "tsmo_search_archive_inserts_total",
+                     "Archive insertions across all live searchers.",
+                     agg.archive_inserts);
+      append_counter(body, "tsmo_search_archive_evictions_total",
+                     "Crowding evictions across all live searchers.",
+                     agg.archive_evictions);
+      append_gauge(body, "tsmo_search_tabu_occupancy",
+                   "Summed tabu-list occupancy across live searchers.",
+                   static_cast<double>(agg.tabu_occupancy_now));
+      append_gauge(body, "tsmo_search_archive_size",
+                   "Summed archive size across live searchers.",
+                   static_cast<double>(agg.archive_size_now));
+    }
+  }
   if (const ConvergenceRecorder* rec =
           recorder_.load(std::memory_order_acquire)) {
     const ConvergenceRecorder::LiveStatus live = rec->live_status();
@@ -258,6 +400,20 @@ void ObsServer::handle_healthz(HttpResponse& res) {
       .value(static_cast<std::int64_t>(rec ? rec->stalls_flagged() : 0));
   w.key("flight_events")
       .value(static_cast<std::int64_t>(FlightRecorder::instance().recorded()));
+  {
+    const prof::Stats pstats = prof::stats();
+    w.key("profiler").begin_object();
+    w.key("supported").value(prof::supported());
+    w.key("enabled").value(pstats.enabled);
+    w.key("rate_hz").value(pstats.rate_hz);
+    w.key("samples_captured")
+        .value(static_cast<std::int64_t>(pstats.samples_captured));
+    w.key("ring_drops").value(static_cast<std::int64_t>(pstats.ring_drops));
+    w.key("frames_truncated")
+        .value(static_cast<std::int64_t>(pstats.frames_truncated));
+    w.key("threads_registered").value(pstats.threads_registered);
+    w.end_object();
+  }
   if (jobs_ != nullptr) {
     const JobManager::Stats js = jobs_->stats();
     w.key("jobs").begin_object();

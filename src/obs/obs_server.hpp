@@ -11,6 +11,9 @@
 //                   its non-dominated front, per-worker progress/busy
 //                   flags, sample/insertion counts.
 //   GET /buildinfo  build provenance (git sha, compiler, flags).
+//   GET /debug/profile?seconds=N[&format=folded|speedscope]
+//                   on-demand CPU profile window from the sampling
+//                   profiler (DESIGN.md §14); 409 when sampling is off.
 //   GET /           plain-text index of the endpoints above.
 //
 // With attach_jobs() the same server also fronts the job plane
@@ -70,6 +73,7 @@ class ObsServer {
   void handle_metrics(HttpResponse& res);
   void handle_healthz(HttpResponse& res);
   void handle_status(HttpResponse& res);
+  void handle_debug_profile(const HttpRequest& req, HttpResponse& res);
 
   HttpServer server_;
   JobManager* jobs_ = nullptr;  ///< set before start(), then read-only

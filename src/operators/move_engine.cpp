@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace tsmo {
@@ -338,6 +339,7 @@ Objectives MoveEngine::evaluate(const Solution& base, const Move& m) const {
   // Delta pricing off the base's segment caches — a "cache hit" relative to
   // the full rebuild in evaluate_full().
   TSMO_COUNT("move.priced");
+  TSMO_PROFILE_FRAME("move.evaluate");
   IncrementalRouteEval eval(*inst_);
   return combine_deltas(base, m, delta_routes(base, m, eval));
 }
@@ -348,6 +350,7 @@ void MoveEngine::evaluate_batch(const Solution& base,
   out.resize(moves.size());
   TSMO_COUNT_N("move.priced", moves.size());
   TSMO_COUNT("move.batches");
+  TSMO_PROFILE_FRAME("move.evaluate_batch");
   // One accumulator for the whole batch: the SoA field pointers are
   // resolved once, and consecutive moves revisit the same handful of
   // route caches while they are hot.

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "core/sequential_tsmo.hpp"
 #include "obs/flight_recorder.hpp"
 #include "parallel/worker_team.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -19,7 +21,9 @@ RunResult AsyncTsmo::run() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.async");
+  TSMO_PROFILE_FRAME("run.async");
   TSMO_TELEMETRY_ONLY(
       if (telemetry::enabled()) {
         telemetry::Registry::instance().set_thread_label("async master");
@@ -40,6 +44,13 @@ RunResult AsyncTsmo::run() const {
           [&state](int) { state.request_restart(); });
     }
   }
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("async");
+    live = own_introspect.get();
+  }
+  if (live != nullptr) state.set_introspect(live);
   state.initialize();
 
   const int chunk = std::max(1, params_.neighborhood_size / procs);
@@ -90,6 +101,7 @@ RunResult AsyncTsmo::run() const {
     // --- Algorithm 2: decide whether to keep waiting. ---
     {
       TSMO_SPAN_TIMED("async.wait", "async.wait_ns");
+      TSMO_PROFILE_FRAME("channel.wait");
       const Timer wait_timer;
       for (;;) {
         const bool c1 = std::any_of(busy.begin(), busy.end(),
@@ -126,7 +138,9 @@ RunResult AsyncTsmo::run_deterministic() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.async");
+  TSMO_PROFILE_FRAME("run.async");
   TSMO_TELEMETRY_ONLY(
       if (telemetry::enabled()) {
         telemetry::Registry::instance().set_thread_label("async master");
@@ -144,6 +158,13 @@ RunResult AsyncTsmo::run_deterministic() const {
     team.enable_heartbeats(*options_.recorder, "async worker");
     state.set_recorder(options_.recorder);
   }
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("async");
+    live = own_introspect.get();
+  }
+  if (live != nullptr) state.set_introspect(live);
   state.initialize();
   Rng schedule(params_.seed ^ 0xa57c5eedULL);
 
@@ -177,6 +198,7 @@ RunResult AsyncTsmo::run_deterministic() const {
     results.clear();
     {
       TSMO_SPAN_TIMED("async.wait", "async.wait_ns");
+      TSMO_PROFILE_FRAME("channel.wait");
       for (int c = 0; c < dispatched; ++c) {
         auto result = team.collect();
         if (!result) break;  // team shut down (cannot happen mid-run)

@@ -45,6 +45,10 @@ struct AsyncOptions {
   /// deterministic fingerprints are identical with or without it.  Must
   /// outlive the run.
   ConvergenceRecorder* recorder = nullptr;
+  /// Live search-introspection hub (DESIGN.md §14); observation only.
+  /// When null and params.introspect is set, the run creates its own.
+  /// Must outlive the run.
+  LiveIntrospect* introspect = nullptr;
   /// Opt-in stall reaction: when the recorder's watchdog flags the master
   /// searcher, route the verdict into the existing diversification path
   /// (restart from the memories on the next step).  Ignored without a

@@ -12,6 +12,7 @@
 #include "parallel/channel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/worker_team.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -24,7 +25,9 @@ MultisearchResult HybridTsmo::run() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.hybrid");
+  TSMO_PROFILE_FRAME("run.hybrid");
   // Island threads re-establish the ambient context captured here, so
   // their iteration and worker spans parent under the run.hybrid span.
   const telemetry::TraceContext island_ctx = telemetry::current_trace();
@@ -40,6 +43,12 @@ MultisearchResult HybridTsmo::run() const {
     TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
       mailboxes.back()->enable_telemetry("island" + std::to_string(i));
     })
+  }
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("hybrid");
+    live = own_introspect.get();
   }
   std::vector<RunResult> per_island(n);
   std::atomic<std::int64_t> messages_sent{0};
@@ -89,6 +98,7 @@ MultisearchResult HybridTsmo::run() const {
       std::lock_guard<std::mutex> lock(stall_mutex);
       stall_reg[static_cast<std::size_t>(id)] = &state;
     }
+    if (live != nullptr) state.set_introspect(live);
     state.initialize();
 
     std::vector<int> comm;
@@ -123,6 +133,7 @@ MultisearchResult HybridTsmo::run() const {
 
     while (!state.budget_exhausted()) {
       TSMO_SPAN("hybrid.iteration");
+      TSMO_PROFILE_FRAME("hybrid.iteration");
       while (auto incoming = mailboxes[static_cast<std::size_t>(id)]
                                  ->try_pop()) {
         TSMO_COUNT("hybrid.messages_received");
@@ -156,6 +167,7 @@ MultisearchResult HybridTsmo::run() const {
 
       {
         TSMO_SPAN_TIMED("hybrid.wait", "hybrid.wait_ns");
+        TSMO_PROFILE_FRAME("channel.wait");
         const Timer wait_timer;
         for (;;) {
           const bool c1 = std::any_of(busy.begin(), busy.end(),
@@ -226,7 +238,9 @@ MultisearchResult HybridTsmo::run_deterministic() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.hybrid");
+  TSMO_PROFILE_FRAME("run.hybrid");
   // Pool threads re-establish this ambient context per round step.
   const telemetry::TraceContext island_ctx = telemetry::current_trace();
   Timer timer;
@@ -256,6 +270,12 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     RunResult result;
   };
   std::vector<Island> islands(n);
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("hybrid");
+    live = own_introspect.get();
+  }
   const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
   for (int id = 0; id < k; ++id) {
     Island& is = islands[static_cast<std::size_t>(id)];
@@ -267,6 +287,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
                                              shared_cands);
     is.state->set_trace_id(id);
     if (options_.recorder) is.state->set_recorder(options_.recorder);
+    if (live != nullptr) is.state->set_introspect(live);
     is.engine = std::make_unique<MoveEngine>(*inst_);
     if (shared_cands) is.engine->set_candidate_list(shared_cands.get());
     is.generator = std::make_unique<NeighborhoodGenerator>(
@@ -299,6 +320,7 @@ MultisearchResult HybridTsmo::run_deterministic() const {
     telemetry::TraceScope island_scope(island_ctx);
     Island& is = islands[static_cast<std::size_t>(id)];
     TSMO_SPAN("hybrid.iteration");
+    TSMO_PROFILE_FRAME("hybrid.iteration");
     for (const Solution& sol : is.inbox) {
       TSMO_COUNT("hybrid.messages_received");
       if (is.state->receive(sol)) {

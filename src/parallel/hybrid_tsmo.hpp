@@ -36,6 +36,11 @@ struct HybridOptions {
   /// Observation only, so deterministic fingerprints are identical with or
   /// without it.  Must outlive the run.
   ConvergenceRecorder* recorder = nullptr;
+  /// Live search-introspection hub (DESIGN.md §14); every island's
+  /// searcher registers its own slot.  Observation only.  When null and
+  /// params.introspect is set, the run creates its own.  Must outlive
+  /// the run.
+  LiveIntrospect* introspect = nullptr;
   /// Opt-in stall reaction: a watchdog-flagged island searcher restarts
   /// from its memories on its next step (the engine's existing
   /// diversification path).  Ignored without a recorder or in

@@ -10,6 +10,7 @@
 #include "obs/flight_recorder.hpp"
 #include "parallel/channel.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -26,6 +27,7 @@ RunResult merge_results(const std::vector<RunResult>& results,
     merged.restarts += r.restarts;
     merged.wall_seconds = std::max(merged.wall_seconds, r.wall_seconds);
     merged.sim_seconds = std::max(merged.sim_seconds, r.sim_seconds);
+    merged.introspect.merge(r.introspect);
     for (std::size_t i = 0; i < r.front.size(); ++i) {
       // The weak-dominance check also rejects exact duplicates, so an
       // objective vector reached by several searchers keeps exactly one
@@ -70,7 +72,9 @@ MultisearchResult MultisearchTsmo::run() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.coll");
+  TSMO_PROFILE_FRAME("run.coll");
   // Searcher threads re-establish the ambient context captured here, so
   // their iteration spans parent under the run.coll span.
   const telemetry::TraceContext searcher_ctx = telemetry::current_trace();
@@ -86,6 +90,13 @@ MultisearchResult MultisearchTsmo::run() const {
     TSMO_TELEMETRY_ONLY(if (telemetry::enabled()) {
       mailboxes.back()->enable_telemetry("mailbox" + std::to_string(i));
     })
+  }
+
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("coll");
+    live = own_introspect.get();
   }
 
   std::vector<RunResult> per_searcher(n);
@@ -110,6 +121,7 @@ MultisearchResult MultisearchTsmo::run() const {
     SearchState state(*inst_, p, Rng(p.seed), shared_cands);
     state.set_trace_id(id);
     if (options_.recorder) state.set_recorder(options_.recorder);
+    if (live != nullptr) state.set_introspect(live);
     state.initialize();
 
     // Random private communication list over the other searchers.
@@ -124,6 +136,7 @@ MultisearchResult MultisearchTsmo::run() const {
     bool initial_phase = true;
     while (!state.budget_exhausted()) {
       TSMO_SPAN("coll.iteration");
+      TSMO_PROFILE_FRAME("coll.iteration");
       // Incorporate peer solutions before the next step.
       while (auto received = mailboxes[static_cast<std::size_t>(id)]
                                  ->try_pop()) {
@@ -192,7 +205,9 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.coll");
+  TSMO_PROFILE_FRAME("run.coll");
   // Pool threads re-establish this ambient context per round step.
   const telemetry::TraceContext searcher_ctx = telemetry::current_trace();
   Timer timer;
@@ -216,6 +231,12 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     RunResult result;
   };
   std::vector<Searcher> searchers(n);
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("coll");
+    live = own_introspect.get();
+  }
   const auto shared_cands = make_candidate_list(*inst_, params_.candidate_k);
   for (int id = 0; id < procs; ++id) {
     Searcher& s = searchers[static_cast<std::size_t>(id)];
@@ -227,6 +248,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
                                             shared_cands);
     s.state->set_trace_id(id);
     if (options_.recorder) s.state->set_recorder(options_.recorder);
+    if (live != nullptr) s.state->set_introspect(live);
     for (int k = 0; k < procs; ++k) {
       if (k != id) s.comm.push_back(k);
     }
@@ -253,6 +275,7 @@ MultisearchResult MultisearchTsmo::run_deterministic() const {
     telemetry::TraceScope searcher_scope(searcher_ctx);
     Searcher& s = searchers[static_cast<std::size_t>(id)];
     TSMO_SPAN("coll.iteration");
+    TSMO_PROFILE_FRAME("coll.iteration");
     // Deliver peer solutions in the deterministic inter-round order.
     for (const Solution& sol : s.inbox) {
       TSMO_COUNT("coll.messages_received");

@@ -47,6 +47,11 @@ struct MultisearchOptions {
   /// under its searcher id.  Observation only, so deterministic
   /// fingerprints are identical with or without it.  Must outlive the run.
   ConvergenceRecorder* recorder = nullptr;
+  /// Live search-introspection hub (DESIGN.md §14); every searcher
+  /// registers its own slot.  Observation only.  When null and
+  /// params.introspect is set, the run creates its own.  Must outlive
+  /// the run.
+  LiveIntrospect* introspect = nullptr;
 };
 
 class MultisearchTsmo {

@@ -1,10 +1,12 @@
 #include "parallel/sync_tsmo.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/sequential_tsmo.hpp"
 #include "obs/flight_recorder.hpp"
 #include "parallel/worker_team.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -17,7 +19,9 @@ RunResult SyncTsmo::run() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.sync");
+  TSMO_PROFILE_FRAME("run.sync");
   TSMO_TELEMETRY_ONLY(
       if (telemetry::enabled()) {
         telemetry::Registry::instance().set_thread_label("sync master");
@@ -34,11 +38,19 @@ RunResult SyncTsmo::run() const {
     team.enable_heartbeats(*options_.recorder, "sync worker");
     state.set_recorder(options_.recorder);
   }
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("sync");
+    live = own_introspect.get();
+  }
+  if (live != nullptr) state.set_introspect(live);
   state.initialize();
 
   std::uint64_t ticket = 0;
   while (!state.budget_exhausted()) {
     TSMO_SPAN("sync.round");
+    TSMO_PROFILE_FRAME("sync.round");
     const std::int64_t remaining =
         params_.max_evaluations - state.evaluations();
     const int want = static_cast<int>(std::min<std::int64_t>(
@@ -62,6 +74,7 @@ RunResult SyncTsmo::run() const {
     // Barrier: wait for every worker's part before selecting.
     {
       TSMO_SPAN_TIMED("sync.barrier", "sync.barrier_wait_ns");
+      TSMO_PROFILE_FRAME("channel.wait");
       for (int w = 0; w < dispatched; ++w) {
         auto result = team.collect();
         if (!result) break;  // team shut down (cannot happen mid-run)
@@ -83,7 +96,9 @@ RunResult SyncTsmo::run_deterministic() const {
   telemetry::TraceScope trace_scope(
       telemetry::TraceContext{params_.trace_id, params_.trace_parent_span});
   if (params_.telemetry) telemetry::set_enabled(true);
+  if (params_.profile_hz > 0) prof::start(params_.profile_hz);
   TSMO_SPAN("run.sync");
+  TSMO_PROFILE_FRAME("run.sync");
   TSMO_TELEMETRY_ONLY(
       if (telemetry::enabled()) {
         telemetry::Registry::instance().set_thread_label("sync master");
@@ -101,6 +116,13 @@ RunResult SyncTsmo::run_deterministic() const {
     team.enable_heartbeats(*options_.recorder, "sync worker");
     state.set_recorder(options_.recorder);
   }
+  std::unique_ptr<LiveIntrospect> own_introspect;
+  LiveIntrospect* live = options_.introspect;
+  if (live == nullptr && params_.introspect) {
+    own_introspect = std::make_unique<LiveIntrospect>("sync");
+    live = own_introspect.get();
+  }
+  if (live != nullptr) state.set_introspect(live);
   state.initialize();
   // Chunk seeds come from a dedicated schedule stream, so the logical
   // candidate sequence depends only on (seed, procs) — not on exec width.
@@ -110,6 +132,7 @@ RunResult SyncTsmo::run_deterministic() const {
   std::vector<GenResult> results;
   while (!state.budget_exhausted()) {
     TSMO_SPAN("sync.round");
+    TSMO_PROFILE_FRAME("sync.round");
     const std::int64_t remaining =
         params_.max_evaluations - state.evaluations();
     const int want = static_cast<int>(std::min<std::int64_t>(
@@ -134,6 +157,7 @@ RunResult SyncTsmo::run_deterministic() const {
     results.clear();
     {
       TSMO_SPAN_TIMED("sync.barrier", "sync.barrier_wait_ns");
+      TSMO_PROFILE_FRAME("channel.wait");
       for (int c = 0; c < dispatched; ++c) {
         auto result = team.collect();
         if (!result) break;  // team shut down (cannot happen mid-run)

@@ -33,6 +33,10 @@ struct SyncOptions {
   /// deterministic fingerprints are identical with or without it.  Must
   /// outlive the run.
   ConvergenceRecorder* recorder = nullptr;
+  /// Live search-introspection hub (DESIGN.md §14); observation only.
+  /// When null and params.introspect is set, the run creates its own.
+  /// Must outlive the run.
+  LiveIntrospect* introspect = nullptr;
 };
 
 class SyncTsmo {

@@ -5,6 +5,7 @@
 
 #include "moo/anytime.hpp"
 #include "operators/neighborhood.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -80,7 +81,10 @@ void WorkerTeam::worker_loop(int id, Rng rng) {
     }
     const std::uint64_t wait_start = tel ? now_ns() : 0;
 #endif
-    auto request = requests_.pop();
+    auto request = [this] {
+      TSMO_PROFILE_FRAME("channel.wait");
+      return requests_.pop();
+    }();
 #if TSMO_TELEMETRY_ENABLED
     const std::uint64_t work_start = tel ? now_ns() : 0;
     if (tel) {
@@ -94,13 +98,16 @@ void WorkerTeam::worker_loop(int id, Rng rng) {
     GenResult result;
     result.ticket = request->ticket;
     result.worker_id = id;
-    if (request->seeded) {
-      Rng task_rng(request->seed);
-      result.candidates = make_candidates(generator, request->base,
-                                          request->count, task_rng);
-    } else {
-      result.candidates = make_candidates(generator, request->base,
-                                          request->count, rng);
+    {
+      TSMO_PROFILE_FRAME("worker.chunk");
+      if (request->seeded) {
+        Rng task_rng(request->seed);
+        result.candidates = make_candidates(generator, request->base,
+                                            request->count, task_rng);
+      } else {
+        result.candidates = make_candidates(generator, request->base,
+                                            request->count, rng);
+      }
     }
     // Attribution: candidates remember which worker evaluated them.
     for (Candidate& c : result.candidates) {

@@ -1,0 +1,385 @@
+#include "util/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#if defined(__linux__)
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+// glibc exposes the SIGEV_THREAD_ID target tid through this accessor macro;
+// provide it for libcs that predate the name.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#endif
+
+namespace tsmo::prof {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::atomic<int> g_rate_hz{0};
+/// Bumped on every start(); threads compare it to re-arm their timer at
+/// the current rate after a stop()/start() cycle or a rate change.
+std::atomic<std::uint64_t> g_epoch{0};
+
+/// Guards the slot table, the handler installation and the taxonomy.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Immortal slot table: entries are heap-allocated on first use and never
+/// freed, so a signal racing thread teardown can only touch live memory.
+detail::ThreadSlot* g_slots[kMaxThreadSlots] = {};
+std::atomic<int> g_slot_count{0};
+
+std::vector<std::string>& taxonomy() {
+  static std::vector<std::string> names;
+  return names;
+}
+
+#if TSMO_PROFILER_SUPPORTED
+
+bool g_handler_installed = false;
+
+/// SIGPROF handler: async-signal-safe by construction — it performs only
+/// lock-free atomic loads/stores on the slot delivered via sival_ptr (the
+/// thread's own state; the shadow stack is same-thread data).  No write(2),
+/// no allocation, no locks, no errno.
+void sigprof_handler(int /*signo*/, siginfo_t* info, void* /*uctx*/) {
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  if (info == nullptr) return;
+  auto* slot = static_cast<detail::ThreadSlot*>(info->si_value.sival_ptr);
+  if (slot == nullptr) return;
+  const std::uint32_t depth =
+      slot->stack_depth.load(std::memory_order_acquire);
+  if (depth == 0) return;  // outside every phase: nothing to attribute
+  const std::uint64_t idx = slot->head.fetch_add(1, std::memory_order_relaxed);
+  detail::SampleCell& cell =
+      slot->ring[idx % static_cast<std::uint64_t>(kSampleRingCapacity)];
+  // Invalidate first so a concurrent reader can never stitch old and new
+  // halves together; the final seq store publishes the cell.
+  cell.seq.store(0, std::memory_order_release);
+  const std::uint32_t n =
+      std::min(depth, static_cast<std::uint32_t>(kMaxFrameDepth));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cell.frames[i].store(slot->stack[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  cell.depth.store(n, std::memory_order_relaxed);
+  cell.trace_id.store(slot->trace_id.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  cell.seq.store(idx + 1, std::memory_order_release);
+  slot->captured.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread timer registration.  The destructor runs at thread exit:
+/// it disarms and deletes the timer, then releases the slot for reuse
+/// (ring contents are kept so short-lived workers stay mergeable).
+struct ThreadReg {
+  detail::ThreadSlot* slot = nullptr;
+  timer_t timer{};
+  bool timer_created = false;
+  std::uint64_t armed_epoch = 0;
+  bool failed = false;
+  std::uint64_t failed_epoch = 0;
+
+  ~ThreadReg() {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    if (timer_created) {
+      timer_delete(timer);
+      timer_created = false;
+    }
+    if (slot != nullptr) {
+      slot->stack_depth.store(0, std::memory_order_release);
+      slot->in_use.store(false, std::memory_order_release);
+      slot = nullptr;
+    }
+  }
+};
+
+thread_local ThreadReg t_reg;
+
+detail::ThreadSlot* acquire_slot_locked() {
+  const int count = g_slot_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < count; ++i) {
+    detail::ThreadSlot* s = g_slots[i];
+    if (s != nullptr && !s->in_use.load(std::memory_order_acquire)) {
+      s->stack_depth.store(0, std::memory_order_relaxed);
+      s->trace_id.store(0, std::memory_order_relaxed);
+      s->in_use.store(true, std::memory_order_release);
+      return s;
+    }
+  }
+  if (count >= kMaxThreadSlots) return nullptr;
+  auto* s = new detail::ThreadSlot();  // immortal, see file header
+  s->index = count;
+  s->in_use.store(true, std::memory_order_release);
+  g_slots[count] = s;
+  g_slot_count.store(count + 1, std::memory_order_release);
+  return s;
+}
+
+bool arm_timer_locked(ThreadReg& reg, int hz) {
+  if (!reg.timer_created) {
+    struct sigevent sev{};
+    sev.sigev_notify = SIGEV_THREAD_ID;
+    sev.sigev_signo = SIGPROF;
+    sev.sigev_value.sival_ptr = reg.slot;
+    sev.sigev_notify_thread_id =
+        static_cast<pid_t>(::syscall(SYS_gettid));
+    if (timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &reg.timer) != 0) {
+      return false;
+    }
+    reg.timer_created = true;
+  }
+  const long interval_ns = 1000000000L / std::max(hz, 1);
+  struct itimerspec its{};
+  its.it_interval.tv_sec = interval_ns / 1000000000L;
+  its.it_interval.tv_nsec = interval_ns % 1000000000L;
+  its.it_value = its.it_interval;
+  return timer_settime(reg.timer, 0, &its, nullptr) == 0;
+}
+
+#endif  // TSMO_PROFILER_SUPPORTED
+
+/// Reads every valid sample of one slot whose absolute index is >= `from`.
+void collect_slot(const detail::ThreadSlot& slot, std::uint64_t from,
+                  std::uint64_t trace_filter, std::vector<Sample>& out) {
+  const std::uint64_t head = slot.head.load(std::memory_order_acquire);
+  const auto cap = static_cast<std::uint64_t>(kSampleRingCapacity);
+  std::uint64_t lo = head > cap ? head - cap : 0;
+  lo = std::max(lo, from);
+  for (std::uint64_t idx = lo; idx < head; ++idx) {
+    const detail::SampleCell& cell = slot.ring[idx % cap];
+    if (cell.seq.load(std::memory_order_acquire) != idx + 1) continue;
+    Sample s;
+    s.trace_id = cell.trace_id.load(std::memory_order_relaxed);
+    s.thread_slot = slot.index;
+    const std::uint32_t depth = std::min(
+        cell.depth.load(std::memory_order_relaxed),
+        static_cast<std::uint32_t>(kMaxFrameDepth));
+    s.frames.reserve(depth);
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      const char* name = cell.frames[i].load(std::memory_order_relaxed);
+      if (name != nullptr) s.frames.push_back(name);
+    }
+    // Validate after the payload copy: a wrapped writer bumps seq past
+    // idx + 1 (via the zero store), exposing the torn read.
+    if (cell.seq.load(std::memory_order_acquire) != idx + 1) continue;
+    if (s.frames.empty()) continue;
+    if (trace_filter != 0 && s.trace_id != trace_filter) continue;
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+ThreadSlot* local_slot() {
+#if TSMO_PROFILER_SUPPORTED
+  ThreadReg& reg = t_reg;
+  const std::uint64_t ep = g_epoch.load(std::memory_order_acquire);
+  if (reg.slot != nullptr && reg.armed_epoch == ep) return reg.slot;
+  if (reg.failed && reg.failed_epoch == ep) return nullptr;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  if (reg.slot == nullptr) reg.slot = acquire_slot_locked();
+  if (reg.slot == nullptr ||
+      !arm_timer_locked(reg, g_rate_hz.load(std::memory_order_relaxed))) {
+    reg.failed = true;
+    reg.failed_epoch = ep;
+    return nullptr;
+  }
+  reg.failed = false;
+  reg.armed_epoch = ep;
+  return reg.slot;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace detail
+
+bool supported() noexcept { return TSMO_PROFILER_SUPPORTED != 0; }
+
+bool start(int hz) {
+#if TSMO_PROFILER_SUPPORTED
+  hz = std::clamp(hz, 1, 1000);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    if (!g_handler_installed) {
+      struct sigaction sa{};
+      sa.sa_sigaction = &sigprof_handler;
+      sa.sa_flags = SA_SIGINFO | SA_RESTART;
+      sigemptyset(&sa.sa_mask);
+      if (sigaction(SIGPROF, &sa, nullptr) != 0) return false;
+      g_handler_installed = true;
+    }
+  }
+  g_rate_hz.store(hz, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+  return true;
+#else
+  (void)hz;
+  return false;
+#endif
+}
+
+void stop() {
+  detail::g_enabled.store(false, std::memory_order_release);
+  g_rate_hz.store(0, std::memory_order_relaxed);
+}
+
+int rate_hz() noexcept { return g_rate_hz.load(std::memory_order_relaxed); }
+
+Stats stats() {
+  Stats st;
+  st.enabled = enabled();
+  st.rate_hz = rate_hz();
+  const int count = g_slot_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    const detail::ThreadSlot* s = g_slots[i];
+    if (s == nullptr) continue;
+    const std::uint64_t head = s->head.load(std::memory_order_relaxed);
+    st.samples_captured += s->captured.load(std::memory_order_relaxed);
+    st.frames_truncated += s->truncated.load(std::memory_order_relaxed);
+    const auto cap = static_cast<std::uint64_t>(kSampleRingCapacity);
+    if (head > cap) st.ring_drops += head - cap;
+    if (s->in_use.load(std::memory_order_relaxed)) ++st.threads_registered;
+  }
+  return st;
+}
+
+Cursor cursor() {
+  Cursor c;
+  const int count = g_slot_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count && i < kMaxThreadSlots; ++i) {
+    if (g_slots[i] != nullptr) {
+      c.heads[static_cast<std::size_t>(i)] =
+          g_slots[i]->head.load(std::memory_order_acquire);
+    }
+  }
+  return c;
+}
+
+std::vector<Sample> collect(std::uint64_t trace_filter) {
+  std::vector<Sample> out;
+  const int count = g_slot_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    if (g_slots[i] != nullptr) {
+      collect_slot(*g_slots[i], 0, trace_filter, out);
+    }
+  }
+  return out;
+}
+
+std::vector<Sample> collect_since(const Cursor& since,
+                                  std::uint64_t trace_filter) {
+  std::vector<Sample> out;
+  const int count = g_slot_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    if (g_slots[i] != nullptr) {
+      collect_slot(*g_slots[i], since.heads[static_cast<std::size_t>(i)],
+                   trace_filter, out);
+    }
+  }
+  return out;
+}
+
+const char* register_frame_name(const char* name) {
+  if (name == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string>& names = taxonomy();
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    names.emplace_back(name);
+  }
+  return name;
+}
+
+std::vector<std::string> frame_taxonomy() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names = taxonomy();
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string fold(const std::vector<Sample>& samples) {
+  std::map<std::string, std::uint64_t> stacks;
+  std::string key;
+  for (const Sample& s : samples) {
+    key.clear();
+    for (std::size_t i = 0; i < s.frames.size(); ++i) {
+      if (i > 0) key += ';';
+      key += s.frames[i];
+    }
+    if (key.empty()) continue;
+    ++stacks[key];
+  }
+  std::string out;
+  for (const auto& [stack, count] : stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_speedscope(std::ostream& os, const std::vector<Sample>& samples,
+                      const std::string& name) {
+  // Frame table: distinct names in first-seen order.
+  std::vector<const char*> frames;
+  std::map<const char*, std::size_t> index;
+  for (const Sample& s : samples) {
+    for (const char* f : s.frames) {
+      if (index.emplace(f, frames.size()).second) frames.push_back(f);
+    }
+  }
+  auto escape = [](const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out += c;
+    }
+    return out;
+  };
+  os << "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\","
+     << "\"name\":\"" << escape(name) << "\",\"exporter\":\"tsmo\","
+     << "\"shared\":{\"frames\":[";
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << escape(frames[i]) << "\"}";
+  }
+  os << "]},\"profiles\":[{\"type\":\"sampled\",\"name\":\"" << escape(name)
+     << "\",\"unit\":\"none\",\"startValue\":0,\"endValue\":"
+     << samples.size() << ",\"samples\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[';
+    const Sample& s = samples[i];
+    for (std::size_t j = 0; j < s.frames.size(); ++j) {
+      if (j > 0) os << ',';
+      os << index[s.frames[j]];
+    }
+    os << ']';
+  }
+  os << "],\"weights\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) os << ',';
+    os << 1;
+  }
+  os << "]}]}\n";
+}
+
+}  // namespace tsmo::prof

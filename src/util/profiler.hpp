@@ -1,0 +1,236 @@
+#pragma once
+
+// In-process sampling profiler (DESIGN.md §14).
+//
+// A POSIX per-thread CPU-time sampler: every profiled thread owns a
+// timer_create(CLOCK_THREAD_CPUTIME_ID) timer that delivers SIGPROF to
+// exactly that thread at `rate_hz` of *its own* CPU time (idle threads are
+// never sampled — CPU-time timers do not advance while a thread blocks).
+// The signal handler captures a *shadow stack* of RAII phase frames
+// (`ProfileFrame` markers reusing the span taxonomy of DESIGN.md §8:
+// run.sync, sync.round, worker.chunk, move.evaluate_batch, channel.wait,
+// archive.insert, construct.i1, …) into a per-thread lock-free sample
+// ring.  Merging into Brendan-Gregg folded-stack text or speedscope JSON
+// happens on the *request* thread (GET /debug/profile, /jobs/<id>/profile)
+// — the handler itself performs only lock-free atomic stores, no write(2),
+// no allocation, no locks.
+//
+// Each sample additionally records the thread's ambient causal trace id
+// (DESIGN.md §13), captured at the outermost frame push, so the job plane
+// can serve per-job profiles by filtering the merged rings.
+//
+// Gating mirrors the telemetry layer: TSMO_PROFILE_FRAME compiles to
+// nothing under TSMO_TELEMETRY=OFF, and at run time a disarmed profiler
+// costs one relaxed atomic load per frame.  The profiler never touches the
+// search RNG or any decision path, so golden-seed fingerprints are
+// bitwise-identical with profiling on or off (tests/test_profiler.cpp).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/telemetry.hpp"
+
+#ifndef TSMO_TELEMETRY_ENABLED
+#define TSMO_TELEMETRY_ENABLED 1
+#endif
+
+/// Compile-time mirror of prof::supported(): the sampler needs POSIX
+/// per-thread CPU timers with SIGEV_THREAD_ID delivery (Linux).  Tests
+/// gate live-capture suites on it.
+#if defined(__linux__)
+#define TSMO_PROFILER_SUPPORTED 1
+#else
+#define TSMO_PROFILER_SUPPORTED 0
+#endif
+
+namespace tsmo::prof {
+
+/// Deepest shadow stack a sample can carry; pushes beyond it are counted
+/// (Stats::frames_truncated) and the sample keeps its outermost frames.
+inline constexpr int kMaxFrameDepth = 16;
+/// Per-thread sample ring capacity; ~40 s of history at the default rate.
+inline constexpr int kSampleRingCapacity = 4096;
+/// Fixed thread-slot table.  Slots are immortal (never freed) so a SIGPROF
+/// that races thread teardown can only ever touch live memory; exiting
+/// threads release their slot for reuse.
+inline constexpr int kMaxThreadSlots = 64;
+inline constexpr int kDefaultRateHz = 99;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+/// One recorded sample.  Every field is a lock-free atomic: the SIGPROF
+/// handler writes cells while merge threads read them, and the per-cell
+/// `seq` (absolute index + 1, published last with release order) lets a
+/// reader detect torn or overwritten cells and skip them.
+struct SampleCell {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<const char*> frames[kMaxFrameDepth];
+};
+
+/// Per-thread profiling state.  The shadow stack is touched only by the
+/// owning thread and its own (same-thread) signal handler; the ring is
+/// written by the handler and read by merge threads via the seq protocol.
+struct ThreadSlot {
+  // Shadow stack of live ProfileFrame names, outermost first.
+  std::atomic<std::uint32_t> stack_depth{0};
+  std::atomic<const char*> stack[kMaxFrameDepth];
+  /// Ambient trace id, refreshed at every outermost frame push.
+  std::atomic<std::uint64_t> trace_id{0};
+
+  SampleCell ring[kSampleRingCapacity];
+  std::atomic<std::uint64_t> head{0};  ///< absolute samples written
+  std::atomic<std::uint64_t> captured{0};
+  std::atomic<std::uint64_t> truncated{0};  ///< stacks deeper than the cap
+  std::atomic<bool> in_use{false};
+  int index = 0;
+};
+
+/// This thread's slot, registering it (and arming its CPU-time timer) on
+/// first use after the profiler started.  nullptr when the profiler is
+/// off, unsupported, or the slot table is exhausted.
+ThreadSlot* local_slot();
+
+}  // namespace detail
+
+/// True while the sampler is armed (one relaxed load — the hot-path gate).
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms the sampler at `hz` (clamped to [1, 1000]).  Threads register
+/// lazily at their next ProfileFrame push; idempotent (a second start at a
+/// different rate re-arms every thread's timer at the new rate).  Returns
+/// false on platforms without per-thread CPU-time timers — the profiler
+/// then stays disabled and every endpoint reports it as such.
+bool start(int hz = kDefaultRateHz);
+
+/// Disarms sampling.  Per-thread timers stay allocated (they re-arm on the
+/// next start()); a late in-flight SIGPROF sees the disabled flag and
+/// records nothing.
+void stop();
+
+/// Configured rate (0 when stopped).
+int rate_hz() noexcept;
+
+/// True when the platform supports the sampler (Linux SIGEV_THREAD_ID).
+bool supported() noexcept;
+
+/// /healthz "profiler" section.
+struct Stats {
+  bool enabled = false;
+  int rate_hz = 0;
+  std::uint64_t samples_captured = 0;  ///< total over all thread rings
+  std::uint64_t ring_drops = 0;        ///< samples rotated out of a ring
+  std::uint64_t frames_truncated = 0;  ///< stacks deeper than kMaxFrameDepth
+  int threads_registered = 0;          ///< slots currently armed
+};
+Stats stats();
+
+/// One merged sample: the phase stack (outermost first, interned names
+/// from the frame taxonomy) plus provenance.
+struct Sample {
+  std::uint64_t trace_id = 0;
+  int thread_slot = 0;
+  std::vector<const char*> frames;
+};
+
+/// Per-slot ring positions; a window [cursor(), now] names the samples
+/// recorded in between (GET /debug/profile?seconds=N).
+struct Cursor {
+  std::array<std::uint64_t, kMaxThreadSlots> heads{};
+};
+Cursor cursor();
+
+/// Every valid sample currently held in the rings, oldest first per slot;
+/// `trace_filter` != 0 keeps only samples recorded under that trace id.
+std::vector<Sample> collect(std::uint64_t trace_filter = 0);
+
+/// Samples recorded after `since` was taken.
+std::vector<Sample> collect_since(const Cursor& since,
+                                  std::uint64_t trace_filter = 0);
+
+/// Interns a frame name into the phase taxonomy (idempotent; returns the
+/// pointer to push).  Every TSMO_PROFILE_FRAME site registers its literal
+/// once, so tests can assert merged samples only carry known phases.
+const char* register_frame_name(const char* name);
+
+/// All frame names registered so far, sorted.
+std::vector<std::string> frame_taxonomy();
+
+/// Brendan-Gregg folded stacks: one "frame;frame;frame <count>" line per
+/// distinct stack, sorted lexicographically.  Sample counts are conserved:
+/// the line counts sum to samples.size().
+std::string fold(const std::vector<Sample>& samples);
+
+/// speedscope-compatible JSON (https://www.speedscope.app/file-format);
+/// one "sampled" profile holding every sample with unit weight.
+void write_speedscope(std::ostream& os, const std::vector<Sample>& samples,
+                      const std::string& name);
+
+/// RAII phase marker.  Construction pushes `name` (which must be an
+/// interned/static string — use the macro) onto this thread's shadow
+/// stack; destruction pops it.  Disarmed cost: one relaxed load.
+class Frame {
+ public:
+  explicit Frame(const char* name) noexcept {
+    if (!enabled()) return;
+    detail::ThreadSlot* s = detail::local_slot();
+    if (s == nullptr) return;
+    slot_ = s;
+    const std::uint32_t d = s->stack_depth.load(std::memory_order_relaxed);
+    if (d == 0) {
+      s->trace_id.store(telemetry::current_trace().trace_id,
+                        std::memory_order_relaxed);
+    }
+    if (d < static_cast<std::uint32_t>(kMaxFrameDepth)) {
+      s->stack[d].store(name, std::memory_order_relaxed);
+    } else {
+      s->truncated.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Publish the name before the depth: the same-thread signal handler
+    // reads depth first, so it can never observe a stale frame pointer.
+    s->stack_depth.store(d + 1, std::memory_order_release);
+  }
+  ~Frame() noexcept {
+    if (slot_ == nullptr) return;
+    const std::uint32_t d = slot_->stack_depth.load(std::memory_order_relaxed);
+    if (d > 0) slot_->stack_depth.store(d - 1, std::memory_order_release);
+  }
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+ private:
+  detail::ThreadSlot* slot_ = nullptr;
+};
+
+}  // namespace tsmo::prof
+
+// Phase frame macro; compiles out with the rest of the observability layer
+// under TSMO_TELEMETRY=OFF.  The name literal is interned once per call
+// site (thread-safe function-local static).
+#if TSMO_TELEMETRY_ENABLED
+
+#define TSMO_PROF_CONCAT_IMPL(a, b) a##b
+#define TSMO_PROF_CONCAT(a, b) TSMO_PROF_CONCAT_IMPL(a, b)
+
+#define TSMO_PROFILE_FRAME(name_literal)                                      \
+  static const char* TSMO_PROF_CONCAT(tsmo_prof_name_, __LINE__) =            \
+      ::tsmo::prof::register_frame_name(name_literal);                        \
+  ::tsmo::prof::Frame TSMO_PROF_CONCAT(tsmo_prof_frame_, __LINE__)(           \
+      TSMO_PROF_CONCAT(tsmo_prof_name_, __LINE__))
+
+#else  // !TSMO_TELEMETRY_ENABLED
+
+#define TSMO_PROFILE_FRAME(name_literal) \
+  do {                                   \
+  } while (0)
+
+#endif  // TSMO_TELEMETRY_ENABLED

@@ -25,6 +25,7 @@
 #include "parallel/hybrid_tsmo.hpp"
 #include "parallel/multisearch_tsmo.hpp"
 #include "parallel/sync_tsmo.hpp"
+#include "util/profiler.hpp"
 #include "vrptw/generator.hpp"
 
 namespace tsmo {
@@ -364,6 +365,82 @@ TEST_F(GoldenSeedTest, PrunedModeDeterministicAcrossWidths) {
       expect_identical(runs, "hybrid-det.pruned.seed" + std::to_string(seed));
     }
   }
+}
+
+/// The sampling profiler and the introspection plane (DESIGN.md §14) are
+/// pure observation: arming SIGPROF sampling and publishing per-operator
+/// rates must leave every fingerprint bitwise identical to the bare run —
+/// for every engine, across 1/2/4 execution threads.
+TEST_F(GoldenSeedTest, ProfilerAndIntrospectOnOffFingerprintsIdentical) {
+  const std::uint64_t seed = kSeeds[0];
+  const TsmoParams bare = golden_params(seed);
+  TsmoParams observed = bare;
+  observed.introspect = true;
+  observed.profile_hz = 199;  // off the default 99 to prove the knob works
+
+  {
+    std::vector<RunResult> runs;
+    runs.push_back(SequentialTsmo(inst_, bare).run());
+    runs.push_back(SequentialTsmo(inst_, observed).run());
+    // The observed run actually collected something.
+    EXPECT_GT(runs.back().introspect.steps, 0u);
+    EXPECT_GT(runs.back().introspect.total_proposed(), 0u);
+    expect_identical(runs, "sequential.profiled.seed" + std::to_string(seed));
+  }
+  {
+    std::vector<RunResult> runs;
+    SyncOptions off;
+    off.deterministic = true;
+    runs.push_back(SyncTsmo(inst_, bare, 4, off).run());
+    for (int exec : kExecWidths) {
+      SyncOptions on;
+      on.deterministic = true;
+      on.exec_threads = exec;
+      runs.push_back(SyncTsmo(inst_, observed, 4, on).run());
+    }
+    expect_identical(runs, "sync-det.profiled.seed" + std::to_string(seed));
+  }
+  {
+    std::vector<RunResult> runs;
+    AsyncOptions off;
+    off.deterministic = true;
+    runs.push_back(AsyncTsmo(inst_, bare, 4, off).run());
+    for (int exec : kExecWidths) {
+      AsyncOptions on;
+      on.deterministic = true;
+      on.exec_threads = exec;
+      runs.push_back(AsyncTsmo(inst_, observed, 4, on).run());
+    }
+    expect_identical(runs, "async-det.profiled.seed" + std::to_string(seed));
+  }
+  {
+    std::vector<RunResult> runs;
+    MultisearchOptions off;
+    off.deterministic = true;
+    runs.push_back(MultisearchTsmo(inst_, bare, 3, off).run().merged);
+    for (int exec : kExecWidths) {
+      MultisearchOptions on;
+      on.deterministic = true;
+      on.exec_threads = exec;
+      runs.push_back(MultisearchTsmo(inst_, observed, 3, on).run().merged);
+    }
+    EXPECT_GT(runs.back().introspect.steps, 0u);
+    expect_identical(runs, "coll-det.profiled.seed" + std::to_string(seed));
+  }
+  {
+    std::vector<RunResult> runs;
+    HybridOptions off;
+    off.deterministic = true;
+    runs.push_back(HybridTsmo(inst_, bare, 2, 2, off).run().merged);
+    for (int exec : kExecWidths) {
+      HybridOptions on;
+      on.deterministic = true;
+      on.exec_threads = exec;
+      runs.push_back(HybridTsmo(inst_, observed, 2, 2, on).run().merged);
+    }
+    expect_identical(runs, "hybrid-det.profiled.seed" + std::to_string(seed));
+  }
+  prof::stop();  // disarm so later suites see the default state
 }
 
 /// Different seeds must not collide — otherwise the fingerprint could not
