@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Fold the per-run bench_results/*.json records into one trend file.
+
+Every overhead guard and latency bench in this repo writes a small JSON
+record (anytime_overhead.json, obs_overhead.json, tsdb_overhead.json,
+job_api_latency.json, delta_eval_speedup.json, ...).  Each record stands
+alone, which makes cross-commit comparison a manual artifact-diffing
+exercise.  This script aggregates them into a single trend.json keyed by
+git sha, so CI can append one point per commit and the dashboard (or a
+human with jq) can plot the series.
+
+The output shape:
+
+  {
+    "version": 1,
+    "entries": [
+      {
+        "sha": "abc1234...",
+        "time_unix": 1760000000,        # commit time, not run time
+        "branch": "main",
+        "records": {
+          "anytime_overhead": { ...the file's content... },
+          "tsdb_overhead": { ... }
+        }
+      },
+      ...
+    ]
+  }
+
+Entries are ordered oldest-first; re-running on the same sha replaces
+that sha's entry (a rebuilt commit supersedes its earlier numbers).
+
+Usage:
+  bench_trend.py [--results bench_results] [--out bench_results/trend.json]
+                 [--repo .] [--max-entries 200]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def git(repo, *args):
+    try:
+        return subprocess.run(
+            ["git", "-C", repo, *args],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return ""
+
+
+def collect_records(results_dir, skip):
+    records = {}
+    if not os.path.isdir(results_dir):
+        return records
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".json") or name in skip:
+            continue
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path) as f:
+                body = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"skipping {path}: {err}", file=sys.stderr)
+            continue
+        records[name[: -len(".json")]] = body
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", default="bench_results")
+    ap.add_argument("--out", default="bench_results/trend.json")
+    ap.add_argument("--repo", default=".")
+    ap.add_argument("--max-entries", type=int, default=200,
+                    help="keep only the newest N shas (0 = unlimited)")
+    args = ap.parse_args()
+
+    sha = git(args.repo, "rev-parse", "HEAD") or "unknown"
+    commit_time = git(args.repo, "show", "-s", "--format=%ct", "HEAD")
+    branch = git(args.repo, "rev-parse", "--abbrev-ref", "HEAD") or "unknown"
+
+    skip = {os.path.basename(args.out)}
+    records = collect_records(args.results, skip)
+    if not records:
+        print(f"no records under {args.results}; nothing to do",
+              file=sys.stderr)
+        return 1
+
+    trend = {"version": 1, "entries": []}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as f:
+                prior = json.load(f)
+            if prior.get("version") == 1 and isinstance(
+                    prior.get("entries"), list):
+                trend = prior
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"ignoring unreadable {args.out}: {err}", file=sys.stderr)
+
+    entry = {
+        "sha": sha,
+        "time_unix": int(commit_time) if commit_time.isdigit() else 0,
+        "branch": branch,
+        "records": records,
+    }
+    trend["entries"] = [e for e in trend["entries"] if e.get("sha") != sha]
+    trend["entries"].append(entry)
+    trend["entries"].sort(key=lambda e: e.get("time_unix", 0))
+    if args.max_entries > 0:
+        trend["entries"] = trend["entries"][-args.max_entries:]
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(trend, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    bounded = [
+        (name, rec) for name, rec in sorted(records.items())
+        if isinstance(rec, dict) and "within_bound" in rec
+    ]
+    for name, rec in bounded:
+        verdict = "within" if rec["within_bound"] else "EXCEEDS"
+        print(f"{name}: {rec.get('overhead_percent', '?')}% "
+              f"({verdict} {rec.get('bound_percent', '?')}% bound)")
+    print(f"trend.json: {len(trend['entries'])} entries, "
+          f"{len(records)} records at {sha[:12]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

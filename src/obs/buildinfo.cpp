@@ -1,5 +1,7 @@
 #include "obs/buildinfo.hpp"
 
+#include <chrono>
+
 #include "util/json.hpp"
 
 #ifndef TSMO_BUILD_GIT_SHA
@@ -17,6 +19,24 @@
 
 namespace tsmo::obs {
 
+namespace {
+// Captured at image load so every surface reports the same restart time.
+const std::chrono::steady_clock::time_point g_steady_start =
+    std::chrono::steady_clock::now();
+const std::int64_t g_start_unix_ms =
+    std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}  // namespace
+
+std::int64_t process_start_unix_ms() noexcept { return g_start_unix_ms; }
+
+double process_uptime_s() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_steady_start)
+      .count();
+}
+
 const BuildInfo& build_info() noexcept {
   static constexpr BuildInfo info{TSMO_BUILD_GIT_SHA, TSMO_BUILD_COMPILER,
                                   TSMO_BUILD_FLAGS, TSMO_BUILD_TYPE};
@@ -31,6 +51,8 @@ void write_buildinfo_json(std::ostream& os) {
   w.key("compiler").value(info.compiler);
   w.key("flags").value(info.flags);
   w.key("build_type").value(info.build_type);
+  w.key("start_time_unix_ms").value(process_start_unix_ms());
+  w.key("uptime_s").value(process_uptime_s());
   w.end_object();
   os << '\n';
 }

@@ -7,6 +7,7 @@
 // allocating.  Served at /buildinfo and stamped into every RunResult JSON
 // so bench_results artifacts are traceable to the binary that made them.
 
+#include <cstdint>
 #include <ostream>
 
 namespace tsmo::obs {
@@ -21,7 +22,16 @@ struct BuildInfo {
 /// The compiled-in build record.
 const BuildInfo& build_info() noexcept;
 
-/// Renders the record as a small JSON object ({"git_sha": ..., ...}).
+/// Wall-clock time this process loaded [unix ms]; captured once at static
+/// init so /buildinfo, /healthz and the dashboard header agree on when
+/// the server last restarted.
+std::int64_t process_start_unix_ms() noexcept;
+
+/// Seconds since process load (steady clock, immune to wall adjustments).
+double process_uptime_s() noexcept;
+
+/// Renders the record as a small JSON object ({"git_sha": ..., ...})
+/// plus start_time_unix_ms / uptime_s.
 void write_buildinfo_json(std::ostream& os);
 
 }  // namespace tsmo::obs

@@ -1,0 +1,410 @@
+#pragma once
+
+// The embedded /dashboard page (DESIGN.md §15): one self-contained HTML
+// document — inline CSS + JS, SVG sparklines, zero external assets — that
+// renders entirely from GET /api/timeseries and GET /healthz.  Served with
+// Cache-Control: max-age=60 (it is a static asset; the data it fetches is
+// no-store).
+//
+// Charting follows the repo's data-viz conventions: series hues and ink
+// tokens are CSS custom properties with selected dark-mode steps (OS
+// preference plus a manual toggle), status states always pair an icon
+// with a label so color never carries meaning alone, text wears ink
+// tokens rather than series color, and every plot carries a hover
+// crosshair + tooltip.  Multi-series panels cap at three hues (the
+// all-pairs-validated prefix of the categorical order) and fold the rest.
+
+namespace tsmo::obs {
+
+inline constexpr const char kDashboardHtml[] = R"TSMODASH(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>tsmo dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --page:          #f9f9f7;
+  --surface-1:     #fcfcfb;
+  --text-primary:  #0b0b0b;
+  --text-secondary:#52514e;
+  --text-muted:    #898781;
+  --grid:          #e1e0d9;
+  --baseline:      #c3c2b7;
+  --border:        rgba(11,11,11,0.10);
+  --series-1:      #2a78d6;
+  --series-2:      #eb6834;
+  --series-3:      #1baf7a;
+  --status-good:     #0ca30c;
+  --status-warning:  #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --page:          #0d0d0d;
+    --surface-1:     #1a1a19;
+    --text-primary:  #ffffff;
+    --text-secondary:#c3c2b7;
+    --text-muted:    #898781;
+    --grid:          #2c2c2a;
+    --baseline:      #383835;
+    --border:        rgba(255,255,255,0.10);
+    --series-1:      #3987e5;
+    --series-2:      #d95926;
+    --series-3:      #199e70;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --page:          #0d0d0d;
+  --surface-1:     #1a1a19;
+  --text-primary:  #ffffff;
+  --text-secondary:#c3c2b7;
+  --text-muted:    #898781;
+  --grid:          #2c2c2a;
+  --baseline:      #383835;
+  --border:        rgba(255,255,255,0.10);
+  --series-1:      #3987e5;
+  --series-2:      #d95926;
+  --series-3:      #199e70;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header {
+  display: flex; align-items: baseline; gap: 16px; flex-wrap: wrap;
+  padding: 14px 20px 6px;
+}
+header h1 { font-size: 17px; margin: 0; font-weight: 650; }
+header .sub { color: var(--text-secondary); font-size: 13px; }
+header .spacer { flex: 1; }
+button.theme {
+  background: var(--surface-1); color: var(--text-secondary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 3px 10px; font: inherit; font-size: 12px; cursor: pointer;
+}
+.badge {
+  display: inline-flex; align-items: center; gap: 6px;
+  font-size: 13px; font-weight: 600; padding: 2px 10px;
+  border: 1px solid var(--border); border-radius: 999px;
+  background: var(--surface-1);
+}
+.badge .dot { font-size: 12px; }
+.badge.ok    .dot { color: var(--status-good); }
+.badge.warn  .dot { color: var(--status-warning); }
+.badge.breach .dot { color: var(--status-critical); }
+main { padding: 8px 20px 28px; max-width: 1240px; margin: 0 auto; }
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(160px, 1fr)); gap: 12px; margin: 10px 0 14px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 10px 14px 12px;
+}
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 650; margin-top: 2px; }
+.tile .value small { font-size: 14px; font-weight: 500; color: var(--text-secondary); }
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(340px, 1fr)); gap: 12px; }
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 12px 14px;
+}
+.panel h2 { font-size: 13px; font-weight: 650; margin: 0 0 2px; }
+.panel .meta { color: var(--text-muted); font-size: 11.5px; margin-bottom: 6px; }
+.panel svg { display: block; width: 100%; height: 120px; }
+.legend { display: flex; gap: 14px; flex-wrap: wrap; margin-top: 6px; font-size: 12px; color: var(--text-secondary); }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.legend .swatch { width: 14px; height: 3px; border-radius: 2px; display: inline-block; }
+table.slo { width: 100%; border-collapse: collapse; font-size: 13px; }
+table.slo th { text-align: left; color: var(--text-muted); font-weight: 500; font-size: 11.5px; padding: 4px 8px 4px 0; border-bottom: 1px solid var(--grid); }
+table.slo td { padding: 6px 8px 6px 0; border-bottom: 1px solid var(--grid); }
+table.slo td.num { font-variant-numeric: tabular-nums; text-align: right; }
+.state { display: inline-flex; align-items: center; gap: 6px; font-weight: 600; }
+.state.ok     { color: var(--text-primary); }
+.state.ok .dot     { color: var(--status-good); }
+.state.warn .dot   { color: var(--status-warning); }
+.state.breach .dot { color: var(--status-critical); }
+#tooltip {
+  position: fixed; pointer-events: none; display: none; z-index: 10;
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 4px 8px; font-size: 12px; box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+}
+#tooltip .t { color: var(--text-muted); }
+.empty { color: var(--text-muted); font-size: 12px; padding: 24px 0; text-align: center; }
+</style>
+</head>
+<body>
+<header>
+  <h1>tsmo dashboard</h1>
+  <span class="sub" id="sub">connecting…</span>
+  <span class="badge ok" id="slo-badge"><span class="dot">●</span><span id="slo-badge-text">SLO —</span></span>
+  <span class="spacer"></span>
+  <button class="theme" id="theme-toggle" type="button">theme: auto</button>
+</header>
+<main>
+  <div class="tiles">
+    <div class="tile"><div class="label">Jobs / sec</div><div class="value" id="tile-rate">—</div></div>
+    <div class="tile"><div class="label">Queue depth</div><div class="value" id="tile-queue">—</div></div>
+    <div class="tile"><div class="label">Workers busy</div><div class="value" id="tile-workers">—</div></div>
+    <div class="tile"><div class="label">Jobs done / failed</div><div class="value" id="tile-done">—</div></div>
+    <div class="tile"><div class="label">Uptime</div><div class="value" id="tile-uptime">—</div></div>
+  </div>
+  <div class="grid">
+    <div class="panel"><h2>Job throughput</h2><div class="meta">finished jobs per second · 15 min</div><div id="chart-rate"></div></div>
+    <div class="panel"><h2>Queue depth</h2><div class="meta">jobs waiting for an executor</div><div id="chart-queue"></div></div>
+    <div class="panel"><h2>Route p99 latency</h2><div class="meta">ms · top routes by current p99</div><div id="chart-p99"></div></div>
+    <div class="panel"><h2>Worker utilization</h2><div class="meta">running / executors</div><div id="chart-util"></div></div>
+    <div class="panel"><h2>Hypervolume</h2><div class="meta">anytime Pareto hypervolume per live job</div><div id="chart-hv"></div></div>
+    <div class="panel"><h2>SLO burn rates</h2><div class="meta">fast 5 m / slow 1 h windows (clamped to history)</div><div id="slo-table"></div></div>
+  </div>
+</main>
+<div id="tooltip"></div>
+<script>
+"use strict";
+const SERIES_VARS = ["--series-1", "--series-2", "--series-3"];
+const tooltip = document.getElementById("tooltip");
+
+const themeBtn = document.getElementById("theme-toggle");
+const THEMES = ["auto", "light", "dark"];
+let themeIdx = 0;
+themeBtn.addEventListener("click", () => {
+  themeIdx = (themeIdx + 1) % THEMES.length;
+  const t = THEMES[themeIdx];
+  if (t === "auto") delete document.documentElement.dataset.theme;
+  else document.documentElement.dataset.theme = t;
+  themeBtn.textContent = "theme: " + t;
+});
+
+function cssVar(name) {
+  return getComputedStyle(document.documentElement).getPropertyValue(name).trim();
+}
+function fmt(v) {
+  if (!isFinite(v)) return "—";
+  const a = Math.abs(v);
+  if (a >= 1e6) return (v / 1e6).toFixed(1) + "M";
+  if (a >= 1e4) return (v / 1e3).toFixed(1) + "k";
+  if (a >= 100 || Number.isInteger(v)) return v.toFixed(0);
+  if (a >= 1) return v.toFixed(2);
+  return v.toPrecision(2);
+}
+function fmtDur(s) {
+  if (!isFinite(s)) return "—";
+  if (s < 120) return s.toFixed(0) + " s";
+  if (s < 7200) return (s / 60).toFixed(1) + " m";
+  if (s < 172800) return (s / 3600).toFixed(1) + " h";
+  return (s / 86400).toFixed(1) + " d";
+}
+function fmtClock(ms) {
+  return new Date(ms).toLocaleTimeString();
+}
+
+// One multi-series sparkline: 2px mean lines, recessive baseline, shared
+// crosshair tooltip.  `series` = [{label, points:[[t,min,mean,max]]}].
+function drawChart(el, series, opts) {
+  opts = opts || {};
+  const W = 560, H = 120, PAD = 6, PADB = 14;
+  const drawn = series.filter(s => s.points.length > 0);
+  if (drawn.length === 0) {
+    el.innerHTML = '<div class="empty">no samples yet</div>';
+    return;
+  }
+  let tMin = Infinity, tMax = -Infinity, vMin = Infinity, vMax = -Infinity;
+  for (const s of drawn) for (const p of s.points) {
+    tMin = Math.min(tMin, p[0]); tMax = Math.max(tMax, p[0]);
+    vMin = Math.min(vMin, p[1]); vMax = Math.max(vMax, p[3]);
+  }
+  if (opts.zeroBase) vMin = Math.min(vMin, 0);
+  if (opts.maxHint !== undefined) vMax = Math.max(vMax, opts.maxHint);
+  if (vMax === vMin) vMax = vMin + 1;
+  if (tMax === tMin) tMax = tMin + 1;
+  const X = t => PAD + (t - tMin) / (tMax - tMin) * (W - 2 * PAD);
+  const Y = v => (H - PADB) - (v - vMin) / (vMax - vMin) * (H - PAD - PADB);
+  const ns = "http://www.w3.org/2000/svg";
+  const svg = document.createElementNS(ns, "svg");
+  svg.setAttribute("viewBox", `0 0 ${W} ${H}`);
+  svg.setAttribute("preserveAspectRatio", "none");
+  const mkLine = (x1, y1, x2, y2, stroke, w) => {
+    const l = document.createElementNS(ns, "line");
+    l.setAttribute("x1", x1); l.setAttribute("y1", y1);
+    l.setAttribute("x2", x2); l.setAttribute("y2", y2);
+    l.setAttribute("stroke", stroke); l.setAttribute("stroke-width", w);
+    svg.appendChild(l); return l;
+  };
+  mkLine(PAD, Y(vMin), W - PAD, Y(vMin), cssVar("--baseline"), 1);
+  const gy = (vMin + vMax) / 2;
+  mkLine(PAD, Y(gy), W - PAD, Y(gy), cssVar("--grid"), 1);
+  drawn.forEach((s, i) => {
+    const color = cssVar(SERIES_VARS[i % SERIES_VARS.length]);
+    const pl = document.createElementNS(ns, "polyline");
+    pl.setAttribute("points",
+        s.points.map(p => X(p[0]).toFixed(1) + "," + Y(p[1]).toFixed(1)).join(" "));
+    pl.setAttribute("fill", "none");
+    pl.setAttribute("stroke", color);
+    pl.setAttribute("stroke-width", "2");
+    pl.setAttribute("stroke-linejoin", "round");
+    svg.appendChild(pl);
+    s.color = color;
+  });
+  const axisColor = cssVar("--text-muted");
+  const mkText = (x, y, anchor, text) => {
+    const t = document.createElementNS(ns, "text");
+    t.setAttribute("x", x); t.setAttribute("y", y);
+    t.setAttribute("text-anchor", anchor);
+    t.setAttribute("fill", axisColor);
+    t.setAttribute("font-size", "10");
+    t.textContent = text;
+    svg.appendChild(t);
+  };
+  mkText(PAD, H - 3, "start", fmtClock(tMin));
+  mkText(W - PAD, H - 3, "end", fmtClock(tMax));
+  mkText(PAD, Y(vMax) + 9, "start", fmt(opts.percent ? vMax * 100 : vMax) + (opts.unit || ""));
+  const cross = mkLine(0, PAD, 0, H - PADB, cssVar("--baseline"), 1);
+  cross.setAttribute("visibility", "hidden");
+  svg.addEventListener("mousemove", ev => {
+    const r = svg.getBoundingClientRect();
+    const t = tMin + (ev.clientX - r.left) / r.width * (tMax - tMin);
+    let rows = [];
+    for (const s of drawn) {
+      let best = null, bd = Infinity;
+      for (const p of s.points) {
+        const d = Math.abs(p[0] - t);
+        if (d < bd) { bd = d; best = p; }
+      }
+      if (best) rows.push({ s, p: best });
+    }
+    if (rows.length === 0) return;
+    const x = X(rows[0].p[0]);
+    cross.setAttribute("x1", x); cross.setAttribute("x2", x);
+    cross.setAttribute("visibility", "visible");
+    tooltip.innerHTML = '<div class="t">' + fmtClock(rows[0].p[0]) + "</div>" +
+        rows.map(r =>
+            '<div><span style="color:' + r.s.color + '">▬</span> ' +
+            r.s.label + ": " +
+            fmt(opts.percent ? r.p[2] * 100 : r.p[2]) + (opts.unit || "") +
+            "</div>").join("");
+    tooltip.style.display = "block";
+    tooltip.style.left = Math.min(ev.clientX + 14, window.innerWidth - 180) + "px";
+    tooltip.style.top = (ev.clientY + 12) + "px";
+  });
+  svg.addEventListener("mouseleave", () => {
+    tooltip.style.display = "none";
+    cross.setAttribute("visibility", "hidden");
+  });
+  el.innerHTML = "";
+  el.appendChild(svg);
+  if (drawn.length > 1) {
+    const legend = document.createElement("div");
+    legend.className = "legend";
+    drawn.forEach(s => {
+      const k = document.createElement("span");
+      k.className = "key";
+      k.innerHTML = '<span class="swatch" style="background:' + s.color + '"></span>' + s.label;
+      legend.appendChild(k);
+    });
+    el.appendChild(legend);
+  }
+}
+
+function latest(s) {
+  return s && s.points.length ? s.points[s.points.length - 1][2] : NaN;
+}
+
+const STATE_ICON = { ok: "●", warn: "▲", breach: "✕" };
+
+function renderSlo(hz) {
+  const box = document.getElementById("slo-table");
+  const badge = document.getElementById("slo-badge");
+  const badgeText = document.getElementById("slo-badge-text");
+  const slo = hz.slo;
+  if (!slo) {
+    box.innerHTML = '<div class="empty">SLO engine off (start with --slo)</div>';
+    badge.className = "badge ok";
+    badgeText.textContent = "SLO off";
+    return;
+  }
+  badge.className = "badge " + slo.state;
+  badge.querySelector(".dot").textContent = STATE_ICON[slo.state] || "●";
+  badgeText.textContent = "SLO " + slo.state;
+  let html = '<table class="slo"><tr><th>rule</th><th>state</th>' +
+      '<th style="text-align:right">fast burn</th><th style="text-align:right">slow burn</th>' +
+      '<th style="text-align:right">bad / total (fast)</th></tr>';
+  for (const r of slo.rules) {
+    html += "<tr><td>" + r.name + '</td><td><span class="state ' + r.state +
+        '"><span class="dot">' + (STATE_ICON[r.state] || "●") + "</span>" + r.state +
+        '</span></td><td class="num">' + fmt(r.fast_burn) +
+        '</td><td class="num">' + fmt(r.slow_burn) +
+        '</td><td class="num">' + fmt(r.bad_fast) + " / " + fmt(r.total_fast) +
+        "</td></tr>";
+  }
+  box.innerHTML = html + "</table>";
+}
+
+async function tick() {
+  let ts, hz;
+  try {
+    const [a, b] = await Promise.all([
+      fetch("/api/timeseries?series=*&window=900&step=5"),
+      fetch("/healthz"),
+    ]);
+    if (!a.ok) throw new Error("/api/timeseries " + a.status);
+    ts = await a.json();
+    hz = await b.json();
+  } catch (e) {
+    document.getElementById("sub").textContent = "disconnected: " + e.message;
+    return;
+  }
+  const by = {};
+  for (const s of ts.series) by[s.name] = s;
+  const sha = (hz.build && hz.build.git_sha) || "";
+  document.getElementById("sub").textContent =
+      (sha ? sha + " · " : "") + "up " + fmtDur(hz.uptime_s) + " · " + fmtClock(ts.now_ms);
+
+  const rate = by["jobs.finished"];
+  document.getElementById("tile-rate").textContent = fmt(latest(rate) || 0);
+  document.getElementById("tile-queue").textContent =
+      fmt(latest(by["jobs.queue_depth"]) || 0);
+  const running = latest(by["jobs.running"]), execs = latest(by["jobs.executors"]);
+  document.getElementById("tile-workers").innerHTML =
+      isFinite(running) ? fmt(running) + "<small> / " + fmt(execs) + "</small>" : "—";
+  const done = hz.jobs ? hz.jobs.done : NaN, failed = hz.jobs ? hz.jobs.failed : NaN;
+  document.getElementById("tile-done").innerHTML =
+      isFinite(done) ? fmt(done) + "<small> / " + fmt(failed) + "</small>" : "—";
+  document.getElementById("tile-uptime").textContent = fmtDur(hz.uptime_s);
+
+  drawChart(document.getElementById("chart-rate"),
+      [{ label: "jobs/sec", points: rate ? rate.points : [] }],
+      { zeroBase: true });
+  drawChart(document.getElementById("chart-queue"),
+      [{ label: "queue depth", points: by["jobs.queue_depth"] ? by["jobs.queue_depth"].points : [] }],
+      { zeroBase: true });
+  const routes = Object.keys(by).filter(n => n.startsWith("http.p99_ms."))
+      .sort((x, y) => latest(by[y]) - latest(by[x])).slice(0, 3);
+  drawChart(document.getElementById("chart-p99"),
+      routes.map(n => ({ label: n.slice("http.p99_ms.".length), points: by[n].points })),
+      { zeroBase: true, unit: " ms" });
+  drawChart(document.getElementById("chart-util"),
+      [{ label: "utilization", points: by["jobs.utilization"] ? by["jobs.utilization"].points : [] }],
+      { zeroBase: true, maxHint: 1, percent: true, unit: "%" });
+  const hvNames = Object.keys(by)
+      .filter(n => (n.startsWith("job.") && n.endsWith(".hv")) || n === "search.hv")
+      .sort((x, y) => latest(by[y]) - latest(by[x])).slice(0, 3);
+  drawChart(document.getElementById("chart-hv"),
+      hvNames.map(n => ({
+        label: n === "search.hv" ? "run" : n.slice(4, -3),
+        points: by[n].points,
+      })),
+      {});
+  renderSlo(hz);
+}
+
+tick();
+setInterval(() => { if (!document.hidden) tick(); }, 2000);
+</script>
+</body>
+</html>
+)TSMODASH";
+
+}  // namespace tsmo::obs

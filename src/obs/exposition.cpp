@@ -1,5 +1,6 @@
 #include "obs/exposition.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -101,10 +102,17 @@ void render_histogram_body(std::string& out, const std::string& family,
     out += family + "_bucket{le=\"" + fmt_double(le_seconds) + "\"} " +
            fmt_u64(cum) + "\n";
   }
-  out += family + "_bucket{le=\"+Inf\"} " + fmt_u64(h.count) + "\n";
+  // Under concurrent mutation a snapshot can observe a bucket increment
+  // whose matching count increment has not landed yet (record_ns stores
+  // bucket, then count, both relaxed; the snapshot reads in the same
+  // order), leaving h.count below the finite cumulative total.  Clamp so
+  // the rendered series keeps the exposition-format invariants: buckets
+  // cumulative and monotone, +Inf == _count >= every finite bucket.
+  const std::uint64_t total = std::max(h.count, cum);
+  out += family + "_bucket{le=\"+Inf\"} " + fmt_u64(total) + "\n";
   out += family + "_sum " +
          fmt_double(static_cast<double>(h.sum_ns) * 1e-9) + "\n";
-  out += family + "_count " + fmt_u64(h.count) + "\n";
+  out += family + "_count " + fmt_u64(total) + "\n";
 }
 
 }  // namespace

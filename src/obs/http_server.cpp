@@ -62,16 +62,21 @@ void write_all(int fd, const char* data, std::size_t len) {
   }
 }
 
-void send_response(int fd, const HttpResponse& res) {
+/// `head_only` (HEAD requests) sends status + headers — including the
+/// Content-Length the matching GET would have carried — without the body.
+void send_response(int fd, const HttpResponse& res, bool head_only = false) {
   std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
                     status_text(res.status) + "\r\n";
   out += "Content-Type: " + res.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+  if (!res.cache_control.empty()) {
+    out += "Cache-Control: " + res.cache_control + "\r\n";
+  }
   for (const auto& [name, value] : res.headers) {
     out += name + ": " + value + "\r\n";
   }
   out += "Connection: close\r\n\r\n";
-  out += res.body;
+  if (!head_only) out += res.body;
   write_all(fd, out.data(), out.size());
 }
 
@@ -463,8 +468,9 @@ void HttpServer::serve_connection(int fd) {
       }
     }
   }
-  if (req.method == "HEAD") res.body.clear();
-  send_response(fd, res);
+  // HEAD answers with the GET handler's status + headers — including the
+  // Content-Length the body would have had — but no body (RFC 9110 §9.3.2).
+  send_response(fd, res, /*head_only=*/req.method == "HEAD");
   served_.fetch_add(1, std::memory_order_relaxed);
   observe(route_label, req.method.empty() ? "(unknown)" : req.method,
           res.status, now_ns() - t0, res.trace_id, res.trace_label);

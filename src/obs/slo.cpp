@@ -1,0 +1,145 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "obs/flight_recorder.hpp"
+#include "util/log.hpp"
+
+namespace tsmo::obs {
+
+const char* to_string(SloState state) noexcept {
+  switch (state) {
+    case SloState::kOk:
+      return "ok";
+    case SloState::kWarn:
+      return "warn";
+    case SloState::kBreach:
+      return "breach";
+  }
+  return "unknown";
+}
+
+std::vector<SloRule> default_slo_rules() {
+  std::vector<SloRule> rules;
+  {
+    SloRule r;
+    r.name = "first_front_latency";
+    r.bad_series = "jobs.first_front_slow";
+    r.total_series = "jobs.first_front_total";
+    r.objective = 0.99;  // p99 submit-to-first-front under target
+    rules.push_back(std::move(r));
+  }
+  {
+    SloRule r;
+    r.name = "job_error_ratio";
+    r.bad_series = "jobs.failed";
+    r.total_series = "jobs.finished";
+    r.objective = 0.99;
+    rules.push_back(std::move(r));
+  }
+  {
+    SloRule r;
+    r.name = "queue_full_ratio";
+    r.bad_series = "jobs.rejected";
+    r.total_series = "jobs.submitted";
+    r.objective = 0.95;  // shedding load is an explicit design choice
+    rules.push_back(std::move(r));
+  }
+  {
+    SloRule r;
+    r.name = "stall_watchdog";
+    r.bad_series = "search.stalls_flagged";
+    r.total_series = "jobs.finished";
+    r.objective = 0.90;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+SloEngine::SloEngine(std::vector<SloRule> rules) : rules_(std::move(rules)) {
+  states_.resize(rules_.size());
+}
+
+void SloEngine::evaluate(const tsdb::Tsdb& db, std::int64_t now_ms) {
+  // Clamp burn windows to the data actually retained so a young server
+  // evaluates over its whole (short) history instead of an empty hour.
+  const double span_s =
+      static_cast<double>(db.ticks()) * db.options().sample_period_s;
+
+  std::vector<SloVerdict> out;
+  out.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    RuleState& st = states_[i];
+    const double budget = std::max(1.0 - r.objective, 1e-9);
+
+    const double fast_w = std::min(r.fast_window_s, std::max(span_s, 1.0));
+    const double slow_w = std::min(r.slow_window_s, std::max(span_s, 1.0));
+    const double bad_fast = db.increase(r.bad_series, fast_w, now_ms);
+    const double total_fast = db.increase(r.total_series, fast_w, now_ms);
+    const double bad_slow = db.increase(r.bad_series, slow_w, now_ms);
+    const double total_slow = db.increase(r.total_series, slow_w, now_ms);
+
+    const double fast_burn =
+        total_fast > 0.0 ? (bad_fast / total_fast) / budget : 0.0;
+    const double slow_burn =
+        total_slow > 0.0 ? (bad_slow / total_slow) / budget : 0.0;
+
+    SloState next = SloState::kOk;
+    if (total_fast >= r.min_events && fast_burn >= r.fast_burn_threshold) {
+      next = slow_burn >= r.slow_burn_threshold ? SloState::kBreach
+                                                : SloState::kWarn;
+    }
+
+    if (next != st.state) {
+      const auto burn_milli = static_cast<std::int64_t>(fast_burn * 1000.0);
+      const bool worse = next > st.state;
+      if (FlightRecorder::enabled()) {
+        FlightRecorder::instance().record(
+            worse ? FlightKind::kSloBreach : FlightKind::kSloRecover,
+            r.name.c_str(), static_cast<std::int32_t>(next), 0, burn_milli);
+      }
+      auto ev = worse ? log::warn("slo") : log::info("slo");
+      ev.msg(worse ? "slo state degraded" : "slo state recovered")
+          .str("rule", r.name)
+          .str("from", to_string(st.state))
+          .str("to", to_string(next))
+          .f64("fast_burn", fast_burn)
+          .f64("slow_burn", slow_burn)
+          .f64("bad_fast", bad_fast)
+          .f64("total_fast", total_fast);
+      st.state = next;
+      ++st.transitions;
+      st.since_ms = now_ms;
+    }
+
+    SloVerdict v;
+    v.name = r.name;
+    v.state = st.state;
+    v.fast_burn = fast_burn;
+    v.slow_burn = slow_burn;
+    v.bad_fast = bad_fast;
+    v.total_fast = total_fast;
+    v.objective = r.objective;
+    v.transitions = st.transitions;
+    v.since_ms = st.since_ms;
+    out.push_back(std::move(v));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  verdicts_ = std::move(out);
+}
+
+std::vector<SloVerdict> SloEngine::verdicts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verdicts_;
+}
+
+SloState SloEngine::overall() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloState worst = SloState::kOk;
+  for (const auto& v : verdicts_) worst = std::max(worst, v.state);
+  return worst;
+}
+
+}  // namespace tsmo::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+// Declarative SLOs with multi-window burn-rate evaluation (DESIGN.md §15).
+//
+// An SLO is an objective over an event ratio ("99.9 % of submits reach a
+// first front in time") plus an error budget; a *burn rate* is how fast
+// the budget is being spent relative to the rate that would exactly
+// exhaust it over the SLO period:
+//
+//   burn(w) = (bad(w) / total(w)) / (1 - objective)
+//
+// with bad/total read as counter increases over window w from the tsdb.
+// Following the multi-window multi-burn-rate pattern, a rule fires only
+// when BOTH a fast window (default 5 m, catches pages fast) and a slow
+// window (default 1 h, rejects blips) exceed their thresholds; the fast
+// window alone yields a warning.  Windows are clamped to the data span
+// actually retained, so a freshly started server can still page within
+// seconds instead of waiting an hour of history.
+//
+// The engine is evaluated on the obs sampler thread right after each tsdb
+// tick.  State transitions are *events*: they land in the flight recorder
+// (kSloBreach / kSloRecover) and the structured log plane with ambient
+// trace correlation; the current state is surfaced as tsmo_slo_* gauges on
+// /metrics and an slo{} verdict block on /healthz.  Evaluation is pure
+// observation — it never touches search state, so golden-seed fingerprints
+// are identical with the engine on or off.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/tsdb.hpp"
+
+namespace tsmo::obs {
+
+enum class SloState : std::uint8_t { kOk = 0, kWarn = 1, kBreach = 2 };
+
+const char* to_string(SloState state) noexcept;
+
+/// One declarative rule: the ratio bad/total measured against an
+/// objective, evaluated over a fast and a slow burn window.
+struct SloRule {
+  std::string name;          ///< e.g. "job_error_ratio"
+  std::string bad_series;    ///< tsdb counter of bad events
+  std::string total_series;  ///< tsdb counter of all events
+  double objective = 0.99;   ///< target good fraction in (0, 1)
+  double fast_window_s = 300.0;
+  double slow_window_s = 3600.0;
+  /// Burn-rate thresholds (Google SRE workbook defaults: 14.4 pages on
+  /// 2 % budget/hour, 6 on 5 %/6 h).
+  double fast_burn_threshold = 14.4;
+  double slow_burn_threshold = 6.0;
+  /// Events required in the fast window before the rule may fire; keeps a
+  /// single early failure from paging an idle server.
+  double min_events = 1.0;
+};
+
+/// Evaluated rule state at one tick.
+struct SloVerdict {
+  std::string name;
+  SloState state = SloState::kOk;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  double bad_fast = 0.0;    ///< bad-event increase over the fast window
+  double total_fast = 0.0;  ///< total-event increase over the fast window
+  double objective = 0.0;
+  std::uint64_t transitions = 0;  ///< state changes since start
+  std::int64_t since_ms = 0;      ///< wall time of the last transition
+};
+
+/// The default rule set covering the job plane (ISSUE 10):
+///   submit-to-first-front latency (bad = slower than target),
+///   job error ratio, queue-full 429 ratio, stall-watchdog trips.
+/// Series names match what ObsServer's sampler publishes.
+std::vector<SloRule> default_slo_rules();
+
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloRule> rules = default_slo_rules());
+
+  /// Evaluates every rule against `db` at wall time `now_ms`; emits
+  /// flight + log events on state transitions.  Called from the sampler
+  /// thread; verdicts() may be read concurrently.
+  void evaluate(const tsdb::Tsdb& db, std::int64_t now_ms);
+
+  /// Copy of the latest verdicts (any thread).
+  std::vector<SloVerdict> verdicts() const;
+
+  /// Worst state across rules (kOk when no rule has fired).
+  SloState overall() const;
+
+  const std::vector<SloRule>& rules() const noexcept { return rules_; }
+
+ private:
+  struct RuleState {
+    SloState state = SloState::kOk;
+    std::uint64_t transitions = 0;
+    std::int64_t since_ms = 0;
+  };
+
+  std::vector<SloRule> rules_;
+  std::vector<RuleState> states_;
+
+  mutable std::mutex mu_;  ///< guards verdicts_ (sampler writes, HTTP reads)
+  std::vector<SloVerdict> verdicts_;
+};
+
+}  // namespace tsmo::obs

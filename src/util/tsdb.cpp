@@ -1,0 +1,367 @@
+#include "util/tsdb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tsmo::tsdb {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::unique_ptr<std::atomic<double>[]> make_ring(int n) {
+  auto ring = std::make_unique<std::atomic<double>[]>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ring[i].store(kNaN, std::memory_order_relaxed);
+  return ring;
+}
+
+}  // namespace
+
+const char* to_string(Kind kind) noexcept {
+  return kind == Kind::kCounter ? "counter" : "gauge";
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) noexcept {
+  // Iterative wildcard match with backtracking to the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+Tsdb::Tsdb(TsdbOptions opts) : opts_(opts) {
+  opts_.sample_period_s = std::max(opts_.sample_period_s, 1e-3);
+  opts_.raw_capacity = std::max(opts_.raw_capacity, 2);
+  opts_.agg_every = std::max(opts_.agg_every, 1);
+  opts_.agg_capacity = std::max(opts_.agg_capacity, 2);
+  opts_.max_series = std::max(opts_.max_series, 1);
+  raw_t_ms_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(opts_.raw_capacity));
+  agg_t_ms_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(opts_.agg_capacity));
+  for (int i = 0; i < opts_.raw_capacity; ++i)
+    raw_t_ms_[i].store(0, std::memory_order_relaxed);
+  for (int i = 0; i < opts_.agg_capacity; ++i)
+    agg_t_ms_[i].store(0, std::memory_order_relaxed);
+}
+
+Tsdb::Series* Tsdb::find_or_create(std::string_view name, Kind kind) {
+  std::lock_guard<std::mutex> lock(series_mu_);
+  for (auto& s : series_) {
+    if (s->name == name) return s.get();
+  }
+  if (series_.size() >= static_cast<std::size_t>(opts_.max_series)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto s = std::make_unique<Series>();
+  s->name.assign(name);
+  s->kind = kind;
+  s->raw = make_ring(opts_.raw_capacity);
+  s->agg_min = make_ring(opts_.agg_capacity);
+  s->agg_mean = make_ring(opts_.agg_capacity);
+  s->agg_max = make_ring(opts_.agg_capacity);
+  series_.push_back(std::move(s));
+  return series_.back().get();
+}
+
+const Tsdb::Series* Tsdb::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(series_mu_);
+  for (const auto& s : series_) {
+    if (s->name == name) return s.get();
+  }
+  return nullptr;
+}
+
+void Tsdb::begin_tick(std::int64_t t_ms) {
+  open_t_ms_ = t_ms;
+  tick_open_ = true;
+  std::lock_guard<std::mutex> lock(series_mu_);
+  for (auto& s : series_) s->has_staged = false;
+}
+
+void Tsdb::set(std::string_view name, Kind kind, double value) {
+  if (!tick_open_ || !std::isfinite(value)) return;
+  Series* s = find_or_create(name, kind);
+  if (s == nullptr) return;
+  s->staged = value;
+  s->has_staged = true;
+}
+
+void Tsdb::commit_tick() {
+  if (!tick_open_) return;
+  tick_open_ = false;
+
+  const std::uint64_t tick = ticks_.load(std::memory_order_relaxed);
+  const int raw_slot = static_cast<int>(tick % opts_.raw_capacity);
+  const bool fold = (tick + 1) % static_cast<std::uint64_t>(opts_.agg_every) == 0;
+  const int agg_slot = static_cast<int>(
+      (tick / opts_.agg_every) % static_cast<std::uint64_t>(opts_.agg_capacity));
+
+  // Hold the table lock across publish so creation can't interleave with a
+  // half-written tick; readers never take this lock for ring data.
+  std::lock_guard<std::mutex> lock(series_mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);  // odd: publishing
+  raw_t_ms_[raw_slot].store(open_t_ms_, std::memory_order_relaxed);
+  for (auto& s : series_) {
+    s->raw[raw_slot].store(s->has_staged ? s->staged : kNaN,
+                           std::memory_order_relaxed);
+  }
+  if (fold) {
+    agg_t_ms_[agg_slot].store(open_t_ms_, std::memory_order_relaxed);
+    const std::uint64_t first = tick + 1 - static_cast<std::uint64_t>(opts_.agg_every);
+    for (auto& s : series_) {
+      double mn = kNaN, mx = kNaN, sum = 0.0;
+      int n = 0;
+      for (std::uint64_t i = first; i <= tick; ++i) {
+        const double v =
+            s->raw[static_cast<int>(i % opts_.raw_capacity)].load(
+                std::memory_order_relaxed);
+        if (!std::isfinite(v)) continue;
+        mn = (n == 0) ? v : std::min(mn, v);
+        mx = (n == 0) ? v : std::max(mx, v);
+        sum += v;
+        ++n;
+      }
+      s->agg_min[agg_slot].store(mn, std::memory_order_relaxed);
+      s->agg_mean[agg_slot].store(n > 0 ? sum / n : kNaN,
+                                  std::memory_order_relaxed);
+      s->agg_max[agg_slot].store(mx, std::memory_order_relaxed);
+    }
+  }
+  ticks_.store(tick + 1, std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);  // even: stable
+}
+
+std::uint64_t Tsdb::copy_tail(const Series& s, bool agg, int want,
+                              std::vector<std::int64_t>& t_ms,
+                              std::vector<double>& v_min,
+                              std::vector<double>& v_mean,
+                              std::vector<double>& v_max) const {
+  const int cap = agg ? opts_.agg_capacity : opts_.raw_capacity;
+  want = std::min(want, cap);
+  std::uint64_t ticks_seen = 0;
+  for (;;) {
+    const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // publish in flight; retry
+    ticks_seen = ticks_.load(std::memory_order_acquire);
+    // Newest complete slot index (global), per tier.
+    const std::uint64_t slots =
+        agg ? ticks_seen / static_cast<std::uint64_t>(opts_.agg_every)
+            : ticks_seen;
+    const int have =
+        static_cast<int>(std::min<std::uint64_t>(slots, static_cast<std::uint64_t>(cap)));
+    const int n = std::min(want, have);
+    t_ms.assign(static_cast<std::size_t>(n), 0);
+    v_min.assign(static_cast<std::size_t>(n), kNaN);
+    v_mean.assign(static_cast<std::size_t>(n), kNaN);
+    v_max.assign(static_cast<std::size_t>(n), kNaN);
+    for (int k = 0; k < n; ++k) {
+      // k = 0 is oldest of the tail; global slot index:
+      const std::uint64_t g = slots - static_cast<std::uint64_t>(n - k);
+      const int idx = static_cast<int>(g % static_cast<std::uint64_t>(cap));
+      if (agg) {
+        t_ms[k] = agg_t_ms_[idx].load(std::memory_order_relaxed);
+        v_min[k] = s.agg_min[idx].load(std::memory_order_relaxed);
+        v_mean[k] = s.agg_mean[idx].load(std::memory_order_relaxed);
+        v_max[k] = s.agg_max[idx].load(std::memory_order_relaxed);
+      } else {
+        t_ms[k] = raw_t_ms_[idx].load(std::memory_order_relaxed);
+        const double v = s.raw[idx].load(std::memory_order_relaxed);
+        v_min[k] = v_mean[k] = v_max[k] = v;
+      }
+    }
+    const std::uint64_t v2 = version_.load(std::memory_order_acquire);
+    if (v1 == v2) return ticks_seen;
+  }
+}
+
+std::vector<TsSeries> Tsdb::query(std::string_view glob, double window_s,
+                                  double step_s, std::int64_t now_ms) const {
+  window_s = std::max(window_s, opts_.sample_period_s);
+  step_s = std::max(step_s, opts_.sample_period_s);
+  const bool use_agg = window_s > opts_.raw_retention_s();
+  const double slot_s =
+      use_agg ? opts_.sample_period_s * opts_.agg_every : opts_.sample_period_s;
+  const int want = static_cast<int>(
+      std::min<double>(std::ceil(window_s / slot_s) + 2, 1e7));
+
+  // Snapshot the matching series set, then read rings lock-free.
+  std::vector<const Series*> matched;
+  {
+    std::lock_guard<std::mutex> lock(series_mu_);
+    for (const auto& s : series_) {
+      if (glob_match(glob, s->name)) matched.push_back(s.get());
+    }
+  }
+  std::sort(matched.begin(), matched.end(),
+            [](const Series* a, const Series* b) { return a->name < b->name; });
+
+  std::vector<TsSeries> out;
+  out.reserve(matched.size());
+  std::vector<std::int64_t> t_ms;
+  std::vector<double> v_min, v_mean, v_max;
+  const std::int64_t win_lo = now_ms - static_cast<std::int64_t>(window_s * 1000.0);
+  const std::int64_t step_ms =
+      std::max<std::int64_t>(static_cast<std::int64_t>(step_s * 1000.0), 1);
+
+  for (const Series* s : matched) {
+    copy_tail(*s, use_agg, want, t_ms, v_min, v_mean, v_max);
+    TsSeries ts;
+    ts.name = s->name;
+    ts.kind = s->kind;
+
+    // Bucket b covers (now - (b+1)*step, now - b*step]; emitted ascending.
+    struct Acc {
+      double mn = 0, mx = 0, sum = 0;
+      int n = 0;
+      std::int64_t t = 0;  // newest sample time in bucket
+      double last = 0;     // newest sample value (counter rate base)
+    };
+    std::vector<Acc> buckets;
+    const std::int64_t span_ms = now_ms - win_lo;
+    const int nb = static_cast<int>((span_ms + step_ms - 1) / step_ms);
+    buckets.resize(static_cast<std::size_t>(std::max(nb, 1)));
+
+    for (std::size_t i = 0; i < t_ms.size(); ++i) {
+      const std::int64_t t = t_ms[i];
+      const double vm = v_min[i];
+      if (!std::isfinite(vm) || t <= win_lo || t > now_ms) continue;
+      // Bucket b covers (now - (b+1)*step, now - b*step]; a sample with
+      // back = now - t lands in bucket back / step (boundary closes b).
+      const std::int64_t back = now_ms - t;
+      const int b = static_cast<int>(back / step_ms);
+      if (b < 0 || b >= static_cast<int>(buckets.size())) continue;
+      Acc& a = buckets[static_cast<std::size_t>(b)];
+      if (a.n == 0) {
+        a.mn = vm;
+        a.mx = v_max[i];
+        a.sum = v_mean[i];
+      } else {
+        a.mn = std::min(a.mn, vm);
+        a.mx = std::max(a.mx, v_max[i]);
+        a.sum += v_mean[i];
+      }
+      ++a.n;
+      if (a.n == 1 || t >= a.t) {
+        a.t = t;
+        a.last = v_max[i];
+      }
+    }
+
+    if (s->kind == Kind::kGauge) {
+      for (int b = static_cast<int>(buckets.size()) - 1; b >= 0; --b) {
+        const Acc& a = buckets[static_cast<std::size_t>(b)];
+        if (a.n == 0) continue;
+        TsPoint p;
+        p.t_ms = now_ms - static_cast<std::int64_t>(b) * step_ms;
+        p.min = a.mn;
+        p.mean = a.sum / a.n;
+        p.max = a.mx;
+        ts.points.push_back(p);
+      }
+    } else {
+      // Counter: per-bucket rate from consecutive cumulative maxima.
+      bool have_prev = false;
+      double prev_v = 0.0;
+      std::int64_t prev_t = 0;
+      std::vector<TsPoint> pts;
+      for (int b = static_cast<int>(buckets.size()) - 1; b >= 0; --b) {
+        const Acc& a = buckets[static_cast<std::size_t>(b)];
+        if (a.n == 0) continue;
+        if (have_prev) {
+          const double dt_s =
+              static_cast<double>(a.t - prev_t) / 1000.0;
+          if (dt_s > 0.0) {
+            const double rate = std::max(a.mx - prev_v, 0.0) / dt_s;
+            TsPoint p;
+            p.t_ms = now_ms - static_cast<std::int64_t>(b) * step_ms;
+            p.min = p.mean = p.max = rate;
+            pts.push_back(p);
+          }
+        }
+        have_prev = true;
+        prev_v = a.mx;
+        prev_t = a.t;
+      }
+      ts.points = std::move(pts);
+    }
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+double Tsdb::increase(std::string_view name, double window_s,
+                      std::int64_t now_ms) const {
+  const Series* s = find(name);
+  if (s == nullptr || s->kind != Kind::kCounter) return 0.0;
+  const bool use_agg = window_s > opts_.raw_retention_s();
+  const double slot_s =
+      use_agg ? opts_.sample_period_s * opts_.agg_every : opts_.sample_period_s;
+  const int want =
+      static_cast<int>(std::min<double>(std::ceil(window_s / slot_s) + 2, 1e7));
+  std::vector<std::int64_t> t_ms;
+  std::vector<double> v_min, v_mean, v_max;
+  copy_tail(*s, use_agg, want, t_ms, v_min, v_mean, v_max);
+  const std::int64_t win_lo = now_ms - static_cast<std::int64_t>(window_s * 1000.0);
+  bool have_first = false;
+  double first = 0.0, last = 0.0;
+  for (std::size_t i = 0; i < t_ms.size(); ++i) {
+    if (!std::isfinite(v_min[i]) || t_ms[i] <= win_lo || t_ms[i] > now_ms)
+      continue;
+    if (!have_first) {
+      first = v_min[i];
+      have_first = true;
+    }
+    last = v_max[i];
+  }
+  if (!have_first) return 0.0;
+  return std::max(last - first, 0.0);
+}
+
+double Tsdb::latest(std::string_view name) const {
+  const Series* s = find(name);
+  if (s == nullptr) return kNaN;
+  std::vector<std::int64_t> t_ms;
+  std::vector<double> v_min, v_mean, v_max;
+  // Scan back over the raw tail for the newest finite sample.
+  copy_tail(*s, /*agg=*/false, opts_.raw_capacity, t_ms, v_min, v_mean, v_max);
+  for (std::size_t i = t_ms.size(); i-- > 0;) {
+    if (std::isfinite(v_max[i])) return v_max[i];
+  }
+  return kNaN;
+}
+
+std::vector<std::string> Tsdb::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(series_mu_);
+    out.reserve(series_.size());
+    for (const auto& s : series_) out.push_back(s->name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Tsdb::series_count() const {
+  std::lock_guard<std::mutex> lock(series_mu_);
+  return series_.size();
+}
+
+}  // namespace tsmo::tsdb

@@ -1,0 +1,188 @@
+#pragma once
+
+// In-process ring-buffer time-series store (DESIGN.md §15).
+//
+// The observability planes so far (/metrics, /status, /healthz,
+// /jobs/<id>/introspect) are point-in-time snapshots; this store adds the
+// time dimension without an external Prometheus: one sampler thread (the
+// obs server's, default 1 Hz) stages a value per named series each tick
+// and commits the tick into two retention tiers —
+//
+//   raw  : one slot per tick, default 900 ticks  (1 s × 15 min)
+//   agg  : min/mean/max over `agg_every` ticks, default 1440 slots
+//          (10 s × 4 h)
+//
+// Writer side is single-threaded by contract (the sampler); readers (HTTP
+// handlers serving /api/timeseries, the SLO engine) are lock-light: series
+// creation is the only mutex-guarded structural change, ring values are
+// relaxed atomics, and a store-wide seqlock version makes a retried copy
+// of a ring a consistent snapshot — readers never block the sampler and
+// the sampler never blocks readers.
+//
+// Series are typed: a kGauge series answers windowed min/mean/max; a
+// kCounter series holds cumulative totals and answers per-step rates and
+// windowed increases (counter resets clamp to zero).  Histogram quantiles
+// enter as gauge series of the sampled p50/p99 (the sampler walks the
+// telemetry histogram buckets each tick).
+//
+// This unit is dependency-free (util layer): it knows nothing about the
+// registry, the job plane or HTTP — the obs sampler feeds it.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsmo::tsdb {
+
+enum class Kind : std::uint8_t { kGauge = 0, kCounter = 1 };
+
+/// "gauge" | "counter".
+const char* to_string(Kind kind) noexcept;
+
+/// Shell-style glob over series names: `*` matches any run (including
+/// empty), `?` one character; everything else is literal.
+bool glob_match(std::string_view pattern, std::string_view text) noexcept;
+
+struct TsdbOptions {
+  /// Nominal sampling cadence [s]; retention spans derive from it.
+  double sample_period_s = 1.0;
+  /// Raw tier slots (default 900 × 1 s = 15 min).
+  int raw_capacity = 900;
+  /// Raw ticks folded into one aggregated slot (default 10 → 10 s).
+  int agg_every = 10;
+  /// Aggregated tier slots (default 1440 × 10 s = 4 h).
+  int agg_capacity = 1440;
+  /// Hard series-table bound; past it new names are counted as dropped,
+  /// never silently ignored (see dropped_series()).
+  int max_series = 512;
+
+  double raw_retention_s() const noexcept {
+    return sample_period_s * raw_capacity;
+  }
+  double agg_retention_s() const noexcept {
+    return sample_period_s * agg_every * agg_capacity;
+  }
+};
+
+/// One downsampled point: bucket-end timestamp plus the min/mean/max of
+/// the samples the bucket folded.  For counter series all three carry the
+/// per-second rate over the bucket.
+struct TsPoint {
+  std::int64_t t_ms = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// One queried series: name, kind and its windowed points (ascending t).
+struct TsSeries {
+  std::string name;
+  Kind kind = Kind::kGauge;
+  std::vector<TsPoint> points;
+};
+
+class Tsdb {
+ public:
+  explicit Tsdb(TsdbOptions opts = {});
+
+  Tsdb(const Tsdb&) = delete;
+  Tsdb& operator=(const Tsdb&) = delete;
+
+  // --- writer side (one sampler thread by contract) ---
+
+  /// Opens tick `t_ms`; set() calls stage values until commit_tick().
+  void begin_tick(std::int64_t t_ms);
+
+  /// Stages `value` for series `name` in the open tick, creating the
+  /// series on first use (kind is fixed at creation).  Series beyond
+  /// max_series are dropped and counted.
+  void set(std::string_view name, Kind kind, double value);
+
+  /// Publishes the open tick into the raw ring (absent series get a gap)
+  /// and, every agg_every ticks, folds the window into the agg ring.
+  void commit_tick();
+
+  // --- reader side (any thread, lock-light) ---
+
+  /// Windowed, downsampled read of every series matching `glob`:
+  /// window [now_ms - window_s × 1000, now_ms] split into step_s buckets
+  /// (bucket timestamps are aligned to now_ms).  Uses the raw tier while
+  /// the window fits its retention, the aggregated tier beyond.  Empty
+  /// buckets are skipped; unknown globs yield an empty vector.
+  std::vector<TsSeries> query(std::string_view glob, double window_s,
+                              double step_s, std::int64_t now_ms) const;
+
+  /// Counter increase over the trailing window (clamped to the data
+  /// actually retained; resets clamp to 0).  Gauges and unknown names
+  /// answer 0.
+  double increase(std::string_view name, double window_s,
+                  std::int64_t now_ms) const;
+
+  /// Most recent committed value; NaN when the series is unknown or has
+  /// no sample yet.
+  double latest(std::string_view name) const;
+
+  /// Names of every series, sorted (for /api/timeseries discovery).
+  std::vector<std::string> names() const;
+
+  std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dropped_series() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t series_count() const;
+  const TsdbOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct Series {
+    std::string name;
+    Kind kind = Kind::kGauge;
+    /// Raw ring, indexed by tick % raw_capacity; NaN = no sample.
+    std::unique_ptr<std::atomic<double>[]> raw;
+    /// Aggregated ring, indexed by (tick / agg_every) % agg_capacity.
+    std::unique_ptr<std::atomic<double>[]> agg_min;
+    std::unique_ptr<std::atomic<double>[]> agg_mean;
+    std::unique_ptr<std::atomic<double>[]> agg_max;
+    // Staging for the open tick (sampler thread only).
+    double staged = 0.0;
+    bool has_staged = false;
+  };
+
+  Series* find_or_create(std::string_view name, Kind kind);
+  const Series* find(std::string_view name) const;
+
+  /// Seqlock-consistent copy of one series' ring tail: the most recent
+  /// `want` slots (ascending time) with their timestamps.  `agg` selects
+  /// the tier.  Returns the number of committed ticks at copy time.
+  std::uint64_t copy_tail(const Series& s, bool agg, int want,
+                          std::vector<std::int64_t>& t_ms,
+                          std::vector<double>& v_min,
+                          std::vector<double>& v_mean,
+                          std::vector<double>& v_max) const;
+
+  TsdbOptions opts_;
+
+  /// Guards the series table (creation + name lookup), never ring data.
+  mutable std::mutex series_mu_;
+  std::vector<std::unique_ptr<Series>> series_;
+
+  /// Store-wide seqlock: odd while commit_tick() publishes.
+  std::atomic<std::uint64_t> version_{0};
+  /// Committed ticks; tick i lives at raw slot i % raw_capacity.
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  /// Timestamps of raw ticks / agg buckets (bucket-end), ring-indexed.
+  std::unique_ptr<std::atomic<std::int64_t>[]> raw_t_ms_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> agg_t_ms_;
+
+  std::int64_t open_t_ms_ = 0;  // sampler thread only
+  bool tick_open_ = false;      // sampler thread only
+};
+
+}  // namespace tsmo::tsdb

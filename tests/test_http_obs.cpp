@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdint>
@@ -20,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -602,6 +604,348 @@ TEST(HttpLimits, StalledClientMidBodyGets408) {
   EXPECT_NE(raw.find("408"), std::string::npos) << raw;
   EXPECT_NE(raw.find("timed out reading request body"), std::string::npos)
       << raw;
+}
+
+// ==========================================================================
+// HEAD support + Cache-Control (RFC 9110 §9.3.2)
+// ==========================================================================
+
+/// Splits a raw response into (head, body) at the blank line.
+void split_raw(const std::string& raw, std::string& head, std::string& body) {
+  const std::size_t sep = raw.find("\r\n\r\n");
+  if (sep == std::string::npos) {
+    head = raw;
+    body.clear();
+  } else {
+    head = raw.substr(0, sep);
+    body = raw.substr(sep + 4);
+  }
+}
+
+TEST(HttpHead, HeadAnswersGetHeadersWithRealContentLengthAndNoBody) {
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+
+  for (const char* path : {"/", "/buildinfo", "/metrics"}) {
+    const std::string get_raw = obs::http_get(server.port(), path);
+    std::string get_body;
+    ASSERT_EQ(obs::http_split_response(get_raw, get_body), 200) << path;
+    ASSERT_FALSE(get_body.empty()) << path;
+
+    const std::string raw = send_raw(
+        server.port(), std::string("HEAD ") + path +
+                           " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+                           "\r\n");
+    std::string head, body;
+    split_raw(raw, head, body);
+    EXPECT_NE(head.find("HTTP/1.1 200"), std::string::npos) << raw;
+    // Content-Length advertises the GET body size, but nothing is sent.
+    const std::string len = obs::http_header(raw, "Content-Length");
+    EXPECT_GT(std::strtoul(len.c_str(), nullptr, 10), 0u) << path;
+    EXPECT_TRUE(body.empty()) << path << " leaked a body: " << body;
+    EXPECT_EQ(obs::http_header(raw, "Content-Type"),
+              obs::http_header(get_raw, "Content-Type"))
+        << path;
+  }
+  // /metrics specifically: HEAD's declared length matches a GET taken
+  // with no traffic in between... too racy to pin exactly, but an unknown
+  // path must still 404 under HEAD.
+  const std::string missing = send_raw(
+      server.port(), "HEAD /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+  server.stop();
+}
+
+TEST(HttpHead, DynamicEndpointsAreNoStoreAndDashboardIsCacheable) {
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+  for (const char* path : {"/", "/metrics", "/healthz", "/status"}) {
+    const std::string raw = obs::http_get(server.port(), path);
+    EXPECT_EQ(obs::http_header(raw, "Cache-Control"), "no-store") << path;
+  }
+  const std::string dash = obs::http_get(server.port(), "/dashboard");
+  EXPECT_EQ(obs::http_header(dash, "Cache-Control"), "max-age=60");
+  server.stop();
+}
+
+// ==========================================================================
+// Histogram exposition conformance under concurrent writers
+// ==========================================================================
+
+/// Parses every histogram in an exposition body and checks the format
+/// invariants: cumulative buckets monotone in le-order, and the +Inf
+/// bucket exactly equal to the _count sample of the same (family, labels).
+/// Returns the number of histogram series checked; failures EXPECT inline.
+std::size_t check_histogram_invariants(const std::string& body) {
+  struct SeriesState {
+    std::uint64_t last_cum = 0;
+    std::uint64_t inf = 0;
+    bool have_inf = false;
+  };
+  std::map<std::string, SeriesState> series;   // keyed family + labels-sans-le
+  std::map<std::string, std::uint64_t> counts; // keyed family + labels
+
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Strip exemplars (" # {...} value") before parsing the sample value.
+    const std::size_t ex = line.find(" # ");
+    if (ex != std::string::npos) line.resize(ex);
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    const std::string name_labels = line.substr(0, sp);
+    const std::string value_text = line.substr(sp + 1);
+
+    const std::size_t bucket_pos = name_labels.find("_bucket{");
+    if (bucket_pos != std::string::npos) {
+      const std::string family = name_labels.substr(0, bucket_pos);
+      const std::size_t open = name_labels.find('{', bucket_pos);
+      const std::size_t close = name_labels.rfind('}');
+      if (close == std::string::npos || close <= open) continue;
+      std::string labels = name_labels.substr(open + 1, close - open - 1);
+      // Cut the le="..." pair out (it is always present on buckets).
+      const std::size_t le = labels.find("le=\"");
+      if (le == std::string::npos) continue;
+      const std::size_t le_end = labels.find('"', le + 4);
+      std::string le_value = labels.substr(le + 4, le_end - le - 4);
+      std::string rest = labels.substr(0, le);
+      if (le_end + 1 < labels.size()) rest += labels.substr(le_end + 1);
+      while (!rest.empty() && (rest.back() == ',' || rest.back() == ' ')) {
+        rest.pop_back();
+      }
+      const std::string key = family + "{" + rest + "}";
+      SeriesState& st = series[key];
+      const std::uint64_t cum = std::strtoull(value_text.c_str(), nullptr, 10);
+      EXPECT_GE(cum, st.last_cum)
+          << key << " le=" << le_value << " went backwards";
+      st.last_cum = cum;
+      if (le_value == "+Inf") {
+        st.inf = cum;
+        st.have_inf = true;
+      }
+      continue;
+    }
+    const std::size_t count_pos = name_labels.find("_count");
+    if (count_pos != std::string::npos &&
+        (count_pos + 6 == name_labels.size() ||
+         name_labels[count_pos + 6] == '{')) {
+      const std::string family = name_labels.substr(0, count_pos);
+      std::string labels;
+      const std::size_t open = name_labels.find('{', count_pos);
+      if (open != std::string::npos) {
+        const std::size_t close = name_labels.rfind('}');
+        labels = name_labels.substr(open + 1, close - open - 1);
+      }
+      counts[family + "{" + labels + "}"] =
+          std::strtoull(value_text.c_str(), nullptr, 10);
+    }
+  }
+
+  std::size_t checked = 0;
+  for (const auto& [key, st] : series) {
+    auto it = counts.find(key);
+    if (it == counts.end() || !st.have_inf) continue;
+    EXPECT_EQ(st.inf, it->second) << key << ": +Inf bucket != _count";
+    ++checked;
+  }
+  return checked;
+}
+
+TEST(ExpositionConformance, HistogramsStayConsistentUnderConcurrentWriters) {
+  const bool was = telemetry::set_enabled(true);
+  telemetry::Registry& reg = telemetry::Registry::instance();
+  reg.reset();
+  const telemetry::HistogramId hist =
+      reg.histogram("obs_conformance.latency_ns");
+
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+
+  // 8 writers hammer the histogram while the main thread scrapes; every
+  // scrape must satisfy the exposition invariants even though the
+  // snapshot races the writers (the +Inf/_count clamp in exposition.cpp).
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 8; ++w) {
+    writers.emplace_back([&, w] {
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * (w + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        reg.record_ns(hist, x % 5'000'000);
+      }
+    });
+  }
+
+  std::size_t scraped = 0;
+  for (int i = 0; i < 25; ++i) {
+    std::string body;
+    ASSERT_EQ(obs::http_split_response(
+                  obs::http_get(server.port(), "/metrics"), body),
+              200);
+    scraped += check_histogram_invariants(body);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
+  server.stop();
+#if TSMO_TELEMETRY_ENABLED
+  // Each scrape carries at least the registry histogram plus the
+  // per-route RED histograms.
+  EXPECT_GE(scraped, 25u);
+#endif
+  reg.reset();
+  telemetry::set_enabled(was);
+}
+
+// ==========================================================================
+// History plane: /api/timeseries, /dashboard, SLO breach on /healthz
+// ==========================================================================
+
+std::int64_t test_wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+TEST(Timeseries, Is404UntilHistoryIsEnabled) {
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+  std::string body;
+  EXPECT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/api/timeseries"), body),
+            404);
+  EXPECT_TRUE(json_valid(body)) << body;
+  EXPECT_NE(body.find("history disabled"), std::string::npos);
+  server.stop();
+}
+
+TEST(Timeseries, ApiServesSampledSeriesAsCompactJson) {
+  obs::ObsServer server;
+  obs::ObsServer::HistoryOptions ho;
+  ho.sampler = false;  // the test drives sample_now() deterministically
+  server.enable_history(std::move(ho));
+  ASSERT_TRUE(server.start()) << server.reason();
+  ASSERT_TRUE(server.history_enabled());
+
+  const std::int64_t now = test_wall_ms();
+  for (int i = 5; i >= 1; --i) server.sample_now(now - 1000 * i);
+
+  std::string body;
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(),
+                              "/api/timeseries?series=proc.*&window=60&step=1"),
+                body),
+            200);
+  EXPECT_TRUE(json_valid(body)) << body;
+  EXPECT_NE(body.find("\"now_ms\""), std::string::npos);
+  EXPECT_NE(body.find("\"proc.rss_bytes\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"kind\": \"gauge\""), std::string::npos);
+  EXPECT_NE(body.find("\"proc.cpu_seconds\""), std::string::npos) << body;
+  // The glob filters: a jobs-only query returns no proc series.
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(),
+                              "/api/timeseries?series=jobs.*&window=60"),
+                body),
+            200);
+  EXPECT_EQ(body.find("proc.rss_bytes"), std::string::npos) << body;
+  EXPECT_TRUE(json_valid(body)) << body;
+  // /healthz reports the tsdb block while history is on.
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/healthz"), body),
+            200);
+  EXPECT_NE(body.find("\"tsdb\""), std::string::npos);
+  EXPECT_NE(body.find("\"ticks\": 5"), std::string::npos) << body;
+  server.stop();
+}
+
+TEST(Timeseries, InducedSloBreachFlipsHealthzAndMetrics) {
+  obs::ObsServer server;
+  obs::ObsServer::HistoryOptions ho;
+  ho.sampler = false;
+  // A rule that burns whenever /healthz is scraped at all: bad == total,
+  // so the ratio is 1.0 and the burn rate 1/0.05 = 20 >= both thresholds.
+  obs::SloRule rule;
+  rule.name = "healthz_canary";
+  rule.bad_series = "http.requests./healthz";
+  rule.total_series = "http.requests./healthz";
+  rule.objective = 0.95;
+  ho.rules.push_back(rule);
+  server.enable_history(std::move(ho));
+  ASSERT_TRUE(server.start()) << server.reason();
+
+  std::string body;
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/healthz"), body),
+            200);
+  EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos) << body;
+
+  const std::int64_t now = test_wall_ms();
+  server.sample_now(now - 1000);  // baseline: requests counter = 1
+  // Traffic between the ticks makes the counter increase inside the fast
+  // window, tripping the rule on the second evaluation.
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/healthz"), body),
+            200);
+  server.sample_now(now);
+
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/healthz"), body),
+            200);
+  EXPECT_TRUE(json_valid(body)) << body;
+  EXPECT_NE(body.find("\"status\": \"degraded\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"healthz_canary\""), std::string::npos);
+  EXPECT_NE(body.find("\"state\": \"breach\""), std::string::npos);
+
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/metrics"), body),
+            200);
+  EXPECT_NE(body.find("tsmo_slo_state{rule=\"healthz_canary\"} 2"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("tsmo_slo_breached 1"), std::string::npos);
+  EXPECT_NE(body.find("tsmo_slo_transitions_total{rule=\"healthz_canary\"} 1"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(Dashboard, EmbeddedPageIsSelfContainedHtml) {
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+  const std::string raw = obs::http_get(server.port(), "/dashboard");
+  std::string body;
+  ASSERT_EQ(obs::http_split_response(raw, body), 200);
+  EXPECT_NE(obs::http_header(raw, "Content-Type").find("text/html"),
+            std::string::npos);
+  EXPECT_EQ(body.find("<!doctype html>"), 0u);
+  EXPECT_NE(body.find("</html>"), std::string::npos);
+  EXPECT_NE(body.find("/api/timeseries"), std::string::npos);
+  // Zero external assets: no stylesheet links, no script/img srcs.
+  EXPECT_EQ(body.find("<link"), std::string::npos);
+  EXPECT_EQ(body.find("src="), std::string::npos);
+  EXPECT_EQ(body.find("@import"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpObs, BuildinfoAndHealthzCarryStartTimeAndUptime) {
+  obs::ObsServer server;
+  ASSERT_TRUE(server.start()) << server.reason();
+  std::string body;
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/buildinfo"), body),
+            200);
+  const double start_ms = extract_number(body, "start_time_unix_ms");
+  const double uptime = extract_number(body, "uptime_s");
+  EXPECT_GT(start_ms, 1.0e12);  // a plausible unix-millis timestamp
+  EXPECT_GE(uptime, 0.0);
+  EXPECT_LT(uptime, 3600.0);  // a test process is young
+  ASSERT_EQ(obs::http_split_response(
+                obs::http_get(server.port(), "/healthz"), body),
+            200);
+  EXPECT_NEAR(extract_number(body, "start_time_unix_ms"), start_ms, 1.0);
+  EXPECT_GE(extract_number(body, "uptime_s"), uptime);
+  server.stop();
 }
 
 // ==========================================================================

@@ -1,0 +1,242 @@
+// SLO burn-rate engine tests (DESIGN.md §15): burn-rate arithmetic against
+// hand-computed ratios, the multi-window warn/breach/recover state machine,
+// the min_events guard, window clamping to the retained data span, and the
+// flight-recorder events emitted on state transitions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
+#include "util/tsdb.hpp"
+
+namespace tsmo {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightKind;
+using obs::FlightRecorder;
+using obs::SloEngine;
+using obs::SloRule;
+using obs::SloState;
+using obs::SloVerdict;
+using tsdb::Kind;
+using tsdb::Tsdb;
+
+SloRule test_rule() {
+  SloRule r;
+  r.name = "test_ratio";
+  r.bad_series = "t.bad";
+  r.total_series = "t.total";
+  r.objective = 0.99;  // budget 0.01
+  r.fast_window_s = 60.0;
+  r.slow_window_s = 300.0;
+  r.fast_burn_threshold = 14.4;
+  r.slow_burn_threshold = 6.0;
+  return r;
+}
+
+/// Commits one tick with cumulative bad/total counter values.
+void tick(Tsdb& db, std::int64_t t_ms, double bad, double total) {
+  db.begin_tick(t_ms);
+  db.set("t.bad", Kind::kCounter, bad);
+  db.set("t.total", Kind::kCounter, total);
+  db.commit_tick();
+}
+
+TEST(SloEngine, BurnRateArithmetic) {
+  Tsdb db;
+  // 120 s of traffic at 10 events/s, 5% of them bad from t=61 on.
+  double bad = 0.0, total = 0.0;
+  for (int t = 0; t < 120; ++t) {
+    total += 10.0;
+    if (t >= 60) bad += 0.5;
+    tick(db, 1000 * (t + 1), bad, total);
+  }
+  SloEngine eng({test_rule()});
+  const std::int64_t now = 120 * 1000;
+  eng.evaluate(db, now);
+  const auto v = eng.verdicts();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].name, "test_ratio");
+  // Fast window (60 s): increase over (60 s, 120 s] — first sample is the
+  // tick at t=61 s, so bad = 30 - 0.5 = 29.5, total = 1200 - 610 = 590.
+  EXPECT_NEAR(v[0].bad_fast, 29.5, 1e-9);
+  EXPECT_NEAR(v[0].total_fast, 590.0, 1e-9);
+  const double want_fast = (29.5 / 590.0) / 0.01;  // = 5.0
+  EXPECT_NEAR(v[0].fast_burn, want_fast, 1e-9);
+  // Slow window clamps to the 120 s span: the whole run from the first
+  // sample (bad 0, total 10) to the last (30, 1200).
+  EXPECT_NEAR(v[0].slow_burn, (30.0 / 1190.0) / 0.01, 1e-9);
+  // 5x burn is under the 14.4 page threshold.
+  EXPECT_EQ(v[0].state, SloState::kOk);
+  EXPECT_EQ(eng.overall(), SloState::kOk);
+}
+
+TEST(SloEngine, BreachAndRecoverTransitionsWithFlightEvents) {
+  FlightRecorder::instance().reset();
+  const bool was_enabled = FlightRecorder::set_enabled(true);
+
+  Tsdb db;
+  SloEngine eng({test_rule()});
+
+  // Phase 1: 30 s of clean traffic -> ok.
+  double bad = 0.0, total = 0.0;
+  std::int64_t now = 0;
+  for (int t = 0; t < 30; ++t) {
+    total += 10.0;
+    now = 1000 * (t + 1);
+    tick(db, now, bad, total);
+  }
+  eng.evaluate(db, now);
+  ASSERT_EQ(eng.verdicts()[0].state, SloState::kOk);
+  EXPECT_EQ(eng.verdicts()[0].transitions, 0u);
+
+  // Phase 2: everything fails for 30 s -> burn 100x over both (clamped)
+  // windows -> breach.
+  for (int t = 30; t < 60; ++t) {
+    total += 10.0;
+    bad += 10.0;
+    now = 1000 * (t + 1);
+    tick(db, now, bad, total);
+  }
+  eng.evaluate(db, now);
+  {
+    const auto v = eng.verdicts();
+    ASSERT_EQ(v[0].state, SloState::kBreach);
+    EXPECT_GT(v[0].fast_burn, 14.4);
+    EXPECT_GT(v[0].slow_burn, 6.0);
+    EXPECT_EQ(v[0].transitions, 1u);
+    EXPECT_EQ(v[0].since_ms, now);
+    EXPECT_EQ(eng.overall(), SloState::kBreach);
+  }
+
+  // Phase 3: clean again; once the fast window slides past the failure
+  // burst the rule recovers (fast window stays clamped at 60 s).
+  std::int64_t recovered_at = 0;
+  for (int t = 60; t < 180 && recovered_at == 0; ++t) {
+    total += 10.0;
+    now = 1000 * (t + 1);
+    tick(db, now, bad, total);
+    eng.evaluate(db, now);
+    if (eng.verdicts()[0].state == SloState::kOk) recovered_at = now;
+  }
+  ASSERT_GT(recovered_at, 0) << "rule never recovered";
+  EXPECT_EQ(eng.verdicts()[0].transitions, 2u);
+
+  // Flight ring: exactly one breach and one recover event for the rule.
+  int breaches = 0, recovers = 0;
+  for (const FlightEvent& ev : FlightRecorder::instance().snapshot()) {
+    if (ev.kind == FlightKind::kSloBreach) {
+      ++breaches;
+      EXPECT_STREQ(ev.tag, "test_ratio");
+      EXPECT_EQ(ev.a, static_cast<std::int32_t>(SloState::kBreach));
+      EXPECT_GT(ev.v, 14400);  // fast burn x1000 at breach time
+    }
+    if (ev.kind == FlightKind::kSloRecover) {
+      ++recovers;
+      EXPECT_STREQ(ev.tag, "test_ratio");
+    }
+  }
+  EXPECT_EQ(breaches, 1);
+  EXPECT_EQ(recovers, 1);
+
+  FlightRecorder::set_enabled(was_enabled);
+  FlightRecorder::instance().reset();
+}
+
+TEST(SloEngine, WarnWhenOnlyFastWindowBurns) {
+  // Distinct fast/slow behaviour needs more slow-window history than the
+  // clamp would otherwise allow, so build 600 s of mostly-clean traffic
+  // with a failure spike in the last 60 s sized to page the fast window
+  // but not the slow one.
+  SloRule r = test_rule();
+  r.fast_window_s = 60.0;
+  r.slow_window_s = 600.0;
+  Tsdb db;
+  SloEngine eng({r});
+  double bad = 0.0, total = 0.0;
+  std::int64_t now = 0;
+  for (int t = 0; t < 600; ++t) {
+    total += 10.0;
+    // Last 60 s: 20% errors -> fast burn = 0.2/0.01 = 20 >= 14.4.
+    // Over 600 s: bad 120 of 6000 -> slow burn = 0.02/0.01 = 2 < 6.
+    if (t >= 540) bad += 2.0;
+    now = 1000 * (t + 1);
+    tick(db, now, bad, total);
+  }
+  eng.evaluate(db, now);
+  const auto v = eng.verdicts();
+  EXPECT_EQ(v[0].state, SloState::kWarn);
+  EXPECT_GT(v[0].fast_burn, 14.4);
+  EXPECT_LT(v[0].slow_burn, 6.0);
+  EXPECT_EQ(eng.overall(), SloState::kWarn);
+}
+
+TEST(SloEngine, MinEventsGuardHoldsFireOnIdleServers) {
+  SloRule r = test_rule();
+  r.min_events = 5.0;
+  Tsdb db;
+  SloEngine eng({r});
+  // One single failed event: 100% bad (burn 100x), but under min_events.
+  tick(db, 1000, 0.0, 0.0);
+  tick(db, 2000, 1.0, 1.0);
+  eng.evaluate(db, 2000);
+  EXPECT_EQ(eng.verdicts()[0].state, SloState::kOk);
+  // Seven failures trip it (fast and clamped slow burn both at 100x).
+  for (int t = 2; t < 8; ++t) {
+    tick(db, 1000 * (t + 1), static_cast<double>(t), static_cast<double>(t));
+  }
+  eng.evaluate(db, 8000);
+  EXPECT_EQ(eng.verdicts()[0].state, SloState::kBreach);
+}
+
+TEST(SloEngine, NoTrafficMeansNoBurn) {
+  Tsdb db;
+  SloEngine eng({test_rule()});
+  db.begin_tick(1000);
+  db.commit_tick();
+  eng.evaluate(db, 1000);
+  const auto v = eng.verdicts();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].state, SloState::kOk);
+  EXPECT_EQ(v[0].fast_burn, 0.0);
+  EXPECT_EQ(v[0].slow_burn, 0.0);
+}
+
+TEST(SloEngine, DefaultRulesCoverTheJobPlane) {
+  const auto rules = obs::default_slo_rules();
+  ASSERT_EQ(rules.size(), 4u);
+  std::vector<std::string> names;
+  for (const SloRule& r : rules) {
+    names.push_back(r.name);
+    EXPECT_GT(r.objective, 0.0);
+    EXPECT_LT(r.objective, 1.0);
+    EXPECT_GT(r.fast_burn_threshold, 0.0);
+    EXPECT_GT(r.slow_burn_threshold, 0.0);
+    EXPECT_LT(r.fast_window_s, r.slow_window_s);
+    EXPECT_FALSE(r.bad_series.empty());
+    EXPECT_FALSE(r.total_series.empty());
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "first_front_latency"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "job_error_ratio"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "queue_full_ratio"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "stall_watchdog"),
+            names.end());
+}
+
+TEST(SloState, ToString) {
+  EXPECT_STREQ(obs::to_string(SloState::kOk), "ok");
+  EXPECT_STREQ(obs::to_string(SloState::kWarn), "warn");
+  EXPECT_STREQ(obs::to_string(SloState::kBreach), "breach");
+}
+
+}  // namespace
+}  // namespace tsmo

@@ -1,0 +1,418 @@
+// In-process time-series store tests (DESIGN.md §15): glob matching,
+// windowed/downsampled gauge queries cross-checked against a brute-force
+// recomputation from the injected samples, counter rates and increases
+// (including reset clamping), retention/aggregation-fold correctness,
+// series-table bounds, and a seqlock smoke test with a concurrent reader
+// (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/tsdb.hpp"
+
+namespace tsmo {
+namespace {
+
+using tsdb::Kind;
+using tsdb::Tsdb;
+using tsdb::TsdbOptions;
+using tsdb::TsPoint;
+using tsdb::TsSeries;
+
+TEST(Glob, Basics) {
+  EXPECT_TRUE(tsdb::glob_match("jobs.done", "jobs.done"));
+  EXPECT_FALSE(tsdb::glob_match("jobs.done", "jobs.failed"));
+  EXPECT_TRUE(tsdb::glob_match("*", ""));
+  EXPECT_TRUE(tsdb::glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(tsdb::glob_match("jobs.*", "jobs.done"));
+  EXPECT_TRUE(tsdb::glob_match("jobs.*", "jobs."));
+  EXPECT_FALSE(tsdb::glob_match("jobs.*", "job.done"));
+  EXPECT_TRUE(tsdb::glob_match("*.hv", "job.r101.hv"));
+  EXPECT_TRUE(tsdb::glob_match("job.*.hv", "job.a.b.hv"));
+  EXPECT_FALSE(tsdb::glob_match("job.*.hv", "job.a.hvx"));
+  EXPECT_TRUE(tsdb::glob_match("proc.???", "proc.rss"));
+  EXPECT_FALSE(tsdb::glob_match("proc.???", "proc.fds2"));
+  EXPECT_TRUE(tsdb::glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(tsdb::glob_match("a*b*c", "aXXbYY"));
+  EXPECT_FALSE(tsdb::glob_match("", "x"));
+  EXPECT_TRUE(tsdb::glob_match("", ""));
+}
+
+/// Deterministic sample value for (series, tick) pairs.
+double sample_value(int series, int tick) {
+  return 10.0 * series + std::sin(0.37 * tick) * 5.0 + tick * 0.01;
+}
+
+/// Writes `ticks` committed ticks at 1 s cadence starting at t=1000 ms.
+void fill_gauges(Tsdb& db, int series_count, int ticks) {
+  for (int t = 0; t < ticks; ++t) {
+    db.begin_tick(1000 * (t + 1));
+    for (int s = 0; s < series_count; ++s) {
+      db.set("g." + std::to_string(s), Kind::kGauge, sample_value(s, t));
+    }
+    db.commit_tick();
+  }
+}
+
+/// Brute-force reference: recompute the bucketed min/mean/max of one gauge
+/// from the raw (tick -> value) samples, matching the documented bucket
+/// semantics — bucket b covers (now - (b+1)*step, now - b*step], emitted
+/// ascending with t = now - b*step, empty buckets skipped.
+std::vector<TsPoint> brute_force_gauge(
+    const std::vector<std::pair<std::int64_t, double>>& samples,
+    std::int64_t now_ms, std::int64_t window_ms, std::int64_t step_ms) {
+  const std::int64_t win_lo = now_ms - window_ms;
+  const int nb = static_cast<int>((window_ms + step_ms - 1) / step_ms);
+  struct Acc {
+    double mn = 0, mx = 0, sum = 0;
+    int n = 0;
+  };
+  std::vector<Acc> buckets(static_cast<std::size_t>(std::max(nb, 1)));
+  for (const auto& [t, v] : samples) {
+    if (t <= win_lo || t > now_ms) continue;
+    const int b = static_cast<int>((now_ms - t) / step_ms);
+    if (b < 0 || b >= static_cast<int>(buckets.size())) continue;
+    Acc& a = buckets[static_cast<std::size_t>(b)];
+    if (a.n == 0) {
+      a.mn = a.mx = v;
+    } else {
+      a.mn = std::min(a.mn, v);
+      a.mx = std::max(a.mx, v);
+    }
+    a.sum += v;
+    ++a.n;
+  }
+  std::vector<TsPoint> out;
+  for (int b = static_cast<int>(buckets.size()) - 1; b >= 0; --b) {
+    const Acc& a = buckets[static_cast<std::size_t>(b)];
+    if (a.n == 0) continue;
+    TsPoint p;
+    p.t_ms = now_ms - static_cast<std::int64_t>(b) * step_ms;
+    p.min = a.mn;
+    p.mean = a.sum / a.n;
+    p.max = a.mx;
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(TsdbQuery, GaugeMatchesBruteForceAcrossWindowsAndSteps) {
+  Tsdb db;
+  const int kTicks = 300;
+  fill_gauges(db, 3, kTicks);
+  const std::int64_t now = 1000 * kTicks;
+
+  // The exact injected samples, for the reference recomputation.
+  std::vector<std::vector<std::pair<std::int64_t, double>>> samples(3);
+  for (int s = 0; s < 3; ++s) {
+    for (int t = 0; t < kTicks; ++t) {
+      samples[static_cast<std::size_t>(s)].push_back(
+          {1000 * (t + 1), sample_value(s, t)});
+    }
+  }
+
+  const struct {
+    double window_s, step_s;
+  } cases[] = {{60, 1}, {60, 5}, {300, 10}, {300, 7}, {299, 13}, {30, 30}};
+  for (const auto& c : cases) {
+    const auto got = db.query("g.*", c.window_s, c.step_s, now);
+    ASSERT_EQ(got.size(), 3u) << "window=" << c.window_s;
+    for (int s = 0; s < 3; ++s) {
+      const TsSeries& ts = got[static_cast<std::size_t>(s)];
+      EXPECT_EQ(ts.name, "g." + std::to_string(s));
+      EXPECT_EQ(ts.kind, Kind::kGauge);
+      const auto want = brute_force_gauge(
+          samples[static_cast<std::size_t>(s)], now,
+          static_cast<std::int64_t>(c.window_s * 1000),
+          static_cast<std::int64_t>(c.step_s * 1000));
+      ASSERT_EQ(ts.points.size(), want.size())
+          << "series " << s << " window=" << c.window_s
+          << " step=" << c.step_s;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(ts.points[i].t_ms, want[i].t_ms);
+        EXPECT_NEAR(ts.points[i].min, want[i].min, 1e-9);
+        EXPECT_NEAR(ts.points[i].mean, want[i].mean, 1e-9);
+        EXPECT_NEAR(ts.points[i].max, want[i].max, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TsdbQuery, CounterRatesMatchBruteForce) {
+  Tsdb db;
+  // Cumulative counter: +0..+4 events per second, deterministic.
+  const int kTicks = 120;
+  std::vector<std::pair<std::int64_t, double>> samples;
+  double total = 0.0;
+  for (int t = 0; t < kTicks; ++t) {
+    total += (t * 7) % 5;
+    db.begin_tick(1000 * (t + 1));
+    db.set("c.events", Kind::kCounter, total);
+    db.commit_tick();
+    samples.push_back({1000 * (t + 1), total});
+  }
+  const std::int64_t now = 1000 * kTicks;
+  const double window_s = 100, step_s = 10;
+  const auto got = db.query("c.events", window_s, step_s, now);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].kind, Kind::kCounter);
+
+  // Reference: bucket the samples, track the newest (t, value) per bucket,
+  // then emit rate = max(delta, 0) / dt between consecutive buckets.
+  const std::int64_t step_ms = static_cast<std::int64_t>(step_s * 1000);
+  const std::int64_t win_lo = now - static_cast<std::int64_t>(window_s * 1000);
+  const int nb = 10;
+  struct B {
+    bool any = false;
+    std::int64_t t = 0;
+    double v = 0;
+  };
+  std::vector<B> buckets(nb);
+  for (const auto& [t, v] : samples) {
+    if (t <= win_lo || t > now) continue;
+    const int b = static_cast<int>((now - t) / step_ms);
+    if (b < 0 || b >= nb) continue;
+    B& acc = buckets[static_cast<std::size_t>(b)];
+    if (!acc.any || t >= acc.t) {
+      acc.t = t;
+      acc.v = std::max(acc.any ? acc.v : v, v);
+    }
+    acc.any = true;
+  }
+  std::vector<TsPoint> want;
+  bool have_prev = false;
+  double prev_v = 0;
+  std::int64_t prev_t = 0;
+  for (int b = nb - 1; b >= 0; --b) {
+    const B& acc = buckets[static_cast<std::size_t>(b)];
+    if (!acc.any) continue;
+    if (have_prev) {
+      const double dt = static_cast<double>(acc.t - prev_t) / 1000.0;
+      if (dt > 0) {
+        TsPoint p;
+        p.t_ms = now - static_cast<std::int64_t>(b) * step_ms;
+        p.min = p.mean = p.max = std::max(acc.v - prev_v, 0.0) / dt;
+        want.push_back(p);
+      }
+    }
+    have_prev = true;
+    prev_v = acc.v;
+    prev_t = acc.t;
+  }
+
+  ASSERT_EQ(got[0].points.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[0].points[i].t_ms, want[i].t_ms);
+    EXPECT_NEAR(got[0].points[i].mean, want[i].mean, 1e-9);
+  }
+  // Sanity: every rate is non-negative and bounded by the max per-tick step.
+  for (const TsPoint& p : got[0].points) {
+    EXPECT_GE(p.mean, 0.0);
+    EXPECT_LE(p.mean, 4.0 + 1e-9);
+  }
+}
+
+TEST(TsdbIncrease, WindowedIncreaseAndResetClamp) {
+  Tsdb db;
+  // 0..59: +2/s.  At 60 the counter resets to 3 (process restart).
+  for (int t = 0; t < 90; ++t) {
+    const double v = t < 60 ? 2.0 * (t + 1) : 3.0 + 2.0 * (t - 60);
+    db.begin_tick(1000 * (t + 1));
+    db.set("c.x", Kind::kCounter, v);
+    db.commit_tick();
+  }
+  const std::int64_t now = 90 * 1000;
+  // Window entirely after the reset: first sample 5 (tick 61), last 61.
+  EXPECT_NEAR(db.increase("c.x", 29, now), 2.0 * 28, 1e-9);
+  // Window whose first sample is the pre-reset peak (120 at t=60 s): the
+  // raw difference 61 - 120 is negative, so the reset clamps to 0.
+  EXPECT_NEAR(db.increase("c.x", 30.5, now), 0.0, 1e-9);
+  // Window spanning more pre-reset history: first 22 (tick 10), last 61.
+  EXPECT_NEAR(db.increase("c.x", 80, now), 39.0, 1e-9);
+  // Gauges and unknown names answer 0.
+  db.begin_tick(91 * 1000);
+  db.set("g.y", Kind::kGauge, 42.0);
+  db.commit_tick();
+  EXPECT_EQ(db.increase("g.y", 60, 91 * 1000), 0.0);
+  EXPECT_EQ(db.increase("nope", 60, 91 * 1000), 0.0);
+}
+
+TEST(TsdbRetention, RawRingWrapsAndAggTierExtends) {
+  TsdbOptions opts;
+  opts.raw_capacity = 30;
+  opts.agg_every = 5;
+  opts.agg_capacity = 100;
+  Tsdb db(opts);
+  const int kTicks = 200;
+  for (int t = 0; t < kTicks; ++t) {
+    db.begin_tick(1000 * (t + 1));
+    db.set("g", Kind::kGauge, static_cast<double>(t));
+    db.commit_tick();
+  }
+  const std::int64_t now = 1000 * kTicks;
+
+  // Raw-tier query (window <= 30 s): only the newest 30 ticks survive.
+  const auto raw = db.query("g", 30, 1, now);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].points.size(), 30u);
+  EXPECT_NEAR(raw[0].points.front().mean, 170.0, 1e-9);  // tick index 170
+  EXPECT_NEAR(raw[0].points.back().mean, 199.0, 1e-9);
+
+  // Agg-tier query (window > raw retention): 5-tick folds with exact
+  // min/mean/max — fold ending at tick index T holds T-4..T.
+  const auto agg = db.query("g", 200, 5, now);
+  ASSERT_EQ(agg.size(), 1u);
+  ASSERT_EQ(agg[0].points.size(), 40u);
+  const TsPoint& newest = agg[0].points.back();
+  EXPECT_EQ(newest.t_ms, now);
+  EXPECT_NEAR(newest.min, 195.0, 1e-9);
+  EXPECT_NEAR(newest.mean, 197.0, 1e-9);
+  EXPECT_NEAR(newest.max, 199.0, 1e-9);
+  const TsPoint& oldest = agg[0].points.front();
+  EXPECT_NEAR(oldest.min, 0.0, 1e-9);
+  EXPECT_NEAR(oldest.mean, 2.0, 1e-9);
+  EXPECT_NEAR(oldest.max, 4.0, 1e-9);
+}
+
+TEST(TsdbGaps, MissingSamplesSkipBuckets) {
+  Tsdb db;
+  for (int t = 0; t < 20; ++t) {
+    db.begin_tick(1000 * (t + 1));
+    if (t % 4 == 0) db.set("sparse", Kind::kGauge, static_cast<double>(t));
+    db.commit_tick();
+  }
+  // Step = 1 s: only ticks 0,4,8,12,16 produced samples.
+  const auto got = db.query("sparse", 20, 1, 20 * 1000);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].points.size(), 5u);
+  // NaN / infinite stage values are rejected outright.
+  db.begin_tick(21 * 1000);
+  db.set("sparse", Kind::kGauge, std::numeric_limits<double>::quiet_NaN());
+  db.set("sparse", Kind::kGauge, std::numeric_limits<double>::infinity());
+  db.commit_tick();
+  EXPECT_EQ(db.query("sparse", 21, 1, 21 * 1000)[0].points.size(), 5u);
+}
+
+TEST(TsdbTable, MaxSeriesBoundCountsDrops) {
+  TsdbOptions opts;
+  opts.max_series = 4;
+  Tsdb db(opts);
+  db.begin_tick(1000);
+  for (int i = 0; i < 10; ++i) {
+    db.set("s." + std::to_string(i), Kind::kGauge, 1.0);
+  }
+  db.commit_tick();
+  EXPECT_EQ(db.series_count(), 4u);
+  EXPECT_EQ(db.dropped_series(), 6u);
+  // Existing series still accept samples.
+  db.begin_tick(2000);
+  db.set("s.0", Kind::kGauge, 2.0);
+  db.commit_tick();
+  EXPECT_NEAR(db.latest("s.0"), 2.0, 1e-12);
+}
+
+TEST(TsdbLatest, NewestFiniteSampleOrNaN) {
+  Tsdb db;
+  EXPECT_TRUE(std::isnan(db.latest("nope")));
+  db.begin_tick(1000);
+  db.set("g", Kind::kGauge, 7.0);
+  db.commit_tick();
+  db.begin_tick(2000);
+  db.commit_tick();  // gap
+  EXPECT_NEAR(db.latest("g"), 7.0, 1e-12);
+  db.begin_tick(3000);
+  db.set("g", Kind::kGauge, 9.0);
+  db.commit_tick();
+  EXPECT_NEAR(db.latest("g"), 9.0, 1e-12);
+}
+
+TEST(TsdbNames, SortedDiscovery) {
+  Tsdb db;
+  db.begin_tick(1000);
+  db.set("b", Kind::kGauge, 1);
+  db.set("a", Kind::kCounter, 1);
+  db.set("c", Kind::kGauge, 1);
+  db.commit_tick();
+  const auto names = db.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+// Seqlock smoke test: a reader hammers query()/latest()/increase() while
+// the writer commits ticks.  TSan (CI leg) proves the absence of data
+// races; the assertions prove a torn read never surfaces — every monotone
+// counter read stays monotone and every gauge value is one the writer
+// actually staged.
+TEST(TsdbConcurrency, ReaderSeesConsistentSnapshotsUnderWrites) {
+  TsdbOptions opts;
+  opts.sample_period_s = 0.01;  // ticks land every 10 ms below
+  opts.raw_capacity = 64;
+  opts.agg_every = 4;
+  opts.agg_capacity = 64;
+  Tsdb db(opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t t = db.ticks();
+      const std::int64_t now = static_cast<std::int64_t>(t) * 10;
+      const auto res = db.query("*", 0.64, 0.01, now);
+      for (const auto& ts : res) {
+        double prev = -1.0;
+        for (const TsPoint& p : ts.points) {
+          if (!std::isfinite(p.mean)) bad.fetch_add(1);
+          if (ts.kind == Kind::kGauge) {
+            // Gauge g holds the tick index — strictly increasing.
+            if (p.mean < prev) bad.fetch_add(1);
+            prev = p.mean;
+          } else if (p.mean < 0.0) {
+            bad.fetch_add(1);  // counter rates never go negative
+          }
+        }
+      }
+      (void)db.latest("mono");
+      (void)db.increase("mono", 0.5, now);
+    }
+  });
+
+  for (int t = 0; t < 3000; ++t) {
+    db.begin_tick(10 * (t + 1));
+    db.set("gauge", Kind::kGauge, static_cast<double>(t));
+    db.set("mono", Kind::kCounter, 3.0 * t);
+    db.commit_tick();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(db.ticks(), 3000u);
+}
+
+TEST(TsdbOptionsTest, RetentionMathAndClamps) {
+  TsdbOptions opts;
+  EXPECT_NEAR(opts.raw_retention_s(), 900.0, 1e-9);
+  EXPECT_NEAR(opts.agg_retention_s(), 14400.0, 1e-9);
+  TsdbOptions degenerate;
+  degenerate.sample_period_s = 0.0;
+  degenerate.raw_capacity = 0;
+  degenerate.agg_every = 0;
+  degenerate.agg_capacity = -5;
+  Tsdb db(degenerate);
+  EXPECT_GE(db.options().sample_period_s, 1e-3);
+  EXPECT_GE(db.options().raw_capacity, 2);
+  EXPECT_GE(db.options().agg_every, 1);
+  EXPECT_GE(db.options().agg_capacity, 2);
+}
+
+}  // namespace
+}  // namespace tsmo
